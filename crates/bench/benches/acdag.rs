@@ -1,0 +1,67 @@
+//! Criterion microbenchmark: AC-DAG construction from observation windows
+//! as the predicate count N grows.
+
+use aid_causal::{AcDag, TypeAwarePolicy};
+use aid_predicates::{MethodInstance, Predicate, PredicateCatalog, PredicateId, PredicateKind, RunObservation};
+use aid_trace::MethodId;
+use aid_util::DenseBitSet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fixture(n: usize, runs: usize) -> (PredicateCatalog, Vec<RunObservation>, Vec<PredicateId>, PredicateId) {
+    let mut catalog = PredicateCatalog::new();
+    let mut ids = Vec::new();
+    for m in 0..n {
+        ids.push(catalog.insert(Predicate {
+            kind: PredicateKind::RunsTooSlow {
+                site: MethodInstance::new(MethodId::from_raw(m as u32), 0),
+                threshold: 1,
+            },
+            safe: true,
+            action: None,
+        }));
+    }
+    let failure = catalog.insert(Predicate {
+        kind: PredicateKind::Failure {
+            signature: aid_trace::FailureSignature {
+                kind: "F".into(),
+                method: MethodId::from_raw(0),
+            },
+        },
+        safe: true,
+        action: None,
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let observations = (0..runs)
+        .map(|_| {
+            let windows: Vec<Option<(u64, u64)>> = (0..n)
+                .map(|i| {
+                    let base = (i as u64) * 10 + rng.random_range(0..5);
+                    Some((base, base + rng.random_range(1..8)))
+                })
+                .chain(std::iter::once(Some((100_000, 100_000))))
+                .collect();
+            RunObservation {
+                failed: true,
+                observed: DenseBitSet::full(n + 1),
+                windows,
+            }
+        })
+        .collect();
+    (catalog, observations, ids, failure)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acdag_build");
+    for n in [16usize, 64, 128, 284] {
+        let (catalog, obs, ids, failure) = fixture(n, 50);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| AcDag::build(&ids, failure, &catalog, &obs, &TypeAwarePolicy));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

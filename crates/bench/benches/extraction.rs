@@ -1,0 +1,24 @@
+//! Criterion microbenchmark: predicate extraction + SD scoring over 100
+//! labeled runs of the HealthTelemetry case (the largest catalog).
+
+use aid_cases::healthtelemetry;
+use aid_predicates::extract;
+use aid_sd::SdReport;
+use aid_sim::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_extraction(c: &mut Criterion) {
+    let case = healthtelemetry::case();
+    let sim = Simulator::new(case.program.clone());
+    let logs = sim.collect_balanced(50, 50, 60_000);
+    c.bench_function("extract_healthtelemetry_100_runs", |b| {
+        b.iter(|| extract(&logs, &case.config));
+    });
+    let ex = extract(&logs, &case.config);
+    c.bench_function("sd_score_healthtelemetry", |b| {
+        b.iter(|| SdReport::analyze(&ex.catalog, &ex.observations));
+    });
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

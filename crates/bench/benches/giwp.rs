@@ -1,0 +1,33 @@
+//! Criterion microbenchmark: full causal-path discovery on synthetic
+//! applications (oracle executor), per strategy.
+
+use aid_core::{discover, OracleExecutor, Strategy};
+use aid_synth::{generate, SynthParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    for maxt in [8u32, 24, 42] {
+        let params = SynthParams {
+            max_threads: maxt,
+            ..Default::default()
+        };
+        let app = generate(&params, 42);
+        for strategy in [Strategy::Aid, Strategy::Tagt] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), format!("maxt{maxt}_n{}", app.n)),
+                &app,
+                |b, app| {
+                    b.iter(|| {
+                        let mut oracle = OracleExecutor::new(app.truth.clone());
+                        discover(&app.dag, &mut oracle, strategy, 1)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion microbenchmark: virtual-machine throughput — single runs of
+//! the Npgsql case program, with and without interventions.
+
+use aid_cases::npgsql;
+use aid_sim::{InterventionPlan, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_runs(c: &mut Criterion) {
+    let case = npgsql::case();
+    let sim = Simulator::new(case.program.clone());
+    let mut seed = 0u64;
+    c.bench_function("sim_run_npgsql", |b| {
+        b.iter(|| {
+            seed += 1;
+            sim.run(seed, &InterventionPlan::empty())
+        });
+    });
+    let plan = InterventionPlan::single(aid_sim::Intervention::SerializeMethods {
+        a: aid_trace::MethodId::from_raw(0),
+        b: aid_trace::MethodId::from_raw(1),
+    });
+    c.bench_function("sim_run_npgsql_serialized", |b| {
+        b.iter(|| {
+            seed += 1;
+            sim.run(seed, &plan)
+        });
+    });
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

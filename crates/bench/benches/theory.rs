@@ -1,0 +1,46 @@
+//! Criterion microbenchmark: the chain-subset counting DP (search-space
+//! analysis) on symmetric AC-DAGs of growing size.
+
+use aid_theory::{chain_count, closure_from_edges};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn symmetric_edges(j: usize, b: usize, n: usize) -> (usize, Vec<(usize, usize)>) {
+    let mut edges = Vec::new();
+    let mut next = 0usize;
+    let mut prev_tails: Vec<usize> = Vec::new();
+    for _ in 0..j {
+        let mut tails = Vec::new();
+        for _ in 0..b {
+            let ids: Vec<usize> = (next..next + n).collect();
+            next += n;
+            for w in ids.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            for &t in &prev_tails {
+                edges.push((t, ids[0]));
+            }
+            tails.push(*ids.last().unwrap());
+        }
+        prev_tails = tails;
+    }
+    (next, edges)
+}
+
+fn bench_chain_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_count");
+    for (j, b, n) in [(2usize, 4usize, 4usize), (3, 8, 4), (4, 12, 5)] {
+        let (nodes, edges) = symmetric_edges(j, b, n);
+        let closure = closure_from_edges(nodes, &edges);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("J{j}B{b}n{n}_N{nodes}")),
+            &closure,
+            |bch, closure| {
+                bch.iter(|| chain_count(closure));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_count);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates **Figure 6**: the theoretical comparison between CPD (AID)
+//! and plain group testing on the symmetric AC-DAG — search-space sizes,
+//! information-theoretic lower bounds, and intervention upper bounds —
+//! plus Example 3's 15-vs-64 search-space count.
+//!
+//! ```sh
+//! cargo run -p aid-bench --bin figure6 --release
+//! ```
+
+use aid_bench::render_table;
+use aid_theory::{
+    chain_count, closure_from_edges, figure6_row, symmetric_cpd_search_space,
+};
+
+fn main() {
+    println!("Example 3 (Figure 5a): two parallel 3-chains");
+    let closure = closure_from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+    println!(
+        "  CPD search space (chain-subset DP): {}   GT search space: 2^6 = 64",
+        chain_count(&closure).unwrap()
+    );
+    println!(
+        "  symmetric closed form (B(2^n−1)+1)^J with J=1,B=2,n=3: {}\n",
+        symmetric_cpd_search_space(1, 2, 3).unwrap()
+    );
+
+    println!("Figure 6 — symmetric AC-DAG (J junctions × B branches × n predicates), S1=S2=2:\n");
+    let mut rows = vec![vec![
+        "J".into(),
+        "B".into(),
+        "n".into(),
+        "N".into(),
+        "D".into(),
+        "log₂ W_CPD".into(),
+        "log₂ W_GT".into(),
+        "CPD lower".into(),
+        "GT lower".into(),
+        "AID upper".into(),
+        "TAGT upper".into(),
+    ]];
+    for (j, b, n) in [
+        (1u64, 2u64, 3u64),
+        (2, 4, 4),
+        (3, 8, 4),
+        (4, 8, 6),
+        (3, 16, 6),
+        (2, 30, 3),
+    ] {
+        let total = j * b * n;
+        let d = ((total as f64) / (total as f64).log2()).floor().max(1.0) as u64;
+        let d = d.min(j * n); // D is bounded by the longest path in CPD
+        let row = figure6_row(j, b, n, d, 2, 2);
+        rows.push(vec![
+            j.to_string(),
+            b.to_string(),
+            n.to_string(),
+            total.to_string(),
+            d.to_string(),
+            format!("{:.1}", row.cpd_search_log2),
+            format!("{:.1}", row.gt_search_log2),
+            format!("{:.1}", row.cpd_lower),
+            format!("{:.1}", row.gt_lower),
+            format!("{:.1}", row.aid_upper),
+            format!("{:.1}", row.tagt_upper),
+        ]);
+    }
+    print!("{}", render_table(&rows));
+    println!(
+        "\nReading: CPD's search space and bounds sit strictly inside GT's; the gap \
+         grows with branch width B — the structure AID exploits and GT ignores."
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Figure 7**: the six real-world case studies — SD's
+//! fully-discriminative predicate counts, causal-path lengths, and AID vs
+//! TAGT intervention counts, measured against the paper's rows.
+//!
+//! ```sh
+//! cargo run -p aid-bench --bin figure7 --release [--seed=11]
+//! ```
+
+use aid_bench::{arg_value, render_table};
+use aid_cases::{all_cases, run_case};
+
+fn main() {
+    let seed: u64 = arg_value("seed").and_then(|s| s.parse().ok()).unwrap_or(11);
+    println!("Figure 7 — case studies (seed {seed}); paper numbers in parentheses\n");
+    let mut rows = vec![vec![
+        "Application".to_string(),
+        "#Discrim preds (SD)".to_string(),
+        "#Preds in causal path".to_string(),
+        "AID interventions".to_string(),
+        "TAGT measured".to_string(),
+        "TAGT worst case D⌈log₂N⌉".to_string(),
+        "Root cause".to_string(),
+    ]];
+    for case in all_cases() {
+        let r = run_case(&case, seed);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{} ({})", r.sd_predicates, r.paper.sd_predicates),
+            format!("{} ({})", r.causal_path, r.paper.causal_path),
+            format!("{} ({})", r.aid_rounds, r.paper.aid),
+            format!("{}", r.tagt_rounds),
+            format!("{} ({})", r.tagt_analytic, r.paper.tagt),
+            if r.root_matches {
+                "matches developer fix".to_string()
+            } else {
+                format!("MISMATCH: {}", r.root_description)
+            },
+        ]);
+    }
+    print!("{}", render_table(&rows));
+
+    println!("\nExplanations:");
+    for case in all_cases() {
+        let r = run_case(&case, seed);
+        println!("\n--- {} ({}) ---", r.name, case.reference);
+        print!("{}", r.explanation);
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared helpers for the benchmark binaries that regenerate the paper's
+//! tables and figures (see `src/bin/` and EXPERIMENTS.md).
+
+/// Renders an aligned plain-text table: `rows[0]` is the header.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            out.push_str(cell);
+            out.push_str(&" ".repeat(pad + 2));
+        }
+        out.pop();
+        out.pop();
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses a `--flag=value` style argument from `std::env::args`.
+pub fn arg_value(name: &str) -> Option<String> {
+    let prefix = format!("--{name}=");
+    std::env::args().find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(&[
+            vec!["a".into(), "long-header".into()],
+            vec!["wide-cell".into(), "x".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+    }
+}

@@ -1,0 +1,157 @@
+//! Case study 5: **BuildAndTest** — a proprietary large-scale build and
+//! test platform; AID identified an order violation of two events
+//! (§7.1.4).
+//!
+//! The packaging step is supposed to start only after compilation has
+//! published its artifacts, but the scheduling between the two workers is
+//! only *usually* right. When packaging starts early it sees no artifacts,
+//! carries the corrupt status through verification, and the build finalizer
+//! aborts.
+
+use crate::helpers::{inline_mirrors, monitor_thread};
+use crate::{CaseStudy, PaperRow, RootKind};
+use aid_predicates::ExtractionConfig;
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::ProgramBuilder;
+
+/// Builds the case.
+pub fn case() -> CaseStudy {
+    let mut b = ProgramBuilder::new("buildandtest");
+    let compiled = b.object("artifactsReady", 0);
+    let infected = b.object("artifactMissing", 0);
+    let phase = b.object("verifyPhase", 0);
+    let done = b.object("scanDone", 0);
+
+    // The compiler: publishes artifacts as its very last operation.
+    let compile = b.method("CompileStep", |m| {
+        m.jitter(10, 60).write(compiled, Expr::Const(1));
+    });
+    let compiler_loop = b.method("CompilerLoop", |m| {
+        m.call(compile);
+    });
+
+    // The packager: reads the artifact flag as its very first operation —
+    // the order violation (package before compile-end) is exactly the
+    // failure condition.
+    let package = b.method("PackageStep", |m| {
+        m.read(compiled, Reg(1));
+    });
+    let verify = b.pure_method("VerifyArtifact", |m| {
+        m.set_if(
+            Reg(2),
+            Expr::Reg(Reg(1)),
+            Cmp::Eq,
+            Expr::Const(0),
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .ret(Expr::Reg(Reg(2)));
+    });
+    // Symptoms key on the *raw* stale read (R3), not on VerifyArtifact's
+    // output: they are siblings of the verification, so repairing the
+    // verification stops the failure while they keep firing — exactly the
+    // counterfactual violation Definition 2 prunes wholesale.
+    let publish = b.method("PublishBuildStatus", |m| {
+        m.set_if(
+            Reg(3),
+            Expr::Reg(Reg(1)),
+            Cmp::Eq,
+            Expr::Const(0),
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .write(infected, Expr::Reg(Reg(3)))
+        .write(phase, Expr::Const(1));
+    });
+    let mirrors = inline_mirrors(&mut b, "ManifestCheck", Reg(3), 8, 4);
+    let scanner = monitor_thread(&mut b, "TestScan", phase, infected, done, 10, 5, 6);
+
+    let packager = b.method("PackagerLoop", |m| {
+        m.jitter(5, 55).call(package).call(publish).call(verify);
+        for mm in &mirrors {
+            m.call(*mm);
+        }
+        m.wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(1))
+            .throw_if(Expr::Reg(Reg(2)), Cmp::Eq, Expr::Const(1), "ArtifactMissing");
+    });
+    let main = b.method("Main", |m| {
+        m.spawn_named("compiler")
+            .spawn_named("packager")
+            .spawn_named("scan")
+            .join(1)
+            .join(2)
+            .join(3);
+    });
+    b.thread("main", main, true);
+    b.thread("compiler", compiler_loop, false);
+    b.thread("packager", packager, false);
+    b.thread("scan", scanner, false);
+
+    let program = b.build();
+    let mut config = ExtractionConfig::default();
+    for m in program.pure_methods() {
+        config.pure_methods.insert(m);
+    }
+    CaseStudy {
+        name: "BuildAndTest",
+        reference: "proprietary (Microsoft build & test platform)",
+        summary: "Packaging occasionally starts before compilation has \
+                  published its artifacts (an order violation); the missing \
+                  artifact status propagates through verification and the \
+                  finalizer aborts the build.",
+        program,
+        config,
+        runs_per_round: 12,
+        root: RootKind::OrderViolation,
+        paper: PaperRow {
+            sd_predicates: 25,
+            causal_path: 3,
+            aid: 10,
+            tagt: 15,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_case, collect_logs, run_case};
+    use aid_predicates::PredicateKind;
+
+    #[test]
+    fn order_violation_is_fully_discriminative() {
+        let case = case();
+        let set = collect_logs(&case);
+        let analysis = analyze_case(&case, &set);
+        let ov = analysis.sd.fully_discriminative.iter().any(|&p| {
+            matches!(
+                analysis.extraction.catalog.get(p).kind,
+                PredicateKind::OrderViolation { .. }
+            )
+        });
+        assert!(ov, "the compile/package inversion must survive SD");
+    }
+
+    #[test]
+    fn aid_finds_the_order_violation() {
+        // Tie-breaking seeds shift individual round counts; compare over a
+        // few seeds like Figure 8's averaging does.
+        let case = case();
+        let (mut aid_total, mut tagt_total) = (0usize, 0usize);
+        for seed in [5u64, 6, 7] {
+            let report = run_case(&case, seed);
+            assert!(report.root_matches, "root: {}", report.root_description);
+            assert!(
+                report.causal_path >= 2 && report.causal_path <= 4,
+                "paper path is 3: got {}",
+                report.causal_path
+            );
+            aid_total += report.aid_rounds;
+            tagt_total += report.tagt_rounds;
+        }
+        assert!(
+            aid_total < tagt_total,
+            "AID must win on average: {aid_total} vs {tagt_total}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Case study 3: **azure-cosmos-dotnet-v3 PR #713** — a cache-expiry
+//! timing bug (§7.1.3).
+//!
+//! The application populates a cache whose entries expire after a fixed
+//! TTL, runs a pipeline of tasks, then reads a cached entry. Normally the
+//! pipeline finishes well inside the TTL; a transient fault occasionally
+//! routes one task through an expensive fault-handling path that outlasts
+//! the TTL, so the later lookup misses and the request fails.
+
+use crate::helpers::{inline_mirrors, monitor_thread, propagator_chain};
+use crate::{CaseStudy, PaperRow, RootKind};
+use aid_predicates::ExtractionConfig;
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::ProgramBuilder;
+
+/// Cache TTL in ticks.
+const TTL: i64 = 150;
+
+/// Builds the case.
+pub fn case() -> CaseStudy {
+    let mut b = ProgramBuilder::new("cosmosdb");
+    let expiry = b.object("cacheExpiry", 0);
+    let infected = b.object("entryExpired", 0);
+    let phase = b.object("lookupPhase", 0);
+    let done = b.object("monitorsDone", 0);
+
+    let populate = b.method("PopulateCache", |m| {
+        m.compute(2)
+            .write(expiry, Expr::add(Expr::Now, Expr::Const(TTL)));
+    });
+    // The task pipeline; HandleRequest hides the transient fault handler.
+    let task_a = b.method("DeserializePayload", |m| {
+        m.compute(3);
+    });
+    let task_b = b.method("AuthorizeRequest", |m| {
+        m.compute(3);
+    });
+    let handle = b.method("HandleRequest", |m| {
+        m.compute(3).flaky_delay(0.5, 320);
+    });
+    let task_c = b.method("SerializeResponse", |m| {
+        m.compute(3);
+    });
+    // Verdict: has the entry expired by now?
+    let validate = b.pure_method("CheckEntryFresh", |m| {
+        m.set_if(
+            Reg(2),
+            Expr::Obj(expiry),
+            Cmp::Lt,
+            Expr::Now,
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .ret(Expr::Reg(Reg(2)));
+    });
+    // The causal lookup chain the paper's 7-step explanation walks.
+    let (lookup_chain, last) = propagator_chain(&mut b, "ResolveEndpoint", Reg(2), 3, 3);
+    let mirrors = inline_mirrors(&mut b, "RequestProbe", Reg(2), 11, 5);
+    let mon_a = monitor_thread(&mut b, "LatencyMonitor", phase, infected, done, 17, 6, 6);
+    let mon_b = monitor_thread(&mut b, "QuotaMonitor", phase, infected, done, 16, 6, 6);
+    let publish = b.method("PublishDiagnostics", |m| {
+        m.write(infected, Expr::Reg(Reg(2)))
+            .write(phase, Expr::Const(1));
+    });
+    let fetch = b.method("ReadCacheEntry", |m| {
+        m.compute(1)
+            .throw_if(Expr::Reg(last), Cmp::Eq, Expr::Const(1), "CacheEntryNotFound");
+    });
+
+    let app = b.method("CosmosApp", |m| {
+        m.spawn_named("monA")
+            .spawn_named("monB")
+            .call(populate)
+            .call(task_a)
+            .call(task_b)
+            .call(handle)
+            .call(task_c)
+            .call(validate);
+        for mm in &lookup_chain {
+            m.call(*mm);
+        }
+        m.call(publish);
+        for mm in &mirrors {
+            m.call(*mm);
+        }
+        m.wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(2))
+            .call(fetch)
+            .join(1)
+            .join(2);
+    });
+    b.thread("main", app, true);
+    b.thread("monA", mon_a, false);
+    b.thread("monB", mon_b, false);
+
+    let program = b.build();
+    let mut config = ExtractionConfig::default();
+    for m in program.pure_methods() {
+        config.pure_methods.insert(m);
+    }
+    CaseStudy {
+        name: "CosmosDB",
+        reference: "github.com/Azure/azure-cosmos-dotnet-v3 pull #713",
+        summary: "A transient fault makes one pipeline task outlast the \
+                  cache TTL; the later cache lookup misses the expired \
+                  entry and the request fails.",
+        program,
+        config,
+        runs_per_round: 10,
+        root: RootKind::RunsTooSlow,
+        paper: PaperRow {
+            sd_predicates: 64,
+            causal_path: 7,
+            aid: 15,
+            tagt: 42,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_case;
+
+    #[test]
+    fn aid_finds_the_slow_task_and_explains_the_expiry() {
+        let case = case();
+        let report = run_case(&case, 3);
+        assert!(report.root_matches, "root: {}", report.root_description);
+        assert!(
+            report.causal_path >= 5,
+            "paper path is 7: got {} ({})",
+            report.causal_path,
+            report.explanation
+        );
+        assert!(report.aid_rounds < report.tagt_rounds);
+        assert!(report.explanation.contains("runs too slow"));
+    }
+}

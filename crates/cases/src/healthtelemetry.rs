@@ -1,0 +1,133 @@
+//! Case study 6: **HealthTelemetry** — a proprietary runtime-health
+//! reporting module used across services; AID identified a race condition
+//! (§7.1.4). This is the largest case: 93 fully-discriminative predicates
+//! and a 10-predicate causal path in the paper.
+//!
+//! A telemetry agent snapshots a shared report sequence number while a
+//! flush worker concurrently bumps it. When the bump lands inside the
+//! snapshot window, the agent assembles a report against a stale sequence;
+//! the corrupt verdict rides a long aggregation chain and the final health
+//! report write aborts the agent.
+
+use crate::helpers::{inline_mirrors, monitor_thread, propagator_chain};
+use crate::{CaseStudy, PaperRow, RootKind};
+use aid_predicates::ExtractionConfig;
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::ProgramBuilder;
+
+/// Builds the case.
+pub fn case() -> CaseStudy {
+    let mut b = ProgramBuilder::new("healthtelemetry");
+    let flag = b.object("agentActive", 0);
+    let seq = b.object("reportSeq", 10);
+    let infected = b.object("staleSnapshot", 0);
+    let phase = b.object("aggregationPhase", 0);
+    let done = b.object("monitorsDone", 0);
+
+    // The racy snapshot: window ends at the unsynchronized read.
+    let snapshot = b.method("ReadSnapshot", |m| {
+        m.write(flag, Expr::Const(1)).jitter(8, 40).read(seq, Reg(1));
+    });
+    // The concurrent bump.
+    let flush = b.method("FlushBuffer", |m| {
+        m.jitter(1, 6).write(seq, Expr::Const(11));
+    });
+    let flush_loop = b.method("FlushWorkerLoop", |m| {
+        m.wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1))
+            .jitter(0, 30)
+            .call(flush);
+    });
+
+    let validate = b.pure_method("ValidateSnapshot", |m| {
+        m.set_if(
+            Reg(2),
+            Expr::Reg(Reg(1)),
+            Cmp::Gt,
+            Expr::Const(10),
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .ret(Expr::Reg(Reg(2)));
+    });
+    // The long aggregation chain — six causal links (paper path: 10).
+    let (aggregate, last) = propagator_chain(&mut b, "AggregateStage", Reg(2), 3, 6);
+    let publish = b.method("PublishHealthState", |m| {
+        m.write(infected, Expr::Reg(Reg(2)))
+            .write(phase, Expr::Const(1));
+    });
+    let mirrors = inline_mirrors(&mut b, "Counterprobe", Reg(2), 20, 6);
+    let mon_a = monitor_thread(&mut b, "ServiceWatch", phase, infected, done, 24, 7, 6);
+    let mon_b = monitor_thread(&mut b, "AlertScan", phase, infected, done, 22, 7, 6);
+
+    let report = b.method("WriteHealthReport", |m| {
+        m.compute(1)
+            .throw_if(Expr::Reg(last), Cmp::Eq, Expr::Const(1), "CorruptHealthReport");
+    });
+    let agent = b.method("TelemetryAgent", |m| {
+        m.spawn_named("flush")
+            .spawn_named("monA")
+            .spawn_named("monB")
+            .call(snapshot)
+            .call(validate);
+        for mm in &aggregate {
+            m.call(*mm);
+        }
+        m.call(publish);
+        for mm in &mirrors {
+            m.call(*mm);
+        }
+        m.wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(2))
+            .call(report)
+            .join(1)
+            .join(2)
+            .join(3);
+    });
+    b.thread("main", agent, true);
+    b.thread("flush", flush_loop, false);
+    b.thread("monA", mon_a, false);
+    b.thread("monB", mon_b, false);
+
+    let program = b.build();
+    let mut config = ExtractionConfig::default();
+    for m in program.pure_methods() {
+        config.pure_methods.insert(m);
+    }
+    CaseStudy {
+        name: "HealthTelemetry",
+        reference: "proprietary (Microsoft service health telemetry module)",
+        summary: "A flush worker bumps the shared report sequence inside \
+                  the agent's snapshot window (a race); the stale snapshot \
+                  rides a six-stage aggregation chain and the final health \
+                  report write aborts the agent.",
+        program,
+        config,
+        runs_per_round: 10,
+        root: RootKind::DataRace,
+        paper: PaperRow {
+            sd_predicates: 93,
+            causal_path: 10,
+            aid: 40,
+            tagt: 70,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_case;
+
+    #[test]
+    fn aid_finds_the_race_behind_the_long_chain() {
+        let case = case();
+        let report = run_case(&case, 6);
+        assert!(report.root_matches, "root: {}", report.root_description);
+        assert!(
+            report.causal_path >= 8,
+            "paper path is 10: got {} ({})",
+            report.causal_path,
+            report.explanation
+        );
+        assert!(report.aid_rounds < report.tagt_rounds);
+    }
+}

@@ -1,0 +1,174 @@
+//! Shared building blocks for the case-study programs.
+//!
+//! Real failures drag a tail of *symptoms* behind the root cause: methods
+//! that return wrong values or run slow because upstream state is already
+//! corrupted. These helpers attach such cascades to a program so each case
+//! study reaches the predicate counts the paper reports, with the same
+//! causal irrelevance (repairing a symptom never stops the failure).
+
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::ProgramBuilder;
+use aid_trace::{MethodId, ObjectId};
+
+/// Registers reserved for case mechanisms (R0..R8, including propagator
+/// chains); mirrors rotate through R9..R15.
+pub const FIRST_SCRATCH_REG: u8 = 9;
+
+/// Adds `count` inline mirror methods to call from the mechanism thread:
+/// each copies the verdict register into a rotating scratch register and
+/// returns it (pure ⇒ a fully-discriminative `WrongReturn` predicate with a
+/// safe `ForceReturn` repair). Every `slow_every`-th mirror instead burns
+/// extra ticks when the verdict is set (a `RunsTooSlow` symptom).
+pub fn inline_mirrors(
+    b: &mut ProgramBuilder,
+    prefix: &str,
+    verdict: Reg,
+    count: usize,
+    slow_every: usize,
+) -> Vec<MethodId> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let reg = Reg(FIRST_SCRATCH_REG + (i % 7) as u8);
+        let name = format!("{prefix}{i}");
+        let m = if slow_every != 0 && i % slow_every == slow_every - 1 {
+            // Slow-only symptom: constant return, so it contributes exactly
+            // one predicate (RunsTooSlow), not a WrongReturn as well.
+            b.pure_method(&name, |mb| {
+                mb.compute_if(Expr::Reg(verdict), Cmp::Eq, Expr::Const(1), 60)
+                    .ret(Expr::Const(0));
+            })
+        } else {
+            b.pure_method(&name, |mb| {
+                mb.set(reg, Expr::Reg(verdict)).ret(Expr::Reg(reg));
+            })
+        };
+        out.push(m);
+    }
+    out
+}
+
+/// Declares a monitor thread: it waits for `phase` to be raised, then runs
+/// `count` mirror methods keyed on the shared `infected` object (peeked, so
+/// no spurious race predicates appear), raises `done`, and exits. Jitter
+/// between mirrors makes the monitor's predicates temporally incomparable
+/// with other monitors — this is what creates junctions in the AC-DAG.
+///
+/// Returns the thread's entry method. The caller must declare the thread
+/// with `auto_start = false` under `thread_name` and spawn it.
+pub fn monitor_thread(
+    b: &mut ProgramBuilder,
+    name_prefix: &str,
+    phase: ObjectId,
+    infected: ObjectId,
+    done: ObjectId,
+    count: usize,
+    slow_every: usize,
+    spread: u64,
+) -> MethodId {
+    let mut mirrors = Vec::with_capacity(count);
+    for i in 0..count {
+        let reg = Reg(FIRST_SCRATCH_REG + (i % 7) as u8);
+        let name = format!("{name_prefix}Probe{i}");
+        let m = if slow_every != 0 && i % slow_every == slow_every - 1 {
+            // Slow-only probe (constant return): one RunsTooSlow predicate.
+            b.pure_method(&name, |mb| {
+                mb.compute_if(Expr::Obj(infected), Cmp::Eq, Expr::Const(1), 60)
+                    .ret(Expr::Const(0));
+            })
+        } else {
+            b.pure_method(&name, |mb| {
+                mb.set_if(
+                    reg,
+                    Expr::Obj(infected),
+                    Cmp::Eq,
+                    Expr::Const(1),
+                    Expr::Const(1),
+                    Expr::Const(0),
+                )
+                .jitter(1, 4)
+                .ret(Expr::Reg(reg));
+            })
+        };
+        mirrors.push(m);
+    }
+    b.method(&format!("{name_prefix}Loop"), |mb| {
+        mb.wait_until(Expr::Obj(phase), Cmp::Eq, Expr::Const(1))
+            .jitter(0, spread.max(1));
+        for m in &mirrors {
+            mb.call(*m);
+        }
+        mb.write(done, Expr::add(Expr::Obj(done), Expr::Const(1)));
+    })
+}
+
+/// Adds a chain of `count` pure propagator methods: the first reads
+/// `verdict`, each subsequent one reads its predecessor's register, and the
+/// last leaves the final verdict in the returned register. Repairing any
+/// link (`ForceReturn 0`) breaks everything downstream — each link is a
+/// counterfactual cause of whatever consumes the final register.
+pub fn propagator_chain(
+    b: &mut ProgramBuilder,
+    prefix: &str,
+    verdict: Reg,
+    first_reg: u8,
+    count: usize,
+) -> (Vec<MethodId>, Reg) {
+    assert!(count >= 1);
+    assert!(
+        first_reg as usize + count <= FIRST_SCRATCH_REG as usize,
+        "propagator chain would collide with mirror scratch registers"
+    );
+    let mut methods = Vec::with_capacity(count);
+    let mut prev = verdict;
+    for i in 0..count {
+        let reg = Reg(first_reg + i as u8);
+        let name = format!("{prefix}{i}");
+        let m = b.pure_method(&name, |mb| {
+            mb.compute(2).set(reg, Expr::Reg(prev)).ret(Expr::Reg(reg));
+        });
+        methods.push(m);
+        prev = reg;
+    }
+    (methods, prev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_sim::Simulator;
+
+    #[test]
+    fn propagator_chain_carries_the_verdict() {
+        let mut b = ProgramBuilder::new("chain");
+        let (chain, last) = propagator_chain(&mut b, "Step", Reg(0), 2, 3);
+        let main = b.method("Main", |mb| {
+            mb.set(Reg(0), Expr::Const(1));
+            for m in &chain {
+                mb.call(*m);
+            }
+            mb.throw_if(Expr::Reg(last), Cmp::Eq, Expr::Const(1), "Propagated");
+        });
+        b.thread("main", main, true);
+        let sim = Simulator::new(b.build());
+        let t = sim.run(0, &aid_sim::InterventionPlan::empty());
+        assert!(t.failed(), "verdict must reach the end of the chain");
+    }
+
+    #[test]
+    fn inline_mirrors_are_pure_and_named() {
+        let mut b = ProgramBuilder::new("mirrors");
+        let ms = inline_mirrors(&mut b, "Echo", Reg(0), 5, 3);
+        let main = b.method("Main", |mb| {
+            for m in &ms {
+                mb.call(*m);
+            }
+        });
+        b.thread("main", main, true);
+        let p = b.build();
+        assert_eq!(ms.len(), 5);
+        for &m in &ms {
+            assert!(p.method(m).pure);
+        }
+        assert_eq!(p.method(ms[0]).name, "Echo0");
+    }
+}

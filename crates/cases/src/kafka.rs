@@ -1,0 +1,137 @@
+//! Case study 2: **confluent-kafka-dotnet issue #279** — a use-after-free
+//! of a Kafka consumer (§7.1.2).
+//!
+//! The main thread creates a consumer and starts a child thread; the child
+//! does some preparation work and then commits offsets on the consumer. A
+//! transient fault occasionally makes the preparation run long; meanwhile
+//! the main thread disposes the consumer on a fixed schedule. When the
+//! child is slow, `Dispose` wins the race and `Commit` throws
+//! `ObjectDisposed` — the paper's 5-step explanation: (1) main starts the
+//! child, (2) the child runs too slow, (3) main disposes the consumer,
+//! (4) the child commits on it, (5) the commit throws and crashes.
+
+use crate::helpers::inline_mirrors;
+use crate::{CaseStudy, PaperRow, RootKind};
+use aid_predicates::ExtractionConfig;
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::ProgramBuilder;
+
+/// Preparation time without the transient fault, in ticks.
+const FAST_PREP: u64 = 5;
+/// Extra ticks when the transient fault fires.
+const FAULT_DELAY: u64 = 260;
+/// Mirror symptoms between preparation and commit.
+const MIRRORS: usize = 57;
+
+/// Builds the case.
+pub fn case() -> CaseStudy {
+    let mut b = ProgramBuilder::new("kafka");
+    let alive = b.object("consumerAlive", 1);
+
+    // Child-side: transient-fault-prone preparation (the root cause).
+    let prepare = b.method("PrepareCommit", |m| {
+        m.compute(FAST_PREP).flaky_delay(0.5, FAULT_DELAY);
+    });
+    // Mirrors keyed on "preparation was slow" (computed from the clock).
+    let mirrors = inline_mirrors(&mut b, "BatchStep", Reg(2), MIRRORS, 6);
+    // The doomed call: reads the consumer's liveness as its only operation.
+    let commit = b.method("Commit", |m| {
+        m.throw_if_obj(alive, Cmp::Eq, Expr::Const(0), "ObjectDisposed");
+    });
+    let commit_offsets = b.method("CommitOffsets", |m| {
+        m.call(commit);
+    });
+    let worker = b.method("ConsumeWorkerLoop", |m| {
+        m.set(Reg(1), Expr::Now).call(prepare).set_if(
+            Reg(2),
+            Expr::sub(Expr::Now, Expr::Reg(Reg(1))),
+            Cmp::Gt,
+            Expr::Const((FAST_PREP + 55) as i64),
+            Expr::Const(1),
+            Expr::Const(0),
+        );
+        for mm in &mirrors {
+            m.call(*mm);
+        }
+        m.call(commit_offsets);
+    });
+
+    // Main-side: dispose on a schedule that lands between the fast and the
+    // slow commit times.
+    let dispose = b.method("DisposeConsumer", |m| {
+        m.compute(2).write(alive, Expr::Const(0));
+    });
+    let app = b.method("KafkaApp", |m| {
+        m.spawn_named("worker")
+            .jitter(300, 900)
+            .call(dispose)
+            .join(1);
+    });
+    b.thread("main", app, true);
+    b.thread("worker", worker, false);
+
+    let program = b.build();
+    let mut config = ExtractionConfig::default();
+    for m in program.pure_methods() {
+        config.pure_methods.insert(m);
+    }
+    CaseStudy {
+        name: "Kafka",
+        reference: "github.com/confluentinc/confluent-kafka-dotnet issue #279",
+        summary: "The main thread disposes a Kafka consumer while a slow \
+                  child thread still needs it; the child's commit on the \
+                  disposed consumer throws and crashes the application.",
+        program,
+        config,
+        runs_per_round: 10,
+        root: RootKind::RunsTooSlow,
+        paper: PaperRow {
+            sd_predicates: 72,
+            causal_path: 5,
+            aid: 17,
+            tagt: 33,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_case, collect_logs, run_case};
+    use aid_predicates::PredicateKind;
+
+    #[test]
+    fn use_after_free_predicate_appears() {
+        let case = case();
+        let set = collect_logs(&case);
+        let analysis = analyze_case(&case, &set);
+        let uaf = analysis.sd.fully_discriminative.iter().any(|&p| {
+            matches!(
+                analysis.extraction.catalog.get(p).kind,
+                PredicateKind::OrderViolation {
+                    object: Some(_),
+                    ..
+                }
+            )
+        });
+        assert!(uaf, "dispose-before-commit must surface as a use-after-free");
+    }
+
+    #[test]
+    fn aid_finds_the_slow_preparation_and_beats_tagt() {
+        let case = case();
+        let report = run_case(&case, 2);
+        assert!(report.root_matches, "root: {}", report.root_description);
+        assert!(
+            report.aid_rounds < report.tagt_rounds,
+            "AID {} vs TAGT {}",
+            report.aid_rounds,
+            report.tagt_rounds
+        );
+        assert!(
+            report.causal_path >= 4,
+            "paper path is 5: got {}",
+            report.causal_path
+        );
+    }
+}

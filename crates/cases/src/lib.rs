@@ -1,0 +1,267 @@
+//! The six real-world case studies of Section 7.1, modeled as simulator
+//! programs that reproduce each bug's *mechanism* (see DESIGN.md's
+//! substitution table):
+//!
+//! | module | real system | bug class | reference |
+//! |---|---|---|---|
+//! | [`npgsql`] | Npgsql (.NET PostgreSQL driver) | data race on a pool index | GitHub issue #2485 |
+//! | [`kafka`] | Kafka .NET client app | use-after-free of a consumer | confluent-kafka-dotnet #279 |
+//! | [`cosmosdb`] | Azure Cosmos DB app | cache-expiry timing bug | azure-cosmos-dotnet-v3 PR #713 |
+//! | [`network`] | proprietary: datacenter control plane | random-id collision | — |
+//! | [`buildandtest`] | proprietary: build & test platform | order violation | — |
+//! | [`healthtelemetry`] | proprietary: health telemetry module | race condition | — |
+
+pub mod buildandtest;
+pub mod cosmosdb;
+pub mod healthtelemetry;
+pub mod helpers;
+pub mod kafka;
+pub mod network;
+pub mod npgsql;
+
+use aid_core::{discover, render_explanation, AidAnalysis, Strategy};
+use aid_predicates::{ExtractionConfig, PredicateKind};
+use aid_sim::{SimExecutor, Simulator};
+use aid_trace::TraceSet;
+
+/// The paper's Figure 7 row for a case.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// Column 3: #fully-discriminative predicates (SD).
+    pub sd_predicates: usize,
+    /// Column 4: #predicates in the causal path.
+    pub causal_path: usize,
+    /// Column 5: AID interventions.
+    pub aid: usize,
+    /// Column 6: TAGT interventions (worst case).
+    pub tagt: usize,
+}
+
+/// Which predicate kind the true root cause should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RootKind {
+    /// A data race.
+    DataRace,
+    /// A too-slow execution (timing/transient fault).
+    RunsTooSlow,
+    /// An order violation / use-after-free.
+    OrderViolation,
+    /// A random-value collision.
+    ValueCollision,
+}
+
+impl RootKind {
+    /// Whether a predicate kind matches.
+    pub fn matches(&self, kind: &PredicateKind) -> bool {
+        matches!(
+            (self, kind),
+            (RootKind::DataRace, PredicateKind::DataRace { .. })
+                | (RootKind::RunsTooSlow, PredicateKind::RunsTooSlow { .. })
+                | (RootKind::OrderViolation, PredicateKind::OrderViolation { .. })
+                | (RootKind::ValueCollision, PredicateKind::ValueCollision { .. })
+        )
+    }
+}
+
+/// A fully-specified case study.
+pub struct CaseStudy {
+    /// Short name (matches Figure 7 column 1).
+    pub name: &'static str,
+    /// Issue/PR reference or "proprietary".
+    pub reference: &'static str,
+    /// One-paragraph description of the bug mechanism.
+    pub summary: &'static str,
+    /// The model program.
+    pub program: aid_sim::Program,
+    /// Extraction configuration (purity markings, safety knobs).
+    pub config: ExtractionConfig,
+    /// Expected root-cause predicate kind.
+    pub root: RootKind,
+    /// Runs per intervention round. Rounds conclude "repaired" only when no
+    /// run fails, so rare failures (e.g. the Network id collision at
+    /// p = 1/8) need enough repetitions that a lucky streak is improbable
+    /// (the paper's footnote 1).
+    pub runs_per_round: usize,
+    /// The paper's numbers for this case.
+    pub paper: PaperRow,
+}
+
+/// The outcome of running a case study end to end.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Case name.
+    pub name: &'static str,
+    /// Measured #fully-discriminative predicates (Figure 7 col 3).
+    pub sd_predicates: usize,
+    /// Measured causal-path length excluding F (col 4).
+    pub causal_path: usize,
+    /// Measured AID interventions (col 5).
+    pub aid_rounds: usize,
+    /// Measured TAGT interventions (col 6, same executor budget).
+    pub tagt_rounds: usize,
+    /// The paper's analytic TAGT worst case `D⌈log₂N⌉`.
+    pub tagt_analytic: usize,
+    /// Whether the discovered root cause matches the expected kind.
+    pub root_matches: bool,
+    /// Human-readable root cause.
+    pub root_description: String,
+    /// The rendered explanation (causal chain).
+    pub explanation: String,
+    /// The paper row for comparison.
+    pub paper: PaperRow,
+}
+
+/// All six case studies, in Figure 7 order.
+pub fn all_cases() -> Vec<CaseStudy> {
+    vec![
+        npgsql::case(),
+        kafka::case(),
+        cosmosdb::case(),
+        network::case(),
+        buildandtest::case(),
+        healthtelemetry::case(),
+    ]
+}
+
+/// Collects the paper's "50 successful and 50 failed executions".
+pub fn collect_logs(case: &CaseStudy) -> TraceSet {
+    let sim = Simulator::new(case.program.clone());
+    let set = sim.collect_balanced(50, 50, 60_000);
+    let (ok, fail) = set.counts();
+    assert!(
+        ok >= 50 && fail >= 50,
+        "{}: wanted 50/50 runs, got {ok}/{fail} — mechanism too (in)frequent",
+        case.name
+    );
+    set
+}
+
+/// Observation phase for a case.
+pub fn analyze_case(case: &CaseStudy, set: &TraceSet) -> AidAnalysis {
+    aid_core::analyze(set, &case.config)
+}
+
+/// Runs a case end to end (observation + AID + TAGT) and reports the
+/// Figure 7 measurements.
+pub fn run_case(case: &CaseStudy, seed: u64) -> CaseReport {
+    let set = collect_logs(case);
+    let analysis = analyze_case(case, &set);
+    let sim = Simulator::new(case.program.clone());
+
+    let mut aid_exec = SimExecutor::new(
+        sim.clone(),
+        analysis.extraction.catalog.clone(),
+        analysis.extraction.failure,
+        case.runs_per_round,
+        1_000_000,
+    );
+    let aid = discover(&analysis.dag, &mut aid_exec, Strategy::Aid, seed);
+
+    let mut tagt_exec = SimExecutor::new(
+        sim,
+        analysis.extraction.catalog.clone(),
+        analysis.extraction.failure,
+        case.runs_per_round,
+        2_000_000,
+    );
+    let tagt = discover(&analysis.dag, &mut tagt_exec, Strategy::Tagt, seed);
+
+    let root_matches = aid
+        .root_cause()
+        .map(|p| case.root.matches(&analysis.extraction.catalog.get(p).kind))
+        .unwrap_or(false);
+    let root_description = aid
+        .root_cause()
+        .map(|p| analysis.extraction.catalog.describe(p, &set))
+        .unwrap_or_else(|| "<none>".into());
+    let explanation = render_explanation(&analysis, &aid, &set);
+
+    CaseReport {
+        name: case.name,
+        sd_predicates: analysis.sd_predicate_count(),
+        causal_path: aid.causal.len(),
+        aid_rounds: aid.rounds,
+        tagt_rounds: tagt.rounds,
+        tagt_analytic: aid_core::analytic_worst_case(
+            analysis.dag.candidates().len(),
+            aid.causal.len(),
+        ),
+        root_matches,
+        root_description,
+        explanation,
+        paper: case.paper,
+    }
+}
+
+#[cfg(test)]
+mod diag {
+    use super::*;
+
+    /// Prints the full measured inventory per case. Run with:
+    /// `cargo test -p aid-cases diag -- --ignored --nocapture`
+    #[test]
+    #[ignore = "diagnostic output only"]
+    fn dump_case_inventories() {
+        for case in all_cases() {
+            let set = collect_logs(&case);
+            let analysis = analyze_case(&case, &set);
+            println!("=== {} ===", case.name);
+            println!("catalog: {} predicates", analysis.extraction.catalog.len());
+            println!(
+                "fully discriminative: {} (paper {})",
+                analysis.sd_predicate_count(),
+                case.paper.sd_predicates
+            );
+            println!("candidates (safe+intervenable): {}", analysis.candidates.len());
+            println!("dag nodes: {} dropped: {}", analysis.dag.len(), analysis.dag.dropped().len());
+            for &p in analysis.dag.candidates() {
+                println!("  [{}] {}", p.raw(), analysis.extraction.catalog.describe(p, &set));
+            }
+            let report = run_case(&case, 11);
+            println!(
+                "AID {} rounds (paper {}), TAGT {} (paper {}), analytic {}",
+                report.aid_rounds, case.paper.aid, report.tagt_rounds, case.paper.tagt, report.tagt_analytic
+            );
+            println!("path ({} vs paper {}):\n{}", report.causal_path, case.paper.causal_path, report.explanation);
+        }
+    }
+}
+
+#[cfg(test)]
+mod diag_network {
+    use super::*;
+
+    #[test]
+    #[ignore = "diagnostic output only"]
+    fn dump_network_rounds() {
+        let case = network::case();
+        let set = collect_logs(&case);
+        let analysis = analyze_case(&case, &set);
+        let sim = aid_sim::Simulator::new(case.program.clone());
+        let mut exec = aid_sim::SimExecutor::new(
+            sim,
+            analysis.extraction.catalog.clone(),
+            analysis.extraction.failure,
+            case.runs_per_round,
+            1_000_000,
+        );
+        let r = aid_core::discover(&analysis.dag, &mut exec, aid_core::Strategy::Aid, 11);
+        for (i, log) in r.log.iter().enumerate() {
+            let names: Vec<String> = log
+                .intervened
+                .iter()
+                .map(|&p| analysis.extraction.catalog.describe(p, &set))
+                .collect();
+            println!(
+                "round {} [{:?}] stopped={} confirmed={:?} pruned={} | {:?}",
+                i + 1,
+                log.phase,
+                log.stopped,
+                log.confirmed,
+                log.pruned.len(),
+                names
+            );
+        }
+        println!("causal: {:?}", r.causal);
+    }
+}

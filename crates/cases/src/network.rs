@@ -1,0 +1,114 @@
+//! Case study 4: **Network** — a proprietary datacenter-network control
+//! plane that intermittently failed for months; AID identified a random
+//! number collision as the root cause (§7.1.4).
+//!
+//! Two components allocate "unique" session identifiers by drawing from the
+//! same small random space. When the draws collide, registration fails.
+//! The collision is rare and utterly schedule-independent, which is what
+//! made it so hard to localize by eye.
+//!
+//! This case exercises two distinctive pieces of the framework: the
+//! `ValueCollision` predicate (repaired by pinning one draw), and the §3.3
+//! safety knob — the control plane's methods mutate router state, so
+//! try/catch interventions are disallowed (`catch_requires_pure`), which is
+//! why the paper's causal path has exactly **one** predicate.
+
+use crate::helpers::monitor_thread;
+use crate::{CaseStudy, PaperRow, RootKind};
+use aid_predicates::ExtractionConfig;
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::ProgramBuilder;
+
+/// Builds the case.
+pub fn case() -> CaseStudy {
+    let mut b = ProgramBuilder::new("network");
+    let infected = b.object("idCollision", 0);
+    let phase = b.object("allocPhase", 0);
+    let done = b.object("auditDone", 0);
+
+    let alloc_a = b.pure_method("AllocSessionIdA", |m| {
+        m.rand_range(Reg(1), 0, 7).ret(Expr::Reg(Reg(1)));
+    });
+    // The second allocator publishes the collision verdict, then lingers
+    // (flushing tables), so its end time interleaves with the audit
+    // thread's probes — the audit branch is temporally incomparable with
+    // the collision predicate, giving the AC-DAG its junction.
+    let alloc_b = b.method("AllocSessionIdB", |m| {
+        m.rand_range(Reg(2), 0, 7)
+            .set_if(
+                Reg(3),
+                Expr::Reg(Reg(1)),
+                Cmp::Eq,
+                Expr::Reg(Reg(2)),
+                Expr::Const(1),
+                Expr::Const(0),
+            )
+            .write(infected, Expr::Reg(Reg(3)))
+            .write(phase, Expr::Const(1))
+            .jitter(5, 400)
+            .ret(Expr::Reg(Reg(2)));
+    });
+    let audit = monitor_thread(&mut b, "RouteAudit", phase, infected, done, 22, 6, 280);
+    let control = b.method("ControlPlaneLoop", |m| {
+        m.spawn_named("audit")
+            .call(alloc_a)
+            .call(alloc_b)
+            .wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(1))
+            .throw_if(
+                Expr::Reg(Reg(3)),
+                Cmp::Eq,
+                Expr::Const(1),
+                "DuplicateSessionId",
+            )
+            .join(1);
+    });
+    b.thread("main", control, true);
+    b.thread("audit", audit, false);
+
+    let program = b.build();
+    let mut config = ExtractionConfig::default();
+    for m in program.pure_methods() {
+        config.pure_methods.insert(m);
+    }
+    // Control-plane methods mutate router state: exception-handling
+    // interventions are unsafe here (§3.3), so MethodFails predicates drop
+    // out of the candidate set and the causal path is the collision alone.
+    config.catch_requires_pure = true;
+    CaseStudy {
+        name: "Network",
+        reference: "proprietary (Microsoft datacenter network control plane)",
+        summary: "Two components draw session ids from the same small \
+                  random space; when the draws collide, session \
+                  registration throws and the control plane crashes.",
+        program,
+        config,
+        runs_per_round: 72,
+        root: RootKind::ValueCollision,
+        paper: PaperRow {
+            sd_predicates: 24,
+            causal_path: 1,
+            aid: 2,
+            tagt: 5,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_case;
+
+    #[test]
+    fn aid_finds_the_collision_in_about_two_rounds() {
+        let case = case();
+        let report = run_case(&case, 4);
+        assert!(report.root_matches, "root: {}", report.root_description);
+        assert_eq!(report.causal_path, 1, "the collision alone is causal");
+        assert!(
+            report.aid_rounds <= 4,
+            "paper reports 2 rounds; got {}",
+            report.aid_rounds
+        );
+        assert!(report.aid_rounds < report.tagt_rounds);
+    }
+}

@@ -1,0 +1,148 @@
+//! Case study 1: **Npgsql issue #2485** — a data race on a connector-pool
+//! index (Example 1 / §7.1.1 / Figure 9 of the paper).
+//!
+//! `TryGetValue` scans the pool up to `_nextSlot`; `GetOrAdd` increments
+//! `_nextSlot` under a lock that `TryGetValue` does not take. When the
+//! increment lands inside `TryGetValue`'s unsynchronized scan window, the
+//! scan indexes past the array and the application crashes with
+//! `IndexOutOfRange`. Whether the interleaving happens depends on thread
+//! timing — the failure is intermittent.
+//!
+//! The model keeps the mechanism exact: the reader's racy read is the last
+//! operation of its window, the writer's increment is gated to start after
+//! the reader, so *the data-race predicate holds iff the run fails*. A tail
+//! of connection-validation helpers mirrors the corrupted index (symptom
+//! predicates), sized so SD reports ~14 fully-discriminative predicates as
+//! in Figure 7.
+
+use crate::helpers::inline_mirrors;
+use crate::{CaseStudy, PaperRow, RootKind};
+use aid_predicates::ExtractionConfig;
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::ProgramBuilder;
+
+/// Builds the case.
+pub fn case() -> CaseStudy {
+    let mut b = ProgramBuilder::new("npgsql");
+    let conn_flag = b.object("connOpen", 0);
+    let next_slot = b.object("_nextSlot", 10);
+
+    // The racy reader: window ends exactly at the unsynchronized read.
+    let try_get = b.method("TryGetValue", |m| {
+        m.write(conn_flag, Expr::Const(1))
+            .jitter(8, 40)
+            .read(next_slot, Reg(1));
+    });
+    // The racy writer: appends a pool entry, bumping the index.
+    let get_or_add = b.method("GetOrAdd", |m| {
+        m.jitter(1, 6).write(next_slot, Expr::Const(11));
+    });
+    let pool_loop = b.method("PoolWorkerLoop", |m| {
+        m.wait_until(Expr::Obj(conn_flag), Cmp::Eq, Expr::Const(1))
+            .jitter(0, 30)
+            .call(get_or_add);
+    });
+
+    // Verdict + symptom cascade on the connection thread.
+    let validate = b.pure_method("ValidateIndex", |m| {
+        m.set_if(
+            Reg(2),
+            Expr::Reg(Reg(1)),
+            Cmp::Gt,
+            Expr::Const(10),
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .ret(Expr::Reg(Reg(2)));
+    });
+    let mirrors = inline_mirrors(&mut b, "ConnCheck", Reg(2), 8, 4);
+
+    // The crash site: scans the (stale) array bound.
+    let access = b.method("AccessPools", |m| {
+        m.compute(1)
+            .throw_if(Expr::Reg(Reg(1)), Cmp::Gt, Expr::Const(10), "IndexOutOfRange");
+    });
+    let worker = b.method("OpenConnection", |m| {
+        m.call(try_get).call(validate);
+        for mm in &mirrors {
+            m.call(*mm);
+        }
+        m.call(access);
+    });
+    let main = b.method("Main", |m| {
+        m.spawn_named("conn").spawn_named("pool").join(1).join(2);
+    });
+    b.thread("main", main, true);
+    b.thread("conn", worker, false);
+    b.thread("pool", pool_loop, false);
+
+    let program = b.build();
+    let mut config = ExtractionConfig::default();
+    for m in program.pure_methods() {
+        config.pure_methods.insert(m);
+    }
+    CaseStudy {
+        name: "Npgsql",
+        reference: "github.com/npgsql/npgsql issue #2485",
+        summary: "Two threads race on a pool-index variable: one increments \
+                  it while the other reads it and then indexes the pool \
+                  array past its size, throwing IndexOutOfRange and crashing \
+                  the application.",
+        program,
+        config,
+        runs_per_round: 10,
+        root: RootKind::DataRace,
+        paper: PaperRow {
+            sd_predicates: 14,
+            causal_path: 3,
+            aid: 5,
+            tagt: 11,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_case, collect_logs, run_case};
+    use aid_predicates::PredicateKind;
+
+    #[test]
+    fn race_predicate_is_fully_discriminative() {
+        let case = case();
+        let set = collect_logs(&case);
+        let analysis = analyze_case(&case, &set);
+        let race = analysis
+            .sd
+            .fully_discriminative
+            .iter()
+            .find(|&&p| {
+                matches!(
+                    analysis.extraction.catalog.get(p).kind,
+                    PredicateKind::DataRace { .. }
+                )
+            })
+            .copied();
+        assert!(race.is_some(), "the data race must survive SD filtering");
+        assert!(analysis.dag.contains(race.unwrap()));
+    }
+
+    #[test]
+    fn aid_finds_the_race_and_beats_tagt() {
+        let case = case();
+        let report = run_case(&case, 1);
+        assert!(report.root_matches, "root: {}", report.root_description);
+        assert!(
+            report.aid_rounds < report.tagt_rounds,
+            "AID {} vs TAGT {}",
+            report.aid_rounds,
+            report.tagt_rounds
+        );
+        assert!(
+            report.causal_path >= 2 && report.causal_path <= 4,
+            "paper path is 3: got {}",
+            report.causal_path
+        );
+        assert!(report.explanation.contains("data race"));
+    }
+}

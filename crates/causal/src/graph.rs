@@ -1,0 +1,492 @@
+//! The Approximate Causal DAG (Section 4).
+//!
+//! Nodes are the safely-intervenable fully-discriminative predicates plus
+//! the failure indicator F. There is an edge `P1 ; P2` iff P1 temporally
+//! precedes P2 (under the configured [`PrecedencePolicy`]) in **every**
+//! failed run. Because every run contributes a total order, the
+//! intersection is a strict partial order — the relation stored here *is*
+//! its own transitive closure, and acyclicity holds by construction.
+//!
+//! Predicates with no path to F cannot be causes of the failure and are
+//! dropped at construction (this is how the Kafka case study discards 30 of
+//! its 72 discriminative predicates before any intervention).
+
+use crate::policy::PrecedencePolicy;
+use aid_predicates::{PredicateCatalog, PredicateId, RunObservation};
+use aid_util::DenseBitSet;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// The AC-DAG. Immutable after construction: the intervention algorithms
+/// track pruning in their own candidate pools.
+#[derive(Clone, Debug)]
+pub struct AcDag {
+    /// Nodes, in deterministic order; the failure indicator is always last.
+    nodes: Vec<PredicateId>,
+    index: BTreeMap<PredicateId, usize>,
+    /// `closure[i]` = indices j with `nodes[i] ; nodes[j]` (strict).
+    closure: Vec<DenseBitSet>,
+    /// Candidates dropped because they have no path to F.
+    dropped: Vec<PredicateId>,
+}
+
+impl AcDag {
+    /// Builds the AC-DAG from fully-discriminative candidates and the
+    /// failure predicate, using the failed runs' observation windows.
+    ///
+    /// Panics if a candidate is not observed in some failed run (candidates
+    /// must be fully discriminative) or if there are no failed runs.
+    pub fn build(
+        candidates: &[PredicateId],
+        failure: PredicateId,
+        catalog: &PredicateCatalog,
+        observations: &[RunObservation],
+        policy: &dyn PrecedencePolicy,
+    ) -> AcDag {
+        let failed: Vec<&RunObservation> = observations.iter().filter(|o| o.failed).collect();
+        assert!(!failed.is_empty(), "AC-DAG requires at least one failed run");
+        let mut all: Vec<PredicateId> = candidates.to_vec();
+        all.sort();
+        all.dedup();
+        all.retain(|&p| p != failure);
+        all.push(failure);
+        let n = all.len();
+
+        // precedes[i][j] accumulates "i before j in every failed run".
+        let mut precedes: Vec<DenseBitSet> = vec![DenseBitSet::full(n); n];
+        for (i, row) in precedes.iter_mut().enumerate() {
+            row.remove(i);
+        }
+        for run in &failed {
+            // Sort keys under the policy; every candidate must be observed.
+            let keys: Vec<(u64, u64, u64, u32)> = all
+                .iter()
+                .map(|&p| {
+                    let w = run.windows[p.index()].unwrap_or_else(|| {
+                        panic!(
+                            "predicate {:?} not observed in a failed run; AC-DAG \
+                             requires fully-discriminative candidates",
+                            p
+                        )
+                    });
+                    policy.key(&catalog.get(p).kind, w, p.raw())
+                })
+                .collect();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && keys[i] >= keys[j] {
+                        precedes[i].remove(j);
+                    }
+                }
+            }
+        }
+
+        // Keep only nodes with a path to F (F itself stays).
+        let f_idx = n - 1;
+        let keep: Vec<usize> = (0..n)
+            .filter(|&i| i == f_idx || precedes[i].contains(f_idx))
+            .collect();
+        let dropped: Vec<PredicateId> = (0..n)
+            .filter(|i| !keep.contains(i))
+            .map(|i| all[i])
+            .collect();
+
+        let nodes: Vec<PredicateId> = keep.iter().map(|&i| all[i]).collect();
+        let m = nodes.len();
+        let mut closure = vec![DenseBitSet::new(m); m];
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            for (new_j, &old_j) in keep.iter().enumerate() {
+                if precedes[old_i].contains(old_j) {
+                    closure[new_i].insert(new_j);
+                }
+            }
+        }
+        let index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        AcDag {
+            nodes,
+            index,
+            closure,
+            dropped,
+        }
+    }
+
+    /// Builds an AC-DAG directly from an intended edge list (the constructor
+    /// used by synthetic workloads and algorithm fixtures, where the DAG
+    /// shape is the experiment's independent variable). Edges are expanded
+    /// to their transitive closure; candidates without a path to `failure`
+    /// are dropped, like in [`AcDag::build`]. Panics on cycles.
+    pub fn from_edges(
+        candidates: &[PredicateId],
+        failure: PredicateId,
+        edges: &[(PredicateId, PredicateId)],
+    ) -> AcDag {
+        let mut all: Vec<PredicateId> = candidates.to_vec();
+        all.sort();
+        all.dedup();
+        all.retain(|&p| p != failure);
+        all.push(failure);
+        let n = all.len();
+        let idx: BTreeMap<PredicateId, usize> =
+            all.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let mut closure = vec![DenseBitSet::new(n); n];
+        for &(a, b) in edges {
+            let (Some(&i), Some(&j)) = (idx.get(&a), idx.get(&b)) else {
+                panic!("edge ({a:?}, {b:?}) references unknown node");
+            };
+            closure[i].insert(j);
+        }
+        // Floyd–Warshall style closure over bitset rows.
+        for k in 0..n {
+            for i in 0..n {
+                if closure[i].contains(k) {
+                    let row = closure[k].clone();
+                    closure[i].union_with(&row);
+                }
+            }
+        }
+        for (i, row) in closure.iter().enumerate() {
+            assert!(!row.contains(i), "cycle through node {:?}", all[i]);
+        }
+        let f_idx = n - 1;
+        let keep: Vec<usize> = (0..n)
+            .filter(|&i| i == f_idx || closure[i].contains(f_idx))
+            .collect();
+        let dropped: Vec<PredicateId> = (0..n)
+            .filter(|i| !keep.contains(i))
+            .map(|i| all[i])
+            .collect();
+        let nodes: Vec<PredicateId> = keep.iter().map(|&i| all[i]).collect();
+        let m = nodes.len();
+        let mut kept_closure = vec![DenseBitSet::new(m); m];
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            for (new_j, &old_j) in keep.iter().enumerate() {
+                if closure[old_i].contains(old_j) {
+                    kept_closure[new_i].insert(new_j);
+                }
+            }
+        }
+        let index = nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        AcDag {
+            nodes,
+            index,
+            closure: kept_closure,
+            dropped,
+        }
+    }
+
+    /// All nodes (failure last).
+    pub fn nodes(&self) -> &[PredicateId] {
+        &self.nodes
+    }
+
+    /// The candidate nodes (everything but F).
+    pub fn candidates(&self) -> &[PredicateId] {
+        &self.nodes[..self.nodes.len() - 1]
+    }
+
+    /// The failure indicator.
+    pub fn failure(&self) -> PredicateId {
+        *self.nodes.last().expect("non-empty dag")
+    }
+
+    /// Candidates dropped at construction for having no path to F.
+    pub fn dropped(&self) -> &[PredicateId] {
+        &self.dropped
+    }
+
+    /// Whether the DAG contains `p`.
+    pub fn contains(&self, p: PredicateId) -> bool {
+        self.index.contains_key(&p)
+    }
+
+    /// `p ; q` (strict reachability). False if either is absent.
+    pub fn reaches(&self, p: PredicateId, q: PredicateId) -> bool {
+        match (self.index.get(&p), self.index.get(&q)) {
+            (Some(&i), Some(&j)) => self.closure[i].contains(j),
+            _ => false,
+        }
+    }
+
+    /// Descendants of `p` within `universe` (strict).
+    pub fn descendants_within(
+        &self,
+        p: PredicateId,
+        universe: &[PredicateId],
+    ) -> Vec<PredicateId> {
+        universe
+            .iter()
+            .copied()
+            .filter(|&q| self.reaches(p, q))
+            .collect()
+    }
+
+    /// The minimal elements of `set`: nodes with no predecessor inside
+    /// `set`. These are "the predicates at the lowest topological level"
+    /// (Algorithm 2 line 4).
+    pub fn minimal_of(&self, set: &[PredicateId]) -> Vec<PredicateId> {
+        set.iter()
+            .copied()
+            .filter(|&q| !set.iter().any(|&p| p != q && self.reaches(p, q)))
+            .collect()
+    }
+
+    /// Sorts `set` into a topological linearization, breaking incomparable
+    /// ties with `rng` (GIWP "resolving ties randomly"). The sort key is the
+    /// ancestor count within the full DAG, which linearizes the partial
+    /// order; ties are shuffled.
+    pub fn topo_sort<R: Rng>(&self, set: &mut [PredicateId], rng: &mut R) {
+        let anc_count = |p: PredicateId| -> usize {
+            let &i = self.index.get(&p).expect("node in dag");
+            (0..self.nodes.len())
+                .filter(|&j| self.closure[j].contains(i))
+                .count()
+        };
+        let mut keyed: Vec<(usize, PredicateId)> =
+            set.iter().map(|&p| (anc_count(p), p)).collect();
+        // Shuffle first so equal keys land in random relative order.
+        keyed.shuffle(rng);
+        keyed.sort_by_key(|&(k, _)| k);
+        for (dst, (_, p)) in set.iter_mut().zip(keyed) {
+            *dst = p;
+        }
+    }
+
+    /// A deterministic topological linearization of `set` (ancestor count,
+    /// ties by id) — used to render final causal paths.
+    pub fn topo_sorted(&self, set: &[PredicateId]) -> Vec<PredicateId> {
+        let mut keyed: Vec<(usize, PredicateId)> = set
+            .iter()
+            .map(|&p| {
+                let &i = self.index.get(&p).expect("node in dag");
+                let anc = (0..self.nodes.len())
+                    .filter(|&j| self.closure[j].contains(i))
+                    .count();
+                (anc, p)
+            })
+            .collect();
+        keyed.sort();
+        keyed.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Transitive-reduction (Hasse) edges, for display/DOT export: edges
+    /// `(p, q)` with `p ; q` and no witness `k` between them.
+    pub fn reduction_edges(&self) -> Vec<(PredicateId, PredicateId)> {
+        let n = self.nodes.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in self.closure[i].iter() {
+                let has_witness = self.closure[i]
+                    .iter()
+                    .any(|k| k != j && self.closure[k].contains(j));
+                if !has_witness {
+                    out.push((self.nodes[i], self.nodes[j]));
+                }
+            }
+        }
+        out
+    }
+
+    /// The branches at a junction (Algorithm 2 lines 8–12): for each
+    /// minimal element P of `set`, the branch is P plus every descendant of
+    /// P in `set` that is *not* a descendant of another minimal element.
+    pub fn branches(&self, set: &[PredicateId]) -> Vec<Vec<PredicateId>> {
+        let minimal = self.minimal_of(set);
+        minimal
+            .iter()
+            .map(|&p| {
+                let mut branch = vec![p];
+                for &q in set {
+                    if q == p || !self.reaches(p, q) {
+                        continue;
+                    }
+                    let shared = minimal
+                        .iter()
+                        .any(|&p2| p2 != p && (p2 == q || self.reaches(p2, q)));
+                    if !shared {
+                        branch.push(q);
+                    }
+                }
+                branch
+            })
+            .collect()
+    }
+
+    /// Number of nodes including F.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the DAG has only the failure node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// GraphViz DOT rendering (transitive reduction), with human-readable
+    /// labels resolved through the trace set.
+    pub fn to_dot(&self, catalog: &PredicateCatalog, set: &aid_trace::TraceSet) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("digraph acdag {\n  rankdir=TB;\n");
+        for &p in &self.nodes {
+            let label = catalog.describe(p, set).replace('"', "'");
+            let shape = if p == self.failure() {
+                "doublecircle"
+            } else {
+                "box"
+            };
+            writeln!(s, "  p{} [shape={shape}, label=\"{label}\"];", p.raw()).unwrap();
+        }
+        for (a, b) in self.reduction_edges() {
+            writeln!(s, "  p{} -> p{};", a.raw(), b.raw()).unwrap();
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TypeAwarePolicy;
+    use aid_predicates::{MethodInstance, Predicate, PredicateKind};
+    use aid_trace::MethodId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Catalog of n "slow" predicates + failure; observations place windows
+    /// per the given per-run anchor times (point windows).
+    fn fixture(anchors: &[Vec<u64>]) -> (PredicateCatalog, Vec<RunObservation>, Vec<PredicateId>, PredicateId) {
+        let n = anchors[0].len();
+        let mut catalog = PredicateCatalog::new();
+        let mut ids = Vec::new();
+        for m in 0..n - 1 {
+            ids.push(catalog.insert(Predicate {
+                kind: PredicateKind::RunsTooSlow {
+                    site: MethodInstance::new(MethodId::from_raw(m as u32), 0),
+                    threshold: 1,
+                },
+                safe: true,
+                action: None,
+            }));
+        }
+        let failure = catalog.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: aid_trace::FailureSignature {
+                    kind: "F".into(),
+                    method: MethodId::from_raw(0),
+                },
+            },
+            safe: true,
+            action: None,
+        });
+        let observations = anchors
+            .iter()
+            .map(|run| RunObservation {
+                failed: true,
+                observed: DenseBitSet::full(n),
+                windows: run.iter().map(|&t| Some((t, t))).collect(),
+            })
+            .collect();
+        (catalog, observations, ids, failure)
+    }
+
+    #[test]
+    fn consistent_order_gives_chain() {
+        // Three predicates always in order 0,1,2 then F.
+        let (catalog, obs, ids, f) = fixture(&[vec![10, 20, 30, 99], vec![5, 6, 7, 50]]);
+        let dag = AcDag::build(&ids, f, &catalog, &obs, &TypeAwarePolicy);
+        assert_eq!(dag.len(), 4);
+        assert!(dag.reaches(ids[0], ids[1]));
+        assert!(dag.reaches(ids[1], ids[2]));
+        assert!(dag.reaches(ids[0], ids[2]), "closure is transitive");
+        assert!(dag.reaches(ids[2], f));
+        assert!(!dag.reaches(ids[1], ids[0]));
+        // Hasse edges = the chain only.
+        assert_eq!(dag.reduction_edges().len(), 3);
+    }
+
+    #[test]
+    fn conflicting_orders_drop_the_edge() {
+        // 0 before 1 in run A, 1 before 0 in run B: incomparable.
+        let (catalog, obs, ids, f) = fixture(&[vec![10, 20, 99], vec![20, 10, 99]]);
+        let dag = AcDag::build(&ids, f, &catalog, &obs, &TypeAwarePolicy);
+        assert!(!dag.reaches(ids[0], ids[1]));
+        assert!(!dag.reaches(ids[1], ids[0]));
+        assert!(dag.reaches(ids[0], f) && dag.reaches(ids[1], f));
+        // Both are minimal: a junction.
+        let min = dag.minimal_of(&[ids[0], ids[1]]);
+        assert_eq!(min.len(), 2);
+    }
+
+    #[test]
+    fn failure_is_terminal_for_every_anchor_time() {
+        // Even a predicate whose window closes after the recorded run
+        // duration still precedes F: the failure indicator is terminal by
+        // definition (the policy pins its key at the maximum).
+        let (catalog, obs, ids, f) = fixture(&[vec![10, 200, 99], vec![10, 20, 99]]);
+        let dag = AcDag::build(&ids, f, &catalog, &obs, &TypeAwarePolicy);
+        assert!(dag.contains(ids[0]) && dag.contains(ids[1]));
+        assert!(dag.reaches(ids[0], f) && dag.reaches(ids[1], f));
+        assert!(dag.dropped().is_empty());
+    }
+
+    #[test]
+    fn nodes_not_reaching_failure_are_dropped_from_edges() {
+        // `from_edges` drops candidates with no path to F (the Kafka case's
+        // "30 predicates with no causal path to the failure").
+        let a = PredicateId::from_raw(0);
+        let b = PredicateId::from_raw(1);
+        let f = PredicateId::from_raw(9);
+        let dag = AcDag::from_edges(&[a, b], f, &[(a, f)]);
+        assert!(dag.contains(a));
+        assert!(!dag.contains(b));
+        assert_eq!(dag.dropped(), &[b]);
+    }
+
+    #[test]
+    fn branches_partition_junction_descendants() {
+        // Diamond: 0 → {1, 2} → 3 → F; 1 and 2 incomparable; 4 under 1 only.
+        let runs = vec![
+            vec![10, 20, 30, 40, 25, 99], // 1 before 2
+            vec![10, 30, 20, 40, 35, 99], // 2 before 1
+        ];
+        let (catalog, obs, ids, f) = fixture(&runs);
+        let dag = AcDag::build(&ids, f, &catalog, &obs, &TypeAwarePolicy);
+        // After removing 0, minimal = {1, 2}; 4 belongs to 1's branch in
+        // run-consistent order? 4 is after 1 in run A (25>20) but before in
+        // run B (35>30 — after too). So 1;4. And 2;4? run A: 30>25 no.
+        let set = vec![ids[1], ids[2], ids[3], ids[4]];
+        let branches = dag.branches(&set);
+        assert_eq!(branches.len(), 2);
+        let b1 = branches.iter().find(|b| b[0] == ids[1]).unwrap();
+        assert!(b1.contains(&ids[4]));
+        // 3 is reachable from both minimals → in neither branch.
+        assert!(branches.iter().all(|b| !b.contains(&ids[3])));
+    }
+
+    #[test]
+    fn topo_sort_respects_partial_order() {
+        let (catalog, obs, ids, f) = fixture(&[vec![10, 20, 30, 99], vec![5, 6, 7, 50]]);
+        let dag = AcDag::build(&ids, f, &catalog, &obs, &TypeAwarePolicy);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut set = vec![ids[2], ids[0], ids[1]];
+        dag.topo_sort(&mut set, &mut rng);
+        assert_eq!(set, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn dot_renders_every_node() {
+        let (catalog, obs, ids, f) = fixture(&[vec![10, 20, 99]]);
+        let dag = AcDag::build(&ids, f, &catalog, &obs, &TypeAwarePolicy);
+        let mut ts = aid_trace::TraceSet::new();
+        ts.method("A");
+        ts.method("B");
+        let dot = dag.to_dot(&catalog, &ts);
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.matches("->").count() >= 2);
+    }
+}

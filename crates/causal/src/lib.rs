@@ -1,0 +1,13 @@
+//! Approximate causal analysis: the AC-DAG (Section 4).
+//!
+//! Temporal precedence is necessary (but not sufficient) for causality, so a
+//! DAG built from "P1 precedes P2 in every failed run" over-approximates the
+//! true causal graph: it is guaranteed to contain every true causal edge
+//! among the fully-discriminative predicates, plus spurious edges that the
+//! intervention algorithms in `aid-core` later prune.
+
+pub mod graph;
+pub mod policy;
+
+pub use graph::AcDag;
+pub use policy::{Anchor, PrecedencePolicy, StartTimePolicy, TypeAwarePolicy};

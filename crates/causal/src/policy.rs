@@ -1,0 +1,147 @@
+//! Temporal-precedence policies (Section 4).
+//!
+//! Deciding whether predicate P1 "temporally precedes" P2 is subtle when
+//! predicates hold over *time windows*: the paper's Case 1 (nested slow
+//! methods order by **end** time) and Case 2 (late starts order by **start**
+//! time) show the correct rule depends on predicate semantics.
+//!
+//! To keep the guarantee that precedence never creates cycles, a policy here
+//! is not a pairwise rule but a **per-run sort key**: each observed predicate
+//! gets an anchor time derived from its kind and window, and the run's
+//! precedence order is the total order on `(anchor, lo, hi, id)`. A total
+//! order per run makes the all-runs intersection a strict partial order —
+//! i.e. the AC-DAG is acyclic by construction, for *any* policy ("AID works
+//! with any policy of deciding precedence, as long as it does not create
+//! cycles").
+
+use aid_predicates::PredicateKind;
+use aid_trace::Time;
+
+/// Which end of the observation window anchors a predicate in time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Anchor {
+    /// The window's start: the predicate "happens" when it first manifests
+    /// (races, order violations).
+    Start,
+    /// The window's end: the predicate "happens" at completion (slowness is
+    /// known at return; exceptions surface at the throw).
+    End,
+}
+
+/// A precedence policy assigns an anchor per predicate kind.
+pub trait PrecedencePolicy {
+    /// The anchor for this predicate kind.
+    fn anchor(&self, kind: &PredicateKind) -> Anchor;
+
+    /// The sort key of an observation under this policy. On equal anchors
+    /// the *later-starting* (inner) predicate precedes: an exception that
+    /// unwinds a call stack closes every frame at the same tick, and the
+    /// innermost throw is the cause of the outer failures (Case 1's nesting
+    /// argument taken to its tie limit).
+    fn key(&self, kind: &PredicateKind, window: (Time, Time), id: u32) -> (Time, Time, Time, u32) {
+        // The failure indicator is, by definition, the terminal event: it
+        // must follow every predicate, including exception predicates whose
+        // windows close on the very tick the run dies.
+        if matches!(kind, PredicateKind::Failure { .. }) {
+            return (Time::MAX, Time::MAX, Time::MAX, id);
+        }
+        let (lo, hi) = window;
+        let a = match self.anchor(kind) {
+            Anchor::Start => lo,
+            Anchor::End => hi,
+        };
+        (a, Time::MAX - lo, hi, id)
+    }
+}
+
+/// The default policy, following the paper's case analysis:
+///
+/// * duration/exception/return-shaped predicates anchor at the **end** of
+///   their window (Case 1: "bar() running slow" causes "foo() running slow"
+///   and must sort first, which end-time ordering gives since bar ends
+///   before foo);
+/// * race/order/conjunction predicates anchor at the **start** of their
+///   window (the conflict exists from its first manifestation — Case 2's
+///   start-time flavour);
+/// * the failure indicator anchors at its end (the end of the run).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TypeAwarePolicy;
+
+impl PrecedencePolicy for TypeAwarePolicy {
+    fn anchor(&self, kind: &PredicateKind) -> Anchor {
+        match kind {
+            PredicateKind::DataRace { .. }
+            | PredicateKind::OrderViolation { .. }
+            | PredicateKind::Conjunction { .. } => Anchor::Start,
+            PredicateKind::MethodFails { .. }
+            | PredicateKind::RunsTooSlow { .. }
+            | PredicateKind::RunsTooFast { .. }
+            | PredicateKind::WrongReturn { .. }
+            | PredicateKind::ValueCollision { .. }
+            | PredicateKind::Failure { .. } => Anchor::End,
+        }
+    }
+}
+
+/// A deliberately naive policy ordering everything by window start — used by
+/// ablation benchmarks to show the effect of policy choice.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StartTimePolicy;
+
+impl PrecedencePolicy for StartTimePolicy {
+    fn anchor(&self, _kind: &PredicateKind) -> Anchor {
+        Anchor::Start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_predicates::MethodInstance;
+    use aid_trace::MethodId;
+
+    fn slow(m: u32) -> PredicateKind {
+        PredicateKind::RunsTooSlow {
+            site: MethodInstance::new(MethodId::from_raw(m), 0),
+            threshold: 1,
+        }
+    }
+
+    #[test]
+    fn nested_slow_methods_order_by_end() {
+        // foo [0, 100] calls bar [10, 90]: bar's slowness causes foo's.
+        let p = TypeAwarePolicy;
+        let foo = p.key(&slow(0), (0, 100), 0);
+        let bar = p.key(&slow(1), (10, 90), 1);
+        assert!(bar < foo, "bar (inner) must precede foo (outer)");
+    }
+
+    #[test]
+    fn race_anchors_at_start() {
+        let p = TypeAwarePolicy;
+        let race = PredicateKind::DataRace {
+            a: MethodInstance::new(MethodId::from_raw(0), 0),
+            b: MethodInstance::new(MethodId::from_raw(1), 0),
+            object: aid_trace::ObjectId::from_raw(0),
+        };
+        // Race window [20, 80]; the victim method fails over [10, 90].
+        let r = p.key(&race, (20, 80), 0);
+        let f = p.key(
+            &PredicateKind::MethodFails {
+                site: MethodInstance::new(MethodId::from_raw(0), 0),
+                kind: "X".into(),
+            },
+            (10, 90),
+            1,
+        );
+        assert!(r < f, "the race precedes the failure it provokes");
+    }
+
+    #[test]
+    fn keys_are_total_even_for_identical_windows() {
+        let p = TypeAwarePolicy;
+        let a = p.key(&slow(0), (5, 10), 0);
+        let b = p.key(&slow(1), (5, 10), 1);
+        assert!(a < b, "id breaks ties deterministically");
+    }
+}

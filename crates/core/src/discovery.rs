@@ -1,0 +1,236 @@
+//! Causal path discovery — Algorithm 3, plus the strategy matrix the
+//! evaluation compares (AID, AID-P, AID-P-B, TAGT).
+
+use crate::branch::branch_prune;
+use crate::executor::Executor;
+use crate::giwp::{giwp, DiscoveryState, RoundLog};
+use crate::tagt::tagt;
+use aid_causal::AcDag;
+use aid_predicates::PredicateId;
+use serde::{Deserialize, Serialize};
+
+/// Which discovery algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Full AID: branch pruning + GIWP with interventional pruning.
+    Aid,
+    /// AID−P: branch pruning + GIWP, but no Definition 2 predicate pruning.
+    AidP,
+    /// AID−P−B: GIWP in topological order only — no predicate pruning, no
+    /// branch pruning.
+    AidPB,
+    /// Traditional adaptive group testing (ignores the AC-DAG).
+    Tagt,
+    /// Ablation knob: choose phases independently.
+    Custom {
+        /// Run Algorithm 2 first.
+        branch: bool,
+        /// Apply Definition 2 pruning.
+        prune: bool,
+    },
+}
+
+impl Strategy {
+    /// All four paper variants, in Figure 8's legend order.
+    pub const PAPER_SET: [Strategy; 4] = [Strategy::Tagt, Strategy::AidPB, Strategy::AidP, Strategy::Aid];
+
+    /// Short display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Aid => "AID",
+            Strategy::AidP => "AID-P",
+            Strategy::AidPB => "AID-P-B",
+            Strategy::Tagt => "TAGT",
+            Strategy::Custom { .. } => "custom",
+        }
+    }
+
+    fn flags(&self) -> (bool, bool, bool) {
+        // (use_tagt, branch, prune)
+        match self {
+            Strategy::Aid => (false, true, true),
+            Strategy::AidP => (false, true, false),
+            Strategy::AidPB => (false, false, false),
+            Strategy::Tagt => (true, false, false),
+            Strategy::Custom { branch, prune } => (false, *branch, *prune),
+        }
+    }
+}
+
+/// The outcome of causal path discovery.
+#[derive(Clone, Debug)]
+pub struct DiscoveryResult {
+    /// Confirmed causal predicates, topologically ordered (root cause
+    /// first). With the failure appended this is the causal path of
+    /// Definition 1.
+    pub causal: Vec<PredicateId>,
+    /// Predicates ruled out.
+    pub spurious: Vec<PredicateId>,
+    /// The failure indicator.
+    pub failure: PredicateId,
+    /// Total intervention rounds used.
+    pub rounds: usize,
+    /// Full per-round log.
+    pub log: Vec<RoundLog>,
+}
+
+impl DiscoveryResult {
+    /// The root cause (first causal predicate), if any.
+    pub fn root_cause(&self) -> Option<PredicateId> {
+        self.causal.first().copied()
+    }
+
+    /// The causal explanation path `C0 → … → Cn = F`.
+    pub fn path(&self) -> Vec<PredicateId> {
+        let mut p = self.causal.clone();
+        p.push(self.failure);
+        p
+    }
+}
+
+/// Discovery tuning beyond the strategy choice.
+#[derive(Clone, Copy, Debug)]
+pub struct DiscoverOptions {
+    /// Records that must show a violation before Definition 2 prunes a
+    /// predicate (1 = the paper's single-counter-example rule).
+    pub prune_quorum: usize,
+}
+
+impl Default for DiscoverOptions {
+    fn default() -> Self {
+        DiscoverOptions { prune_quorum: 1 }
+    }
+}
+
+/// Runs causal path discovery over the AC-DAG with the given strategy.
+/// `seed` only affects tie-breaking (grouping of incomparable predicates).
+pub fn discover<E: Executor>(
+    dag: &AcDag,
+    exec: &mut E,
+    strategy: Strategy,
+    seed: u64,
+) -> DiscoveryResult {
+    discover_with_options(dag, exec, strategy, seed, DiscoverOptions::default())
+}
+
+/// [`discover`] with explicit [`DiscoverOptions`].
+pub fn discover_with_options<E: Executor>(
+    dag: &AcDag,
+    exec: &mut E,
+    strategy: Strategy,
+    seed: u64,
+    options: DiscoverOptions,
+) -> DiscoveryResult {
+    let (use_tagt, branch, prune) = strategy.flags();
+    let mut state = DiscoveryState::new(dag, prune, seed).with_quorum(options.prune_quorum);
+    if use_tagt {
+        tagt(&mut state, exec);
+    } else {
+        if branch {
+            branch_prune(&mut state, exec);
+        }
+        let pool: Vec<PredicateId> = state.remaining.iter().copied().collect();
+        giwp(pool, &mut state, exec);
+    }
+    debug_assert!(state.remaining.is_empty(), "every candidate must be decided");
+    let causal = dag.topo_sorted(&state.causal.iter().copied().collect::<Vec<_>>());
+    let spurious = state.spurious.iter().copied().collect();
+    DiscoveryResult {
+        causal,
+        spurious,
+        failure: dag.failure(),
+        rounds: state.log.len(),
+        log: state.log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{figure4_ground_truth, OracleExecutor};
+
+    /// The Figure 4(a) AC-DAG (shared with branch.rs tests via re-export in
+    /// the crate test helpers below).
+    pub(crate) fn figure4_dag() -> AcDag {
+        let p = |i: u32| PredicateId::from_raw(i);
+        let truth = figure4_ground_truth();
+        let edges = vec![
+            (p(0), p(1)),
+            (p(1), p(2)),
+            (p(2), p(3)),
+            (p(3), p(4)),
+            (p(4), p(5)),
+            (p(2), p(6)),
+            (p(6), p(7)),
+            (p(7), p(8)),
+            (p(6), p(10)),
+            (p(5), p(9)),
+            (p(10), p(9)),
+            (p(9), p(11)),
+            (p(5), p(11)),
+            (p(8), p(11)),
+        ];
+        AcDag::from_edges(&truth.candidates(), truth.failure(), &edges)
+    }
+
+    #[test]
+    fn all_strategies_agree_on_the_causal_path() {
+        let truth = figure4_ground_truth();
+        let dag = figure4_dag();
+        for strategy in Strategy::PAPER_SET {
+            for seed in 0..5 {
+                let mut exec = OracleExecutor::new(truth.clone());
+                let r = discover(&dag, &mut exec, strategy, seed);
+                let causal: Vec<u32> = r.causal.iter().map(|p| p.raw()).collect();
+                assert_eq!(causal, vec![0, 1, 10], "{} seed {seed}", strategy.name());
+                assert_eq!(r.path().len(), 4, "P1→P2→P11→F");
+                assert_eq!(r.root_cause().unwrap().raw(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn aid_uses_fewer_rounds_than_tagt_on_figure4() {
+        let truth = figure4_ground_truth();
+        let dag = figure4_dag();
+        let avg = |strategy: Strategy| -> f64 {
+            let mut total = 0usize;
+            for seed in 0..20 {
+                let mut exec = OracleExecutor::new(truth.clone());
+                total += discover(&dag, &mut exec, strategy, seed).rounds;
+            }
+            total as f64 / 20.0
+        };
+        let aid = avg(Strategy::Aid);
+        let tagt = avg(Strategy::Tagt);
+        assert!(
+            aid < tagt,
+            "AID ({aid}) must beat TAGT ({tagt}) on the walkthrough DAG"
+        );
+    }
+
+    #[test]
+    fn walkthrough_round_count_matches_paper() {
+        // Section 5.2: "AID discovered the causal path in 8 interventions".
+        // With tie-breaking seeds that pick the same halves as the paper's
+        // narration, the count is exactly 8; across seeds it stays in a
+        // tight band around it.
+        let truth = figure4_ground_truth();
+        let dag = figure4_dag();
+        let mut counts = std::collections::BTreeMap::new();
+        for seed in 0..50 {
+            let mut exec = OracleExecutor::new(truth.clone());
+            let r = discover(&dag, &mut exec, Strategy::Aid, seed);
+            *counts.entry(r.rounds).or_insert(0usize) += 1;
+        }
+        assert!(
+            counts.contains_key(&8),
+            "8-round schedules must occur: {counts:?}"
+        );
+        let (min, max) = (
+            *counts.keys().min().unwrap(),
+            *counts.keys().max().unwrap(),
+        );
+        assert!(min >= 6 && max <= 11, "band around 8: {counts:?}");
+    }
+}

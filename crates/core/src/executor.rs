@@ -1,0 +1,121 @@
+//! The intervention-execution abstraction.
+//!
+//! The discovery algorithms never touch a program directly: they ask an
+//! [`Executor`] to re-run the application while forcing a set of predicates
+//! to their successful-run values, and get back per-run observations. This
+//! inversion keeps `aid-core` independent of the runtime substrate — the
+//! simulator (`aid-sim`), the deterministic oracle ([`crate::oracle`]), or a
+//! user's own harness all plug in here.
+
+use aid_predicates::PredicateId;
+use aid_util::DenseBitSet;
+
+/// What one (re-)execution under an intervention showed.
+#[derive(Clone, Debug)]
+pub struct ExecutionRecord {
+    /// Whether the grouped failure occurred in this run.
+    pub failed: bool,
+    /// Which catalog predicates held in this run (indexed by raw id).
+    pub observed: DenseBitSet,
+}
+
+impl ExecutionRecord {
+    /// Whether predicate `p` held.
+    pub fn holds(&self, p: PredicateId) -> bool {
+        self.observed.contains(p.index())
+    }
+}
+
+/// Re-executes the application under group interventions.
+pub trait Executor {
+    /// Runs the application while intervening on (repairing) `predicates`,
+    /// possibly several times; returns one record per run. One call = one
+    /// intervention *round* (the unit Figure 7/8 count).
+    fn intervene(&mut self, predicates: &[PredicateId]) -> Vec<ExecutionRecord>;
+}
+
+/// Blanket impl so `&mut E` can be passed down recursive calls.
+impl<E: Executor + ?Sized> Executor for &mut E {
+    fn intervene(&mut self, predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
+        (**self).intervene(predicates)
+    }
+}
+
+/// An executor wrapper that counts rounds and can enforce a budget.
+pub struct CountingExecutor<E> {
+    inner: E,
+    /// Rounds performed so far.
+    pub rounds: usize,
+    /// Optional hard budget (panics when exceeded — used by tests to catch
+    /// non-terminating strategies).
+    pub budget: Option<usize>,
+}
+
+impl<E> CountingExecutor<E> {
+    /// Wraps an executor.
+    pub fn new(inner: E) -> Self {
+        CountingExecutor {
+            inner,
+            rounds: 0,
+            budget: None,
+        }
+    }
+
+    /// Wraps with a hard round budget.
+    pub fn with_budget(inner: E, budget: usize) -> Self {
+        CountingExecutor {
+            inner,
+            rounds: 0,
+            budget: Some(budget),
+        }
+    }
+
+    /// The wrapped executor.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Executor> Executor for CountingExecutor<E> {
+    fn intervene(&mut self, predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
+        self.rounds += 1;
+        if let Some(b) = self.budget {
+            assert!(
+                self.rounds <= b,
+                "intervention budget {b} exceeded — runaway strategy?"
+            );
+        }
+        self.inner.intervene(predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null;
+    impl Executor for Null {
+        fn intervene(&mut self, _predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
+            vec![ExecutionRecord {
+                failed: false,
+                observed: DenseBitSet::new(4),
+            }]
+        }
+    }
+
+    #[test]
+    fn counting_executor_counts() {
+        let mut e = CountingExecutor::new(Null);
+        e.intervene(&[]);
+        e.intervene(&[]);
+        assert_eq!(e.rounds, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn budget_is_enforced() {
+        let mut e = CountingExecutor::with_budget(Null, 1);
+        e.intervene(&[]);
+        e.intervene(&[]);
+    }
+}

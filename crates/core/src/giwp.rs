@@ -1,0 +1,260 @@
+//! Group Intervention With Pruning — Algorithm 1.
+//!
+//! GIWP divide-and-conquers the candidate pool in topological order:
+//! intervene on the first half; if the failure stops, the half contains a
+//! causal predicate (recurse, or confirm a singleton); if the failure
+//! persists, the whole half is spurious. After *every* round, interventional
+//! pruning (Definition 2) draws conclusions about non-intervened predicates
+//! too: any candidate X that does not precede an intervened predicate and
+//! shows a counterfactual violation `(X ∧ ¬F) ∨ (¬X ∧ F)` in some record is
+//! pruned.
+//!
+//! Two deliberate readings of the paper (documented in DESIGN.md):
+//! * pruning applies on both round outcomes (the walkthrough's step 6 prunes
+//!   P7 on a stopped-failure round, though the listing attaches the loop to
+//!   the failure-persists branch);
+//! * pruning scope is the *global* remaining pool, not the local recursion
+//!   pool (step 7 prunes P10 from outside the recursion pool).
+
+use crate::executor::Executor;
+use aid_causal::AcDag;
+use aid_predicates::PredicateId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which phase of discovery issued a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Branch pruning (Algorithm 2).
+    Branch,
+    /// Divide-and-conquer group intervention (Algorithm 1).
+    Giwp,
+    /// Traditional adaptive group testing (baseline).
+    Tagt,
+}
+
+/// One intervention round, for reports and tests.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundLog {
+    /// Which phase issued it.
+    pub phase: Phase,
+    /// The intervened predicates.
+    pub intervened: Vec<PredicateId>,
+    /// Whether the failure stopped (no record failed).
+    pub stopped: bool,
+    /// Predicates confirmed causal by this round.
+    pub confirmed: Vec<PredicateId>,
+    /// Predicates pruned by this round (intervened or via Definition 2).
+    pub pruned: Vec<PredicateId>,
+}
+
+/// Shared bookkeeping across Algorithm 1/2 phases.
+pub struct DiscoveryState<'d> {
+    /// The AC-DAG (reachability source for pruning and topological order).
+    pub dag: &'d AcDag,
+    /// Confirmed causal predicates.
+    pub causal: BTreeSet<PredicateId>,
+    /// Predicates ruled out.
+    pub spurious: BTreeSet<PredicateId>,
+    /// Undecided candidates (the global pool).
+    pub remaining: BTreeSet<PredicateId>,
+    /// Per-round log.
+    pub log: Vec<RoundLog>,
+    /// Whether Definition 2 pruning is enabled (off for the AID-P ablation).
+    pub prune: bool,
+    /// How many records must show a counterfactual violation before a
+    /// predicate is pruned. The paper's rule is `1` ("it is sufficient to
+    /// identify a single counter-example execution"); larger quorums trade
+    /// a little pruning power for robustness against flaky observations —
+    /// see the `flaky_observations` integration tests.
+    pub prune_quorum: usize,
+    /// Tie-breaking randomness.
+    pub rng: StdRng,
+}
+
+impl<'d> DiscoveryState<'d> {
+    /// Fresh state over all DAG candidates.
+    pub fn new(dag: &'d AcDag, prune: bool, seed: u64) -> Self {
+        DiscoveryState {
+            dag,
+            causal: BTreeSet::new(),
+            spurious: BTreeSet::new(),
+            remaining: dag.candidates().iter().copied().collect(),
+            log: Vec::new(),
+            prune,
+            prune_quorum: 1,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the pruning quorum (see [`DiscoveryState::prune_quorum`]).
+    pub fn with_quorum(mut self, quorum: usize) -> Self {
+        self.prune_quorum = quorum.max(1);
+        self
+    }
+
+    /// Marks a predicate spurious.
+    pub fn mark_spurious(&mut self, p: PredicateId) {
+        if self.remaining.remove(&p) {
+            self.spurious.insert(p);
+        }
+    }
+
+    /// Marks a predicate causal.
+    pub fn mark_causal(&mut self, p: PredicateId) {
+        if self.remaining.remove(&p) {
+            self.causal.insert(p);
+        }
+    }
+
+    /// Executes one intervention round on `group`, applies Definition 2
+    /// pruning to the global pool, logs it, and reports whether the failure
+    /// stopped.
+    pub fn round<E: Executor>(&mut self, exec: &mut E, group: &[PredicateId], phase: Phase) -> bool {
+        let records = exec.intervene(group);
+        assert!(!records.is_empty(), "executor returned no records");
+        let stopped = records.iter().all(|r| !r.failed);
+        let mut pruned = Vec::new();
+        if self.prune {
+            let in_group: BTreeSet<PredicateId> = group.iter().copied().collect();
+            let candidates: Vec<PredicateId> = self.remaining.iter().copied().collect();
+            for x in candidates {
+                if in_group.contains(&x) {
+                    continue;
+                }
+                // Cannot judge ancestors of intervened predicates: their
+                // effect may be muted by the intervention itself.
+                if group.iter().any(|&p| self.dag.reaches(x, p)) {
+                    continue;
+                }
+                let violations = records
+                    .iter()
+                    .filter(|r| (r.holds(x) && !r.failed) || (!r.holds(x) && r.failed))
+                    .count();
+                if violations >= self.prune_quorum.min(records.len()) {
+                    self.mark_spurious(x);
+                    pruned.push(x);
+                }
+            }
+        }
+        self.log.push(RoundLog {
+            phase,
+            intervened: group.to_vec(),
+            stopped,
+            confirmed: Vec::new(),
+            pruned,
+        });
+        stopped
+    }
+
+    /// Number of rounds so far.
+    pub fn rounds(&self) -> usize {
+        self.log.len()
+    }
+}
+
+/// Algorithm 1 over a local pool. Decides (causal/spurious) every pool
+/// member, recording decisions in `state`.
+pub fn giwp<E: Executor>(mut pool: Vec<PredicateId>, state: &mut DiscoveryState, exec: &mut E) {
+    loop {
+        pool.retain(|p| state.remaining.contains(p));
+        if pool.is_empty() {
+            return;
+        }
+        let dag = state.dag;
+        let mut sorted = pool.clone();
+        dag.topo_sort(&mut sorted, &mut state.rng);
+        let half = sorted.len().div_ceil(2);
+        let group: Vec<PredicateId> = sorted[..half].to_vec();
+        let stopped = state.round(exec, &group, Phase::Giwp);
+        if stopped {
+            if group.len() == 1 {
+                state.mark_causal(group[0]);
+                if let Some(last) = state.log.last_mut() {
+                    last.confirmed.push(group[0]);
+                }
+            } else {
+                giwp(group, state, exec);
+            }
+        } else {
+            for &p in &group {
+                state.mark_spurious(p);
+                if let Some(last) = state.log.last_mut() {
+                    if !last.pruned.contains(&p) {
+                        last.pruned.push(p);
+                    }
+                }
+            }
+        }
+        pool = sorted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{figure4_ground_truth, OracleExecutor};
+    use aid_causal::AcDag;
+
+    fn chain_dag(truth: &crate::oracle::GroundTruth) -> AcDag {
+        // Build an AC-DAG whose closure mirrors the ground-truth forest's
+        // topological structure plus the failure sink, using from_edges.
+        let mut edges = Vec::new();
+        for (q, p) in truth.parent.iter().enumerate() {
+            if let Some(p) = p {
+                edges.push((
+                    PredicateId::from_raw(*p as u32),
+                    PredicateId::from_raw(q as u32),
+                ));
+            }
+        }
+        for i in 0..truth.n {
+            edges.push((PredicateId::from_raw(i as u32), truth.failure()));
+        }
+        AcDag::from_edges(&truth.candidates(), truth.failure(), &edges)
+    }
+
+    #[test]
+    fn giwp_alone_recovers_exact_causal_set() {
+        let truth = figure4_ground_truth();
+        let dag = chain_dag(&truth);
+        let mut exec = OracleExecutor::new(truth.clone());
+        let mut state = DiscoveryState::new(&dag, true, 7);
+        let pool: Vec<PredicateId> = state.remaining.iter().copied().collect();
+        giwp(pool, &mut state, &mut exec);
+        let causal: Vec<u32> = state.causal.iter().map(|p| p.raw()).collect();
+        assert_eq!(causal, vec![0, 1, 10], "exactly the true path");
+        assert_eq!(state.spurious.len(), 8, "everything else pruned");
+        assert!(state.remaining.is_empty());
+    }
+
+    #[test]
+    fn giwp_without_pruning_still_exact_but_slower() {
+        let truth = figure4_ground_truth();
+        let dag = chain_dag(&truth);
+        let mut rounds_with = 0;
+        let mut rounds_without = 0;
+        for seed in 0..10 {
+            let mut exec = OracleExecutor::new(truth.clone());
+            let mut state = DiscoveryState::new(&dag, true, seed);
+            giwp(state.remaining.iter().copied().collect(), &mut state, &mut exec);
+            rounds_with += state.rounds();
+
+            let mut exec = OracleExecutor::new(truth.clone());
+            let mut state = DiscoveryState::new(&dag, false, seed);
+            giwp(state.remaining.iter().copied().collect(), &mut state, &mut exec);
+            assert_eq!(
+                state.causal.iter().map(|p| p.raw()).collect::<Vec<_>>(),
+                vec![0, 1, 10],
+                "pruning is an optimization, not a correctness requirement"
+            );
+            rounds_without += state.rounds();
+        }
+        assert!(
+            rounds_with <= rounds_without,
+            "pruning must not increase rounds: {rounds_with} vs {rounds_without}"
+        );
+    }
+}

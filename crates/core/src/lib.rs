@@ -1,0 +1,33 @@
+//! Adaptive Interventional Debugging (AID) — the paper's core contribution.
+//!
+//! Given predicate logs from successful and failed executions of an
+//! intermittently failing application, AID pinpoints the root-cause
+//! predicate and produces a causal explanation path to the failure, using a
+//! sequence of group interventions guided by the approximate causal DAG:
+//!
+//! 1. [`pipeline::analyze`] — statistical debugging + AC-DAG construction
+//!    (no interventions yet);
+//! 2. [`discovery::discover`] — Algorithm 3: optional branch pruning
+//!    (Algorithm 2) followed by group intervention with pruning
+//!    (Algorithm 1), against any [`Executor`];
+//! 3. [`pipeline::render_explanation`] — the developer-facing causal chain.
+//!
+//! Baselines and ablations ([`Strategy`]): TAGT (traditional adaptive group
+//! testing), AID-P (no interventional pruning), AID-P-B (no pruning, no
+//! branch pruning).
+
+pub mod branch;
+pub mod discovery;
+pub mod executor;
+pub mod giwp;
+pub mod oracle;
+pub mod pipeline;
+pub mod tagt;
+
+pub use branch::branch_prune;
+pub use discovery::{discover, discover_with_options, DiscoverOptions, DiscoveryResult, Strategy};
+pub use executor::{CountingExecutor, ExecutionRecord, Executor};
+pub use giwp::{giwp, DiscoveryState, Phase, RoundLog};
+pub use oracle::{figure4_ground_truth, FlakyOracle, GroundTruth, OracleExecutor};
+pub use pipeline::{analyze, analyze_with_policy, failure_signatures, render_explanation, AidAnalysis};
+pub use tagt::{analytic_worst_case, tagt};

@@ -1,0 +1,271 @@
+//! Ground-truth causal structures and the deterministic oracle executor.
+//!
+//! Synthetic experiments (Figure 8) and the algorithm test-suite need an
+//! executor whose counterfactual behaviour is *exactly* known. A
+//! [`GroundTruth`] declares, for every predicate, its true cause (at most
+//! one parent — effects vanish when an ancestor is repaired) and which
+//! predicates form the true causal path to the failure. The
+//! [`OracleExecutor`] then answers interventions with perfect counterfactual
+//! semantics:
+//!
+//! * predicate Q is observed iff no ancestor-or-self of Q (in the true
+//!   cause forest) is intervened;
+//! * the failure F is observed iff no causal-path predicate is intervened
+//!   (every path predicate is a counterfactual cause of F — Definition 1).
+//!
+//! A [`FlakyOracle`] wrapper injects observation noise, exercising the
+//! multiple-runs-per-round logic the paper calls for in footnote 1.
+
+use crate::executor::{ExecutionRecord, Executor};
+use aid_predicates::PredicateId;
+use aid_util::DenseBitSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The true causal structure behind a synthetic failing application.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// Number of candidate predicates (raw ids `0..n`); the failure is id
+    /// `n`.
+    pub n: usize,
+    /// `parent[q]` = the true cause of predicate `q`, if any. Parents must
+    /// have smaller... no ordering requirement, but the forest must be
+    /// acyclic.
+    pub parent: Vec<Option<usize>>,
+    /// The true causal path (root first). Each entry is a counterfactual
+    /// cause of the failure. Must be non-empty and form a parent-chain:
+    /// `parent[path[i+1]] == Some(path[i])`.
+    pub path: Vec<usize>,
+}
+
+impl GroundTruth {
+    /// Validates structural invariants; panics with a message on violation.
+    pub fn validate(&self) {
+        assert!(!self.path.is_empty(), "causal path must be non-empty");
+        assert_eq!(self.parent.len(), self.n);
+        for (i, w) in self.path.windows(2).enumerate() {
+            assert_eq!(
+                self.parent[w[1]],
+                Some(w[0]),
+                "path step {i} must follow the parent chain"
+            );
+        }
+        assert_eq!(self.parent[self.path[0]], None, "root cause has no cause");
+        // Acyclicity of the parent forest.
+        for start in 0..self.n {
+            let mut seen = 0usize;
+            let mut cur = Some(start);
+            while let Some(c) = cur {
+                cur = self.parent[c];
+                seen += 1;
+                assert!(seen <= self.n, "cycle in true-cause forest at {start}");
+            }
+        }
+    }
+
+    /// The failure predicate id.
+    pub fn failure(&self) -> PredicateId {
+        PredicateId::from_raw(self.n as u32)
+    }
+
+    /// Candidate predicate ids.
+    pub fn candidates(&self) -> Vec<PredicateId> {
+        (0..self.n).map(|i| PredicateId::from_raw(i as u32)).collect()
+    }
+
+    /// The causal path as predicate ids.
+    pub fn path_ids(&self) -> Vec<PredicateId> {
+        self.path.iter().map(|&i| PredicateId::from_raw(i as u32)).collect()
+    }
+
+    /// True iff some ancestor-or-self of `q` is in `intervened`.
+    fn suppressed(&self, q: usize, intervened: &DenseBitSet) -> bool {
+        let mut cur = Some(q);
+        while let Some(c) = cur {
+            if intervened.contains(c) {
+                return true;
+            }
+            cur = self.parent[c];
+        }
+        false
+    }
+
+    /// The exact observation under an intervention set.
+    pub fn observe(&self, intervened: &DenseBitSet) -> ExecutionRecord {
+        let mut observed = DenseBitSet::new(self.n + 1);
+        for q in 0..self.n {
+            if !self.suppressed(q, intervened) {
+                observed.insert(q);
+            }
+        }
+        let failed = !self.path.iter().any(|&p| intervened.contains(p));
+        if failed {
+            observed.insert(self.n);
+        }
+        ExecutionRecord { failed, observed }
+    }
+}
+
+/// Deterministic perfect-counterfactual executor.
+#[derive(Clone, Debug)]
+pub struct OracleExecutor {
+    truth: GroundTruth,
+}
+
+impl OracleExecutor {
+    /// Wraps a validated ground truth.
+    pub fn new(truth: GroundTruth) -> Self {
+        truth.validate();
+        OracleExecutor { truth }
+    }
+
+    /// The wrapped ground truth.
+    pub fn truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+}
+
+impl Executor for OracleExecutor {
+    fn intervene(&mut self, predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
+        let mut set = DenseBitSet::new(self.truth.n + 1);
+        for p in predicates {
+            set.insert(p.index());
+        }
+        vec![self.truth.observe(&set)]
+    }
+}
+
+/// An oracle that flips non-failure observations with probability
+/// `noise` per run, and answers each round with `runs` records. Failure
+/// observations stay exact (the failure signature is reliably detected);
+/// what flakes in practice is whether a *symptom* predicate manifested.
+#[derive(Clone, Debug)]
+pub struct FlakyOracle {
+    truth: GroundTruth,
+    noise: f64,
+    runs: usize,
+    rng: StdRng,
+}
+
+impl FlakyOracle {
+    /// Builds a flaky oracle answering `runs` records per round.
+    pub fn new(truth: GroundTruth, noise: f64, runs: usize, seed: u64) -> Self {
+        truth.validate();
+        assert!(runs >= 1);
+        FlakyOracle {
+            truth,
+            noise,
+            runs,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Executor for FlakyOracle {
+    fn intervene(&mut self, predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
+        let mut set = DenseBitSet::new(self.truth.n + 1);
+        for p in predicates {
+            set.insert(p.index());
+        }
+        (0..self.runs)
+            .map(|_| {
+                let mut rec = self.truth.observe(&set);
+                for q in 0..self.truth.n {
+                    if self.rng.random_bool(self.noise) {
+                        if rec.observed.contains(q) {
+                            rec.observed.remove(q);
+                        } else if !set.contains(q) {
+                            rec.observed.insert(q);
+                        }
+                    }
+                }
+                rec
+            })
+            .collect()
+    }
+}
+
+/// Builds the paper's Figure 4 walkthrough ground truth: 11 predicates
+/// P1..P11 (ids 0..10), true path P1→P2→P11→F, with P7 a side effect of P1,
+/// P3 a side effect of P2, P10 a side effect of P3, P4..P6 hanging off P3's
+/// side chain and P8, P9 off P7.
+pub fn figure4_ground_truth() -> GroundTruth {
+    // ids: P1=0, P2=1, P3=2, P4=3, P5=4, P6=5, P7=6, P8=7, P9=8, P10=9, P11=10
+    let mut parent = vec![None; 11];
+    parent[1] = Some(0); // P2 ← P1
+    parent[10] = Some(1); // P11 ← P2
+    parent[6] = Some(0); // P7 ← P1 (side effect)
+    parent[2] = Some(1); // P3 ← P2 (side effect)
+    parent[9] = Some(2); // P10 ← P3
+    parent[3] = Some(2); // P4 ← P3
+    parent[4] = Some(3); // P5 ← P4
+    parent[5] = Some(4); // P6 ← P5
+    parent[7] = Some(6); // P8 ← P7
+    parent[8] = Some(7); // P9 ← P8
+    GroundTruth {
+        n: 11,
+        parent,
+        path: vec![0, 1, 10],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_counterfactuals_match_definition() {
+        let truth = figure4_ground_truth();
+        let mut ex = OracleExecutor::new(truth);
+        // No intervention: everything observed, failure occurs.
+        let r = &ex.intervene(&[])[0];
+        assert!(r.failed);
+        assert_eq!(r.observed.count(), 12);
+        // Intervene on the root: nothing downstream observed, failure stops.
+        let r = &ex.intervene(&[PredicateId::from_raw(0)])[0];
+        assert!(!r.failed);
+        assert!(!r.holds(PredicateId::from_raw(1)), "P2 vanishes with P1");
+        assert!(!r.holds(PredicateId::from_raw(6)), "P7 vanishes with P1");
+        assert!(!r.holds(PredicateId::from_raw(8)), "P9 vanishes transitively");
+        // Intervene on side-effect P3: failure persists, P10 vanishes.
+        let r = &ex.intervene(&[PredicateId::from_raw(2)])[0];
+        assert!(r.failed);
+        assert!(!r.holds(PredicateId::from_raw(9)));
+        assert!(r.holds(PredicateId::from_raw(10)), "P11 unaffected by P3");
+    }
+
+    #[test]
+    fn intervening_mid_path_stops_failure() {
+        let mut ex = OracleExecutor::new(figure4_ground_truth());
+        for p in [0u32, 1, 10] {
+            let r = &ex.intervene(&[PredicateId::from_raw(p)])[0];
+            assert!(!r.failed, "every path predicate is counterfactual");
+        }
+        for p in [2u32, 3, 4, 5, 6, 7, 8, 9] {
+            let r = &ex.intervene(&[PredicateId::from_raw(p)])[0];
+            assert!(r.failed, "non-path predicates are not counterfactual");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parent chain")]
+    fn validate_rejects_broken_path() {
+        let gt = GroundTruth {
+            n: 3,
+            parent: vec![None, None, None],
+            path: vec![0, 1],
+        };
+        gt.validate();
+    }
+
+    #[test]
+    fn flaky_oracle_keeps_failure_exact() {
+        let truth = figure4_ground_truth();
+        let mut ex = FlakyOracle::new(truth, 0.3, 5, 42);
+        let recs = ex.intervene(&[PredicateId::from_raw(0)]);
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|r| !r.failed), "failure detection is exact");
+        let recs = ex.intervene(&[PredicateId::from_raw(2)]);
+        assert!(recs.iter().all(|r| r.failed));
+    }
+}

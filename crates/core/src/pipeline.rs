@@ -1,0 +1,239 @@
+//! The end-to-end AID workflow (Figure 1): predicate logs → statistical
+//! debugging → AC-DAG → causal intervention → root cause + explanation.
+//!
+//! The observation phase ([`analyze`]) is executor-free; the intervention
+//! phase ([`crate::discovery::discover`]) takes any [`crate::Executor`].
+
+use crate::discovery::DiscoveryResult;
+use aid_causal::{AcDag, PrecedencePolicy, TypeAwarePolicy};
+use aid_predicates::{extract, Extraction, ExtractionConfig, PredicateId};
+use aid_sd::SdReport;
+use aid_trace::{FailureSignature, Outcome, TraceSet};
+
+/// Everything AID derives from the logs before any intervention.
+#[derive(Clone, Debug)]
+pub struct AidAnalysis {
+    /// The extraction (catalog + per-run observations + failure predicate).
+    pub extraction: Extraction,
+    /// Statistical-debugging scores.
+    pub sd: SdReport,
+    /// The candidate predicates (fully-discriminative, safe, intervenable).
+    pub candidates: Vec<PredicateId>,
+    /// The approximate causal DAG.
+    pub dag: AcDag,
+}
+
+impl AidAnalysis {
+    /// Figure 7 column 3: the number of fully-discriminative predicates SD
+    /// reports (excluding the failure indicator itself).
+    pub fn sd_predicate_count(&self) -> usize {
+        self.sd
+            .fully_discriminative
+            .iter()
+            .filter(|&&p| p != self.extraction.failure)
+            .count()
+    }
+}
+
+/// Runs observation-phase AID with the default precedence policy.
+pub fn analyze(set: &TraceSet, config: &ExtractionConfig) -> AidAnalysis {
+    analyze_with_policy(set, config, &TypeAwarePolicy)
+}
+
+/// Runs observation-phase AID with a custom precedence policy.
+pub fn analyze_with_policy(
+    set: &TraceSet,
+    config: &ExtractionConfig,
+    policy: &dyn PrecedencePolicy,
+) -> AidAnalysis {
+    let extraction = extract(set, config);
+    let sd = SdReport::from_extraction(&extraction);
+    let candidates = sd.aid_candidates(&extraction.catalog, extraction.failure);
+    let dag = AcDag::build(
+        &candidates,
+        extraction.failure,
+        &extraction.catalog,
+        &extraction.observations,
+        policy,
+    );
+    AidAnalysis {
+        extraction,
+        sd,
+        candidates,
+        dag,
+    }
+}
+
+/// Distinct failure signatures in a trace set, most frequent first —
+/// Assumption 1's grouping: run AID once per signature.
+pub fn failure_signatures(set: &TraceSet) -> Vec<(FailureSignature, usize)> {
+    let mut counts: std::collections::BTreeMap<FailureSignature, usize> =
+        std::collections::BTreeMap::new();
+    for t in set.failures() {
+        if let Outcome::Failure(sig) = &t.outcome {
+            *counts.entry(sig.clone()).or_insert(0) += 1;
+        }
+    }
+    let mut v: Vec<(FailureSignature, usize)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+/// Renders a developer-facing explanation of a discovery result: the causal
+/// chain from root cause to failure, one numbered step per predicate.
+pub fn render_explanation(
+    analysis: &AidAnalysis,
+    result: &DiscoveryResult,
+    set: &TraceSet,
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    match result.root_cause() {
+        Some(root) => {
+            writeln!(
+                s,
+                "Root cause: {}",
+                analysis.extraction.catalog.describe(root, set)
+            )
+            .unwrap();
+        }
+        None => {
+            writeln!(s, "Root cause: not found (no causal predicate confirmed)").unwrap();
+        }
+    }
+    writeln!(s, "Causal path ({} interventions):", result.rounds).unwrap();
+    for (i, p) in result.path().iter().enumerate() {
+        writeln!(
+            s,
+            "  ({}) {}",
+            i + 1,
+            analysis.extraction.catalog.describe(*p, set)
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_trace::{MethodEvent, MethodId, ThreadId, Trace};
+
+    /// A synthetic trace set with a deterministic structure: in failed runs
+    /// method 0 is slow and method 1 throws afterwards; in successful runs
+    /// both behave.
+    fn toy_set() -> TraceSet {
+        let mut set = TraceSet::new();
+        let a = set.method("Fetch");
+        let b = set.method("Commit");
+        let mk = |m: MethodId, th: u32, start, end, exc: Option<&str>| MethodEvent {
+            method: m,
+            instance: 0,
+            thread: ThreadId::from_raw(th),
+            start,
+            end,
+            accesses: vec![],
+            returned: None,
+            exception: exc.map(|s| s.to_string()),
+            caught: false,
+        };
+        for seed in 0..5u64 {
+            let mut t = Trace {
+                seed,
+                events: vec![mk(a, 0, 0, 10, None), mk(b, 1, 20, 30, None)],
+                outcome: Outcome::Success,
+                duration: 40,
+            };
+            t.normalize();
+            set.push(t);
+        }
+        for seed in 100..105u64 {
+            let mut t = Trace {
+                seed,
+                events: vec![
+                    mk(a, 0, 0, 80, None), // slow
+                    mk(b, 1, 90, 100, Some("Timeout")),
+                ],
+                outcome: Outcome::Failure(FailureSignature {
+                    kind: "Timeout".into(),
+                    method: b,
+                }),
+                duration: 110,
+            };
+            t.normalize();
+            set.push(t);
+        }
+        set
+    }
+
+    #[test]
+    fn analysis_builds_dag_over_fully_discriminative_predicates() {
+        let set = toy_set();
+        let analysis = analyze(&set, &ExtractionConfig::default());
+        assert!(analysis.sd_predicate_count() >= 2, "slow + throws at least");
+        assert!(analysis.dag.len() >= 3);
+        // The slow predicate precedes the failing-method predicate under
+        // the end-anchored policy (80 < 100).
+        let slow = analysis
+            .candidates
+            .iter()
+            .copied()
+            .find(|&p| {
+                matches!(
+                    analysis.extraction.catalog.get(p).kind,
+                    aid_predicates::PredicateKind::RunsTooSlow { .. }
+                )
+            })
+            .expect("slow predicate");
+        let fails = analysis
+            .candidates
+            .iter()
+            .copied()
+            .find(|&p| {
+                matches!(
+                    analysis.extraction.catalog.get(p).kind,
+                    aid_predicates::PredicateKind::MethodFails { .. }
+                )
+            })
+            .expect("fails predicate");
+        assert!(analysis.dag.reaches(slow, fails));
+        assert!(analysis.dag.reaches(fails, analysis.extraction.failure));
+    }
+
+    #[test]
+    fn failure_signatures_sorted_by_frequency() {
+        let mut set = toy_set();
+        let m = set.method("Other");
+        set.push(Trace {
+            seed: 999,
+            events: vec![],
+            outcome: Outcome::Failure(FailureSignature {
+                kind: "Rare".into(),
+                method: m,
+            }),
+            duration: 1,
+        });
+        let sigs = failure_signatures(&set);
+        assert_eq!(sigs.len(), 2);
+        assert_eq!(sigs[0].0.kind, "Timeout");
+        assert_eq!(sigs[0].1, 5);
+        assert_eq!(sigs[1].0.kind, "Rare");
+    }
+
+    #[test]
+    fn explanation_renders_numbered_path() {
+        let set = toy_set();
+        let analysis = analyze(&set, &ExtractionConfig::default());
+        let fake = DiscoveryResult {
+            causal: analysis.candidates.clone(),
+            spurious: vec![],
+            failure: analysis.extraction.failure,
+            rounds: 3,
+            log: vec![],
+        };
+        let text = render_explanation(&analysis, &fake, &set);
+        assert!(text.contains("Root cause:"), "{text}");
+        assert!(text.contains("(1)"));
+        assert!(text.contains("FAILURE"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Traditional Adaptive Group Testing — the baseline AID is compared
+//! against in Figures 7 and 8.
+//!
+//! TAGT treats the predicates as an unstructured set: it knows nothing of
+//! the AC-DAG, intervenes on groups in random order, and draws conclusions
+//! only about the predicates it intervened on. The strategy is Hwang-style
+//! binary splitting: test the remaining pool for contamination (does
+//! intervening on all of it stop the failure?), then binary-search one
+//! causal predicate; a negative half-test permanently clears that half, a
+//! positive one narrows the search. The initial contamination test is
+//! skipped — the original failing executions already prove a cause exists
+//! among the fully-discriminative predicates.
+
+use crate::executor::Executor;
+use crate::giwp::{DiscoveryState, Phase};
+use aid_predicates::PredicateId;
+use rand::seq::SliceRandom;
+
+/// Runs TAGT over the state's remaining pool until no causal predicates are
+/// left to find. Decisions land in `state.causal` / `state.spurious`.
+pub fn tagt<E: Executor>(state: &mut DiscoveryState, exec: &mut E) {
+    let mut first = true;
+    loop {
+        if state.remaining.is_empty() {
+            break;
+        }
+        // Contamination test on the whole remaining pool.
+        if !first {
+            let pool: Vec<PredicateId> = state.remaining.iter().copied().collect();
+            let stopped = state.round(exec, &pool, Phase::Tagt);
+            if !stopped {
+                // No causal predicate remains: everything left is spurious.
+                let left: Vec<PredicateId> = state.remaining.iter().copied().collect();
+                for p in left {
+                    state.mark_spurious(p);
+                }
+                break;
+            }
+        }
+        first = false;
+        // Binary-search one causal predicate within the contaminated pool.
+        let mut search: Vec<PredicateId> = state.remaining.iter().copied().collect();
+        search.shuffle(&mut state.rng);
+        while search.len() > 1 {
+            let half = search.len().div_ceil(2);
+            let group: Vec<PredicateId> = search[..half].to_vec();
+            let stopped = state.round(exec, &group, Phase::Tagt);
+            if stopped {
+                // Causal inside the intervened half; the complement's status
+                // stays unknown (it returns to the pool).
+                search = group;
+            } else {
+                // The intervened half is clean: permanently discard it.
+                for p in &group {
+                    state.mark_spurious(*p);
+                    if let Some(last) = state.log.last_mut() {
+                        if !last.pruned.contains(p) {
+                            last.pruned.push(*p);
+                        }
+                    }
+                }
+                search.drain(..half);
+            }
+        }
+        let found = search[0];
+        state.mark_causal(found);
+        if let Some(last) = state.log.last_mut() {
+            last.confirmed.push(found);
+        }
+    }
+}
+
+/// The paper's analytic worst case for TAGT: `D · ⌈log₂ N⌉` rounds to find
+/// `D` causal predicates among `N` (Section 6: "a simple binary search
+/// algorithm can find each of the D defective items in at most log N group
+/// tests"). Figure 7's TAGT column uses this accounting.
+pub fn analytic_worst_case(n: usize, d: usize) -> usize {
+    if n == 0 || d == 0 {
+        return 0;
+    }
+    d * (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{figure4_ground_truth, OracleExecutor};
+    use aid_causal::AcDag;
+
+    fn flat_dag(truth: &crate::oracle::GroundTruth) -> AcDag {
+        // TAGT ignores structure; give it a DAG where every candidate only
+        // points at F.
+        let edges: Vec<_> = truth
+            .candidates()
+            .iter()
+            .map(|&c| (c, truth.failure()))
+            .collect();
+        AcDag::from_edges(&truth.candidates(), truth.failure(), &edges)
+    }
+
+    #[test]
+    fn tagt_recovers_exact_causal_set() {
+        let truth = figure4_ground_truth();
+        let dag = flat_dag(&truth);
+        for seed in 0..20 {
+            let mut exec = OracleExecutor::new(truth.clone());
+            let mut state = DiscoveryState::new(&dag, false, seed);
+            tagt(&mut state, &mut exec);
+            let causal: Vec<u32> = state.causal.iter().map(|p| p.raw()).collect();
+            assert_eq!(causal, vec![0, 1, 10], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tagt_round_count_is_near_d_log_n() {
+        let truth = figure4_ground_truth();
+        let dag = flat_dag(&truth);
+        let analytic = analytic_worst_case(11, 3);
+        assert_eq!(analytic, 12);
+        let mut worst = 0;
+        for seed in 0..30 {
+            let mut exec = OracleExecutor::new(truth.clone());
+            let mut state = DiscoveryState::new(&dag, false, seed);
+            tagt(&mut state, &mut exec);
+            worst = worst.max(state.rounds());
+        }
+        // Measured worst case: D·log plus the contamination tests.
+        assert!(
+            worst >= 8 && worst <= analytic + 4,
+            "worst {worst} should be near the analytic bound {analytic}"
+        );
+    }
+
+    #[test]
+    fn analytic_worst_case_matches_paper_rows() {
+        // Figure 7's TAGT column for the four rows that follow the formula
+        // exactly: Cosmos DB (64, 7) → 42, Network (24, 1) → 5,
+        // BuildAndTest (25, 3) → 15, HealthTelemetry (93, 10) → 70.
+        assert_eq!(analytic_worst_case(64, 7), 42);
+        assert_eq!(analytic_worst_case(24, 1), 5);
+        assert_eq!(analytic_worst_case(25, 3), 15);
+        assert_eq!(analytic_worst_case(93, 10), 70);
+    }
+}

@@ -1,0 +1,604 @@
+//! Two-pass predicate extraction from a labeled trace set.
+//!
+//! Pass 1 computes *successful-run statistics*: which method instances are
+//! stable (present in every successful run), their duration envelopes
+//! `[min, max]`, their unique return values, and the pairwise temporal
+//! orders that hold in every successful run.
+//!
+//! Pass 2 walks the failed runs and materializes a predicate for every
+//! deviation it can witness there (Figure 2's catalogue): data races, method
+//! failures, too-slow/too-fast executions, wrong returns, order violations
+//! (incl. use-after-free attribution), and value collisions. The failure
+//! indicator F for the (majority) failure signature is added last.
+//!
+//! Everything is deterministic: runs are scanned in order, sites in
+//! `(method, instance)` order, so predicate ids are stable across runs of
+//! the pipeline.
+
+use crate::eval::{evaluate, RunObservation};
+use crate::model::{
+    InterventionAction, MethodInstance, Predicate, PredicateCatalog, PredicateId, PredicateKind,
+};
+use aid_trace::{AccessKind, FailureSignature, MethodEvent, MethodId, Time, TraceSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Extraction tuning.
+#[derive(Clone, Debug)]
+pub struct ExtractionConfig {
+    /// Methods whose return-value/premature-return interventions are safe
+    /// (§3.3: developer-marked state-free methods).
+    pub pure_methods: BTreeSet<MethodId>,
+    /// If true, try/catch interventions are only considered safe on pure
+    /// methods (the paper's strict reading); default allows them anywhere.
+    pub catch_requires_pure: bool,
+    /// Enable data-race predicates.
+    pub data_races: bool,
+    /// Enable method-failure predicates.
+    pub method_fails: bool,
+    /// Enable too-slow/too-fast predicates.
+    pub timing: bool,
+    /// Enable wrong-return predicates.
+    pub wrong_return: bool,
+    /// Enable order-violation predicates.
+    pub order: bool,
+    /// Enable value-collision predicates.
+    pub collisions: bool,
+    /// Safety cap on the number of materialized predicates.
+    pub max_predicates: usize,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            pure_methods: BTreeSet::new(),
+            catch_requires_pure: false,
+            data_races: true,
+            method_fails: true,
+            timing: true,
+            wrong_return: true,
+            order: true,
+            collisions: true,
+            max_predicates: 4096,
+        }
+    }
+}
+
+/// Output of extraction: the catalog, per-run observations, and the failure
+/// indicator predicate.
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// All materialized predicates.
+    pub catalog: PredicateCatalog,
+    /// Per-run truth values/windows, in trace order.
+    pub observations: Vec<RunObservation>,
+    /// The failure predicate F.
+    pub failure: PredicateId,
+    /// The grouped failure signature F stands for.
+    pub signature: FailureSignature,
+}
+
+/// Statistics over the successful runs (pass 1).
+#[derive(Clone, Debug, Default)]
+pub struct SuccessStats {
+    /// Number of successful runs.
+    pub successes: usize,
+    /// Per stable site: `[min, max]` duration envelope.
+    pub duration: BTreeMap<(u32, u32), (Time, Time)>,
+    /// Per stable site: the unique return value, if one exists.
+    pub unique_return: BTreeMap<(u32, u32), Option<i64>>,
+    /// Stable sites (present in every successful run).
+    pub stable: BTreeSet<(u32, u32)>,
+}
+
+fn key(e: &MethodEvent) -> (u32, u32) {
+    (e.method.raw(), e.instance)
+}
+
+fn site_of(k: (u32, u32)) -> MethodInstance {
+    MethodInstance::new(MethodId::from_raw(k.0), k.1)
+}
+
+/// Computes pass-1 statistics.
+pub fn success_stats(set: &TraceSet) -> SuccessStats {
+    let mut stats = SuccessStats::default();
+    let mut presence: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    for t in set.successes() {
+        stats.successes += 1;
+        for e in &t.events {
+            let k = key(e);
+            *presence.entry(k).or_insert(0) += 1;
+            let d = e.duration();
+            stats
+                .duration
+                .entry(k)
+                .and_modify(|(lo, hi)| {
+                    *lo = (*lo).min(d);
+                    *hi = (*hi).max(d);
+                })
+                .or_insert((d, d));
+            match stats.unique_return.entry(k) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(e.returned);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if *o.get() != e.returned {
+                        o.insert(None);
+                    }
+                }
+            }
+        }
+    }
+    stats.stable = presence
+        .iter()
+        .filter(|(_, &c)| c == stats.successes && stats.successes > 0)
+        .map(|(&k, _)| k)
+        .collect();
+    stats
+}
+
+/// The temporal orders that hold in **every** successful run, over stable
+/// sites: `(a, b)` ∈ result iff `a.end < b.start` in each success.
+pub fn stable_orders(set: &TraceSet, stats: &SuccessStats) -> BTreeSet<((u32, u32), (u32, u32))> {
+    let stable: Vec<(u32, u32)> = stats.stable.iter().copied().collect();
+    if stable.is_empty() {
+        return BTreeSet::new();
+    }
+    let mut orders: Option<BTreeSet<((u32, u32), (u32, u32))>> = None;
+    for t in set.successes() {
+        let mut span: BTreeMap<(u32, u32), (Time, Time)> = BTreeMap::new();
+        for e in &t.events {
+            span.insert(key(e), (e.start, e.end));
+        }
+        let mut this: BTreeSet<((u32, u32), (u32, u32))> = BTreeSet::new();
+        for (i, &a) in stable.iter().enumerate() {
+            for &b in stable.iter().skip(i + 1) {
+                let (sa, sb) = (span[&a], span[&b]);
+                if sa.1 < sb.0 {
+                    this.insert((a, b));
+                } else if sb.1 < sa.0 {
+                    this.insert((b, a));
+                }
+            }
+        }
+        orders = Some(match orders {
+            None => this,
+            Some(prev) => prev.intersection(&this).copied().collect(),
+        });
+    }
+    orders.unwrap_or_default()
+}
+
+/// Runs the full extraction.
+pub fn extract(set: &TraceSet, config: &ExtractionConfig) -> Extraction {
+    let stats = success_stats(set);
+    let orders = if config.order {
+        stable_orders(set, &stats)
+    } else {
+        BTreeSet::new()
+    };
+    let mut catalog = PredicateCatalog::new();
+    let signature = majority_signature(set).expect("extraction requires at least one failed run");
+
+    for t in set.failures() {
+        if catalog.len() >= config.max_predicates {
+            break;
+        }
+        let events = &t.events;
+        // --- Method failures ---
+        if config.method_fails {
+            for e in events {
+                if let Some(kind) = &e.exception {
+                    if !e.caught {
+                        let s = site_of(key(e));
+                        let pure = config.pure_methods.contains(&s.method);
+                        catalog.insert(Predicate {
+                            kind: PredicateKind::MethodFails {
+                                site: s,
+                                kind: kind.clone(),
+                            },
+                            safe: !config.catch_requires_pure || pure,
+                            action: Some(InterventionAction::Catch { site: s }),
+                        });
+                    }
+                }
+            }
+        }
+        // --- Timing deviations ---
+        if config.timing {
+            for e in events {
+                let k = key(e);
+                let Some(&(lo, hi)) = stats.duration.get(&k) else {
+                    continue;
+                };
+                let s = site_of(k);
+                let d = e.duration();
+                if d > hi {
+                    let pure = config.pure_methods.contains(&s.method);
+                    let action = match stats.unique_return.get(&k).copied().flatten() {
+                        Some(v) if pure => InterventionAction::PrematureReturn { site: s, value: v },
+                        _ => InterventionAction::SuppressFlaky { site: s },
+                    };
+                    catalog.insert(Predicate {
+                        kind: PredicateKind::RunsTooSlow {
+                            site: s,
+                            threshold: hi,
+                        },
+                        safe: true,
+                        action: Some(action),
+                    });
+                }
+                if d < lo {
+                    catalog.insert(Predicate {
+                        kind: PredicateKind::RunsTooFast {
+                            site: s,
+                            threshold: lo,
+                        },
+                        safe: true,
+                        action: Some(InterventionAction::SlowDown { site: s, ticks: lo }),
+                    });
+                }
+            }
+        }
+        // --- Wrong returns ---
+        if config.wrong_return {
+            for e in events {
+                let k = key(e);
+                let Some(Some(expected)) = stats.unique_return.get(&k) else {
+                    continue;
+                };
+                if let Some(v) = e.returned {
+                    if v != *expected {
+                        let s = site_of(k);
+                        let pure = config.pure_methods.contains(&s.method);
+                        catalog.insert(Predicate {
+                            kind: PredicateKind::WrongReturn {
+                                site: s,
+                                expected: *expected,
+                            },
+                            safe: pure,
+                            action: pure.then_some(InterventionAction::ForceReturn {
+                                site: s,
+                                value: *expected,
+                            }),
+                        });
+                    }
+                }
+            }
+        }
+        // --- Data races ---
+        if config.data_races {
+            extract_races(events, &mut catalog);
+        }
+        // --- Order violations (incl. use-after-free attribution) ---
+        if config.order {
+            let mut span: BTreeMap<(u32, u32), (Time, Time)> = BTreeMap::new();
+            let mut touched: BTreeMap<(u32, u32), BTreeSet<u32>> = BTreeMap::new();
+            for e in events {
+                span.insert(key(e), (e.start, e.end));
+                touched.insert(key(e), e.accesses.iter().map(|a| a.object.raw()).collect());
+            }
+            for &(a, b) in &orders {
+                let (Some(&sa), Some(&sb)) = (span.get(&a), span.get(&b)) else {
+                    continue;
+                };
+                // Violation: b no longer strictly after a.
+                if sa.1 >= sb.0 {
+                    let common = touched
+                        .get(&a)
+                        .and_then(|ta| {
+                            touched
+                                .get(&b)
+                                .and_then(|tb| ta.intersection(tb).next().copied())
+                        })
+                        .map(aid_trace::ObjectId::from_raw);
+                    let (first, second) = (site_of(a), site_of(b));
+                    catalog.insert(Predicate {
+                        kind: PredicateKind::OrderViolation {
+                            first,
+                            second,
+                            object: common,
+                        },
+                        safe: true,
+                        action: Some(InterventionAction::ForceOrder { first, second }),
+                    });
+                }
+            }
+        }
+        // --- Value collisions ---
+        if config.collisions {
+            extract_collisions(set, events, &stats, &mut catalog);
+        }
+    }
+
+    // The failure indicator, last.
+    let failure = catalog.insert(Predicate {
+        kind: PredicateKind::Failure {
+            signature: signature.clone(),
+        },
+        safe: true,
+        action: None,
+    });
+
+    let observations = set.traces.iter().map(|t| evaluate(&catalog, t)).collect();
+
+    Extraction {
+        catalog,
+        observations,
+        failure,
+        signature,
+    }
+}
+
+/// Data races in one failed run: conflicting unlocked cross-thread access
+/// pairs with the write inside the other execution's window.
+fn extract_races(events: &[MethodEvent], catalog: &mut PredicateCatalog) {
+    // Group (event index, access) by object.
+    let mut by_object: BTreeMap<u32, Vec<(usize, usize)>> = BTreeMap::new();
+    for (ei, e) in events.iter().enumerate() {
+        for (ai, a) in e.accesses.iter().enumerate() {
+            if !a.locked {
+                by_object.entry(a.object.raw()).or_default().push((ei, ai));
+            }
+        }
+    }
+    for (obj, accs) in &by_object {
+        for (i, &(e1, a1)) in accs.iter().enumerate() {
+            for &(e2, a2) in accs.iter().skip(i + 1) {
+                if e1 == e2 {
+                    continue;
+                }
+                let (ev1, ev2) = (&events[e1], &events[e2]);
+                if ev1.thread == ev2.thread {
+                    continue;
+                }
+                let (x, y) = (&ev1.accesses[a1], &ev2.accesses[a2]);
+                let conflicting = x.kind == AccessKind::Write || y.kind == AccessKind::Write;
+                if !conflicting {
+                    continue;
+                }
+                let write_in_window = (x.kind == AccessKind::Write
+                    && ev2.start <= x.at
+                    && x.at <= ev2.end)
+                    || (y.kind == AccessKind::Write && ev1.start <= y.at && y.at <= ev1.end);
+                if !write_in_window {
+                    continue;
+                }
+                let (sa, sb) = {
+                    let s1 = site_of(key(ev1));
+                    let s2 = site_of(key(ev2));
+                    if (s1.method, s1.instance) <= (s2.method, s2.instance) {
+                        (s1, s2)
+                    } else {
+                        (s2, s1)
+                    }
+                };
+                catalog.insert(Predicate {
+                    kind: PredicateKind::DataRace {
+                        a: sa,
+                        b: sb,
+                        object: aid_trace::ObjectId::from_raw(*obj),
+                    },
+                    safe: true,
+                    action: Some(InterventionAction::Serialize {
+                        a: sa.method,
+                        b: sb.method,
+                    }),
+                });
+            }
+        }
+    }
+}
+
+/// Value collisions in one failed run: stable sites whose returns are equal
+/// here but distinct in every successful run.
+fn extract_collisions(
+    set: &TraceSet,
+    events: &[MethodEvent],
+    stats: &SuccessStats,
+    catalog: &mut PredicateCatalog,
+) {
+    let returners: Vec<&MethodEvent> = events
+        .iter()
+        .filter(|e| e.returned.is_some() && stats.stable.contains(&key(e)))
+        .collect();
+    for (i, ea) in returners.iter().enumerate() {
+        for eb in returners.iter().skip(i + 1) {
+            if ea.returned != eb.returned {
+                continue;
+            }
+            let (ka, kb) = (key(ea), key(eb));
+            // Distinct in every success?
+            let distinct_in_successes = set.successes().all(|t| {
+                let mut va = None;
+                let mut vb = None;
+                for e in &t.events {
+                    let k = key(e);
+                    if k == ka {
+                        va = e.returned;
+                    } else if k == kb {
+                        vb = e.returned;
+                    }
+                }
+                match (va, vb) {
+                    (Some(x), Some(y)) => x != y,
+                    _ => false,
+                }
+            });
+            if !distinct_in_successes {
+                continue;
+            }
+            // Repair: pin BOTH draws to the (distinct) values of one
+            // successful run; pinning one side would leave a residual
+            // collision probability.
+            let repair_values = set.successes().find_map(|t| {
+                let mut va = None;
+                let mut vb = None;
+                for e in &t.events {
+                    let k = key(e);
+                    if k == ka {
+                        va = e.returned;
+                    } else if k == kb {
+                        vb = e.returned;
+                    }
+                }
+                match (va, vb) {
+                    (Some(x), Some(y)) if x != y => Some((x, y)),
+                    _ => None,
+                }
+            });
+            let (sa, sb) = (site_of(ka), site_of(kb));
+            catalog.insert(Predicate {
+                kind: PredicateKind::ValueCollision { a: sa, b: sb },
+                safe: true,
+                action: repair_values.map(|(a_value, b_value)| {
+                    InterventionAction::ForceRandPair {
+                        a: sa,
+                        a_value,
+                        b: sb,
+                        b_value,
+                    }
+                }),
+            });
+        }
+    }
+}
+
+/// The most common failure signature in the set (ties broken by order).
+pub fn majority_signature(set: &TraceSet) -> Option<FailureSignature> {
+    let mut counts: BTreeMap<FailureSignature, usize> = BTreeMap::new();
+    for t in set.failures() {
+        if let aid_trace::Outcome::Failure(sig) = &t.outcome {
+            *counts.entry(sig.clone()).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(sig, _)| sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_trace::{Outcome, ThreadId, Trace};
+
+    /// Builds a trace set by hand: two successes, one failure where method 1
+    /// is slow, throws, and violates its order w.r.t. method 0.
+    fn handmade() -> TraceSet {
+        let mut set = TraceSet::new();
+        let m0 = set.method("A");
+        let m1 = set.method("B");
+        let mk = |start: Time, end: Time, m: aid_trace::MethodId, ret: Option<i64>| MethodEvent {
+            method: m,
+            instance: 0,
+            thread: ThreadId::from_raw(m.raw()),
+            start,
+            end,
+            accesses: vec![],
+            returned: ret,
+            exception: None,
+            caught: false,
+        };
+        for seed in 0..2 {
+            let mut t = Trace {
+                seed,
+                events: vec![mk(0, 10, m0, Some(1)), mk(20, 30, m1, Some(2))],
+                outcome: Outcome::Success,
+                duration: 40,
+            };
+            t.normalize();
+            set.push(t);
+        }
+        let mut bad_b = mk(5, 120, m1, Some(9)); // overlaps A, slow, wrong return
+        bad_b.exception = Some("Crash".into());
+        let mut t = Trace {
+            seed: 9,
+            events: vec![mk(0, 10, m0, Some(1)), bad_b],
+            outcome: Outcome::Failure(FailureSignature {
+                kind: "Crash".into(),
+                method: m1,
+            }),
+            duration: 130,
+        };
+        t.normalize();
+        set.push(t);
+        set
+    }
+
+    #[test]
+    fn extraction_materializes_expected_kinds() {
+        let set = handmade();
+        let ex = extract(&set, &ExtractionConfig::default());
+        let kinds: Vec<_> = ex.catalog.iter().map(|(_, p)| &p.kind).collect();
+        assert!(
+            kinds.iter().any(|k| matches!(k, PredicateKind::MethodFails { .. })),
+            "{kinds:?}"
+        );
+        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::RunsTooSlow { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::WrongReturn { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::OrderViolation { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::Failure { .. })));
+        // Observations: failure predicate true exactly in the failed run.
+        assert_eq!(ex.observations.len(), 3);
+        assert!(!ex.observations[0].holds(ex.failure));
+        assert!(!ex.observations[1].holds(ex.failure));
+        assert!(ex.observations[2].holds(ex.failure));
+    }
+
+    #[test]
+    fn stable_orders_require_consistency() {
+        let set = handmade();
+        let stats = success_stats(&set);
+        assert_eq!(stats.successes, 2);
+        let orders = stable_orders(&set, &stats);
+        assert!(orders.contains(&((0, 0), (1, 0))), "A before B in all successes");
+    }
+
+    #[test]
+    fn wrong_return_unsafe_without_purity() {
+        let set = handmade();
+        let ex = extract(&set, &ExtractionConfig::default());
+        let (_, p) = ex
+            .catalog
+            .iter()
+            .find(|(_, p)| matches!(p.kind, PredicateKind::WrongReturn { .. }))
+            .unwrap();
+        assert!(!p.safe, "impure wrong-return interventions are unsafe");
+        assert!(p.action.is_none());
+
+        let mut cfg = ExtractionConfig::default();
+        cfg.pure_methods.insert(MethodId::from_raw(1));
+        let ex2 = extract(&set, &cfg);
+        let (_, p2) = ex2
+            .catalog
+            .iter()
+            .find(|(_, p)| matches!(p.kind, PredicateKind::WrongReturn { .. }))
+            .unwrap();
+        assert!(p2.safe);
+        assert!(matches!(
+            p2.action,
+            Some(InterventionAction::ForceReturn { value: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn majority_signature_picks_most_common() {
+        let mut set = handmade();
+        // Add two failures with a different signature: they win 2:1 against
+        // the existing one? No — existing has 1, new has 2.
+        let m0 = MethodId::from_raw(0);
+        for seed in 100..102 {
+            set.push(Trace {
+                seed,
+                events: vec![],
+                outcome: Outcome::Failure(FailureSignature {
+                    kind: "Other".into(),
+                    method: m0,
+                }),
+                duration: 1,
+            });
+        }
+        let sig = majority_signature(&set).unwrap();
+        assert_eq!(sig.kind, "Other");
+    }
+}

@@ -1,0 +1,267 @@
+//! Statistical debugging (SD) over predicate observations.
+//!
+//! Given per-run predicate truth values, SD scores every predicate by
+//! precision and recall (Section 2):
+//!
+//! ```text
+//! precision(P) = #failed runs where P holds / #runs where P holds
+//! recall(P)    = #failed runs where P holds / #failed runs
+//! ```
+//!
+//! AID consumes only the **fully-discriminative** predicates (precision =
+//! recall = 100%): those that hold in *every* failed run and *no* successful
+//! run. This module also produces the ranked list a plain-SD tool would
+//! show a developer — the baseline AID's case studies compare against
+//! (Figure 7 column 3 counts the fully-discriminative ones).
+
+use aid_predicates::{Extraction, PredicateCatalog, PredicateId, PredicateKind, RunObservation};
+use serde::{Deserialize, Serialize};
+
+/// Scores of one predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredicateScore {
+    /// How many runs the predicate held in.
+    pub holds_in: usize,
+    /// How many failed runs it held in.
+    pub holds_in_failed: usize,
+    /// Total failed runs.
+    pub failed_runs: usize,
+    /// Total runs.
+    pub total_runs: usize,
+}
+
+impl PredicateScore {
+    /// `#failed where P / #runs where P` (0 when P never holds).
+    pub fn precision(&self) -> f64 {
+        if self.holds_in == 0 {
+            0.0
+        } else {
+            self.holds_in_failed as f64 / self.holds_in as f64
+        }
+    }
+
+    /// `#failed where P / #failed` (0 when there are no failures).
+    pub fn recall(&self) -> f64 {
+        if self.failed_runs == 0 {
+            0.0
+        } else {
+            self.holds_in_failed as f64 / self.failed_runs as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Holds in every failed run and in no successful run.
+    pub fn fully_discriminative(&self) -> bool {
+        self.failed_runs > 0
+            && self.holds_in_failed == self.failed_runs
+            && self.holds_in == self.holds_in_failed
+    }
+}
+
+/// The SD analysis over one extraction.
+#[derive(Clone, Debug)]
+pub struct SdReport {
+    /// Per-predicate scores, indexed by predicate id.
+    pub scores: Vec<PredicateScore>,
+    /// Predicates that hold in at least one failed run (any discriminative
+    /// power at all).
+    pub discriminative: Vec<PredicateId>,
+    /// The fully-discriminative subset (AID's working set).
+    pub fully_discriminative: Vec<PredicateId>,
+}
+
+impl SdReport {
+    /// Scores every catalog predicate against the observations.
+    pub fn analyze(catalog: &PredicateCatalog, observations: &[RunObservation]) -> SdReport {
+        let total_runs = observations.len();
+        let failed_runs = observations.iter().filter(|o| o.failed).count();
+        let mut scores = Vec::with_capacity(catalog.len());
+        for (id, _) in catalog.iter() {
+            let holds_in = observations.iter().filter(|o| o.holds(id)).count();
+            let holds_in_failed = observations
+                .iter()
+                .filter(|o| o.failed && o.holds(id))
+                .count();
+            scores.push(PredicateScore {
+                holds_in,
+                holds_in_failed,
+                failed_runs,
+                total_runs,
+            });
+        }
+        let discriminative = catalog
+            .iter()
+            .filter(|(id, _)| scores[id.index()].holds_in_failed > 0)
+            .map(|(id, _)| id)
+            .collect();
+        let fully_discriminative = catalog
+            .iter()
+            .filter(|(id, _)| scores[id.index()].fully_discriminative())
+            .map(|(id, _)| id)
+            .collect();
+        SdReport {
+            scores,
+            discriminative,
+            fully_discriminative,
+        }
+    }
+
+    /// Convenience: analyze an [`Extraction`].
+    pub fn from_extraction(ex: &Extraction) -> SdReport {
+        Self::analyze(&ex.catalog, &ex.observations)
+    }
+
+    /// The fully-discriminative predicates excluding the failure indicator
+    /// itself and any unsafe-to-intervene predicates — the candidate set
+    /// handed to causal analysis (§3.3, §4).
+    pub fn aid_candidates(
+        &self,
+        catalog: &PredicateCatalog,
+        failure: PredicateId,
+    ) -> Vec<PredicateId> {
+        self.fully_discriminative
+            .iter()
+            .copied()
+            .filter(|&id| id != failure)
+            .filter(|&id| {
+                let p = catalog.get(id);
+                p.safe && p.action.is_some() && !matches!(p.kind, PredicateKind::Failure { .. })
+            })
+            .collect()
+    }
+
+    /// Predicates ranked by F1 (desc), then precision, then id — what a
+    /// plain SD tool would show the developer.
+    pub fn ranked(&self) -> Vec<(PredicateId, PredicateScore)> {
+        let mut v: Vec<(PredicateId, PredicateScore)> = self
+            .discriminative
+            .iter()
+            .map(|&id| (id, self.scores[id.index()]))
+            .collect();
+        v.sort_by(|(ia, a), (ib, b)| {
+            b.f1()
+                .partial_cmp(&a.f1())
+                .unwrap()
+                .then(b.precision().partial_cmp(&a.precision()).unwrap())
+                .then(ia.cmp(ib))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_predicates::{MethodInstance, Predicate};
+    use aid_trace::MethodId;
+    use aid_util::DenseBitSet;
+
+    fn obs(n: usize, bits: &[usize], failed: bool) -> RunObservation {
+        RunObservation {
+            failed,
+            observed: DenseBitSet::from_indices(n, bits.iter().copied()),
+            windows: vec![None; n],
+        }
+    }
+
+    fn catalog(n: usize) -> PredicateCatalog {
+        let mut c = PredicateCatalog::new();
+        for i in 0..n {
+            c.insert(Predicate {
+                kind: PredicateKind::RunsTooSlow {
+                    site: MethodInstance::new(MethodId::from_raw(i as u32), 0),
+                    threshold: 1,
+                },
+                safe: true,
+                action: Some(aid_predicates::InterventionAction::SuppressFlaky {
+                    site: MethodInstance::new(MethodId::from_raw(i as u32), 0),
+                }),
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn precision_recall_fully_discriminative() {
+        let c = catalog(3);
+        // P0: all failed, never in success → fully discriminative.
+        // P1: all failed AND one success → precision < 1.
+        // P2: one of two failed → recall < 1.
+        let observations = vec![
+            obs(3, &[1], false),
+            obs(3, &[0, 1, 2], true),
+            obs(3, &[0, 1], true),
+        ];
+        let r = SdReport::analyze(&c, &observations);
+        let p0 = PredicateId::from_raw(0);
+        let p1 = PredicateId::from_raw(1);
+        let p2 = PredicateId::from_raw(2);
+        assert_eq!(r.scores[0].precision(), 1.0);
+        assert_eq!(r.scores[0].recall(), 1.0);
+        assert!(r.scores[1].precision() < 1.0);
+        assert_eq!(r.scores[1].recall(), 1.0);
+        assert!(r.scores[2].recall() < 1.0);
+        assert_eq!(r.fully_discriminative, vec![p0]);
+        assert!(r.discriminative.contains(&p1) && r.discriminative.contains(&p2));
+    }
+
+    #[test]
+    fn ranked_puts_best_first() {
+        let c = catalog(3);
+        let observations = vec![
+            obs(3, &[1], false),
+            obs(3, &[0, 1, 2], true),
+            obs(3, &[0, 1], true),
+        ];
+        let r = SdReport::analyze(&c, &observations);
+        let ranked = r.ranked();
+        assert_eq!(ranked[0].0, PredicateId::from_raw(0));
+    }
+
+    #[test]
+    fn aid_candidates_exclude_failure_and_unsafe() {
+        let c = catalog(2);
+        let mut cat2 = PredicateCatalog::new();
+        for (_, p) in c.iter() {
+            let mut p = p.clone();
+            if matches!(p.kind, PredicateKind::RunsTooSlow { site, .. } if site.method.raw() == 1) {
+                p.safe = false;
+            }
+            cat2.insert(p);
+        }
+        let f = cat2.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: aid_trace::FailureSignature {
+                    kind: "X".into(),
+                    method: MethodId::from_raw(0),
+                },
+            },
+            safe: true,
+            action: None,
+        });
+        let observations = vec![obs(3, &[], false), obs(3, &[0, 1, 2], true)];
+        let r = SdReport::analyze(&cat2, &observations);
+        assert_eq!(r.fully_discriminative.len(), 3);
+        let cands = r.aid_candidates(&cat2, f);
+        assert_eq!(cands, vec![PredicateId::from_raw(0)]);
+    }
+
+    #[test]
+    fn empty_failures_scores_zero_recall() {
+        let c = catalog(1);
+        let observations = vec![obs(1, &[0], false)];
+        let r = SdReport::analyze(&c, &observations);
+        assert_eq!(r.scores[0].recall(), 0.0);
+        assert!(!r.scores[0].fully_discriminative());
+        assert!(r.fully_discriminative.is_empty());
+    }
+}

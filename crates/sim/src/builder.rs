@@ -1,0 +1,317 @@
+//! Fluent construction of [`Program`]s.
+//!
+//! ```
+//! use aid_sim::builder::ProgramBuilder;
+//! use aid_sim::program::{Cmp, Expr, Reg};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let flag = b.object("flag", 0);
+//! let worker = b.method("Worker", |m| {
+//!     m.write(flag, Expr::Const(1)).compute(3);
+//! });
+//! let main = b.method("Main", |m| {
+//!     m.spawn_named("worker").wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1));
+//! });
+//! b.thread("main", main, true);
+//! b.thread("worker", worker, false);
+//! let program = b.build();
+//! assert_eq!(program.methods.len(), 2);
+//! ```
+
+use crate::program::{Cmp, Cond, Expr, MethodDef, ObjectDef, Op, Program, Reg, ThreadSpec};
+use aid_trace::{MethodId, ObjectId};
+use std::collections::BTreeMap;
+
+/// Builds a [`Program`] incrementally.
+pub struct ProgramBuilder {
+    name: String,
+    methods: Vec<MethodDef>,
+    objects: Vec<ObjectDef>,
+    threads: Vec<ThreadSpec>,
+    thread_names: BTreeMap<String, usize>,
+    pending_spawns: Vec<(MethodId, usize, String)>,
+}
+
+impl ProgramBuilder {
+    /// Starts a builder for a program called `name`.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_string(),
+            methods: Vec::new(),
+            objects: Vec::new(),
+            threads: Vec::new(),
+            thread_names: BTreeMap::new(),
+            pending_spawns: Vec::new(),
+        }
+    }
+
+    /// Declares a shared object with an initial value.
+    pub fn object(&mut self, name: &str, initial: i64) -> ObjectId {
+        let id = ObjectId::from_raw(self.objects.len() as u32);
+        self.objects.push(ObjectDef {
+            name: name.to_string(),
+            initial,
+        });
+        id
+    }
+
+    /// Defines an impure method (may mutate shared state).
+    pub fn method(&mut self, name: &str, f: impl FnOnce(&mut BodyBuilder)) -> MethodId {
+        self.method_inner(name, false, f)
+    }
+
+    /// Defines a pure method (safe for return-value interventions).
+    pub fn pure_method(&mut self, name: &str, f: impl FnOnce(&mut BodyBuilder)) -> MethodId {
+        self.method_inner(name, true, f)
+    }
+
+    fn method_inner(&mut self, name: &str, pure: bool, f: impl FnOnce(&mut BodyBuilder)) -> MethodId {
+        let id = MethodId::from_raw(self.methods.len() as u32);
+        let mut body = BodyBuilder {
+            ops: Vec::new(),
+            named_spawns: Vec::new(),
+        };
+        f(&mut body);
+        for (pos, name) in body.named_spawns {
+            self.pending_spawns.push((id, pos, name));
+        }
+        self.methods.push(MethodDef {
+            name: name.to_string(),
+            pure,
+            body: body.ops,
+        });
+        id
+    }
+
+    /// Declares a thread. Returns its index (usable in `Op::Spawn`/`Join`).
+    pub fn thread(&mut self, name: &str, entry: MethodId, auto_start: bool) -> usize {
+        let idx = self.threads.len();
+        self.threads.push(ThreadSpec {
+            name: name.to_string(),
+            entry,
+            auto_start,
+        });
+        self.thread_names.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// Finalizes, resolving named spawns and validating.
+    pub fn build(mut self) -> Program {
+        for (method, pos, name) in std::mem::take(&mut self.pending_spawns) {
+            let idx = *self
+                .thread_names
+                .get(&name)
+                .unwrap_or_else(|| panic!("spawn of unknown thread {name:?}"));
+            self.methods[method.index()].body[pos] = Op::Spawn { thread: idx };
+        }
+        let p = Program {
+            name: self.name,
+            methods: self.methods,
+            objects: self.objects,
+            threads: self.threads,
+        };
+        p.validate();
+        p
+    }
+}
+
+/// Builds one method body. All methods return `&mut Self` for chaining.
+pub struct BodyBuilder {
+    ops: Vec<Op>,
+    named_spawns: Vec<(usize, String)>,
+}
+
+impl BodyBuilder {
+    /// Appends a raw op.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// `reg = object` (recorded read).
+    pub fn read(&mut self, object: ObjectId, reg: Reg) -> &mut Self {
+        self.op(Op::Read { object, reg })
+    }
+
+    /// `object = value` (recorded write).
+    pub fn write(&mut self, object: ObjectId, value: Expr) -> &mut Self {
+        self.op(Op::Write { object, value })
+    }
+
+    /// Atomic read-and-throw-if (recorded read).
+    pub fn throw_if_obj(&mut self, object: ObjectId, cmp: Cmp, rhs: Expr, kind: &str) -> &mut Self {
+        self.op(Op::ThrowIfObj {
+            object,
+            cmp,
+            rhs,
+            kind: kind.to_string(),
+        })
+    }
+
+    /// Burn `cost` ticks.
+    pub fn compute(&mut self, cost: u64) -> &mut Self {
+        self.op(Op::Compute { cost })
+    }
+
+    /// Burn a random number of ticks in `[min, max]`.
+    pub fn jitter(&mut self, min: u64, max: u64) -> &mut Self {
+        self.op(Op::JitterCompute { min, max })
+    }
+
+    /// With probability `prob`, burn `ticks` (transient fault).
+    pub fn flaky_delay(&mut self, prob: f64, ticks: u64) -> &mut Self {
+        self.op(Op::FlakyDelay { prob, ticks })
+    }
+
+    /// `reg = value`.
+    pub fn set(&mut self, reg: Reg, value: Expr) -> &mut Self {
+        self.op(Op::LocalSet { reg, value })
+    }
+
+    /// `reg = if lhs cmp rhs { then_value } else { else_value }`.
+    pub fn set_if(
+        &mut self,
+        reg: Reg,
+        lhs: Expr,
+        cmp: Cmp,
+        rhs: Expr,
+        then_value: Expr,
+        else_value: Expr,
+    ) -> &mut Self {
+        self.op(Op::SetIf {
+            reg,
+            cond: Cond::new(lhs, cmp, rhs),
+            then_value,
+            else_value,
+        })
+    }
+
+    /// Burn `cost` ticks iff `lhs cmp rhs`.
+    pub fn compute_if(&mut self, lhs: Expr, cmp: Cmp, rhs: Expr, cost: u64) -> &mut Self {
+        self.op(Op::ComputeIf {
+            cond: Cond::new(lhs, cmp, rhs),
+            cost,
+        })
+    }
+
+    /// `reg = uniform(lo..=hi)` from the program RNG.
+    pub fn rand_range(&mut self, reg: Reg, lo: i64, hi: i64) -> &mut Self {
+        self.op(Op::RandRange { reg, lo, hi })
+    }
+
+    /// Synchronous call.
+    pub fn call(&mut self, method: MethodId) -> &mut Self {
+        self.op(Op::Call { method })
+    }
+
+    /// Call with a catch at this boundary.
+    pub fn try_call(&mut self, method: MethodId) -> &mut Self {
+        self.op(Op::TryCall { method })
+    }
+
+    /// Return a value.
+    pub fn ret(&mut self, value: Expr) -> &mut Self {
+        self.op(Op::Return { value: Some(value) })
+    }
+
+    /// Return without a value.
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.op(Op::Return { value: None })
+    }
+
+    /// Throw unconditionally.
+    pub fn throw(&mut self, kind: &str) -> &mut Self {
+        self.op(Op::Throw {
+            kind: kind.to_string(),
+        })
+    }
+
+    /// Throw if `lhs cmp rhs`.
+    pub fn throw_if(&mut self, lhs: Expr, cmp: Cmp, rhs: Expr, kind: &str) -> &mut Self {
+        self.op(Op::ThrowIf {
+            cond: Cond::new(lhs, cmp, rhs),
+            kind: kind.to_string(),
+        })
+    }
+
+    /// Spawn a thread by name (resolved at `build()`).
+    pub fn spawn_named(&mut self, thread: &str) -> &mut Self {
+        self.named_spawns.push((self.ops.len(), thread.to_string()));
+        // placeholder patched in build()
+        self.op(Op::Spawn { thread: usize::MAX })
+    }
+
+    /// Join a thread by index.
+    pub fn join(&mut self, thread: usize) -> &mut Self {
+        self.op(Op::Join { thread })
+    }
+
+    /// Acquire a program lock.
+    pub fn acquire(&mut self, lock: ObjectId) -> &mut Self {
+        self.op(Op::Acquire { lock })
+    }
+
+    /// Release a program lock.
+    pub fn release(&mut self, lock: ObjectId) -> &mut Self {
+        self.op(Op::Release { lock })
+    }
+
+    /// Sleep for `ticks`.
+    pub fn sleep(&mut self, ticks: u64) -> &mut Self {
+        self.op(Op::Sleep { ticks })
+    }
+
+    /// Block until `lhs cmp rhs` over shared state.
+    pub fn wait_until(&mut self, lhs: Expr, cmp: Cmp, rhs: Expr) -> &mut Self {
+        self.op(Op::WaitUntil {
+            cond: Cond::new(lhs, cmp, rhs),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = ProgramBuilder::new("t");
+        let o1 = b.object("a", 0);
+        let o2 = b.object("b", 1);
+        assert_eq!(o1.raw(), 0);
+        assert_eq!(o2.raw(), 1);
+        let m = b.method("m", |mb| {
+            mb.read(o1, Reg(0)).write(o2, Expr::Const(5));
+        });
+        b.thread("main", m, true);
+        let p = b.build();
+        assert_eq!(p.methods[0].body.len(), 2);
+        assert!(!p.methods[0].pure);
+    }
+
+    #[test]
+    fn named_spawn_is_resolved() {
+        let mut b = ProgramBuilder::new("t");
+        let worker = b.method("w", |mb| {
+            mb.compute(1);
+        });
+        let main = b.method("m", |mb| {
+            mb.spawn_named("wt").join(1);
+        });
+        b.thread("main", main, true);
+        b.thread("wt", worker, false);
+        let p = b.build();
+        assert_eq!(p.methods[1].body[0], Op::Spawn { thread: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown thread")]
+    fn unknown_spawn_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.method("m", |mb| {
+            mb.spawn_named("ghost");
+        });
+        b.thread("main", m, true);
+        b.build();
+    }
+}

@@ -1,0 +1,225 @@
+//! [`SimExecutor`]: drives the virtual machine as an `aid-core` intervention
+//! executor.
+//!
+//! A round lowers the predicates' [`InterventionAction`]s to concrete
+//! machine [`Intervention`]s, re-runs the program `runs_per_round` times on
+//! fresh seeds, and evaluates the predicate catalog on every resulting
+//! trace — the exact workflow of the paper's fault-injection phase. Because
+//! the failure is intermittent, a single lucky run proves nothing;
+//! `runs_per_round` controls the confidence that "no run failed" means
+//! "repaired" (footnote 1 of the paper).
+
+use crate::plan::{InstanceFilter, Intervention, InterventionPlan};
+use crate::runner::Simulator;
+use aid_core::{ExecutionRecord, Executor};
+use aid_predicates::{evaluate, InterventionAction, PredicateCatalog, PredicateId};
+
+/// Lowers one neutral action to machine interventions.
+pub fn lower_action(action: &InterventionAction) -> Vec<Intervention> {
+    match action {
+        InterventionAction::Serialize { a, b } => {
+            vec![Intervention::SerializeMethods { a: *a, b: *b }]
+        }
+        InterventionAction::Catch { site } => vec![Intervention::CatchException {
+            method: site.method,
+            instance: InstanceFilter::Only(site.instance),
+        }],
+        InterventionAction::SlowDown { site, ticks } => vec![Intervention::DelayEnd {
+            method: site.method,
+            instance: InstanceFilter::Only(site.instance),
+            ticks: *ticks,
+        }],
+        InterventionAction::PrematureReturn { site, value } => {
+            vec![Intervention::PrematureReturn {
+                method: site.method,
+                instance: InstanceFilter::Only(site.instance),
+                value: *value,
+            }]
+        }
+        InterventionAction::SuppressFlaky { site } => vec![Intervention::SuppressFlaky {
+            method: site.method,
+            instance: InstanceFilter::Only(site.instance),
+        }],
+        InterventionAction::ForceReturn { site, value } => vec![Intervention::ForceReturn {
+            method: site.method,
+            instance: InstanceFilter::Only(site.instance),
+            value: *value,
+        }],
+        InterventionAction::ForceOrder { first, second } => vec![Intervention::ForceOrder {
+            first: first.method,
+            then: second.method,
+            instance: InstanceFilter::Only(second.instance),
+        }],
+        InterventionAction::ForceRand { site, value } => vec![Intervention::ForceRand {
+            method: site.method,
+            instance: InstanceFilter::Only(site.instance),
+            value: *value,
+        }],
+        InterventionAction::ForceRandPair {
+            a,
+            a_value,
+            b,
+            b_value,
+        } => vec![
+            Intervention::ForceRand {
+                method: a.method,
+                instance: InstanceFilter::Only(a.instance),
+                value: *a_value,
+            },
+            Intervention::ForceRand {
+                method: b.method,
+                instance: InstanceFilter::Only(b.instance),
+                value: *b_value,
+            },
+        ],
+        InterventionAction::Either { primary, .. } => lower_action(primary),
+    }
+}
+
+/// Builds the machine plan repairing a set of predicates.
+pub fn plan_for(catalog: &PredicateCatalog, predicates: &[PredicateId]) -> InterventionPlan {
+    let mut plan = InterventionPlan::empty();
+    for &p in predicates {
+        let pred = catalog.get(p);
+        let action = pred
+            .action
+            .as_ref()
+            .unwrap_or_else(|| panic!("predicate {p:?} has no intervention"));
+        for iv in lower_action(action) {
+            plan.push(iv);
+        }
+    }
+    plan
+}
+
+/// An `aid-core` executor backed by the virtual machine.
+pub struct SimExecutor {
+    /// The program under test.
+    pub sim: Simulator,
+    /// The predicate catalog extracted from the observation phase.
+    pub catalog: PredicateCatalog,
+    /// The failure-indicator predicate (grouped signature).
+    pub failure: PredicateId,
+    /// Runs per intervention round.
+    pub runs_per_round: usize,
+    seed_counter: u64,
+}
+
+impl SimExecutor {
+    /// Creates an executor; intervention runs draw seeds starting at
+    /// `first_seed` (pick a range disjoint from the observation runs).
+    pub fn new(
+        sim: Simulator,
+        catalog: PredicateCatalog,
+        failure: PredicateId,
+        runs_per_round: usize,
+        first_seed: u64,
+    ) -> Self {
+        assert!(runs_per_round >= 1);
+        SimExecutor {
+            sim,
+            catalog,
+            failure,
+            runs_per_round,
+            seed_counter: first_seed,
+        }
+    }
+}
+
+impl Executor for SimExecutor {
+    fn intervene(&mut self, predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
+        let plan = plan_for(&self.catalog, predicates);
+        (0..self.runs_per_round)
+            .map(|_| {
+                let seed = self.seed_counter;
+                self.seed_counter += 1;
+                let trace = self.sim.run(seed, &plan);
+                let obs = evaluate(&self.catalog, &trace);
+                ExecutionRecord {
+                    failed: obs.holds(self.failure),
+                    observed: obs.observed,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_predicates::{MethodInstance, Predicate, PredicateKind};
+    use aid_trace::MethodId;
+
+    #[test]
+    fn lowering_covers_every_action() {
+        let site = MethodInstance::new(MethodId::from_raw(3), 1);
+        let other = MethodInstance::new(MethodId::from_raw(4), 0);
+        let actions = vec![
+            InterventionAction::Serialize {
+                a: site.method,
+                b: other.method,
+            },
+            InterventionAction::Catch { site },
+            InterventionAction::SlowDown { site, ticks: 9 },
+            InterventionAction::PrematureReturn { site, value: 7 },
+            InterventionAction::SuppressFlaky { site },
+            InterventionAction::ForceReturn { site, value: 7 },
+            InterventionAction::ForceOrder {
+                first: other,
+                second: site,
+            },
+            InterventionAction::ForceRand { site, value: 5 },
+            InterventionAction::Either {
+                primary: Box::new(InterventionAction::Catch { site }),
+                secondary: Box::new(InterventionAction::SuppressFlaky { site }),
+            },
+        ];
+        for a in &actions {
+            assert!(!lower_action(a).is_empty());
+        }
+        // Either lowers to its primary.
+        assert!(matches!(
+            lower_action(&actions[8])[0],
+            Intervention::CatchException { .. }
+        ));
+    }
+
+    #[test]
+    fn plan_for_concatenates_and_respects_instances() {
+        let mut catalog = PredicateCatalog::new();
+        let site = MethodInstance::new(MethodId::from_raw(0), 2);
+        let p = catalog.insert(Predicate {
+            kind: PredicateKind::RunsTooSlow {
+                site,
+                threshold: 10,
+            },
+            safe: true,
+            action: Some(InterventionAction::SuppressFlaky { site }),
+        });
+        let plan = plan_for(&catalog, &[p]);
+        assert_eq!(
+            plan.interventions,
+            vec![Intervention::SuppressFlaky {
+                method: MethodId::from_raw(0),
+                instance: InstanceFilter::Only(2),
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no intervention")]
+    fn plan_for_rejects_uninterventable() {
+        let mut catalog = PredicateCatalog::new();
+        let p = catalog.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: aid_trace::FailureSignature {
+                    kind: "X".into(),
+                    method: MethodId::from_raw(0),
+                },
+            },
+            safe: true,
+            action: None,
+        });
+        plan_for(&catalog, &[p]);
+    }
+}

@@ -1,0 +1,35 @@
+//! A deterministic discrete-event simulator for concurrent programs — the
+//! instrumented-runtime substrate of the AID reproduction.
+//!
+//! The paper instruments real .NET applications and injects faults at
+//! runtime. That interception layer is replaced here (see DESIGN.md's
+//! substitution table) by a small virtual machine whose scheduler is
+//! deliberately nondeterministic (seeded), so concurrency bugs — data races,
+//! atomicity violations, order violations, use-after-free, timing bugs —
+//! manifest *intermittently*, exactly as AID requires. The machine exposes
+//! the same observation surface the paper's tracer produces (method events
+//! with thread ids, time windows, object accesses, return values and
+//! exceptions) and the same repair surface its fault injector provides
+//! (Figure 2's interventions).
+//!
+//! Entry points:
+//! * [`builder::ProgramBuilder`] — construct a program.
+//! * [`runner::Simulator`] — run it many times into an `aid_trace::TraceSet`.
+//! * [`plan::InterventionPlan`] — inject faults into a run.
+//! * [`live`] — a demonstration harness that drives *real* OS threads with
+//!   the same intervention vocabulary.
+
+pub mod builder;
+pub mod exec;
+pub mod live;
+pub mod machine;
+pub mod plan;
+pub mod program;
+pub mod runner;
+
+pub use builder::ProgramBuilder;
+pub use exec::{lower_action, plan_for, SimExecutor};
+pub use machine::{Machine, SimConfig, DEADLOCK_KIND, TIMEOUT_KIND};
+pub use plan::{InstanceFilter, Intervention, InterventionPlan};
+pub use program::{Cmp, Cond, Expr, MethodDef, ObjectDef, Op, Program, Reg, ThreadSpec};
+pub use runner::Simulator;

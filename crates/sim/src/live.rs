@@ -1,0 +1,337 @@
+//! A demonstration harness that applies AID's intervention vocabulary to
+//! **real OS threads**.
+//!
+//! The virtual machine in [`crate::machine`] is the workhorse of this
+//! reproduction, but the paper's mechanism is runtime interception of a live
+//! process. This module shows the same shape on actual `std::thread`s:
+//! methods are registered closures, every invocation is wrapped by an
+//! instrumentation shim that records a `MethodEvent`, and an
+//! [`InterventionPlan`] is honoured by the shim (start/end delays via
+//! `thread::sleep`, method serialization via `parking_lot::Mutex`, injected
+//! try/catch via `catch_unwind`-style result capture, forced returns).
+//!
+//! Timestamps come from a monotonic `Instant` converted to microseconds —
+//! precisely the "computer clock" the paper says works reasonably in
+//! practice but can mis-order very close events; the VM is the
+//! perfectly-clocked alternative. Because real scheduling is not seedable,
+//! tests against this harness assert structure, not exact interleavings.
+
+use crate::plan::{Intervention, InterventionPlan};
+use aid_trace::{
+    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, Outcome, ThreadId, Trace,
+    TraceSet,
+};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a live method body may do.
+pub struct LiveCtx<'h> {
+    harness: &'h LiveHarness,
+    thread: u32,
+    events: Sender<MethodEvent>,
+    epoch: Instant,
+    accesses: Mutex<Vec<AccessEvent>>,
+}
+
+impl LiveCtx<'_> {
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Reads shared slot `i` (recorded access).
+    pub fn read(&self, i: usize) -> i64 {
+        let v = self.harness.shared.lock()[i];
+        self.accesses.lock().push(AccessEvent {
+            object: aid_trace::ObjectId::from_raw(i as u32),
+            kind: AccessKind::Read,
+            at: self.now(),
+            locked: false,
+        });
+        v
+    }
+
+    /// Writes shared slot `i` (recorded access).
+    pub fn write(&self, i: usize, v: i64) {
+        self.harness.shared.lock()[i] = v;
+        self.accesses.lock().push(AccessEvent {
+            object: aid_trace::ObjectId::from_raw(i as u32),
+            kind: AccessKind::Write,
+            at: self.now(),
+            locked: false,
+        });
+    }
+
+    /// Sleeps, giving other threads a chance to interleave.
+    pub fn pause(&self, micros: u64) {
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+
+    /// Calls another registered method synchronously (instrumented).
+    pub fn call(&self, method: MethodId) -> Result<Option<i64>, String> {
+        self.harness
+            .invoke(method, self.thread, &self.events, self.epoch)
+    }
+}
+
+type LiveBody = dyn Fn(&LiveCtx) -> Result<Option<i64>, String> + Send + Sync;
+
+struct LiveMethodDef {
+    name: String,
+    body: Arc<LiveBody>,
+}
+
+/// A registry of instrumented live methods plus shared state.
+pub struct LiveHarness {
+    methods: Vec<LiveMethodDef>,
+    shared: Mutex<Vec<i64>>,
+    object_names: Vec<String>,
+    plan: Mutex<InterventionPlan>,
+    serialize_locks: Vec<(MethodId, MethodId, Arc<Mutex<()>>)>,
+}
+
+impl LiveHarness {
+    /// Creates a harness with `slots` shared integer slots.
+    pub fn new(object_names: &[&str]) -> Self {
+        LiveHarness {
+            methods: Vec::new(),
+            shared: Mutex::new(vec![0; object_names.len()]),
+            object_names: object_names.iter().map(|s| s.to_string()).collect(),
+            plan: Mutex::new(InterventionPlan::empty()),
+            serialize_locks: Vec::new(),
+        }
+    }
+
+    /// Registers a method; returns its id.
+    pub fn method(
+        &mut self,
+        name: &str,
+        body: impl Fn(&LiveCtx) -> Result<Option<i64>, String> + Send + Sync + 'static,
+    ) -> MethodId {
+        let id = MethodId::from_raw(self.methods.len() as u32);
+        self.methods.push(LiveMethodDef {
+            name: name.to_string(),
+            body: Arc::new(body),
+        });
+        id
+    }
+
+    /// Installs the intervention plan for subsequent runs.
+    pub fn set_plan(&mut self, plan: InterventionPlan) {
+        self.serialize_locks = plan
+            .serialize_pairs()
+            .map(|(_, a, b)| (a, b, Arc::new(Mutex::new(()))))
+            .collect();
+        *self.plan.lock() = plan;
+    }
+
+    fn invoke(
+        &self,
+        method: MethodId,
+        thread: u32,
+        events: &Sender<MethodEvent>,
+        epoch: Instant,
+    ) -> Result<Option<i64>, String> {
+        let plan = self.plan.lock().clone();
+        // Serialization: take every injected lock mentioning this method.
+        let guards: Vec<_> = self
+            .serialize_locks
+            .iter()
+            .filter(|(a, b, _)| *a == method || *b == method)
+            .map(|(_, _, m)| m.lock())
+            .collect();
+        for iv in &plan.interventions {
+            if let Intervention::DelayStart { method: m, ticks, .. } = iv {
+                if *m == method {
+                    std::thread::sleep(Duration::from_micros(*ticks));
+                }
+            }
+        }
+        let start = epoch.elapsed().as_micros() as u64;
+        let ctx = LiveCtx {
+            harness: self,
+            thread,
+            events: events.clone(),
+            epoch,
+            accesses: Mutex::new(Vec::new()),
+        };
+        let def = &self.methods[method.index()];
+        let mut result = (def.body)(&ctx);
+        for iv in &plan.interventions {
+            match iv {
+                Intervention::DelayEnd { method: m, ticks, .. } if *m == method => {
+                    std::thread::sleep(Duration::from_micros(*ticks));
+                }
+                Intervention::ForceReturn { method: m, value, .. } if *m == method => {
+                    result = Ok(Some(*value));
+                }
+                Intervention::CatchException { method: m, .. } if *m == method => {
+                    if let Err(kind) = &result {
+                        events
+                            .send(MethodEvent {
+                                method,
+                                instance: 0,
+                                thread: ThreadId::from_raw(thread),
+                                start,
+                                end: epoch.elapsed().as_micros() as u64,
+                                accesses: ctx.accesses.lock().clone(),
+                                returned: None,
+                                exception: Some(kind.clone()),
+                                caught: true,
+                            })
+                            .ok();
+                        drop(guards);
+                        return Ok(None);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = epoch.elapsed().as_micros() as u64;
+        events
+            .send(MethodEvent {
+                method,
+                instance: 0,
+                thread: ThreadId::from_raw(thread),
+                start,
+                end,
+                accesses: ctx.accesses.lock().clone(),
+                returned: result.as_ref().ok().copied().flatten(),
+                exception: result.as_ref().err().cloned(),
+                caught: false,
+            })
+            .ok();
+        drop(guards);
+        result
+    }
+
+    /// Runs the given entry methods, one real thread each, and returns the
+    /// run's trace. `seed` is recorded but does not control scheduling (the
+    /// OS does) — this is exactly the reproducibility gap the VM closes.
+    pub fn run(&self, entries: &[MethodId], seed: u64) -> Trace {
+        // Reset shared state.
+        for v in self.shared.lock().iter_mut() {
+            *v = 0;
+        }
+        let epoch = Instant::now();
+        let (tx, rx) = unbounded();
+        let mut failure: Option<FailureSignature> = None;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, &entry) in entries.iter().enumerate() {
+                let tx = tx.clone();
+                handles.push(scope.spawn(move || self.invoke(entry, i as u32, &tx, epoch)));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                if let Err(kind) = h.join().expect("live thread panicked") {
+                    failure.get_or_insert(FailureSignature {
+                        kind,
+                        method: entries[i],
+                    });
+                }
+            }
+        });
+        drop(tx);
+        let mut trace = Trace {
+            seed,
+            events: rx.iter().collect(),
+            outcome: match failure {
+                Some(sig) => Outcome::Failure(sig),
+                None => Outcome::Success,
+            },
+            duration: epoch.elapsed().as_micros() as u64,
+        };
+        trace.normalize();
+        trace
+    }
+
+    /// Runs `n` times and returns a labeled trace set.
+    pub fn collect(&self, entries: &[MethodId], n: u64) -> TraceSet {
+        let mut set = TraceSet::new();
+        for m in &self.methods {
+            set.method(&m.name);
+        }
+        for o in &self.object_names {
+            set.object(o);
+        }
+        for seed in 0..n {
+            set.push(self.run(entries, seed));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Npgsql shape on real threads: reader snapshots a bound, writer
+    /// bumps the index; the reader fails if the bump lands in its window.
+    fn build() -> (LiveHarness, MethodId, MethodId) {
+        let mut h = LiveHarness::new(&["len", "next"]);
+        let reader = h.method("Reader", |ctx| {
+            let len = ctx.read(0) + 10;
+            ctx.pause(200);
+            let next = ctx.read(1);
+            if next > len {
+                return Err("IndexOutOfRange".into());
+            }
+            Ok(Some(next))
+        });
+        let writer = h.method("Writer", |ctx| {
+            ctx.pause(100);
+            ctx.write(1, 11);
+            Ok(None)
+        });
+        (h, reader, writer)
+    }
+
+    #[test]
+    fn live_run_records_events_and_accesses() {
+        let (h, reader, writer) = build();
+        let set = h.collect(&[reader, writer], 5);
+        assert_eq!(set.traces.len(), 5);
+        for t in &set.traces {
+            assert_eq!(t.events.len(), 2, "one event per entry method");
+            let r = t.events.iter().find(|e| e.method == reader).unwrap();
+            assert!(r.accesses.len() >= 1);
+            assert!(r.end >= r.start);
+        }
+    }
+
+    #[test]
+    fn serialize_intervention_holds_on_real_threads() {
+        let (mut h, reader, writer) = build();
+        h.set_plan(InterventionPlan::single(Intervention::SerializeMethods {
+            a: reader,
+            b: writer,
+        }));
+        let set = h.collect(&[reader, writer], 10);
+        for t in &set.traces {
+            let r = t.events.iter().find(|e| e.method == reader).unwrap();
+            let w = t.events.iter().find(|e| e.method == writer).unwrap();
+            assert!(
+                r.end <= w.start || w.end <= r.start,
+                "serialized methods must not overlap: r=[{},{}] w=[{},{}]",
+                r.start,
+                r.end,
+                w.start,
+                w.end
+            );
+        }
+    }
+
+    #[test]
+    fn force_return_applies_on_live_threads() {
+        let mut h = LiveHarness::new(&[]);
+        let get = h.method("Get", |_| Ok(Some(41)));
+        h.set_plan(InterventionPlan::single(Intervention::ForceReturn {
+            method: get,
+            instance: crate::plan::InstanceFilter::All,
+            value: 42,
+        }));
+        let t = h.run(&[get], 0);
+        assert_eq!(t.events[0].returned, Some(42));
+    }
+}

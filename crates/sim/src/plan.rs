@@ -1,0 +1,199 @@
+//! Fault-injection plans: the concrete interventions of Figure 2.
+//!
+//! An [`InterventionPlan`] is handed to the machine before a run; the machine
+//! consults it at method entry/exit, at flaky-delay sites, and when
+//! exceptions unwind. Each [`Intervention`] "repairs" one predicate class by
+//! forcing the behaviour observed in successful runs:
+//!
+//! | Predicate (Figure 2)           | Intervention                            |
+//! |--------------------------------|-----------------------------------------|
+//! | data race on X between M1, M2  | [`Intervention::SerializeMethods`]       |
+//! | method M fails                 | [`Intervention::CatchException`]         |
+//! | M runs too fast                | [`Intervention::DelayEnd`]               |
+//! | M runs too slow                | [`Intervention::PrematureReturn`] (pure) or [`Intervention::SuppressFlaky`] |
+//! | M returns incorrect value      | [`Intervention::ForceReturn`] (pure)     |
+//! | order violation (B before A)   | [`Intervention::ForceOrder`]             |
+//! | random value collision         | [`Intervention::ForceRand`]              |
+
+use aid_trace::MethodId;
+use serde::{Deserialize, Serialize};
+
+/// Restricts an intervention to one dynamic instance of a method, or to all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceFilter {
+    /// Apply to every dynamic execution of the method.
+    All,
+    /// Apply only to the k-th dynamic execution (0-based, per run).
+    Only(u32),
+}
+
+impl InstanceFilter {
+    /// Whether the filter matches instance `k`.
+    pub fn matches(self, k: u32) -> bool {
+        match self {
+            InstanceFilter::All => true,
+            InstanceFilter::Only(want) => want == k,
+        }
+    }
+}
+
+/// A single fault injection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Intervention {
+    /// Put an (injected, reentrant) lock around the bodies of `a` and `b` so
+    /// they can never temporally overlap — the lock-insertion repair for
+    /// data races (Figure 9(d)).
+    SerializeMethods {
+        /// First racing method.
+        a: MethodId,
+        /// Second racing method.
+        b: MethodId,
+    },
+    /// Delay the start of a method by `ticks`.
+    DelayStart {
+        /// Target method.
+        method: MethodId,
+        /// Which instances.
+        instance: InstanceFilter,
+        /// Injected delay.
+        ticks: u64,
+    },
+    /// Delay the end of a method by `ticks` (repairs "runs too fast").
+    DelayEnd {
+        /// Target method.
+        method: MethodId,
+        /// Which instances.
+        instance: InstanceFilter,
+        /// Injected delay.
+        ticks: u64,
+    },
+    /// Return `value` immediately at entry, skipping the body (repairs "runs
+    /// too slow" for *pure* methods: "prematurely return from M the correct
+    /// value that M returns in all successful executions").
+    PrematureReturn {
+        /// Target method (must be pure).
+        method: MethodId,
+        /// Which instances.
+        instance: InstanceFilter,
+        /// The value returned in successful runs.
+        value: i64,
+    },
+    /// Run the body but override the returned value (repairs "returns
+    /// incorrect value" for *pure* methods).
+    ForceReturn {
+        /// Target method (must be pure).
+        method: MethodId,
+        /// Which instances.
+        instance: InstanceFilter,
+        /// The value returned in successful runs.
+        value: i64,
+    },
+    /// Catch any exception escaping the method at its boundary (the
+    /// try-catch repair for "method M fails").
+    CatchException {
+        /// Target method.
+        method: MethodId,
+        /// Which instances.
+        instance: InstanceFilter,
+    },
+    /// Block the start of `then` until `first` has completed at least once
+    /// (repairs order violations).
+    ForceOrder {
+        /// Method that must finish first.
+        first: MethodId,
+        /// Method whose start is held back.
+        then: MethodId,
+        /// Which instances of `then`.
+        instance: InstanceFilter,
+    },
+    /// Disable `FlakyDelay` sites inside the method (repairs "runs too slow"
+    /// when the slowness stems from transient-fault handling).
+    SuppressFlaky {
+        /// Target method.
+        method: MethodId,
+        /// Which instances.
+        instance: InstanceFilter,
+    },
+    /// Make `RandRange` sites inside the method yield `value` (repairs
+    /// random-collision root causes).
+    ForceRand {
+        /// Target method.
+        method: MethodId,
+        /// Which instances.
+        instance: InstanceFilter,
+        /// Forced value.
+        value: i64,
+    },
+}
+
+/// A set of interventions applied together in one (group) intervention run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct InterventionPlan {
+    /// The injections.
+    pub interventions: Vec<Intervention>,
+}
+
+impl InterventionPlan {
+    /// The empty plan (a plain re-execution).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A plan with one intervention.
+    pub fn single(i: Intervention) -> Self {
+        InterventionPlan {
+            interventions: vec![i],
+        }
+    }
+
+    /// Adds an intervention.
+    pub fn push(&mut self, i: Intervention) {
+        self.interventions.push(i);
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.interventions.is_empty()
+    }
+
+    /// Iterates the serialize-method pairs (used by the machine to build its
+    /// injected lock table; lock order = intervention index, so nested
+    /// acquisition follows one global order and cannot deadlock).
+    pub fn serialize_pairs(&self) -> impl Iterator<Item = (usize, MethodId, MethodId)> + '_ {
+        self.interventions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, iv)| match iv {
+                Intervention::SerializeMethods { a, b } => Some((i, *a, *b)),
+                _ => None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_filter_semantics() {
+        assert!(InstanceFilter::All.matches(0));
+        assert!(InstanceFilter::All.matches(7));
+        assert!(InstanceFilter::Only(2).matches(2));
+        assert!(!InstanceFilter::Only(2).matches(3));
+    }
+
+    #[test]
+    fn serialize_pairs_are_enumerated_in_order() {
+        let m = MethodId::from_raw;
+        let mut plan = InterventionPlan::empty();
+        plan.push(Intervention::DelayStart {
+            method: m(0),
+            instance: InstanceFilter::All,
+            ticks: 5,
+        });
+        plan.push(Intervention::SerializeMethods { a: m(1), b: m(2) });
+        plan.push(Intervention::SerializeMethods { a: m(3), b: m(4) });
+        let pairs: Vec<_> = plan.serialize_pairs().collect();
+        assert_eq!(pairs, vec![(1, m(1), m(2)), (2, m(3), m(4))]);
+    }
+}

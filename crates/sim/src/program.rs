@@ -1,0 +1,339 @@
+//! The program model executed by the virtual machine.
+//!
+//! A [`Program`] is a set of named shared objects, methods (straight-line op
+//! sequences with calls), and threads. The model is deliberately small — it
+//! is not a general-purpose language, it is the minimal substrate on which
+//! the paper's bug classes (data races, atomicity violations, order
+//! violations, use-after-free, timing bugs, random collisions) and the
+//! paper's intervention classes (Figure 2) can be expressed mechanically.
+//!
+//! Semantics notes:
+//! * Each executed op advances the single global virtual clock by at least
+//!   one tick, so **all event timestamps in a run are distinct** and temporal
+//!   precedence within a run is total.
+//! * Registers are **per-thread** (16 of them) and survive across calls;
+//!   programs are handcrafted and allocate registers manually.
+//! * Shared objects hold `i64` values. Reads/writes through [`Op::Read`],
+//!   [`Op::Write`] and [`Op::ThrowIfObj`] are recorded in the trace as
+//!   accesses; [`Expr::Obj`] peeks inside [`Op::WaitUntil`] conditions are
+//!   monitor-style waits and are *not* recorded as data accesses.
+
+use aid_trace::{MethodId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// A per-thread register index (0..16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// Number of registers per thread.
+pub const NUM_REGS: usize = 16;
+
+/// Pure expression over constants, registers, shared-object peeks, and the
+/// current virtual clock.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant.
+    Const(i64),
+    /// A register value.
+    Reg(Reg),
+    /// A peek at a shared object (not recorded as a data access).
+    Obj(ObjectId),
+    /// The current virtual time as `i64`.
+    Now,
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    /// Convenience: `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+}
+
+/// Comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Cmp {
+    /// Applies the comparison.
+    pub fn eval(self, l: i64, r: i64) -> bool {
+        match self {
+            Cmp::Eq => l == r,
+            Cmp::Ne => l != r,
+            Cmp::Lt => l < r,
+            Cmp::Le => l <= r,
+            Cmp::Gt => l > r,
+            Cmp::Ge => l >= r,
+        }
+    }
+}
+
+/// A boolean condition `lhs cmp rhs`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cond {
+    /// Left operand.
+    pub lhs: Expr,
+    /// Operator.
+    pub cmp: Cmp,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+impl Cond {
+    /// Builds a condition.
+    pub fn new(lhs: Expr, cmp: Cmp, rhs: Expr) -> Self {
+        Cond { lhs, cmp, rhs }
+    }
+}
+
+/// One operation in a method body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read a shared object into a register (recorded access).
+    Read { object: ObjectId, reg: Reg },
+    /// Write an expression's value to a shared object (recorded access).
+    Write { object: ObjectId, value: Expr },
+    /// Atomically read a shared object (recorded access) and throw `kind` if
+    /// `value cmp rhs` holds. This models check-then-crash sites (e.g. an
+    /// array bounds check) where the read and the decision are one
+    /// instruction from the scheduler's point of view.
+    ThrowIfObj {
+        /// Object to read.
+        object: ObjectId,
+        /// Comparison applied to the freshly read value.
+        cmp: Cmp,
+        /// Right-hand side of the comparison.
+        rhs: Expr,
+        /// Exception kind thrown when the comparison holds.
+        kind: String,
+    },
+    /// Burn a fixed number of ticks.
+    Compute { cost: u64 },
+    /// Burn a uniformly random number of ticks in `[min, max]` (scheduler
+    /// RNG; this is the main source of timing nondeterminism).
+    JitterCompute { min: u64, max: u64 },
+    /// With probability `prob` (program RNG), burn `ticks` — models a
+    /// transient environment fault triggering an expensive handling path.
+    FlakyDelay { prob: f64, ticks: u64 },
+    /// Set a register to an expression's value.
+    LocalSet { reg: Reg, value: Expr },
+    /// Conditional assignment: `reg = if cond { then_value } else { else_value }`.
+    SetIf {
+        reg: Reg,
+        cond: Cond,
+        then_value: Expr,
+        else_value: Expr,
+    },
+    /// Burn `cost` ticks only when the condition holds (models conditional
+    /// slow paths taken when upstream state is corrupted).
+    ComputeIf { cond: Cond, cost: u64 },
+    /// Draw a uniformly random value in `[lo, hi]` (program RNG) into a
+    /// register — models application-level randomness (e.g. random ids).
+    RandRange { reg: Reg, lo: i64, hi: i64 },
+    /// Call another method synchronously.
+    Call { method: MethodId },
+    /// Call another method; if it throws, catch at this boundary and
+    /// continue with the next op.
+    TryCall { method: MethodId },
+    /// Return from the current method, optionally with a value.
+    Return { value: Option<Expr> },
+    /// Throw unconditionally.
+    Throw { kind: String },
+    /// Throw if the (register/peek) condition holds.
+    ThrowIf { cond: Cond, kind: String },
+    /// Start a program thread (by index into [`Program::threads`]).
+    Spawn { thread: usize },
+    /// Block until a program thread has finished.
+    Join { thread: usize },
+    /// Acquire a program lock (an object used as a mutex).
+    Acquire { lock: ObjectId },
+    /// Release a program lock.
+    Release { lock: ObjectId },
+    /// Block for a fixed number of ticks.
+    Sleep { ticks: u64 },
+    /// Block until the condition over shared state holds (monitor wait; the
+    /// peeks are not recorded as accesses).
+    WaitUntil { cond: Cond },
+}
+
+/// A method definition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MethodDef {
+    /// Name (must be whitespace-free; it flows into trace logs).
+    pub name: String,
+    /// True if the method mutates no shared state — only pure methods are
+    /// safe targets for return-value and premature-return interventions
+    /// (§3.3 "validity of intervention").
+    pub pure: bool,
+    /// The body.
+    pub body: Vec<Op>,
+}
+
+/// A shared object definition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObjectDef {
+    /// Name (must be whitespace-free).
+    pub name: String,
+    /// Value at the start of every run.
+    pub initial: i64,
+}
+
+/// A thread definition.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThreadSpec {
+    /// Name, for diagnostics.
+    pub name: String,
+    /// The method the thread runs.
+    pub entry: MethodId,
+    /// Whether the thread starts at time zero (otherwise it must be
+    /// [`Op::Spawn`]ed).
+    pub auto_start: bool,
+}
+
+/// A complete program.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Methods; `MethodId` is the index.
+    pub methods: Vec<MethodDef>,
+    /// Shared objects; `ObjectId` is the index.
+    pub objects: Vec<ObjectDef>,
+    /// Threads.
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl Program {
+    /// Looks up a method definition.
+    pub fn method(&self, id: MethodId) -> &MethodDef {
+        &self.methods[id.index()]
+    }
+
+    /// Looks up an object definition.
+    pub fn object(&self, id: ObjectId) -> &ObjectDef {
+        &self.objects[id.index()]
+    }
+
+    /// Ids of methods marked pure.
+    pub fn pure_methods(&self) -> Vec<MethodId> {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.pure)
+            .map(|(i, _)| MethodId::from_raw(i as u32))
+            .collect()
+    }
+
+    /// Validates structural invariants (indices in range, spawn/join targets
+    /// exist, names whitespace-free). Panics with a description on violation;
+    /// builders call this before returning a program.
+    pub fn validate(&self) {
+        assert!(!self.threads.is_empty(), "program has no threads");
+        for m in &self.methods {
+            assert!(
+                !m.name.chars().any(char::is_whitespace),
+                "method name {:?} contains whitespace",
+                m.name
+            );
+            for op in &m.body {
+                match op {
+                    Op::Call { method } | Op::TryCall { method } => {
+                        assert!(method.index() < self.methods.len(), "bad call target");
+                    }
+                    Op::Spawn { thread } | Op::Join { thread } => {
+                        assert!(*thread < self.threads.len(), "bad thread index");
+                    }
+                    Op::Read { object, .. }
+                    | Op::Write { object, .. }
+                    | Op::ThrowIfObj { object, .. } => {
+                        assert!(object.index() < self.objects.len(), "bad object index");
+                    }
+                    Op::Acquire { lock } | Op::Release { lock } => {
+                        assert!(lock.index() < self.objects.len(), "bad lock index");
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for o in &self.objects {
+            assert!(
+                !o.name.chars().any(char::is_whitespace),
+                "object name {:?} contains whitespace",
+                o.name
+            );
+        }
+        for t in &self.threads {
+            assert!(t.entry.index() < self.methods.len(), "bad thread entry");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_covers_all_operators() {
+        assert!(Cmp::Eq.eval(1, 1));
+        assert!(Cmp::Ne.eval(1, 2));
+        assert!(Cmp::Lt.eval(1, 2));
+        assert!(Cmp::Le.eval(2, 2));
+        assert!(Cmp::Gt.eval(3, 2));
+        assert!(Cmp::Ge.eval(2, 2));
+        assert!(!Cmp::Lt.eval(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad call target")]
+    fn validate_rejects_dangling_call() {
+        let p = Program {
+            name: "bad".into(),
+            methods: vec![MethodDef {
+                name: "m".into(),
+                pure: false,
+                body: vec![Op::Call {
+                    method: MethodId::from_raw(7),
+                }],
+            }],
+            objects: vec![],
+            threads: vec![ThreadSpec {
+                name: "t".into(),
+                entry: MethodId::from_raw(0),
+                auto_start: true,
+            }],
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no threads")]
+    fn validate_rejects_empty_program() {
+        Program {
+            name: "empty".into(),
+            methods: vec![],
+            objects: vec![],
+            threads: vec![],
+        }
+        .validate();
+    }
+}

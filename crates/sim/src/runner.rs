@@ -1,0 +1,407 @@
+//! Running programs many times and collecting labeled trace sets.
+
+use crate::machine::{Machine, SimConfig};
+use crate::plan::InterventionPlan;
+use crate::program::Program;
+use aid_trace::{Trace, TraceSet};
+
+/// Convenience wrapper: a program plus a configuration.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    /// The program under test.
+    pub program: Program,
+    /// Machine configuration.
+    pub config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with default configuration.
+    pub fn new(program: Program) -> Self {
+        Simulator {
+            program,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Runs once with `seed` under `plan`.
+    pub fn run(&self, seed: u64, plan: &InterventionPlan) -> Trace {
+        Machine::new(&self.program, plan, self.config.clone(), seed).run()
+    }
+
+    /// Runs seeds `0..runs` with no intervention, returning a labeled set.
+    pub fn collect(&self, runs: u64) -> TraceSet {
+        self.collect_with(0..runs, &InterventionPlan::empty())
+    }
+
+    /// Runs the given seeds under `plan`, returning a labeled set.
+    pub fn collect_with(
+        &self,
+        seeds: impl IntoIterator<Item = u64>,
+        plan: &InterventionPlan,
+    ) -> TraceSet {
+        let mut set = self.trace_set_skeleton();
+        for seed in seeds {
+            set.push(self.run(seed, plan));
+        }
+        set
+    }
+
+    /// Collects until the set contains at least `want_ok` successes and
+    /// `want_fail` failures (or `max_seeds` runs have been tried). This is
+    /// how case studies gather their "50 successful and 50 failed
+    /// executions" even when the failure probability is lopsided.
+    pub fn collect_balanced(&self, want_ok: usize, want_fail: usize, max_seeds: u64) -> TraceSet {
+        let mut set = self.trace_set_skeleton();
+        let (mut n_ok, mut n_fail) = (0usize, 0usize);
+        for seed in 0..max_seeds {
+            if n_ok >= want_ok && n_fail >= want_fail {
+                break;
+            }
+            let t = self.run(seed, &InterventionPlan::empty());
+            if t.failed() {
+                if n_fail < want_fail {
+                    n_fail += 1;
+                    set.push(t);
+                }
+            } else if n_ok < want_ok {
+                n_ok += 1;
+                set.push(t);
+            }
+        }
+        set
+    }
+
+    /// An empty trace set pre-seeded with this program's method/object names
+    /// (so ids in traces match program ids).
+    pub fn trace_set_skeleton(&self) -> TraceSet {
+        let mut set = TraceSet::new();
+        for m in &self.program.methods {
+            set.method(&m.name);
+        }
+        for o in &self.program.objects {
+            set.object(&o.name);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::machine::{DEADLOCK_KIND, TIMEOUT_KIND};
+    use crate::plan::{InstanceFilter, Intervention};
+    use crate::program::{Cmp, Expr, Reg};
+    use aid_trace::Outcome;
+
+    /// The Npgsql shape, miniaturized: an atomicity violation. The writer
+    /// updates `len` then `slot` as a pair; the reader snapshots `len` and
+    /// later bounds-checks `slot` against the snapshot. The run crashes iff
+    /// the writer's pair lands *inside* the reader's snapshot/check window —
+    /// any fully-ordered schedule is fine. Waits live outside the racing
+    /// methods so a serializing lock around them cannot deadlock.
+    fn racy_program() -> Program {
+        let mut b = ProgramBuilder::new("race");
+        let flag = b.object("flag", 0);
+        let len = b.object("len", 10);
+        let slot = b.object("slot", 10);
+        let reader = b.method("Reader", |m| {
+            m.write(flag, Expr::Const(1))
+                .read(len, Reg(0))
+                .jitter(5, 40)
+                .throw_if_obj(slot, Cmp::Gt, Expr::Reg(Reg(0)), "IndexOutOfRange");
+        });
+        let writer = b.method("Writer", |m| {
+            m.jitter(1, 10)
+                .write(len, Expr::Const(20))
+                .write(slot, Expr::Const(11));
+        });
+        let writer_entry = b.method("WriterEntry", |m| {
+            m.wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1))
+                .jitter(0, 30)
+                .call(writer);
+        });
+        let main = b.method("Main", |m| {
+            m.spawn_named("t1").spawn_named("t2").join(1).join(2);
+        });
+        b.thread("main", main, true);
+        b.thread("t1", reader, false);
+        b.thread("t2", writer_entry, false);
+        let _ = main;
+        b.build()
+    }
+
+    #[test]
+    fn race_is_intermittent_and_seed_deterministic() {
+        let sim = Simulator::new(racy_program());
+        let set = sim.collect(200);
+        let (ok, fail) = set.counts();
+        assert!(ok > 10, "expected some successes, got {ok}");
+        assert!(fail > 10, "expected some failures, got {fail}");
+        // Same seed, same trace.
+        let a = sim.run(7, &InterventionPlan::empty());
+        let b = sim.run(7, &InterventionPlan::empty());
+        assert_eq!(a, b, "runs must be deterministic per seed");
+        // Different seeds eventually differ.
+        let c = sim.run(8, &InterventionPlan::empty());
+        assert!(a != c || sim.run(9, &InterventionPlan::empty()) != a);
+    }
+
+    #[test]
+    fn serialize_intervention_repairs_the_race() {
+        let sim = Simulator::new(racy_program());
+        let reader = aid_trace::MethodId::from_raw(0);
+        let writer = aid_trace::MethodId::from_raw(1);
+        let plan = InterventionPlan::single(Intervention::SerializeMethods {
+            a: reader,
+            b: writer,
+        });
+        let set = sim.collect_with(0..120, &plan);
+        let (_, fail) = set.counts();
+        assert_eq!(fail, 0, "serialization must eliminate the failure");
+        // Under the injected lock the conflicting accesses report as locked.
+        for t in &set.traces {
+            for e in t.events.iter().filter(|e| e.method == reader) {
+                assert!(e.accesses.iter().all(|a| a.locked));
+            }
+        }
+    }
+
+    #[test]
+    fn failure_signature_names_kind_and_method() {
+        let sim = Simulator::new(racy_program());
+        let set = sim.collect(200);
+        for t in set.failures() {
+            match &t.outcome {
+                Outcome::Failure(sig) => {
+                    assert_eq!(sig.kind, "IndexOutOfRange");
+                    assert_eq!(sig.method.raw(), 0, "thrown in Reader");
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn collect_balanced_hits_requested_counts() {
+        let sim = Simulator::new(racy_program());
+        let set = sim.collect_balanced(10, 10, 10_000);
+        let (ok, fail) = set.counts();
+        assert_eq!((ok, fail), (10, 10));
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut b = ProgramBuilder::new("deadlock");
+        let l1 = b.object("l1", 0);
+        let l2 = b.object("l2", 0);
+        let m1 = b.method("A", |m| {
+            m.acquire(l1).compute(20).acquire(l2).release(l2).release(l1);
+        });
+        let m2 = b.method("B", |m| {
+            m.acquire(l2).compute(20).acquire(l1).release(l1).release(l2);
+        });
+        let main = b.method("Main", |m| {
+            m.spawn_named("a").spawn_named("b").join(1).join(2);
+        });
+        b.thread("main", main, true);
+        b.thread("a", m1, false);
+        b.thread("b", m2, false);
+        let sim = Simulator::new(b.build());
+        let set = sim.collect(50);
+        let deadlocks = set
+            .failures()
+            .filter(|t| matches!(&t.outcome, Outcome::Failure(s) if s.kind == DEADLOCK_KIND))
+            .count();
+        assert!(deadlocks > 0, "the classic 2-lock cycle must deadlock sometimes");
+    }
+
+    #[test]
+    fn runaway_program_times_out() {
+        let mut b = ProgramBuilder::new("spin");
+        let never = b.object("never", 0);
+        let m = b.method("Spin", |mb| {
+            // Condition never satisfied and no other thread exists, but the
+            // liveness valve keeps releasing it; the step budget must end it.
+            mb.wait_until(Expr::Obj(never), Cmp::Eq, Expr::Const(1))
+                .throw("Unreachable");
+        });
+        b.thread("main", m, true);
+        let mut sim = Simulator::new(b.build());
+        sim.config.max_steps = 500;
+        let t = sim.run(0, &InterventionPlan::empty());
+        match &t.outcome {
+            // The valve releases the lone waiter, which then throws; either
+            // way the run terminates abnormally.
+            Outcome::Failure(s) => assert!(s.kind == TIMEOUT_KIND || s.kind == "Unreachable"),
+            Outcome::Success => panic!("spin program cannot succeed"),
+        }
+    }
+
+    #[test]
+    fn try_call_absorbs_exception() {
+        let mut b = ProgramBuilder::new("catch");
+        let thrower = b.method("Thrower", |m| {
+            m.compute(2).throw("Boom");
+        });
+        let main = b.method("Main", |m| {
+            m.try_call(thrower).compute(2);
+        });
+        b.thread("main", main, true);
+        let sim = Simulator::new(b.build());
+        let t = sim.run(1, &InterventionPlan::empty());
+        assert_eq!(t.outcome, Outcome::Success);
+        let ev = t.events.iter().find(|e| e.method == thrower).unwrap();
+        assert_eq!(ev.exception.as_deref(), Some("Boom"));
+        assert!(ev.caught);
+    }
+
+    #[test]
+    fn catch_exception_intervention_repairs_method_fails() {
+        let mut b = ProgramBuilder::new("catch2");
+        let thrower = b.method("Thrower", |m| {
+            m.compute(2).throw("Boom");
+        });
+        let main = b.method("Main", |m| {
+            m.call(thrower).compute(2);
+        });
+        b.thread("main", main, true);
+        let sim = Simulator::new(b.build());
+        let t = sim.run(1, &InterventionPlan::empty());
+        assert!(t.failed(), "uncaught exception fails the run");
+        let plan = InterventionPlan::single(Intervention::CatchException {
+            method: thrower,
+            instance: InstanceFilter::All,
+        });
+        let t2 = sim.run(1, &plan);
+        assert_eq!(t2.outcome, Outcome::Success, "injected try/catch repairs it");
+    }
+
+    #[test]
+    fn force_return_overrides_value_and_register() {
+        let mut b = ProgramBuilder::new("forceret");
+        let getter = b.pure_method("Get", |m| {
+            m.set(Reg(0), Expr::Const(41)).ret(Expr::Reg(Reg(0)));
+        });
+        let main = b.method("Main", |m| {
+            m.call(getter)
+                .throw_if(Expr::Reg(Reg(0)), Cmp::Ne, Expr::Const(42), "WrongValue");
+        });
+        b.thread("main", main, true);
+        let sim = Simulator::new(b.build());
+        assert!(sim.run(3, &InterventionPlan::empty()).failed());
+        let plan = InterventionPlan::single(Intervention::ForceReturn {
+            method: getter,
+            instance: InstanceFilter::All,
+            value: 42,
+        });
+        let t = sim.run(3, &plan);
+        assert_eq!(t.outcome, Outcome::Success);
+        let ev = t.events.iter().find(|e| e.method == getter).unwrap();
+        assert_eq!(ev.returned, Some(42));
+    }
+
+    #[test]
+    fn premature_return_skips_body() {
+        let mut b = ProgramBuilder::new("prem");
+        let obj = b.object("x", 0);
+        let slow = b.pure_method("Slow", |m| {
+            m.compute(100).set(Reg(1), Expr::Const(5)).ret(Expr::Reg(Reg(1)));
+        });
+        let main = b.method("Main", |m| {
+            m.call(slow).write(obj, Expr::Reg(Reg(1)));
+        });
+        b.thread("main", main, true);
+        let sim = Simulator::new(b.build());
+        let plan = InterventionPlan::single(Intervention::PrematureReturn {
+            method: slow,
+            instance: InstanceFilter::All,
+            value: 5,
+        });
+        let t = sim.run(0, &plan);
+        let ev = t.events.iter().find(|e| e.method == slow).unwrap();
+        assert_eq!(ev.duration(), 0, "body skipped");
+        assert_eq!(ev.returned, Some(5));
+        assert_eq!(t.outcome, Outcome::Success);
+    }
+
+    #[test]
+    fn force_order_intervention_enforces_completion_order() {
+        // B normally starts whenever; ForceOrder(first=A, then=B) must make
+        // every B start after A's first completion.
+        let mut b = ProgramBuilder::new("order");
+        let a = b.method("A", |m| {
+            m.jitter(10, 60).compute(1);
+        });
+        let bm = b.method("B", |m| {
+            m.compute(1);
+        });
+        let main = b.method("Main", |m| {
+            m.spawn_named("ta").spawn_named("tb").join(1).join(2);
+        });
+        b.thread("main", main, true);
+        b.thread("ta", a, false);
+        b.thread("tb", bm, false);
+        let sim = Simulator::new(b.build());
+        let plan = InterventionPlan::single(Intervention::ForceOrder {
+            first: a,
+            then: bm,
+            instance: InstanceFilter::All,
+        });
+        for seed in 0..40 {
+            let t = sim.run(seed, &plan);
+            let ea = t.events.iter().find(|e| e.method == a).unwrap();
+            let eb = t.events.iter().find(|e| e.method == bm).unwrap();
+            assert!(eb.end > ea.end, "B must finish after A under forced order");
+        }
+    }
+
+    #[test]
+    fn instance_filter_targets_single_instance() {
+        let mut b = ProgramBuilder::new("inst");
+        let leaf = b.method("Leaf", |m| {
+            m.compute(3);
+        });
+        let main = b.method("Main", |m| {
+            m.call(leaf).call(leaf).call(leaf);
+        });
+        b.thread("main", main, true);
+        let sim = Simulator::new(b.build());
+        let plan = InterventionPlan::single(Intervention::DelayEnd {
+            method: leaf,
+            instance: InstanceFilter::Only(1),
+            ticks: 50,
+        });
+        let t = sim.run(0, &plan);
+        let durs: Vec<u64> = t.events.iter().filter(|e| e.method == leaf).map(|e| e.duration()).collect();
+        assert_eq!(durs.len(), 3);
+        assert!(durs[1] > durs[0] + 40, "only instance 1 is delayed: {durs:?}");
+        assert!(durs[2] < durs[1]);
+    }
+
+    #[test]
+    fn flaky_delay_and_suppression() {
+        let mut b = ProgramBuilder::new("flaky");
+        let m = b.method("Task", |mb| {
+            mb.flaky_delay(0.5, 200).compute(2);
+        });
+        b.thread("main", m, true);
+        let sim = Simulator::new(b.build());
+        let set = sim.collect(100);
+        let slow = set
+            .traces
+            .iter()
+            .filter(|t| t.events[0].duration() > 100)
+            .count();
+        assert!(slow > 20 && slow < 80, "flaky delay fires ~half the time: {slow}");
+        let plan = InterventionPlan::single(Intervention::SuppressFlaky {
+            method: aid_trace::MethodId::from_raw(0),
+            instance: InstanceFilter::All,
+        });
+        let set2 = sim.collect_with(0..100, &plan);
+        assert!(
+            set2.traces.iter().all(|t| t.events[0].duration() < 100),
+            "suppression removes every slow run"
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Lowering a ground truth to a real `aid-sim` program.
+//!
+//! This closes the loop: a synthetic causal structure becomes an actual
+//! program whose traces, predicates, AC-DAG and interventions all flow
+//! through the production pipeline. The encoding keeps every node method
+//! *pure* so return-value interventions are safe:
+//!
+//! * the root method draws an "infection" bit from the program RNG (the
+//!   intermittent nondeterminism) into the spine register and returns it;
+//! * each causal-path method propagates the spine register;
+//! * each symptom method copies its cause's register into its lineage's
+//!   scratch register (observably wrong when infected) without touching
+//!   the spine;
+//! * noise nodes mirror the spine directly (discriminative but harmless);
+//! * a final `Check` method throws iff the spine is infected.
+//!
+//! Every node yields a fully-discriminative `WrongReturn` predicate whose
+//! `ForceReturn(0)` repair zeroes exactly its own register — breaking its
+//! downstream propagation and nothing else, which matches the oracle's
+//! counterfactual semantics. Register pressure limits the encoding to
+//! ground truths with ≤ 12 distinct symptom lineages; the generator's
+//! oracle path has no such limit.
+
+use aid_core::GroundTruth;
+use aid_sim::program::{Cmp, Expr, Reg};
+use aid_sim::{Program, ProgramBuilder};
+use aid_trace::MethodId;
+
+/// A compiled synthetic application.
+#[derive(Clone, Debug)]
+pub struct CompiledApp {
+    /// The runnable program.
+    pub program: Program,
+    /// Method id of each ground-truth node (index = node id).
+    pub node_methods: Vec<MethodId>,
+    /// The method that throws the failure.
+    pub check_method: MethodId,
+}
+
+/// Compiles a ground truth into a runnable program. The root misbehaves in
+/// roughly half the runs (an intermittent failure). Panics if the structure
+/// needs more than 12 scratch registers (one per symptom lineage).
+pub fn compile_to_program(truth: &GroundTruth) -> CompiledApp {
+    truth.validate();
+    let mut b = ProgramBuilder::new("synthetic");
+
+    // Register assignment: the causal path shares the spine register R0;
+    // every off-path lineage gets a scratch register.
+    let spine = Reg(0);
+    let mut reg_of: Vec<Option<Reg>> = vec![None; truth.n];
+    for &p in &truth.path {
+        reg_of[p] = Some(spine);
+    }
+    let order = forest_topo_order(truth);
+    let mut next_reg = 1u8;
+    for &x in &order {
+        if reg_of[x].is_some() {
+            continue;
+        }
+        let r = match truth.parent[x] {
+            Some(p) => {
+                let pr = reg_of[p].expect("parent assigned first");
+                if pr == spine {
+                    let r = Reg(next_reg);
+                    next_reg += 1;
+                    assert!(next_reg <= 13, "too many symptom lineages for 16 registers");
+                    r
+                } else {
+                    pr
+                }
+            }
+            None => {
+                let r = Reg(next_reg);
+                next_reg += 1;
+                assert!(next_reg <= 13, "too many symptom lineages for 16 registers");
+                r
+            }
+        };
+        reg_of[x] = Some(r);
+    }
+
+    let root = truth.path[0];
+    let mut node_methods: Vec<(usize, MethodId)> = Vec::with_capacity(truth.n);
+    let mut call_order = Vec::with_capacity(truth.n + 1);
+    for &x in &order {
+        let reg = reg_of[x].unwrap();
+        let parent_reg = truth.parent[x].map(|p| reg_of[p].unwrap());
+        let name = format!("Node{x}");
+        let m = b.pure_method(&name, |mb| {
+            mb.compute(2);
+            if x == root {
+                // The intermittent root cause: infected in ~half the runs.
+                mb.rand_range(reg, 0, 1);
+            } else if let Some(pr) = parent_reg {
+                mb.set(reg, Expr::Reg(pr));
+            } else {
+                // Noise: mirrors the spine so it is fully discriminative,
+                // but repairing it repairs nothing.
+                mb.set(reg, Expr::Reg(spine));
+            }
+            mb.ret(Expr::Reg(reg));
+        });
+        node_methods.push((x, m));
+        call_order.push(m);
+    }
+
+    let check = b.method("Check", |mb| {
+        mb.compute(1)
+            .throw_if(Expr::Reg(spine), Cmp::Eq, Expr::Const(1), "SynthFailure");
+    });
+    let main = b.method("Main", |mb| {
+        for m in &call_order {
+            mb.call(*m);
+        }
+        mb.call(check);
+    });
+    b.thread("main", main, true);
+
+    let program = b.build();
+    node_methods.sort_by_key(|&(x, _)| x);
+    CompiledApp {
+        program,
+        node_methods: node_methods.into_iter().map(|(_, m)| m).collect(),
+        check_method: check,
+    }
+}
+
+/// Topological order of the parent forest (parents first, root's tree
+/// first so the spine register is live before anyone mirrors it).
+fn forest_topo_order(truth: &GroundTruth) -> Vec<usize> {
+    fn visit(x: usize, truth: &GroundTruth, visited: &mut [bool], order: &mut Vec<usize>) {
+        if visited[x] {
+            return;
+        }
+        if let Some(p) = truth.parent[x] {
+            visit(p, truth, visited, order);
+        }
+        visited[x] = true;
+        order.push(x);
+    }
+    let mut order = Vec::with_capacity(truth.n);
+    let mut visited = vec![false; truth.n];
+    visit(truth.path[0], truth, &mut visited, &mut order);
+    for x in 0..truth.n {
+        visit(x, truth, &mut visited, &mut order);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_core::{discover, figure4_ground_truth, Strategy};
+    use aid_predicates::ExtractionConfig;
+    use aid_sim::{SimExecutor, Simulator};
+
+    #[test]
+    fn compiled_program_fails_intermittently() {
+        let truth = figure4_ground_truth();
+        let app = compile_to_program(&truth);
+        let sim = Simulator::new(app.program);
+        let set = sim.collect(100);
+        let (ok, fail) = set.counts();
+        assert!(ok > 20 && fail > 20, "≈50/50 split, got {ok}/{fail}");
+    }
+
+    #[test]
+    fn full_pipeline_on_compiled_program_recovers_the_path() {
+        let truth = figure4_ground_truth();
+        let app = compile_to_program(&truth);
+        let sim = Simulator::new(app.program.clone());
+        let set = sim.collect_balanced(40, 40, 4000);
+        let mut cfg = ExtractionConfig::default();
+        for m in app.program.pure_methods() {
+            cfg.pure_methods.insert(m);
+        }
+        let analysis = aid_core::analyze(&set, &cfg);
+        // One WrongReturn predicate per node, plus the exception symptoms of
+        // the crash site (`Check` throws, and the exception escapes `Main`).
+        assert!(
+            analysis.sd_predicate_count() >= truth.n,
+            "every node is fully discriminative: {} < {}",
+            analysis.sd_predicate_count(),
+            truth.n
+        );
+        let mut exec = SimExecutor::new(
+            sim,
+            analysis.extraction.catalog.clone(),
+            analysis.extraction.failure,
+            10,
+            1_000_000,
+        );
+        let r = discover(&analysis.dag, &mut exec, Strategy::Aid, 3);
+        // The discovered causal chain must be the spine's WrongReturn
+        // predicates in order, optionally followed by the crash-site
+        // MethodFails predicates (catching the exception also repairs the
+        // failure — the paper's Npgsql path likewise ends in "throws
+        // IndexOutOfRange" → "application fails to handle it").
+        let mut wrong_return_methods = Vec::new();
+        for &p in &r.causal {
+            match &analysis.extraction.catalog.get(p).kind {
+                aid_predicates::PredicateKind::WrongReturn { site, .. } => {
+                    wrong_return_methods.push(site.method.raw());
+                }
+                aid_predicates::PredicateKind::MethodFails { kind, .. } => {
+                    assert_eq!(kind, "SynthFailure");
+                }
+                other => panic!("unexpected causal predicate {other:?}"),
+            }
+        }
+        let expected: Vec<u32> = truth
+            .path
+            .iter()
+            .map(|&x| app.node_methods[x].raw())
+            .collect();
+        assert_eq!(wrong_return_methods, expected, "pipeline must find P1→P2→P11");
+    }
+}

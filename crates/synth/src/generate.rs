@@ -1,0 +1,306 @@
+//! The Figure 8 workload generator.
+//!
+//! Shape of a generated application ("multi-threaded applications ranging
+//! the maximum number of threads MAXt from 2 to 40 … the total number of
+//! predicates N ranges from 4 to 284 … the number of causal predicates in
+//! `[1, N/log N]`"):
+//!
+//! ```text
+//! prefix chain → junction(B₁ branches) → chain → … → junction(B_J) → chain → F
+//! ```
+//!
+//! * the thread count `T ≤ MAXt` bounds every junction's branch count
+//!   (§6.3.1's `B ≤ T` argument);
+//! * the true causal path follows one route from the root to F; `D` of its
+//!   nodes are causal (parent-chained), the rest of the route plus a share
+//!   of off-route nodes are *symptoms* (true parent = an AC-DAG ancestor,
+//!   so they vanish when their cause is repaired), and the remainder is
+//!   *noise* (occurs independently — prime interventional-pruning fodder).
+
+use aid_causal::AcDag;
+use aid_core::GroundTruth;
+use aid_predicates::PredicateId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthParams {
+    /// Maximum number of threads (the Figure 8 x-axis, 2..=42).
+    pub max_threads: u32,
+    /// Hard cap on predicates (paper: 284).
+    pub max_predicates: usize,
+    /// Probability that an off-path node is a symptom (has a true cause)
+    /// rather than independent noise.
+    pub symptom_prob: f64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            max_threads: 8,
+            max_predicates: 284,
+            symptom_prob: 0.8,
+        }
+    }
+}
+
+/// A generated application: ground truth + its AC-DAG.
+#[derive(Clone, Debug)]
+pub struct SyntheticApp {
+    /// True causal structure (drives the oracle executor).
+    pub truth: GroundTruth,
+    /// The AC-DAG handed to discovery (a superset of the truth, as §4
+    /// guarantees).
+    pub dag: AcDag,
+    /// Threads drawn for this app (bounds the branch widths).
+    pub threads: u32,
+    /// Number of candidate predicates N.
+    pub n: usize,
+    /// Number of causal predicates D.
+    pub d: usize,
+}
+
+/// Generates one synthetic application.
+pub fn generate(params: &SynthParams, seed: u64) -> SyntheticApp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let threads = rng.random_range(2..=params.max_threads.max(2));
+    let junctions = rng.random_range(1..=4usize);
+
+    // Lay out node ids segment by segment.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut route: Vec<usize> = Vec::new();
+    let mut next_id = 0usize;
+    fn fresh(next_id: &mut usize, k: usize) -> Vec<usize> {
+        let ids: Vec<usize> = (*next_id..*next_id + k).collect();
+        *next_id += k;
+        ids
+    }
+
+    // Prefix chain (always ≥1 node so a root exists).
+    let prefix = fresh(&mut next_id, rng.random_range(2..=4));
+    for w in prefix.windows(2) {
+        edges.push((w[0], w[1]));
+    }
+    route.extend(&prefix);
+    let mut tail = *prefix.last().expect("non-empty prefix");
+
+    for _ in 0..junctions {
+        let width_cap = threads.min(30).max(2);
+        let b = rng.random_range(2..=width_cap) as usize;
+        let mut branch_tails = Vec::with_capacity(b);
+        let causal_branch = rng.random_range(0..b);
+        for bi in 0..b {
+            let len = rng.random_range(1..=4);
+            if next_id + len > params.max_predicates {
+                // Respect the paper's N cap; degrade to a thin branch.
+                let ids = fresh(&mut next_id, 1);
+                edges.push((tail, ids[0]));
+                branch_tails.push(ids[0]);
+                if bi == causal_branch {
+                    route.extend(&ids);
+                }
+                continue;
+            }
+            let ids = fresh(&mut next_id, len);
+            edges.push((tail, ids[0]));
+            for w in ids.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            branch_tails.push(*ids.last().unwrap());
+            if bi == causal_branch {
+                route.extend(&ids);
+            }
+        }
+        // Merge into an inter-junction chain node.
+        let merge = fresh(&mut next_id, rng.random_range(1..=3));
+        for &bt in &branch_tails {
+            edges.push((bt, merge[0]));
+        }
+        for w in merge.windows(2) {
+            edges.push((w[0], w[1]));
+        }
+        route.extend(&merge);
+        tail = *merge.last().unwrap();
+    }
+
+    let n = next_id;
+    let f = n; // failure id
+    edges.push((tail, f));
+
+    // Choose D causal nodes along the route.
+    let n_f = n as f64;
+    let d_max_paper = (n_f / n_f.log2().max(1.0)).floor().max(1.0) as usize;
+    let d = rng
+        .random_range(1..=d_max_paper)
+        .min(route.len())
+        .max(1);
+    // The causal path starts at the route head (the root cause has no
+    // cause) and runs down the route as a mostly-contiguous effect chain
+    // with occasional gaps — real root causes trigger their immediate
+    // effects back to back ("a fixed sequence of intermediate predicates",
+    // Assumption 2), with unrelated symptoms interleaved here and there.
+    let mut chosen: Vec<usize> = vec![0];
+    let mut pos = 0usize;
+    while chosen.len() < d {
+        let gap = if rng.random_bool(0.7) {
+            1
+        } else {
+            rng.random_range(2..=4usize)
+        };
+        pos += gap;
+        if pos >= route.len() {
+            break;
+        }
+        chosen.push(pos);
+    }
+    let path: Vec<usize> = chosen.iter().map(|&i| route[i]).collect();
+
+    // True parents: path nodes chain; other route nodes hang off the
+    // nearest preceding path node; off-route nodes are symptoms of a random
+    // AC-DAG ancestor or noise.
+    let candidates: Vec<PredicateId> = (0..n).map(|i| PredicateId::from_raw(i as u32)).collect();
+    let failure = PredicateId::from_raw(n as u32);
+    let dag = AcDag::from_edges(&candidates, failure, &to_pred_edges(&edges));
+
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for w in path.windows(2) {
+        parent[w[1]] = Some(w[0]);
+    }
+    let on_path = |x: usize| path.contains(&x);
+    // Route symptoms.
+    let mut last_path: Option<usize> = None;
+    for &r in &route {
+        if on_path(r) {
+            last_path = Some(r);
+        } else if let Some(lp) = last_path {
+            parent[r] = Some(lp);
+        }
+    }
+    // Off-route nodes.
+    let route_set: std::collections::BTreeSet<usize> = route.iter().copied().collect();
+    for x in 0..n {
+        if route_set.contains(&x) {
+            continue;
+        }
+        if rng.random_bool(params.symptom_prob) {
+            let ancestors: Vec<usize> = (0..n)
+                .filter(|&a| {
+                    a != x
+                        && dag.reaches(
+                            PredicateId::from_raw(a as u32),
+                            PredicateId::from_raw(x as u32),
+                        )
+                })
+                .collect();
+            if !ancestors.is_empty() {
+                parent[x] = Some(ancestors[rng.random_range(0..ancestors.len())]);
+            }
+        }
+    }
+
+    let truth = GroundTruth { n, parent, path };
+    truth.validate();
+    let d = truth.path.len();
+    SyntheticApp {
+        truth,
+        dag,
+        threads,
+        n,
+        d,
+    }
+}
+
+fn to_pred_edges(edges: &[(usize, usize)]) -> Vec<(PredicateId, PredicateId)> {
+    edges
+        .iter()
+        .map(|&(a, b)| {
+            (
+                PredicateId::from_raw(a as u32),
+                PredicateId::from_raw(b as u32),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_core::{discover, OracleExecutor, Strategy};
+
+    #[test]
+    fn generated_apps_respect_paper_ranges() {
+        for maxt in [2u32, 10, 26, 42] {
+            let params = SynthParams {
+                max_threads: maxt,
+                ..Default::default()
+            };
+            for seed in 0..40 {
+                let app = generate(&params, seed);
+                assert!(app.n >= 4, "N ≥ 4 (got {} at maxt {maxt})", app.n);
+                assert!(app.n <= 284, "N ≤ 284 (got {})", app.n);
+                assert!(app.threads >= 2 && app.threads <= maxt.max(2));
+                assert!(app.d >= 1);
+                let bound = (app.n as f64 / (app.n as f64).log2()).floor() as usize;
+                assert!(app.d <= bound.max(1), "D={} bound={}", app.d, bound);
+            }
+        }
+    }
+
+    #[test]
+    fn truth_is_consistent_with_dag() {
+        // Every true-cause edge must be an AC-DAG reachability (§4: the
+        // AC-DAG over-approximates the true causal graph).
+        let params = SynthParams::default();
+        for seed in 0..30 {
+            let app = generate(&params, seed);
+            for (q, p) in app.truth.parent.iter().enumerate() {
+                if let Some(p) = p {
+                    assert!(
+                        app.dag.reaches(
+                            PredicateId::from_raw(*p as u32),
+                            PredicateId::from_raw(q as u32)
+                        ),
+                        "seed {seed}: true edge {p}→{q} missing from AC-DAG"
+                    );
+                }
+            }
+            // The path's last node reaches F.
+            let last = *app.truth.path.last().unwrap();
+            assert!(app
+                .dag
+                .reaches(PredicateId::from_raw(last as u32), app.truth.failure()));
+        }
+    }
+
+    #[test]
+    fn all_strategies_recover_ground_truth_on_generated_apps() {
+        let params = SynthParams {
+            max_threads: 12,
+            ..Default::default()
+        };
+        for seed in 0..15 {
+            let app = generate(&params, seed);
+            let expected: Vec<u32> = app.truth.path_ids().iter().map(|p| p.raw()).collect();
+            for strategy in Strategy::PAPER_SET {
+                let mut exec = OracleExecutor::new(app.truth.clone());
+                let r = discover(&app.dag, &mut exec, strategy, seed);
+                let mut got: Vec<u32> = r.causal.iter().map(|p| p.raw()).collect();
+                got.sort();
+                let mut want = expected.clone();
+                want.sort();
+                assert_eq!(got, want, "{} seed {seed}", strategy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = SynthParams::default();
+        let a = generate(&params, 99);
+        let b = generate(&params, 99);
+        assert_eq!(a.truth.parent, b.truth.parent);
+        assert_eq!(a.truth.path, b.truth.path);
+        assert_eq!(a.n, b.n);
+    }
+}

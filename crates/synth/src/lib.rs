@@ -1,0 +1,16 @@
+//! Synthetic failing applications with known root causes (Section 7.2).
+//!
+//! The Figure 8 benchmark generates applications parameterized by the
+//! maximum thread count `MAXt ∈ [2, 42]`: each application has an AC-DAG
+//! shaped like a concurrent program (junction blocks whose branch counts
+//! are bounded by the thread count), a ground-truth causal path, and
+//! symptom/noise predicates hanging off it. Discovery runs against the
+//! exact-counterfactual [`aid_core::OracleExecutor`]; [`compile`] can also
+//! lower a (small) ground truth to a real `aid-sim` program to validate the
+//! whole pipeline end to end.
+
+pub mod compile;
+pub mod generate;
+
+pub use compile::{compile_to_program, CompiledApp};
+pub use generate::{generate, SynthParams, SyntheticApp};

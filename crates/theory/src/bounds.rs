@@ -1,0 +1,186 @@
+//! Intervention-count bounds (Sections 6.2–6.3, Theorems 2–3, Figure 6).
+
+/// `log₂ C(n, d)` computed stably in log space.
+pub fn log2_binomial(n: u64, d: u64) -> f64 {
+    if d > n {
+        return f64::NEG_INFINITY;
+    }
+    let d = d.min(n - d);
+    let mut acc = 0.0f64;
+    for i in 0..d {
+        acc += ((n - i) as f64).log2() - ((i + 1) as f64).log2();
+    }
+    acc
+}
+
+/// Group testing's information-theoretic lower bound: `log₂ C(N, D)`.
+pub fn gt_lower_bound(n: u64, d: u64) -> f64 {
+    log2_binomial(n, d)
+}
+
+/// Theorem 2: CPD's lower bound when every group intervention discards at
+/// least `s1` predicates: `N / (N + D·S1) · log₂ C(N, D)`.
+pub fn cpd_lower_bound(n: u64, d: u64, s1: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    (n as f64 / (n as f64 + (d * s1) as f64)) * log2_binomial(n, d)
+}
+
+/// TAGT's classic upper bound `D·log₂ N` (Section 2, "a trivial upper bound
+/// for adaptive group testing").
+pub fn tagt_upper_bound(n: u64, d: u64) -> f64 {
+    if n == 0 || d == 0 {
+        return 0.0;
+    }
+    d as f64 * (n as f64).log2()
+}
+
+/// Theorem 3: AID's upper bound under predicate pruning, when every causal
+/// predicate discovery discards at least `s2` predicates:
+/// `D·log₂N − D(D−1)·S2 / (2N)`.
+pub fn aid_pruning_upper_bound(n: u64, d: u64, s2: u64) -> f64 {
+    if n == 0 || d == 0 {
+        return 0.0;
+    }
+    tagt_upper_bound(n, d) - (d * (d - 1) * s2) as f64 / (2.0 * n as f64)
+}
+
+/// §6.3.1: AID's upper bound with branch pruning on a DAG with `j`
+/// junctions, at most `t` branches per junction (bounded by thread count),
+/// and a longest path of `nm` predicates: `J·log₂T + D·log₂ N_M`.
+pub fn aid_branch_upper_bound(j: u64, t: u64, nm: u64, d: u64) -> f64 {
+    let jt = if t > 1 {
+        j as f64 * (t as f64).log2()
+    } else {
+        0.0
+    };
+    let dn = if nm > 1 {
+        d as f64 * (nm as f64).log2()
+    } else {
+        0.0
+    };
+    jt + dn
+}
+
+/// §6.3.1: TAGT on the same DAG explores the full `T·N_M` universe:
+/// `D·log₂ T + D·log₂ N_M`.
+pub fn tagt_branch_upper_bound(t: u64, nm: u64, d: u64) -> f64 {
+    if t * nm <= 1 || d == 0 {
+        return 0.0;
+    }
+    d as f64 * ((t * nm) as f64).log2()
+}
+
+/// One row of the Figure 6 table for the symmetric AC-DAG with `J`
+/// junctions, `B` branches per junction, `n` predicates per branch, `D`
+/// causal predicates, and pruning yields `s1`/`s2`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Figure6Row {
+    /// log₂ of the CPD search space.
+    pub cpd_search_log2: f64,
+    /// log₂ of the GT search space.
+    pub gt_search_log2: f64,
+    /// CPD lower bound on interventions.
+    pub cpd_lower: f64,
+    /// GT lower bound on interventions.
+    pub gt_lower: f64,
+    /// AID upper bound: `J·log₂B + D·log₂(Jn) − D(D−1)S2/(2Jn)`.
+    pub aid_upper: f64,
+    /// TAGT upper bound: `D·log₂B + D·log₂(Jn) − D(D−1)/(2JBn)`.
+    pub tagt_upper: f64,
+}
+
+/// Computes the Figure 6 row.
+pub fn figure6_row(j: u64, b: u64, n: u64, d: u64, s1: u64, s2: u64) -> Figure6Row {
+    let total = j * b * n;
+    let jn = (j * n) as f64;
+    let aid_upper = if b > 1 {
+        j as f64 * (b as f64).log2()
+    } else {
+        0.0
+    } + d as f64 * jn.log2()
+        - (d * (d - 1) * s2) as f64 / (2.0 * jn);
+    let tagt_upper = if b > 1 {
+        d as f64 * (b as f64).log2()
+    } else {
+        0.0
+    } + d as f64 * jn.log2()
+        - (d * (d - 1)) as f64 / (2.0 * total as f64);
+    Figure6Row {
+        cpd_search_log2: crate::search::symmetric_cpd_search_space_log2(j as u32, b as u32, n as u32),
+        gt_search_log2: total as f64,
+        cpd_lower: cpd_lower_bound(total, d, s1),
+        gt_lower: gt_lower_bound(total, d),
+        aid_upper,
+        tagt_upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn log2_binomial_exact_small_cases() {
+        assert!((log2_binomial(14, 3) - 364f64.log2()).abs() < 1e-9);
+        assert_eq!(log2_binomial(5, 0), 0.0);
+        assert!((log2_binomial(6, 3) - 20f64.log2()).abs() < 1e-9);
+        assert_eq!(log2_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn cpd_lower_bound_is_below_gt() {
+        for (n, d, s1) in [(64u64, 4u64, 2u64), (128, 8, 4), (284, 20, 1)] {
+            assert!(cpd_lower_bound(n, d, s1) < gt_lower_bound(n, d));
+        }
+        // S1 = 0 degenerates to the GT bound.
+        assert!((cpd_lower_bound(64, 4, 0) - gt_lower_bound(64, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aid_upper_bound_below_tagt_when_j_below_d() {
+        // §6.3.1: whenever J < D, AID's branch bound beats TAGT's.
+        let (j, t, nm, d) = (2u64, 8u64, 32u64, 5u64);
+        assert!(j < d);
+        assert!(aid_branch_upper_bound(j, t, nm, d) < tagt_branch_upper_bound(t, nm, d));
+    }
+
+    #[test]
+    fn figure6_row_orders_bounds_sanely() {
+        let r = figure6_row(3, 4, 8, 4, 2, 2);
+        assert!(r.cpd_search_log2 < r.gt_search_log2);
+        assert!(r.cpd_lower <= r.gt_lower);
+        assert!(r.aid_upper < r.tagt_upper);
+        assert!(r.gt_lower <= r.tagt_upper);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pruning_tightens_upper_bound(
+            n in 8u64..512,
+            d in 1u64..8,
+            s2 in 0u64..16,
+        ) {
+            prop_assume!(d < n);
+            let with = aid_pruning_upper_bound(n, d, s2);
+            let without = tagt_upper_bound(n, d);
+            prop_assert!(with <= without + 1e-12);
+            // More pruning, tighter bound.
+            prop_assert!(aid_pruning_upper_bound(n, d, s2 + 1) <= with + 1e-12);
+        }
+
+        #[test]
+        fn prop_lower_bounds_monotone_in_s1(
+            n in 8u64..512,
+            d in 1u64..8,
+            s1 in 0u64..16,
+        ) {
+            prop_assume!(d < n);
+            let a = cpd_lower_bound(n, d, s1);
+            let b = cpd_lower_bound(n, d, s1 + 1);
+            prop_assert!(b <= a + 1e-12, "lower bound decreases as pruning grows");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Theoretical analysis of AID vs. group testing (Section 6).
+//!
+//! * [`search`] — search-space sizes: the chain-subset DP for arbitrary
+//!   AC-DAGs, Lemma 1's horizontal/vertical expansion, and the symmetric
+//!   AC-DAG closed forms (`(B(2ⁿ−1)+1)^J` vs `2^(JBn)`, Example 3's 15 vs 64).
+//! * [`bounds`] — information-theoretic lower bounds (Theorem 2), pruning
+//!   upper bounds (Theorem 3), branch-pruning bounds (§6.3.1), and the full
+//!   Figure 6 table row.
+
+pub mod bounds;
+pub mod search;
+
+pub use bounds::{
+    aid_branch_upper_bound, aid_pruning_upper_bound, cpd_lower_bound, figure6_row, gt_lower_bound,
+    log2_binomial, tagt_branch_upper_bound, tagt_upper_bound, Figure6Row,
+};
+pub use search::{
+    chain_count, chain_count_brute, closure_from_edges, gt_search_space_log2,
+    horizontal_expansion, symmetric_cpd_search_space, symmetric_cpd_search_space_log2,
+    symmetric_gt_search_space_log2, vertical_expansion,
+};

@@ -1,0 +1,203 @@
+//! Search-space analysis (Section 6.1, Lemma 1, Example 3).
+//!
+//! A *valid solution* of Causal Path Discovery is a set of predicates that
+//! can lie on one root-to-failure chain — i.e. a subset of nodes that is
+//! pairwise comparable under the AC-DAG's reachability order (a chain of the
+//! poset, including the empty set). Group testing by contrast considers all
+//! `2^N` subsets. Counting chains exactly is a simple DP over the
+//! transitive closure:
+//!
+//! ```text
+//! C(v)  = 1 + Σ_{u ; v} C(u)        (chains ending at v)
+//! W_CPD = 1 + Σ_v C(v)              (+1 for the empty set)
+//! ```
+
+use aid_util::DenseBitSet;
+
+/// Number of chain-subsets (valid CPD solutions) of a DAG given its strict
+/// transitive closure rows (`closure[i]` = descendants of `i`). Returns
+/// `None` on `u128` overflow — use [`symmetric_cpd_search_space_log2`]-style
+/// log-space forms for larger structures.
+pub fn chain_count(closure: &[DenseBitSet]) -> Option<u128> {
+    let n = closure.len();
+    // Topological order: sort by ancestor count.
+    let mut order: Vec<usize> = (0..n).collect();
+    let anc = |i: usize| (0..n).filter(|&j| closure[j].contains(i)).count();
+    order.sort_by_key(|&i| (anc(i), i));
+    let mut ending: Vec<u128> = vec![0; n];
+    for &v in &order {
+        let mut c: u128 = 1;
+        for u in 0..n {
+            if closure[u].contains(v) {
+                c = c.checked_add(ending[u])?;
+            }
+        }
+        ending[v] = c;
+    }
+    let mut total: u128 = 1;
+    for v in 0..n {
+        total = total.checked_add(ending[v])?;
+    }
+    Some(total)
+}
+
+/// `log₂` of the group-testing search space over `n` items: just `n`.
+pub fn gt_search_space_log2(n: usize) -> f64 {
+    n as f64
+}
+
+/// Lemma 1: horizontal expansion — parallel composition of two DAGs through
+/// shared junctions. `W(G_H) = 1 + (W(G1) − 1) + (W(G2) − 1)`.
+pub fn horizontal_expansion(w1: u128, w2: u128) -> u128 {
+    1 + (w1 - 1) + (w2 - 1)
+}
+
+/// Lemma 1: vertical expansion — sequential composition. `W(G_V) = W(G1) ·
+/// W(G2)`.
+pub fn vertical_expansion(w1: u128, w2: u128) -> u128 {
+    w1 * w2
+}
+
+/// CPD search space of the symmetric AC-DAG (Figure 5(c)): `J` junctions,
+/// `B` branches each, `n` predicates per branch: `(B(2ⁿ−1)+1)^J`.
+pub fn symmetric_cpd_search_space(j: u32, b: u32, n: u32) -> Option<u128> {
+    let per_branch = 2u128.checked_pow(n)?.checked_sub(1)?;
+    let per_junction = (b as u128).checked_mul(per_branch)?.checked_add(1)?;
+    per_junction.checked_pow(j)
+}
+
+/// `log₂` of the symmetric CPD search space (overflow-safe).
+pub fn symmetric_cpd_search_space_log2(j: u32, b: u32, n: u32) -> f64 {
+    // log2((B(2^n - 1) + 1)^J) = J * log2(B(2^n-1)+1)
+    let per_branch = (2f64.powi(n as i32) - 1.0).max(1.0);
+    let per_junction = b as f64 * per_branch + 1.0;
+    j as f64 * per_junction.log2()
+}
+
+/// GT search space of the symmetric AC-DAG: `2^(JBn)` (as log₂).
+pub fn symmetric_gt_search_space_log2(j: u32, b: u32, n: u32) -> f64 {
+    (j as u64 * b as u64 * n as u64) as f64
+}
+
+/// Brute-force chain-subset count for validation (n ≤ 20): enumerates all
+/// subsets and keeps those pairwise comparable under reachability.
+pub fn chain_count_brute(closure: &[DenseBitSet]) -> u128 {
+    let n = closure.len();
+    assert!(n <= 20, "brute force limited to 20 nodes");
+    let comparable = |a: usize, b: usize| closure[a].contains(b) || closure[b].contains(a);
+    let mut count: u128 = 0;
+    for mask in 0u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let ok = members
+            .iter()
+            .enumerate()
+            .all(|(k, &a)| members[k + 1..].iter().all(|&b| comparable(a, b)));
+        if ok {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Builds closure rows from an edge list (test/analysis helper).
+pub fn closure_from_edges(n: usize, edges: &[(usize, usize)]) -> Vec<DenseBitSet> {
+    let mut c = vec![DenseBitSet::new(n); n];
+    for &(a, b) in edges {
+        c[a].insert(b);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if c[i].contains(k) {
+                let row = c[k].clone();
+                c[i].union_with(&row);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chain_count_of_a_total_chain_is_2_pow_n() {
+        let edges: Vec<(usize, usize)> = (0..5).map(|i| (i, i + 1)).collect();
+        let closure = closure_from_edges(6, &edges);
+        assert_eq!(chain_count(&closure), Some(64));
+    }
+
+    #[test]
+    fn example3_figure5a_is_15_vs_64() {
+        // Two parallel 3-chains (A1→B1→C1, A2→B2→C2): CPD = 15, GT = 2^6.
+        let edges = vec![(0, 1), (1, 2), (3, 4), (4, 5)];
+        let closure = closure_from_edges(6, &edges);
+        assert_eq!(chain_count(&closure), Some(15));
+        assert_eq!(gt_search_space_log2(6), 6.0);
+        // The symmetric formula agrees: J=1, B=2, n=3.
+        assert_eq!(symmetric_cpd_search_space(1, 2, 3), Some(15));
+    }
+
+    #[test]
+    fn lemma1_compositions() {
+        // Horizontal: two 3-chains (W = 8 each) → 1 + 7 + 7 = 15.
+        assert_eq!(horizontal_expansion(8, 8), 15);
+        // Vertical: W multiplies.
+        assert_eq!(vertical_expansion(8, 8), 64);
+        // Symmetric DAG = vertical composition of J junction blocks.
+        let per_junction = horizontal_expansion(8, 8) as u128;
+        assert_eq!(
+            symmetric_cpd_search_space(3, 2, 3),
+            Some(per_junction.pow(3))
+        );
+    }
+
+    #[test]
+    fn log2_forms_match_exact_values() {
+        for (j, b, n) in [(1u32, 2u32, 3u32), (2, 3, 2), (3, 2, 4)] {
+            let exact = symmetric_cpd_search_space(j, b, n).unwrap() as f64;
+            let log = symmetric_cpd_search_space_log2(j, b, n);
+            assert!((exact.log2() - log).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        /// The DP equals brute-force enumeration on random small DAGs.
+        #[test]
+        fn prop_dp_matches_brute_force(
+            n in 1usize..9,
+            edge_bits in proptest::collection::vec(any::<bool>(), 64),
+        ) {
+            // Random DAG: only forward edges i<j allowed.
+            let mut edges = Vec::new();
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if edge_bits[k % edge_bits.len()] {
+                        edges.push((i, j));
+                    }
+                    k += 1;
+                }
+            }
+            let closure = closure_from_edges(n, &edges);
+            prop_assert_eq!(chain_count(&closure).unwrap(), chain_count_brute(&closure));
+        }
+
+        /// Lemma 1 horizontal expansion agrees with the DP on two random
+        /// chains composed in parallel.
+        #[test]
+        fn prop_horizontal_matches_dp(n1 in 1usize..6, n2 in 1usize..6) {
+            let mut edges = Vec::new();
+            for i in 0..n1.saturating_sub(1) {
+                edges.push((i, i + 1));
+            }
+            for i in 0..n2.saturating_sub(1) {
+                edges.push((n1 + i, n1 + i + 1));
+            }
+            let closure = closure_from_edges(n1 + n2, &edges);
+            let expect = horizontal_expansion(1u128 << n1, 1u128 << n2);
+            prop_assert_eq!(chain_count(&closure).unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! A line-oriented codec for persisting trace sets.
+//!
+//! Deliberately a purpose-built text format rather than a general
+//! serialization dependency: trace logs are the artifact developers inspect
+//! when AID's answer surprises them, so the format is greppable and diffable.
+//!
+//! ```text
+//! #AID-TRACE v1
+//! method 0 TryGetValue
+//! object 0 _nextSlot
+//! trace <seed> ok|fail <kind> <method-id>
+//! event <method> <thread> <start> <end> <ret|-> <exc|-> <caught:0|1>
+//! access <object> R|W <time> <locked:0|1>
+//! endtrace <duration>
+//! ```
+//!
+//! `access` lines attach to the most recent `event` line. Instance indices
+//! are not stored; they are recomputed by [`Trace::normalize`] on decode.
+//! Names must not contain whitespace (enforced on encode).
+
+use crate::event::{
+    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome, ThreadId,
+};
+use crate::trace::{Trace, TraceSet};
+use bytes::BufMut;
+use std::fmt::Write as _;
+
+/// Errors produced while decoding a trace log.
+#[derive(Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace log line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a trace set to the line format.
+pub fn encode(set: &TraceSet) -> String {
+    let mut out = String::new();
+    out.push_str("#AID-TRACE v1\n");
+    for (id, name) in set.methods.iter() {
+        assert!(
+            !name.chars().any(char::is_whitespace),
+            "method name {name:?} contains whitespace"
+        );
+        writeln!(out, "method {} {}", id.raw(), name).unwrap();
+    }
+    for (id, name) in set.objects.iter() {
+        assert!(
+            !name.chars().any(char::is_whitespace),
+            "object name {name:?} contains whitespace"
+        );
+        writeln!(out, "object {} {}", id.raw(), name).unwrap();
+    }
+    for t in &set.traces {
+        match &t.outcome {
+            Outcome::Success => writeln!(out, "trace {} ok - -", t.seed).unwrap(),
+            Outcome::Failure(sig) => {
+                writeln!(out, "trace {} fail {} {}", t.seed, sig.kind, sig.method.raw()).unwrap()
+            }
+        }
+        for e in &t.events {
+            let ret = e.returned.map_or("-".to_string(), |v| v.to_string());
+            let exc = e.exception.clone().unwrap_or_else(|| "-".into());
+            writeln!(
+                out,
+                "event {} {} {} {} {} {} {}",
+                e.method.raw(),
+                e.thread.raw(),
+                e.start,
+                e.end,
+                ret,
+                exc,
+                u8::from(e.caught)
+            )
+            .unwrap();
+            for a in &e.accesses {
+                let k = match a.kind {
+                    AccessKind::Read => 'R',
+                    AccessKind::Write => 'W',
+                };
+                writeln!(out, "access {} {} {} {}", a.object.raw(), k, a.at, u8::from(a.locked))
+                    .unwrap();
+            }
+        }
+        writeln!(out, "endtrace {}", t.duration).unwrap();
+    }
+    out
+}
+
+/// Encodes into a byte buffer (for streaming writers).
+pub fn encode_to_buf(set: &TraceSet, buf: &mut impl BufMut) {
+    buf.put_slice(encode(set).as_bytes());
+}
+
+/// Decodes a trace set from the line format.
+pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
+    let mut set = TraceSet::new();
+    let mut current: Option<Trace> = None;
+
+    let err = |line: usize, message: &str| DecodeError {
+        line,
+        message: message.to_string(),
+    };
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let tag = parts.next().unwrap();
+        let mut next = |what: &str| -> Result<&str, DecodeError> {
+            parts.next().ok_or_else(|| err(lineno, &format!("missing {what}")))
+        };
+        match tag {
+            "method" => {
+                let _id: u32 = next("id")?.parse().map_err(|_| err(lineno, "bad method id"))?;
+                let name = next("name")?;
+                set.methods.intern(name.to_string());
+            }
+            "object" => {
+                let _id: u32 = next("id")?.parse().map_err(|_| err(lineno, "bad object id"))?;
+                let name = next("name")?;
+                set.objects.intern(name.to_string());
+            }
+            "trace" => {
+                if current.is_some() {
+                    return Err(err(lineno, "trace without endtrace"));
+                }
+                let seed: u64 = next("seed")?.parse().map_err(|_| err(lineno, "bad seed"))?;
+                let status = next("status")?;
+                let kind = next("kind")?.to_string();
+                let method = next("method")?;
+                let outcome = match status {
+                    "ok" => Outcome::Success,
+                    "fail" => Outcome::Failure(FailureSignature {
+                        kind,
+                        method: MethodId::from_raw(
+                            method.parse().map_err(|_| err(lineno, "bad failure method"))?,
+                        ),
+                    }),
+                    _ => return Err(err(lineno, "status must be ok or fail")),
+                };
+                current = Some(Trace {
+                    seed,
+                    events: vec![],
+                    outcome,
+                    duration: 0,
+                });
+            }
+            "event" => {
+                let t = current.as_mut().ok_or_else(|| err(lineno, "event outside trace"))?;
+                let method = MethodId::from_raw(
+                    next("method")?.parse().map_err(|_| err(lineno, "bad method"))?,
+                );
+                let thread = ThreadId::from_raw(
+                    next("thread")?.parse().map_err(|_| err(lineno, "bad thread"))?,
+                );
+                let start = next("start")?.parse().map_err(|_| err(lineno, "bad start"))?;
+                let end = next("end")?.parse().map_err(|_| err(lineno, "bad end"))?;
+                let ret = match next("ret")? {
+                    "-" => None,
+                    v => Some(v.parse().map_err(|_| err(lineno, "bad return value"))?),
+                };
+                let exc = match next("exc")? {
+                    "-" => None,
+                    v => Some(v.to_string()),
+                };
+                let caught = next("caught")? == "1";
+                t.events.push(MethodEvent {
+                    method,
+                    instance: 0,
+                    thread,
+                    start,
+                    end,
+                    accesses: vec![],
+                    returned: ret,
+                    exception: exc,
+                    caught,
+                });
+            }
+            "access" => {
+                let t = current.as_mut().ok_or_else(|| err(lineno, "access outside trace"))?;
+                let e = t
+                    .events
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "access before any event"))?;
+                let object = ObjectId::from_raw(
+                    next("object")?.parse().map_err(|_| err(lineno, "bad object"))?,
+                );
+                let kind = match next("kind")? {
+                    "R" => AccessKind::Read,
+                    "W" => AccessKind::Write,
+                    _ => return Err(err(lineno, "access kind must be R or W")),
+                };
+                let at = next("time")?.parse().map_err(|_| err(lineno, "bad time"))?;
+                let locked = next("locked")? == "1";
+                e.accesses.push(AccessEvent {
+                    object,
+                    kind,
+                    at,
+                    locked,
+                });
+            }
+            "endtrace" => {
+                let mut t = current.take().ok_or_else(|| err(lineno, "endtrace without trace"))?;
+                t.duration = next("duration")?.parse().map_err(|_| err(lineno, "bad duration"))?;
+                t.normalize();
+                set.traces.push(t);
+            }
+            other => return Err(err(lineno, &format!("unknown record {other:?}"))),
+        }
+    }
+    if current.is_some() {
+        return Err(DecodeError {
+            line: input.lines().count(),
+            message: "unterminated trace".into(),
+        });
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceSet {
+        let mut set = TraceSet::new();
+        let m0 = set.method("TryGetValue");
+        let m1 = set.method("GetOrAdd");
+        let o = set.object("_nextSlot");
+        let mut t = Trace {
+            seed: 42,
+            events: vec![
+                MethodEvent {
+                    method: m0,
+                    instance: 0,
+                    thread: ThreadId::from_raw(1),
+                    start: 100,
+                    end: 200,
+                    accesses: vec![AccessEvent {
+                        object: o,
+                        kind: AccessKind::Read,
+                        at: 150,
+                        locked: false,
+                    }],
+                    returned: Some(-1),
+                    exception: None,
+                    caught: false,
+                },
+                MethodEvent {
+                    method: m1,
+                    instance: 0,
+                    thread: ThreadId::from_raw(2),
+                    start: 150,
+                    end: 190,
+                    accesses: vec![AccessEvent {
+                        object: o,
+                        kind: AccessKind::Write,
+                        at: 160,
+                        locked: false,
+                    }],
+                    returned: None,
+                    exception: Some("IndexOutOfRange".into()),
+                    caught: false,
+                },
+            ],
+            outcome: Outcome::Failure(FailureSignature {
+                kind: "IndexOutOfRange".into(),
+                method: m1,
+            }),
+            duration: 210,
+        };
+        t.normalize();
+        set.push(t);
+        set
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let set = sample();
+        let text = encode(&set);
+        let back = decode(&text).expect("decode");
+        assert_eq!(back.methods.len(), set.methods.len());
+        assert_eq!(back.objects.len(), set.objects.len());
+        assert_eq!(back.traces.len(), 1);
+        assert_eq!(back.traces[0], set.traces[0]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("bogus line").is_err());
+        let e = decode("event 0 0 0 0 - - 0").unwrap_err();
+        assert!(e.message.contains("outside trace"), "{e}");
+        let e = decode("trace 1 ok - -\n").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn decode_skips_comments_and_blanks() {
+        let set = sample();
+        let mut text = String::from("# leading comment\n\n");
+        text.push_str(&encode(&set));
+        assert!(decode(&text).is_ok());
+    }
+
+    #[test]
+    fn encode_to_buf_matches_encode() {
+        let set = sample();
+        let mut buf = Vec::new();
+        encode_to_buf(&set, &mut buf);
+        assert_eq!(String::from_utf8(buf).unwrap(), encode(&set));
+    }
+}

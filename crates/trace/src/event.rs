@@ -1,0 +1,176 @@
+//! Events recorded in an execution trace.
+
+use crate::clock::Time;
+use aid_util::Id;
+use serde::{Deserialize, Serialize};
+
+/// Tag type for method ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodTag;
+/// Tag type for shared-object ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectTag;
+/// Tag type for thread ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadTag;
+
+/// Identifies a (static) method of the program under test.
+pub type MethodId = Id<MethodTag>;
+/// Identifies a shared object (variable, array, cache, lock target).
+pub type ObjectId = Id<ObjectTag>;
+/// Identifies a thread of the program under test.
+pub type ThreadId = Id<ThreadTag>;
+
+/// Whether an access read or wrote the object. A data race requires at least
+/// one [`AccessKind::Write`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// The object was read.
+    Read,
+    /// The object was written.
+    Write,
+}
+
+/// One access to a shared object, attributed to the enclosing method event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// The object accessed.
+    pub object: ObjectId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// When the access happened.
+    pub at: Time,
+    /// Whether the access happened while holding at least one lock. Lock-free
+    /// conflicting accesses are what the data-race predicate looks for.
+    pub locked: bool,
+}
+
+/// One dynamic execution of a method: the unit the appendix's "method
+/// execution signature list" records.
+///
+/// The same static method executed multiple times in a run (loop, recursion,
+/// repeated call) yields several events distinguished by `instance`; Section
+/// 4 requires this so temporal precedence over-approximates causality even
+/// through loops.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MethodEvent {
+    /// The static method.
+    pub method: MethodId,
+    /// 0-based index of this dynamic execution among the run's executions of
+    /// the same method, in start-time order.
+    pub instance: u32,
+    /// Executing thread.
+    pub thread: ThreadId,
+    /// Start timestamp (inclusive).
+    pub start: Time,
+    /// End timestamp (inclusive; `end >= start`).
+    pub end: Time,
+    /// Shared-object accesses made directly by this execution.
+    pub accesses: Vec<AccessEvent>,
+    /// Return value, if the method returned one.
+    pub returned: Option<i64>,
+    /// Exception kind raised inside this execution, if any.
+    pub exception: Option<String>,
+    /// True if the exception was handled (caught) within the method or by an
+    /// injected try/catch; an unhandled exception escapes and fails the run.
+    pub caught: bool,
+}
+
+impl MethodEvent {
+    /// True if this execution raised an exception that escaped.
+    pub fn failed(&self) -> bool {
+        self.exception.is_some() && !self.caught
+    }
+
+    /// Duration in ticks.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+
+    /// True if the two events' `[start, end]` windows overlap in time and
+    /// they ran on different threads (a prerequisite for a data race).
+    pub fn overlaps_concurrently(&self, other: &MethodEvent) -> bool {
+        self.thread != other.thread && self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The run completed without an escaped exception or failed assertion.
+    Success,
+    /// The run failed; the signature groups failures by root-cause identity
+    /// (Assumption 1: AID treats each signature group separately).
+    Failure(FailureSignature),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Failure`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Outcome::Failure(_))
+    }
+}
+
+/// Metadata identifying *which* failure occurred — the stand-in for the
+/// stack-trace/binary-location metadata failure trackers collect.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FailureSignature {
+    /// Exception kind (e.g. `IndexOutOfRange`) or assertion label.
+    pub kind: String,
+    /// Method in which the failure surfaced.
+    pub method: MethodId,
+}
+
+impl std::fmt::Display for FailureSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@m{}", self.kind, self.method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: u32, start: Time, end: Time) -> MethodEvent {
+        MethodEvent {
+            method: MethodId::from_raw(0),
+            instance: 0,
+            thread: ThreadId::from_raw(thread),
+            start,
+            end,
+            accesses: vec![],
+            returned: None,
+            exception: None,
+            caught: false,
+        }
+    }
+
+    #[test]
+    fn overlap_requires_different_threads() {
+        let a = ev(0, 0, 10);
+        let b = ev(0, 5, 15);
+        assert!(!a.overlaps_concurrently(&b), "same thread never races");
+        let c = ev(1, 5, 15);
+        assert!(a.overlaps_concurrently(&c));
+        assert!(c.overlaps_concurrently(&a), "overlap is symmetric");
+    }
+
+    #[test]
+    fn overlap_boundaries_are_inclusive() {
+        let a = ev(0, 0, 10);
+        let touching = ev(1, 10, 20);
+        assert!(a.overlaps_concurrently(&touching));
+        let disjoint = ev(1, 11, 20);
+        assert!(!a.overlaps_concurrently(&disjoint));
+    }
+
+    #[test]
+    fn failed_means_uncaught() {
+        let mut e = ev(0, 0, 1);
+        assert!(!e.failed());
+        e.exception = Some("Boom".into());
+        assert!(e.failed());
+        e.caught = true;
+        assert!(!e.failed(), "caught exceptions do not fail the run");
+    }
+}

@@ -1,0 +1,24 @@
+//! Execution traces: the data AID actually consumes.
+//!
+//! AID never looks at an application's source. Instrumentation (here: the
+//! `aid-sim` virtual machine, or the `aid-sim::live` real-thread harness)
+//! emits an execution trace per run: one [`MethodEvent`] per dynamic method
+//! execution, carrying the thread id, start/end timestamps, the shared
+//! objects it read or wrote, its return value, and whether it threw. The
+//! appendix of the paper ("Program Instrumentation") motivates this
+//! separation: predicates are designed *after* trace collection, offline.
+//!
+//! A [`TraceSet`] bundles many labeled runs of the same program with shared
+//! id arenas, so that `method #3` means the same method in every run.
+
+pub mod clock;
+pub mod codec;
+pub mod event;
+pub mod trace;
+
+pub use clock::{LamportClock, Time};
+pub use event::{
+    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, MethodTag, ObjectId,
+    ObjectTag, Outcome, ThreadId, ThreadTag,
+};
+pub use trace::{Trace, TraceSet};

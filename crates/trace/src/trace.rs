@@ -1,0 +1,203 @@
+//! Whole-run traces and labeled collections of runs.
+
+use crate::clock::Time;
+use crate::event::{MethodEvent, MethodId, MethodTag, ObjectId, ObjectTag, Outcome};
+use aid_util::IdArena;
+use serde::{Deserialize, Serialize};
+
+/// The trace of a single execution of the program under test.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Scheduler seed that produced this run (for reproduction).
+    pub seed: u64,
+    /// Method events, in start-time order (ties broken by end time, then by
+    /// method id — a deterministic total order).
+    pub events: Vec<MethodEvent>,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Virtual time at which the run ended.
+    pub duration: Time,
+}
+
+impl Trace {
+    /// Sorts events into the canonical order and assigns per-method instance
+    /// indices. Instrumentation backends call this once after collection.
+    pub fn normalize(&mut self) {
+        self.events
+            .sort_by_key(|e| (e.start, e.end, e.method, e.thread));
+        let mut counters: Vec<u32> = Vec::new();
+        for e in &mut self.events {
+            let idx = e.method.index();
+            if idx >= counters.len() {
+                counters.resize(idx + 1, 0);
+            }
+            e.instance = counters[idx];
+            counters[idx] += 1;
+        }
+    }
+
+    /// Events of a given method, in instance order.
+    pub fn events_of(&self, method: MethodId) -> impl Iterator<Item = &MethodEvent> {
+        self.events.iter().filter(move |e| e.method == method)
+    }
+
+    /// True if the run failed.
+    pub fn failed(&self) -> bool {
+        self.outcome.is_failure()
+    }
+}
+
+/// A set of labeled runs of one program, with shared id arenas.
+///
+/// This is AID's raw input: "the instrumented application is executed
+/// multiple times with the same input, to generate a set of predicate logs,
+/// each labeled as a successful or failed execution" (§3.2) — the predicate
+/// logs are derived from these traces by `aid-predicates`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Interned method names.
+    pub methods: IdArena<String, MethodTag>,
+    /// Interned object names.
+    pub objects: IdArena<String, ObjectTag>,
+    /// The collected runs.
+    pub traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a method name.
+    pub fn method(&mut self, name: &str) -> MethodId {
+        self.methods.intern(name.to_owned())
+    }
+
+    /// Interns an object name.
+    pub fn object(&mut self, name: &str) -> ObjectId {
+        self.objects.intern(name.to_owned())
+    }
+
+    /// Resolves a method id to its name.
+    pub fn method_name(&self, id: MethodId) -> &str {
+        self.methods.resolve(id)
+    }
+
+    /// Resolves an object id to its name.
+    pub fn object_name(&self, id: ObjectId) -> &str {
+        self.objects.resolve(id)
+    }
+
+    /// Adds a run.
+    pub fn push(&mut self, trace: Trace) {
+        self.traces.push(trace);
+    }
+
+    /// Iterates successful runs.
+    pub fn successes(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter().filter(|t| !t.failed())
+    }
+
+    /// Iterates failed runs.
+    pub fn failures(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter().filter(|t| t.failed())
+    }
+
+    /// `(successes, failures)` counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let f = self.traces.iter().filter(|t| t.failed()).count();
+        (self.traces.len() - f, f)
+    }
+
+    /// Keeps only successful runs plus failed runs matching `signature`,
+    /// implementing the failure-signature grouping that upholds the paper's
+    /// single-root-cause assumption (Assumption 1).
+    pub fn filter_failures_by_signature(&self, signature: &crate::event::FailureSignature) -> TraceSet {
+        TraceSet {
+            methods: self.methods.clone(),
+            objects: self.objects.clone(),
+            traces: self
+                .traces
+                .iter()
+                .filter(|t| match &t.outcome {
+                    Outcome::Success => true,
+                    Outcome::Failure(sig) => sig == signature,
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FailureSignature, ThreadId};
+
+    fn mk_event(method: u32, start: Time, end: Time) -> MethodEvent {
+        MethodEvent {
+            method: MethodId::from_raw(method),
+            instance: 99, // deliberately wrong; normalize() must fix it
+            thread: ThreadId::from_raw(0),
+            start,
+            end,
+            accesses: vec![],
+            returned: None,
+            exception: None,
+            caught: false,
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_and_numbers_instances() {
+        let mut t = Trace {
+            seed: 0,
+            events: vec![mk_event(1, 30, 40), mk_event(0, 0, 5), mk_event(1, 10, 20)],
+            outcome: Outcome::Success,
+            duration: 40,
+        };
+        t.normalize();
+        let order: Vec<(u32, u32)> = t.events.iter().map(|e| (e.method.raw(), e.instance)).collect();
+        assert_eq!(order, vec![(0, 0), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn counts_and_filters() {
+        let mut set = TraceSet::new();
+        let m = set.method("Crash");
+        let sig = FailureSignature {
+            kind: "Boom".into(),
+            method: m,
+        };
+        let other = FailureSignature {
+            kind: "Other".into(),
+            method: m,
+        };
+        for outcome in [
+            Outcome::Success,
+            Outcome::Failure(sig.clone()),
+            Outcome::Failure(other),
+            Outcome::Failure(sig.clone()),
+        ] {
+            set.push(Trace {
+                seed: 0,
+                events: vec![],
+                outcome,
+                duration: 0,
+            });
+        }
+        assert_eq!(set.counts(), (1, 3));
+        let grouped = set.filter_failures_by_signature(&sig);
+        assert_eq!(grouped.counts(), (1, 2));
+    }
+
+    #[test]
+    fn method_interning_is_stable() {
+        let mut set = TraceSet::new();
+        let a = set.method("foo");
+        let b = set.method("bar");
+        assert_eq!(set.method("foo"), a);
+        assert_eq!(set.method_name(b), "bar");
+    }
+}

@@ -1,0 +1,301 @@
+//! A dense, fixed-universe bitset.
+//!
+//! Predicate universes in AID are small (tens to a few hundred predicates per
+//! failure signature), so sets of predicates, reachability rows of the
+//! AC-DAG's transitive closure, and per-run observation vectors are all
+//! represented as dense `u64`-word bitsets. Operations are branch-light and
+//! iteration order is always ascending index order, which keeps every
+//! consumer deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense bitset over the universe `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseBitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl DenseBitSet {
+    /// Creates an empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        DenseBitSet {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Creates a set containing every element of the universe.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.trim();
+        s
+    }
+
+    /// Creates a set from an iterator of element indices.
+    pub fn from_indices(len: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(len);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Size of the universe (not the number of set bits).
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// Clears bits beyond `len` in the last word.
+    fn trim(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Inserts element `i`. Returns whether the element was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe 0..{}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes element `i`. Returns whether the element was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe 0..{}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Tests membership of element `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &DenseBitSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &DenseBitSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self -= other`).
+    pub fn difference_with(&mut self, other: &DenseBitSet) {
+        self.check(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self ∪ other` as a new set.
+    pub fn union(&self, other: &DenseBitSet) -> DenseBitSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &DenseBitSet) -> DenseBitSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self − other` as a new set.
+    pub fn difference(&self, other: &DenseBitSet) -> DenseBitSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// True if `self` and `other` share at least one element.
+    pub fn intersects(&self, other: &DenseBitSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &DenseBitSet) -> bool {
+        self.check(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates set elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Collects the elements into a `Vec`, ascending.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    fn check(&self, other: &DenseBitSet) {
+        assert_eq!(
+            self.len, other.len,
+            "bitset universe mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+}
+
+impl fmt::Debug for DenseBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for DenseBitSet {
+    /// Builds a set whose universe is just large enough for the max element.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        Self::from_indices(len, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DenseBitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.to_vec(), vec![129]);
+    }
+
+    #[test]
+    fn full_respects_universe() {
+        let s = DenseBitSet::full(67);
+        assert_eq!(s.count(), 67);
+        assert_eq!(s.iter().last(), Some(66));
+    }
+
+    #[test]
+    fn set_algebra_basics() {
+        let a = DenseBitSet::from_indices(10, [1, 3, 5]);
+        let b = DenseBitSet::from_indices(10, [3, 4]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![3]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 5]);
+        assert!(a.intersects(&b));
+        assert!(!a.is_subset(&b));
+        assert!(DenseBitSet::new(10).is_subset(&a));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = DenseBitSet::from_indices(200, [199, 0, 64, 63, 65]);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_range_panics() {
+        DenseBitSet::new(4).insert(4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in proptest::collection::btree_set(0usize..256, 0..40)) {
+            let s = DenseBitSet::from_indices(256, v.iter().copied());
+            prop_assert_eq!(s.to_vec(), v.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(s.count(), v.len());
+        }
+
+        #[test]
+        fn prop_demorgan(
+            a in proptest::collection::btree_set(0usize..128, 0..30),
+            b in proptest::collection::btree_set(0usize..128, 0..30),
+        ) {
+            let sa = DenseBitSet::from_indices(128, a.iter().copied());
+            let sb = DenseBitSet::from_indices(128, b.iter().copied());
+            let full = DenseBitSet::full(128);
+            // ¬(A ∪ B) == ¬A ∩ ¬B
+            let left = full.difference(&sa.union(&sb));
+            let right = full.difference(&sa).intersection(&full.difference(&sb));
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_difference_disjoint(
+            a in proptest::collection::btree_set(0usize..128, 0..30),
+            b in proptest::collection::btree_set(0usize..128, 0..30),
+        ) {
+            let sa = DenseBitSet::from_indices(128, a.iter().copied());
+            let sb = DenseBitSet::from_indices(128, b.iter().copied());
+            let d = sa.difference(&sb);
+            prop_assert!(!d.intersects(&sb) || d.intersection(&sb).is_empty());
+            prop_assert!(d.is_subset(&sa));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Interned-id arenas.
+//!
+//! Methods, objects, threads, and predicates are all referred to by dense
+//! `u32` ids. An [`IdArena`] interns values (e.g. method names or structured
+//! predicate keys) and hands out ids in insertion order, so two pipeline runs
+//! that discover the same entities in the same order assign identical ids.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed dense identifier. `T` is a tag type that prevents mixing, say,
+/// method ids with predicate ids.
+#[derive(Serialize, Deserialize)]
+pub struct Id<T> {
+    raw: u32,
+    #[serde(skip)]
+    _tag: PhantomData<fn() -> T>,
+}
+
+impl<T> Id<T> {
+    /// Wraps a raw index.
+    pub fn from_raw(raw: u32) -> Self {
+        Id {
+            raw,
+            _tag: PhantomData,
+        }
+    }
+
+    /// The raw index.
+    pub fn raw(self) -> u32 {
+        self.raw
+    }
+
+    /// The raw index as a `usize`, for container indexing.
+    pub fn index(self) -> usize {
+        self.raw as usize
+    }
+}
+
+impl<T> Clone for Id<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Id<T> {}
+impl<T> PartialEq for Id<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+impl<T> Eq for Id<T> {}
+impl<T> PartialOrd for Id<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Id<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.raw.cmp(&other.raw)
+    }
+}
+impl<T> std::hash::Hash for Id<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.raw.hash(state);
+    }
+}
+impl<T> fmt::Debug for Id<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.raw)
+    }
+}
+impl<T> fmt::Display for Id<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.raw)
+    }
+}
+
+/// An interning arena: maps values to dense ids and back.
+///
+/// Ids are assigned in first-insertion order. Lookup by value uses an ordered
+/// map so the arena itself is deterministic to serialize and debug-print.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IdArena<T: Ord + Clone, Tag = T> {
+    items: Vec<T>,
+    index: BTreeMap<T, u32>,
+    #[serde(skip)]
+    _tag: PhantomData<fn() -> Tag>,
+}
+
+impl<T: Ord + Clone, Tag> Default for IdArena<T, Tag> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord + Clone, Tag> IdArena<T, Tag> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        IdArena {
+            items: Vec::new(),
+            index: BTreeMap::new(),
+            _tag: PhantomData,
+        }
+    }
+
+    /// Interns `value`, returning its id (existing or fresh).
+    pub fn intern(&mut self, value: T) -> Id<Tag> {
+        if let Some(&raw) = self.index.get(&value) {
+            return Id::from_raw(raw);
+        }
+        let raw = u32::try_from(self.items.len()).expect("arena overflow");
+        self.items.push(value.clone());
+        self.index.insert(value, raw);
+        Id::from_raw(raw)
+    }
+
+    /// Looks up the id of `value` without interning.
+    pub fn get(&self, value: &T) -> Option<Id<Tag>> {
+        self.index.get(value).map(|&raw| Id::from_raw(raw))
+    }
+
+    /// Resolves an id back to its value.
+    pub fn resolve(&self, id: Id<Tag>) -> &T {
+        &self.items[id.index()]
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(id, value)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id<Tag>, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Id::from_raw(i as u32), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MethodTag;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut a: IdArena<String, MethodTag> = IdArena::new();
+        let foo = a.intern("foo".into());
+        let bar = a.intern("bar".into());
+        let foo2 = a.intern("foo".into());
+        assert_eq!(foo, foo2);
+        assert_ne!(foo, bar);
+        assert_eq!(foo.raw(), 0);
+        assert_eq!(bar.raw(), 1);
+        assert_eq!(a.resolve(bar), "bar");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_insertion() {
+        let mut a: IdArena<u64> = IdArena::new();
+        let ids: Vec<_> = [9u64, 3, 7, 3, 9].iter().map(|&v| a.intern(v)).collect();
+        assert_eq!(ids[0], ids[4]);
+        assert_eq!(ids[1], ids[3]);
+        let order: Vec<u64> = a.iter().map(|(_, &v)| v).collect();
+        assert_eq!(order, vec![9, 3, 7]);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut a: IdArena<&'static str> = IdArena::new();
+        assert!(a.get(&"x").is_none());
+        a.intern("x");
+        assert!(a.get(&"x").is_some());
+        assert_eq!(a.len(), 1);
+    }
+}

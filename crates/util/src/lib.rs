@@ -1,0 +1,15 @@
+//! Foundation utilities shared by every AID crate.
+//!
+//! The algorithms in this workspace must be **deterministic**: given the same
+//! seed, a pipeline run must produce the same AC-DAG, the same intervention
+//! schedule, and the same causal path. To that end the containers here are
+//! index-based (`DenseBitSet`, [`IdArena`]) or ordered, and no algorithmic
+//! path ever iterates a `std::collections::HashMap`.
+
+pub mod bitset;
+pub mod idarena;
+pub mod stats;
+
+pub use bitset::DenseBitSet;
+pub use idarena::{Id, IdArena};
+pub use stats::{OnlineStats, Summary};

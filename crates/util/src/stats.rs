@@ -1,0 +1,185 @@
+//! Small statistics helpers used by statistical debugging and the benchmark
+//! harness (averages, min/max, percentile summaries over intervention
+//! counts).
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style online accumulator for mean/min/max/variance.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// An exact summary over a stored sample: mean, min, max, and percentiles.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { values: Vec::new() }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Extends with many observations.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        self.values.extend(xs);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Minimum (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Maximum (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    /// Nearest-rank percentile, `p ∈ [0, 100]` (0 if empty).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        let sum = Summary::new();
+        assert_eq!(sum.mean(), 0.0);
+        assert_eq!(sum.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let mut s = Summary::new();
+        s.extend((1..=100).map(f64::from));
+        assert_eq!(s.count(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        let med = s.percentile(50.0);
+        assert!((49.0..=52.0).contains(&med));
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.min(), 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Predicate design is orthogonal to AID (§3.2, Appendix A): the extractor
+//! is deliberately conservative — a behaviour that also occurs in
+//! successful runs is not a "deviation" and never materializes. When the
+//! root cause is a *conjunction* (two conditions that are individually
+//! survivable), a domain expert designs the predicates post-hoc, inserts
+//! them into the catalog, and conjoins them — the compound predicate is
+//! fully discriminative and intervenable like any built-in kind.
+//!
+//! ```sh
+//! cargo run --example custom_predicates
+//! ```
+
+use aid::prelude::*;
+
+fn main() {
+    // Fails only when BOTH fetches draw the slow path: each individual
+    // slow draw is survivable, the conjunction is not.
+    let mut b = ProgramBuilder::new("conjunction");
+    let t1 = b.pure_method("FetchPrimary", |m| {
+        m.set(Reg(1), Expr::Now)
+            .flaky_delay(0.5, 40)
+            .compute(5)
+            .set_if(
+                Reg(2),
+                Expr::sub(Expr::Now, Expr::Reg(Reg(1))),
+                Cmp::Gt,
+                Expr::Const(20),
+                Expr::Const(1),
+                Expr::Const(0),
+            )
+            .ret(Expr::Reg(Reg(2)));
+    });
+    let t2 = b.pure_method("FetchReplica", |m| {
+        m.set(Reg(3), Expr::Now)
+            .flaky_delay(0.5, 40)
+            .compute(5)
+            .set_if(
+                Reg(4),
+                Expr::sub(Expr::Now, Expr::Reg(Reg(3))),
+                Cmp::Gt,
+                Expr::Const(20),
+                Expr::Const(1),
+                Expr::Const(0),
+            )
+            .ret(Expr::Reg(Reg(4)));
+    });
+    let check = b.method("Deadline", |m| {
+        m.throw_if(
+            Expr::add(Expr::Reg(Reg(2)), Expr::Reg(Reg(4))),
+            Cmp::Eq,
+            Expr::Const(2),
+            "DeadlineExceeded",
+        );
+    });
+    let main_m = b.method("Main", |m| {
+        m.call(t1).call(t2).call(check);
+    });
+    b.thread("main", main_m, true);
+    let program = b.build();
+
+    let sim = Simulator::new(program);
+    let logs = sim.collect_balanced(50, 50, 20_000);
+    let ex = extract(&logs, &ExtractionConfig::default());
+
+    // The expert designs per-task "fetch was slow" predicates the
+    // conservative extractor would not materialize (slowness also happens
+    // in successful runs — it is not a deviation on its own).
+    let mut catalog = ex.catalog.clone();
+    let slow_a = catalog.insert(Predicate {
+        kind: PredicateKind::WrongReturn {
+            site: MethodInstance::new(MethodId::from_raw(0), 0),
+            expected: 0,
+        },
+        safe: true,
+        action: Some(InterventionAction::ForceReturn {
+            site: MethodInstance::new(MethodId::from_raw(0), 0),
+            value: 0,
+        }),
+    });
+    let slow_b = catalog.insert(Predicate {
+        kind: PredicateKind::WrongReturn {
+            site: MethodInstance::new(MethodId::from_raw(1), 0),
+            expected: 0,
+        },
+        safe: true,
+        action: Some(InterventionAction::ForceReturn {
+            site: MethodInstance::new(MethodId::from_raw(1), 0),
+            value: 0,
+        }),
+    });
+    let both = catalog.conjoin(slow_a, slow_b);
+
+    let observations: Vec<_> = logs.traces.iter().map(|t| evaluate(&catalog, t)).collect();
+    let report = SdReport::analyze(&catalog, &observations);
+    println!("designed predicates:");
+    for &p in &[slow_a, slow_b, both] {
+        let s = report.scores[p.index()];
+        println!(
+            "  {:<55} precision {:.2} recall {:.2} fully discriminative: {}",
+            catalog.describe(p, &logs),
+            s.precision(),
+            s.recall(),
+            s.fully_discriminative()
+        );
+    }
+    assert!(!report.scores[slow_a.index()].fully_discriminative());
+    assert!(!report.scores[slow_b.index()].fully_discriminative());
+    assert!(report.scores[both.index()].fully_discriminative());
+
+    // The compound predicate is intervenable: repairing one conjunct
+    // (forcing the primary fetch's slow bit to its good value) eliminates
+    // the failure.
+    let plan = aid::sim::plan_for(&catalog, &[both]);
+    let repaired = sim.collect_with(10_000..10_150, &plan);
+    println!(
+        "\nunder the compound repair: {} failures in {} runs",
+        repaired.counts().1,
+        repaired.traces.len()
+    );
+    assert_eq!(repaired.counts().1, 0);
+    println!("AID can now treat the conjunction as a single root-cause candidate (§3.2).");
+}

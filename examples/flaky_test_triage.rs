@@ -1,0 +1,76 @@
+//! Flaky-test triage: the paper's motivating setting (§3, Assumption 1).
+//! A test suite fails intermittently in *two different ways*; failure
+//! signatures (the stand-in for stack-trace metadata from failure
+//! trackers) split the runs into per-bug groups, and AID debugs each group
+//! in isolation — the single-root-cause assumption holds per signature,
+//! not per suite.
+//!
+//! ```sh
+//! cargo run --example flaky_test_triage
+//! ```
+
+use aid::prelude::*;
+
+fn main() {
+    // A "test suite" with two independent intermittent bugs:
+    // 1. a transient-fault timing bug that trips a deadline check;
+    // 2. a random-collision bug in an id allocator.
+    let mut b = ProgramBuilder::new("suite");
+    let fetch = b.method("FetchFixture", |m| {
+        m.set(Reg(1), Expr::Now)
+            .flaky_delay(0.3, 80)
+            .compute(5)
+            .set(Reg(2), Expr::sub(Expr::Now, Expr::Reg(Reg(1))));
+    });
+    let deadline = b.method("AssertDeadline", |m| {
+        m.throw_if(Expr::Reg(Reg(2)), Cmp::Gt, Expr::Const(60), "DeadlineExceeded");
+    });
+    let alloc_a = b.pure_method("AllocA", |m| {
+        m.rand_range(Reg(3), 0, 5).ret(Expr::Reg(Reg(3)));
+    });
+    let alloc_b = b.pure_method("AllocB", |m| {
+        m.rand_range(Reg(4), 0, 5).ret(Expr::Reg(Reg(4)));
+    });
+    let uniq = b.method("AssertUnique", |m| {
+        m.throw_if(
+            Expr::Reg(Reg(3)),
+            Cmp::Eq,
+            Expr::Reg(Reg(4)),
+            "DuplicateId",
+        );
+    });
+    let main_m = b.method("TestMain", |m| {
+        m.call(fetch).call(deadline).call(alloc_a).call(alloc_b).call(uniq);
+    });
+    b.thread("main", main_m, true);
+    let sim = Simulator::new(b.build());
+
+    // Collect a big batch of suite runs and triage by signature.
+    let logs = sim.collect(600);
+    let (ok, fail) = logs.counts();
+    println!("suite: {ok} passing runs, {fail} flaky failures");
+    let groups = failure_signatures(&logs);
+    for (sig, count) in &groups {
+        println!("  signature {sig}: {count} failures");
+    }
+
+    // Debug each signature group independently.
+    for (sig, _) in &groups {
+        let grouped = logs.filter_failures_by_signature(sig);
+        let analysis = analyze(&grouped, &ExtractionConfig::default());
+        let mut exec = SimExecutor::new(
+            sim.clone(),
+            analysis.extraction.catalog.clone(),
+            analysis.extraction.failure,
+            40, // both bugs are sub-50% probability: demand confidence
+            1_000_000,
+        );
+        let result = discover(&analysis.dag, &mut exec, Strategy::Aid, 1);
+        println!("\n=== group {sig} ===");
+        print!("{}", render_explanation(&analysis, &result, &grouped));
+    }
+    println!(
+        "\nEach group got its own root cause — running AID on the mixed logs \
+         would violate the single-root-cause assumption (Assumption 1)."
+    );
+}

@@ -1,0 +1,81 @@
+//! The paper's flagship case study (Example 1, §7.1.1, Figure 9): the
+//! Npgsql connector-pool data race, end to end, with the AC-DAG rendered
+//! as GraphViz DOT and the full intervention schedule narrated.
+//!
+//! ```sh
+//! cargo run --example npgsql_case_study
+//! ```
+
+use aid::cases::{self, analyze_case, collect_logs};
+use aid::prelude::*;
+
+fn main() {
+    let case = cases::npgsql::case();
+    println!("case:      {}", case.name);
+    println!("reference: {}", case.reference);
+    println!("bug:       {}\n", case.summary);
+
+    let logs = collect_logs(&case);
+    let (ok, fail) = logs.counts();
+    println!("collected {ok} successful / {fail} failed executions");
+
+    let analysis = analyze_case(&case, &logs);
+    println!(
+        "plain SD reports {} fully-discriminative predicates (paper: {})",
+        analysis.sd_predicate_count(),
+        case.paper.sd_predicates
+    );
+
+    println!("\n--- approximate causal DAG (GraphViz) ---");
+    print!("{}", analysis.dag.to_dot(&analysis.extraction.catalog, &logs));
+
+    let sim = Simulator::new(case.program.clone());
+    let mut executor = SimExecutor::new(
+        sim,
+        analysis.extraction.catalog.clone(),
+        analysis.extraction.failure,
+        case.runs_per_round,
+        1_000_000,
+    );
+    let result = discover(&analysis.dag, &mut executor, Strategy::Aid, 1);
+
+    println!("--- intervention schedule ---");
+    for (i, round) in result.log.iter().enumerate() {
+        let names: Vec<String> = round
+            .intervened
+            .iter()
+            .map(|&p| analysis.extraction.catalog.describe(p, &logs))
+            .collect();
+        println!(
+            "round {:>2} [{:?}] intervene on {} predicate(s): failure {}{}",
+            i + 1,
+            round.phase,
+            names.len(),
+            if round.stopped { "STOPPED" } else { "persists" },
+            if round.pruned.is_empty() {
+                String::new()
+            } else {
+                format!(" — pruned {} more without intervening", round.pruned.len())
+            }
+        );
+        for n in names {
+            println!("          · {n}");
+        }
+    }
+
+    println!("\n--- verdict ---");
+    print!("{}", render_explanation(&analysis, &result, &logs));
+    println!(
+        "\nAID: {} interventions (paper: {}); TAGT worst case: {} (paper: {})",
+        result.rounds,
+        case.paper.aid,
+        aid::core::analytic_worst_case(analysis.dag.candidates().len(), result.causal.len()),
+        case.paper.tagt
+    );
+    println!(
+        "\nThe developer's explanation on GitHub: two threads race on an \
+         index variable; one increments it while the other reads it and \
+         accesses the array beyond its size; the IndexOutOfRange exception \
+         crashes the application. AID's chain above matches it step for step."
+    );
+}

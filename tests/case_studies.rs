@@ -1,0 +1,80 @@
+//! Figure 7 shape assertions: all six case studies, measured against the
+//! paper's rows. Absolute round counts vary with tie-breaking seeds; the
+//! *shape* — who wins, path lengths, predicate counts — must hold.
+
+use aid::cases::{all_cases, run_case};
+
+#[test]
+fn figure7_shape_holds_for_all_six_cases() {
+    for case in all_cases() {
+        let report = run_case(&case, 11);
+        // Root cause identified and of the right kind.
+        assert!(
+            report.root_matches,
+            "{}: wrong root cause {:?}",
+            case.name, report.root_description
+        );
+        // Column 3: fully-discriminative predicate count near the paper's.
+        let sd_lo = (case.paper.sd_predicates as f64 * 0.8) as usize;
+        let sd_hi = (case.paper.sd_predicates as f64 * 1.25) as usize;
+        assert!(
+            (sd_lo..=sd_hi).contains(&report.sd_predicates),
+            "{}: SD count {} outside [{}, {}] (paper {})",
+            case.name,
+            report.sd_predicates,
+            sd_lo,
+            sd_hi,
+            case.paper.sd_predicates
+        );
+        // Column 4: causal path length within ±2 of the paper.
+        assert!(
+            report.causal_path.abs_diff(case.paper.causal_path) <= 2,
+            "{}: path {} vs paper {}",
+            case.name,
+            report.causal_path,
+            case.paper.causal_path
+        );
+        // Columns 5/6: AID beats TAGT (the paper's headline).
+        assert!(
+            report.aid_rounds < report.tagt_rounds,
+            "{}: AID {} !< TAGT {}",
+            case.name,
+            report.aid_rounds,
+            report.tagt_rounds
+        );
+        // AID also beats the analytic TAGT worst case.
+        assert!(
+            report.aid_rounds < report.tagt_analytic.max(report.tagt_rounds),
+            "{}: AID {} vs analytic {}",
+            case.name,
+            report.aid_rounds,
+            report.tagt_analytic
+        );
+    }
+}
+
+#[test]
+fn explanations_match_developer_stories() {
+    for case in all_cases() {
+        let report = run_case(&case, 23);
+        let needle = match case.name {
+            "Npgsql" | "HealthTelemetry" => "data race",
+            "Kafka" | "CosmosDB" => "runs too slow",
+            "Network" => "colliding values",
+            "BuildAndTest" => "no longer precedes",
+            other => panic!("unknown case {other}"),
+        };
+        assert!(
+            report.explanation.contains(needle),
+            "{}: explanation lacks {:?}:\n{}",
+            case.name,
+            needle,
+            report.explanation
+        );
+        assert!(
+            report.explanation.contains("FAILURE"),
+            "{}: path must end at the failure",
+            case.name
+        );
+    }
+}

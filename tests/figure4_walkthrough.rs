@@ -1,0 +1,96 @@
+//! Reproduces the paper's Section 5.2 walkthrough (Figure 4) exactly: the
+//! 11-predicate AC-DAG, the true causal path P1 → P2 → P11 → F, and the
+//! 8-intervention discovery schedule.
+
+use aid::prelude::*;
+
+fn p(i: u32) -> PredicateId {
+    PredicateId::from_raw(i)
+}
+
+/// The Figure 4(a) AC-DAG (ids: P1=0 … P11=10, F=11), from Hasse edges.
+fn figure4_dag() -> AcDag {
+    let truth = aid::core::figure4_ground_truth();
+    let edges = vec![
+        (p(0), p(1)),
+        (p(1), p(2)),
+        (p(2), p(3)),
+        (p(3), p(4)),
+        (p(4), p(5)),
+        (p(2), p(6)),
+        (p(6), p(7)),
+        (p(7), p(8)),
+        (p(6), p(10)),
+        (p(5), p(9)),
+        (p(10), p(9)),
+        (p(9), p(11)),
+        (p(5), p(11)),
+        (p(8), p(11)),
+    ];
+    AcDag::from_edges(&truth.candidates(), truth.failure(), &edges)
+}
+
+#[test]
+fn causal_path_is_p1_p2_p11_f() {
+    let truth = aid::core::figure4_ground_truth();
+    let dag = figure4_dag();
+    for seed in 0..25 {
+        let mut oracle = OracleExecutor::new(truth.clone());
+        let r = discover(&dag, &mut oracle, Strategy::Aid, seed);
+        assert_eq!(
+            r.path().iter().map(|q| q.raw()).collect::<Vec<_>>(),
+            vec![0, 1, 10, 11],
+            "P1 → P2 → P11 → F must hold for every tie-breaking seed"
+        );
+    }
+}
+
+#[test]
+fn eight_intervention_schedules_exist_and_dominate() {
+    let truth = aid::core::figure4_ground_truth();
+    let dag = figure4_dag();
+    let mut counts = std::collections::BTreeMap::new();
+    for seed in 0..60 {
+        let mut oracle = OracleExecutor::new(truth.clone());
+        let r = discover(&dag, &mut oracle, Strategy::Aid, seed);
+        *counts.entry(r.rounds).or_insert(0usize) += 1;
+    }
+    assert!(
+        counts.contains_key(&8),
+        "the paper's 8-round schedule must be reachable: {counts:?}"
+    );
+    // "na\u{ef}vely we would have needed 11 — one for each predicate."
+    assert!(
+        counts.keys().all(|&k| k < 11),
+        "every schedule must beat one-at-a-time: {counts:?}"
+    );
+}
+
+#[test]
+fn branch_pruning_resolves_both_junctions_in_two_rounds() {
+    let truth = aid::core::figure4_ground_truth();
+    let dag = figure4_dag();
+    for seed in 0..10 {
+        let mut oracle = OracleExecutor::new(truth.clone());
+        let mut state = aid::core::DiscoveryState::new(&dag, true, seed);
+        aid::core::branch_prune(&mut state, &mut oracle);
+        assert_eq!(state.rounds(), 2, "steps ① and ② of the walkthrough");
+        // P4, P5, P6 (ids 3, 4, 5) and P8, P9 (ids 7, 8) are always gone.
+        for gone in [3u32, 4, 5, 7, 8] {
+            assert!(
+                state.spurious.contains(&p(gone)),
+                "P{} must be branch-pruned (seed {seed})",
+                gone + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn search_space_matches_example_3() {
+    // Figure 5(a): CPD has 15 valid solutions, GT has 2^6 = 64.
+    let closure = aid::theory::closure_from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+    assert_eq!(aid::theory::chain_count(&closure), Some(15));
+    assert_eq!(aid::theory::gt_search_space_log2(6), 6.0);
+    assert_eq!(aid::theory::symmetric_cpd_search_space(1, 2, 3), Some(15));
+}

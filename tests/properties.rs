@@ -1,0 +1,161 @@
+//! Cross-crate property tests on the framework's structural invariants:
+//! scheduler determinism, trace well-formedness, AC-DAG acyclicity for
+//! arbitrary observation logs, and codec round-trips.
+
+use aid::prelude::*;
+use proptest::prelude::*;
+
+// `proptest::prelude` also exports a `Strategy` trait; ours wins explicitly.
+use aid::core::Strategy;
+
+/// A small parameterized racy program (jitter bounds vary per case).
+fn program(jr: (u64, u64), jw: (u64, u64)) -> Program {
+    let mut b = ProgramBuilder::new("prop");
+    let flag = b.object("flag", 0);
+    let len = b.object("len", 10);
+    let slot = b.object("slot", 10);
+    let reader = b.method("Reader", |m| {
+        m.write(flag, Expr::Const(1))
+            .read(len, Reg(0))
+            .jitter(jr.0, jr.1)
+            .throw_if_obj(slot, Cmp::Gt, Expr::Reg(Reg(0)), "Boom");
+    });
+    let writer = b.method("Writer", |m| {
+        m.jitter(jw.0, jw.1)
+            .write(len, Expr::Const(20))
+            .write(slot, Expr::Const(11));
+    });
+    let entry = b.method("WriterEntry", |m| {
+        m.wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1))
+            .jitter(0, 20)
+            .call(writer);
+    });
+    let main_m = b.method("Main", |m| {
+        m.spawn_named("t1").spawn_named("t2").join(1).join(2);
+    });
+    b.thread("main", main_m, true);
+    b.thread("t1", reader, false);
+    b.thread("t2", entry, false);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed ⇒ identical trace; the scheduler has no hidden state.
+    #[test]
+    fn prop_runs_are_deterministic_per_seed(
+        seed in 0u64..5_000,
+        jr in (1u64..20, 20u64..50),
+        jw in (1u64..10, 10u64..30),
+    ) {
+        let sim = Simulator::new(program(jr, jw));
+        let a = sim.run(seed, &InterventionPlan::empty());
+        let b = sim.run(seed, &InterventionPlan::empty());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every trace is well-formed: windows ordered, accesses inside their
+    /// event's window, timestamps within the run, instances dense per
+    /// method, events sorted by start time.
+    #[test]
+    fn prop_traces_are_well_formed(seed in 0u64..5_000) {
+        let sim = Simulator::new(program((5, 40), (1, 10)));
+        let t = sim.run(seed, &InterventionPlan::empty());
+        let mut counts = std::collections::BTreeMap::new();
+        let mut last_start = 0;
+        for e in &t.events {
+            prop_assert!(e.start <= e.end);
+            prop_assert!(e.end <= t.duration);
+            prop_assert!(e.start >= last_start, "events sorted by start");
+            last_start = e.start;
+            for a in &e.accesses {
+                prop_assert!(a.at >= e.start && a.at <= e.end,
+                    "access at {} outside [{}, {}]", a.at, e.start, e.end);
+            }
+            let c = counts.entry(e.method.raw()).or_insert(0u32);
+            prop_assert_eq!(e.instance, *c, "instances dense per method");
+            *c += 1;
+        }
+    }
+
+    /// The AC-DAG built from real logs is acyclic (reachability is a strict
+    /// partial order) and F is the unique sink of every candidate.
+    #[test]
+    fn prop_acdag_is_a_strict_partial_order(lo in 1u64..15, hi in 20u64..60) {
+        let sim = Simulator::new(program((lo, hi), (1, 10)));
+        let logs = sim.collect(120);
+        if logs.counts().0 == 0 || logs.counts().1 == 0 {
+            return Ok(()); // need both labels for an analysis
+        }
+        let analysis = analyze(&logs, &ExtractionConfig::default());
+        let dag = &analysis.dag;
+        for &p in dag.nodes() {
+            prop_assert!(!dag.reaches(p, p), "irreflexive");
+            for &q in dag.nodes() {
+                if dag.reaches(p, q) {
+                    prop_assert!(!dag.reaches(q, p), "antisymmetric");
+                    for &r in dag.nodes() {
+                        if dag.reaches(q, r) {
+                            prop_assert!(dag.reaches(p, r), "transitive");
+                        }
+                    }
+                }
+            }
+        }
+        for &p in dag.candidates() {
+            prop_assert!(dag.reaches(p, dag.failure()), "every candidate reaches F");
+        }
+    }
+
+    /// Codec round-trip for arbitrary collected trace sets.
+    #[test]
+    fn prop_codec_roundtrip(seed in 0u64..500) {
+        let sim = Simulator::new(program((5, 40), (1, 10)));
+        let logs = sim.collect_with(seed..seed + 7, &InterventionPlan::empty());
+        let text = aid::trace::codec::encode(&logs);
+        let back = aid::trace::codec::decode(&text).unwrap();
+        prop_assert_eq!(logs.traces, back.traces);
+    }
+
+    /// Serializing the racing methods eliminates the failure for any
+    /// timing parameters — the intervention's guarantee is structural, not
+    /// tuned.
+    #[test]
+    fn prop_serialization_always_repairs(
+        lo in 1u64..15, hi in 20u64..60, wlo in 1u64..8, whi in 8u64..25,
+    ) {
+        let sim = Simulator::new(program((lo, hi), (wlo, whi)));
+        let plan = InterventionPlan::single(Intervention::SerializeMethods {
+            a: MethodId::from_raw(0),
+            b: MethodId::from_raw(1),
+        });
+        let set = sim.collect_with(0..60, &plan);
+        prop_assert_eq!(set.counts().1, 0, "no failures under serialization");
+    }
+}
+
+#[test]
+fn strategies_partition_candidates_on_real_pipeline() {
+    // On the simulator-backed pipeline (not just the oracle), every
+    // strategy decides every candidate exactly once.
+    let sim = Simulator::new(program((5, 40), (1, 10)));
+    let logs = sim.collect_balanced(30, 30, 20_000);
+    let analysis = analyze(&logs, &ExtractionConfig::default());
+    for strategy in [Strategy::Aid, Strategy::AidPB] {
+        let mut exec = SimExecutor::new(
+            sim.clone(),
+            analysis.extraction.catalog.clone(),
+            analysis.extraction.failure,
+            10,
+            3_000_000,
+        );
+        let r = discover(&analysis.dag, &mut exec, strategy, 5);
+        assert_eq!(
+            r.causal.len() + r.spurious.len(),
+            analysis.dag.candidates().len(),
+            "{}",
+            strategy.name()
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Soundness and completeness of the discovery strategies, over randomly
+//! generated ground truths (property-based), plus robustness under a flaky
+//! observation oracle.
+
+use aid::prelude::*;
+use aid::synth::{generate, SynthParams};
+use proptest::prelude::*;
+
+// `proptest::prelude` also exports a `Strategy` trait; ours wins explicitly.
+use aid::core::Strategy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy recovers exactly the true causal path on arbitrary
+    /// generated applications (soundness + completeness, Definition 1).
+    #[test]
+    fn prop_all_strategies_recover_exact_truth(seed in 0u64..10_000, maxt in 2u32..24) {
+        let params = SynthParams { max_threads: maxt, ..Default::default() };
+        let app = generate(&params, seed);
+        let want = app.truth.path_ids();
+        for strategy in Strategy::PAPER_SET {
+            let mut oracle = OracleExecutor::new(app.truth.clone());
+            let r = discover(&app.dag, &mut oracle, strategy, seed);
+            prop_assert_eq!(
+                &r.causal, &want,
+                "{} diverged on seed {}", strategy.name(), seed
+            );
+            // Causal and spurious partition the candidates.
+            prop_assert_eq!(r.causal.len() + r.spurious.len(), app.n);
+        }
+    }
+
+    /// Pruning is an optimization: AID never *loses* to its unpruned
+    /// variants by more than tie-breaking noise, and interventional
+    /// pruning never discards a true-path predicate.
+    #[test]
+    fn prop_pruning_never_discards_causal(seed in 0u64..10_000) {
+        let params = SynthParams { max_threads: 12, ..Default::default() };
+        let app = generate(&params, seed);
+        let mut oracle = OracleExecutor::new(app.truth.clone());
+        let r = discover(&app.dag, &mut oracle, Strategy::Aid, seed);
+        for p in app.truth.path_ids() {
+            prop_assert!(
+                !r.spurious.contains(&p),
+                "true-path predicate {:?} was pruned", p
+            );
+        }
+    }
+}
+
+#[test]
+fn aid_beats_tagt_on_average_across_workloads() {
+    // Mirrors Figure 8's average panel at one setting.
+    let params = SynthParams {
+        max_threads: 18,
+        ..Default::default()
+    };
+    let mut aid_total = 0usize;
+    let mut tagt_total = 0usize;
+    for seed in 0..60 {
+        let app = generate(&params, seed);
+        let mut oracle = OracleExecutor::new(app.truth.clone());
+        aid_total += discover(&app.dag, &mut oracle, Strategy::Aid, seed).rounds;
+        let mut oracle = OracleExecutor::new(app.truth.clone());
+        tagt_total += discover(&app.dag, &mut oracle, Strategy::Tagt, seed).rounds;
+    }
+    assert!(
+        aid_total < tagt_total,
+        "AID {aid_total} must beat TAGT {tagt_total} in aggregate"
+    );
+}
+
+#[test]
+fn flaky_observations_paper_rule_vs_quorum() {
+    // Observation noise flips symptom bits with 3% probability per run.
+    // The paper's single-counter-example pruning rule (quorum = 1) is
+    // brittle under such noise: one flipped bit anywhere wrongly prunes a
+    // predicate. A majority quorum over the round's records restores
+    // robustness. Either way the root cause is safe: it reaches every
+    // intervened predicate in the AC-DAG, so Definition 2's ancestor guard
+    // never lets it be pruned, and discovery always terminates with a
+    // complete partition.
+    let truth = aid::core::figure4_ground_truth();
+    let dag = {
+        let p = |i: u32| PredicateId::from_raw(i);
+        let edges: Vec<_> = vec![
+            (p(0), p(1)),
+            (p(1), p(2)),
+            (p(2), p(3)),
+            (p(3), p(4)),
+            (p(4), p(5)),
+            (p(2), p(6)),
+            (p(6), p(7)),
+            (p(7), p(8)),
+            (p(6), p(10)),
+            (p(5), p(9)),
+            (p(10), p(9)),
+            (p(9), p(11)),
+            (p(5), p(11)),
+            (p(8), p(11)),
+        ];
+        AcDag::from_edges(&truth.candidates(), truth.failure(), &edges)
+    };
+    let mut exact_paper = 0;
+    let mut exact_quorum = 0;
+    for seed in 0..20 {
+        let mut flaky = FlakyOracle::new(truth.clone(), 0.03, 7, seed);
+        let r = discover(&dag, &mut flaky, Strategy::Aid, seed);
+        assert_eq!(r.causal.len() + r.spurious.len(), truth.n);
+        assert_eq!(r.root_cause().map(|p| p.raw()), Some(0), "root survives noise");
+        if r.causal == truth.path_ids() {
+            exact_paper += 1;
+        }
+
+        let mut flaky = FlakyOracle::new(truth.clone(), 0.03, 7, seed);
+        let r = discover_with_options(
+            &dag,
+            &mut flaky,
+            Strategy::Aid,
+            seed,
+            DiscoverOptions { prune_quorum: 5 },
+        );
+        assert_eq!(r.causal.len() + r.spurious.len(), truth.n);
+        if r.causal == truth.path_ids() {
+            exact_quorum += 1;
+        }
+    }
+    assert!(
+        exact_quorum >= 16,
+        "majority quorum must be robust: {exact_quorum}/20"
+    );
+    assert!(
+        exact_quorum >= exact_paper,
+        "quorum ({exact_quorum}) must not underperform the paper rule ({exact_paper})"
+    );
+}
+
+#[test]
+fn counting_executor_budget_catches_runaways() {
+    let truth = aid::core::figure4_ground_truth();
+    let candidates = truth.candidates();
+    let failure = truth.failure();
+    let edges: Vec<_> = candidates.iter().map(|&c| (c, failure)).collect();
+    let dag = AcDag::from_edges(&candidates, failure, &edges);
+    let oracle = OracleExecutor::new(truth);
+    let mut counted = CountingExecutor::with_budget(oracle, 500);
+    let r = discover(&dag, &mut counted, Strategy::Tagt, 0);
+    assert!(counted.rounds >= r.rounds);
+    assert!(counted.rounds <= 500);
+}

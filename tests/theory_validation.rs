@@ -1,0 +1,134 @@
+//! Section 6's theory, validated against measured behaviour: measured
+//! intervention counts respect the information-theoretic lower bounds and
+//! the pruning/branch upper bounds; the search-space DP agrees with the
+//! closed forms.
+
+use aid::prelude::*;
+use aid::synth::{generate, SynthParams};
+use aid::theory;
+
+#[test]
+fn measured_worst_case_respects_information_lower_bound() {
+    // The information-theoretic bound log2(C(N, D)) constrains an
+    // algorithm's *worst case* — a lucky instance can finish early, the
+    // decision tree cannot be uniformly shallow. Check TAGT's worst case
+    // over many tie-breaking schedules on fixed applications.
+    let params = SynthParams {
+        max_threads: 10,
+        ..Default::default()
+    };
+    for app_seed in 0..6 {
+        let app = generate(&params, app_seed);
+        let lower = theory::gt_lower_bound(app.n as u64, app.d as u64);
+        let worst = (0..40)
+            .map(|tie_seed| {
+                let mut oracle = OracleExecutor::new(app.truth.clone());
+                discover(&app.dag, &mut oracle, Strategy::Tagt, tie_seed).rounds
+            })
+            .max()
+            .unwrap();
+        assert!(
+            (worst as f64) >= lower.floor(),
+            "app {app_seed}: TAGT worst {} below log2 C({}, {}) = {:.1}",
+            worst,
+            app.n,
+            app.d,
+            lower
+        );
+    }
+}
+
+#[test]
+fn aid_stays_within_branch_and_pruning_upper_bounds() {
+    // §6.3.1: AID ≤ J·log2(T) + D·log2(N_M) + slack. Our generator bounds
+    // J ≤ 3 and branch width by the thread count; N_M ≤ N. Verify against
+    // the loose composite bound J·log2(T) + D·log2(N) + D (slack for
+    // singleton-confirmation rounds).
+    let params = SynthParams {
+        max_threads: 16,
+        ..Default::default()
+    };
+    for seed in 0..30 {
+        let app = generate(&params, seed);
+        let mut oracle = OracleExecutor::new(app.truth.clone());
+        let aid = discover(&app.dag, &mut oracle, Strategy::Aid, seed);
+        let bound = theory::aid_branch_upper_bound(3, app.threads as u64, app.n as u64, app.d as u64)
+            + app.d as f64;
+        assert!(
+            (aid.rounds as f64) <= bound.ceil() + 2.0,
+            "seed {seed}: AID {} above bound {:.1} (N={}, D={}, T={})",
+            aid.rounds,
+            bound,
+            app.n,
+            app.d,
+            app.threads
+        );
+    }
+}
+
+#[test]
+fn figure6_table_is_internally_consistent() {
+    for (j, b, n) in [(1u64, 2u64, 3u64), (2, 4, 4), (3, 8, 5), (4, 16, 3)] {
+        let total = j * b * n;
+        let d = (total as f64 / (total as f64).log2()).floor().max(1.0) as u64;
+        let row = theory::figure6_row(j, b, n, d.min(j * n), 2, 2);
+        assert!(row.cpd_search_log2 < row.gt_search_log2);
+        assert!(row.cpd_lower <= row.gt_lower + 1e-9);
+        assert!(row.aid_upper <= row.tagt_upper + 1e-9);
+    }
+}
+
+#[test]
+fn chain_count_matches_symmetric_closed_form() {
+    // Build the symmetric AC-DAG explicitly and compare the DP against
+    // (B(2^n − 1) + 1)^J.
+    for (j, bwidth, n) in [(1usize, 2usize, 3usize), (2, 3, 2), (3, 2, 2)] {
+        let mut edges = Vec::new();
+        let mut next = 0usize;
+        let mut prev_tails: Vec<usize> = Vec::new();
+        for _ in 0..j {
+            let mut tails = Vec::new();
+            for _ in 0..bwidth {
+                let ids: Vec<usize> = (next..next + n).collect();
+                next += n;
+                for w in ids.windows(2) {
+                    edges.push((w[0], w[1]));
+                }
+                for &t in &prev_tails {
+                    edges.push((t, ids[0]));
+                }
+                tails.push(*ids.last().unwrap());
+            }
+            prev_tails = tails;
+        }
+        let closure = theory::closure_from_edges(next, &edges);
+        let dp = theory::chain_count(&closure).unwrap();
+        let formula =
+            theory::symmetric_cpd_search_space(j as u32, bwidth as u32, n as u32).unwrap();
+        assert_eq!(dp, formula, "J={j} B={bwidth} n={n}");
+    }
+}
+
+#[test]
+fn interventional_pruning_reduces_rounds_with_symptom_mass() {
+    // The more symptoms hang off the causal path, the more Definition 2
+    // pruning pays off: AID with pruning beats AID-P on aggregate.
+    let params = SynthParams {
+        max_threads: 20,
+        symptom_prob: 0.9,
+        ..Default::default()
+    };
+    let mut with = 0usize;
+    let mut without = 0usize;
+    for seed in 100..160 {
+        let app = generate(&params, seed);
+        let mut oracle = OracleExecutor::new(app.truth.clone());
+        with += discover(&app.dag, &mut oracle, Strategy::Aid, seed).rounds;
+        let mut oracle = OracleExecutor::new(app.truth.clone());
+        without += discover(&app.dag, &mut oracle, Strategy::AidP, seed).rounds;
+    }
+    assert!(
+        with <= without,
+        "pruning must not hurt: AID {with} vs AID-P {without}"
+    );
+}
