@@ -2,14 +2,24 @@
 //! as the predicate count N grows.
 
 use aid_causal::{AcDag, TypeAwarePolicy};
-use aid_predicates::{MethodInstance, Predicate, PredicateCatalog, PredicateId, PredicateKind, RunObservation};
+use aid_predicates::{
+    MethodInstance, Predicate, PredicateCatalog, PredicateId, PredicateKind, RunObservation,
+};
 use aid_trace::MethodId;
 use aid_util::DenseBitSet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn fixture(n: usize, runs: usize) -> (PredicateCatalog, Vec<RunObservation>, Vec<PredicateId>, PredicateId) {
+fn fixture(
+    n: usize,
+    runs: usize,
+) -> (
+    PredicateCatalog,
+    Vec<RunObservation>,
+    Vec<PredicateId>,
+    PredicateId,
+) {
     let mut catalog = PredicateCatalog::new();
     let mut ids = Vec::new();
     for m in 0..n {

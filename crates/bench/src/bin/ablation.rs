@@ -7,7 +7,7 @@
 //!    case study.
 //!
 //! ```sh
-//! cargo run -p aid-bench --bin ablation --release [--apps=120]
+//! cargo run -p aid_bench --bin ablation --release [--apps=120]
 //! ```
 
 use aid_bench::{arg_value, render_table};
@@ -19,7 +19,9 @@ use aid_synth::{generate, SynthParams};
 use aid_util::Summary;
 
 fn main() {
-    let apps: u64 = arg_value("apps").and_then(|s| s.parse().ok()).unwrap_or(120);
+    let apps: u64 = arg_value("apps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
 
     // --- 1. the 2×2 phase matrix ---
     println!("Ablation 1 — phase matrix over {apps} synthetic apps (MAXt = 20):\n");

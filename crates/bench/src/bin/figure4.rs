@@ -3,7 +3,7 @@
 //! in 8 interventions.
 //!
 //! ```sh
-//! cargo run -p aid-bench --bin figure4 --release
+//! cargo run -p aid_bench --bin figure4 --release
 //! ```
 
 use aid_causal::AcDag;
@@ -75,6 +75,10 @@ fn main() {
         );
     }
     let path: Vec<String> = result.path().iter().map(|&q| name(q)).collect();
-    println!("\ncausal path: {}   ({} interventions; paper: 8)", path.join(" → "), result.rounds);
+    println!(
+        "\ncausal path: {}   ({} interventions; paper: 8)",
+        path.join(" → "),
+        result.rounds
+    );
     println!("naïve one-at-a-time would need 11.");
 }

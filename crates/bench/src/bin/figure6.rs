@@ -4,13 +4,11 @@
 //! plus Example 3's 15-vs-64 search-space count.
 //!
 //! ```sh
-//! cargo run -p aid-bench --bin figure6 --release
+//! cargo run -p aid_bench --bin figure6 --release
 //! ```
 
 use aid_bench::render_table;
-use aid_theory::{
-    chain_count, closure_from_edges, figure6_row, symmetric_cpd_search_space,
-};
+use aid_theory::{chain_count, closure_from_edges, figure6_row, symmetric_cpd_search_space};
 
 fn main() {
     println!("Example 3 (Figure 5a): two parallel 3-chains");

@@ -3,7 +3,7 @@
 //! TAGT intervention counts, measured against the paper's rows.
 //!
 //! ```sh
-//! cargo run -p aid-bench --bin figure7 --release [--seed=11]
+//! cargo run -p aid_bench --bin figure7 --release [--seed=11]
 //! ```
 
 use aid_bench::{arg_value, render_table};

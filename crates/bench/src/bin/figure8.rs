@@ -3,7 +3,7 @@
 //! synthetically generated applications with known root causes.
 //!
 //! ```sh
-//! cargo run -p aid-bench --bin figure8 --release [--apps=500] [--csv]
+//! cargo run -p aid_bench --bin figure8 --release [--apps=500] [--csv]
 //! ```
 
 use aid_bench::{arg_value, render_table};
@@ -12,7 +12,9 @@ use aid_synth::{generate, SynthParams};
 use aid_util::Summary;
 
 fn main() {
-    let apps: u64 = arg_value("apps").and_then(|s| s.parse().ok()).unwrap_or(500);
+    let apps: u64 = arg_value("apps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
     let csv = std::env::args().any(|a| a == "--csv");
     let settings = [2u32, 10, 18, 26, 34, 42];
     let strategies = Strategy::PAPER_SET;
@@ -40,7 +42,10 @@ fn main() {
         let mut n_summary = Summary::new();
         let mut per_strategy: Vec<Summary> = strategies.iter().map(|_| Summary::new()).collect();
         for app_seed in 0..apps {
-            let app = generate(&params, app_seed.wrapping_mul(0x9e37_79b9).wrapping_add(maxt as u64));
+            let app = generate(
+                &params,
+                app_seed.wrapping_mul(0x9e37_79b9).wrapping_add(maxt as u64),
+            );
             n_summary.push(app.n as f64);
             for (si, &strategy) in strategies.iter().enumerate() {
                 let mut oracle = OracleExecutor::new(app.truth.clone());

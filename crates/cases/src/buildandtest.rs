@@ -72,7 +72,12 @@ pub fn case() -> CaseStudy {
             m.call(*mm);
         }
         m.wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(1))
-            .throw_if(Expr::Reg(Reg(2)), Cmp::Eq, Expr::Const(1), "ArtifactMissing");
+            .throw_if(
+                Expr::Reg(Reg(2)),
+                Cmp::Eq,
+                Expr::Const(1),
+                "ArtifactMissing",
+            );
     });
     let main = b.method("Main", |m| {
         m.spawn_named("compiler")

@@ -63,8 +63,12 @@ pub fn case() -> CaseStudy {
             .write(phase, Expr::Const(1));
     });
     let fetch = b.method("ReadCacheEntry", |m| {
-        m.compute(1)
-            .throw_if(Expr::Reg(last), Cmp::Eq, Expr::Const(1), "CacheEntryNotFound");
+        m.compute(1).throw_if(
+            Expr::Reg(last),
+            Cmp::Eq,
+            Expr::Const(1),
+            "CacheEntryNotFound",
+        );
     });
 
     let app = b.method("CosmosApp", |m| {

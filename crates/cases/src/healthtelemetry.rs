@@ -26,7 +26,9 @@ pub fn case() -> CaseStudy {
 
     // The racy snapshot: window ends at the unsynchronized read.
     let snapshot = b.method("ReadSnapshot", |m| {
-        m.write(flag, Expr::Const(1)).jitter(8, 40).read(seq, Reg(1));
+        m.write(flag, Expr::Const(1))
+            .jitter(8, 40)
+            .read(seq, Reg(1));
     });
     // The concurrent bump.
     let flush = b.method("FlushBuffer", |m| {
@@ -60,8 +62,12 @@ pub fn case() -> CaseStudy {
     let mon_b = monitor_thread(&mut b, "AlertScan", phase, infected, done, 22, 7, 6);
 
     let report = b.method("WriteHealthReport", |m| {
-        m.compute(1)
-            .throw_if(Expr::Reg(last), Cmp::Eq, Expr::Const(1), "CorruptHealthReport");
+        m.compute(1).throw_if(
+            Expr::Reg(last),
+            Cmp::Eq,
+            Expr::Const(1),
+            "CorruptHealthReport",
+        );
     });
     let agent = b.method("TelemetryAgent", |m| {
         m.spawn_named("flush")

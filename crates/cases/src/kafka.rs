@@ -114,7 +114,10 @@ mod tests {
                 }
             )
         });
-        assert!(uaf, "dispose-before-commit must surface as a use-after-free");
+        assert!(
+            uaf,
+            "dispose-before-commit must surface as a use-after-free"
+        );
     }
 
     #[test]

@@ -57,8 +57,14 @@ impl RootKind {
             (self, kind),
             (RootKind::DataRace, PredicateKind::DataRace { .. })
                 | (RootKind::RunsTooSlow, PredicateKind::RunsTooSlow { .. })
-                | (RootKind::OrderViolation, PredicateKind::OrderViolation { .. })
-                | (RootKind::ValueCollision, PredicateKind::ValueCollision { .. })
+                | (
+                    RootKind::OrderViolation,
+                    PredicateKind::OrderViolation { .. }
+                )
+                | (
+                    RootKind::ValueCollision,
+                    PredicateKind::ValueCollision { .. }
+                )
         )
     }
 }
@@ -212,17 +218,35 @@ mod diag {
                 analysis.sd_predicate_count(),
                 case.paper.sd_predicates
             );
-            println!("candidates (safe+intervenable): {}", analysis.candidates.len());
-            println!("dag nodes: {} dropped: {}", analysis.dag.len(), analysis.dag.dropped().len());
+            println!(
+                "candidates (safe+intervenable): {}",
+                analysis.candidates.len()
+            );
+            println!(
+                "dag nodes: {} dropped: {}",
+                analysis.dag.len(),
+                analysis.dag.dropped().len()
+            );
             for &p in analysis.dag.candidates() {
-                println!("  [{}] {}", p.raw(), analysis.extraction.catalog.describe(p, &set));
+                println!(
+                    "  [{}] {}",
+                    p.raw(),
+                    analysis.extraction.catalog.describe(p, &set)
+                );
             }
             let report = run_case(&case, 11);
             println!(
                 "AID {} rounds (paper {}), TAGT {} (paper {}), analytic {}",
-                report.aid_rounds, case.paper.aid, report.tagt_rounds, case.paper.tagt, report.tagt_analytic
+                report.aid_rounds,
+                case.paper.aid,
+                report.tagt_rounds,
+                case.paper.tagt,
+                report.tagt_analytic
             );
-            println!("path ({} vs paper {}):\n{}", report.causal_path, case.paper.causal_path, report.explanation);
+            println!(
+                "path ({} vs paper {}):\n{}",
+                report.causal_path, case.paper.causal_path, report.explanation
+            );
         }
     }
 }

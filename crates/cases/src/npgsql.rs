@@ -59,8 +59,12 @@ pub fn case() -> CaseStudy {
 
     // The crash site: scans the (stale) array bound.
     let access = b.method("AccessPools", |m| {
-        m.compute(1)
-            .throw_if(Expr::Reg(Reg(1)), Cmp::Gt, Expr::Const(10), "IndexOutOfRange");
+        m.compute(1).throw_if(
+            Expr::Reg(Reg(1)),
+            Cmp::Gt,
+            Expr::Const(10),
+            "IndexOutOfRange",
+        );
     });
     let worker = b.method("OpenConnection", |m| {
         m.call(try_get).call(validate);

@@ -45,7 +45,10 @@ impl AcDag {
         policy: &dyn PrecedencePolicy,
     ) -> AcDag {
         let failed: Vec<&RunObservation> = observations.iter().filter(|o| o.failed).collect();
-        assert!(!failed.is_empty(), "AC-DAG requires at least one failed run");
+        assert!(
+            !failed.is_empty(),
+            "AC-DAG requires at least one failed run"
+        );
         let mut all: Vec<PredicateId> = candidates.to_vec();
         all.sort();
         all.dedup();
@@ -102,11 +105,7 @@ impl AcDag {
                 }
             }
         }
-        let index = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i))
-            .collect();
+        let index = nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         AcDag {
             nodes,
             index,
@@ -213,11 +212,7 @@ impl AcDag {
     }
 
     /// Descendants of `p` within `universe` (strict).
-    pub fn descendants_within(
-        &self,
-        p: PredicateId,
-        universe: &[PredicateId],
-    ) -> Vec<PredicateId> {
+    pub fn descendants_within(&self, p: PredicateId, universe: &[PredicateId]) -> Vec<PredicateId> {
         universe
             .iter()
             .copied()
@@ -246,8 +241,7 @@ impl AcDag {
                 .filter(|&j| self.closure[j].contains(i))
                 .count()
         };
-        let mut keyed: Vec<(usize, PredicateId)> =
-            set.iter().map(|&p| (anc_count(p), p)).collect();
+        let mut keyed: Vec<(usize, PredicateId)> = set.iter().map(|&p| (anc_count(p), p)).collect();
         // Shuffle first so equal keys land in random relative order.
         keyed.shuffle(rng);
         keyed.sort_by_key(|&(k, _)| k);
@@ -359,7 +353,14 @@ mod tests {
 
     /// Catalog of n "slow" predicates + failure; observations place windows
     /// per the given per-run anchor times (point windows).
-    fn fixture(anchors: &[Vec<u64>]) -> (PredicateCatalog, Vec<RunObservation>, Vec<PredicateId>, PredicateId) {
+    fn fixture(
+        anchors: &[Vec<u64>],
+    ) -> (
+        PredicateCatalog,
+        Vec<RunObservation>,
+        Vec<PredicateId>,
+        PredicateId,
+    ) {
         let n = anchors[0].len();
         let mut catalog = PredicateCatalog::new();
         let mut ids = Vec::new();

@@ -113,11 +113,11 @@ mod tests {
         let edges = vec![
             (p(0), p(1)),
             (p(1), p(2)),
-            (p(2), p(3)),  // junction after P3: branch 1 = P4,P5,P6
+            (p(2), p(3)), // junction after P3: branch 1 = P4,P5,P6
             (p(3), p(4)),
             (p(4), p(5)),
-            (p(2), p(6)),  // branch 2 starts at P7
-            (p(6), p(7)),  // junction after P7: branch {P8, P9}
+            (p(2), p(6)), // branch 2 starts at P7
+            (p(6), p(7)), // junction after P7: branch {P8, P9}
             (p(7), p(8)),
             (p(6), p(10)), // branch {P11}
             (p(5), p(9)),  // P10 below both sides: shared descendant

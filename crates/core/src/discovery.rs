@@ -32,7 +32,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// All four paper variants, in Figure 8's legend order.
-    pub const PAPER_SET: [Strategy; 4] = [Strategy::Tagt, Strategy::AidPB, Strategy::AidP, Strategy::Aid];
+    pub const PAPER_SET: [Strategy; 4] = [
+        Strategy::Tagt,
+        Strategy::AidPB,
+        Strategy::AidP,
+        Strategy::Aid,
+    ];
 
     /// Short display name matching the paper.
     pub fn name(&self) -> &'static str {
@@ -132,7 +137,10 @@ pub fn discover_with_options<E: Executor>(
         let pool: Vec<PredicateId> = state.remaining.iter().copied().collect();
         giwp(pool, &mut state, exec);
     }
-    debug_assert!(state.remaining.is_empty(), "every candidate must be decided");
+    debug_assert!(
+        state.remaining.is_empty(),
+        "every candidate must be decided"
+    );
     let causal = dag.topo_sorted(&state.causal.iter().copied().collect::<Vec<_>>());
     let spurious = state.spurious.iter().copied().collect();
     DiscoveryResult {
@@ -227,10 +235,7 @@ mod tests {
             counts.contains_key(&8),
             "8-round schedules must occur: {counts:?}"
         );
-        let (min, max) = (
-            *counts.keys().min().unwrap(),
-            *counts.keys().max().unwrap(),
-        );
+        let (min, max) = (*counts.keys().min().unwrap(), *counts.keys().max().unwrap());
         assert!(min >= 6 && max <= 11, "band around 8: {counts:?}");
     }
 }

@@ -112,7 +112,12 @@ impl<'d> DiscoveryState<'d> {
     /// Executes one intervention round on `group`, applies Definition 2
     /// pruning to the global pool, logs it, and reports whether the failure
     /// stopped.
-    pub fn round<E: Executor>(&mut self, exec: &mut E, group: &[PredicateId], phase: Phase) -> bool {
+    pub fn round<E: Executor>(
+        &mut self,
+        exec: &mut E,
+        group: &[PredicateId],
+        phase: Phase,
+    ) -> bool {
         let records = exec.intervene(group);
         assert!(!records.is_empty(), "executor returned no records");
         let stopped = records.iter().all(|r| !r.failed);
@@ -239,12 +244,20 @@ mod tests {
         for seed in 0..10 {
             let mut exec = OracleExecutor::new(truth.clone());
             let mut state = DiscoveryState::new(&dag, true, seed);
-            giwp(state.remaining.iter().copied().collect(), &mut state, &mut exec);
+            giwp(
+                state.remaining.iter().copied().collect(),
+                &mut state,
+                &mut exec,
+            );
             rounds_with += state.rounds();
 
             let mut exec = OracleExecutor::new(truth.clone());
             let mut state = DiscoveryState::new(&dag, false, seed);
-            giwp(state.remaining.iter().copied().collect(), &mut state, &mut exec);
+            giwp(
+                state.remaining.iter().copied().collect(),
+                &mut state,
+                &mut exec,
+            );
             assert_eq!(
                 state.causal.iter().map(|p| p.raw()).collect::<Vec<_>>(),
                 vec![0, 1, 10],

@@ -29,5 +29,7 @@ pub use discovery::{discover, discover_with_options, DiscoverOptions, DiscoveryR
 pub use executor::{CountingExecutor, ExecutionRecord, Executor};
 pub use giwp::{giwp, DiscoveryState, Phase, RoundLog};
 pub use oracle::{figure4_ground_truth, FlakyOracle, GroundTruth, OracleExecutor};
-pub use pipeline::{analyze, analyze_with_policy, failure_signatures, render_explanation, AidAnalysis};
+pub use pipeline::{
+    analyze, analyze_with_policy, failure_signatures, render_explanation, AidAnalysis,
+};
 pub use tagt::{analytic_worst_case, tagt};

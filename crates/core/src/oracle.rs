@@ -70,12 +70,17 @@ impl GroundTruth {
 
     /// Candidate predicate ids.
     pub fn candidates(&self) -> Vec<PredicateId> {
-        (0..self.n).map(|i| PredicateId::from_raw(i as u32)).collect()
+        (0..self.n)
+            .map(|i| PredicateId::from_raw(i as u32))
+            .collect()
     }
 
     /// The causal path as predicate ids.
     pub fn path_ids(&self) -> Vec<PredicateId> {
-        self.path.iter().map(|&i| PredicateId::from_raw(i as u32)).collect()
+        self.path
+            .iter()
+            .map(|&i| PredicateId::from_raw(i as u32))
+            .collect()
     }
 
     /// True iff some ancestor-or-self of `q` is in `intervened`.
@@ -226,7 +231,10 @@ mod tests {
         assert!(!r.failed);
         assert!(!r.holds(PredicateId::from_raw(1)), "P2 vanishes with P1");
         assert!(!r.holds(PredicateId::from_raw(6)), "P7 vanishes with P1");
-        assert!(!r.holds(PredicateId::from_raw(8)), "P9 vanishes transitively");
+        assert!(
+            !r.holds(PredicateId::from_raw(8)),
+            "P9 vanishes transitively"
+        );
         // Intervene on side-effect P3: failure persists, P10 vanishes.
         let r = &ex.intervene(&[PredicateId::from_raw(2)])[0];
         assert!(r.failed);

@@ -46,7 +46,9 @@ impl<'t> TraceIndex<'t> {
 
     /// The event for a method instance, if it occurred.
     pub fn event(&self, site: &MethodInstance) -> Option<&'t MethodEvent> {
-        self.by_site.get(&(site.method.raw(), site.instance)).copied()
+        self.by_site
+            .get(&(site.method.raw(), site.instance))
+            .copied()
     }
 }
 
@@ -59,12 +61,10 @@ pub fn evaluate(catalog: &PredicateCatalog, trace: &Trace) -> RunObservation {
 
     for (id, pred) in catalog.iter() {
         let window = match &pred.kind {
-            PredicateKind::DataRace { a, b, object } => {
-                match (idx.event(a), idx.event(b)) {
-                    (Some(ea), Some(eb)) => data_race_witness(ea, eb, object.raw()),
-                    _ => None,
-                }
-            }
+            PredicateKind::DataRace { a, b, object } => match (idx.event(a), idx.event(b)) {
+                (Some(ea), Some(eb)) => data_race_witness(ea, eb, object.raw()),
+                _ => None,
+            },
             PredicateKind::MethodFails { site, kind } => idx.event(site).and_then(|e| {
                 (e.exception.as_deref() == Some(kind.as_str()) && !e.caught)
                     .then_some((e.start, e.end))
@@ -75,12 +75,12 @@ pub fn evaluate(catalog: &PredicateCatalog, trace: &Trace) -> RunObservation {
             PredicateKind::RunsTooFast { site, threshold } => idx
                 .event(site)
                 .and_then(|e| (e.duration() < *threshold).then_some((e.start, e.end))),
-            PredicateKind::WrongReturn { site, expected } => idx.event(site).and_then(|e| {
-                match e.returned {
+            PredicateKind::WrongReturn { site, expected } => {
+                idx.event(site).and_then(|e| match e.returned {
                     Some(v) if v != *expected => Some((e.start, e.end)),
                     _ => None,
-                }
-            }),
+                })
+            }
             PredicateKind::OrderViolation { first, second, .. } => {
                 match (idx.event(first), idx.event(second)) {
                     (Some(ef), Some(es)) if ef.end >= es.start => {
@@ -107,9 +107,7 @@ pub fn evaluate(catalog: &PredicateCatalog, trace: &Trace) -> RunObservation {
                 }
             }
             PredicateKind::Failure { signature } => match &trace.outcome {
-                Outcome::Failure(sig) if sig == signature => {
-                    Some((trace.duration, trace.duration))
-                }
+                Outcome::Failure(sig) if sig == signature => Some((trace.duration, trace.duration)),
                 _ => None,
             },
         };
@@ -133,17 +131,23 @@ fn data_race_witness(ea: &MethodEvent, eb: &MethodEvent, object: u32) -> Option<
     if ea.thread == eb.thread {
         return None;
     }
-    for x in ea.accesses.iter().filter(|a| a.object.raw() == object && !a.locked) {
-        for y in eb.accesses.iter().filter(|a| a.object.raw() == object && !a.locked) {
-            let conflicting =
-                x.kind == AccessKind::Write || y.kind == AccessKind::Write;
+    for x in ea
+        .accesses
+        .iter()
+        .filter(|a| a.object.raw() == object && !a.locked)
+    {
+        for y in eb
+            .accesses
+            .iter()
+            .filter(|a| a.object.raw() == object && !a.locked)
+        {
+            let conflicting = x.kind == AccessKind::Write || y.kind == AccessKind::Write;
             if !conflicting {
                 continue;
             }
-            let write_in_window = (x.kind == AccessKind::Write
-                && eb.start <= x.at
-                && x.at <= eb.end)
-                || (y.kind == AccessKind::Write && ea.start <= y.at && y.at <= ea.end);
+            let write_in_window =
+                (x.kind == AccessKind::Write && eb.start <= x.at && x.at <= eb.end)
+                    || (y.kind == AccessKind::Write && ea.start <= y.at && y.at <= ea.end);
             if write_in_window {
                 return Some((x.at.min(y.at), x.at.max(y.at)));
             }

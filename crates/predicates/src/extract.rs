@@ -215,7 +215,9 @@ pub fn extract(set: &TraceSet, config: &ExtractionConfig) -> Extraction {
                 if d > hi {
                     let pure = config.pure_methods.contains(&s.method);
                     let action = match stats.unique_return.get(&k).copied().flatten() {
-                        Some(v) if pure => InterventionAction::PrematureReturn { site: s, value: v },
+                        Some(v) if pure => {
+                            InterventionAction::PrematureReturn { site: s, value: v }
+                        }
                         _ => InterventionAction::SuppressFlaky { site: s },
                     };
                     catalog.insert(Predicate {
@@ -356,10 +358,9 @@ fn extract_races(events: &[MethodEvent], catalog: &mut PredicateCatalog) {
                 if !conflicting {
                     continue;
                 }
-                let write_in_window = (x.kind == AccessKind::Write
-                    && ev2.start <= x.at
-                    && x.at <= ev2.end)
-                    || (y.kind == AccessKind::Write && ev1.start <= y.at && y.at <= ev1.end);
+                let write_in_window =
+                    (x.kind == AccessKind::Write && ev2.start <= x.at && x.at <= ev2.end)
+                        || (y.kind == AccessKind::Write && ev1.start <= y.at && y.at <= ev1.end);
                 if !write_in_window {
                     continue;
                 }
@@ -450,13 +451,11 @@ fn extract_collisions(
             catalog.insert(Predicate {
                 kind: PredicateKind::ValueCollision { a: sa, b: sb },
                 safe: true,
-                action: repair_values.map(|(a_value, b_value)| {
-                    InterventionAction::ForceRandPair {
-                        a: sa,
-                        a_value,
-                        b: sb,
-                        b_value,
-                    }
+                action: repair_values.map(|(a_value, b_value)| InterventionAction::ForceRandPair {
+                    a: sa,
+                    a_value,
+                    b: sb,
+                    b_value,
                 }),
             });
         }
@@ -531,13 +530,23 @@ mod tests {
         let ex = extract(&set, &ExtractionConfig::default());
         let kinds: Vec<_> = ex.catalog.iter().map(|(_, p)| &p.kind).collect();
         assert!(
-            kinds.iter().any(|k| matches!(k, PredicateKind::MethodFails { .. })),
+            kinds
+                .iter()
+                .any(|k| matches!(k, PredicateKind::MethodFails { .. })),
             "{kinds:?}"
         );
-        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::RunsTooSlow { .. })));
-        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::WrongReturn { .. })));
-        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::OrderViolation { .. })));
-        assert!(kinds.iter().any(|k| matches!(k, PredicateKind::Failure { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PredicateKind::RunsTooSlow { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PredicateKind::WrongReturn { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PredicateKind::OrderViolation { .. })));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, PredicateKind::Failure { .. })));
         // Observations: failure predicate true exactly in the failed run.
         assert_eq!(ex.observations.len(), 3);
         assert!(!ex.observations[0].holds(ex.failure));
@@ -551,7 +560,10 @@ mod tests {
         let stats = success_stats(&set);
         assert_eq!(stats.successes, 2);
         let orders = stable_orders(&set, &stats);
-        assert!(orders.contains(&((0, 0), (1, 0))), "A before B in all successes");
+        assert!(
+            orders.contains(&((0, 0), (1, 0))),
+            "A before B in all successes"
+        );
     }
 
     #[test]

@@ -293,9 +293,7 @@ impl PredicateCatalog {
     /// Renders a predicate for humans, resolving names through the trace
     /// set's arenas.
     pub fn describe(&self, id: PredicateId, set: &aid_trace::TraceSet) -> String {
-        let mname = |mi: &MethodInstance| {
-            format!("{}#{}", set.method_name(mi.method), mi.instance)
-        };
+        let mname = |mi: &MethodInstance| format!("{}#{}", set.method_name(mi.method), mi.instance);
         match &self.get(id).kind {
             PredicateKind::DataRace { a, b, object } => format!(
                 "data race between {} and {} on {}",
@@ -392,7 +390,10 @@ mod tests {
         let both = c.conjoin(a, b);
         let p = c.get(both);
         assert!(p.safe, "one intervenable safe conjunct suffices");
-        assert!(matches!(p.action, Some(InterventionAction::SuppressFlaky { .. })));
+        assert!(matches!(
+            p.action,
+            Some(InterventionAction::SuppressFlaky { .. })
+        ));
         // Conjunction is order-insensitive.
         assert_eq!(c.conjoin(b, a), both);
     }

@@ -65,7 +65,12 @@ impl ProgramBuilder {
         self.method_inner(name, true, f)
     }
 
-    fn method_inner(&mut self, name: &str, pure: bool, f: impl FnOnce(&mut BodyBuilder)) -> MethodId {
+    fn method_inner(
+        &mut self,
+        name: &str,
+        pure: bool,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> MethodId {
         let id = MethodId::from_raw(self.methods.len() as u32);
         let mut body = BodyBuilder {
             ops: Vec::new(),

@@ -142,7 +142,10 @@ impl LiveHarness {
             .map(|(_, _, m)| m.lock())
             .collect();
         for iv in &plan.interventions {
-            if let Intervention::DelayStart { method: m, ticks, .. } = iv {
+            if let Intervention::DelayStart {
+                method: m, ticks, ..
+            } = iv
+            {
                 if *m == method {
                     std::thread::sleep(Duration::from_micros(*ticks));
                 }
@@ -160,10 +163,14 @@ impl LiveHarness {
         let mut result = (def.body)(&ctx);
         for iv in &plan.interventions {
             match iv {
-                Intervention::DelayEnd { method: m, ticks, .. } if *m == method => {
+                Intervention::DelayEnd {
+                    method: m, ticks, ..
+                } if *m == method => {
                     std::thread::sleep(Duration::from_micros(*ticks));
                 }
-                Intervention::ForceReturn { method: m, value, .. } if *m == method => {
+                Intervention::ForceReturn {
+                    method: m, value, ..
+                } if *m == method => {
                     result = Ok(Some(*value));
                 }
                 Intervention::CatchException { method: m, .. } if *m == method => {
@@ -295,7 +302,7 @@ mod tests {
         for t in &set.traces {
             assert_eq!(t.events.len(), 2, "one event per entry method");
             let r = t.events.iter().find(|e| e.method == reader).unwrap();
-            assert!(r.accesses.len() >= 1);
+            assert!(!r.accesses.is_empty());
             assert!(r.end >= r.start);
         }
     }

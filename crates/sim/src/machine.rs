@@ -121,7 +121,12 @@ pub struct Machine<'p> {
 
 impl<'p> Machine<'p> {
     /// Prepares a machine for one run.
-    pub fn new(program: &'p Program, plan: &'p InterventionPlan, config: SimConfig, seed: u64) -> Self {
+    pub fn new(
+        program: &'p Program,
+        plan: &'p InterventionPlan,
+        config: SimConfig,
+        seed: u64,
+    ) -> Self {
         let threads = program
             .threads
             .iter()
@@ -336,7 +341,10 @@ impl<'p> Machine<'p> {
             return;
         }
 
-        let frame = self.threads[tid].frames.last().expect("frame checked above");
+        let frame = self.threads[tid]
+            .frames
+            .last()
+            .expect("frame checked above");
         let method = frame.method;
         let body = &self.program.method(method).body;
         if frame.pc >= body.len() {
@@ -735,7 +743,11 @@ impl<'p> Machine<'p> {
 
     /// Raises an exception in thread `tid` and unwinds.
     fn raise(&mut self, tid: usize, kind: &str) {
-        let origin = self.threads[tid].frames.last().expect("raise with no frame").method;
+        let origin = self.threads[tid]
+            .frames
+            .last()
+            .expect("raise with no frame")
+            .method;
         loop {
             if self.threads[tid].frames.is_empty() {
                 // Escaped the thread root: the whole run fails.
@@ -812,7 +824,6 @@ impl<'p> Machine<'p> {
         // Close any frames left open by an early crash on another thread.
         for tid in 0..self.threads.len() {
             while let Some(mut frame) = self.threads[tid].frames.pop() {
-                
                 self.events.push(MethodEvent {
                     method: frame.method,
                     instance: frame.instance,

@@ -196,10 +196,18 @@ mod tests {
         let l1 = b.object("l1", 0);
         let l2 = b.object("l2", 0);
         let m1 = b.method("A", |m| {
-            m.acquire(l1).compute(20).acquire(l2).release(l2).release(l1);
+            m.acquire(l1)
+                .compute(20)
+                .acquire(l2)
+                .release(l2)
+                .release(l1);
         });
         let m2 = b.method("B", |m| {
-            m.acquire(l2).compute(20).acquire(l1).release(l1).release(l2);
+            m.acquire(l2)
+                .compute(20)
+                .acquire(l1)
+                .release(l1)
+                .release(l2);
         });
         let main = b.method("Main", |m| {
             m.spawn_named("a").spawn_named("b").join(1).join(2);
@@ -213,7 +221,10 @@ mod tests {
             .failures()
             .filter(|t| matches!(&t.outcome, Outcome::Failure(s) if s.kind == DEADLOCK_KIND))
             .count();
-        assert!(deadlocks > 0, "the classic 2-lock cycle must deadlock sometimes");
+        assert!(
+            deadlocks > 0,
+            "the classic 2-lock cycle must deadlock sometimes"
+        );
     }
 
     #[test]
@@ -274,7 +285,11 @@ mod tests {
             instance: InstanceFilter::All,
         });
         let t2 = sim.run(1, &plan);
-        assert_eq!(t2.outcome, Outcome::Success, "injected try/catch repairs it");
+        assert_eq!(
+            t2.outcome,
+            Outcome::Success,
+            "injected try/catch repairs it"
+        );
     }
 
     #[test]
@@ -306,7 +321,9 @@ mod tests {
         let mut b = ProgramBuilder::new("prem");
         let obj = b.object("x", 0);
         let slow = b.pure_method("Slow", |m| {
-            m.compute(100).set(Reg(1), Expr::Const(5)).ret(Expr::Reg(Reg(1)));
+            m.compute(100)
+                .set(Reg(1), Expr::Const(5))
+                .ret(Expr::Reg(Reg(1)));
         });
         let main = b.method("Main", |m| {
             m.call(slow).write(obj, Expr::Reg(Reg(1)));
@@ -373,9 +390,17 @@ mod tests {
             ticks: 50,
         });
         let t = sim.run(0, &plan);
-        let durs: Vec<u64> = t.events.iter().filter(|e| e.method == leaf).map(|e| e.duration()).collect();
+        let durs: Vec<u64> = t
+            .events
+            .iter()
+            .filter(|e| e.method == leaf)
+            .map(|e| e.duration())
+            .collect();
         assert_eq!(durs.len(), 3);
-        assert!(durs[1] > durs[0] + 40, "only instance 1 is delayed: {durs:?}");
+        assert!(
+            durs[1] > durs[0] + 40,
+            "only instance 1 is delayed: {durs:?}"
+        );
         assert!(durs[2] < durs[1]);
     }
 
@@ -393,7 +418,10 @@ mod tests {
             .iter()
             .filter(|t| t.events[0].duration() > 100)
             .count();
-        assert!(slow > 20 && slow < 80, "flaky delay fires ~half the time: {slow}");
+        assert!(
+            slow > 20 && slow < 80,
+            "flaky delay fires ~half the time: {slow}"
+        );
         let plan = InterventionPlan::single(Intervention::SuppressFlaky {
             method: aid_trace::MethodId::from_raw(0),
             instance: InstanceFilter::All,

@@ -213,6 +213,9 @@ mod tests {
             .iter()
             .map(|&x| app.node_methods[x].raw())
             .collect();
-        assert_eq!(wrong_return_methods, expected, "pipeline must find P1→P2→P11");
+        assert_eq!(
+            wrong_return_methods, expected,
+            "pipeline must find P1→P2→P11"
+        );
     }
 }

@@ -86,7 +86,7 @@ pub fn generate(params: &SynthParams, seed: u64) -> SyntheticApp {
     let mut tail = *prefix.last().expect("non-empty prefix");
 
     for _ in 0..junctions {
-        let width_cap = threads.min(30).max(2);
+        let width_cap = threads.clamp(2, 30);
         let b = rng.random_range(2..=width_cap) as usize;
         let mut branch_tails = Vec::with_capacity(b);
         let causal_branch = rng.random_range(0..b);
@@ -131,10 +131,7 @@ pub fn generate(params: &SynthParams, seed: u64) -> SyntheticApp {
     // Choose D causal nodes along the route.
     let n_f = n as f64;
     let d_max_paper = (n_f / n_f.log2().max(1.0)).floor().max(1.0) as usize;
-    let d = rng
-        .random_range(1..=d_max_paper)
-        .min(route.len())
-        .max(1);
+    let d = rng.random_range(1..=d_max_paper).min(route.len()).max(1);
     // The causal path starts at the route head (the root cause has no
     // cause) and runs down the route as a mostly-contiguous effect chain
     // with occasional gaps — real root causes trigger their immediate
@@ -179,7 +176,7 @@ pub fn generate(params: &SynthParams, seed: u64) -> SyntheticApp {
     }
     // Off-route nodes.
     let route_set: std::collections::BTreeSet<usize> = route.iter().copied().collect();
-    for x in 0..n {
+    for (x, px) in parent.iter_mut().enumerate() {
         if route_set.contains(&x) {
             continue;
         }
@@ -194,7 +191,7 @@ pub fn generate(params: &SynthParams, seed: u64) -> SyntheticApp {
                 })
                 .collect();
             if !ancestors.is_empty() {
-                parent[x] = Some(ancestors[rng.random_range(0..ancestors.len())]);
+                *px = Some(ancestors[rng.random_range(0..ancestors.len())]);
             }
         }
     }

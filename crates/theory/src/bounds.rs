@@ -108,7 +108,9 @@ pub fn figure6_row(j: u64, b: u64, n: u64, d: u64, s1: u64, s2: u64) -> Figure6R
     } + d as f64 * jn.log2()
         - (d * (d - 1)) as f64 / (2.0 * total as f64);
     Figure6Row {
-        cpd_search_log2: crate::search::symmetric_cpd_search_space_log2(j as u32, b as u32, n as u32),
+        cpd_search_log2: crate::search::symmetric_cpd_search_space_log2(
+            j as u32, b as u32, n as u32,
+        ),
         gt_search_log2: total as f64,
         cpd_lower: cpd_lower_bound(total, d, s1),
         gt_lower: gt_lower_bound(total, d),

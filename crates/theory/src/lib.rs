@@ -15,7 +15,7 @@ pub use bounds::{
     log2_binomial, tagt_branch_upper_bound, tagt_upper_bound, Figure6Row,
 };
 pub use search::{
-    chain_count, chain_count_brute, closure_from_edges, gt_search_space_log2,
-    horizontal_expansion, symmetric_cpd_search_space, symmetric_cpd_search_space_log2,
-    symmetric_gt_search_space_log2, vertical_expansion,
+    chain_count, chain_count_brute, closure_from_edges, gt_search_space_log2, horizontal_expansion,
+    symmetric_cpd_search_space, symmetric_cpd_search_space_log2, symmetric_gt_search_space_log2,
+    vertical_expansion,
 };

@@ -35,8 +35,8 @@ pub fn chain_count(closure: &[DenseBitSet]) -> Option<u128> {
         ending[v] = c;
     }
     let mut total: u128 = 1;
-    for v in 0..n {
-        total = total.checked_add(ending[v])?;
+    for &e in &ending {
+        total = total.checked_add(e)?;
     }
     Some(total)
 }
@@ -146,7 +146,7 @@ mod tests {
         // Vertical: W multiplies.
         assert_eq!(vertical_expansion(8, 8), 64);
         // Symmetric DAG = vertical composition of J junction blocks.
-        let per_junction = horizontal_expansion(8, 8) as u128;
+        let per_junction = horizontal_expansion(8, 8);
         assert_eq!(
             symmetric_cpd_search_space(3, 2, 3),
             Some(per_junction.pow(3))

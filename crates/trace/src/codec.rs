@@ -63,9 +63,14 @@ pub fn encode(set: &TraceSet) -> String {
     for t in &set.traces {
         match &t.outcome {
             Outcome::Success => writeln!(out, "trace {} ok - -", t.seed).unwrap(),
-            Outcome::Failure(sig) => {
-                writeln!(out, "trace {} fail {} {}", t.seed, sig.kind, sig.method.raw()).unwrap()
-            }
+            Outcome::Failure(sig) => writeln!(
+                out,
+                "trace {} fail {} {}",
+                t.seed,
+                sig.kind,
+                sig.method.raw()
+            )
+            .unwrap(),
         }
         for e in &t.events {
             let ret = e.returned.map_or("-".to_string(), |v| v.to_string());
@@ -87,8 +92,15 @@ pub fn encode(set: &TraceSet) -> String {
                     AccessKind::Read => 'R',
                     AccessKind::Write => 'W',
                 };
-                writeln!(out, "access {} {} {} {}", a.object.raw(), k, a.at, u8::from(a.locked))
-                    .unwrap();
+                writeln!(
+                    out,
+                    "access {} {} {} {}",
+                    a.object.raw(),
+                    k,
+                    a.at,
+                    u8::from(a.locked)
+                )
+                .unwrap();
             }
         }
         writeln!(out, "endtrace {}", t.duration).unwrap();
@@ -120,16 +132,22 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
         let mut parts = line.split_ascii_whitespace();
         let tag = parts.next().unwrap();
         let mut next = |what: &str| -> Result<&str, DecodeError> {
-            parts.next().ok_or_else(|| err(lineno, &format!("missing {what}")))
+            parts
+                .next()
+                .ok_or_else(|| err(lineno, &format!("missing {what}")))
         };
         match tag {
             "method" => {
-                let _id: u32 = next("id")?.parse().map_err(|_| err(lineno, "bad method id"))?;
+                let _id: u32 = next("id")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad method id"))?;
                 let name = next("name")?;
                 set.methods.intern(name.to_string());
             }
             "object" => {
-                let _id: u32 = next("id")?.parse().map_err(|_| err(lineno, "bad object id"))?;
+                let _id: u32 = next("id")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad object id"))?;
                 let name = next("name")?;
                 set.objects.intern(name.to_string());
             }
@@ -146,7 +164,9 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
                     "fail" => Outcome::Failure(FailureSignature {
                         kind,
                         method: MethodId::from_raw(
-                            method.parse().map_err(|_| err(lineno, "bad failure method"))?,
+                            method
+                                .parse()
+                                .map_err(|_| err(lineno, "bad failure method"))?,
                         ),
                     }),
                     _ => return Err(err(lineno, "status must be ok or fail")),
@@ -159,14 +179,22 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
                 });
             }
             "event" => {
-                let t = current.as_mut().ok_or_else(|| err(lineno, "event outside trace"))?;
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "event outside trace"))?;
                 let method = MethodId::from_raw(
-                    next("method")?.parse().map_err(|_| err(lineno, "bad method"))?,
+                    next("method")?
+                        .parse()
+                        .map_err(|_| err(lineno, "bad method"))?,
                 );
                 let thread = ThreadId::from_raw(
-                    next("thread")?.parse().map_err(|_| err(lineno, "bad thread"))?,
+                    next("thread")?
+                        .parse()
+                        .map_err(|_| err(lineno, "bad thread"))?,
                 );
-                let start = next("start")?.parse().map_err(|_| err(lineno, "bad start"))?;
+                let start = next("start")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad start"))?;
                 let end = next("end")?.parse().map_err(|_| err(lineno, "bad end"))?;
                 let ret = match next("ret")? {
                     "-" => None,
@@ -190,13 +218,17 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
                 });
             }
             "access" => {
-                let t = current.as_mut().ok_or_else(|| err(lineno, "access outside trace"))?;
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "access outside trace"))?;
                 let e = t
                     .events
                     .last_mut()
                     .ok_or_else(|| err(lineno, "access before any event"))?;
                 let object = ObjectId::from_raw(
-                    next("object")?.parse().map_err(|_| err(lineno, "bad object"))?,
+                    next("object")?
+                        .parse()
+                        .map_err(|_| err(lineno, "bad object"))?,
                 );
                 let kind = match next("kind")? {
                     "R" => AccessKind::Read,
@@ -213,8 +245,12 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
                 });
             }
             "endtrace" => {
-                let mut t = current.take().ok_or_else(|| err(lineno, "endtrace without trace"))?;
-                t.duration = next("duration")?.parse().map_err(|_| err(lineno, "bad duration"))?;
+                let mut t = current
+                    .take()
+                    .ok_or_else(|| err(lineno, "endtrace without trace"))?;
+                t.duration = next("duration")?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad duration"))?;
                 t.normalize();
                 set.traces.push(t);
             }

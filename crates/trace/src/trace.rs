@@ -113,7 +113,10 @@ impl TraceSet {
     /// Keeps only successful runs plus failed runs matching `signature`,
     /// implementing the failure-signature grouping that upholds the paper's
     /// single-root-cause assumption (Assumption 1).
-    pub fn filter_failures_by_signature(&self, signature: &crate::event::FailureSignature) -> TraceSet {
+    pub fn filter_failures_by_signature(
+        &self,
+        signature: &crate::event::FailureSignature,
+    ) -> TraceSet {
         TraceSet {
             methods: self.methods.clone(),
             objects: self.objects.clone(),
@@ -158,7 +161,11 @@ mod tests {
             duration: 40,
         };
         t.normalize();
-        let order: Vec<(u32, u32)> = t.events.iter().map(|e| (e.method.raw(), e.instance)).collect();
+        let order: Vec<(u32, u32)> = t
+            .events
+            .iter()
+            .map(|e| (e.method.raw(), e.instance))
+            .collect();
         assert_eq!(order, vec![(0, 0), (1, 0), (1, 1)]);
     }
 

@@ -160,7 +160,10 @@ impl DenseBitSet {
     /// True if every element of `self` is in `other`.
     pub fn is_subset(&self, other: &DenseBitSet) -> bool {
         self.check(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates set elements in ascending order.

@@ -124,7 +124,10 @@ impl Summary {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 

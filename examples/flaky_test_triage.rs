@@ -23,7 +23,12 @@ fn main() {
             .set(Reg(2), Expr::sub(Expr::Now, Expr::Reg(Reg(1))));
     });
     let deadline = b.method("AssertDeadline", |m| {
-        m.throw_if(Expr::Reg(Reg(2)), Cmp::Gt, Expr::Const(60), "DeadlineExceeded");
+        m.throw_if(
+            Expr::Reg(Reg(2)),
+            Cmp::Gt,
+            Expr::Const(60),
+            "DeadlineExceeded",
+        );
     });
     let alloc_a = b.pure_method("AllocA", |m| {
         m.rand_range(Reg(3), 0, 5).ret(Expr::Reg(Reg(3)));
@@ -32,15 +37,14 @@ fn main() {
         m.rand_range(Reg(4), 0, 5).ret(Expr::Reg(Reg(4)));
     });
     let uniq = b.method("AssertUnique", |m| {
-        m.throw_if(
-            Expr::Reg(Reg(3)),
-            Cmp::Eq,
-            Expr::Reg(Reg(4)),
-            "DuplicateId",
-        );
+        m.throw_if(Expr::Reg(Reg(3)), Cmp::Eq, Expr::Reg(Reg(4)), "DuplicateId");
     });
     let main_m = b.method("TestMain", |m| {
-        m.call(fetch).call(deadline).call(alloc_a).call(alloc_b).call(uniq);
+        m.call(fetch)
+            .call(deadline)
+            .call(alloc_a)
+            .call(alloc_b)
+            .call(uniq);
     });
     b.thread("main", main_m, true);
     let sim = Simulator::new(b.build());

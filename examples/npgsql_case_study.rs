@@ -27,7 +27,10 @@ fn main() {
     );
 
     println!("\n--- approximate causal DAG (GraphViz) ---");
-    print!("{}", analysis.dag.to_dot(&analysis.extraction.catalog, &logs));
+    print!(
+        "{}",
+        analysis.dag.to_dot(&analysis.extraction.catalog, &logs)
+    );
 
     let sim = Simulator::new(case.program.clone());
     let mut executor = SimExecutor::new(

@@ -17,7 +17,10 @@ fn main() {
     };
 
     println!("strategy comparison over 25 generated applications (MAXt = 16):");
-    println!("{:<10} {:>10} {:>10}", "strategy", "avg rounds", "max rounds");
+    println!(
+        "{:<10} {:>10} {:>10}",
+        "strategy", "avg rounds", "max rounds"
+    );
     for strategy in Strategy::PAPER_SET {
         let mut total = 0usize;
         let mut worst = 0usize;
@@ -35,7 +38,12 @@ fn main() {
             total += r.rounds;
             worst = worst.max(r.rounds);
         }
-        println!("{:<10} {:>10.1} {:>10}", strategy.name(), total as f64 / 25.0, worst);
+        println!(
+            "{:<10} {:>10.1} {:>10}",
+            strategy.name(),
+            total as f64 / 25.0,
+            worst
+        );
     }
 
     // Now compile one ground truth into an actual program and push it

@@ -1,0 +1,42 @@
+//! Offline stub of `bytes` (see `shims/README.md`).
+//!
+//! Provides the `BufMut` trait subset the trace codec writes through. Backed
+//! by `Vec<u8>`; growable buffers only.
+
+/// A growable byte sink, mirroring the used subset of `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BufMut;
+
+    #[test]
+    fn vec_collects_slices() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_slice(b"ab");
+        v.put_u8(b'c');
+        // Exercise the forwarding impl for `&mut B` explicitly.
+        <&mut Vec<u8> as BufMut>::put_slice(&mut (&mut v), b"d");
+        assert_eq!(v, b"abcd");
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline stub of `criterion` (see `shims/README.md`).
+//!
+//! Implements the group/`bench_function` API surface the workspace's benches
+//! use, timed with `std::time::Instant`. There is no statistical analysis,
+//! no warm-up model, and no HTML report: each benchmark runs for a short
+//! fixed budget and prints mean time per iteration, which is enough to
+//! compare hot paths locally while keeping CI able to compile (and smoke-run)
+//! the bench targets.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label for a parameterized benchmark, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the closure under timing, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn with_budget(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    ///
+    /// Iterations run in geometrically growing batches with one clock read
+    /// per batch, so clock overhead stays out of the measured window even
+    /// for nanosecond-scale routines.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to touch caches / lazy state.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+            // Cap so the final batch overshoots the budget by at most ~2x.
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label}: no measurement");
+            return;
+        }
+        let per_iter = self.elapsed / u32::try_from(self.iters).unwrap_or(u32::MAX);
+        println!("{label}: {per_iter:?}/iter ({} iters)", self.iters);
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small fixed budget: the stub is for relative comparisons and for
+        // keeping bench targets honest in CI, not publication-grade numbers.
+        let ms = std::env::var("AID_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::with_budget(self.budget);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::with_budget(self.criterion.budget);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::with_budget(self.criterion.budget);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group (no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Declares a function running the listed benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_shapes_hold() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3usize, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        group.finish();
+    }
+}

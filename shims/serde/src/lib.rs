@@ -1,0 +1,21 @@
+//! Offline stub of `serde` (see `shims/README.md`).
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and the derive macros so
+//! that `use serde::{Deserialize, Serialize}` plus `#[derive(...)]` compile
+//! unchanged. No serialization machinery is provided — the workspace's only
+//! on-disk format is the purpose-built trace codec in `aid_trace::codec`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. The stub derive does not implement
+/// it; nothing in the workspace takes `T: Serialize` bounds.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+}

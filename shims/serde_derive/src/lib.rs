@@ -1,0 +1,25 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! API-compatible stubs for its external dependencies (see `shims/README.md`).
+//! This proc-macro crate accepts `#[derive(Serialize, Deserialize)]` and the
+//! `#[serde(...)]` helper attributes and expands to nothing: the workspace
+//! never serializes through serde at runtime (the trace codec is a purpose
+//! built text format), it only keeps types *annotated* so the real serde can
+//! be dropped in when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` field attributes);
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` field attributes);
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -46,8 +46,10 @@
 //! assert!(result.root_cause().is_some());
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-versus-measured record of every table and figure.
+//! The same pipeline runs as a regular integration test in
+//! `tests/smoke.rs`. See `README.md` for the crate map, `DESIGN.md` for the
+//! system inventory and paper-substitution table, and `EXPERIMENTS.md` for
+//! how every table and figure is regenerated.
 
 pub use aid_cases as cases;
 pub use aid_causal as causal;
@@ -65,9 +67,8 @@ pub mod prelude {
     pub use aid_causal::{AcDag, PrecedencePolicy, StartTimePolicy, TypeAwarePolicy};
     pub use aid_core::{
         analyze, analyze_with_policy, discover, discover_with_options, failure_signatures,
-        render_explanation, DiscoverOptions,
-        AidAnalysis, CountingExecutor, DiscoveryResult, ExecutionRecord, Executor, FlakyOracle,
-        GroundTruth, OracleExecutor, Strategy,
+        render_explanation, AidAnalysis, CountingExecutor, DiscoverOptions, DiscoveryResult,
+        ExecutionRecord, Executor, FlakyOracle, GroundTruth, OracleExecutor, Strategy,
     };
     pub use aid_predicates::{
         evaluate, extract, Extraction, ExtractionConfig, InterventionAction, MethodInstance,

@@ -63,7 +63,11 @@ fn full_pipeline_names_the_race_and_repairs_it() {
         1_000_000,
     );
     let result = discover(&analysis.dag, &mut exec, Strategy::Aid, 3);
-    assert_eq!(result.root_cause(), Some(race), "the race is the root cause");
+    assert_eq!(
+        result.root_cause(),
+        Some(race),
+        "the race is the root cause"
+    );
 
     // Applying the root cause's repair eliminates the failure entirely.
     let plan = aid::sim::plan_for(&analysis.extraction.catalog, &[race]);
@@ -96,22 +100,16 @@ fn failure_signature_grouping_isolates_one_bug_at_a_time() {
     // signature group (Assumption 1).
     let mut b = ProgramBuilder::new("twobugs");
     let first = b.method("First", |m| {
-        m.set(Reg(1), Expr::Now)
-            .flaky_delay(0.3, 50)
-            .throw_if(
-                Expr::sub(Expr::Now, Expr::Reg(Reg(1))),
-                Cmp::Gt,
-                Expr::Const(40),
-                "SlowPath",
-            );
+        m.set(Reg(1), Expr::Now).flaky_delay(0.3, 50).throw_if(
+            Expr::sub(Expr::Now, Expr::Reg(Reg(1))),
+            Cmp::Gt,
+            Expr::Const(40),
+            "SlowPath",
+        );
     });
     let second = b.method("Second", |m| {
-        m.rand_range(Reg(2), 0, 4).throw_if(
-            Expr::Reg(Reg(2)),
-            Cmp::Eq,
-            Expr::Const(0),
-            "BadDraw",
-        );
+        m.rand_range(Reg(2), 0, 4)
+            .throw_if(Expr::Reg(Reg(2)), Cmp::Eq, Expr::Const(0), "BadDraw");
     });
     let main_m = b.method("Main", |m| {
         m.try_call(first).call(second);

@@ -1,0 +1,73 @@
+//! Workspace smoke test: the facade's front-page pipeline, as a regular
+//! integration test.
+//!
+//! This mirrors the doctest on `src/lib.rs` line for line so the end-to-end
+//! `aid::prelude` path (build program → simulate → extract → AC-DAG →
+//! discover) stays covered even in environments that skip doctests
+//! (e.g. `cargo test --all-targets`, which excludes them).
+
+use aid::prelude::*;
+
+/// Builds the demo program from the facade doctest: a reader snapshots a
+/// bound, a writer bumps it mid-window — an intermittent atomicity
+/// violation.
+fn demo_program() -> Program {
+    let mut b = ProgramBuilder::new("demo");
+    let flag = b.object("flag", 0);
+    let len = b.object("len", 10);
+    let slot = b.object("slot", 10);
+    let reader = b.method("Reader", |m| {
+        m.write(flag, Expr::Const(1))
+            .read(len, Reg(0))
+            .jitter(5, 40)
+            .throw_if_obj(slot, Cmp::Gt, Expr::Reg(Reg(0)), "IndexOutOfRange");
+    });
+    let writer = b.method("Writer", |m| {
+        m.jitter(1, 10)
+            .write(len, Expr::Const(20))
+            .write(slot, Expr::Const(11));
+    });
+    let writer_entry = b.method("WriterEntry", |m| {
+        m.wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1))
+            .jitter(0, 30)
+            .call(writer);
+    });
+    let main = b.method("Main", |m| {
+        m.spawn_named("t1").spawn_named("t2").join(1).join(2);
+    });
+    b.thread("main", main, true);
+    b.thread("t1", reader, false);
+    b.thread("t2", writer_entry, false);
+    b.build()
+}
+
+#[test]
+fn facade_doctest_pipeline_runs_end_to_end() {
+    let sim = Simulator::new(demo_program());
+    let logs = sim.collect_balanced(30, 30, 20_000);
+    let analysis = analyze(&logs, &ExtractionConfig::default());
+    let mut executor = SimExecutor::new(
+        sim,
+        analysis.extraction.catalog.clone(),
+        analysis.extraction.failure,
+        10,
+        1_000_000,
+    );
+    let result = discover(&analysis.dag, &mut executor, Strategy::Aid, 0);
+
+    // The doctest's assertion...
+    assert!(result.root_cause().is_some());
+    // ...plus the structural invariants the front page promises: discovery
+    // decides every candidate exactly once, and the causal path is rendered
+    // from the discovered root cause.
+    assert_eq!(
+        result.causal.len() + result.spurious.len(),
+        analysis.dag.candidates().len(),
+        "causal and spurious must partition the candidates"
+    );
+    let explanation = render_explanation(&analysis, &result, &logs);
+    assert!(
+        !explanation.is_empty(),
+        "a discovered root cause must render a non-empty explanation"
+    );
+}

@@ -108,7 +108,11 @@ fn flaky_observations_paper_rule_vs_quorum() {
         let mut flaky = FlakyOracle::new(truth.clone(), 0.03, 7, seed);
         let r = discover(&dag, &mut flaky, Strategy::Aid, seed);
         assert_eq!(r.causal.len() + r.spurious.len(), truth.n);
-        assert_eq!(r.root_cause().map(|p| p.raw()), Some(0), "root survives noise");
+        assert_eq!(
+            r.root_cause().map(|p| p.raw()),
+            Some(0),
+            "root survives noise"
+        );
         if r.causal == truth.path_ids() {
             exact_paper += 1;
         }

@@ -52,8 +52,9 @@ fn aid_stays_within_branch_and_pruning_upper_bounds() {
         let app = generate(&params, seed);
         let mut oracle = OracleExecutor::new(app.truth.clone());
         let aid = discover(&app.dag, &mut oracle, Strategy::Aid, seed);
-        let bound = theory::aid_branch_upper_bound(3, app.threads as u64, app.n as u64, app.d as u64)
-            + app.d as f64;
+        let bound =
+            theory::aid_branch_upper_bound(3, app.threads as u64, app.n as u64, app.d as u64)
+                + app.d as f64;
         assert!(
             (aid.rounds as f64) <= bound.ceil() + 2.0,
             "seed {seed}: AID {} above bound {:.1} (N={}, D={}, T={})",
