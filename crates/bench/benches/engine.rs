@@ -1,0 +1,91 @@
+//! Criterion benchmark: multi-session discovery throughput, serial
+//! re-execution vs the memoizing 1/4-worker engine, on the Figure-8
+//! synthetic workload (ground truths compiled to real simulator programs —
+//! the same `aid_engine::workload` the acceptance tests assert on).
+//!
+//! The workload is the repeated-triage shape the engine is built for: a
+//! handful of distinct applications, each debugged several times (think
+//! re-runs across a flaky CI day). Serial execution pays for every run
+//! every time; the engine executes each distinct (program, intervention
+//! set, seed) run once and answers the rest from the intervention cache,
+//! overlapping the cold runs across workers. The acceptance bar for this
+//! subsystem is engine ≥ 2x serial on a 4-worker pool — asserted in
+//! `crates/engine/tests/determinism.rs` and measured here.
+
+use aid_core::{discover, Strategy};
+use aid_engine::workload::{compiled_figure8_apps, Figure8App};
+use aid_engine::{DiscoveryJob, Engine, EngineConfig};
+use aid_sim::SimExecutor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+const RUNS_PER_ROUND: usize = 8;
+const DISTINCT_APPS: usize = 3;
+const NODE_COST: u64 = 40;
+const REPEATS: usize = 4;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let apps = compiled_figure8_apps(DISTINCT_APPS, NODE_COST);
+    let mut group = c.benchmark_group("engine_throughput");
+    let sessions = DISTINCT_APPS * REPEATS;
+
+    group.bench_with_input(
+        BenchmarkId::new("serial", format!("{sessions}_sessions")),
+        &apps,
+        |b, apps| {
+            b.iter(|| {
+                for _ in 0..REPEATS {
+                    for app in apps {
+                        let mut exec = SimExecutor::new(
+                            (*app.sim).clone(),
+                            app.analysis.extraction.catalog.clone(),
+                            app.analysis.extraction.failure,
+                            RUNS_PER_ROUND,
+                            1_000_000,
+                        );
+                        discover(&app.analysis.dag, &mut exec, Strategy::Aid, 3);
+                    }
+                }
+            });
+        },
+    );
+
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("engine_{workers}w"), format!("{sessions}_sessions")),
+            &apps,
+            |b, apps: &Vec<Figure8App>| {
+                b.iter(|| {
+                    // A fresh engine per iteration: the measurement includes
+                    // pool spin-up and a cold cache, i.e. the worst case.
+                    let engine = Engine::new(EngineConfig {
+                        workers,
+                        ..EngineConfig::default()
+                    });
+                    let jobs: Vec<DiscoveryJob> = (0..REPEATS)
+                        .flat_map(|r| {
+                            apps.iter().enumerate().map(move |(i, app)| {
+                                DiscoveryJob::sim(
+                                    format!("app{i}-run{r}"),
+                                    Arc::new(app.analysis.dag.clone()),
+                                    Arc::clone(&app.sim),
+                                    Arc::new(app.analysis.extraction.catalog.clone()),
+                                    app.analysis.extraction.failure,
+                                    RUNS_PER_ROUND,
+                                    1_000_000,
+                                    Strategy::Aid,
+                                    3,
+                                )
+                            })
+                        })
+                        .collect();
+                    engine.run_all(jobs)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

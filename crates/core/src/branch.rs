@@ -9,7 +9,7 @@
 //! Definition 2 pruning applies to every branch round too, which is how the
 //! Npgsql case discards symptom predicates during this phase.
 
-use crate::executor::Executor;
+use crate::executor::BatchExecutor;
 use crate::giwp::{DiscoveryState, Phase};
 use aid_predicates::PredicateId;
 use rand::seq::SliceRandom;
@@ -17,7 +17,10 @@ use std::collections::BTreeSet;
 
 /// Runs branch pruning, reducing the undecided pool to (approximately) a
 /// chain. Returns the accepted traversal order for diagnostics.
-pub fn branch_prune<E: Executor>(state: &mut DiscoveryState, exec: &mut E) -> Vec<PredicateId> {
+pub fn branch_prune<E: BatchExecutor>(
+    state: &mut DiscoveryState,
+    exec: &mut E,
+) -> Vec<PredicateId> {
     let mut accepted: Vec<PredicateId> = Vec::new();
     let mut accepted_set: BTreeSet<PredicateId> = BTreeSet::new();
     loop {

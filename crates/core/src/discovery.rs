@@ -2,7 +2,7 @@
 //! evaluation compares (AID, AID-P, AID-P-B, TAGT).
 
 use crate::branch::branch_prune;
-use crate::executor::Executor;
+use crate::executor::BatchExecutor;
 use crate::giwp::{giwp, DiscoveryState, RoundLog};
 use crate::tagt::tagt;
 use aid_causal::AcDag;
@@ -63,7 +63,11 @@ impl Strategy {
 }
 
 /// The outcome of causal path discovery.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field (including the full per-round log), so
+/// equality means two runs took byte-identical intervention schedules — the
+/// property the engine's multi-worker determinism tests assert.
+#[derive(Clone, Debug, PartialEq)]
 pub struct DiscoveryResult {
     /// Confirmed causal predicates, topologically ordered (root cause
     /// first). With the failure appended this is the causal path of
@@ -109,7 +113,13 @@ impl Default for DiscoverOptions {
 
 /// Runs causal path discovery over the AC-DAG with the given strategy.
 /// `seed` only affects tie-breaking (grouping of incomparable predicates).
-pub fn discover<E: Executor>(
+///
+/// The executor bound is [`BatchExecutor`]: rounds are drained through
+/// whole-batch requests so a pooled executor can overlap the runs inside
+/// each request. Plain [`Executor`](crate::executor::Executor)s satisfy
+/// the bound via the serial blanket impl, so every existing call site
+/// works unchanged.
+pub fn discover<E: BatchExecutor>(
     dag: &AcDag,
     exec: &mut E,
     strategy: Strategy,
@@ -119,7 +129,7 @@ pub fn discover<E: Executor>(
 }
 
 /// [`discover`] with explicit [`DiscoverOptions`].
-pub fn discover_with_options<E: Executor>(
+pub fn discover_with_options<E: BatchExecutor>(
     dag: &AcDag,
     exec: &mut E,
     strategy: Strategy,

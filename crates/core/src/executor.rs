@@ -6,12 +6,23 @@
 //! inversion keeps `aid-core` independent of the runtime substrate — the
 //! simulator (`aid-sim`), the deterministic oracle ([`crate::oracle`]), or a
 //! user's own harness all plug in here.
+//!
+//! Two granularities exist:
+//!
+//! * [`Executor`] — one intervention *round* (one predicate group) at a
+//!   time; the unit Figures 7/8 count.
+//! * [`BatchExecutor`] — a whole slate of rounds at once. Discovery drains
+//!   its rounds through this trait (see [`crate::giwp::DiscoveryState`]), so
+//!   an implementation that owns a worker pool (`aid_engine`) can fan every
+//!   run of every group in the batch across OS threads and join the records
+//!   deterministically. Every [`Executor`] is a (serial) [`BatchExecutor`]
+//!   via a blanket impl, so existing executors keep working unchanged.
 
 use aid_predicates::PredicateId;
 use aid_util::DenseBitSet;
 
 /// What one (re-)execution under an intervention showed.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionRecord {
     /// Whether the grouped failure occurred in this run.
     pub failed: bool,
@@ -41,13 +52,68 @@ impl<E: Executor + ?Sized> Executor for &mut E {
     }
 }
 
+/// Re-executes the application under a whole batch of group interventions.
+///
+/// This is the contract the discovery algorithms actually drive: each round
+/// arrives as a batch (usually of one group; see
+/// [`crate::giwp::DiscoveryState::round_batch`] for multi-group slates), and
+/// the implementation decides how to schedule the constituent runs. The
+/// serial blanket impl below executes groups in order; `aid_engine`'s pooled
+/// executor fans all runs of all groups across a worker pool and memoizes
+/// repeated (program, intervention set, seed) executions.
+///
+/// Contract: the returned vector has exactly one entry per input group, in
+/// input order, and every entry is non-empty. Implementations must be
+/// deterministic functions of (their own state, the batch) — never of
+/// scheduling order — so that discovery results are reproducible regardless
+/// of worker count.
+pub trait BatchExecutor {
+    /// Executes every group in `groups`; `result[i]` holds the records of
+    /// `groups[i]`. Each group still counts as one intervention round.
+    fn intervene_batch(&mut self, groups: &[Vec<PredicateId>]) -> Vec<Vec<ExecutionRecord>>;
+}
+
+/// Every per-round executor is a serial batch executor.
+impl<E: Executor> BatchExecutor for E {
+    fn intervene_batch(&mut self, groups: &[Vec<PredicateId>]) -> Vec<Vec<ExecutionRecord>> {
+        groups.iter().map(|g| self.intervene(g)).collect()
+    }
+}
+
+/// Typed outcome for a [`CountingExecutor`] whose round budget ran out.
+///
+/// Carries the configured budget and the rounds already performed so callers
+/// can report precisely how far a strategy got before exhaustion instead of
+/// silently truncating the discovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// The configured hard budget.
+    pub budget: usize,
+    /// Rounds performed before the budget ran out (always `== budget`).
+    pub rounds: usize,
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "intervention budget {} exhausted after {} rounds",
+            self.budget, self.rounds
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
 /// An executor wrapper that counts rounds and can enforce a budget.
 pub struct CountingExecutor<E> {
     inner: E,
     /// Rounds performed so far.
     pub rounds: usize,
-    /// Optional hard budget (panics when exceeded — used by tests to catch
-    /// non-terminating strategies).
+    /// Optional hard budget. When it runs out, [`CountingExecutor::try_intervene`]
+    /// returns a typed [`BudgetExhausted`] without executing; the plain
+    /// [`Executor::intervene`] path panics with its message (used by tests to
+    /// catch non-terminating strategies).
     pub budget: Option<usize>,
 }
 
@@ -70,22 +136,45 @@ impl<E> CountingExecutor<E> {
         }
     }
 
+    /// Rounds left before exhaustion (`None` = unbudgeted).
+    pub fn remaining(&self) -> Option<usize> {
+        self.budget.map(|b| b.saturating_sub(self.rounds))
+    }
+
+    /// Whether the budget has run out.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == Some(0)
+    }
+
     /// The wrapped executor.
     pub fn into_inner(self) -> E {
         self.inner
     }
 }
 
+impl<E: Executor> CountingExecutor<E> {
+    /// Runs one round, or reports [`BudgetExhausted`] *without executing*
+    /// when the budget has run out — exhaustion is an explicit, typed
+    /// outcome, never a silent truncation of the record stream.
+    pub fn try_intervene(
+        &mut self,
+        predicates: &[PredicateId],
+    ) -> Result<Vec<ExecutionRecord>, BudgetExhausted> {
+        if self.exhausted() {
+            return Err(BudgetExhausted {
+                budget: self.budget.expect("exhausted implies budgeted"),
+                rounds: self.rounds,
+            });
+        }
+        self.rounds += 1;
+        Ok(self.inner.intervene(predicates))
+    }
+}
+
 impl<E: Executor> Executor for CountingExecutor<E> {
     fn intervene(&mut self, predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
-        self.rounds += 1;
-        if let Some(b) = self.budget {
-            assert!(
-                self.rounds <= b,
-                "intervention budget {b} exceeded — runaway strategy?"
-            );
-        }
-        self.inner.intervene(predicates)
+        self.try_intervene(predicates)
+            .unwrap_or_else(|e| panic!("{e} — runaway strategy?"))
     }
 }
 
@@ -93,9 +182,13 @@ impl<E: Executor> Executor for CountingExecutor<E> {
 mod tests {
     use super::*;
 
-    struct Null;
+    struct Null {
+        calls: usize,
+    }
+
     impl Executor for Null {
         fn intervene(&mut self, _predicates: &[PredicateId]) -> Vec<ExecutionRecord> {
+            self.calls += 1;
             vec![ExecutionRecord {
                 failed: false,
                 observed: DenseBitSet::new(4),
@@ -105,17 +198,53 @@ mod tests {
 
     #[test]
     fn counting_executor_counts() {
-        let mut e = CountingExecutor::new(Null);
+        let mut e = CountingExecutor::new(Null { calls: 0 });
         e.intervene(&[]);
         e.intervene(&[]);
         assert_eq!(e.rounds, 2);
+        assert_eq!(e.remaining(), None);
+        assert!(!e.exhausted());
     }
 
     #[test]
     #[should_panic(expected = "budget")]
     fn budget_is_enforced() {
-        let mut e = CountingExecutor::with_budget(Null, 1);
+        let mut e = CountingExecutor::with_budget(Null { calls: 0 }, 1);
         e.intervene(&[]);
         e.intervene(&[]);
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_outcome_and_does_not_execute() {
+        let mut e = CountingExecutor::with_budget(Null { calls: 0 }, 2);
+        assert_eq!(e.remaining(), Some(2));
+        assert!(e.try_intervene(&[]).is_ok());
+        assert!(e.try_intervene(&[]).is_ok());
+        assert!(e.exhausted());
+        let err = e.try_intervene(&[]).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetExhausted {
+                budget: 2,
+                rounds: 2
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "intervention budget 2 exhausted after 2 rounds"
+        );
+        // The inner executor must not have run for the rejected round.
+        assert_eq!(e.rounds, 2);
+        assert_eq!(e.into_inner().calls, 2, "no silent extra execution");
+    }
+
+    #[test]
+    fn serial_batch_blanket_preserves_group_order() {
+        let mut e = CountingExecutor::new(Null { calls: 0 });
+        let groups = vec![vec![], vec![PredicateId::from_raw(1)], vec![]];
+        let out = e.intervene_batch(&groups);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.len() == 1));
+        assert_eq!(e.rounds, 3, "each batched group is still one round");
     }
 }

@@ -16,7 +16,7 @@
 //! * pruning scope is the *global* remaining pool, not the local recursion
 //!   pool (step 7 prunes P10 from outside the recursion pool).
 
-use crate::executor::Executor;
+use crate::executor::BatchExecutor;
 use aid_causal::AcDag;
 use aid_predicates::PredicateId;
 use rand::rngs::StdRng;
@@ -36,7 +36,7 @@ pub enum Phase {
 }
 
 /// One intervention round, for reports and tests.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundLog {
     /// Which phase issued it.
     pub phase: Phase,
@@ -112,46 +112,71 @@ impl<'d> DiscoveryState<'d> {
     /// Executes one intervention round on `group`, applies Definition 2
     /// pruning to the global pool, logs it, and reports whether the failure
     /// stopped.
-    pub fn round<E: Executor>(
+    pub fn round<E: BatchExecutor>(
         &mut self,
         exec: &mut E,
         group: &[PredicateId],
         phase: Phase,
     ) -> bool {
-        let records = exec.intervene(group);
-        assert!(!records.is_empty(), "executor returned no records");
-        let stopped = records.iter().all(|r| !r.failed);
-        let mut pruned = Vec::new();
-        if self.prune {
-            let in_group: BTreeSet<PredicateId> = group.iter().copied().collect();
-            let candidates: Vec<PredicateId> = self.remaining.iter().copied().collect();
-            for x in candidates {
-                if in_group.contains(&x) {
-                    continue;
-                }
-                // Cannot judge ancestors of intervened predicates: their
-                // effect may be muted by the intervention itself.
-                if group.iter().any(|&p| self.dag.reaches(x, p)) {
-                    continue;
-                }
-                let violations = records
-                    .iter()
-                    .filter(|r| (r.holds(x) && !r.failed) || (!r.holds(x) && r.failed))
-                    .count();
-                if violations >= self.prune_quorum.min(records.len()) {
-                    self.mark_spurious(x);
-                    pruned.push(x);
+        let groups = [group.to_vec()];
+        self.round_batch(exec, &groups, phase)[0]
+    }
+
+    /// Executes a whole slate of intervention rounds as one wall-batch: the
+    /// executor receives all groups at once (a pooled executor overlaps
+    /// their runs), then pruning and logging are applied to each group's
+    /// records **sequentially in input order**, so the decision stream is
+    /// byte-identical to issuing the rounds one by one. Each group still
+    /// counts as one round. Returns whether the failure stopped, per group.
+    pub fn round_batch<E: BatchExecutor>(
+        &mut self,
+        exec: &mut E,
+        groups: &[Vec<PredicateId>],
+        phase: Phase,
+    ) -> Vec<bool> {
+        let all_records = exec.intervene_batch(groups);
+        assert_eq!(
+            all_records.len(),
+            groups.len(),
+            "executor must answer every group in the batch"
+        );
+        let mut stopped_flags = Vec::with_capacity(groups.len());
+        for (group, records) in groups.iter().zip(all_records) {
+            assert!(!records.is_empty(), "executor returned no records");
+            let stopped = records.iter().all(|r| !r.failed);
+            let mut pruned = Vec::new();
+            if self.prune {
+                let in_group: BTreeSet<PredicateId> = group.iter().copied().collect();
+                let candidates: Vec<PredicateId> = self.remaining.iter().copied().collect();
+                for x in candidates {
+                    if in_group.contains(&x) {
+                        continue;
+                    }
+                    // Cannot judge ancestors of intervened predicates: their
+                    // effect may be muted by the intervention itself.
+                    if group.iter().any(|&p| self.dag.reaches(x, p)) {
+                        continue;
+                    }
+                    let violations = records
+                        .iter()
+                        .filter(|r| (r.holds(x) && !r.failed) || (!r.holds(x) && r.failed))
+                        .count();
+                    if violations >= self.prune_quorum.min(records.len()) {
+                        self.mark_spurious(x);
+                        pruned.push(x);
+                    }
                 }
             }
+            self.log.push(RoundLog {
+                phase,
+                intervened: group.clone(),
+                stopped,
+                confirmed: Vec::new(),
+                pruned,
+            });
+            stopped_flags.push(stopped);
         }
-        self.log.push(RoundLog {
-            phase,
-            intervened: group.to_vec(),
-            stopped,
-            confirmed: Vec::new(),
-            pruned,
-        });
-        stopped
+        stopped_flags
     }
 
     /// Number of rounds so far.
@@ -162,7 +187,11 @@ impl<'d> DiscoveryState<'d> {
 
 /// Algorithm 1 over a local pool. Decides (causal/spurious) every pool
 /// member, recording decisions in `state`.
-pub fn giwp<E: Executor>(mut pool: Vec<PredicateId>, state: &mut DiscoveryState, exec: &mut E) {
+pub fn giwp<E: BatchExecutor>(
+    mut pool: Vec<PredicateId>,
+    state: &mut DiscoveryState,
+    exec: &mut E,
+) {
     loop {
         pool.retain(|p| state.remaining.contains(p));
         if pool.is_empty() {
@@ -233,6 +262,32 @@ mod tests {
         assert_eq!(causal, vec![0, 1, 10], "exactly the true path");
         assert_eq!(state.spurious.len(), 8, "everything else pruned");
         assert!(state.remaining.is_empty());
+    }
+
+    /// The batching contract: a two-group slate through `round_batch` must
+    /// leave byte-identical state to issuing the rounds one at a time.
+    #[test]
+    fn round_batch_matches_sequential_rounds() {
+        let truth = figure4_ground_truth();
+        let dag = chain_dag(&truth);
+        let g1 = vec![PredicateId::from_raw(0)];
+        let g2 = vec![PredicateId::from_raw(2), PredicateId::from_raw(6)];
+
+        let mut batch_exec = OracleExecutor::new(truth.clone());
+        let mut batch_state = DiscoveryState::new(&dag, true, 1);
+        let flags =
+            batch_state.round_batch(&mut batch_exec, &[g1.clone(), g2.clone()], Phase::Giwp);
+
+        let mut seq_exec = OracleExecutor::new(truth.clone());
+        let mut seq_state = DiscoveryState::new(&dag, true, 1);
+        let f1 = seq_state.round(&mut seq_exec, &g1, Phase::Giwp);
+        let f2 = seq_state.round(&mut seq_exec, &g2, Phase::Giwp);
+
+        assert_eq!(flags, vec![f1, f2]);
+        assert_eq!(batch_state.log, seq_state.log);
+        assert_eq!(batch_state.spurious, seq_state.spurious);
+        assert_eq!(batch_state.remaining, seq_state.remaining);
+        assert_eq!(batch_state.rounds(), 2, "each group is one round");
     }
 
     #[test]

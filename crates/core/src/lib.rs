@@ -26,7 +26,7 @@ pub mod tagt;
 
 pub use branch::branch_prune;
 pub use discovery::{discover, discover_with_options, DiscoverOptions, DiscoveryResult, Strategy};
-pub use executor::{CountingExecutor, ExecutionRecord, Executor};
+pub use executor::{BatchExecutor, BudgetExhausted, CountingExecutor, ExecutionRecord, Executor};
 pub use giwp::{giwp, DiscoveryState, Phase, RoundLog};
 pub use oracle::{figure4_ground_truth, FlakyOracle, GroundTruth, OracleExecutor};
 pub use pipeline::{

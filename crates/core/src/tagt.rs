@@ -11,14 +11,14 @@
 //! skipped — the original failing executions already prove a cause exists
 //! among the fully-discriminative predicates.
 
-use crate::executor::Executor;
+use crate::executor::BatchExecutor;
 use crate::giwp::{DiscoveryState, Phase};
 use aid_predicates::PredicateId;
 use rand::seq::SliceRandom;
 
 /// Runs TAGT over the state's remaining pool until no causal predicates are
 /// left to find. Decisions land in `state.causal` / `state.spurious`.
-pub fn tagt<E: Executor>(state: &mut DiscoveryState, exec: &mut E) {
+pub fn tagt<E: BatchExecutor>(state: &mut DiscoveryState, exec: &mut E) {
     let mut first = true;
     loop {
         if state.remaining.is_empty() {

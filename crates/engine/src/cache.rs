@@ -1,0 +1,460 @@
+//! The sharded, memoizing intervention cache.
+//!
+//! Every execution in this workspace is a pure function of
+//! `(program fingerprint, intervention set, seed)` — the simulator is
+//! seed-deterministic and the oracle is exactly counterfactual. The cache
+//! exploits that: repeated probes of the same group (common under TAGT's
+//! contamination re-tests) and repeated sessions over the same program
+//! (common in CI-style triage sweeps) are answered from memory and **never
+//! re-execute**.
+//!
+//! Keys are canonical: the intervention set is sorted and deduplicated, so
+//! two groups naming the same predicates in different orders share an
+//! entry. Shards are selected by an FNV hash of the full key, letting many
+//! pool workers probe concurrently without contending on one lock.
+//!
+//! Correctness caveat, enforced by construction at the call sites: only
+//! *deterministic* executors may be memoized. A noisy executor (e.g.
+//! `aid_core::FlakyOracle`) draws fresh randomness per call, and caching it
+//! would freeze the noise of the first draw.
+
+use aid_core::ExecutionRecord;
+use aid_predicates::PredicateId;
+use aid_util::Fnv1a;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Memoization key: one *run* of one intervention sequence.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Program (or ground-truth) fingerprint.
+    pub fingerprint: u64,
+    /// Raw predicate ids of the intervention group, **in group order**.
+    ///
+    /// The order is deliberately part of the key: plan lowering is
+    /// order-sensitive (`aid_sim` assigns injected-lock identity by
+    /// intervention index), so the same predicate *set* issued in a
+    /// different order may execute differently. Collapsing orderings would
+    /// let one session be served a record the other ordering produced —
+    /// caching only exact sequences keeps the memo a pure function of what
+    /// actually runs. Repeated sessions still hit 100%: discovery is
+    /// deterministic, so identical jobs issue identical sequences.
+    interventions: Vec<u32>,
+    /// Scheduler seed of the run (0 for single-record oracle rounds).
+    pub seed: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for intervening on `predicates` (order preserved).
+    pub fn new(fingerprint: u64, predicates: &[PredicateId], seed: u64) -> Self {
+        CacheKey {
+            fingerprint,
+            interventions: predicates.iter().map(|p| p.raw()).collect(),
+            seed,
+        }
+    }
+
+    /// FNV-1a over the key's bytes; deterministic across processes (unlike
+    /// `DefaultHasher`'s per-process `RandomState`), so shard routing — and
+    /// therefore lock-contention behavior — is reproducible.
+    fn route(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.fingerprint)
+            .write_u64(self.seed)
+            .write_u64(self.interventions.len() as u64);
+        for &p in &self.interventions {
+            h.write_u64(p as u64);
+        }
+        h.finish()
+    }
+}
+
+/// Aggregate cache telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that missed (and presumably led to a real execution).
+    pub misses: u64,
+    /// Lookups coalesced onto another session's in-flight execution.
+    pub coalesced: u64,
+    /// Shard flushes forced by the capacity bound.
+    pub evictions: u64,
+    /// Records currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A stored record, or a placeholder for one a session is computing.
+#[derive(Clone)]
+enum Slot {
+    Ready(ExecutionRecord),
+    Pending(Arc<PendingSlot>),
+}
+
+/// Rendezvous for sessions waiting on an in-flight execution.
+#[derive(Debug)]
+pub struct PendingSlot {
+    state: Mutex<PendingState>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+enum PendingState {
+    Computing,
+    Done(ExecutionRecord),
+    /// The owner unwound without filling (its job panicked); waiters must
+    /// compute the record themselves.
+    Abandoned,
+}
+
+impl PendingSlot {
+    /// Blocks until the owner fills (Some) or abandons (None) the slot.
+    pub fn wait(&self) -> Option<ExecutionRecord> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            match &*state {
+                PendingState::Computing => state = self.done.wait(state).unwrap(),
+                PendingState::Done(rec) => return Some(rec.clone()),
+                PendingState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+/// Exclusive right (and obligation) to execute one leased key. Filling
+/// publishes the record to waiters and the cache; dropping unfilled (owner
+/// panicked) wakes waiters with `Abandoned` so nobody blocks forever.
+pub struct Lease {
+    cache: Arc<InterventionCache>,
+    key: CacheKey,
+    slot: Arc<PendingSlot>,
+    filled: bool,
+}
+
+impl Lease {
+    /// Publishes the computed record.
+    pub fn fill(mut self, record: ExecutionRecord) {
+        self.filled = true;
+        {
+            let mut state = self.slot.state.lock().unwrap();
+            *state = PendingState::Done(record.clone());
+        }
+        self.slot.done.notify_all();
+        self.cache.insert(self.key.clone(), record);
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        if self.filled {
+            return;
+        }
+        {
+            let mut state = self.slot.state.lock().unwrap();
+            *state = PendingState::Abandoned;
+        }
+        self.slot.done.notify_all();
+        // Drop the placeholder so a later session can lease the key anew.
+        let mut shard = self.cache.shard(&self.key).lock().unwrap();
+        if matches!(shard.get(&self.key), Some(Slot::Pending(_))) {
+            shard.remove(&self.key);
+        }
+    }
+}
+
+/// Outcome of [`InterventionCache::lease`].
+pub enum Leased {
+    /// The record is cached; use it.
+    Ready(ExecutionRecord),
+    /// Nobody is computing this key: the caller now owns it and **must**
+    /// execute and [`Lease::fill`] it.
+    Owner(Lease),
+    /// Another session is executing this key right now; `wait()` after
+    /// finishing your own executions (never before — the lease→execute→wait
+    /// phasing is what makes coalescing deadlock-free).
+    Waiter(Arc<PendingSlot>),
+}
+
+/// A sharded map from [`CacheKey`] to the run's [`ExecutionRecord`], with
+/// single-flight coalescing: concurrent sessions that miss on the same key
+/// produce one execution, not N.
+pub struct InterventionCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Slot>>>,
+    /// Per-shard record bound (`None` = unbounded).
+    shard_capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl InterventionCache {
+    /// Creates an **unbounded** cache with `shards` lock shards (rounded up
+    /// to a power of two, minimum 1). Long-lived engines should prefer
+    /// [`InterventionCache::with_capacity`].
+    pub fn new(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// Creates a cache bounded to roughly `max_entries` records. Eviction
+    /// is segmented: when a shard reaches its share of the bound, the whole
+    /// shard is flushed (counted in [`CacheStats::evictions`]). Crude but
+    /// O(1) amortized and sufficient to keep a service-shaped engine's
+    /// memory flat — correctness never depends on residency, only speed.
+    pub fn with_capacity(shards: usize, max_entries: usize) -> Self {
+        Self::build(shards, Some(max_entries.max(1)))
+    }
+
+    fn build(shards: usize, max_entries: Option<usize>) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        InterventionCache {
+            shard_capacity: max_entries.map(|m| m.div_ceil(shards)),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Slot>> {
+        &self.shards[(key.route() as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks `key` up, counting the hit or miss. In-flight keys read as
+    /// misses here; use [`InterventionCache::lease`] to coalesce instead.
+    pub fn get(&self, key: &CacheKey) -> Option<ExecutionRecord> {
+        let found = match self.shard(key).lock().unwrap().get(key) {
+            Some(Slot::Ready(rec)) => Some(rec.clone()),
+            _ => None,
+        };
+        match found {
+            Some(_) => self.hits.fetch_add(1, Relaxed),
+            None => self.misses.fetch_add(1, Relaxed),
+        };
+        found
+    }
+
+    /// Single-flight lookup: a cached record is returned, an uncomputed key
+    /// makes the caller the owning executor, and an in-flight key hands
+    /// back the slot to wait on (see [`Leased`] for the phasing contract).
+    pub fn lease(self: &Arc<Self>, key: CacheKey) -> Leased {
+        let mut shard = self.shard(&key).lock().unwrap();
+        match shard.get(&key) {
+            Some(Slot::Ready(rec)) => {
+                let rec = rec.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Relaxed);
+                Leased::Ready(rec)
+            }
+            Some(Slot::Pending(slot)) => {
+                let slot = Arc::clone(slot);
+                drop(shard);
+                self.coalesced.fetch_add(1, Relaxed);
+                Leased::Waiter(slot)
+            }
+            None => {
+                let slot = Arc::new(PendingSlot {
+                    state: Mutex::new(PendingState::Computing),
+                    done: Condvar::new(),
+                });
+                shard.insert(key.clone(), Slot::Pending(Arc::clone(&slot)));
+                drop(shard);
+                self.misses.fetch_add(1, Relaxed);
+                Leased::Owner(Lease {
+                    cache: Arc::clone(self),
+                    key,
+                    slot,
+                    filled: false,
+                })
+            }
+        }
+    }
+
+    /// Stores the record of one executed run, flushing the target shard
+    /// first if it is at its capacity share. Waiters on a pending slot are
+    /// unaffected by the flush: their rendezvous lives in the slot itself.
+    pub fn insert(&self, key: CacheKey, record: ExecutionRecord) {
+        let mut shard = self.shard(&key).lock().unwrap();
+        if let Some(cap) = self.shard_capacity {
+            if shard.len() >= cap && !shard.contains_key(&key) {
+                shard.clear();
+                self.evictions.fetch_add(1, Relaxed);
+            }
+        }
+        shard.insert(key, Slot::Ready(record));
+    }
+
+    /// Number of stored records (including in-flight placeholders).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Snapshot of hit/miss/eviction/entry counts.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            coalesced: self.coalesced.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Drops every cached record (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_util::DenseBitSet;
+
+    fn rec(failed: bool) -> ExecutionRecord {
+        ExecutionRecord {
+            failed,
+            observed: DenseBitSet::new(8),
+        }
+    }
+
+    fn p(i: u32) -> PredicateId {
+        PredicateId::from_raw(i)
+    }
+
+    #[test]
+    fn keys_preserve_intervention_order() {
+        let a = CacheKey::new(7, &[p(1), p(3)], 5);
+        assert_eq!(a, CacheKey::new(7, &[p(1), p(3)], 5), "pure function");
+        // Plan lowering is order-sensitive (injected-lock identity is the
+        // intervention index), so orderings must NOT share an entry.
+        assert_ne!(a, CacheKey::new(7, &[p(3), p(1)], 5), "order matters");
+        assert_ne!(a, CacheKey::new(7, &[p(1), p(3)], 6), "seed matters");
+        assert_ne!(a, CacheKey::new(8, &[p(1), p(3)], 5), "program matters");
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = InterventionCache::new(4);
+        let key = CacheKey::new(1, &[p(0)], 0);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), rec(true));
+        assert_eq!(cache.get(&key).unwrap(), rec(true));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn leases_coalesce_concurrent_misses() {
+        let cache = Arc::new(InterventionCache::new(2));
+        let key = CacheKey::new(3, &[p(1)], 7);
+        let lease = match cache.lease(key.clone()) {
+            Leased::Owner(l) => l,
+            _ => panic!("first lease must own"),
+        };
+        let pending = match cache.lease(key.clone()) {
+            Leased::Waiter(s) => s,
+            _ => panic!("second lease must wait"),
+        };
+        let waiter = std::thread::spawn(move || pending.wait());
+        lease.fill(rec(true));
+        assert_eq!(waiter.join().unwrap(), Some(rec(true)));
+        assert!(matches!(cache.lease(key), Leased::Ready(_)));
+        assert_eq!(cache.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn abandoned_lease_releases_waiters_and_the_key() {
+        let cache = Arc::new(InterventionCache::new(2));
+        let key = CacheKey::new(4, &[p(2)], 9);
+        let lease = match cache.lease(key.clone()) {
+            Leased::Owner(l) => l,
+            _ => panic!("first lease must own"),
+        };
+        let pending = match cache.lease(key.clone()) {
+            Leased::Waiter(s) => s,
+            _ => panic!("second lease must wait"),
+        };
+        drop(lease); // owner "panicked"
+        assert_eq!(pending.wait(), None, "waiters are released, not stuck");
+        assert!(
+            matches!(cache.lease(key), Leased::Owner(_)),
+            "the key is leasable again"
+        );
+    }
+
+    #[test]
+    fn capacity_bound_keeps_the_cache_flat() {
+        let cache = InterventionCache::with_capacity(2, 64);
+        for seed in 0..10_000u64 {
+            cache.insert(CacheKey::new(1, &[p(0)], seed), rec(false));
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= 64 + 2,
+            "entries {} must stay near the bound",
+            stats.entries
+        );
+        assert!(stats.evictions > 0, "flushes must have happened");
+        // A re-inserted record is still retrievable (eviction is a speed
+        // concern, never a correctness one).
+        let key = CacheKey::new(1, &[p(0)], 9_999);
+        assert_eq!(cache.get(&key).unwrap(), rec(false));
+    }
+
+    #[test]
+    fn sharding_distributes_and_preserves_entries() {
+        let cache = InterventionCache::new(8);
+        assert_eq!(cache.shard_count(), 8);
+        for seed in 0..200u64 {
+            cache.insert(CacheKey::new(42, &[p(1), p(2)], seed), rec(seed % 2 == 0));
+        }
+        assert_eq!(cache.len(), 200);
+        for seed in 0..200u64 {
+            let got = cache.get(&CacheKey::new(42, &[p(1), p(2)], seed)).unwrap();
+            assert_eq!(got.failed, seed % 2 == 0);
+        }
+        // 200 distinct keys over 8 shards: every shard must see traffic.
+        let populated = cache
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(populated >= 6, "FNV routing should spread: {populated}/8");
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(InterventionCache::new(0).shard_count(), 1);
+        assert_eq!(InterventionCache::new(5).shard_count(), 8);
+    }
+}

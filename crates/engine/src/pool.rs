@@ -1,0 +1,305 @@
+//! A fixed pool of OS worker threads over crossbeam channels.
+//!
+//! The pool serves two layers at once: whole discovery *sessions* are
+//! spawned onto it ([`WorkerPool::spawn`]), and each session's executor
+//! fans the runs of an intervention batch back onto the same pool
+//! ([`WorkerPool::run_batch`]). Nesting a blocking fan-out inside a worker
+//! would deadlock a fixed pool, so `run_batch` uses *help-first joining*:
+//! while its own results are pending, the joining thread drains queued
+//! *probe* tasks from the shared injector and executes them inline
+//! (stolen whole-session tasks are requeued for a real worker). Progress
+//! is therefore guaranteed even on a single-worker pool, and results are
+//! joined **by submission index** — the output order never depends on which
+//! worker finished first.
+
+use crossbeam::channel::{self, Receiver, RecvError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What a queued closure is, for the help-first policy: joiners inline
+/// `Probe`s (single-run units of the batch they or a sibling fanned out)
+/// but never `Session`s — stealing a whole discovery session while joining
+/// a millisecond round would inflate that round's latency by an unrelated
+/// session's entire runtime.
+enum Task {
+    /// One fanned-out batch unit (cheap, bounded).
+    Probe(Box<dyn FnOnce() + Send + 'static>),
+    /// A whole fire-and-forget job (potentially long).
+    Session(Box<dyn FnOnce() + Send + 'static>),
+}
+
+impl Task {
+    fn run(self) {
+        let f = match self {
+            Task::Probe(f) | Task::Session(f) => f,
+        };
+        // A panicking task must not kill its executor thread (the pool
+        // would silently shrink and unrelated sessions would starve). The
+        // panic still surfaces: the task's result sender drops without
+        // sending, so its joiner observes a disconnected batch (run_batch
+        // panics) or a dead session ticket (Session::wait panics).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    }
+}
+
+struct PoolShared {
+    /// The shared injector queue; workers and helping joiners pull from it.
+    tasks: Receiver<Task>,
+    /// Tasks executed per worker thread (utilization telemetry).
+    per_worker: Vec<AtomicU64>,
+    /// Tasks executed inline by joining threads while they helped.
+    inline: AtomicU64,
+    /// Wall-batches submitted through [`WorkerPool::run_batch`].
+    batches: AtomicU64,
+}
+
+/// A fixed-size worker pool with deterministic batch joins.
+pub struct WorkerPool {
+    tx: Option<Sender<Task>>,
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` OS threads (clamped to at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::unbounded::<Task>();
+        let shared = Arc::new(PoolShared {
+            tasks: rx,
+            per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            inline: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("aid-engine-worker-{w}"))
+                    .spawn(move || {
+                        while let Ok(task) = shared.tasks.recv() {
+                            shared.per_worker[w].fetch_add(1, Relaxed);
+                            task.run();
+                        }
+                    })
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            shared,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.per_worker.len()
+    }
+
+    /// Enqueues a fire-and-forget task (used for whole sessions). Only
+    /// worker threads run these; help-first joiners skip them.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        self.sender()
+            .send(Task::Session(Box::new(task)))
+            .expect("pool is alive");
+    }
+
+    /// Fans `jobs` across the pool and joins the results **in submission
+    /// order**, regardless of completion order. The calling thread helps
+    /// execute queued tasks while it waits, so calling this from inside a
+    /// pool task (nested fan-out) cannot deadlock.
+    ///
+    /// Panics if any job of the batch panicked (its result sender drops
+    /// without sending, disconnecting the join) — a batch is
+    /// all-or-nothing.
+    pub fn run_batch<R: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> R + Send + 'static>>,
+    ) -> Vec<R> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.shared.batches.fetch_add(1, Relaxed);
+        let (rtx, rrx) = channel::unbounded::<(usize, R)>();
+        let tx = self.sender();
+        for (i, job) in jobs.into_iter().enumerate() {
+            let rtx = rtx.clone();
+            tx.send(Task::Probe(Box::new(move || {
+                // The joiner below keeps its receiver for the whole join,
+                // so send errors are never fatal here.
+                let _ = rtx.send((i, job()));
+            })))
+            .expect("pool is alive");
+        }
+        drop(rtx);
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut joined = 0usize;
+        let died = || panic!("a batch job panicked before returning its result");
+        'join: while joined < n {
+            // Drain every ready result without blocking.
+            loop {
+                match rrx.try_recv() {
+                    Ok((i, r)) => {
+                        debug_assert!(out[i].is_none(), "duplicate batch result");
+                        out[i] = Some(r);
+                        joined += 1;
+                        if joined == n {
+                            break 'join;
+                        }
+                    }
+                    Err(TryRecvError::Disconnected) => died(),
+                    Err(TryRecvError::Empty) => break,
+                }
+            }
+            // Help-first: run one queued *probe* inline instead of blocking
+            // a (possibly the only) execution thread. Stolen Sessions go
+            // back to the queue for a real worker — inlining one would
+            // stall this join for an unrelated session's entire runtime.
+            // Inspection is bounded by the current queue length so a queue
+            // holding only sessions cannot spin this loop.
+            let mut inspect = self.shared.tasks.len();
+            let mut helped = false;
+            while inspect > 0 {
+                match self.shared.tasks.try_recv() {
+                    Ok(probe @ Task::Probe(_)) => {
+                        self.shared.inline.fetch_add(1, Relaxed);
+                        probe.run();
+                        helped = true;
+                        break;
+                    }
+                    Ok(session @ Task::Session(_)) => {
+                        inspect -= 1;
+                        let _ = self.sender().send(session);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if helped {
+                continue;
+            }
+            // No probe to help with: every outstanding job of this batch is
+            // being executed by some live thread (probes never block, and
+            // coalescing owners fill before they wait), so blocking for the
+            // next result cannot deadlock. A panicked executor surfaces as
+            // disconnection, not a hang.
+            match rrx.recv() {
+                Ok((i, r)) => {
+                    debug_assert!(out[i].is_none(), "duplicate batch result");
+                    out[i] = Some(r);
+                    joined += 1;
+                }
+                Err(RecvError) => died(),
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("joined == n implies every slot is filled"))
+            .collect()
+    }
+
+    /// Tasks executed by each worker thread so far.
+    pub fn tasks_per_worker(&self) -> Vec<u64> {
+        self.shared
+            .per_worker
+            .iter()
+            .map(|c| c.load(Relaxed))
+            .collect()
+    }
+
+    /// Tasks executed inline by joining threads (help-first steals).
+    pub fn inline_tasks(&self) -> u64 {
+        self.shared.inline.load(Relaxed)
+    }
+
+    /// Wall-batches fanned through [`WorkerPool::run_batch`] so far.
+    pub fn batches(&self) -> u64 {
+        self.shared.batches.load(Relaxed)
+    }
+
+    fn sender(&self) -> &Sender<Task> {
+        self.tx.as_ref().expect("sender lives until drop")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the injector lets every worker's recv() error out once the
+        // queue is drained; join so no task outlives the pool.
+        self.tx.take();
+        let me = std::thread::current().id();
+        for h in self.handles.drain(..) {
+            if h.thread().id() == me {
+                // The last pool reference was dropped *by a worker task*
+                // (e.g. an engine handle released mid-session): a thread
+                // cannot join itself, so detach — it exits on its own the
+                // moment its current task (this drop) returns, because the
+                // injector is already closed.
+                continue;
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn batch_results_join_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Earlier jobs sleep longer: completion order is roughly
+                    // reversed, the join order must not be.
+                    std::thread::sleep(Duration::from_micros(((32 - i) * 50) as u64));
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = pool.run_batch(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_batches_make_progress_on_one_worker() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner_pool = Arc::clone(&pool);
+        let out = pool.run_batch(vec![Box::new(move || {
+            // Fan out again from inside the single worker: only the
+            // help-first join lets this terminate.
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..8u32)
+                .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> u32 + Send>)
+                .collect();
+            inner_pool.run_batch(jobs).iter().sum::<u32>()
+        }) as Box<dyn FnOnce() -> u32 + Send>]);
+        assert_eq!(out, vec![36]);
+        assert!(pool.inline_tasks() > 0, "the worker must have helped");
+    }
+
+    #[test]
+    fn utilization_accounts_for_every_task() {
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..50)
+            .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send>)
+            .collect();
+        pool.run_batch(jobs);
+        let counted: u64 = pool.tasks_per_worker().iter().sum::<u64>() + pool.inline_tasks();
+        assert_eq!(counted, 50);
+        assert_eq!(pool.batches(), 1);
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<u8> = pool.run_batch(Vec::new());
+        assert!(out.is_empty());
+        assert_eq!(pool.batches(), 0);
+    }
+}

@@ -1,0 +1,571 @@
+//! The engine: named discovery sessions scheduled over one worker pool.
+//!
+//! An [`Engine`] owns the pool, the shared intervention cache, and the
+//! telemetry counters. Cloneable [`EngineHandle`]s queue named
+//! [`DiscoveryJob`]s; each submission returns a [`Session`] ticket whose
+//! [`Session::wait`] yields the per-session [`DiscoveryResult`].
+//! Submission applies
+//! backpressure: when `max_pending` sessions are already queued or running,
+//! `submit` blocks the producer until capacity frees up — the engine never
+//! buffers unboundedly.
+//!
+//! Determinism: a session's result is a pure function of its
+//! [`DiscoveryJob`] (executors are seed-deterministic, and batch joins are
+//! ordered by submission index), so results are identical across worker
+//! counts and scheduling orders. The multi-worker vs single-worker tests in
+//! `tests/determinism.rs` pin this for all six case studies.
+
+use crate::cache::InterventionCache;
+use crate::executor::{CachedOracleExecutor, EngineCounters, PooledSimExecutor};
+use crate::pool::WorkerPool;
+use aid_causal::AcDag;
+use aid_core::{discover_with_options, DiscoverOptions, DiscoveryResult, GroundTruth, Strategy};
+use aid_predicates::{PredicateCatalog, PredicateId};
+use aid_sim::Simulator;
+use crossbeam::channel::{self, Receiver};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Lock shards of the intervention cache (rounded to a power of two).
+    pub cache_shards: usize,
+    /// Record bound of the intervention cache (segmented eviction above
+    /// it), so a long-lived engine's memory stays flat.
+    pub cache_capacity: usize,
+    /// Backpressure bound: maximum sessions queued-or-running before
+    /// [`EngineHandle::submit`] blocks the producer.
+    pub max_pending: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            cache_shards: 16,
+            // ~1M single-run records; a record is a bitset over the catalog
+            // plus a flag, so this keeps steady-state memory modest while
+            // comfortably covering many concurrent programs.
+            cache_capacity: 1 << 20,
+            max_pending: 8,
+        }
+    }
+}
+
+/// Where a session's executions come from.
+pub enum JobSource {
+    /// Simulator-backed discovery (the production pipeline): probes fan
+    /// across the pool and memoize per (program, intervention set, seed).
+    Sim {
+        /// The program under test plus machine configuration.
+        simulator: Arc<Simulator>,
+        /// Predicate catalog from the observation phase.
+        catalog: Arc<PredicateCatalog>,
+        /// The grouped failure indicator.
+        failure: PredicateId,
+        /// Runs per intervention round (footnote 1 of the paper).
+        runs_per_round: usize,
+        /// First intervention seed (disjoint from observation seeds).
+        first_seed: u64,
+    },
+    /// Exact-counterfactual oracle (synthetic / Figure 8 workloads).
+    Oracle {
+        /// The known causal structure.
+        truth: GroundTruth,
+    },
+}
+
+/// One named discovery session: program + strategy + options.
+pub struct DiscoveryJob {
+    /// Session name (returned on the matching [`SessionResult`]).
+    pub name: String,
+    /// The AC-DAG to discover over.
+    pub dag: Arc<AcDag>,
+    /// Discovery strategy.
+    pub strategy: Strategy,
+    /// Tie-breaking seed for the discovery algorithms.
+    pub seed: u64,
+    /// Extra discovery tuning.
+    pub options: DiscoverOptions,
+    /// Execution substrate.
+    pub source: JobSource,
+}
+
+impl DiscoveryJob {
+    /// A simulator-backed job with default options.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sim(
+        name: impl Into<String>,
+        dag: Arc<AcDag>,
+        simulator: Arc<Simulator>,
+        catalog: Arc<PredicateCatalog>,
+        failure: PredicateId,
+        runs_per_round: usize,
+        first_seed: u64,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Self {
+        DiscoveryJob {
+            name: name.into(),
+            dag,
+            strategy,
+            seed,
+            options: DiscoverOptions::default(),
+            source: JobSource::Sim {
+                simulator,
+                catalog,
+                failure,
+                runs_per_round,
+                first_seed,
+            },
+        }
+    }
+
+    /// An oracle-backed job with default options.
+    pub fn oracle(
+        name: impl Into<String>,
+        dag: Arc<AcDag>,
+        truth: GroundTruth,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Self {
+        DiscoveryJob {
+            name: name.into(),
+            dag,
+            strategy,
+            seed,
+            options: DiscoverOptions::default(),
+            source: JobSource::Oracle { truth },
+        }
+    }
+}
+
+/// A finished session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionResult {
+    /// The job's name.
+    pub name: String,
+    /// The discovery outcome.
+    pub result: DiscoveryResult,
+}
+
+/// Ticket for a queued session.
+pub struct Session {
+    name: String,
+    rx: Receiver<SessionResult>,
+}
+
+impl Session {
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until the session finishes and returns its result.
+    pub fn wait(self) -> SessionResult {
+        self.rx
+            .recv()
+            .expect("engine dropped a session without a result")
+    }
+}
+
+/// Aggregate engine telemetry.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Real executions performed (cache misses that ran).
+    pub executions: u64,
+    /// Cache lookups answered from memory.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Shard flushes forced by the cache capacity bound.
+    pub cache_evictions: u64,
+    /// Records stored in the cache.
+    pub cache_entries: usize,
+    /// Wall-batches fanned across the pool.
+    pub wall_batches: u64,
+    /// Sessions completed.
+    pub sessions_completed: u64,
+    /// Tasks executed per worker thread (utilization).
+    pub tasks_per_worker: Vec<u64>,
+    /// Tasks executed inline by joining threads (help-first steals).
+    pub inline_tasks: u64,
+    /// Highest simultaneously-pending session count observed.
+    pub peak_pending: u64,
+}
+
+impl EngineStats {
+    /// Cache hit fraction in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+struct EngineShared {
+    pool: Arc<WorkerPool>,
+    cache: Arc<InterventionCache>,
+    counters: Arc<EngineCounters>,
+    pending: Mutex<usize>,
+    capacity: Condvar,
+    max_pending: usize,
+}
+
+/// The multi-session discovery engine.
+pub struct Engine {
+    shared: Arc<EngineShared>,
+}
+
+impl Engine {
+    /// Builds an engine from the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            shared: Arc::new(EngineShared {
+                pool: Arc::new(WorkerPool::new(config.workers)),
+                cache: Arc::new(InterventionCache::with_capacity(
+                    config.cache_shards,
+                    config.cache_capacity,
+                )),
+                counters: Arc::new(EngineCounters::default()),
+                pending: Mutex::new(0),
+                capacity: Condvar::new(),
+                max_pending: config.max_pending.max(1),
+            }),
+        }
+    }
+
+    /// Convenience: an engine with `workers` threads and default sizing.
+    pub fn with_workers(workers: usize) -> Self {
+        Engine::new(EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// A cloneable handle for submitting jobs (e.g. from other threads).
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Queues a named discovery job (see [`EngineHandle::submit`]).
+    pub fn submit(&self, job: DiscoveryJob) -> Session {
+        self.handle().submit(job)
+    }
+
+    /// Submits every job and waits for all of them, preserving input order.
+    pub fn run_all(&self, jobs: Vec<DiscoveryJob>) -> Vec<SessionResult> {
+        self.handle().run_all(jobs)
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.handle().stats()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Drain before tearing down: every queued session still runs to
+        // completion (tickets held by callers keep receiving results), so
+        // dropping the engine never silently abandons work.
+        let mut pending = self.shared.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.shared.capacity.wait(pending).unwrap();
+        }
+    }
+}
+
+/// A cloneable submission handle onto an [`Engine`].
+#[derive(Clone)]
+pub struct EngineHandle {
+    shared: Arc<EngineShared>,
+}
+
+impl EngineHandle {
+    /// Queues a named discovery job, blocking while `max_pending` sessions
+    /// are already in flight (backpressure), and returns the session
+    /// ticket.
+    pub fn submit(&self, job: DiscoveryJob) -> Session {
+        let shared = &self.shared;
+        {
+            let mut pending = shared.pending.lock().unwrap();
+            while *pending >= shared.max_pending {
+                pending = shared.capacity.wait(pending).unwrap();
+            }
+            *pending += 1;
+            shared.counters.record_peak(*pending as u64);
+        }
+        let (tx, rx) = channel::unbounded();
+        let name = job.name.clone();
+        let task_shared = Arc::clone(shared);
+        shared.pool.spawn(move || {
+            // Decrement `pending` even if the job panics (e.g. a malformed
+            // DAG with a non-interventable predicate): a leaked count would
+            // wedge backpressure and hang Engine::drop forever.
+            struct PendingGuard(Arc<EngineShared>);
+            impl Drop for PendingGuard {
+                fn drop(&mut self) {
+                    let mut pending = self.0.pending.lock().unwrap();
+                    *pending -= 1;
+                    drop(pending);
+                    // notify_all, not notify_one: backpressured submitters
+                    // and a draining Engine::drop wait on the same condvar,
+                    // and waking only one of them can strand the other.
+                    self.0.capacity.notify_all();
+                }
+            }
+            let _guard = PendingGuard(Arc::clone(&task_shared));
+            let result = execute(job, &task_shared);
+            // Count completion *before* publishing the result, so a caller
+            // that reads stats right after wait() observes the session.
+            task_shared.counters.sessions.fetch_add(1, Relaxed);
+            // The submitter may have dropped the ticket; that is not an
+            // engine error.
+            let _ = tx.send(result);
+        });
+        Session { name, rx }
+    }
+
+    /// Submits every job and waits for all of them, preserving input order.
+    pub fn run_all(&self, jobs: Vec<DiscoveryJob>) -> Vec<SessionResult> {
+        // Submit incrementally (each submit may block on backpressure) and
+        // only then start waiting: workers drain the queue independently of
+        // this thread, so no deadlock is possible.
+        let sessions: Vec<Session> = jobs.into_iter().map(|j| self.submit(j)).collect();
+        sessions.into_iter().map(Session::wait).collect()
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let shared = &self.shared;
+        let cache = shared.cache.stats();
+        EngineStats {
+            executions: shared.counters.executions.load(Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+            wall_batches: shared.pool.batches(),
+            sessions_completed: shared.counters.sessions.load(Relaxed),
+            tasks_per_worker: shared.pool.tasks_per_worker(),
+            inline_tasks: shared.pool.inline_tasks(),
+            peak_pending: shared.counters.peak_pending.load(Relaxed),
+        }
+    }
+}
+
+/// Runs one job to completion on the current (worker) thread; intervention
+/// batches fan back onto the pool from here.
+fn execute(job: DiscoveryJob, shared: &EngineShared) -> SessionResult {
+    let result = match job.source {
+        JobSource::Sim {
+            simulator,
+            catalog,
+            failure,
+            runs_per_round,
+            first_seed,
+        } => {
+            let mut exec = PooledSimExecutor::new(
+                simulator,
+                catalog,
+                failure,
+                runs_per_round,
+                first_seed,
+                Arc::clone(&shared.pool),
+                Arc::clone(&shared.cache),
+                Arc::clone(&shared.counters),
+            );
+            discover_with_options(&job.dag, &mut exec, job.strategy, job.seed, job.options)
+        }
+        JobSource::Oracle { truth } => {
+            let mut exec = CachedOracleExecutor::new(
+                truth,
+                Arc::clone(&shared.cache),
+                Arc::clone(&shared.counters),
+            );
+            discover_with_options(&job.dag, &mut exec, job.strategy, job.seed, job.options)
+        }
+    };
+    SessionResult {
+        name: job.name,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_core::figure4_ground_truth;
+
+    /// The Figure 4(a) AC-DAG (same Hasse edges as `aid_core`'s discovery
+    /// tests — the flat "everything points at F" DAG is only sound for
+    /// TAGT, which ignores structure).
+    fn figure4_dag(truth: &GroundTruth) -> AcDag {
+        let p = |i: u32| aid_predicates::PredicateId::from_raw(i);
+        let edges = vec![
+            (p(0), p(1)),
+            (p(1), p(2)),
+            (p(2), p(3)),
+            (p(3), p(4)),
+            (p(4), p(5)),
+            (p(2), p(6)),
+            (p(6), p(7)),
+            (p(7), p(8)),
+            (p(6), p(10)),
+            (p(5), p(9)),
+            (p(10), p(9)),
+            (p(9), p(11)),
+            (p(5), p(11)),
+            (p(8), p(11)),
+        ];
+        AcDag::from_edges(&truth.candidates(), truth.failure(), &edges)
+    }
+
+    fn oracle_job(name: &str, seed: u64) -> DiscoveryJob {
+        let truth = figure4_ground_truth();
+        let dag = Arc::new(figure4_dag(&truth));
+        DiscoveryJob::oracle(name, dag, truth, Strategy::Aid, seed)
+    }
+
+    #[test]
+    fn sessions_come_back_named_and_correct() {
+        let engine = Engine::with_workers(2);
+        let results = engine.run_all(vec![oracle_job("a", 0), oracle_job("b", 1)]);
+        assert_eq!(results[0].name, "a");
+        assert_eq!(results[1].name, "b");
+        for r in &results {
+            let causal: Vec<u32> = r.result.causal.iter().map(|p| p.raw()).collect();
+            assert_eq!(causal, vec![0, 1, 10]);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_completed, 2);
+        assert!(stats.executions > 0);
+    }
+
+    #[test]
+    fn backpressure_bounds_pending_sessions() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache_shards: 2,
+            max_pending: 2,
+            ..EngineConfig::default()
+        });
+        let handle = engine.handle();
+        let sessions: Vec<Session> = (0..12).map(|i| handle.submit(oracle_job("x", i))).collect();
+        for s in sessions {
+            s.wait();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_completed, 12);
+        assert!(
+            stats.peak_pending <= 2,
+            "backpressure must cap pending at 2, saw {}",
+            stats.peak_pending
+        );
+    }
+
+    /// A job that panics mid-discovery (non-interventable predicate → the
+    /// executor's `plan_for` panics) must not wedge the engine: pending
+    /// drains, later sessions run, and drop doesn't hang.
+    #[test]
+    fn panicking_job_does_not_wedge_the_engine() {
+        use aid_predicates::{Predicate, PredicateCatalog, PredicateKind};
+        use aid_sim::ProgramBuilder;
+
+        let mut b = ProgramBuilder::new("bad");
+        let main = b.method("Main", |m| {
+            m.compute(1);
+        });
+        b.thread("main", main, true);
+        let mut catalog = PredicateCatalog::new();
+        let bad = catalog.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: aid_trace::FailureSignature {
+                    kind: "Boom".into(),
+                    method: aid_trace::MethodId::from_raw(0),
+                },
+            },
+            safe: true,
+            action: None, // ⇒ plan_for panics the moment it is intervened on
+        });
+        let mut fail_catalog = catalog.clone();
+        let failure = fail_catalog.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: aid_trace::FailureSignature {
+                    kind: "F".into(),
+                    method: aid_trace::MethodId::from_raw(0),
+                },
+            },
+            safe: true,
+            action: None,
+        });
+        let dag = Arc::new(AcDag::from_edges(&[bad], failure, &[(bad, failure)]));
+
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache_shards: 2,
+            max_pending: 2,
+            ..EngineConfig::default()
+        });
+        let doomed = engine.submit(DiscoveryJob::sim(
+            "doomed",
+            dag,
+            Arc::new(Simulator::new(b.build())),
+            Arc::new(fail_catalog),
+            failure,
+            1,
+            0,
+            Strategy::Aid,
+            0,
+        ));
+        // The doomed session dies without a result…
+        assert!(std::panic::catch_unwind(move || doomed.wait()).is_err());
+        // …but the engine keeps serving, and dropping it doesn't hang.
+        let ok = engine.submit(oracle_job("survivor", 1)).wait();
+        assert_eq!(ok.name, "survivor");
+        let stats = engine.stats();
+        assert_eq!(
+            stats.sessions_completed, 1,
+            "the panicked job is not counted"
+        );
+    }
+
+    #[test]
+    fn dropping_the_engine_drains_outstanding_sessions() {
+        let kept;
+        {
+            let engine = Engine::with_workers(2);
+            kept = engine.submit(oracle_job("kept", 5));
+            // A fire-and-forget session: ticket dropped immediately.
+            drop(engine.submit(oracle_job("forgotten", 6)));
+            // Engine dropped here; both sessions must still complete.
+        }
+        let result = kept.wait();
+        assert_eq!(result.name, "kept");
+        let causal: Vec<u32> = result.result.causal.iter().map(|p| p.raw()).collect();
+        assert_eq!(causal, vec![0, 1, 10]);
+    }
+
+    #[test]
+    fn identical_sessions_share_the_cache() {
+        let engine = Engine::with_workers(2);
+        engine.run_all(vec![oracle_job("first", 3)]);
+        let before = engine.stats();
+        engine.run_all(vec![oracle_job("second", 3)]);
+        let after = engine.stats();
+        assert_eq!(
+            after.executions, before.executions,
+            "identical session must be fully memoized"
+        );
+        assert!(after.cache_hits > before.cache_hits);
+    }
+}

@@ -1,0 +1,74 @@
+//! The Figure-8 synthetic workload, compiled to runnable programs.
+//!
+//! Shared by the engine's acceptance tests (`tests/determinism.rs`) and the
+//! `aid_bench` throughput bench so both measure exactly the same workload:
+//! ground truths from `aid_synth::generate`, filtered to structures the
+//! register-allocating compiler accepts, lowered to real simulator programs
+//! and pushed through the observation phase.
+
+use aid_core::{analyze, AidAnalysis};
+use aid_predicates::ExtractionConfig;
+use aid_sim::Simulator;
+use aid_synth::{
+    compile_to_program_with_cost, generate, symptom_lineages, SynthParams, MAX_SYMPTOM_LINEAGES,
+};
+use std::sync::Arc;
+
+/// One prepared Figure-8 application: analyzed and ready to discover over.
+pub struct Figure8App {
+    /// The runnable program wrapped in a simulator.
+    pub sim: Arc<Simulator>,
+    /// Observation-phase output (catalog, failure indicator, AC-DAG).
+    pub analysis: AidAnalysis,
+}
+
+/// Generates `count` compilable Figure-8 apps with per-node compute cost
+/// `node_cost` (see `compile_to_program_with_cost`: a realistic per-call
+/// cost keeps cache-hit economics honest). Deterministic: the generator
+/// walks seeds from 0 and keeps the first `count` structures that fit the
+/// compiler's register budget.
+pub fn compiled_figure8_apps(count: usize, node_cost: u64) -> Vec<Figure8App> {
+    let params = SynthParams {
+        max_threads: 6,
+        max_predicates: 18,
+        ..SynthParams::default()
+    };
+    let mut apps = Vec::new();
+    let mut seed = 0u64;
+    while apps.len() < count {
+        let app = generate(&params, seed);
+        seed += 1;
+        if symptom_lineages(&app.truth) > MAX_SYMPTOM_LINEAGES || app.truth.n < 6 {
+            continue;
+        }
+        let compiled = compile_to_program_with_cost(&app.truth, node_cost);
+        let sim = Simulator::new(compiled.program.clone());
+        let set = sim.collect_balanced(30, 30, 8_000);
+        let mut cfg = ExtractionConfig::default();
+        for m in compiled.program.pure_methods() {
+            cfg.pure_methods.insert(m);
+        }
+        let analysis = analyze(&set, &cfg);
+        apps.push(Figure8App {
+            sim: Arc::new(sim),
+            analysis,
+        });
+    }
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_discoverable() {
+        let a = compiled_figure8_apps(2, 4);
+        let b = compiled_figure8_apps(2, 4);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.sim.fingerprint(), y.sim.fingerprint());
+            assert!(x.analysis.dag.candidates().len() >= 6);
+        }
+    }
+}

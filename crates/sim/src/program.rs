@@ -19,6 +19,7 @@
 //!   monitor-style waits and are *not* recorded as data accesses.
 
 use aid_trace::{MethodId, ObjectId};
+use aid_util::fnv1a;
 use serde::{Deserialize, Serialize};
 
 /// A per-thread register index (0..16).
@@ -224,6 +225,17 @@ pub struct Program {
 }
 
 impl Program {
+    /// A stable 64-bit structural fingerprint of the whole program
+    /// (FNV-1a over the canonical debug rendering, which is a pure function
+    /// of the structure — `Op`/`Expr` carry no interior mutability and no
+    /// addresses). Two `Program`s with equal structure always fingerprint
+    /// equal; the engine's intervention cache uses this as the program half
+    /// of its (program, intervention set, seed) key, so a cache entry can
+    /// never be served to a structurally different program.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
+    }
+
     /// Looks up a method definition.
     pub fn method(&self, id: MethodId) -> &MethodDef {
         &self.methods[id.index()]
@@ -323,6 +335,30 @@ mod tests {
             }],
         };
         p.validate();
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let mk = |delay: i64| Program {
+            name: "fp".into(),
+            methods: vec![MethodDef {
+                name: "m".into(),
+                pure: true,
+                body: vec![Op::Compute { cost: delay as u64 }],
+            }],
+            objects: vec![],
+            threads: vec![ThreadSpec {
+                name: "t".into(),
+                entry: MethodId::from_raw(0),
+                auto_start: true,
+            }],
+        };
+        assert_eq!(mk(3).fingerprint(), mk(3).fingerprint(), "pure function");
+        assert_ne!(
+            mk(3).fingerprint(),
+            mk(4).fingerprint(),
+            "structure changes change the fingerprint"
+        );
     }
 
     #[test]

@@ -23,6 +23,20 @@ impl Simulator {
         }
     }
 
+    /// A stable fingerprint of (program structure, machine configuration):
+    /// runs are a pure function of `(fingerprint, seed, plan)`, so this is
+    /// the program half of the engine's memoization key. Cheap enough to
+    /// call per round, but callers that execute many rounds should compute
+    /// it once up front.
+    pub fn fingerprint(&self) -> u64 {
+        // Rotate so (program, max_steps) pairs don't collide trivially.
+        self.program
+            .fingerprint()
+            .rotate_left(17)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ self.config.max_steps
+    }
+
     /// Runs once with `seed` under `plan`.
     pub fn run(&self, seed: u64, plan: &InterventionPlan) -> Trace {
         Machine::new(&self.program, plan, self.config.clone(), seed).run()
@@ -129,6 +143,30 @@ mod tests {
         b.thread("t2", writer_entry, false);
         let _ = main;
         b.build()
+    }
+
+    /// The engine shares one `Simulator` across pool workers; these bounds
+    /// are load-bearing, not incidental (plain data, no interior
+    /// mutability), so pin them at compile time.
+    #[test]
+    fn simulator_is_send_sync_and_fingerprint_tracks_config() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Program>();
+        assert_send_sync::<Simulator>();
+        assert_send_sync::<InterventionPlan>();
+        assert_send_sync::<SimConfig>();
+
+        let mut sim = Simulator::new(racy_program());
+        let fp = sim.fingerprint();
+        assert_eq!(fp, sim.fingerprint(), "stable");
+        sim.config.max_steps = 1234;
+        assert_ne!(fp, sim.fingerprint(), "config is part of the key");
+        let other = Simulator::new(racy_program());
+        assert_ne!(
+            other.fingerprint(),
+            sim.fingerprint(),
+            "differing max_steps still distinguish equal programs"
+        );
     }
 
     #[test]

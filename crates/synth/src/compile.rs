@@ -37,11 +37,49 @@ pub struct CompiledApp {
     pub check_method: MethodId,
 }
 
+/// Scratch registers available to `compile_to_program` (16 registers minus
+/// the spine minus the builder-reserved ones).
+pub const MAX_SYMPTOM_LINEAGES: usize = 12;
+
+/// Number of distinct symptom lineages the encoding needs a scratch
+/// register for: off-path nodes whose cause is either absent (noise) or on
+/// the causal spine — every such node roots a lineage whose descendants
+/// share its register. Ground truths with more than
+/// [`MAX_SYMPTOM_LINEAGES`] lineages cannot be compiled; generators that
+/// need runnable programs (the engine's Figure-8 workload) filter with
+/// this before calling [`compile_to_program`].
+pub fn symptom_lineages(truth: &GroundTruth) -> usize {
+    let on_path: std::collections::BTreeSet<usize> = truth.path.iter().copied().collect();
+    (0..truth.n)
+        .filter(|x| !on_path.contains(x))
+        .filter(|&x| match truth.parent[x] {
+            None => true,
+            Some(p) => on_path.contains(&p),
+        })
+        .count()
+}
+
 /// Compiles a ground truth into a runnable program. The root misbehaves in
 /// roughly half the runs (an intermittent failure). Panics if the structure
-/// needs more than 12 scratch registers (one per symptom lineage).
+/// needs more than [`MAX_SYMPTOM_LINEAGES`] scratch registers (one per
+/// symptom lineage; check with [`symptom_lineages`] first).
 pub fn compile_to_program(truth: &GroundTruth) -> CompiledApp {
+    compile_to_program_with_cost(truth, 2)
+}
+
+/// [`compile_to_program`] with an explicit per-node compute cost (virtual
+/// ticks each node method burns). The default of 2 keeps unit tests fast;
+/// throughput workloads (the engine benches) raise it so a re-execution
+/// costs what a real service call would, making cache-hit economics
+/// realistic rather than dominated by per-round bookkeeping.
+pub fn compile_to_program_with_cost(truth: &GroundTruth, node_cost: u64) -> CompiledApp {
     truth.validate();
+    assert!(
+        symptom_lineages(truth) <= MAX_SYMPTOM_LINEAGES,
+        "too many symptom lineages for 16 registers: {} > {}",
+        symptom_lineages(truth),
+        MAX_SYMPTOM_LINEAGES
+    );
     let mut b = ProgramBuilder::new("synthetic");
 
     // Register assignment: the causal path shares the spine register R0;
@@ -87,7 +125,7 @@ pub fn compile_to_program(truth: &GroundTruth) -> CompiledApp {
         let parent_reg = truth.parent[x].map(|p| reg_of[p].unwrap());
         let name = format!("Node{x}");
         let m = b.pure_method(&name, |mb| {
-            mb.compute(2);
+            mb.compute(node_cost);
             if x == root {
                 // The intermittent root cause: infected in ~half the runs.
                 mb.rand_range(reg, 0, 1);
@@ -153,6 +191,16 @@ mod tests {
     use aid_core::{discover, figure4_ground_truth, Strategy};
     use aid_predicates::ExtractionConfig;
     use aid_sim::{SimExecutor, Simulator};
+
+    #[test]
+    fn symptom_lineages_counts_scratch_roots() {
+        let truth = figure4_ground_truth();
+        // Off-path roots: P7 (parent P1 on path), P3 (parent P2 on path) —
+        // their subtrees {P8, P9} and {P4, P5, P6, P10} share the root's
+        // register, so exactly 2 lineages.
+        assert_eq!(symptom_lineages(&truth), 2);
+        assert!(symptom_lineages(&truth) <= MAX_SYMPTOM_LINEAGES);
+    }
 
     #[test]
     fn compiled_program_fails_intermittently() {

@@ -12,5 +12,8 @@
 pub mod compile;
 pub mod generate;
 
-pub use compile::{compile_to_program, CompiledApp};
+pub use compile::{
+    compile_to_program, compile_to_program_with_cost, symptom_lineages, CompiledApp,
+    MAX_SYMPTOM_LINEAGES,
+};
 pub use generate::{generate, SynthParams, SyntheticApp};

@@ -1,0 +1,153 @@
+//! Property tests: the line codec is the identity on every well-formed
+//! `TraceSet`, including empty sets, empty traces, and traces carrying
+//! intervention artifacts (locked accesses from `SerializeMethods`, caught
+//! exceptions from `CatchException`, forced return values from
+//! `ForceReturn`).
+
+use aid_trace::{
+    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome,
+    ThreadId, Trace, TraceSet,
+};
+use proptest::prelude::*;
+
+/// Exception/failure kinds the generator draws from (whitespace-free, as
+/// the codec requires of all names).
+const KINDS: [&str; 3] = ["IndexOutOfRange", "Deadlock", "Boom"];
+
+/// Raw sampled access: (object slot, is-write, time, locked).
+fn access_strategy() -> impl Strategy<Value = (usize, bool, u64, bool)> {
+    (0usize..8, any::<bool>(), 0u64..1_000, any::<bool>())
+}
+
+type RawEvent = (
+    // (method slot, thread, start, duration)
+    (usize, u32, u64, u64),
+    // (has return value, return value) — forced returns are negative too
+    (bool, i64),
+    // (exception kind slot: 0 = none, caught)
+    (usize, bool),
+    Vec<(usize, bool, u64, bool)>,
+);
+
+fn event_strategy() -> impl Strategy<Value = RawEvent> {
+    (
+        (0usize..8, 0u32..4, 0u64..1_000, 0u64..60),
+        (any::<bool>(), -100i64..1_000),
+        (0usize..3, any::<bool>()),
+        proptest::collection::vec(access_strategy(), 0..4),
+    )
+}
+
+/// Raw sampled trace: (seed, failed, failure kind slot, events). An empty
+/// event list models a run that crashed before instrumentation saw a call.
+type RawTrace = (u64, bool, usize, Vec<RawEvent>);
+
+fn trace_strategy() -> impl Strategy<Value = Vec<RawTrace>> {
+    proptest::collection::vec(
+        (
+            0u64..1_000_000,
+            any::<bool>(),
+            0usize..KINDS.len(),
+            proptest::collection::vec(event_strategy(), 0..6),
+        ),
+        0..5,
+    )
+}
+
+/// Builds a well-formed `TraceSet` from sampled raw data: ids are taken
+/// modulo the interned counts so every reference resolves.
+fn build_set(method_count: usize, object_count: usize, raw: Vec<RawTrace>) -> TraceSet {
+    let mut set = TraceSet::new();
+    let methods: Vec<MethodId> = (0..method_count)
+        .map(|i| set.method(&format!("m{i}")))
+        .collect();
+    let objects: Vec<ObjectId> = (0..object_count)
+        .map(|i| set.object(&format!("obj{i}")))
+        .collect();
+    for (seed, failed, kind_slot, raw_events) in raw {
+        let mut events = Vec::new();
+        for ((m, thread, start, dur), (has_ret, ret), (exc_slot, caught), accesses) in raw_events {
+            let method = methods[m % methods.len()];
+            events.push(MethodEvent {
+                method,
+                instance: 0, // recomputed by normalize()
+                thread: ThreadId::from_raw(thread),
+                start,
+                end: start + dur,
+                accesses: accesses
+                    .into_iter()
+                    .filter(|_| !objects.is_empty())
+                    .map(|(o, write, at, locked)| AccessEvent {
+                        object: objects[o % objects.len()],
+                        kind: if write {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                        at,
+                        locked,
+                    })
+                    .collect(),
+                returned: has_ret.then_some(ret),
+                exception: (exc_slot > 0).then(|| KINDS[exc_slot - 1].to_string()),
+                caught,
+            });
+        }
+        let max_end = events.iter().map(|e| e.end).max().unwrap_or(0);
+        let mut trace = Trace {
+            seed,
+            events,
+            outcome: if failed {
+                Outcome::Failure(FailureSignature {
+                    kind: KINDS[kind_slot].to_string(),
+                    method: methods[kind_slot % methods.len()],
+                })
+            } else {
+                Outcome::Success
+            },
+            duration: max_end + 1,
+        };
+        trace.normalize();
+        set.push(trace);
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on traces, methods, and objects.
+    #[test]
+    fn prop_encode_decode_is_identity(
+        method_count in 1usize..=4,
+        object_count in 0usize..=3,
+        raw in trace_strategy(),
+    ) {
+        let set = build_set(method_count, object_count, raw);
+        let text = codec::encode(&set);
+        let back = codec::decode(&text)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(back.methods.len(), set.methods.len());
+        prop_assert_eq!(back.objects.len(), set.objects.len());
+        prop_assert_eq!(back.traces.len(), set.traces.len());
+        for (a, b) in set.traces.iter().zip(&back.traces) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Re-encoding the decoded set reproduces the byte stream: the textual
+    /// form itself is canonical, so logs survive arbitrarily many
+    /// round-trips unchanged.
+    #[test]
+    fn prop_reencode_is_canonical(
+        method_count in 1usize..=3,
+        object_count in 0usize..=2,
+        raw in trace_strategy(),
+    ) {
+        let set = build_set(method_count, object_count, raw);
+        let text = codec::encode(&set);
+        let back = codec::decode(&text)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(codec::encode(&back), text);
+    }
+}

@@ -7,9 +7,11 @@
 //! path ever iterates a `std::collections::HashMap`.
 
 pub mod bitset;
+pub mod hash;
 pub mod idarena;
 pub mod stats;
 
 pub use bitset::DenseBitSet;
+pub use hash::{fnv1a, Fnv1a};
 pub use idarena::{Id, IdArena};
 pub use stats::{OnlineStats, Summary};

@@ -1,73 +1,280 @@
 //! Offline stub of `crossbeam` (see `shims/README.md`).
 //!
-//! Only the `channel` module is provided, backed by `std::sync::mpsc`. The
-//! live-thread harness uses a single receiver with cloned senders, which is
-//! exactly the mpsc shape, so no behavioral gap exists for this workspace.
+//! Only the `channel` module is provided. Unlike the first iteration of this
+//! shim (which wrapped `std::sync::mpsc` and therefore supported a single
+//! consumer), the channel is now a true multi-producer **multi-consumer**
+//! queue built on `Mutex<VecDeque>` + `Condvar`, matching the crossbeam
+//! semantics the workspace relies on:
+//!
+//! * `Receiver` is `Clone`, so a pool of worker threads can share one job
+//!   queue (`aid_engine::WorkerPool`);
+//! * `bounded(cap)` blocks senders when the queue is full, which is the
+//!   backpressure primitive the engine's session queue uses;
+//! * `recv_timeout` lets a joining thread interleave waiting with helping.
+//!
+//! Error types are re-used from `std::sync::mpsc`: they carry the same
+//! fields and `Display` text as crossbeam's own, which keeps call sites
+//! source-compatible with the real crate for the subset used here.
 
-/// Multi-producer channels, mirroring the used subset of `crossbeam::channel`.
+/// Multi-producer multi-consumer channels, mirroring the used subset of
+/// `crossbeam::channel`.
 pub mod channel {
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
+    /// Error returned by [`Receiver::recv`] once the channel is empty and
+    /// every sender is gone.
+    pub use std::sync::mpsc::RecvError;
+    /// Error returned by [`Receiver::recv_timeout`].
+    pub use std::sync::mpsc::RecvTimeoutError;
     /// Error returned when the receiving side has hung up.
     pub use std::sync::mpsc::SendError;
+    /// Error returned by [`Receiver::try_recv`].
+    pub use std::sync::mpsc::TryRecvError;
 
-    /// Sending half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a value arrives or the last sender leaves.
+        readable: Condvar,
+        /// Signalled when space frees up or the last receiver leaves.
+        writable: Condvar,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a channel; cloneable for MPMC use.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.inner.lock().unwrap();
+            g.senders -= 1;
+            if g.senders == 0 {
+                // Wake receivers blocked on an empty queue so they can
+                // observe disconnection.
+                drop(g);
+                self.0.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut g = self.0.inner.lock().unwrap();
+            g.receivers -= 1;
+            if g.receivers == 0 {
+                drop(g);
+                self.0.writable.notify_all();
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `value`; fails only if the receiver is gone.
+        /// Enqueues `value`, blocking while a bounded channel is full; fails
+        /// only if every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut g = self.0.inner.lock().unwrap();
+            loop {
+                if g.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match g.capacity {
+                    Some(cap) if g.queue.len() >= cap => {
+                        g = self.0.writable.wait(g).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            g.queue.push_back(value);
+            drop(g);
+            self.0.readable.notify_one();
+            Ok(())
         }
     }
 
-    /// Receiving half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
-
     impl<T> Receiver<T> {
-        /// Blocks for the next value; `Err` once all senders are dropped.
-        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
-            self.0.recv()
+        /// Blocks for the next value; `Err` once the queue is empty and all
+        /// senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut g = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    drop(g);
+                    self.0.writable.notify_one();
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvError);
+                }
+                g = self.0.readable.wait(g).unwrap();
+            }
+        }
+
+        /// Like [`Receiver::recv`] but gives up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut g = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(v) = g.queue.pop_front() {
+                    drop(g);
+                    self.0.writable.notify_one();
+                    return Ok(v);
+                }
+                if g.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.0.readable.wait_timeout(g, deadline - now).unwrap();
+                g = guard;
+            }
         }
 
         /// Returns the next value if one is queued.
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.0.try_recv()
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut g = self.0.inner.lock().unwrap();
+            if let Some(v) = g.queue.pop_front() {
+                drop(g);
+                self.0.writable.notify_one();
+                return Ok(v);
+            }
+            if g.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of values currently queued.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
 
         /// Iterates until every sender has been dropped.
-        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Borrowing iterator over received values.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning iterator over received values.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
     impl<T> IntoIterator for Receiver<T> {
         type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
+        type IntoIter = IntoIter<T>;
 
         fn into_iter(self) -> Self::IntoIter {
-            self.0.into_iter()
+            IntoIter { rx: self }
         }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.iter()
+        }
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                capacity,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel: `send` blocks while `cap` values are
+    /// queued. `cap` must be at least 1 (crossbeam's zero-capacity
+    /// rendezvous channel is not modeled).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "rendezvous channels are not modeled by the shim");
+        with_capacity(Some(cap))
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{bounded, unbounded, TryRecvError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn cloned_senders_feed_one_receiver() {
@@ -80,5 +287,61 @@ mod tests {
         let mut got: Vec<i32> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn cloned_receivers_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        let taken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for r in [&rx, &rx2] {
+                s.spawn(|| {
+                    while r.recv().is_ok() {
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), 100, "each value taken once");
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The third send must block until the receiver drains one slot.
+        std::thread::scope(|s| {
+            let t = s.spawn(|| tx.send(3).unwrap());
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(!t.is_finished(), "send must block while full");
+            assert_eq!(rx.recv().unwrap(), 1);
+        });
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn disconnection_is_observable() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(7).is_err(), "send fails with no receivers");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_succeeds() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), 9);
     }
 }

@@ -217,7 +217,7 @@ pub mod collection {
     use std::collections::BTreeSet;
     use std::ops::{Range, RangeInclusive};
 
-    /// Number-of-elements specification accepted by [`vec`] and [`btree_set`].
+    /// Number-of-elements specification accepted by [`vec()`] and [`btree_set`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -54,6 +54,7 @@
 pub use aid_cases as cases;
 pub use aid_causal as causal;
 pub use aid_core as core;
+pub use aid_engine as engine;
 pub use aid_predicates as predicates;
 pub use aid_sd as sd;
 pub use aid_sim as sim;
@@ -67,8 +68,13 @@ pub mod prelude {
     pub use aid_causal::{AcDag, PrecedencePolicy, StartTimePolicy, TypeAwarePolicy};
     pub use aid_core::{
         analyze, analyze_with_policy, discover, discover_with_options, failure_signatures,
-        render_explanation, AidAnalysis, CountingExecutor, DiscoverOptions, DiscoveryResult,
-        ExecutionRecord, Executor, FlakyOracle, GroundTruth, OracleExecutor, Strategy,
+        render_explanation, AidAnalysis, BatchExecutor, BudgetExhausted, CountingExecutor,
+        DiscoverOptions, DiscoveryResult, ExecutionRecord, Executor, FlakyOracle, GroundTruth,
+        OracleExecutor, Strategy,
+    };
+    pub use aid_engine::{
+        DiscoveryJob, Engine, EngineConfig, EngineHandle, EngineStats, InterventionCache,
+        JobSource, Session, SessionResult, WorkerPool,
     };
     pub use aid_predicates::{
         evaluate, extract, Extraction, ExtractionConfig, InterventionAction, MethodInstance,
