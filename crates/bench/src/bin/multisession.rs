@@ -123,4 +123,42 @@ fn main() {
         "wall-batches: {} | per-worker tasks: {:?} | inline (help-first) tasks: {} | peak pending: {}",
         stats.wall_batches, stats.tasks_per_worker, stats.inline_tasks, stats.peak_pending
     );
+
+    // Machine-readable summary: one `AID-MULTISESSION {json}` line, so bench
+    // harnesses can scrape cache hit-rate and per-worker utilization without
+    // parsing the human tables above.
+    let per_worker = stats
+        .tasks_per_worker
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let total_tasks: u64 = stats.tasks_per_worker.iter().sum::<u64>() + stats.inline_tasks;
+    let utilization: Vec<String> = stats
+        .tasks_per_worker
+        .iter()
+        .map(|&t| format!("{:.4}", t as f64 / total_tasks.max(1) as f64))
+        .collect();
+    println!(
+        "AID-MULTISESSION {{\"sessions\":{},\"workers\":{},\"elapsed_s\":{:.6},\
+         \"sessions_per_s\":{:.3},\"executions\":{},\"cache_hits\":{},\
+         \"cache_misses\":{},\"cache_hit_rate\":{:.4},\"cache_entries\":{},\
+         \"cache_evictions\":{},\"wall_batches\":{},\"tasks_per_worker\":[{}],\
+         \"worker_utilization\":[{}],\"inline_tasks\":{},\"peak_pending\":{}}}",
+        total,
+        workers,
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+        stats.executions,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate(),
+        stats.cache_entries,
+        stats.cache_evictions,
+        stats.wall_batches,
+        per_worker,
+        utilization.join(","),
+        stats.inline_tasks,
+        stats.peak_pending
+    );
 }

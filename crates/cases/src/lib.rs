@@ -131,12 +131,19 @@ pub fn all_cases() -> Vec<CaseStudy> {
 
 /// Collects the paper's "50 successful and 50 failed executions".
 pub fn collect_logs(case: &CaseStudy) -> TraceSet {
+    collect_logs_sized(case, 50, 50)
+}
+
+/// Collects a corpus of the given size — smaller corpora keep prefix-replay
+/// tests (e.g. `aid_store`'s incremental-equivalence suite) affordable
+/// while exercising the same mechanisms.
+pub fn collect_logs_sized(case: &CaseStudy, want_ok: usize, want_fail: usize) -> TraceSet {
     let sim = Simulator::new(case.program.clone());
-    let set = sim.collect_balanced(50, 50, 60_000);
+    let set = sim.collect_balanced(want_ok, want_fail, 60_000);
     let (ok, fail) = set.counts();
     assert!(
-        ok >= 50 && fail >= 50,
-        "{}: wanted 50/50 runs, got {ok}/{fail} — mechanism too (in)frequent",
+        ok >= want_ok && fail >= want_fail,
+        "{}: wanted {want_ok}/{want_fail} runs, got {ok}/{fail} — mechanism too (in)frequent",
         case.name
     );
     set

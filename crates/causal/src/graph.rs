@@ -31,6 +31,142 @@ pub struct AcDag {
     dropped: Vec<PredicateId>,
 }
 
+impl PartialEq for AcDag {
+    /// Structural equality: same nodes in the same order, same reachability,
+    /// same dropped set (`index` is derived from `nodes`). This is what the
+    /// incremental store's equivalence contract asserts against batch
+    /// reconstruction.
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.closure == other.closure && self.dropped == other.dropped
+    }
+}
+
+/// Incrementally accumulates the all-failed-runs precedence intersection
+/// that defines an [`AcDag`]. [`AcDag::build`] is a fold of every failed
+/// observation through [`AcDagBuilder::add_run`]; long-lived consumers
+/// (`aid_store`'s `StoreView`) keep a builder alive and fold failed runs in
+/// as they arrive, rebuilding only when the candidate set itself changes.
+#[derive(Clone, Debug)]
+pub struct AcDagBuilder {
+    /// Sorted, deduped candidates with the failure indicator last.
+    all: Vec<PredicateId>,
+    /// `precedes[i][j]` accumulates "i before j in every failed run seen".
+    precedes: Vec<DenseBitSet>,
+    /// Failed runs folded in so far.
+    runs: usize,
+}
+
+impl AcDagBuilder {
+    /// Starts an empty intersection over `candidates` + `failure`.
+    pub fn new(candidates: &[PredicateId], failure: PredicateId) -> AcDagBuilder {
+        let mut all: Vec<PredicateId> = candidates.to_vec();
+        all.sort();
+        all.dedup();
+        all.retain(|&p| p != failure);
+        all.push(failure);
+        let n = all.len();
+        // Before any run, every ordered pair is still possible.
+        let mut precedes: Vec<DenseBitSet> = vec![DenseBitSet::full(n); n];
+        for (i, row) in precedes.iter_mut().enumerate() {
+            row.remove(i);
+        }
+        AcDagBuilder {
+            all,
+            precedes,
+            runs: 0,
+        }
+    }
+
+    /// The candidate nodes (everything but F), in node order.
+    pub fn candidates(&self) -> &[PredicateId] {
+        &self.all[..self.all.len() - 1]
+    }
+
+    /// The failure indicator.
+    pub fn failure(&self) -> PredicateId {
+        *self.all.last().expect("builder always holds F")
+    }
+
+    /// Failed runs folded in so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Folds one **failed** run's observation into the intersection.
+    ///
+    /// Panics if a node is not observed in the run (candidates must be
+    /// fully discriminative).
+    pub fn add_run(
+        &mut self,
+        catalog: &PredicateCatalog,
+        run: &RunObservation,
+        policy: &dyn PrecedencePolicy,
+    ) {
+        debug_assert!(run.failed, "only failed runs define precedence");
+        let n = self.all.len();
+        // Sort keys under the policy; every candidate must be observed.
+        let keys: Vec<(u64, u64, u64, u32)> = self
+            .all
+            .iter()
+            .map(|&p| {
+                let w = run.windows[p.index()].unwrap_or_else(|| {
+                    panic!(
+                        "predicate {:?} not observed in a failed run; AC-DAG \
+                         requires fully-discriminative candidates",
+                        p
+                    )
+                });
+                policy.key(&catalog.get(p).kind, w, p.raw())
+            })
+            .collect();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && keys[i] >= keys[j] {
+                    self.precedes[i].remove(j);
+                }
+            }
+        }
+        self.runs += 1;
+    }
+
+    /// Materializes the AC-DAG from the intersection accumulated so far
+    /// (the builder stays usable — more runs can be folded in after).
+    ///
+    /// Panics if no run has been added: an empty intersection would claim
+    /// every ordering holds.
+    pub fn build(&self) -> AcDag {
+        assert!(self.runs > 0, "AC-DAG requires at least one failed run");
+        let n = self.all.len();
+        // Keep only nodes with a path to F (F itself stays).
+        let f_idx = n - 1;
+        let keep: Vec<usize> = (0..n)
+            .filter(|&i| i == f_idx || self.precedes[i].contains(f_idx))
+            .collect();
+        let dropped: Vec<PredicateId> = (0..n)
+            .filter(|i| !keep.contains(i))
+            .map(|i| self.all[i])
+            .collect();
+
+        let nodes: Vec<PredicateId> = keep.iter().map(|&i| self.all[i]).collect();
+        let m = nodes.len();
+        let mut closure = vec![DenseBitSet::new(m); m];
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            for (new_j, &old_j) in keep.iter().enumerate() {
+                if self.precedes[old_i].contains(old_j) {
+                    closure[new_i].insert(new_j);
+                }
+            }
+        }
+        let index = nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        AcDag {
+            nodes,
+            index,
+            closure,
+            dropped,
+        }
+    }
+}
+
 impl AcDag {
     /// Builds the AC-DAG from fully-discriminative candidates and the
     /// failure predicate, using the failed runs' observation windows.
@@ -44,74 +180,11 @@ impl AcDag {
         observations: &[RunObservation],
         policy: &dyn PrecedencePolicy,
     ) -> AcDag {
-        let failed: Vec<&RunObservation> = observations.iter().filter(|o| o.failed).collect();
-        assert!(
-            !failed.is_empty(),
-            "AC-DAG requires at least one failed run"
-        );
-        let mut all: Vec<PredicateId> = candidates.to_vec();
-        all.sort();
-        all.dedup();
-        all.retain(|&p| p != failure);
-        all.push(failure);
-        let n = all.len();
-
-        // precedes[i][j] accumulates "i before j in every failed run".
-        let mut precedes: Vec<DenseBitSet> = vec![DenseBitSet::full(n); n];
-        for (i, row) in precedes.iter_mut().enumerate() {
-            row.remove(i);
+        let mut builder = AcDagBuilder::new(candidates, failure);
+        for run in observations.iter().filter(|o| o.failed) {
+            builder.add_run(catalog, run, policy);
         }
-        for run in &failed {
-            // Sort keys under the policy; every candidate must be observed.
-            let keys: Vec<(u64, u64, u64, u32)> = all
-                .iter()
-                .map(|&p| {
-                    let w = run.windows[p.index()].unwrap_or_else(|| {
-                        panic!(
-                            "predicate {:?} not observed in a failed run; AC-DAG \
-                             requires fully-discriminative candidates",
-                            p
-                        )
-                    });
-                    policy.key(&catalog.get(p).kind, w, p.raw())
-                })
-                .collect();
-            for i in 0..n {
-                for j in 0..n {
-                    if i != j && keys[i] >= keys[j] {
-                        precedes[i].remove(j);
-                    }
-                }
-            }
-        }
-
-        // Keep only nodes with a path to F (F itself stays).
-        let f_idx = n - 1;
-        let keep: Vec<usize> = (0..n)
-            .filter(|&i| i == f_idx || precedes[i].contains(f_idx))
-            .collect();
-        let dropped: Vec<PredicateId> = (0..n)
-            .filter(|i| !keep.contains(i))
-            .map(|i| all[i])
-            .collect();
-
-        let nodes: Vec<PredicateId> = keep.iter().map(|&i| all[i]).collect();
-        let m = nodes.len();
-        let mut closure = vec![DenseBitSet::new(m); m];
-        for (new_i, &old_i) in keep.iter().enumerate() {
-            for (new_j, &old_j) in keep.iter().enumerate() {
-                if precedes[old_i].contains(old_j) {
-                    closure[new_i].insert(new_j);
-                }
-            }
-        }
-        let index = nodes.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-        AcDag {
-            nodes,
-            index,
-            closure,
-            dropped,
-        }
+        builder.build()
     }
 
     /// Builds an AC-DAG directly from an intended edge list (the constructor
@@ -477,6 +550,32 @@ mod tests {
         let mut set = vec![ids[2], ids[0], ids[1]];
         dag.topo_sort(&mut set, &mut rng);
         assert_eq!(set, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn incremental_builder_matches_batch_at_every_prefix() {
+        let runs = vec![
+            vec![10, 20, 30, 40, 25, 99],
+            vec![10, 30, 20, 40, 35, 99],
+            vec![11, 21, 31, 41, 26, 90],
+        ];
+        let (catalog, obs, ids, f) = fixture(&runs);
+        let mut builder = AcDagBuilder::new(&ids, f);
+        for k in 0..obs.len() {
+            builder.add_run(&catalog, &obs[k], &TypeAwarePolicy);
+            let batch = AcDag::build(&ids, f, &catalog, &obs[..=k], &TypeAwarePolicy);
+            assert_eq!(builder.build(), batch, "prefix of {} runs diverged", k + 1);
+            assert_eq!(builder.runs(), k + 1);
+        }
+        assert_eq!(builder.candidates(), &ids[..]);
+        assert_eq!(builder.failure(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one failed run")]
+    fn builder_refuses_to_build_with_no_runs() {
+        let (_, _, ids, f) = fixture(&[vec![10, 99]]);
+        AcDagBuilder::new(&ids, f).build();
     }
 
     #[test]

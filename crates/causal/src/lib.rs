@@ -9,5 +9,5 @@
 pub mod graph;
 pub mod policy;
 
-pub use graph::AcDag;
+pub use graph::{AcDag, AcDagBuilder};
 pub use policy::{Anchor, PrecedencePolicy, StartTimePolicy, TypeAwarePolicy};

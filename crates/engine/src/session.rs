@@ -270,6 +270,13 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         self.handle().stats()
     }
+
+    /// The engine's worker pool, for co-located fan-out work (e.g. an
+    /// `aid_store` ingesting trace batches on the same threads its
+    /// discovery sessions run on, instead of spawning a second pool).
+    pub fn pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(&self.shared.pool)
+    }
 }
 
 impl Drop for Engine {
@@ -342,6 +349,11 @@ impl EngineHandle {
         // this thread, so no deadlock is possible.
         let sessions: Vec<Session> = jobs.into_iter().map(|j| self.submit(j)).collect();
         sessions.into_iter().map(Session::wait).collect()
+    }
+
+    /// The engine's worker pool (see [`Engine::pool`]).
+    pub fn pool(&self) -> Arc<WorkerPool> {
+        Arc::clone(&self.shared.pool)
     }
 
     /// Telemetry snapshot.

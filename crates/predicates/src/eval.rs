@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 /// Truth values plus observation windows for every catalog predicate in one
 /// run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunObservation {
     /// Whether the run failed (with any signature).
     pub failed: bool,
@@ -26,6 +26,24 @@ impl RunObservation {
     /// Whether predicate `p` held in this run.
     pub fn holds(&self, p: PredicateId) -> bool {
         self.observed.contains(p.index())
+    }
+
+    /// Assembles an observation from per-predicate windows (the truth bitset
+    /// is exactly "the window exists"). [`evaluate`] and incremental
+    /// re-evaluators (`aid_store`) share this so the two can never disagree
+    /// about what "observed" means.
+    pub fn from_windows(failed: bool, windows: Vec<Option<(Time, Time)>>) -> RunObservation {
+        let mut observed = DenseBitSet::new(windows.len());
+        for (i, w) in windows.iter().enumerate() {
+            if w.is_some() {
+                observed.insert(i);
+            }
+        }
+        RunObservation {
+            failed,
+            observed,
+            windows,
+        }
     }
 }
 
@@ -54,12 +72,29 @@ impl<'t> TraceIndex<'t> {
 
 /// Evaluates every predicate in `catalog` against `trace`.
 pub fn evaluate(catalog: &PredicateCatalog, trace: &Trace) -> RunObservation {
-    let idx = TraceIndex::new(trace);
-    let n = catalog.len();
-    let mut observed = DenseBitSet::new(n);
-    let mut windows: Vec<Option<(Time, Time)>> = vec![None; n];
+    let mut windows: Vec<Option<(Time, Time)>> = Vec::with_capacity(catalog.len());
+    evaluate_extend(catalog, trace, &mut windows);
+    RunObservation::from_windows(trace.outcome.is_failure(), windows)
+}
 
-    for (id, pred) in catalog.iter() {
+/// Extends `windows` — whose length marks how many catalog predicates are
+/// already evaluated for `trace` — with the windows of every remaining
+/// predicate, in id order. Incremental consumers append new catalog entries
+/// and call this per stored trace instead of re-evaluating the full catalog;
+/// [`evaluate`] itself is `evaluate_extend` from an empty prefix, so the two
+/// paths are identical by construction.
+pub fn evaluate_extend(
+    catalog: &PredicateCatalog,
+    trace: &Trace,
+    windows: &mut Vec<Option<(Time, Time)>>,
+) {
+    debug_assert!(windows.len() <= catalog.len(), "windows beyond catalog");
+    if windows.len() == catalog.len() {
+        return;
+    }
+    let idx = TraceIndex::new(trace);
+    for i in windows.len()..catalog.len() {
+        let pred = catalog.get(crate::model::PredicateId::from_raw(i as u32));
         let window = match &pred.kind {
             PredicateKind::DataRace { a, b, object } => match (idx.event(a), idx.event(b)) {
                 (Some(ea), Some(eb)) => data_race_witness(ea, eb, object.raw()),
@@ -111,16 +146,7 @@ pub fn evaluate(catalog: &PredicateCatalog, trace: &Trace) -> RunObservation {
                 _ => None,
             },
         };
-        if let Some(w) = window {
-            observed.insert(id.index());
-            windows[id.index()] = Some(w);
-        }
-    }
-
-    RunObservation {
-        failed: trace.outcome.is_failure(),
-        observed,
-        windows,
+        windows.push(window);
     }
 }
 

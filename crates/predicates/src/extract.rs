@@ -78,7 +78,7 @@ pub struct Extraction {
 }
 
 /// Statistics over the successful runs (pass 1).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SuccessStats {
     /// Number of successful runs.
     pub successes: usize,
@@ -168,6 +168,172 @@ pub fn stable_orders(set: &TraceSet, stats: &SuccessStats) -> BTreeSet<((u32, u3
     orders.unwrap_or_default()
 }
 
+/// Per-success `site → returned value` maps, in trace order — the pass-1
+/// auxiliary the collision extractor consults. A site is present iff the
+/// run executed it *and* it returned a value.
+pub fn success_returns(set: &TraceSet) -> Vec<BTreeMap<(u32, u32), i64>> {
+    set.successes().map(success_return_map).collect()
+}
+
+/// The `site → returned value` map of one (successful) run.
+pub fn success_return_map(t: &aid_trace::Trace) -> BTreeMap<(u32, u32), i64> {
+    let mut m = BTreeMap::new();
+    for e in &t.events {
+        match e.returned {
+            Some(v) => {
+                m.insert(key(e), v);
+            }
+            // A later same-site event with no return value shadows an
+            // earlier one, mirroring the batch scan's last-write-wins.
+            None => {
+                m.remove(&key(e));
+            }
+        }
+    }
+    m
+}
+
+/// Pass 2 over **one** failed run: materializes every predicate the run
+/// witnesses into `catalog`, given the success statistics. [`extract`]
+/// calls this per failure in trace order; incremental consumers
+/// (`aid_store`) call it for newly arrived failures only — catalog interning
+/// is insertion-ordered, so extending an existing catalog with a new
+/// failure's scan is byte-identical to re-running the batch over all of
+/// them, as long as `stats`/`orders`/`success_returns` are unchanged.
+pub fn scan_failure(
+    events: &[MethodEvent],
+    config: &ExtractionConfig,
+    stats: &SuccessStats,
+    orders: &BTreeSet<((u32, u32), (u32, u32))>,
+    success_returns: &[BTreeMap<(u32, u32), i64>],
+    catalog: &mut PredicateCatalog,
+) {
+    // --- Method failures ---
+    if config.method_fails {
+        for e in events {
+            if let Some(kind) = &e.exception {
+                if !e.caught {
+                    let s = site_of(key(e));
+                    let pure = config.pure_methods.contains(&s.method);
+                    catalog.insert(Predicate {
+                        kind: PredicateKind::MethodFails {
+                            site: s,
+                            kind: kind.clone(),
+                        },
+                        safe: !config.catch_requires_pure || pure,
+                        action: Some(InterventionAction::Catch { site: s }),
+                    });
+                }
+            }
+        }
+    }
+    // --- Timing deviations ---
+    if config.timing {
+        for e in events {
+            let k = key(e);
+            let Some(&(lo, hi)) = stats.duration.get(&k) else {
+                continue;
+            };
+            let s = site_of(k);
+            let d = e.duration();
+            if d > hi {
+                let pure = config.pure_methods.contains(&s.method);
+                let action = match stats.unique_return.get(&k).copied().flatten() {
+                    Some(v) if pure => InterventionAction::PrematureReturn { site: s, value: v },
+                    _ => InterventionAction::SuppressFlaky { site: s },
+                };
+                catalog.insert(Predicate {
+                    kind: PredicateKind::RunsTooSlow {
+                        site: s,
+                        threshold: hi,
+                    },
+                    safe: true,
+                    action: Some(action),
+                });
+            }
+            if d < lo {
+                catalog.insert(Predicate {
+                    kind: PredicateKind::RunsTooFast {
+                        site: s,
+                        threshold: lo,
+                    },
+                    safe: true,
+                    action: Some(InterventionAction::SlowDown { site: s, ticks: lo }),
+                });
+            }
+        }
+    }
+    // --- Wrong returns ---
+    if config.wrong_return {
+        for e in events {
+            let k = key(e);
+            let Some(Some(expected)) = stats.unique_return.get(&k) else {
+                continue;
+            };
+            if let Some(v) = e.returned {
+                if v != *expected {
+                    let s = site_of(k);
+                    let pure = config.pure_methods.contains(&s.method);
+                    catalog.insert(Predicate {
+                        kind: PredicateKind::WrongReturn {
+                            site: s,
+                            expected: *expected,
+                        },
+                        safe: pure,
+                        action: pure.then_some(InterventionAction::ForceReturn {
+                            site: s,
+                            value: *expected,
+                        }),
+                    });
+                }
+            }
+        }
+    }
+    // --- Data races ---
+    if config.data_races {
+        extract_races(events, catalog);
+    }
+    // --- Order violations (incl. use-after-free attribution) ---
+    if config.order {
+        let mut span: BTreeMap<(u32, u32), (Time, Time)> = BTreeMap::new();
+        let mut touched: BTreeMap<(u32, u32), BTreeSet<u32>> = BTreeMap::new();
+        for e in events {
+            span.insert(key(e), (e.start, e.end));
+            touched.insert(key(e), e.accesses.iter().map(|a| a.object.raw()).collect());
+        }
+        for &(a, b) in orders {
+            let (Some(&sa), Some(&sb)) = (span.get(&a), span.get(&b)) else {
+                continue;
+            };
+            // Violation: b no longer strictly after a.
+            if sa.1 >= sb.0 {
+                let common = touched
+                    .get(&a)
+                    .and_then(|ta| {
+                        touched
+                            .get(&b)
+                            .and_then(|tb| ta.intersection(tb).next().copied())
+                    })
+                    .map(aid_trace::ObjectId::from_raw);
+                let (first, second) = (site_of(a), site_of(b));
+                catalog.insert(Predicate {
+                    kind: PredicateKind::OrderViolation {
+                        first,
+                        second,
+                        object: common,
+                    },
+                    safe: true,
+                    action: Some(InterventionAction::ForceOrder { first, second }),
+                });
+            }
+        }
+    }
+    // --- Value collisions ---
+    if config.collisions {
+        extract_collisions(events, stats, success_returns, catalog);
+    }
+}
+
 /// Runs the full extraction.
 pub fn extract(set: &TraceSet, config: &ExtractionConfig) -> Extraction {
     let stats = success_stats(set);
@@ -176,6 +342,7 @@ pub fn extract(set: &TraceSet, config: &ExtractionConfig) -> Extraction {
     } else {
         BTreeSet::new()
     };
+    let sreturns = success_returns(set);
     let mut catalog = PredicateCatalog::new();
     let signature = majority_signature(set).expect("extraction requires at least one failed run");
 
@@ -183,133 +350,7 @@ pub fn extract(set: &TraceSet, config: &ExtractionConfig) -> Extraction {
         if catalog.len() >= config.max_predicates {
             break;
         }
-        let events = &t.events;
-        // --- Method failures ---
-        if config.method_fails {
-            for e in events {
-                if let Some(kind) = &e.exception {
-                    if !e.caught {
-                        let s = site_of(key(e));
-                        let pure = config.pure_methods.contains(&s.method);
-                        catalog.insert(Predicate {
-                            kind: PredicateKind::MethodFails {
-                                site: s,
-                                kind: kind.clone(),
-                            },
-                            safe: !config.catch_requires_pure || pure,
-                            action: Some(InterventionAction::Catch { site: s }),
-                        });
-                    }
-                }
-            }
-        }
-        // --- Timing deviations ---
-        if config.timing {
-            for e in events {
-                let k = key(e);
-                let Some(&(lo, hi)) = stats.duration.get(&k) else {
-                    continue;
-                };
-                let s = site_of(k);
-                let d = e.duration();
-                if d > hi {
-                    let pure = config.pure_methods.contains(&s.method);
-                    let action = match stats.unique_return.get(&k).copied().flatten() {
-                        Some(v) if pure => {
-                            InterventionAction::PrematureReturn { site: s, value: v }
-                        }
-                        _ => InterventionAction::SuppressFlaky { site: s },
-                    };
-                    catalog.insert(Predicate {
-                        kind: PredicateKind::RunsTooSlow {
-                            site: s,
-                            threshold: hi,
-                        },
-                        safe: true,
-                        action: Some(action),
-                    });
-                }
-                if d < lo {
-                    catalog.insert(Predicate {
-                        kind: PredicateKind::RunsTooFast {
-                            site: s,
-                            threshold: lo,
-                        },
-                        safe: true,
-                        action: Some(InterventionAction::SlowDown { site: s, ticks: lo }),
-                    });
-                }
-            }
-        }
-        // --- Wrong returns ---
-        if config.wrong_return {
-            for e in events {
-                let k = key(e);
-                let Some(Some(expected)) = stats.unique_return.get(&k) else {
-                    continue;
-                };
-                if let Some(v) = e.returned {
-                    if v != *expected {
-                        let s = site_of(k);
-                        let pure = config.pure_methods.contains(&s.method);
-                        catalog.insert(Predicate {
-                            kind: PredicateKind::WrongReturn {
-                                site: s,
-                                expected: *expected,
-                            },
-                            safe: pure,
-                            action: pure.then_some(InterventionAction::ForceReturn {
-                                site: s,
-                                value: *expected,
-                            }),
-                        });
-                    }
-                }
-            }
-        }
-        // --- Data races ---
-        if config.data_races {
-            extract_races(events, &mut catalog);
-        }
-        // --- Order violations (incl. use-after-free attribution) ---
-        if config.order {
-            let mut span: BTreeMap<(u32, u32), (Time, Time)> = BTreeMap::new();
-            let mut touched: BTreeMap<(u32, u32), BTreeSet<u32>> = BTreeMap::new();
-            for e in events {
-                span.insert(key(e), (e.start, e.end));
-                touched.insert(key(e), e.accesses.iter().map(|a| a.object.raw()).collect());
-            }
-            for &(a, b) in &orders {
-                let (Some(&sa), Some(&sb)) = (span.get(&a), span.get(&b)) else {
-                    continue;
-                };
-                // Violation: b no longer strictly after a.
-                if sa.1 >= sb.0 {
-                    let common = touched
-                        .get(&a)
-                        .and_then(|ta| {
-                            touched
-                                .get(&b)
-                                .and_then(|tb| ta.intersection(tb).next().copied())
-                        })
-                        .map(aid_trace::ObjectId::from_raw);
-                    let (first, second) = (site_of(a), site_of(b));
-                    catalog.insert(Predicate {
-                        kind: PredicateKind::OrderViolation {
-                            first,
-                            second,
-                            object: common,
-                        },
-                        safe: true,
-                        action: Some(InterventionAction::ForceOrder { first, second }),
-                    });
-                }
-            }
-        }
-        // --- Value collisions ---
-        if config.collisions {
-            extract_collisions(set, events, &stats, &mut catalog);
-        }
+        scan_failure(&t.events, config, &stats, &orders, &sreturns, &mut catalog);
     }
 
     // The failure indicator, last.
@@ -391,11 +432,12 @@ fn extract_races(events: &[MethodEvent], catalog: &mut PredicateCatalog) {
 }
 
 /// Value collisions in one failed run: stable sites whose returns are equal
-/// here but distinct in every successful run.
+/// here but distinct in every successful run (consulted through the pass-1
+/// [`success_returns`] maps).
 fn extract_collisions(
-    set: &TraceSet,
     events: &[MethodEvent],
     stats: &SuccessStats,
+    success_returns: &[BTreeMap<(u32, u32), i64>],
     catalog: &mut PredicateCatalog,
 ) {
     let returners: Vec<&MethodEvent> = events
@@ -409,40 +451,17 @@ fn extract_collisions(
             }
             let (ka, kb) = (key(ea), key(eb));
             // Distinct in every success?
-            let distinct_in_successes = set.successes().all(|t| {
-                let mut va = None;
-                let mut vb = None;
-                for e in &t.events {
-                    let k = key(e);
-                    if k == ka {
-                        va = e.returned;
-                    } else if k == kb {
-                        vb = e.returned;
-                    }
-                }
-                match (va, vb) {
-                    (Some(x), Some(y)) => x != y,
-                    _ => false,
-                }
-            });
+            let distinct_in_successes = success_returns
+                .iter()
+                .all(|m| matches!((m.get(&ka), m.get(&kb)), (Some(x), Some(y)) if x != y));
             if !distinct_in_successes {
                 continue;
             }
             // Repair: pin BOTH draws to the (distinct) values of one
             // successful run; pinning one side would leave a residual
             // collision probability.
-            let repair_values = set.successes().find_map(|t| {
-                let mut va = None;
-                let mut vb = None;
-                for e in &t.events {
-                    let k = key(e);
-                    if k == ka {
-                        va = e.returned;
-                    } else if k == kb {
-                        vb = e.returned;
-                    }
-                }
-                match (va, vb) {
+            let repair_values = success_returns.iter().find_map(|m| {
+                match (m.get(&ka).copied(), m.get(&kb).copied()) {
                     (Some(x), Some(y)) if x != y => Some((x, y)),
                     _ => None,
                 }

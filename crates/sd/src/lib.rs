@@ -98,16 +98,25 @@ impl SdReport {
                 total_runs,
             });
         }
-        let discriminative = catalog
-            .iter()
-            .filter(|(id, _)| scores[id.index()].holds_in_failed > 0)
-            .map(|(id, _)| id)
-            .collect();
-        let fully_discriminative = catalog
-            .iter()
-            .filter(|(id, _)| scores[id.index()].fully_discriminative())
-            .map(|(id, _)| id)
-            .collect();
+        Self::from_scores(scores)
+    }
+
+    /// Assembles a report from already-counted per-predicate scores (one per
+    /// catalog predicate, in id order). Incremental consumers that maintain
+    /// occurrence counters as runs arrive (`aid_store`) build their reports
+    /// here, so the discriminative-set derivation can never drift from
+    /// [`SdReport::analyze`]'s.
+    pub fn from_scores(scores: Vec<PredicateScore>) -> SdReport {
+        let ids = |pred: fn(&PredicateScore) -> bool| -> Vec<PredicateId> {
+            scores
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| pred(s))
+                .map(|(i, _)| PredicateId::from_raw(i as u32))
+                .collect()
+        };
+        let discriminative = ids(|s| s.holds_in_failed > 0);
+        let fully_discriminative = ids(PredicateScore::fully_discriminative);
         SdReport {
             scores,
             discriminative,

@@ -1,0 +1,570 @@
+//! The sharded, append-only columnar trace store.
+//!
+//! Traces are normalized (see [`Trace::normalize`]) and decomposed into
+//! flat, per-field columns — trace-level (seed, outcome, duration, event
+//! extent), event-level (method, instance, thread, start/end, return,
+//! exception, access extent), and access-level (object, time, kind/locked
+//! flags) — with every string (method names, object names, exception and
+//! failure kinds) interned into shared arenas. Columns live in `S` shards;
+//! global trace id `g` maps to row `g / S` of shard `g % S`, so a batch
+//! append can **fan the per-trace columnarization across the
+//! `aid_engine` worker pool** and still produce a byte-identical store:
+//! blocks are joined by submission index, and shard/row placement depends
+//! only on the (deterministic) arrival order.
+//!
+//! The store is lossless: [`ColumnStore::trace`] re-materializes any trace
+//! exactly, and `ColumnStore::to_trace_set` reproduces a `TraceSet` whose
+//! `aid_trace::codec::encode` output is byte-identical to one built by
+//! pushing the same traces into a `TraceSet` directly.
+
+use aid_engine::WorkerPool;
+use aid_trace::{
+    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, MethodTag, ObjectId,
+    ObjectTag, Outcome, ThreadId, Time, Trace, TraceSet,
+};
+use aid_util::IdArena;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Tag type for interned exception/failure kind strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KindTag;
+
+/// Event flag bits (packed into one `u8` column).
+const EV_HAS_RET: u8 = 1;
+const EV_CAUGHT: u8 = 2;
+/// Access flag bits.
+const AC_WRITE: u8 = 1;
+const AC_LOCKED: u8 = 2;
+
+/// One shard's columns. A shard holds every trace whose global id is
+/// congruent to its index modulo the shard count, in arrival order.
+#[derive(Clone, Debug, Default)]
+struct Shard {
+    // Per-trace columns.
+    seed: Vec<u64>,
+    duration: Vec<Time>,
+    /// Interned failure kind + 1; `0` marks a successful run.
+    fail_kind: Vec<u32>,
+    fail_method: Vec<u32>,
+    event_start: Vec<u32>,
+    event_len: Vec<u32>,
+    // Per-event columns.
+    ev_method: Vec<u32>,
+    ev_instance: Vec<u32>,
+    ev_thread: Vec<u32>,
+    ev_start: Vec<Time>,
+    ev_end: Vec<Time>,
+    ev_ret: Vec<i64>,
+    /// Interned exception kind + 1; `0` marks no exception.
+    ev_exc: Vec<u32>,
+    ev_flags: Vec<u8>,
+    acc_start: Vec<u32>,
+    acc_len: Vec<u32>,
+    // Per-access columns.
+    ac_object: Vec<u32>,
+    ac_at: Vec<Time>,
+    ac_flags: Vec<u8>,
+}
+
+impl Shard {
+    /// Appends a one-trace block, fixing up extent offsets.
+    fn push_block(&mut self, b: Block) {
+        let ev_base = self.ev_method.len() as u32;
+        let ac_base = self.ac_object.len() as u32;
+        self.seed.push(b.seed);
+        self.duration.push(b.duration);
+        self.fail_kind.push(b.fail_kind);
+        self.fail_method.push(b.fail_method);
+        self.event_start.push(ev_base);
+        self.event_len.push(b.ev_method.len() as u32);
+        self.ev_method.extend(b.ev_method);
+        self.ev_instance.extend(b.ev_instance);
+        self.ev_thread.extend(b.ev_thread);
+        self.ev_start.extend(b.ev_start);
+        self.ev_end.extend(b.ev_end);
+        self.ev_ret.extend(b.ev_ret);
+        self.ev_exc.extend(b.ev_exc);
+        self.ev_flags.extend(b.ev_flags);
+        self.acc_start
+            .extend(b.acc_start.iter().map(|&s| s + ac_base));
+        self.acc_len.extend(b.acc_len);
+        self.ac_object.extend(b.ac_object);
+        self.ac_at.extend(b.ac_at);
+        self.ac_flags.extend(b.ac_flags);
+    }
+}
+
+/// The columnar form of one normalized trace, produced off-thread and
+/// appended to a shard with a cheap offset fix-up.
+#[derive(Clone, Debug, Default)]
+struct Block {
+    seed: u64,
+    duration: Time,
+    fail_kind: u32,
+    fail_method: u32,
+    ev_method: Vec<u32>,
+    ev_instance: Vec<u32>,
+    ev_thread: Vec<u32>,
+    ev_start: Vec<Time>,
+    ev_end: Vec<Time>,
+    ev_ret: Vec<i64>,
+    ev_exc: Vec<u32>,
+    ev_flags: Vec<u8>,
+    acc_start: Vec<u32>,
+    acc_len: Vec<u32>,
+    ac_object: Vec<u32>,
+    ac_at: Vec<Time>,
+    ac_flags: Vec<u8>,
+}
+
+/// Builds the block for one trace. `trace` must already be remapped into
+/// the store's arenas; `kind_ids` resolves exception/failure kind strings
+/// (every kind occurring in the trace is guaranteed present).
+fn build_block(mut trace: Trace, kind_ids: &BTreeMap<String, u32>) -> Block {
+    trace.normalize();
+    let mut b = Block {
+        seed: trace.seed,
+        duration: trace.duration,
+        ..Block::default()
+    };
+    match &trace.outcome {
+        Outcome::Success => {}
+        Outcome::Failure(sig) => {
+            b.fail_kind = kind_ids[&sig.kind] + 1;
+            b.fail_method = sig.method.raw();
+        }
+    }
+    for e in &trace.events {
+        b.ev_method.push(e.method.raw());
+        b.ev_instance.push(e.instance);
+        b.ev_thread.push(e.thread.raw());
+        b.ev_start.push(e.start);
+        b.ev_end.push(e.end);
+        b.ev_ret.push(e.returned.unwrap_or(0));
+        b.ev_exc
+            .push(e.exception.as_ref().map_or(0, |k| kind_ids[k] + 1));
+        let mut flags = 0u8;
+        if e.returned.is_some() {
+            flags |= EV_HAS_RET;
+        }
+        if e.caught {
+            flags |= EV_CAUGHT;
+        }
+        b.ev_flags.push(flags);
+        b.acc_start.push(b.ac_object.len() as u32);
+        b.acc_len.push(e.accesses.len() as u32);
+        for a in &e.accesses {
+            b.ac_object.push(a.object.raw());
+            b.ac_at.push(a.at);
+            let mut aflags = 0u8;
+            if a.kind == AccessKind::Write {
+                aflags |= AC_WRITE;
+            }
+            if a.locked {
+                aflags |= AC_LOCKED;
+            }
+            b.ac_flags.push(aflags);
+        }
+    }
+    b
+}
+
+/// Column-store sizing and memory telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Traces stored.
+    pub traces: usize,
+    /// Event rows stored.
+    pub events: usize,
+    /// Access rows stored.
+    pub accesses: usize,
+    /// Shards.
+    pub shards: usize,
+}
+
+/// The sharded columnar trace store.
+#[derive(Clone, Debug)]
+pub struct ColumnStore {
+    methods: IdArena<String, MethodTag>,
+    objects: IdArena<String, ObjectTag>,
+    kinds: IdArena<String, KindTag>,
+    shards: Vec<Shard>,
+    len: usize,
+}
+
+impl ColumnStore {
+    /// An empty store with `shards` shards (clamped to at least one).
+    pub fn new(shards: usize) -> ColumnStore {
+        ColumnStore {
+            methods: IdArena::new(),
+            objects: IdArena::new(),
+            kinds: IdArena::new(),
+            shards: vec![Shard::default(); shards.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Number of traces stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no trace has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Interned method names.
+    pub fn methods(&self) -> &IdArena<String, MethodTag> {
+        &self.methods
+    }
+
+    /// Interned object names.
+    pub fn objects(&self) -> &IdArena<String, ObjectTag> {
+        &self.objects
+    }
+
+    /// Row-count telemetry.
+    pub fn stats(&self) -> ColumnStats {
+        ColumnStats {
+            traces: self.len,
+            events: self.shards.iter().map(|s| s.ev_method.len()).sum(),
+            accesses: self.shards.iter().map(|s| s.ac_object.len()).sum(),
+            shards: self.shards.len(),
+        }
+    }
+
+    /// Builds the maps from a source's arenas into this store's, interning
+    /// unseen names. Identity when the source declares the same names in
+    /// the same order (the common single-source case).
+    pub fn remap_tables(
+        &mut self,
+        methods: &IdArena<String, MethodTag>,
+        objects: &IdArena<String, ObjectTag>,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let m = methods
+            .iter()
+            .map(|(_, name)| self.methods.intern(name.clone()).raw())
+            .collect();
+        let o = objects
+            .iter()
+            .map(|(_, name)| self.objects.intern(name.clone()).raw())
+            .collect();
+        (m, o)
+    }
+
+    /// Appends a batch of traces whose ids are relative to the given remap
+    /// tables (from [`ColumnStore::remap_tables`]), columnarizing across
+    /// `pool` when one is provided. Returns the global ids assigned, in
+    /// input order — placement is identical with and without a pool.
+    pub fn append_batch(
+        &mut self,
+        traces: Vec<Trace>,
+        method_map: &[u32],
+        object_map: &[u32],
+        pool: Option<&WorkerPool>,
+    ) -> std::ops::Range<usize> {
+        // Serial phase: remap ids into store arenas and intern every
+        // exception/failure kind (arena mutation cannot fan out).
+        let mut remapped: Vec<Trace> = Vec::with_capacity(traces.len());
+        for mut t in traces {
+            if let Outcome::Failure(sig) = &mut t.outcome {
+                self.kinds.intern(sig.kind.clone());
+                sig.method = MethodId::from_raw(method_map[sig.method.index()]);
+            }
+            for e in &mut t.events {
+                e.method = MethodId::from_raw(method_map[e.method.index()]);
+                if let Some(k) = &e.exception {
+                    self.kinds.intern(k.clone());
+                }
+                for a in &mut e.accesses {
+                    a.object = ObjectId::from_raw(object_map[a.object.index()]);
+                }
+            }
+            remapped.push(t);
+        }
+        // Frozen kind table for the (possibly off-thread) packing phase.
+        let kind_ids: Arc<BTreeMap<String, u32>> = Arc::new(
+            self.kinds
+                .iter()
+                .map(|(id, name)| (name.clone(), id.raw()))
+                .collect(),
+        );
+        let blocks: Vec<Block> = match pool {
+            Some(pool) if remapped.len() > 1 => {
+                let jobs: Vec<Box<dyn FnOnce() -> Block + Send>> = remapped
+                    .into_iter()
+                    .map(|t| {
+                        let kind_ids = Arc::clone(&kind_ids);
+                        Box::new(move || build_block(t, &kind_ids))
+                            as Box<dyn FnOnce() -> Block + Send>
+                    })
+                    .collect();
+                pool.run_batch(jobs)
+            }
+            _ => remapped
+                .into_iter()
+                .map(|t| build_block(t, &kind_ids))
+                .collect(),
+        };
+        let first = self.len;
+        for block in blocks {
+            let shard = self.len % self.shards.len();
+            self.shards[shard].push_block(block);
+            self.len += 1;
+        }
+        first..self.len
+    }
+
+    /// Re-materializes the trace with global id `gid`.
+    ///
+    /// Panics if `gid >= len`.
+    pub fn trace(&self, gid: usize) -> Trace {
+        assert!(gid < self.len, "trace {gid} out of range 0..{}", self.len);
+        let s = &self.shards[gid % self.shards.len()];
+        let row = gid / self.shards.len();
+        let outcome = match s.fail_kind[row] {
+            0 => Outcome::Success,
+            k => Outcome::Failure(FailureSignature {
+                kind: self.kinds.resolve(aid_util::Id::from_raw(k - 1)).clone(),
+                method: MethodId::from_raw(s.fail_method[row]),
+            }),
+        };
+        let ev0 = s.event_start[row] as usize;
+        let ev1 = ev0 + s.event_len[row] as usize;
+        let events = (ev0..ev1)
+            .map(|e| {
+                let ac0 = s.acc_start[e] as usize;
+                let ac1 = ac0 + s.acc_len[e] as usize;
+                MethodEvent {
+                    method: MethodId::from_raw(s.ev_method[e]),
+                    instance: s.ev_instance[e],
+                    thread: ThreadId::from_raw(s.ev_thread[e]),
+                    start: s.ev_start[e],
+                    end: s.ev_end[e],
+                    accesses: (ac0..ac1)
+                        .map(|a| AccessEvent {
+                            object: ObjectId::from_raw(s.ac_object[a]),
+                            kind: if s.ac_flags[a] & AC_WRITE != 0 {
+                                AccessKind::Write
+                            } else {
+                                AccessKind::Read
+                            },
+                            at: s.ac_at[a],
+                            locked: s.ac_flags[a] & AC_LOCKED != 0,
+                        })
+                        .collect(),
+                    returned: (s.ev_flags[e] & EV_HAS_RET != 0).then(|| s.ev_ret[e]),
+                    exception: match s.ev_exc[e] {
+                        0 => None,
+                        k => Some(self.kinds.resolve(aid_util::Id::from_raw(k - 1)).clone()),
+                    },
+                    caught: s.ev_flags[e] & EV_CAUGHT != 0,
+                }
+            })
+            .collect();
+        Trace {
+            seed: s.seed[gid / self.shards.len()],
+            events,
+            outcome,
+            duration: s.duration[row],
+        }
+    }
+
+    /// Whether the trace with global id `gid` failed, without materializing
+    /// events.
+    pub fn failed(&self, gid: usize) -> bool {
+        let s = &self.shards[gid % self.shards.len()];
+        s.fail_kind[gid / self.shards.len()] != 0
+    }
+
+    /// The failure signature of trace `gid`, if it failed.
+    pub fn signature(&self, gid: usize) -> Option<FailureSignature> {
+        let s = &self.shards[gid % self.shards.len()];
+        let row = gid / self.shards.len();
+        match s.fail_kind[row] {
+            0 => None,
+            k => Some(FailureSignature {
+                kind: self.kinds.resolve(aid_util::Id::from_raw(k - 1)).clone(),
+                method: MethodId::from_raw(s.fail_method[row]),
+            }),
+        }
+    }
+
+    /// The `(seed, duration)` of trace `gid` without materializing events.
+    pub fn header(&self, gid: usize) -> (u64, Time) {
+        let s = &self.shards[gid % self.shards.len()];
+        let row = gid / self.shards.len();
+        (s.seed[row], s.duration[row])
+    }
+
+    /// Re-materializes the full labeled set (arenas + traces in global
+    /// order) — the bridge back into every batch API.
+    pub fn to_trace_set(&self) -> TraceSet {
+        TraceSet {
+            methods: self.methods.clone(),
+            objects: self.objects.clone(),
+            traces: (0..self.len).map(|g| self.trace(g)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_trace::codec;
+
+    fn sample_set() -> TraceSet {
+        let mut set = TraceSet::new();
+        let m0 = set.method("Reader");
+        let m1 = set.method("Writer");
+        let o = set.object("slot");
+        for seed in 0..7u64 {
+            let failed = seed % 3 == 0;
+            let mut t = Trace {
+                seed,
+                events: vec![
+                    MethodEvent {
+                        method: m0,
+                        instance: 0,
+                        thread: ThreadId::from_raw(0),
+                        start: seed,
+                        end: seed + 10,
+                        accesses: vec![AccessEvent {
+                            object: o,
+                            kind: AccessKind::Read,
+                            at: seed + 1,
+                            locked: seed % 2 == 0,
+                        }],
+                        returned: (seed % 2 == 0).then_some(seed as i64 - 3),
+                        exception: None,
+                        caught: false,
+                    },
+                    MethodEvent {
+                        method: m1,
+                        instance: 0,
+                        thread: ThreadId::from_raw(1),
+                        start: seed + 2,
+                        end: seed + 5,
+                        accesses: vec![AccessEvent {
+                            object: o,
+                            kind: AccessKind::Write,
+                            at: seed + 3,
+                            locked: false,
+                        }],
+                        returned: None,
+                        exception: failed.then(|| "Overflow".to_string()),
+                        caught: seed == 6,
+                    },
+                ],
+                outcome: if failed {
+                    Outcome::Failure(FailureSignature {
+                        kind: "Overflow".into(),
+                        method: m1,
+                    })
+                } else {
+                    Outcome::Success
+                },
+                duration: seed + 20,
+            };
+            t.normalize();
+            set.push(t);
+        }
+        set
+    }
+
+    #[test]
+    fn columnar_roundtrip_is_byte_identical() {
+        let set = sample_set();
+        for shards in [1usize, 2, 3, 8] {
+            let mut store = ColumnStore::new(shards);
+            let (m, o) = store.remap_tables(&set.methods, &set.objects);
+            let range = store.append_batch(set.traces.clone(), &m, &o, None);
+            assert_eq!(range, 0..set.traces.len());
+            assert_eq!(store.len(), set.traces.len());
+            let back = store.to_trace_set();
+            assert_eq!(codec::encode(&back), codec::encode(&set), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn pooled_and_serial_columnarization_agree() {
+        let set = sample_set();
+        let pool = WorkerPool::new(3);
+        let mut serial = ColumnStore::new(4);
+        let (m, o) = serial.remap_tables(&set.methods, &set.objects);
+        serial.append_batch(set.traces.clone(), &m, &o, None);
+        let mut pooled = ColumnStore::new(4);
+        let (m, o) = pooled.remap_tables(&set.methods, &set.objects);
+        pooled.append_batch(set.traces.clone(), &m, &o, Some(&pool));
+        assert_eq!(
+            codec::encode(&serial.to_trace_set()),
+            codec::encode(&pooled.to_trace_set())
+        );
+    }
+
+    #[test]
+    fn cross_source_remap_unifies_arenas() {
+        // Second source declares the same names in a different order.
+        let set = sample_set();
+        let mut other = TraceSet::new();
+        let w = other.method("Writer");
+        other.method("Reader");
+        other.object("slot");
+        let mut t = Trace {
+            seed: 99,
+            events: vec![MethodEvent {
+                method: w,
+                instance: 0,
+                thread: ThreadId::from_raw(0),
+                start: 0,
+                end: 1,
+                accesses: vec![],
+                returned: None,
+                exception: None,
+                caught: false,
+            }],
+            outcome: Outcome::Success,
+            duration: 2,
+        };
+        t.normalize();
+        other.push(t);
+
+        let mut store = ColumnStore::new(2);
+        let (m, o) = store.remap_tables(&set.methods, &set.objects);
+        store.append_batch(set.traces.clone(), &m, &o, None);
+        let (m2, o2) = store.remap_tables(&other.methods, &other.objects);
+        store.append_batch(other.traces.clone(), &m2, &o2, None);
+        // "Writer" from the second source resolves to the store's id 1.
+        let last = store.trace(store.len() - 1);
+        assert_eq!(last.events[0].method.raw(), 1);
+        assert_eq!(store.methods().len(), 2, "no duplicate names");
+        assert_eq!(store.failed(0), set.traces[0].failed());
+        assert_eq!(
+            store.signature(0),
+            None.or_else(|| match &set.traces[0].outcome {
+                Outcome::Failure(s) => Some(s.clone()),
+                Outcome::Success => None,
+            })
+        );
+    }
+
+    #[test]
+    fn headers_match_materialized_traces() {
+        let set = sample_set();
+        let mut store = ColumnStore::new(3);
+        let (m, o) = store.remap_tables(&set.methods, &set.objects);
+        store.append_batch(set.traces.clone(), &m, &o, None);
+        for g in 0..store.len() {
+            let t = store.trace(g);
+            assert_eq!(store.header(g), (t.seed, t.duration));
+            assert_eq!(store.failed(g), t.failed());
+        }
+        let stats = store.stats();
+        assert_eq!(stats.traces, 7);
+        assert_eq!(stats.events, 14);
+        assert_eq!(stats.accesses, 14);
+        assert_eq!(stats.shards, 3);
+    }
+}

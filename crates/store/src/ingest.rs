@@ -1,0 +1,505 @@
+//! Streaming, resumable ingestion of the `aid_trace::codec` line format.
+//!
+//! [`StreamDecoder`] consumes the format incrementally — from byte chunks of
+//! any size (file reads, socket frames) or whole lines — and emits complete
+//! [`Trace`]s as they close. Unlike the strict batch `codec::decode`, a
+//! malformed or truncated record does not abort the batch: the offending
+//! line (and, if one was open, the trace it belongs to) is **quarantined**
+//! with its typed [`DecodeError`], the decoder resynchronizes at the next
+//! `trace` header, and everything well-formed around the damage survives.
+//!
+//! The decoder is resumable by construction: all parse state (the partial
+//! line carried between chunks, the open trace, the interning arenas) lives
+//! in the struct, so a caller can feed a live log as it is appended to and
+//! drain traces between pushes.
+
+use aid_trace::codec::{self, parse_line, DecodeError, DecodeErrorKind, Record};
+use aid_trace::{MethodTag, ObjectTag, Outcome, Trace};
+use aid_util::IdArena;
+
+/// A record (line or whole trace) set aside instead of ingested.
+#[derive(Clone, Debug)]
+pub struct Quarantined {
+    /// 1-based line number of the offending line in the stream.
+    pub line: usize,
+    /// The offending line's text (lossily decoded if it was not UTF-8),
+    /// truncated to a sane length for reporting.
+    pub raw: String,
+    /// Why it was rejected.
+    pub error: DecodeError,
+    /// Number of already-buffered events discarded with it (non-zero when
+    /// the error poisoned an open trace, zero for an isolated bad line).
+    pub dropped_events: usize,
+}
+
+/// Ingestion counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Bytes consumed.
+    pub bytes: u64,
+    /// Lines consumed (including blanks/comments).
+    pub lines: u64,
+    /// Complete traces decoded.
+    pub traces: u64,
+    /// Quarantine entries recorded.
+    pub quarantined: u64,
+    /// Lines skipped while resynchronizing after a poisoned trace.
+    pub skipped_lines: u64,
+}
+
+/// Longest raw-line excerpt kept in a quarantine entry.
+const QUARANTINE_EXCERPT: usize = 120;
+
+/// An incremental decoder for the line-oriented trace format.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    methods: IdArena<String, MethodTag>,
+    objects: IdArena<String, ObjectTag>,
+    /// Partial line carried between byte chunks.
+    carry: Vec<u8>,
+    lineno: usize,
+    current: Option<Trace>,
+    /// Inside a poisoned trace: drop records until the next `trace` header.
+    skipping: bool,
+    ready: Vec<Trace>,
+    quarantine: Vec<Quarantined>,
+    stats: IngestStats,
+}
+
+impl StreamDecoder {
+    /// A fresh decoder with empty arenas.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder::default()
+    }
+
+    /// Feeds a chunk of bytes; the chunk may end mid-line (the partial tail
+    /// is carried into the next push).
+    pub fn push_bytes(&mut self, chunk: &[u8]) {
+        self.stats.bytes += chunk.len() as u64;
+        let mut rest = chunk;
+        while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(nl);
+            self.carry.extend_from_slice(head);
+            rest = &tail[1..];
+            let line = std::mem::take(&mut self.carry);
+            self.consume_line(&line);
+        }
+        self.carry.extend_from_slice(rest);
+    }
+
+    /// Feeds a whole string chunk (may contain many lines and end mid-line).
+    pub fn push_str(&mut self, chunk: &str) {
+        self.push_bytes(chunk.as_bytes());
+    }
+
+    /// Drains everything a reader yields into the decoder.
+    pub fn push_reader(&mut self, reader: &mut impl std::io::Read) -> std::io::Result<u64> {
+        let mut buf = [0u8; 8192];
+        let mut total = 0u64;
+        loop {
+            let n = reader.read(&mut buf)?;
+            if n == 0 {
+                return Ok(total);
+            }
+            total += n as u64;
+            self.push_bytes(&buf[..n]);
+        }
+    }
+
+    /// Flushes end-of-stream state: a trailing unterminated line is parsed,
+    /// and a still-open trace is quarantined as unterminated. The decoder
+    /// remains usable (a new stream can follow).
+    pub fn finish(&mut self) {
+        if !self.carry.is_empty() {
+            let line = std::mem::take(&mut self.carry);
+            self.consume_line(&line);
+        }
+        if self.current.is_some() {
+            self.poison(
+                DecodeError::new(self.lineno.max(1), DecodeErrorKind::UnterminatedTrace),
+                "<end of stream>",
+            );
+            // Nothing to skip: the stream is over.
+            self.skipping = false;
+        }
+    }
+
+    /// Takes every fully decoded trace accumulated so far, in stream order.
+    pub fn drain(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Interned method names, in declaration order.
+    pub fn methods(&self) -> &IdArena<String, MethodTag> {
+        &self.methods
+    }
+
+    /// Interned object names, in declaration order.
+    pub fn objects(&self) -> &IdArena<String, ObjectTag> {
+        &self.objects
+    }
+
+    /// Records set aside instead of ingested.
+    pub fn quarantine(&self) -> &[Quarantined] {
+        &self.quarantine
+    }
+
+    /// Takes the accumulated quarantine entries, releasing their memory —
+    /// long-running consumers report-and-drain these periodically (the
+    /// `quarantined` counter in [`IngestStats`] still records the total).
+    pub fn drain_quarantine(&mut self) -> Vec<Quarantined> {
+        std::mem::take(&mut self.quarantine)
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    fn consume_line(&mut self, raw: &[u8]) {
+        self.lineno += 1;
+        self.stats.lines += 1;
+        let Ok(line) = std::str::from_utf8(raw) else {
+            self.poison(
+                DecodeError::new(self.lineno, DecodeErrorKind::InvalidUtf8),
+                &String::from_utf8_lossy(raw),
+            );
+            return;
+        };
+        let parsed = match parse_line(line, self.lineno) {
+            Ok(None) => return,
+            Ok(Some(record)) => record,
+            Err(e) => {
+                self.poison(e, line);
+                return;
+            }
+        };
+        match parsed {
+            Record::Method { id, name } => {
+                if let Err(e) = codec::declare(&mut self.methods, id, name, self.lineno) {
+                    self.quarantine_line(e, line);
+                }
+            }
+            Record::Object { id, name } => {
+                if let Err(e) = codec::declare(&mut self.objects, id, name, self.lineno) {
+                    self.quarantine_line(e, line);
+                }
+            }
+            Record::TraceStart { seed, outcome } => {
+                // A new header resynchronizes a skipping decoder.
+                self.skipping = false;
+                if self.current.is_some() {
+                    self.poison(
+                        DecodeError::new(
+                            self.lineno,
+                            DecodeErrorKind::UnexpectedRecord("trace without endtrace"),
+                        ),
+                        line,
+                    );
+                    // The *new* trace is fine; only the open one is dropped.
+                    self.skipping = false;
+                }
+                if let Outcome::Failure(sig) = &outcome {
+                    if sig.method.index() >= self.methods.len() {
+                        self.quarantine_line(
+                            DecodeError::new(
+                                self.lineno,
+                                DecodeErrorKind::UnknownMethod(sig.method.raw()),
+                            ),
+                            line,
+                        );
+                        self.skipping = true;
+                        return;
+                    }
+                }
+                self.current = Some(Trace {
+                    seed,
+                    events: vec![],
+                    outcome,
+                    duration: 0,
+                });
+            }
+            Record::Event(e) => {
+                if self.skipping {
+                    self.stats.skipped_lines += 1;
+                    return;
+                }
+                if e.method.index() >= self.methods.len() {
+                    let id = e.method.raw();
+                    self.poison(
+                        DecodeError::new(self.lineno, DecodeErrorKind::UnknownMethod(id)),
+                        line,
+                    );
+                    return;
+                }
+                match self.current.as_mut() {
+                    Some(t) => t.events.push(e),
+                    None => self.quarantine_line(
+                        DecodeError::new(
+                            self.lineno,
+                            DecodeErrorKind::UnexpectedRecord("event outside trace"),
+                        ),
+                        line,
+                    ),
+                }
+            }
+            Record::Access(a) => {
+                if self.skipping {
+                    self.stats.skipped_lines += 1;
+                    return;
+                }
+                if a.object.index() >= self.objects.len() {
+                    let id = a.object.raw();
+                    self.poison(
+                        DecodeError::new(self.lineno, DecodeErrorKind::UnknownObject(id)),
+                        line,
+                    );
+                    return;
+                }
+                let event = self.current.as_mut().and_then(|t| t.events.last_mut());
+                match event {
+                    Some(e) => e.accesses.push(a),
+                    None => {
+                        let what = if self.current.is_some() {
+                            "access before any event"
+                        } else {
+                            "access outside trace"
+                        };
+                        self.quarantine_line(
+                            DecodeError::new(self.lineno, DecodeErrorKind::UnexpectedRecord(what)),
+                            line,
+                        );
+                    }
+                }
+            }
+            Record::TraceEnd { duration } => {
+                if self.skipping {
+                    // The poisoned trace's terminator: resume normal decoding.
+                    self.skipping = false;
+                    self.stats.skipped_lines += 1;
+                    return;
+                }
+                match self.current.take() {
+                    Some(mut t) => {
+                        t.duration = duration;
+                        t.normalize();
+                        self.stats.traces += 1;
+                        self.ready.push(t);
+                    }
+                    None => self.quarantine_line(
+                        DecodeError::new(
+                            self.lineno,
+                            DecodeErrorKind::UnexpectedRecord("endtrace without trace"),
+                        ),
+                        line,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Quarantines a bad line, discarding any open trace with it and (if one
+    /// was open) switching to resynchronization mode.
+    fn poison(&mut self, error: DecodeError, raw: &str) {
+        let open = self.current.take();
+        if open.is_some() {
+            self.skipping = true;
+        }
+        let dropped_events = open.map_or(0, |t| t.events.len());
+        self.record_quarantine(error, raw, dropped_events);
+    }
+
+    /// Quarantines a bad line without touching any open trace.
+    fn quarantine_line(&mut self, error: DecodeError, raw: &str) {
+        self.record_quarantine(error, raw, 0);
+    }
+
+    fn record_quarantine(&mut self, error: DecodeError, raw: &str, dropped_events: usize) {
+        let mut excerpt: String = raw.chars().take(QUARANTINE_EXCERPT).collect();
+        if excerpt.len() < raw.len() {
+            excerpt.push('…');
+        }
+        self.stats.quarantined += 1;
+        self.quarantine.push(Quarantined {
+            line: error.line,
+            raw: excerpt,
+            error,
+            dropped_events,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_trace::codec;
+    use aid_trace::{
+        AccessEvent, AccessKind, FailureSignature, MethodEvent, Outcome, ThreadId, TraceSet,
+    };
+
+    fn sample_set() -> TraceSet {
+        let mut set = TraceSet::new();
+        let m0 = set.method("Fetch");
+        let m1 = set.method("Commit");
+        let o = set.object("cache");
+        for seed in 0..4u64 {
+            let failed = seed % 2 == 1;
+            let mut t = Trace {
+                seed,
+                events: vec![
+                    MethodEvent {
+                        method: m0,
+                        instance: 0,
+                        thread: ThreadId::from_raw(0),
+                        start: 0,
+                        end: 10 + seed,
+                        accesses: vec![AccessEvent {
+                            object: o,
+                            kind: AccessKind::Read,
+                            at: 5,
+                            locked: false,
+                        }],
+                        returned: Some(seed as i64),
+                        exception: None,
+                        caught: false,
+                    },
+                    MethodEvent {
+                        method: m1,
+                        instance: 0,
+                        thread: ThreadId::from_raw(1),
+                        start: 20,
+                        end: 30,
+                        accesses: vec![],
+                        returned: None,
+                        exception: failed.then(|| "Boom".to_string()),
+                        caught: false,
+                    },
+                ],
+                outcome: if failed {
+                    Outcome::Failure(FailureSignature {
+                        kind: "Boom".into(),
+                        method: m1,
+                    })
+                } else {
+                    Outcome::Success
+                },
+                duration: 40,
+            };
+            t.normalize();
+            set.push(t);
+        }
+        set
+    }
+
+    #[test]
+    fn chunked_pushes_decode_identically_to_batch() {
+        let set = sample_set();
+        let text = codec::encode(&set);
+        // Feed in pathological chunk sizes, including 1 byte at a time.
+        for chunk_size in [1usize, 3, 7, 64, 10_000] {
+            let mut dec = StreamDecoder::new();
+            for chunk in text.as_bytes().chunks(chunk_size) {
+                dec.push_bytes(chunk);
+            }
+            dec.finish();
+            let traces = dec.drain();
+            assert_eq!(traces.len(), set.traces.len(), "chunk size {chunk_size}");
+            for (a, b) in traces.iter().zip(&set.traces) {
+                assert_eq!(a, b);
+            }
+            assert!(dec.quarantine().is_empty());
+            assert_eq!(dec.methods().len(), set.methods.len());
+            assert_eq!(dec.objects().len(), set.objects.len());
+        }
+    }
+
+    #[test]
+    fn malformed_trace_is_quarantined_and_stream_recovers() {
+        let set = sample_set();
+        let text = codec::encode(&set);
+        // Poison the first event of the second trace (each trace carries two
+        // event lines, so that is the third `event` line of the stream).
+        let mut event_seen = 0;
+        let mutated: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("event") {
+                    event_seen += 1;
+                    if event_seen == 3 {
+                        return "event NOT A NUMBER".to_string();
+                    }
+                }
+                l.to_string()
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+
+        let mut dec = StreamDecoder::new();
+        dec.push_str(&mutated);
+        dec.push_str("\n");
+        dec.finish();
+        let traces = dec.drain();
+        // Trace #2 is dropped; 1, 3, 4 survive intact.
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0], set.traces[0]);
+        assert_eq!(traces[1], set.traces[2]);
+        assert_eq!(traces[2], set.traces[3]);
+        assert_eq!(dec.quarantine().len(), 1);
+        let q = &dec.quarantine()[0];
+        assert_eq!(
+            q.error.kind,
+            codec::DecodeErrorKind::InvalidNumber("method")
+        );
+        assert!(q.raw.contains("NOT A NUMBER"));
+        assert!(dec.stats().skipped_lines > 0, "resync skipped lines");
+    }
+
+    #[test]
+    fn truncated_stream_quarantines_open_trace() {
+        let set = sample_set();
+        let text = codec::encode(&set);
+        // Cut the final `endtrace` line off, leaving the last trace open.
+        let cut = text.rfind("endtrace").unwrap();
+        let mut dec = StreamDecoder::new();
+        dec.push_str(&text[..cut]);
+        dec.finish();
+        let traces = dec.drain();
+        assert_eq!(traces.len(), 3, "first three traces survive");
+        assert_eq!(
+            dec.quarantine().last().unwrap().error.kind,
+            codec::DecodeErrorKind::UnterminatedTrace
+        );
+        // The decoder stays usable: feed a fresh, fully-formed trace.
+        dec.push_str("trace 9 ok - -\nevent 0 0 0 5 - - 0\nendtrace 6\n");
+        dec.finish();
+        assert_eq!(dec.drain().len(), 1);
+    }
+
+    #[test]
+    fn undeclared_references_are_typed() {
+        let mut dec = StreamDecoder::new();
+        dec.push_str("method 0 M\ntrace 0 ok - -\nevent 9 0 0 1 - - 0\nendtrace 2\n");
+        dec.finish();
+        assert!(dec.drain().is_empty(), "poisoned trace is dropped");
+        assert_eq!(
+            dec.quarantine()[0].error.kind,
+            codec::DecodeErrorKind::UnknownMethod(9)
+        );
+        // Draining releases the entries but keeps the running counter.
+        assert_eq!(dec.drain_quarantine().len(), 1);
+        assert!(dec.quarantine().is_empty());
+        assert_eq!(dec.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn invalid_utf8_is_quarantined_not_fatal() {
+        let mut dec = StreamDecoder::new();
+        dec.push_bytes(b"method 0 M\n\xff\xfe broken\ntrace 0 ok - -\nendtrace 1\n");
+        dec.finish();
+        assert_eq!(dec.drain().len(), 1);
+        assert_eq!(
+            dec.quarantine()[0].error.kind,
+            codec::DecodeErrorKind::InvalidUtf8
+        );
+    }
+}

@@ -1,0 +1,340 @@
+//! `aid_store` — streaming trace ingestion, a sharded columnar trace store,
+//! and incrementally maintained observation-phase analysis.
+//!
+//! The paper's offline phase consumes *accumulated production telemetry*:
+//! many labeled runs, arriving over time, from which predicates, SD scores,
+//! and the AC-DAG are derived (§3–§4). The library crates analyze an
+//! in-memory [`TraceSet`] batch-style; this crate is the persistence-shaped
+//! layer between them and a long-running service:
+//!
+//! 1. **Streaming ingestion** ([`StreamDecoder`]) — a resumable decoder for
+//!    the `aid_trace::codec` line format that consumes byte chunks of any
+//!    size, validates per line, and **quarantines** malformed records
+//!    (typed [`aid_trace::codec::DecodeErrorKind`]) instead of aborting
+//!    the batch.
+//! 2. **Columnar storage** ([`ColumnStore`]) — traces normalized into
+//!    append-only per-field columns with interned names, sharded by trace
+//!    id so batch appends fan their columnarization across the
+//!    `aid_engine` worker pool; losslessly re-materializable.
+//! 3. **Incremental analysis** ([`StoreView`]) — predicate catalog,
+//!    per-run observations, SD scores, and the AC-DAG kept up to date as
+//!    traces arrive, structurally identical to batch recomputation at
+//!    every prefix (the equivalence contract).
+//!
+//! [`TraceStore`] bundles the three behind one handle and bridges into the
+//! engine: [`TraceStore::snapshot`] freezes the current analysis into a
+//! [`StoreSnapshot`] whose [`StoreSnapshot::discovery_job`] sources an
+//! `aid_engine` session's observation window from the store instead of
+//! fresh simulator runs.
+//!
+//! ```
+//! use aid_store::{StoreConfig, TraceStore};
+//! use aid_predicates::ExtractionConfig;
+//! use aid_sim::{ProgramBuilder, Simulator};
+//! use aid_sim::program::{Cmp, Expr, Reg};
+//! use aid_trace::codec;
+//!
+//! // A concurrent program with an intermittent atomicity violation.
+//! let mut b = ProgramBuilder::new("demo");
+//! let flag = b.object("flag", 0);
+//! let len = b.object("len", 10);
+//! let slot = b.object("slot", 10);
+//! let reader = b.method("Reader", |m| {
+//!     m.write(flag, Expr::Const(1))
+//!         .read(len, Reg(0))
+//!         .jitter(5, 40)
+//!         .throw_if_obj(slot, Cmp::Gt, Expr::Reg(Reg(0)), "IndexOutOfRange");
+//! });
+//! let writer = b.method("Writer", |m| {
+//!     m.jitter(1, 10).write(len, Expr::Const(20)).write(slot, Expr::Const(11));
+//! });
+//! let writer_entry = b.method("WriterEntry", |m| {
+//!     m.wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1)).jitter(0, 30).call(writer);
+//! });
+//! let main = b.method("Main", |m| {
+//!     m.spawn_named("t1").spawn_named("t2").join(1).join(2);
+//! });
+//! b.thread("main", main, true);
+//! b.thread("t1", reader, false);
+//! b.thread("t2", writer_entry, false);
+//! let sim = Simulator::new(b.build());
+//! let logs = sim.collect_balanced(10, 10, 20_000);
+//!
+//! // Ship the logs as a byte stream into a store, in awkward chunks.
+//! let encoded = codec::encode(&logs);
+//! let mut store = TraceStore::new(StoreConfig::default());
+//! for chunk in encoded.as_bytes().chunks(97) {
+//!     store.ingest_bytes(chunk);
+//! }
+//! store.finish_ingest();
+//! assert_eq!(store.len(), logs.traces.len());
+//!
+//! // The incremental analysis equals the batch pipeline's, exactly.
+//! let incremental = store.refresh().expect("failures present");
+//! let batch = aid_core::analyze(&logs, &ExtractionConfig::default());
+//! assert_eq!(incremental.dag, batch.dag);
+//! assert_eq!(incremental.candidates, batch.candidates);
+//! ```
+
+pub mod columns;
+pub mod ingest;
+pub mod view;
+
+pub use columns::{ColumnStats, ColumnStore, KindTag};
+pub use ingest::{IngestStats, Quarantined, StreamDecoder};
+pub use view::{StoreView, ViewStats};
+
+use aid_causal::AcDag;
+use aid_core::{AidAnalysis, Strategy};
+use aid_engine::{DiscoveryJob, WorkerPool};
+use aid_predicates::{ExtractionConfig, PredicateCatalog, PredicateId};
+use aid_sim::Simulator;
+use aid_trace::{FailureSignature, Trace, TraceSet};
+use std::sync::Arc;
+
+/// Store sizing and analysis configuration.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Column shards (traces are distributed round-robin by global id).
+    pub shards: usize,
+    /// Extraction configuration the incremental view analyzes under.
+    pub extraction: ExtractionConfig,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 8,
+            extraction: ExtractionConfig::default(),
+        }
+    }
+}
+
+/// Aggregate store telemetry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Streaming-decoder counters (bytes, lines, quarantines).
+    pub ingest: IngestStats,
+    /// Column row counts.
+    pub columns: ColumnStats,
+    /// Incremental-analysis path counters.
+    pub view: ViewStats,
+}
+
+/// A frozen, shareable image of the store's analysis, for sourcing engine
+/// discovery sessions from accumulated telemetry instead of fresh runs.
+#[derive(Clone)]
+pub struct StoreSnapshot {
+    /// The full predicate catalog (failure indicator last).
+    pub catalog: Arc<PredicateCatalog>,
+    /// The failure indicator.
+    pub failure: PredicateId,
+    /// The grouped failure signature the analysis targets.
+    pub signature: FailureSignature,
+    /// The AC-DAG over the safely intervenable candidates.
+    pub dag: Arc<AcDag>,
+    /// How many traces the snapshot covers.
+    pub traces: usize,
+}
+
+impl StoreSnapshot {
+    /// Builds a simulator-backed [`DiscoveryJob`] whose observation window
+    /// (catalog, failure indicator, AC-DAG) comes from this snapshot. The
+    /// session's *interventions* still execute on `simulator` — the store
+    /// replaces the collection phase, not the intervention phase.
+    #[allow(clippy::too_many_arguments)]
+    pub fn discovery_job(
+        &self,
+        name: impl Into<String>,
+        simulator: Arc<Simulator>,
+        runs_per_round: usize,
+        first_seed: u64,
+        strategy: Strategy,
+        seed: u64,
+    ) -> DiscoveryJob {
+        DiscoveryJob::sim(
+            name,
+            Arc::clone(&self.dag),
+            simulator,
+            Arc::clone(&self.catalog),
+            self.failure,
+            runs_per_round,
+            first_seed,
+            strategy,
+            seed,
+        )
+    }
+}
+
+/// The assembled store: streaming decoder → sharded columns → incremental
+/// analysis, behind one handle.
+pub struct TraceStore {
+    config: StoreConfig,
+    decoder: StreamDecoder,
+    columns: ColumnStore,
+    view: StoreView,
+    pool: Option<Arc<WorkerPool>>,
+}
+
+impl TraceStore {
+    /// An empty store that columnarizes and evaluates on the caller's
+    /// thread.
+    pub fn new(config: StoreConfig) -> TraceStore {
+        let columns = ColumnStore::new(config.shards);
+        let view = StoreView::new(config.extraction.clone());
+        TraceStore {
+            config,
+            decoder: StreamDecoder::new(),
+            columns,
+            view,
+            pool: None,
+        }
+    }
+
+    /// An empty store that fans columnarization and evaluation across
+    /// `pool` — typically [`aid_engine::Engine::pool`], so ingestion shares
+    /// threads with the discovery sessions it feeds.
+    pub fn with_pool(config: StoreConfig, pool: Arc<WorkerPool>) -> TraceStore {
+        let mut s = TraceStore::new(config);
+        s.pool = Some(pool);
+        s
+    }
+
+    /// Feeds a chunk of encoded log bytes (any framing; may end mid-line).
+    /// Completed traces are appended to the columns immediately.
+    pub fn ingest_bytes(&mut self, chunk: &[u8]) {
+        self.decoder.push_bytes(chunk);
+        self.flush_decoded();
+    }
+
+    /// Feeds a string chunk of encoded log.
+    pub fn ingest_str(&mut self, chunk: &str) {
+        self.ingest_bytes(chunk.as_bytes());
+    }
+
+    /// Drains a reader to completion (e.g. a log file), then flushes
+    /// end-of-stream state.
+    pub fn ingest_reader(&mut self, reader: &mut impl std::io::Read) -> std::io::Result<u64> {
+        self.decoder.push_reader(reader)?;
+        self.finish_ingest();
+        Ok(self.decoder.stats().bytes)
+    }
+
+    /// Flushes end-of-stream decoder state (quarantining an unterminated
+    /// trailing trace). The store accepts further streams afterwards.
+    pub fn finish_ingest(&mut self) {
+        self.decoder.finish();
+        self.flush_decoded();
+    }
+
+    fn flush_decoded(&mut self) {
+        let traces = self.decoder.drain();
+        if traces.is_empty() {
+            return;
+        }
+        let (m, o) = self
+            .columns
+            .remap_tables(self.decoder.methods(), self.decoder.objects());
+        self.columns
+            .append_batch(traces, &m, &o, self.pool.as_deref());
+    }
+
+    /// Appends every trace of an in-memory set (names resolved through the
+    /// set's own arenas).
+    pub fn append_set(&mut self, set: &TraceSet) {
+        let (m, o) = self.columns.remap_tables(&set.methods, &set.objects);
+        self.columns
+            .append_batch(set.traces.clone(), &m, &o, self.pool.as_deref());
+    }
+
+    /// Appends one live trace — e.g. straight from
+    /// [`Simulator::run`] — with `names` supplying the id→name tables the
+    /// trace's ids are relative to (use `Simulator::trace_set_skeleton`).
+    pub fn append_run(&mut self, names: &TraceSet, trace: Trace) {
+        let (m, o) = self.columns.remap_tables(&names.methods, &names.objects);
+        self.columns
+            .append_batch(vec![trace], &m, &o, self.pool.as_deref());
+    }
+
+    /// Traces stored.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// `(successes, failures)` stored.
+    pub fn counts(&self) -> (usize, usize) {
+        let failed = (0..self.columns.len())
+            .filter(|&g| self.columns.failed(g))
+            .count();
+        (self.columns.len() - failed, failed)
+    }
+
+    /// Re-materializes one stored trace.
+    pub fn trace(&self, gid: usize) -> Trace {
+        self.columns.trace(gid)
+    }
+
+    /// Re-materializes the whole store as a labeled set.
+    pub fn to_trace_set(&self) -> TraceSet {
+        self.columns.to_trace_set()
+    }
+
+    /// Direct access to the columnar layer.
+    pub fn columns(&self) -> &ColumnStore {
+        &self.columns
+    }
+
+    /// Records quarantined by the streaming decoder.
+    pub fn quarantine(&self) -> &[Quarantined] {
+        self.decoder.quarantine()
+    }
+
+    /// Takes (and releases) the accumulated quarantine entries; the
+    /// `quarantined` counter in [`IngestStats`] still records the total.
+    pub fn drain_quarantine(&mut self) -> Vec<Quarantined> {
+        self.decoder.drain_quarantine()
+    }
+
+    /// The active extraction configuration.
+    pub fn extraction_config(&self) -> &ExtractionConfig {
+        &self.config.extraction
+    }
+
+    /// Brings the incremental analysis up to date with every stored trace
+    /// and returns it (`None` until at least one failure is stored).
+    pub fn refresh(&mut self) -> Option<&AidAnalysis> {
+        self.view.refresh(&self.columns, self.pool.as_deref());
+        self.view.analysis()
+    }
+
+    /// The analysis as of the last [`TraceStore::refresh`].
+    pub fn analysis(&self) -> Option<&AidAnalysis> {
+        self.view.analysis()
+    }
+
+    /// Aggregate telemetry.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            ingest: self.decoder.stats(),
+            columns: self.columns.stats(),
+            view: self.view.stats(),
+        }
+    }
+
+    /// Freezes the current analysis (as of the last refresh) for engine
+    /// consumption. `None` until a refresh has published one.
+    pub fn snapshot(&self) -> Option<StoreSnapshot> {
+        self.view.analysis().map(|a| StoreSnapshot {
+            catalog: Arc::new(a.extraction.catalog.clone()),
+            failure: a.extraction.failure,
+            signature: a.extraction.signature.clone(),
+            dag: Arc::new(a.dag.clone()),
+            traces: self.view.seen(),
+        })
+    }
+}

@@ -1,0 +1,541 @@
+//! The incrementally maintained analysis view over a [`ColumnStore`].
+//!
+//! [`StoreView::refresh`] folds newly appended traces into the observation-
+//! phase state — predicate catalog, per-run observations, SD scores, and
+//! the AC-DAG — under a hard **equivalence contract**: after any sequence
+//! of appends and refreshes, the published [`AidAnalysis`] is structurally
+//! identical to `aid_core::analyze` run from scratch over the same traces
+//! in the same order (`tests/incremental_equivalence.rs` pins this for
+//! every prefix of all six case-study corpora).
+//!
+//! The incremental decomposition mirrors the batch pipeline's two passes:
+//!
+//! * **Pass 1 (successes)** is a pure fold: duration envelopes, unique
+//!   returns, stable sites, all-runs temporal orders, and per-success
+//!   return maps update in O(run) per new success, and the fold reports
+//!   whether anything *pass-2-relevant* moved.
+//! * **Pass 2 (failures)** extends: catalog interning is insertion-ordered,
+//!   so scanning only the newly arrived failures appends exactly the
+//!   predicates a batch rescan would — as long as pass-1 state is
+//!   unchanged. When a success *does* move the statistics (an envelope
+//!   widens, a site loses stability, an order or collision invariant
+//!   breaks), the view falls back to a full pass-2 rebuild for that
+//!   refresh and says so in its telemetry.
+//! * **Evaluation** extends per trace: stored window vectors grow by
+//!   exactly the new catalog suffix (`aid_predicates::evaluate_extend`),
+//!   optionally fanned across the engine worker pool.
+//! * **SD** is counted from per-predicate occurrence bitmaps
+//!   (`aid_util::DenseBitSet` over trace ids) rather than by re-scanning
+//!   observations.
+//! * **The AC-DAG** folds new failed runs into a live
+//!   [`aid_causal::AcDagBuilder`] whenever the candidate set, failure id,
+//!   and signature are unchanged, and replays otherwise.
+
+use crate::columns::ColumnStore;
+use aid_causal::{AcDagBuilder, TypeAwarePolicy};
+use aid_core::AidAnalysis;
+use aid_engine::WorkerPool;
+use aid_predicates::{
+    evaluate_extend, scan_failure, success_return_map, Extraction, ExtractionConfig, Predicate,
+    PredicateCatalog, PredicateId, PredicateKind, RunObservation, SuccessStats,
+};
+use aid_sd::{PredicateScore, SdReport};
+use aid_trace::{FailureSignature, MethodEvent, Time, Trace};
+use aid_util::DenseBitSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Telemetry for the incremental machinery: how often the cheap paths held.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Refresh calls that had new traces to fold.
+    pub refreshes: u64,
+    /// Refreshes that extended the catalog in place (cheap pass-2 path).
+    pub extensions: u64,
+    /// Refreshes that re-scanned every failure (success statistics moved).
+    pub rebuilds: u64,
+    /// Individual predicate windows computed (the evaluation workload; a
+    /// batch recomputation would be `traces × catalog` per refresh).
+    pub windows_evaluated: u64,
+    /// Failed runs folded incrementally into a live AC-DAG builder.
+    pub dag_runs_folded: u64,
+    /// AC-DAG builder replays (candidate set, failure id, or signature
+    /// changed).
+    pub dag_rebuilds: u64,
+}
+
+fn site(e: &MethodEvent) -> (u32, u32) {
+    (e.method.raw(), e.instance)
+}
+
+/// The incrementally maintained observation-phase analysis.
+pub struct StoreView {
+    config: ExtractionConfig,
+    /// Traces folded so far (prefix of the store).
+    seen: usize,
+    // --- pass-1 state (successes) ---
+    stats: SuccessStats,
+    orders: BTreeSet<((u32, u32), (u32, u32))>,
+    success_returns: Vec<BTreeMap<(u32, u32), i64>>,
+    /// Pass-2 inputs moved since the catalog was last (re)built.
+    stats_dirty: bool,
+    // --- pass-2 state (failures) ---
+    /// Global ids of failed traces, in arrival order.
+    failures: Vec<usize>,
+    /// How many entries of `failures` are scanned into `base`.
+    scanned: usize,
+    sig_counts: BTreeMap<FailureSignature, usize>,
+    /// The catalog *without* the failure indicator.
+    base: PredicateCatalog,
+    /// Per trace: observation windows for every `base` predicate.
+    windows: Vec<Vec<Option<(Time, Time)>>>,
+    /// Per base predicate: which traces it holds in.
+    occurrence: Vec<DenseBitSet>,
+    /// Which traces failed (any signature).
+    failed_bits: DenseBitSet,
+    // --- AC-DAG state ---
+    builder: Option<DagCache>,
+    // --- published ---
+    analysis: Option<AidAnalysis>,
+    view_stats: ViewStats,
+}
+
+/// A live AC-DAG intersection plus the inputs it is valid for.
+struct DagCache {
+    candidates: Vec<PredicateId>,
+    failure: PredicateId,
+    signature: FailureSignature,
+    builder: AcDagBuilder,
+    /// Prefix of `failures` already folded in.
+    folded: usize,
+}
+
+impl StoreView {
+    /// An empty view with the given extraction configuration.
+    pub fn new(config: ExtractionConfig) -> StoreView {
+        StoreView {
+            config,
+            seen: 0,
+            stats: SuccessStats::default(),
+            orders: BTreeSet::new(),
+            success_returns: Vec::new(),
+            stats_dirty: false,
+            failures: Vec::new(),
+            scanned: 0,
+            sig_counts: BTreeMap::new(),
+            base: PredicateCatalog::new(),
+            windows: Vec::new(),
+            occurrence: Vec::new(),
+            failed_bits: DenseBitSet::new(0),
+            builder: None,
+            analysis: None,
+            view_stats: ViewStats::default(),
+        }
+    }
+
+    /// The published analysis, if at least one failure has been folded.
+    pub fn analysis(&self) -> Option<&AidAnalysis> {
+        self.analysis.as_ref()
+    }
+
+    /// Traces folded so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Incremental-path telemetry.
+    pub fn stats(&self) -> ViewStats {
+        self.view_stats
+    }
+
+    /// Folds every trace the store holds beyond this view's prefix and
+    /// republishes the analysis. `pool` (when given) fans the per-trace
+    /// evaluation work out across the engine's workers; the result is
+    /// identical either way.
+    pub fn refresh(&mut self, store: &ColumnStore, pool: Option<&WorkerPool>) {
+        let n = store.len();
+        if n == self.seen {
+            return;
+        }
+        self.view_stats.refreshes += 1;
+        let first_new = self.seen;
+        self.failed_bits.resize(n);
+        // Fold pass-1 state and label the newcomers.
+        let mut new_traces: Vec<Trace> = Vec::with_capacity(n - first_new);
+        for gid in first_new..n {
+            let t = store.trace(gid);
+            if t.failed() {
+                if let aid_trace::Outcome::Failure(sig) = &t.outcome {
+                    *self.sig_counts.entry(sig.clone()).or_insert(0) += 1;
+                }
+                self.failures.push(gid);
+                self.failed_bits.insert(gid);
+            } else {
+                self.stats_dirty |= self.observe_success(&t);
+            }
+            new_traces.push(t);
+        }
+        self.seen = n;
+        if self.failures.is_empty() {
+            // No failure signature yet: extraction is undefined (matching
+            // the batch pipeline, which requires at least one failed run).
+            self.analysis = None;
+            return;
+        }
+
+        let rebuilt = self.stats_dirty;
+        if rebuilt {
+            self.rebuild_catalog(store, pool);
+            self.stats_dirty = false;
+        } else {
+            self.extend_catalog(store, &new_traces, first_new, pool);
+        }
+        self.publish(store, rebuilt);
+    }
+
+    /// Folds one successful run into pass-1 state; returns whether anything
+    /// a failure scan consumes (envelopes, unique returns, stable sites,
+    /// orders, collision invariants) changed.
+    fn observe_success(&mut self, t: &Trace) -> bool {
+        let mut changed = false;
+        let mut sites: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut span: BTreeMap<(u32, u32), (Time, Time)> = BTreeMap::new();
+        for e in &t.events {
+            let k = site(e);
+            sites.insert(k);
+            span.insert(k, (e.start, e.end));
+            let d = e.duration();
+            match self.stats.duration.entry(k) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert((d, d));
+                    changed = true;
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let (lo, hi) = *o.get();
+                    if d < lo || d > hi {
+                        o.insert((lo.min(d), hi.max(d)));
+                        changed = true;
+                    }
+                }
+            }
+            match self.stats.unique_return.entry(k) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(e.returned);
+                    changed = true;
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if *o.get() != e.returned {
+                        if o.get().is_some() {
+                            changed = true;
+                        }
+                        o.insert(None);
+                    }
+                }
+            }
+        }
+        self.stats.successes += 1;
+        // Stable sites: present in every success so far.
+        let new_stable: BTreeSet<(u32, u32)> = if self.stats.successes == 1 {
+            sites.clone()
+        } else {
+            self.stats.stable.intersection(&sites).copied().collect()
+        };
+        if new_stable != self.stats.stable {
+            changed = true;
+            self.stats.stable = new_stable;
+        }
+        // All-runs temporal orders over stable sites.
+        if self.config.order {
+            let before = self.orders.len();
+            if self.stats.successes == 1 {
+                let stable: Vec<(u32, u32)> = self.stats.stable.iter().copied().collect();
+                for (i, &a) in stable.iter().enumerate() {
+                    for &b in stable.iter().skip(i + 1) {
+                        let (sa, sb) = (span[&a], span[&b]);
+                        if sa.1 < sb.0 {
+                            self.orders.insert((a, b));
+                        } else if sb.1 < sa.0 {
+                            self.orders.insert((b, a));
+                        }
+                    }
+                }
+                changed |= !self.orders.is_empty();
+            } else {
+                let stable = &self.stats.stable;
+                self.orders.retain(|&(a, b)| {
+                    stable.contains(&a) && stable.contains(&b) && span[&a].1 < span[&b].0
+                });
+                changed |= self.orders.len() != before;
+            }
+        }
+        let returns = success_return_map(t);
+        // A new success can silently disqualify an already-materialized
+        // value-collision predicate (its sides must return *distinct*
+        // values in every success).
+        if self.config.collisions && !changed {
+            for (_, p) in self.base.iter() {
+                if let PredicateKind::ValueCollision { a, b } = &p.kind {
+                    let ka = (a.method.raw(), a.instance);
+                    let kb = (b.method.raw(), b.instance);
+                    let still_distinct = matches!(
+                        (returns.get(&ka), returns.get(&kb)),
+                        (Some(x), Some(y)) if x != y
+                    );
+                    if !still_distinct {
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.success_returns.push(returns);
+        changed
+    }
+
+    /// Cheap path: scan only the not-yet-scanned failures into the existing
+    /// catalog, then grow every trace's windows by the new catalog suffix.
+    fn extend_catalog(
+        &mut self,
+        store: &ColumnStore,
+        new_traces: &[Trace],
+        first_new: usize,
+        pool: Option<&WorkerPool>,
+    ) {
+        self.view_stats.extensions += 1;
+        let old_len = self.base.len();
+        while self.scanned < self.failures.len() {
+            // Mirrors the batch cap semantics: checked before each failure.
+            if self.base.len() >= self.config.max_predicates {
+                break;
+            }
+            let t = store.trace(self.failures[self.scanned]);
+            scan_failure(
+                &t.events,
+                &self.config,
+                &self.stats,
+                &self.orders,
+                &self.success_returns,
+                &mut self.base,
+            );
+            self.scanned += 1;
+        }
+        let catalog = Arc::new(self.base.clone());
+        // Old traces: extend by the new suffix (skip entirely when the
+        // catalog didn't grow). New traces: evaluate the whole catalog.
+        if catalog.len() > old_len {
+            let old: Vec<Trace> = (0..first_new).map(|g| store.trace(g)).collect();
+            let old_windows = std::mem::take(&mut self.windows);
+            debug_assert_eq!(old_windows.len(), old.len());
+            self.windows = evaluate_all(&catalog, old, old_windows, pool);
+            self.view_stats.windows_evaluated += (first_new * (catalog.len() - old_len)) as u64;
+        }
+        let fresh = evaluate_all(
+            &catalog,
+            new_traces.to_vec(),
+            new_traces.iter().map(|_| Vec::new()).collect(),
+            pool,
+        );
+        self.view_stats.windows_evaluated += (fresh.len() * catalog.len()) as u64;
+        self.windows.extend(fresh);
+        self.sync_occurrence(old_len, first_new);
+    }
+
+    /// Expensive path: pass-1 statistics moved, so the whole failure scan
+    /// (and every trace's windows) must be recomputed against them.
+    fn rebuild_catalog(&mut self, store: &ColumnStore, pool: Option<&WorkerPool>) {
+        self.view_stats.rebuilds += 1;
+        self.base = PredicateCatalog::new();
+        self.scanned = 0;
+        while self.scanned < self.failures.len() {
+            if self.base.len() >= self.config.max_predicates {
+                break;
+            }
+            let t = store.trace(self.failures[self.scanned]);
+            scan_failure(
+                &t.events,
+                &self.config,
+                &self.stats,
+                &self.orders,
+                &self.success_returns,
+                &mut self.base,
+            );
+            self.scanned += 1;
+        }
+        let catalog = Arc::new(self.base.clone());
+        let all: Vec<Trace> = (0..self.seen).map(|g| store.trace(g)).collect();
+        let empty: Vec<Vec<Option<(Time, Time)>>> = all.iter().map(|_| Vec::new()).collect();
+        self.windows = evaluate_all(&catalog, all, empty, pool);
+        self.view_stats.windows_evaluated += (self.seen * catalog.len()) as u64;
+        self.occurrence.clear();
+        self.sync_occurrence(0, 0);
+    }
+
+    /// Brings the per-predicate occurrence bitmaps in line with `windows`:
+    /// bitmaps for predicates `>= from` are (re)built from every trace's
+    /// windows, earlier ones only grow their universe and absorb the
+    /// windows of traces `>= first_new`.
+    fn sync_occurrence(&mut self, from: usize, first_new: usize) {
+        let n = self.seen;
+        debug_assert!(self.occurrence.len() == from);
+        for occ in &mut self.occurrence {
+            occ.resize(n);
+        }
+        while self.occurrence.len() < self.base.len() {
+            self.occurrence.push(DenseBitSet::new(n));
+        }
+        if self.base.len() > from {
+            for (gid, w) in self.windows.iter().enumerate() {
+                for (p, window) in w.iter().enumerate().skip(from) {
+                    if window.is_some() {
+                        self.occurrence[p].insert(gid);
+                    }
+                }
+            }
+        }
+        // Newly appended traces' bits for the old predicate prefix.
+        for gid in first_new..n {
+            for (p, window) in self.windows[gid].iter().enumerate().take(from) {
+                if window.is_some() {
+                    self.occurrence[p].insert(gid);
+                }
+            }
+        }
+    }
+
+    /// Assembles and publishes the full analysis from incremental state.
+    fn publish(&mut self, store: &ColumnStore, rebuilt: bool) {
+        // Majority signature, with the batch tie-break (last maximum in
+        // ascending signature order).
+        let signature = self
+            .sig_counts
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(sig, _)| sig.clone())
+            .expect("publish requires failures");
+        let mut catalog = self.base.clone();
+        let failure = catalog.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: signature.clone(),
+            },
+            safe: true,
+            action: None,
+        });
+
+        // Full observations: stored base windows plus the failure window.
+        let observations: Vec<RunObservation> = (0..self.seen)
+            .map(|gid| {
+                let mut w = self.windows[gid].clone();
+                let f_window = match store.signature(gid) {
+                    Some(sig) if sig == signature => {
+                        let (_, duration) = store.header(gid);
+                        Some((duration, duration))
+                    }
+                    _ => None,
+                };
+                w.push(f_window);
+                RunObservation::from_windows(store.failed(gid), w)
+            })
+            .collect();
+
+        // SD scores from the occurrence bitmaps.
+        let failed_runs = self.failures.len();
+        let total_runs = self.seen;
+        let mut scores: Vec<PredicateScore> = self
+            .occurrence
+            .iter()
+            .map(|occ| PredicateScore {
+                holds_in: occ.count(),
+                holds_in_failed: occ.intersection_count(&self.failed_bits),
+                failed_runs,
+                total_runs,
+            })
+            .collect();
+        let sig_holds = self.sig_counts[&signature];
+        scores.push(PredicateScore {
+            holds_in: sig_holds,
+            holds_in_failed: sig_holds,
+            failed_runs,
+            total_runs,
+        });
+        let sd = SdReport::from_scores(scores);
+        let candidates = sd.aid_candidates(&catalog, failure);
+
+        // AC-DAG: fold incrementally when the node set is unchanged and the
+        // stored windows were not recomputed; replay otherwise.
+        let reusable = !rebuilt
+            && self.builder.as_ref().is_some_and(|c| {
+                c.candidates == candidates && c.failure == failure && c.signature == signature
+            });
+        if !reusable {
+            self.view_stats.dag_rebuilds += 1;
+            self.builder = Some(DagCache {
+                candidates: candidates.clone(),
+                failure,
+                signature: signature.clone(),
+                builder: AcDagBuilder::new(&candidates, failure),
+                folded: 0,
+            });
+        }
+        let cache = self.builder.as_mut().expect("just ensured");
+        while cache.folded < self.failures.len() {
+            let gid = self.failures[cache.folded];
+            cache
+                .builder
+                .add_run(&catalog, &observations[gid], &TypeAwarePolicy);
+            cache.folded += 1;
+            if reusable {
+                self.view_stats.dag_runs_folded += 1;
+            }
+        }
+        let dag = cache.builder.build();
+
+        self.analysis = Some(AidAnalysis {
+            extraction: Extraction {
+                catalog,
+                observations,
+                failure,
+                signature,
+            },
+            sd,
+            candidates,
+            dag,
+        });
+    }
+}
+
+/// Evaluates (or extends) windows for a batch of traces, fanning across the
+/// pool when one is provided. `prefixes[i]` is trace `i`'s already-computed
+/// window prefix (empty for a full evaluation); results join in input order
+/// either way.
+fn evaluate_all(
+    catalog: &Arc<PredicateCatalog>,
+    traces: Vec<Trace>,
+    prefixes: Vec<Vec<Option<(Time, Time)>>>,
+    pool: Option<&WorkerPool>,
+) -> Vec<Vec<Option<(Time, Time)>>> {
+    debug_assert_eq!(traces.len(), prefixes.len());
+    match pool {
+        Some(pool) if traces.len() > 1 => {
+            let jobs: Vec<Box<dyn FnOnce() -> Vec<Option<(Time, Time)>> + Send>> = traces
+                .into_iter()
+                .zip(prefixes)
+                .map(|(t, mut w)| {
+                    let catalog = Arc::clone(catalog);
+                    Box::new(move || {
+                        evaluate_extend(&catalog, &t, &mut w);
+                        w
+                    }) as Box<dyn FnOnce() -> Vec<Option<(Time, Time)>> + Send>
+                })
+                .collect();
+            pool.run_batch(jobs)
+        }
+        _ => traces
+            .into_iter()
+            .zip(prefixes)
+            .map(|(t, mut w)| {
+                evaluate_extend(catalog, &t, &mut w);
+                w
+            })
+            .collect(),
+    }
+}

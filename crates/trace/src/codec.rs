@@ -18,6 +18,7 @@
 //! are not stored; they are recomputed by [`Trace::normalize`] on decode.
 //! Names must not contain whitespace (enforced on encode).
 
+use crate::clock::Time;
 use crate::event::{
     AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome, ThreadId,
 };
@@ -25,13 +26,93 @@ use crate::trace::{Trace, TraceSet};
 use bytes::BufMut;
 use std::fmt::Write as _;
 
+/// Why a line (or stream) failed to decode. Every way the format can go
+/// wrong maps to exactly one variant, so consumers that *recover* from bad
+/// input (the `aid_store` streaming ingester quarantines records instead of
+/// aborting the batch) can classify failures without string matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeErrorKind {
+    /// A record is missing a required field (the field name is attached).
+    MissingField(&'static str),
+    /// A numeric field failed to parse (the field name is attached).
+    InvalidNumber(&'static str),
+    /// A `trace` record's status was neither `ok` nor `fail`.
+    InvalidStatus,
+    /// An `access` record's kind was neither `R` nor `W`.
+    InvalidAccessKind,
+    /// A boolean field (`caught`, `locked`) was neither `0` nor `1`.
+    InvalidFlag(&'static str),
+    /// A record carried tokens after its last defined field.
+    TrailingTokens,
+    /// The line's leading tag names no known record type.
+    UnknownRecord,
+    /// A structurally valid record arrived where the grammar forbids it
+    /// (e.g. an `event` outside any trace); the attached text says which
+    /// rule was violated.
+    UnexpectedRecord(&'static str),
+    /// An event or failure signature referenced an undeclared method id.
+    UnknownMethod(u32),
+    /// An access referenced an undeclared object id.
+    UnknownObject(u32),
+    /// A `method`/`object` declaration's id disagrees with the id the
+    /// decoder assigns (declarations must arrive in dense id order, and
+    /// re-declarations must be consistent).
+    MisnumberedDeclaration {
+        /// The id the decoder would assign this name.
+        expected: u32,
+        /// The id the line declared.
+        found: u32,
+    },
+    /// The input ended inside a trace (no `endtrace`).
+    UnterminatedTrace,
+    /// The line is not valid UTF-8 (byte-stream decoding only).
+    InvalidUtf8,
+}
+
+impl DecodeErrorKind {
+    fn render(&self) -> String {
+        match self {
+            DecodeErrorKind::MissingField(f) => format!("missing {f}"),
+            DecodeErrorKind::InvalidNumber(f) => format!("bad {f}"),
+            DecodeErrorKind::InvalidStatus => "status must be ok or fail".into(),
+            DecodeErrorKind::InvalidAccessKind => "access kind must be R or W".into(),
+            DecodeErrorKind::InvalidFlag(f) => format!("{f} must be 0 or 1"),
+            DecodeErrorKind::TrailingTokens => "trailing tokens after record".into(),
+            DecodeErrorKind::UnknownRecord => "unknown record".into(),
+            DecodeErrorKind::UnexpectedRecord(what) => (*what).into(),
+            DecodeErrorKind::UnknownMethod(id) => format!("undeclared method id {id}"),
+            DecodeErrorKind::UnknownObject(id) => format!("undeclared object id {id}"),
+            DecodeErrorKind::MisnumberedDeclaration { expected, found } => {
+                format!("declaration id {found} out of order (expected {expected})")
+            }
+            DecodeErrorKind::UnterminatedTrace => "unterminated trace".into(),
+            DecodeErrorKind::InvalidUtf8 => "line is not valid UTF-8".into(),
+        }
+    }
+}
+
 /// Errors produced while decoding a trace log.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DecodeError {
     /// 1-based line number.
     pub line: usize,
-    /// What went wrong.
+    /// What went wrong, typed.
+    pub kind: DecodeErrorKind,
+    /// Human-readable rendering of `kind`.
     pub message: String,
+}
+
+impl DecodeError {
+    /// Builds an error at `line` from its typed kind.
+    pub fn new(line: usize, kind: DecodeErrorKind) -> Self {
+        let message = kind.render();
+        DecodeError {
+            line,
+            kind,
+            message,
+        }
+    }
 }
 
 impl std::fmt::Display for DecodeError {
@@ -41,6 +122,160 @@ impl std::fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+/// One parsed line of the format — the context-free layer shared by the
+/// batch [`decode`] below and `aid_store`'s resumable streaming decoder.
+/// Context rules (events belong to traces, ids must be declared) are the
+/// caller's job; [`parse_line`] only validates the line's own shape.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A `method <id> <name>` declaration.
+    Method {
+        /// Declared dense id.
+        id: u32,
+        /// Interned name.
+        name: String,
+    },
+    /// An `object <id> <name>` declaration.
+    Object {
+        /// Declared dense id.
+        id: u32,
+        /// Interned name.
+        name: String,
+    },
+    /// A `trace <seed> <status> <kind> <method>` header opening a run.
+    TraceStart {
+        /// Scheduler seed of the run.
+        seed: u64,
+        /// Parsed outcome (`ok` or `fail` + signature).
+        outcome: Outcome,
+    },
+    /// An `event …` record (instance is recomputed on `endtrace`).
+    Event(MethodEvent),
+    /// An `access …` record, attaching to the most recent event.
+    Access(AccessEvent),
+    /// An `endtrace <duration>` record closing a run.
+    TraceEnd {
+        /// Virtual end time of the run.
+        duration: Time,
+    },
+}
+
+/// Parses one line into a [`Record`]. Returns `Ok(None)` for blank lines and
+/// `#` comments. Never panics: every malformed shape maps to a typed
+/// [`DecodeError`] at `lineno`.
+pub fn parse_line(raw_line: &str, lineno: usize) -> Result<Option<Record>, DecodeError> {
+    let line = raw_line.trim_end();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let err = |kind: DecodeErrorKind| DecodeError::new(lineno, kind);
+    let mut parts = line.split_ascii_whitespace();
+    let tag = parts.next().expect("non-empty trimmed line has a token");
+    let mut next = |what: &'static str| -> Result<&str, DecodeError> {
+        parts
+            .next()
+            .ok_or_else(|| err(DecodeErrorKind::MissingField(what)))
+    };
+    macro_rules! num {
+        ($what:literal) => {
+            next($what)?
+                .parse()
+                .map_err(|_| err(DecodeErrorKind::InvalidNumber($what)))?
+        };
+    }
+    macro_rules! flag {
+        ($what:literal) => {
+            match next($what)? {
+                "0" => false,
+                "1" => true,
+                _ => return Err(err(DecodeErrorKind::InvalidFlag($what))),
+            }
+        };
+    }
+    let record = match tag {
+        "method" => Record::Method {
+            id: num!("method id"),
+            name: next("name")?.to_string(),
+        },
+        "object" => Record::Object {
+            id: num!("object id"),
+            name: next("name")?.to_string(),
+        },
+        "trace" => {
+            let seed = num!("seed");
+            let status = next("status")?;
+            let kind = next("kind")?.to_string();
+            let method = next("method")?;
+            let outcome = match status {
+                "ok" => Outcome::Success,
+                "fail" => Outcome::Failure(FailureSignature {
+                    kind,
+                    method: MethodId::from_raw(
+                        method
+                            .parse()
+                            .map_err(|_| err(DecodeErrorKind::InvalidNumber("failure method")))?,
+                    ),
+                }),
+                _ => return Err(err(DecodeErrorKind::InvalidStatus)),
+            };
+            Record::TraceStart { seed, outcome }
+        }
+        "event" => {
+            let method = MethodId::from_raw(num!("method"));
+            let thread = ThreadId::from_raw(num!("thread"));
+            let start = num!("start");
+            let end = num!("end");
+            let returned = match next("ret")? {
+                "-" => None,
+                v => Some(
+                    v.parse()
+                        .map_err(|_| err(DecodeErrorKind::InvalidNumber("return value")))?,
+                ),
+            };
+            let exception = match next("exc")? {
+                "-" => None,
+                v => Some(v.to_string()),
+            };
+            let caught = flag!("caught");
+            Record::Event(MethodEvent {
+                method,
+                instance: 0,
+                thread,
+                start,
+                end,
+                accesses: vec![],
+                returned,
+                exception,
+                caught,
+            })
+        }
+        "access" => {
+            let object = ObjectId::from_raw(num!("object"));
+            let kind = match next("kind")? {
+                "R" => AccessKind::Read,
+                "W" => AccessKind::Write,
+                _ => return Err(err(DecodeErrorKind::InvalidAccessKind)),
+            };
+            let at = num!("time");
+            let locked = flag!("locked");
+            Record::Access(AccessEvent {
+                object,
+                kind,
+                at,
+                locked,
+            })
+        }
+        "endtrace" => Record::TraceEnd {
+            duration: num!("duration"),
+        },
+        _ => return Err(err(DecodeErrorKind::UnknownRecord)),
+    };
+    if parts.next().is_some() {
+        return Err(err(DecodeErrorKind::TrailingTokens));
+    }
+    Ok(Some(record))
+}
 
 /// Encodes a trace set to the line format.
 pub fn encode(set: &TraceSet) -> String {
@@ -113,64 +348,62 @@ pub fn encode_to_buf(set: &TraceSet, buf: &mut impl BufMut) {
     buf.put_slice(encode(set).as_bytes());
 }
 
+/// Interns a declared name, checking the declared id against the id the
+/// arena assigns. Re-declaring an existing `(id, name)` pair is legal (log
+/// segments from one source may repeat their header when concatenated);
+/// any other mismatch is a [`DecodeErrorKind::MisnumberedDeclaration`].
+/// Shared by the strict [`decode`] and `aid_store`'s quarantining streaming
+/// decoder so the two classify declarations identically.
+pub fn declare<Tag>(
+    arena: &mut aid_util::IdArena<String, Tag>,
+    id: u32,
+    name: String,
+    lineno: usize,
+) -> Result<(), DecodeError> {
+    let expected = arena.get(&name).map_or(arena.len() as u32, |a| a.raw());
+    if expected != id {
+        return Err(DecodeError::new(
+            lineno,
+            DecodeErrorKind::MisnumberedDeclaration {
+                expected,
+                found: id,
+            },
+        ));
+    }
+    arena.intern(name);
+    Ok(())
+}
+
 /// Decodes a trace set from the line format.
+///
+/// Strict, all-or-nothing: the first malformed line aborts with a typed
+/// [`DecodeError`] (use `aid_store`'s streaming decoder for quarantine-and-
+/// continue semantics). Beyond line shape this validates the stream's
+/// *references*: declarations must arrive in dense id order, and every
+/// method/object id an event, access, or failure signature mentions must
+/// already be declared.
 pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
     let mut set = TraceSet::new();
     let mut current: Option<Trace> = None;
 
-    let err = |line: usize, message: &str| DecodeError {
-        line,
-        message: message.to_string(),
-    };
-
     for (idx, raw_line) in input.lines().enumerate() {
         let lineno = idx + 1;
-        let line = raw_line.trim_end();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.split_ascii_whitespace();
-        let tag = parts.next().unwrap();
-        let mut next = |what: &str| -> Result<&str, DecodeError> {
-            parts
-                .next()
-                .ok_or_else(|| err(lineno, &format!("missing {what}")))
-        };
-        match tag {
-            "method" => {
-                let _id: u32 = next("id")?
-                    .parse()
-                    .map_err(|_| err(lineno, "bad method id"))?;
-                let name = next("name")?;
-                set.methods.intern(name.to_string());
-            }
-            "object" => {
-                let _id: u32 = next("id")?
-                    .parse()
-                    .map_err(|_| err(lineno, "bad object id"))?;
-                let name = next("name")?;
-                set.objects.intern(name.to_string());
-            }
-            "trace" => {
+        let err = |kind: DecodeErrorKind| DecodeError::new(lineno, kind);
+        match parse_line(raw_line, lineno)? {
+            None => {}
+            Some(Record::Method { id, name }) => declare(&mut set.methods, id, name, lineno)?,
+            Some(Record::Object { id, name }) => declare(&mut set.objects, id, name, lineno)?,
+            Some(Record::TraceStart { seed, outcome }) => {
                 if current.is_some() {
-                    return Err(err(lineno, "trace without endtrace"));
+                    return Err(err(DecodeErrorKind::UnexpectedRecord(
+                        "trace without endtrace",
+                    )));
                 }
-                let seed: u64 = next("seed")?.parse().map_err(|_| err(lineno, "bad seed"))?;
-                let status = next("status")?;
-                let kind = next("kind")?.to_string();
-                let method = next("method")?;
-                let outcome = match status {
-                    "ok" => Outcome::Success,
-                    "fail" => Outcome::Failure(FailureSignature {
-                        kind,
-                        method: MethodId::from_raw(
-                            method
-                                .parse()
-                                .map_err(|_| err(lineno, "bad failure method"))?,
-                        ),
-                    }),
-                    _ => return Err(err(lineno, "status must be ok or fail")),
-                };
+                if let Outcome::Failure(sig) = &outcome {
+                    if sig.method.index() >= set.methods.len() {
+                        return Err(err(DecodeErrorKind::UnknownMethod(sig.method.raw())));
+                    }
+                }
                 current = Some(Trace {
                     seed,
                     events: vec![],
@@ -178,90 +411,42 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
                     duration: 0,
                 });
             }
-            "event" => {
+            Some(Record::Event(e)) => {
                 let t = current
                     .as_mut()
-                    .ok_or_else(|| err(lineno, "event outside trace"))?;
-                let method = MethodId::from_raw(
-                    next("method")?
-                        .parse()
-                        .map_err(|_| err(lineno, "bad method"))?,
-                );
-                let thread = ThreadId::from_raw(
-                    next("thread")?
-                        .parse()
-                        .map_err(|_| err(lineno, "bad thread"))?,
-                );
-                let start = next("start")?
-                    .parse()
-                    .map_err(|_| err(lineno, "bad start"))?;
-                let end = next("end")?.parse().map_err(|_| err(lineno, "bad end"))?;
-                let ret = match next("ret")? {
-                    "-" => None,
-                    v => Some(v.parse().map_err(|_| err(lineno, "bad return value"))?),
-                };
-                let exc = match next("exc")? {
-                    "-" => None,
-                    v => Some(v.to_string()),
-                };
-                let caught = next("caught")? == "1";
-                t.events.push(MethodEvent {
-                    method,
-                    instance: 0,
-                    thread,
-                    start,
-                    end,
-                    accesses: vec![],
-                    returned: ret,
-                    exception: exc,
-                    caught,
-                });
+                    .ok_or_else(|| err(DecodeErrorKind::UnexpectedRecord("event outside trace")))?;
+                if e.method.index() >= set.methods.len() {
+                    return Err(err(DecodeErrorKind::UnknownMethod(e.method.raw())));
+                }
+                t.events.push(e);
             }
-            "access" => {
-                let t = current
-                    .as_mut()
-                    .ok_or_else(|| err(lineno, "access outside trace"))?;
-                let e = t
-                    .events
-                    .last_mut()
-                    .ok_or_else(|| err(lineno, "access before any event"))?;
-                let object = ObjectId::from_raw(
-                    next("object")?
-                        .parse()
-                        .map_err(|_| err(lineno, "bad object"))?,
-                );
-                let kind = match next("kind")? {
-                    "R" => AccessKind::Read,
-                    "W" => AccessKind::Write,
-                    _ => return Err(err(lineno, "access kind must be R or W")),
-                };
-                let at = next("time")?.parse().map_err(|_| err(lineno, "bad time"))?;
-                let locked = next("locked")? == "1";
-                e.accesses.push(AccessEvent {
-                    object,
-                    kind,
-                    at,
-                    locked,
-                });
+            Some(Record::Access(a)) => {
+                let t = current.as_mut().ok_or_else(|| {
+                    err(DecodeErrorKind::UnexpectedRecord("access outside trace"))
+                })?;
+                let e = t.events.last_mut().ok_or_else(|| {
+                    err(DecodeErrorKind::UnexpectedRecord("access before any event"))
+                })?;
+                if a.object.index() >= set.objects.len() {
+                    return Err(err(DecodeErrorKind::UnknownObject(a.object.raw())));
+                }
+                e.accesses.push(a);
             }
-            "endtrace" => {
-                let mut t = current
-                    .take()
-                    .ok_or_else(|| err(lineno, "endtrace without trace"))?;
-                t.duration = next("duration")?
-                    .parse()
-                    .map_err(|_| err(lineno, "bad duration"))?;
+            Some(Record::TraceEnd { duration }) => {
+                let mut t = current.take().ok_or_else(|| {
+                    err(DecodeErrorKind::UnexpectedRecord("endtrace without trace"))
+                })?;
+                t.duration = duration;
                 t.normalize();
                 set.traces.push(t);
             }
-            other => return Err(err(lineno, &format!("unknown record {other:?}"))),
         }
     }
     if current.is_some() {
-        return Err(DecodeError {
-            line: input.lines().count(),
-            message: "unterminated trace".into(),
-        });
+        return Err(DecodeError::new(
+            input.lines().count(),
+            DecodeErrorKind::UnterminatedTrace,
+        ));
     }
     Ok(set)
 }
@@ -340,6 +525,62 @@ mod tests {
         assert!(e.message.contains("outside trace"), "{e}");
         let e = decode("trace 1 ok - -\n").unwrap_err();
         assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn decode_errors_are_typed() {
+        let cases: Vec<(&str, DecodeErrorKind)> = vec![
+            ("method 0", DecodeErrorKind::MissingField("name")),
+            ("method x Foo", DecodeErrorKind::InvalidNumber("method id")),
+            (
+                "method 3 Foo",
+                DecodeErrorKind::MisnumberedDeclaration {
+                    expected: 0,
+                    found: 3,
+                },
+            ),
+            ("trace 1 maybe - -", DecodeErrorKind::InvalidStatus),
+            ("trace 1 fail Boom 0", DecodeErrorKind::UnknownMethod(0)),
+            ("wat 1 2", DecodeErrorKind::UnknownRecord),
+            ("endtrace 5 extra", DecodeErrorKind::TrailingTokens),
+            (
+                "endtrace 5",
+                DecodeErrorKind::UnexpectedRecord("endtrace without trace"),
+            ),
+        ];
+        for (input, kind) in cases {
+            let e = decode(input).unwrap_err();
+            assert_eq!(e.kind, kind, "for input {input:?}");
+            assert_eq!(e.line, 1);
+        }
+        let long = "method 0 M\ntrace 1 ok - -\nevent 0 0 0 0 - - 2\nendtrace 1\n";
+        let e = decode(long).unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::InvalidFlag("caught"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn decode_rejects_undeclared_references() {
+        let text = "method 0 M\ntrace 1 ok - -\nevent 7 0 0 0 - - 0\nendtrace 1\n";
+        assert_eq!(
+            decode(text).unwrap_err().kind,
+            DecodeErrorKind::UnknownMethod(7)
+        );
+        let text = "method 0 M\ntrace 1 ok - -\nevent 0 0 0 0 - - 0\naccess 2 R 0 0\nendtrace 1\n";
+        assert_eq!(
+            decode(text).unwrap_err().kind,
+            DecodeErrorKind::UnknownObject(2)
+        );
+    }
+
+    #[test]
+    fn consistent_redeclaration_is_accepted() {
+        // Two concatenated segments from the same source repeat the header.
+        let seg = encode(&sample());
+        let doubled = format!("{seg}{seg}");
+        let set = decode(&doubled).expect("consistent redeclaration");
+        assert_eq!(set.traces.len(), 2);
+        assert_eq!(set.methods.len(), 2);
     }
 
     #[test]

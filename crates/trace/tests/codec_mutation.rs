@@ -1,0 +1,193 @@
+//! Adversarial property tests for the line codec's decoder: arbitrary
+//! mutations of a valid encoded log (truncation, line deletion/duplication/
+//! reordering, byte corruption, garbage injection) must never panic, and
+//! every rejection must carry a sensible typed [`codec::DecodeErrorKind`]
+//! anchored to a real line of the input.
+
+use aid_trace::{
+    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, Outcome, ThreadId,
+    Trace, TraceSet,
+};
+use proptest::prelude::*;
+
+/// A small but feature-complete corpus: two methods, one object, one
+/// successful and one failed trace, with accesses, returns, and exceptions.
+fn corpus() -> String {
+    let mut set = TraceSet::new();
+    let m0 = set.method("TryGetValue");
+    let m1 = set.method("GetOrAdd");
+    let o = set.object("_nextSlot");
+    let ev = |m: MethodId, th: u32, start, end, ret: Option<i64>, exc: Option<&str>| MethodEvent {
+        method: m,
+        instance: 0,
+        thread: ThreadId::from_raw(th),
+        start,
+        end,
+        accesses: vec![AccessEvent {
+            object: o,
+            kind: if th == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            },
+            at: start + 1,
+            locked: false,
+        }],
+        returned: ret,
+        exception: exc.map(str::to_string),
+        caught: false,
+    };
+    let mut ok = Trace {
+        seed: 1,
+        events: vec![
+            ev(m0, 0, 0, 10, Some(-1), None),
+            ev(m1, 1, 5, 20, None, None),
+        ],
+        outcome: Outcome::Success,
+        duration: 25,
+    };
+    ok.normalize();
+    set.push(ok);
+    let mut bad = Trace {
+        seed: 2,
+        events: vec![
+            ev(m0, 0, 0, 10, Some(3), None),
+            ev(m1, 1, 4, 30, None, Some("IndexOutOfRange")),
+        ],
+        outcome: Outcome::Failure(FailureSignature {
+            kind: "IndexOutOfRange".into(),
+            method: m1,
+        }),
+        duration: 40,
+    };
+    bad.normalize();
+    set.push(bad);
+    codec::encode(&set)
+}
+
+/// Shared postcondition: decoding must terminate without panicking, and any
+/// error must classify itself with a line number inside the input.
+fn assert_well_behaved(mutated: &str) {
+    match codec::decode(mutated) {
+        Ok(set) => {
+            // A surviving set must re-encode cleanly (names stay
+            // whitespace-free under these mutation operators).
+            let _ = codec::encode(&set);
+        }
+        Err(e) => {
+            let lines = mutated.lines().count();
+            assert!(
+                e.line <= lines.max(1),
+                "error line {} beyond input ({} lines)",
+                e.line,
+                lines
+            );
+            assert!(!e.message.is_empty());
+            assert!(e.to_string().contains("line"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Truncating the stream anywhere is either still decodable (cut at a
+    /// record boundary) or fails with a structural error — never a panic,
+    /// and never a misclassified "bad number"-style error for a cut that
+    /// removed whole lines cleanly.
+    #[test]
+    fn prop_truncation_is_classified(cut in 0usize..4096) {
+        let text = corpus();
+        let cut = cut % (text.len() + 1);
+        let mutated = &text[..cut];
+        assert_well_behaved(mutated);
+        if let Err(e) = codec::decode(mutated) {
+            use codec::DecodeErrorKind as K;
+            assert!(
+                matches!(
+                    e.kind,
+                    K::UnterminatedTrace
+                        | K::MissingField(_)
+                        | K::InvalidNumber(_)
+                        | K::InvalidFlag(_)
+                        | K::InvalidStatus
+                        | K::InvalidAccessKind
+                        | K::UnknownRecord
+                ),
+                "truncation at {cut} produced unexpected kind {:?}",
+                e.kind
+            );
+        }
+    }
+
+    /// Deleting, duplicating, or swapping whole lines never panics; the
+    /// decoder either accepts the result or reports a typed structural
+    /// error (dangling references, misnumbered declarations, orphaned
+    /// records, unterminated traces).
+    #[test]
+    fn prop_line_shuffles_are_classified(op in 0u8..3, a in 0usize..64, b in 0usize..64) {
+        let text = corpus();
+        let lines: Vec<&str> = text.lines().collect();
+        let a = a % lines.len();
+        let b = b % lines.len();
+        let mutated: Vec<&str> = match op {
+            0 => lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != a)
+                .map(|(_, l)| *l)
+                .collect(),
+            1 => {
+                let mut v = lines.clone();
+                v.insert(a, lines[a]);
+                v
+            }
+            _ => {
+                let mut v = lines.clone();
+                v.swap(a, b);
+                v
+            }
+        };
+        let mutated = mutated.join("\n");
+        assert_well_behaved(&mutated);
+    }
+
+    /// Corrupting a single byte (to an ASCII letter, digit, or dash) never
+    /// panics and never reports a line outside the input; UTF-8 handling is
+    /// untouched because the replacement is ASCII.
+    #[test]
+    fn prop_byte_corruption_is_classified(pos in 0usize..4096, repl in 0usize..3) {
+        let text = corpus();
+        let pos = pos % text.len();
+        let mut bytes = text.into_bytes();
+        bytes[pos] = b"x9-"[repl];
+        let mutated = String::from_utf8(bytes).expect("ASCII replacement");
+        assert_well_behaved(&mutated);
+        if let Err(e) = codec::decode(&mutated) {
+            assert_ne!(
+                e.kind,
+                codec::DecodeErrorKind::InvalidUtf8,
+                "ASCII corruption cannot produce UTF-8 errors"
+            );
+        }
+    }
+
+    /// Injecting a garbage line is rejected as exactly `UnknownRecord` at
+    /// exactly the injected line (or tolerated when it parses as a comment).
+    #[test]
+    fn prop_garbage_line_is_pinpointed(at in 0usize..64, garbage in 0usize..3) {
+        let text = corpus();
+        let payload = ["%% not a record", "record of no kind", "\u{1F980} crab"][garbage];
+        let mut lines: Vec<&str> = text.lines().collect();
+        let at = at % (lines.len() + 1);
+        lines.insert(at, payload);
+        let mutated = lines.join("\n");
+        match codec::decode(&mutated) {
+            Ok(_) => prop_assert!(false, "garbage line must be rejected"),
+            Err(e) => {
+                prop_assert_eq!(e.kind, codec::DecodeErrorKind::UnknownRecord);
+                prop_assert_eq!(e.line, at + 1);
+            }
+        }
+    }
+}

@@ -52,6 +52,17 @@ impl DenseBitSet {
         self.len
     }
 
+    /// Resizes the universe to `len`, keeping the membership of every
+    /// surviving element. Growing adds absent elements; shrinking drops any
+    /// element `>= len`. Append-only consumers (e.g. per-predicate
+    /// occurrence bitmaps over an ever-growing trace store) grow their
+    /// universes in place instead of reallocating fresh sets.
+    pub fn resize(&mut self, len: usize) {
+        self.len = len;
+        self.words.resize(len.div_ceil(WORD_BITS), 0);
+        self.trim();
+    }
+
     /// Clears bits beyond `len` in the last word.
     fn trim(&mut self) {
         let tail = self.len % WORD_BITS;
@@ -151,6 +162,16 @@ impl DenseBitSet {
         s
     }
 
+    /// Number of elements shared with `other`, without allocating.
+    pub fn intersection_count(&self, other: &DenseBitSet) -> usize {
+        self.check(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// True if `self` and `other` share at least one element.
     pub fn intersects(&self, other: &DenseBitSet) -> bool {
         self.check(other);
@@ -237,6 +258,20 @@ mod tests {
     }
 
     #[test]
+    fn resize_preserves_surviving_members() {
+        let mut s = DenseBitSet::from_indices(70, [0, 63, 64, 69]);
+        s.resize(130);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 69]);
+        assert!(s.insert(129));
+        s.resize(64);
+        assert_eq!(s.to_vec(), vec![0, 63]);
+        assert_eq!(s.universe_len(), 64);
+        // Re-growing does not resurrect dropped elements.
+        s.resize(130);
+        assert_eq!(s.to_vec(), vec![0, 63]);
+    }
+
+    #[test]
     fn full_respects_universe() {
         let s = DenseBitSet::full(67);
         assert_eq!(s.count(), 67);
@@ -249,6 +284,7 @@ mod tests {
         let b = DenseBitSet::from_indices(10, [3, 4]);
         assert_eq!(a.union(&b).to_vec(), vec![1, 3, 4, 5]);
         assert_eq!(a.intersection(&b).to_vec(), vec![3]);
+        assert_eq!(a.intersection_count(&b), 1);
         assert_eq!(a.difference(&b).to_vec(), vec![1, 5]);
         assert!(a.intersects(&b));
         assert!(!a.is_subset(&b));

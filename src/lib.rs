@@ -58,6 +58,7 @@ pub use aid_engine as engine;
 pub use aid_predicates as predicates;
 pub use aid_sd as sd;
 pub use aid_sim as sim;
+pub use aid_store as store;
 pub use aid_synth as synth;
 pub use aid_theory as theory;
 pub use aid_trace as trace;
@@ -65,7 +66,7 @@ pub use aid_util as util;
 
 /// The most common imports for using AID end to end.
 pub mod prelude {
-    pub use aid_causal::{AcDag, PrecedencePolicy, StartTimePolicy, TypeAwarePolicy};
+    pub use aid_causal::{AcDag, AcDagBuilder, PrecedencePolicy, StartTimePolicy, TypeAwarePolicy};
     pub use aid_core::{
         analyze, analyze_with_policy, discover, discover_with_options, failure_signatures,
         render_explanation, AidAnalysis, BatchExecutor, BudgetExhausted, CountingExecutor,
@@ -86,6 +87,7 @@ pub mod prelude {
         InstanceFilter, Intervention, InterventionPlan, Program, ProgramBuilder, SimConfig,
         SimExecutor, Simulator,
     };
+    pub use aid_store::{StoreConfig, StoreSnapshot, StoreView, StreamDecoder, TraceStore};
     pub use aid_trace::{
         AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome, ThreadId, Trace,
         TraceSet,
