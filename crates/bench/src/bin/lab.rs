@@ -1,0 +1,149 @@
+//! The scenario-lab driver: a fixed-seed fuzz sweep of randomized
+//! bug-class scenarios through the differential conformance harness.
+//!
+//! ```sh
+//! cargo run -p aid_bench --bin lab --release -- \
+//!     [--scenarios=200] [--seed=1] [--workers=4] [--stride=1]
+//! ```
+//!
+//! Every scenario runs the whole pipeline — codec round-trips, streaming
+//! ingestion under adversarial framing, incremental-vs-batch store
+//! analysis at every prefix, engine discovery across worker counts and
+//! against the intervention cache, and a ground-truth lineage check on the
+//! discovered causes. Any invariant violation is printed and the process
+//! exits nonzero (CI treats that as a failure). The final `AID-LAB {json}`
+//! line is the machine-readable summary.
+
+use aid_bench::{arg_value, render_table};
+use aid_lab::{check_scenario_on, generate_validated, BugClass, Conformance, LabParams};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() {
+    let scenarios: u64 = arg_value("scenarios")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let base_seed: u64 = arg_value("seed").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let workers: usize = arg_value("workers")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let stride: usize = arg_value("stride")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let conf = Conformance {
+        params: LabParams::default(),
+        workers,
+        prefix_stride: stride,
+        discovery_seed: 11,
+    };
+
+    println!(
+        "Running {scenarios} scenarios (seeds {base_seed}..{}) through the \
+         conformance harness…\n",
+        base_seed + scenarios
+    );
+    let start = Instant::now();
+    let mut reports = Vec::new();
+    for seed in base_seed..base_seed + scenarios {
+        let (scenario, corpus) = generate_validated(&conf.params, seed);
+        let report = check_scenario_on(&scenario, &corpus, &conf);
+        for v in &report.violations {
+            eprintln!("VIOLATION {v}");
+        }
+        reports.push(report);
+    }
+    let elapsed = start.elapsed();
+
+    // Per-bug-class rollup.
+    let mut rows = vec![vec![
+        "class".to_string(),
+        "scenarios".to_string(),
+        "traces".to_string(),
+        "rounds".to_string(),
+        "root found".to_string(),
+        "kind match".to_string(),
+        "mechanism hit".to_string(),
+        "violations".to_string(),
+    ]];
+    let mut by_class: BTreeMap<&'static str, Vec<&aid_lab::ScenarioReport>> = BTreeMap::new();
+    for r in &reports {
+        by_class.entry(r.bug_class.name()).or_default().push(r);
+    }
+    for class in BugClass::ALL {
+        let Some(group) = by_class.get(class.name()) else {
+            continue;
+        };
+        rows.push(vec![
+            class.name().to_string(),
+            group.len().to_string(),
+            group.iter().map(|r| r.traces).sum::<usize>().to_string(),
+            group
+                .iter()
+                .map(|r| r.aid_rounds)
+                .sum::<usize>()
+                .to_string(),
+            group.iter().filter(|r| r.root_found).count().to_string(),
+            group
+                .iter()
+                .filter(|r| r.root_kind_match)
+                .count()
+                .to_string(),
+            group
+                .iter()
+                .filter(|r| r.root_on_mechanism)
+                .count()
+                .to_string(),
+            group
+                .iter()
+                .map(|r| r.violations.len())
+                .sum::<usize>()
+                .to_string(),
+        ]);
+    }
+    print!("{}", render_table(&rows));
+
+    let total = reports.len();
+    let violations: usize = reports.iter().map(|r| r.violations.len()).sum();
+    let traces: usize = reports.iter().map(|r| r.traces).sum();
+    let root_found = reports.iter().filter(|r| r.root_found).count();
+    let kind_match = reports.iter().filter(|r| r.root_kind_match).count();
+    let mechanism = reports.iter().filter(|r| r.root_on_mechanism).count();
+    println!(
+        "\n{total} scenarios ({traces} traces) in {elapsed:?} \
+         ({:.1} scenarios/s) — {violations} violations",
+        total as f64 / elapsed.as_secs_f64()
+    );
+
+    let mix: Vec<String> = BugClass::ALL
+        .iter()
+        .map(|c| {
+            format!(
+                "\"{}\":{}",
+                c.name(),
+                by_class.get(c.name()).map_or(0, |g| g.len())
+            )
+        })
+        .collect();
+    println!(
+        "AID-LAB {{\"scenarios\":{},\"base_seed\":{},\"workers\":{},\
+         \"elapsed_s\":{:.6},\"scenarios_per_s\":{:.3},\"traces\":{},\
+         \"bug_class_mix\":{{{}}},\"root_found\":{},\"root_kind_match\":{},\
+         \"root_on_mechanism\":{},\"violations\":{}}}",
+        total,
+        base_seed,
+        workers,
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+        traces,
+        mix.join(","),
+        root_found,
+        kind_match,
+        mechanism,
+        violations
+    );
+
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -210,9 +210,11 @@ impl InterventionCache {
     }
 
     /// Creates a cache bounded to roughly `max_entries` records. Eviction
-    /// is segmented: when a shard reaches its share of the bound, the whole
-    /// shard is flushed (counted in [`CacheStats::evictions`]). Crude but
-    /// O(1) amortized and sufficient to keep a service-shaped engine's
+    /// is segmented: when a shard reaches its share of the bound, the
+    /// shard's *completed* records are flushed (counted in
+    /// [`CacheStats::evictions`]); in-flight placeholders survive, so
+    /// single-flight owners and their waiters are never disturbed. Crude
+    /// but O(1) amortized and sufficient to keep a service-shaped engine's
     /// memory flat — correctness never depends on residency, only speed.
     pub fn with_capacity(shards: usize, max_entries: usize) -> Self {
         Self::build(shards, Some(max_entries.max(1)))
@@ -267,6 +269,11 @@ impl InterventionCache {
                 Leased::Waiter(slot)
             }
             None => {
+                // The placeholder counts toward the shard's share of the
+                // capacity bound just like a record does: without this, an
+                // engine that populates exclusively through leases (the
+                // production executor path) would never evict at all.
+                self.flush_if_full(&mut shard, &key);
                 let slot = Arc::new(PendingSlot {
                     state: Mutex::new(PendingState::Computing),
                     done: Condvar::new(),
@@ -284,18 +291,30 @@ impl InterventionCache {
         }
     }
 
-    /// Stores the record of one executed run, flushing the target shard
-    /// first if it is at its capacity share. Waiters on a pending slot are
-    /// unaffected by the flush: their rendezvous lives in the slot itself.
+    /// Stores the record of one executed run, flushing the target shard's
+    /// completed records first if it is at its capacity share.
     pub fn insert(&self, key: CacheKey, record: ExecutionRecord) {
         let mut shard = self.shard(&key).lock().unwrap();
+        self.flush_if_full(&mut shard, &key);
+        shard.insert(key, Slot::Ready(record));
+    }
+
+    /// Flushes a full shard's `Ready` records (a segmented eviction) so
+    /// `key` can be admitted. `Pending` placeholders are retained: evicting
+    /// one would spawn a duplicate owner for the same in-flight key, and
+    /// the placeholder's memory is bounded by pool concurrency anyway.
+    fn flush_if_full(&self, shard: &mut HashMap<CacheKey, Slot>, key: &CacheKey) {
         if let Some(cap) = self.shard_capacity {
-            if shard.len() >= cap && !shard.contains_key(&key) {
-                shard.clear();
-                self.evictions.fetch_add(1, Relaxed);
+            if shard.len() >= cap && !shard.contains_key(key) {
+                let before = shard.len();
+                shard.retain(|_, slot| matches!(slot, Slot::Pending(_)));
+                // A shard full of in-flight placeholders removes nothing;
+                // that is not an eviction, so don't report one.
+                if shard.len() < before {
+                    self.evictions.fetch_add(1, Relaxed);
+                }
             }
         }
-        shard.insert(key, Slot::Ready(record));
     }
 
     /// Number of stored records (including in-flight placeholders).

@@ -1,0 +1,219 @@
+//! Persistence for minimized regression corpora.
+//!
+//! A corpus entry is one labeled [`TraceSet`] (usually the output of
+//! [`crate::shrink::shrink_corpus`]) serialized with the standard
+//! `aid_trace::codec` line format, prefixed by a single `#AID-LAB-CORPUS`
+//! comment line carrying the metadata needed to replay it faithfully: the
+//! scenario name, bug class, seed, the invariant that originally failed,
+//! and which method ids are pure (so the replayed `ExtractionConfig`
+//! matches the original). The codec skips `#` comments, so an entry file is
+//! itself a valid trace log — greppable, diffable, and loadable by any
+//! tool that reads the trace format.
+//!
+//! Entries live in `crates/lab/corpus/` and are replayed by CI against the
+//! corpus-level conformance invariants.
+
+use crate::gen::BugClass;
+use aid_predicates::ExtractionConfig;
+use aid_trace::{codec, MethodId, TraceSet};
+use std::path::{Path, PathBuf};
+
+/// Header tag of an entry file's first line.
+const HEADER: &str = "#AID-LAB-CORPUS v1";
+
+/// One persisted corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Entry name (also the file stem).
+    pub name: String,
+    /// Bug class of the originating scenario, when known.
+    pub bug_class: Option<BugClass>,
+    /// Scenario seed.
+    pub seed: u64,
+    /// The invariant this corpus originally violated.
+    pub invariant: String,
+    /// Raw ids of pure methods (relative to the entry's own arenas).
+    pub pure_methods: Vec<u32>,
+    /// The minimized trace corpus.
+    pub set: TraceSet,
+}
+
+impl CorpusEntry {
+    /// The extraction configuration the entry should be replayed under.
+    pub fn config(&self) -> ExtractionConfig {
+        let mut config = ExtractionConfig::default();
+        for &raw in &self.pure_methods {
+            config.pure_methods.insert(MethodId::from_raw(raw));
+        }
+        config
+    }
+
+    /// Renders the entry to its on-disk text form.
+    pub fn render(&self) -> String {
+        let pure = self
+            .pure_methods
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let class = self.bug_class.map_or("unknown", |c| c.name());
+        format!(
+            "{HEADER} name={} class={} seed={} invariant={} pure={}\n{}",
+            sanitize(&self.name),
+            class,
+            self.seed,
+            sanitize(&self.invariant),
+            pure,
+            codec::encode(&self.set),
+        )
+    }
+
+    /// Parses an entry from its on-disk text form.
+    pub fn parse(text: &str) -> Result<CorpusEntry, String> {
+        let first = text.lines().next().unwrap_or_default();
+        if !first.starts_with(HEADER) {
+            return Err(format!("missing {HEADER} header"));
+        }
+        let mut entry = CorpusEntry {
+            name: "unnamed".into(),
+            bug_class: None,
+            seed: 0,
+            invariant: "unknown".into(),
+            pure_methods: Vec::new(),
+            set: TraceSet::new(),
+        };
+        for token in first[HEADER.len()..].split_ascii_whitespace() {
+            let Some((key, value)) = token.split_once('=') else {
+                continue;
+            };
+            match key {
+                "name" => entry.name = value.to_string(),
+                "class" => entry.bug_class = BugClass::from_name(value),
+                "seed" => entry.seed = value.parse().map_err(|_| "bad seed".to_string())?,
+                "invariant" => entry.invariant = value.to_string(),
+                "pure" => {
+                    for id in value.split(',').filter(|s| !s.is_empty()) {
+                        entry
+                            .pure_methods
+                            .push(id.parse().map_err(|_| "bad pure id".to_string())?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        entry.set = codec::decode(text).map_err(|e| e.to_string())?;
+        Ok(entry)
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace(char::is_whitespace, "_")
+}
+
+/// Writes an entry into `dir` as `<name>.log`, returning the path.
+pub fn save_entry(dir: &Path, entry: &CorpusEntry) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.log", sanitize(&entry.name)));
+    std::fs::write(&path, entry.render())?;
+    Ok(path)
+}
+
+/// Loads one entry file.
+pub fn load_entry(path: &Path) -> Result<CorpusEntry, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    CorpusEntry::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads every `.log` entry in `dir`, sorted by file name for determinism.
+/// An absent directory is an empty corpus, not an error.
+pub fn load_dir(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "log"))
+            .collect(),
+        Err(_) => return Ok(Vec::new()),
+    };
+    paths.sort();
+    paths.iter().map(|p| load_entry(p)).collect()
+}
+
+/// The committed regression-corpus directory of this crate.
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aid_trace::{FailureSignature, MethodEvent, Outcome, ThreadId, Trace};
+
+    fn small_set() -> TraceSet {
+        let mut set = TraceSet::new();
+        let m = set.method("Commit");
+        let mut t = Trace {
+            seed: 9,
+            events: vec![MethodEvent {
+                method: m,
+                instance: 0,
+                thread: ThreadId::from_raw(0),
+                start: 0,
+                end: 4,
+                accesses: vec![],
+                returned: Some(1),
+                exception: Some("Boom".into()),
+                caught: false,
+            }],
+            outcome: Outcome::Failure(FailureSignature {
+                kind: "Boom".into(),
+                method: m,
+            }),
+            duration: 5,
+        };
+        t.normalize();
+        set.push(t);
+        set
+    }
+
+    #[test]
+    fn entries_round_trip_through_disk_form() {
+        let entry = CorpusEntry {
+            name: "uaf-s13 minimized".into(),
+            bug_class: Some(BugClass::UseAfterFree),
+            seed: 13,
+            invariant: "codec-identity".into(),
+            pure_methods: vec![0],
+            set: small_set(),
+        };
+        let text = entry.render();
+        let back = CorpusEntry::parse(&text).expect("parse");
+        assert_eq!(back.name, "uaf-s13_minimized");
+        assert_eq!(back.bug_class, Some(BugClass::UseAfterFree));
+        assert_eq!(back.seed, 13);
+        assert_eq!(back.invariant, "codec-identity");
+        assert_eq!(back.pure_methods, vec![0]);
+        assert_eq!(back.set.traces, entry.set.traces);
+        assert!(back.config().pure_methods.contains(&MethodId::from_raw(0)));
+    }
+
+    #[test]
+    fn save_and_load_dir() {
+        let dir = std::env::temp_dir().join(format!("aid-lab-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let entry = CorpusEntry {
+            name: "entry-a".into(),
+            bug_class: Some(BugClass::Timing),
+            seed: 4,
+            invariant: "framing-independence".into(),
+            pure_methods: vec![],
+            set: small_set(),
+        };
+        let path = save_entry(&dir, &entry).expect("save");
+        assert!(path.ends_with("entry-a.log"));
+        let loaded = load_dir(&dir).expect("load");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].set.traces, entry.set.traces);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_dir(&dir).expect("absent dir is empty").is_empty());
+    }
+}

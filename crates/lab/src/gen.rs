@@ -1,0 +1,821 @@
+//! Randomized scenario generation over parameterized bug-class templates.
+//!
+//! Each scenario is a complete concurrent program built with
+//! [`aid_sim::ProgramBuilder`] from one of five bug-class templates — data
+//! race, atomicity violation, order violation, use-after-free, and
+//! timing/expiry — with randomized thread counts, schedules, symptom
+//! decorations (mirrors, propagator chains, monitor threads), and **noise
+//! tasks** that are causally unrelated to the failure. Unlike `aid_synth`'s
+//! Figure-8 family (which generates AC-DAG-shaped abstract applications),
+//! these are real simulator programs: every layer of the pipeline — codec,
+//! store, extraction, SD, AC-DAG, engine — runs on them for real.
+//!
+//! Ground truth travels with the program: the *mechanism* methods (the bug
+//! itself), and the *noise* methods (everything causally unrelated). The
+//! conformance harness's lineage invariant is that discovery never confirms
+//! a predicate touching a noise method; mechanism membership and the
+//! expected root-cause kind grade accuracy.
+//!
+//! Generation is deterministic per `(params, seed)` — the bug class is
+//! `seed % 5` so any contiguous seed range covers all five classes — and
+//! self-validating: a drawn parameterization whose failure is not
+//! intermittent (never fails, or always fails, within the seed budget) is
+//! discarded and redrawn with the next attempt salt.
+
+use aid_cases::helpers::{inline_mirrors, monitor_thread, propagator_chain};
+use aid_cases::RootKind;
+use aid_predicates::ExtractionConfig;
+use aid_sim::program::{Cmp, Expr, Program, Reg};
+use aid_sim::{ProgramBuilder, Simulator};
+use aid_trace::{MethodId, TraceSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// The five concurrency-bug templates the generator composes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BugClass {
+    /// Unsynchronized cross-thread read/write of a shared index.
+    DataRace,
+    /// A reader's snapshot/check pair broken by a concurrent writer pair.
+    AtomicityViolation,
+    /// A consumer that occasionally starts before its producer published.
+    OrderViolation,
+    /// A resource disposed while a transiently-slow user still needs it.
+    UseAfterFree,
+    /// A transient fault stretching a pipeline past a cache TTL.
+    Timing,
+}
+
+impl BugClass {
+    /// All templates, in `seed % 5` order.
+    pub const ALL: [BugClass; 5] = [
+        BugClass::DataRace,
+        BugClass::AtomicityViolation,
+        BugClass::OrderViolation,
+        BugClass::UseAfterFree,
+        BugClass::Timing,
+    ];
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BugClass::DataRace => "data-race",
+            BugClass::AtomicityViolation => "atomicity",
+            BugClass::OrderViolation => "order-violation",
+            BugClass::UseAfterFree => "use-after-free",
+            BugClass::Timing => "timing",
+        }
+    }
+
+    /// Parses a display name back (corpus metadata round-trip).
+    pub fn from_name(name: &str) -> Option<BugClass> {
+        BugClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// The predicate kind the root cause should come back as.
+    pub fn expected_root(&self) -> RootKind {
+        match self {
+            BugClass::DataRace | BugClass::AtomicityViolation => RootKind::DataRace,
+            BugClass::OrderViolation => RootKind::OrderViolation,
+            // The use-after-free's *root* is the transient slowness that
+            // loses the race (the kafka case's reading); the UAF predicate
+            // itself is the next link of the chain.
+            BugClass::UseAfterFree | BugClass::Timing => RootKind::RunsTooSlow,
+        }
+    }
+}
+
+/// Generator sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LabParams {
+    /// Upper bound on symptom mirrors per scenario.
+    pub max_mirrors: usize,
+    /// Upper bound on monitor threads (templates that support them).
+    pub max_monitors: usize,
+    /// Upper bound on noise threads (causally unrelated workers).
+    pub max_noise_threads: usize,
+    /// Successful runs per scenario corpus.
+    pub corpus_ok: usize,
+    /// Failed runs per scenario corpus.
+    pub corpus_fail: usize,
+    /// Seed budget for balanced collection (viability bound).
+    pub max_seeds: u64,
+}
+
+impl Default for LabParams {
+    fn default() -> Self {
+        LabParams {
+            max_mirrors: 10,
+            max_monitors: 2,
+            max_noise_threads: 3,
+            corpus_ok: 8,
+            corpus_fail: 8,
+            max_seeds: 6_000,
+        }
+    }
+}
+
+/// The structural draw of one scenario: which template, and how many of
+/// each decoration. Timing constants are drawn separately inside
+/// [`build`]; the spec holds exactly the counts the shrinker can reduce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Scenario seed (drives every random draw).
+    pub seed: u64,
+    /// Redraw salt (bumped when a draw was not viably intermittent).
+    pub attempt: u32,
+    /// Which bug-class template to instantiate.
+    pub bug_class: BugClass,
+    /// Symptom mirrors keyed on the corrupted verdict.
+    pub mirrors: usize,
+    /// Propagator-chain links between verdict and crash.
+    pub chain: usize,
+    /// Monitor threads observing the infected flag.
+    pub monitors: usize,
+    /// Causally unrelated noise threads.
+    pub noise_threads: usize,
+}
+
+/// One generated scenario: the program, its extraction configuration, and
+/// the ground truth the conformance harness grades against.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// `"<class>-s<seed>"`, the session/report key.
+    pub name: String,
+    /// The structural draw that produced it.
+    pub spec: ScenarioSpec,
+    /// The generated program.
+    pub program: Program,
+    /// Extraction configuration (pure methods marked).
+    pub config: ExtractionConfig,
+    /// The kind the root-cause predicate is expected to have.
+    pub expected_root: RootKind,
+    /// The methods constituting the bug mechanism itself.
+    pub mechanism: BTreeSet<MethodId>,
+    /// Methods causally unrelated to the failure. Discovery confirming a
+    /// predicate that touches one of these is a conformance violation.
+    pub noise_methods: BTreeSet<MethodId>,
+    /// Threads in the program (mechanism + monitors + noise + main).
+    pub threads: usize,
+    /// Intervention runs per round for discovery on this scenario.
+    pub runs_per_round: usize,
+}
+
+impl Scenario {
+    /// Whether a method lies on the ground-truth causal lineage (the
+    /// mechanism or any of its downstream symptoms — everything but noise).
+    pub fn on_lineage(&self, m: MethodId) -> bool {
+        !self.noise_methods.contains(&m)
+    }
+
+    /// A fresh simulator for this scenario's program.
+    pub fn simulator(&self) -> Simulator {
+        Simulator::new(self.program.clone())
+    }
+
+    /// Collects the scenario's balanced observation corpus; `None` when the
+    /// failure was not intermittent enough within the seed budget.
+    pub fn collect(&self, params: &LabParams) -> Option<TraceSet> {
+        let set = self.simulator().collect_balanced(
+            params.corpus_ok,
+            params.corpus_fail,
+            params.max_seeds,
+        );
+        let (ok, fail) = set.counts();
+        (ok >= params.corpus_ok && fail >= params.corpus_fail).then_some(set)
+    }
+}
+
+/// Generates the scenario for `seed`, redrawing (attempt salt) until the
+/// failure is demonstrably intermittent.
+pub fn generate(params: &LabParams, seed: u64) -> Scenario {
+    generate_validated(params, seed).0
+}
+
+/// Like [`generate`], but also returns the balanced corpus that proved the
+/// draw viable — collection is the dominant per-scenario cost, so callers
+/// that need the corpus anyway (the conformance harness) should take it
+/// from here rather than re-collecting. Panics if 24 attempts all produce
+/// degenerate schedules — with the default parameter ranges this does not
+/// happen in practice, and a panic (rather than a skip) keeps fixed-seed
+/// CI runs honest about generator health.
+pub fn generate_validated(params: &LabParams, seed: u64) -> (Scenario, TraceSet) {
+    for attempt in 0..24 {
+        let s = generate_raw(params, seed, attempt);
+        if let Some(set) = s.collect(params) {
+            return (s, set);
+        }
+    }
+    panic!("lab generator: no intermittent draw for seed {seed} in 24 attempts");
+}
+
+/// One unvalidated draw: `seed % 5` fixes the bug class, the rng fills in
+/// the spec counts, and [`build`] instantiates the template.
+pub fn generate_raw(params: &LabParams, seed: u64, attempt: u32) -> Scenario {
+    let bug_class = BugClass::ALL[(seed % 5) as usize];
+    let mut rng = spec_rng(seed, attempt);
+    let spec = ScenarioSpec {
+        seed,
+        attempt,
+        bug_class,
+        mirrors: rng.random_range(2..=params.max_mirrors.max(2)),
+        chain: rng.random_range(0..=3usize),
+        monitors: rng.random_range(0..=params.max_monitors),
+        noise_threads: rng.random_range(0..=params.max_noise_threads),
+    };
+    build(&spec)
+}
+
+fn spec_rng(seed: u64, attempt: u32) -> StdRng {
+    // Salted and mixed so (seed, attempt) pairs land far apart.
+    StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (u64::from(attempt)).wrapping_mul(0xd1b5_4a32_d192_ed03)
+            ^ 0x1ab_5eed,
+    )
+}
+
+/// Instantiates a spec into a concrete program. Deterministic; the timing
+/// rng is derived from the spec's `(seed, attempt)`.
+pub fn build(spec: &ScenarioSpec) -> Scenario {
+    let mut rng = spec_rng(spec.seed ^ 0xfeed_beef, spec.attempt);
+    let mut t = TemplateCtx::new(spec, &mut rng);
+    match spec.bug_class {
+        BugClass::DataRace => data_race(&mut t),
+        BugClass::AtomicityViolation => atomicity(&mut t),
+        BugClass::OrderViolation => order_violation(&mut t),
+        BugClass::UseAfterFree => use_after_free(&mut t),
+        BugClass::Timing => timing(&mut t),
+    }
+    t.finish()
+}
+
+/// Registers: R0/R1 raw snapshots, R2 verdict, R3 secondary verdict,
+/// R4..R8 propagator chain, R9..R15 mirror scratch (see
+/// `aid_cases::helpers::FIRST_SCRATCH_REG`).
+const RAW: Reg = Reg(1);
+const VERDICT: Reg = Reg(2);
+const CHAIN_FIRST: u8 = 4;
+
+/// Shared template state: the builder, the rng, the thread plan, and the
+/// ground-truth method sets being accumulated.
+struct TemplateCtx<'a> {
+    spec: ScenarioSpec,
+    b: ProgramBuilder,
+    rng: &'a mut StdRng,
+    /// `(thread name, entry)` in spawn order; join index = position + 1.
+    threads: Vec<(String, MethodId)>,
+    main: Option<MethodId>,
+    mechanism: Vec<MethodId>,
+    noise: Vec<MethodId>,
+}
+
+impl<'a> TemplateCtx<'a> {
+    fn new(spec: &ScenarioSpec, rng: &'a mut StdRng) -> Self {
+        TemplateCtx {
+            spec: *spec,
+            b: ProgramBuilder::new(&format!("lab-{}-s{}", spec.bug_class.name(), spec.seed)),
+            rng,
+            threads: Vec::new(),
+            main: None,
+            mechanism: Vec::new(),
+            noise: Vec::new(),
+        }
+    }
+
+    /// Registers a worker thread; returns its join index.
+    fn thread(&mut self, name: impl Into<String>, entry: MethodId) -> usize {
+        self.threads.push((name.into(), entry));
+        self.threads.len()
+    }
+
+    /// Adds `spec.noise_threads` independent workers: each jitters, runs a
+    /// pure task returning a constant, and touches a private object —
+    /// predicates they spawn (slow-run timings, mostly) are statistically
+    /// unrelated to the failure and must never be confirmed causal.
+    fn add_noise_threads(&mut self) {
+        for i in 0..self.spec.noise_threads {
+            let width = self.rng.random_range(6..=30u64);
+            let cost = self.rng.random_range(2..=6u64);
+            let value = self.rng.random_range(0..=9i64);
+            let scratch = self.b.object(&format!("noiseState{i}"), 0);
+            let task = self.b.pure_method(&format!("NoiseTask{i}"), |m| {
+                m.compute(cost).ret(Expr::Const(value));
+            });
+            let entry = self.b.method(&format!("NoiseLoop{i}"), |m| {
+                m.jitter(1, width)
+                    .call(task)
+                    .write(scratch, Expr::Const(1))
+                    .compute(1);
+            });
+            self.noise.push(task);
+            self.noise.push(entry);
+            self.thread(format!("noise{i}"), entry);
+        }
+    }
+
+    /// Adds `spec.monitors` monitor threads keyed on `infected`/`phase`,
+    /// returning how many were added (the `done` target).
+    fn add_monitors(
+        &mut self,
+        phase: aid_trace::ObjectId,
+        infected: aid_trace::ObjectId,
+        done: aid_trace::ObjectId,
+    ) -> i64 {
+        for i in 0..self.spec.monitors {
+            let count = self.rng.random_range(4..=9usize);
+            let slow_every = self.rng.random_range(4..=6usize);
+            let entry = monitor_thread(
+                &mut self.b,
+                &format!("Mon{i}"),
+                phase,
+                infected,
+                done,
+                count,
+                slow_every,
+                6,
+            );
+            self.thread(format!("mon{i}"), entry);
+        }
+        self.spec.monitors as i64
+    }
+
+    /// Defines the main method: spawn every registered thread, run `body`,
+    /// join every registered thread.
+    fn main(&mut self, body: impl FnOnce(&mut aid_sim::builder::BodyBuilder)) {
+        let names: Vec<String> = self.threads.iter().map(|(n, _)| n.clone()).collect();
+        let joins = self.threads.len();
+        let main = self.b.method("Main", |m| {
+            for n in &names {
+                m.spawn_named(n);
+            }
+            body(m);
+            for i in 1..=joins {
+                m.join(i);
+            }
+        });
+        self.main = Some(main);
+    }
+
+    /// Builds the final scenario from the accumulated state.
+    fn finish(mut self) -> Scenario {
+        let main = self.main.expect("template must define a main method");
+        self.b.thread("main", main, true);
+        for (name, entry) in std::mem::take(&mut self.threads) {
+            self.b.thread(&name, entry, false);
+        }
+        let program = self.b.build();
+        let mut config = ExtractionConfig::default();
+        for m in program.pure_methods() {
+            config.pure_methods.insert(m);
+        }
+        Scenario {
+            name: format!("{}-s{}", self.spec.bug_class.name(), self.spec.seed),
+            spec: self.spec,
+            threads: program.threads.len(),
+            expected_root: self.spec.bug_class.expected_root(),
+            mechanism: self.mechanism.iter().copied().collect(),
+            noise_methods: self.noise.iter().copied().collect(),
+            program,
+            config,
+            runs_per_round: 10,
+        }
+    }
+}
+
+/// Symptom decorations shared by the register-verdict templates: an
+/// optional propagator chain off `VERDICT` (returning the reg the crash
+/// should test) and inline mirrors.
+fn chain_and_mirrors(t: &mut TemplateCtx, prefix: &str) -> (Vec<MethodId>, Reg, Vec<MethodId>) {
+    let (chain, last) = if t.spec.chain > 0 {
+        propagator_chain(
+            &mut t.b,
+            &format!("{prefix}Stage"),
+            VERDICT,
+            CHAIN_FIRST,
+            t.spec.chain,
+        )
+    } else {
+        (Vec::new(), VERDICT)
+    };
+    let slow_every = t.rng.random_range(0..=5usize);
+    let slow_every = if slow_every < 3 { 0 } else { slow_every };
+    let mirrors = inline_mirrors(
+        &mut t.b,
+        &format!("{prefix}Probe"),
+        VERDICT,
+        t.spec.mirrors,
+        slow_every,
+    );
+    (chain, last, mirrors)
+}
+
+/// **data-race**: a reader snapshots a shared index inside an open window
+/// while an unlocked writer bumps it (the Npgsql §7.1.1 mechanism, with
+/// randomized window widths and decorations).
+fn data_race(t: &mut TemplateCtx) {
+    let read_window = t.rng.random_range(28..=48u64);
+    let writer_delay = t.rng.random_range(4..=8u64);
+    let entry_delay = t.rng.random_range(22..=38u64);
+
+    let flag = t.b.object("connOpen", 0);
+    let shared = t.b.object("sharedIdx", 10);
+
+    let reader = t.b.method("SnapshotIndex", |m| {
+        m.write(flag, Expr::Const(1))
+            .jitter(8, read_window)
+            .read(shared, RAW);
+    });
+    let writer = t.b.method("BumpIndex", |m| {
+        m.jitter(1, writer_delay).write(shared, Expr::Const(11));
+    });
+    let bump_loop = t.b.method("BumpLoop", |m| {
+        m.wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1))
+            .jitter(0, entry_delay)
+            .call(writer);
+    });
+    let validate = t.b.pure_method("ValidateIndex", |m| {
+        m.set_if(
+            VERDICT,
+            Expr::Reg(RAW),
+            Cmp::Gt,
+            Expr::Const(10),
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .ret(Expr::Reg(VERDICT));
+    });
+    let (chain, last, mirrors) = chain_and_mirrors(t, "Route");
+
+    // Monitor wiring (publish always precedes the crash site).
+    let monitored = t.spec.monitors > 0;
+    let (phase, infected, done) = if monitored {
+        (
+            t.b.object("lookupPhase", 0),
+            t.b.object("indexCorrupt", 0),
+            t.b.object("monitorsDone", 0),
+        )
+    } else {
+        (flag, flag, flag) // unused
+    };
+    let publish = monitored.then(|| {
+        t.b.method("PublishVerdict", |m| {
+            m.write(infected, Expr::Reg(VERDICT))
+                .write(phase, Expr::Const(1));
+        })
+    });
+    let crash = t.b.method("AccessPools", |m| {
+        m.compute(1)
+            .throw_if(Expr::Reg(last), Cmp::Eq, Expr::Const(1), "IndexOutOfRange");
+    });
+    let mon_target = if monitored {
+        t.add_monitors(phase, infected, done)
+    } else {
+        0
+    };
+    let worker = t.b.method("OpenConnection", |m| {
+        m.call(reader).call(validate);
+        m.call_each(&chain);
+        if let Some(p) = publish {
+            m.call(p);
+        }
+        m.call_each(&mirrors);
+        if mon_target > 0 {
+            m.wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(mon_target));
+        }
+        m.call(crash);
+    });
+    t.thread("conn", worker);
+    t.thread("pool", bump_loop);
+    t.add_noise_threads();
+    t.mechanism.extend([reader, writer]);
+    t.main(|_| {});
+}
+
+/// **atomicity**: a writer updates a `(len, slot)` pair that a reader
+/// snapshots and later bounds-checks; the run crashes iff the pair lands
+/// inside the reader's window.
+fn atomicity(t: &mut TemplateCtx) {
+    let read_window = t.rng.random_range(26..=42u64);
+    let writer_delay = t.rng.random_range(6..=12u64);
+    let entry_delay = t.rng.random_range(24..=40u64);
+    let grown = t.rng.random_range(16..=24i64);
+
+    let flag = t.b.object("batchOpen", 0);
+    let len = t.b.object("batchLen", 10);
+    let slot = t.b.object("batchSlot", 10);
+
+    let writer = t.b.method("GrowBatch", |m| {
+        m.jitter(1, writer_delay)
+            .write(len, Expr::Const(grown))
+            .write(slot, Expr::Const(11));
+    });
+    let writer_entry = t.b.method("GrowLoop", |m| {
+        m.wait_until(Expr::Obj(flag), Cmp::Eq, Expr::Const(1))
+            .jitter(0, entry_delay)
+            .call(writer);
+    });
+    let (chain, _last, mirrors) = chain_and_mirrors(t, "Scan");
+    let reader = t.b.method("ReadBatch", |m| {
+        m.write(flag, Expr::Const(1))
+            .read(len, Reg(0))
+            .jitter(5, read_window)
+            .set_if(
+                VERDICT,
+                Expr::Obj(slot),
+                Cmp::Gt,
+                Expr::Reg(Reg(0)),
+                Expr::Const(1),
+                Expr::Const(0),
+            );
+        m.call_each(&chain).call_each(&mirrors).throw_if_obj(
+            slot,
+            Cmp::Gt,
+            Expr::Reg(Reg(0)),
+            "IndexOutOfRange",
+        );
+    });
+    t.thread("reader", reader);
+    t.thread("writer", writer_entry);
+    t.add_noise_threads();
+    t.mechanism.extend([reader, writer]);
+    t.main(|_| {});
+}
+
+/// **order-violation**: packaging occasionally starts before compilation
+/// published its artifacts (the BuildAndTest §7.1.4 mechanism).
+fn order_violation(t: &mut TemplateCtx) {
+    let compile_lo = t.rng.random_range(8..=14u64);
+    let compile_hi = compile_lo + t.rng.random_range(40..=55u64);
+    let package_lo = t.rng.random_range(4..=8u64);
+    let package_hi = package_lo + t.rng.random_range(40..=55u64);
+
+    let compiled = t.b.object("artifactsReady", 0);
+    let infected = t.b.object("artifactMissing", 0);
+    let phase = t.b.object("verifyPhase", 0);
+    let done = t.b.object("scanDone", 0);
+
+    let compile = t.b.method("CompileStep", |m| {
+        m.jitter(compile_lo, compile_hi)
+            .write(compiled, Expr::Const(1));
+    });
+    let compiler_loop = t.b.method("CompilerLoop", |m| {
+        m.call(compile);
+    });
+    let package = t.b.method("PackageStep", |m| {
+        m.read(compiled, RAW);
+    });
+    let verify = t.b.pure_method("VerifyArtifact", |m| {
+        m.set_if(
+            VERDICT,
+            Expr::Reg(RAW),
+            Cmp::Eq,
+            Expr::Const(0),
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .ret(Expr::Reg(VERDICT));
+    });
+    // Symptoms key on the raw stale read (R3), siblings of the verification
+    // — exactly the counterfactual-violation fodder Definition 2 prunes.
+    let publish = t.b.method("PublishBuildStatus", |m| {
+        m.set_if(
+            Reg(3),
+            Expr::Reg(RAW),
+            Cmp::Eq,
+            Expr::Const(0),
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .write(infected, Expr::Reg(Reg(3)))
+        .write(phase, Expr::Const(1));
+    });
+    let slow_every = t.rng.random_range(3..=5usize);
+    let mirrors = inline_mirrors(
+        &mut t.b,
+        "ManifestCheck",
+        Reg(3),
+        t.spec.mirrors,
+        slow_every,
+    );
+    let mon_target = t.add_monitors(phase, infected, done);
+
+    let packager = t.b.method("PackagerLoop", |m| {
+        m.jitter(package_lo, package_hi)
+            .call(package)
+            .call(publish)
+            .call(verify);
+        m.call_each(&mirrors);
+        if mon_target > 0 {
+            m.wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(mon_target));
+        }
+        m.throw_if(
+            Expr::Reg(VERDICT),
+            Cmp::Eq,
+            Expr::Const(1),
+            "ArtifactMissing",
+        );
+    });
+    t.thread("compiler", compiler_loop);
+    t.thread("packager", packager);
+    t.add_noise_threads();
+    t.mechanism.extend([compile, package]);
+    t.main(|_| {});
+}
+
+/// **use-after-free**: the main thread disposes a consumer on a schedule
+/// that only a transiently-slow worker loses to (the Kafka §7.1.2
+/// mechanism).
+fn use_after_free(t: &mut TemplateCtx) {
+    let fast_prep = t.rng.random_range(4..=8u64);
+    let fault_delay = t.rng.random_range(220..=300u64);
+    let fault_prob = t.rng.random_range(40..=60u32) as f64 / 100.0;
+    let slow_threshold = (fast_prep + 50) as i64;
+    // Timing regime (mirrors the Kafka case): dispose fires strictly
+    // *after* even a slow preparation ends — so the slow-prep window cleanly
+    // precedes the use-after-free in the AC-DAG — but before a slow run's
+    // commit, which the slow mirror symptoms (60 ticks each, ≥2 of them,
+    // firing only when the slow verdict is set) push far enough out.
+    let dispose_lo = fault_delay + 20;
+    let dispose_hi = dispose_lo + t.rng.random_range(40..=70u64);
+
+    let alive = t.b.object("consumerAlive", 1);
+    let prepare = t.b.method("PrepareCommit", |m| {
+        m.compute(fast_prep).flaky_delay(fault_prob, fault_delay);
+    });
+    let (chain, _last) = if t.spec.chain > 0 {
+        propagator_chain(&mut t.b, "BatchStage", VERDICT, CHAIN_FIRST, t.spec.chain)
+    } else {
+        (Vec::new(), VERDICT)
+    };
+    let mirrors = inline_mirrors(&mut t.b, "BatchProbe", VERDICT, t.spec.mirrors.max(6), 3);
+    let commit = t.b.method("Commit", |m| {
+        m.throw_if_obj(alive, Cmp::Eq, Expr::Const(0), "ObjectDisposed");
+    });
+    let commit_offsets = t.b.method("CommitOffsets", |m| {
+        m.call(commit);
+    });
+    let worker = t.b.method("ConsumeWorkerLoop", |m| {
+        m.set(RAW, Expr::Now).call(prepare).set_if(
+            VERDICT,
+            Expr::sub(Expr::Now, Expr::Reg(RAW)),
+            Cmp::Gt,
+            Expr::Const(slow_threshold),
+            Expr::Const(1),
+            Expr::Const(0),
+        );
+        m.call_each(&chain).call_each(&mirrors).call(commit_offsets);
+    });
+    let dispose = t.b.method("DisposeConsumer", |m| {
+        m.compute(2).write(alive, Expr::Const(0));
+    });
+    t.thread("worker", worker);
+    t.add_noise_threads();
+    t.mechanism.extend([prepare, dispose, commit]);
+    t.main(move |m| {
+        m.jitter(dispose_lo, dispose_hi).call(dispose);
+    });
+}
+
+/// **timing**: a transient fault routes one pipeline task through a slow
+/// path that outlasts a cache TTL, so the later lookup misses (the
+/// CosmosDB §7.1.3 mechanism).
+fn timing(t: &mut TemplateCtx) {
+    let ttl = t.rng.random_range(130..=200i64);
+    let fault_delay = (ttl as u64) + t.rng.random_range(150..=260u64);
+    let fault_prob = t.rng.random_range(40..=60u32) as f64 / 100.0;
+    let task_count = t.rng.random_range(2..=4usize);
+
+    let expiry = t.b.object("cacheExpiry", 0);
+    let infected = t.b.object("entryExpired", 0);
+    let phase = t.b.object("lookupPhase", 0);
+    let done = t.b.object("monitorsDone", 0);
+
+    let populate = t.b.method("PopulateCache", |m| {
+        m.compute(2)
+            .write(expiry, Expr::add(Expr::Now, Expr::Const(ttl)));
+    });
+    let mut tasks = Vec::new();
+    for i in 0..task_count {
+        let cost = t.rng.random_range(2..=4u64);
+        tasks.push(t.b.method(&format!("PipelineTask{i}"), move |m| {
+            m.compute(cost);
+        }));
+    }
+    let handle = t.b.method("HandleRequest", |m| {
+        m.compute(3).flaky_delay(fault_prob, fault_delay);
+    });
+    let validate = t.b.pure_method("CheckEntryFresh", |m| {
+        m.set_if(
+            VERDICT,
+            Expr::Obj(expiry),
+            Cmp::Lt,
+            Expr::Now,
+            Expr::Const(1),
+            Expr::Const(0),
+        )
+        .ret(Expr::Reg(VERDICT));
+    });
+    let (chain, last, mirrors) = chain_and_mirrors(t, "Resolve");
+    let publish = t.b.method("PublishDiagnostics", |m| {
+        m.write(infected, Expr::Reg(VERDICT))
+            .write(phase, Expr::Const(1));
+    });
+    let fetch = t.b.method("ReadCacheEntry", |m| {
+        m.compute(1).throw_if(
+            Expr::Reg(last),
+            Cmp::Eq,
+            Expr::Const(1),
+            "CacheEntryNotFound",
+        );
+    });
+    let mon_target = t.add_monitors(phase, infected, done);
+    t.add_noise_threads();
+    t.mechanism.extend([handle]);
+    t.main(move |m| {
+        m.call(populate);
+        for task in &tasks {
+            m.call(*task);
+        }
+        m.call(handle)
+            .call(validate)
+            .call_each(&chain)
+            .call(publish)
+            .call_each(&mirrors);
+        if mon_target > 0 {
+            m.wait_until(Expr::Obj(done), Cmp::Eq, Expr::Const(mon_target));
+        }
+        m.call(fetch);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = LabParams::default();
+        for seed in 0..5 {
+            let a = generate_raw(&params, seed, 0);
+            let b = generate_raw(&params, seed, 0);
+            assert_eq!(a.program.fingerprint(), b.program.fingerprint());
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.mechanism, b.mechanism);
+            assert_eq!(a.noise_methods, b.noise_methods);
+        }
+    }
+
+    #[test]
+    fn contiguous_seeds_cover_every_bug_class() {
+        let params = LabParams::default();
+        let classes: BTreeSet<BugClass> = (0..5)
+            .map(|s| generate_raw(&params, s, 0).spec.bug_class)
+            .collect();
+        assert_eq!(classes.len(), 5, "seed % 5 must cover all templates");
+    }
+
+    #[test]
+    fn ground_truth_sets_are_disjoint_and_named() {
+        let params = LabParams::default();
+        for seed in 0..10 {
+            let s = generate_raw(&params, seed, 0);
+            assert!(!s.mechanism.is_empty());
+            for m in &s.mechanism {
+                assert!(
+                    !s.noise_methods.contains(m),
+                    "{}: mechanism method {m:?} marked as noise",
+                    s.name
+                );
+                assert!(s.on_lineage(*m));
+            }
+            for m in &s.noise_methods {
+                assert!(s.program.method(*m).name.starts_with("Noise"));
+            }
+        }
+    }
+
+    #[test]
+    fn bug_class_names_round_trip() {
+        for c in BugClass::ALL {
+            assert_eq!(BugClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(BugClass::from_name("nope"), None);
+    }
+
+    #[test]
+    fn generated_scenarios_are_intermittent() {
+        let params = LabParams::default();
+        for seed in 0..10 {
+            let s = generate(&params, seed);
+            let set = s.collect(&params).expect("generate() validated viability");
+            let (ok, fail) = set.counts();
+            assert!(
+                ok >= params.corpus_ok && fail >= params.corpus_fail,
+                "{}",
+                s.name
+            );
+        }
+    }
+}

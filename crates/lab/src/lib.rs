@@ -1,0 +1,53 @@
+//! `aid_lab` — randomized scenario generation with a differential
+//! conformance harness.
+//!
+//! The six case studies and the Figure-8 synthetic family pin AID's
+//! behavior to a *fixed* test matrix. This crate makes the matrix
+//! open-ended:
+//!
+//! * [`gen`] draws arbitrary buggy concurrent programs from five
+//!   parameterized bug-class templates (data race, atomicity violation,
+//!   order violation, use-after-free, timing/expiry), each with randomized
+//!   thread counts, schedules, symptom decorations, and causally unrelated
+//!   noise — and with machine-checkable ground truth attached;
+//! * [`harness`] runs the full pipeline (codec → store → predicates → SD →
+//!   AC-DAG → engine discovery) on every generated scenario and checks
+//!   cross-layer invariants: byte-identical round-trips, framing-
+//!   independent streaming ingestion, incremental-equals-batch analysis at
+//!   every prefix, schedule- and cache-independent discovery, and
+//!   discovered causes that stay on the ground-truth lineage;
+//! * [`shrink`] minimizes failing scenarios (drop noise threads, monitors,
+//!   mirrors; drop traces, events, accesses) while the violation persists;
+//! * [`corpus`] persists minimized reproducers under `crates/lab/corpus/`
+//!   as a replayable regression suite.
+//!
+//! The `lab` binary in `aid_bench` drives fixed-seed fuzz sweeps and emits
+//! a machine-readable `AID-LAB {json}` summary; CI runs it on every push.
+//!
+//! ```
+//! use aid_lab::{generate_raw, BugClass, LabParams};
+//!
+//! // Deterministic per seed; `seed % 5` walks the five bug classes.
+//! let params = LabParams::default();
+//! let scenario = generate_raw(&params, 2, 0);
+//! assert_eq!(scenario.spec.bug_class, BugClass::OrderViolation);
+//! assert_eq!(scenario.program.name, "lab-order-violation-s2");
+//! assert!(!scenario.mechanism.is_empty());
+//! let again = generate_raw(&params, 2, 0);
+//! assert_eq!(scenario.program.fingerprint(), again.program.fingerprint());
+//! ```
+
+pub mod corpus;
+pub mod gen;
+pub mod harness;
+pub mod shrink;
+
+pub use corpus::{default_corpus_dir, load_dir, load_entry, save_entry, CorpusEntry};
+pub use gen::{
+    build, generate, generate_raw, generate_validated, BugClass, LabParams, Scenario, ScenarioSpec,
+};
+pub use harness::{
+    check_scenario, check_scenario_on, compare_analysis, corpus_violations, predicate_methods,
+    Conformance, ScenarioReport, Violation,
+};
+pub use shrink::{shrink_corpus, shrink_spec};

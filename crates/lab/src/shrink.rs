@@ -1,0 +1,220 @@
+//! Greedy delta-debugging shrinkers for failing scenarios.
+//!
+//! When an invariant fails, the raw reproducer is noisy: a whole generated
+//! program plus a 16-trace corpus. Two shrinkers reduce it while the
+//! invariant keeps failing:
+//!
+//! * [`shrink_spec`] minimizes the *scenario structure* — drop noise
+//!   threads, monitors, mirrors, and chain links (the "tasks") from the
+//!   [`ScenarioSpec`] as long as rebuilding still reproduces the failure;
+//! * [`shrink_corpus`] minimizes the *trace corpus* — drop whole traces,
+//!   then individual events, then individual accesses, as long as the
+//!   failing predicate still holds.
+//!
+//! Both are greedy single-removal passes run to a fixpoint, so the result
+//! is 1-minimal: removing any single remaining element makes the failure
+//! disappear. Minimized corpora are what `crates/lab/corpus/` persists as
+//! the replayable regression suite.
+
+use crate::gen::ScenarioSpec;
+use aid_trace::TraceSet;
+
+/// Shrinks a trace corpus while `still_fails` keeps returning `true`.
+///
+/// `still_fails` receives a candidate reduction and must re-run the failing
+/// invariant on it. If the original set does not fail, it is returned
+/// unchanged. The result is 1-minimal under trace, event, and access
+/// removal.
+pub fn shrink_corpus(set: &TraceSet, still_fails: &mut dyn FnMut(&TraceSet) -> bool) -> TraceSet {
+    let mut current = set.clone();
+    if !still_fails(&current) {
+        return current;
+    }
+    loop {
+        let mut reduced = false;
+
+        // Pass 1: drop whole traces (reverse order keeps indices stable).
+        for i in (0..current.traces.len()).rev() {
+            let mut candidate = current.clone();
+            candidate.traces.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+            }
+        }
+
+        // Pass 2: drop individual events.
+        for ti in 0..current.traces.len() {
+            for ei in (0..current.traces[ti].events.len()).rev() {
+                let mut candidate = current.clone();
+                candidate.traces[ti].events.remove(ei);
+                // Dynamic instance indices depend on the remaining events.
+                candidate.traces[ti].normalize();
+                if still_fails(&candidate) {
+                    current = candidate;
+                    reduced = true;
+                }
+            }
+        }
+
+        // Pass 3: drop individual accesses.
+        for ti in 0..current.traces.len() {
+            for ei in 0..current.traces[ti].events.len() {
+                for ai in (0..current.traces[ti].events[ei].accesses.len()).rev() {
+                    let mut candidate = current.clone();
+                    candidate.traces[ti].events[ei].accesses.remove(ai);
+                    if still_fails(&candidate) {
+                        current = candidate;
+                        reduced = true;
+                    }
+                }
+            }
+        }
+
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+/// Shrinks a scenario's structural draw while `still_fails` keeps
+/// returning `true` for the rebuilt scenario.
+///
+/// Each decoration count is driven toward zero (first zero outright, then
+/// halving), in an order chosen so the cheapest reproducers win: noise
+/// threads, monitors, propagator chain, mirrors. The failing invariant is
+/// re-run on the *rebuilt* program, so a count survives only if it is
+/// load-bearing for the failure.
+pub fn shrink_spec(
+    spec: &ScenarioSpec,
+    still_fails: &mut dyn FnMut(&ScenarioSpec) -> bool,
+) -> ScenarioSpec {
+    let mut current = *spec;
+    if !still_fails(&current) {
+        return current;
+    }
+    loop {
+        let mut reduced = false;
+        for field in 0..4usize {
+            let read = |s: &ScenarioSpec| match field {
+                0 => s.noise_threads,
+                1 => s.monitors,
+                2 => s.chain,
+                _ => s.mirrors,
+            };
+            let write = |s: &mut ScenarioSpec, v: usize| match field {
+                0 => s.noise_threads = v,
+                1 => s.monitors = v,
+                2 => s.chain = v,
+                _ => s.mirrors = v,
+            };
+            let cur = read(&current);
+            for target in [0, cur / 2] {
+                if target >= cur {
+                    continue;
+                }
+                let mut candidate = current;
+                write(&mut candidate, target);
+                if still_fails(&candidate) {
+                    current = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::BugClass;
+    use aid_trace::{FailureSignature, MethodEvent, Outcome, ThreadId, Trace};
+
+    fn toy_set(traces: usize, events_per: usize) -> TraceSet {
+        let mut set = TraceSet::new();
+        let m = set.method("M");
+        for seed in 0..traces as u64 {
+            let events = (0..events_per)
+                .map(|i| MethodEvent {
+                    method: m,
+                    instance: 0,
+                    thread: ThreadId::from_raw(0),
+                    start: 10 * i as u64,
+                    end: 10 * i as u64 + 5,
+                    accesses: vec![],
+                    returned: None,
+                    exception: None,
+                    caught: false,
+                })
+                .collect();
+            let mut t = Trace {
+                seed,
+                events,
+                outcome: if seed % 2 == 0 {
+                    Outcome::Success
+                } else {
+                    Outcome::Failure(FailureSignature {
+                        kind: "Boom".into(),
+                        method: m,
+                    })
+                },
+                duration: 100,
+            };
+            t.normalize();
+            set.push(t);
+        }
+        set
+    }
+
+    #[test]
+    fn corpus_shrinks_to_the_minimal_failing_shape() {
+        let set = toy_set(8, 4);
+        // Deliberately false invariant: "no failing trace exists".
+        let shrunk = shrink_corpus(&set, &mut |s| s.traces.iter().any(|t| t.failed()));
+        assert_eq!(shrunk.traces.len(), 1, "one failing trace suffices");
+        assert!(shrunk.traces[0].failed());
+        assert!(shrunk.traces[0].events.is_empty(), "events are not needed");
+    }
+
+    #[test]
+    fn corpus_shrink_is_a_noop_when_nothing_fails() {
+        let set = toy_set(3, 2);
+        let shrunk = shrink_corpus(&set, &mut |_| false);
+        assert_eq!(shrunk.traces.len(), 3);
+    }
+
+    #[test]
+    fn spec_shrink_drives_decorations_to_zero() {
+        let spec = ScenarioSpec {
+            seed: 3,
+            attempt: 0,
+            bug_class: BugClass::OrderViolation,
+            mirrors: 8,
+            chain: 3,
+            monitors: 2,
+            noise_threads: 3,
+        };
+        // Failure independent of decorations: everything shrinks away.
+        let shrunk = shrink_spec(&spec, &mut |_| true);
+        assert_eq!(
+            (
+                shrunk.mirrors,
+                shrunk.chain,
+                shrunk.monitors,
+                shrunk.noise_threads
+            ),
+            (0, 0, 0, 0)
+        );
+        // Failure requiring ≥4 mirrors: mirrors stop at 4, rest vanish.
+        let shrunk = shrink_spec(&spec, &mut |s| s.mirrors >= 4);
+        assert_eq!(shrunk.mirrors, 4);
+        assert_eq!(
+            (shrunk.chain, shrunk.monitors, shrunk.noise_threads),
+            (0, 0, 0)
+        );
+    }
+}

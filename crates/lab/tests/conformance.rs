@@ -1,0 +1,44 @@
+//! Fixed-seed conformance smoke: a debug-affordable slice of the sweep the
+//! CI `lab` job runs at scale (`cargo run -p aid_bench --bin lab --release
+//! -- --scenarios=200`). Every generated scenario must satisfy all
+//! cross-layer invariants, and — because generation and discovery are
+//! deterministic per seed — the aggregate accuracy of the slice is pinned
+//! exactly, not statistically.
+
+use aid_lab::{check_scenario_on, generate_validated, BugClass, Conformance};
+use std::collections::BTreeSet;
+
+#[test]
+fn fixed_seed_sweep_is_conformant() {
+    let conf = Conformance::default();
+    let mut classes = BTreeSet::new();
+    let mut root_found = 0usize;
+    let mut kind_match = 0usize;
+    let mut mechanism_hit = 0usize;
+    const N: u64 = 10;
+    for seed in 1..=N {
+        let (scenario, corpus) = generate_validated(&conf.params, seed);
+        classes.insert(scenario.spec.bug_class);
+        let report = check_scenario_on(&scenario, &corpus, &conf);
+        assert!(
+            report.violations.is_empty(),
+            "{}: {:?}",
+            report.name,
+            report.violations
+        );
+        assert!(report.traces >= conf.params.corpus_ok + conf.params.corpus_fail);
+        assert!(report.candidates >= 1, "{}: no candidates", report.name);
+        root_found += report.root_found as usize;
+        kind_match += report.root_kind_match as usize;
+        mechanism_hit += report.root_on_mechanism as usize;
+    }
+    assert_eq!(
+        classes.len(),
+        BugClass::ALL.len(),
+        "ten contiguous seeds must cover all five bug classes"
+    );
+    // Deterministic per seed, so these are exact floors, not flaky ones.
+    assert!(root_found >= 9, "root found in {root_found}/{N}");
+    assert!(kind_match >= 8, "expected kind matched in {kind_match}/{N}");
+    assert!(mechanism_hit >= 9, "mechanism hit in {mechanism_hit}/{N}");
+}

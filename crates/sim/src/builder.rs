@@ -214,6 +214,16 @@ impl BodyBuilder {
         self.op(Op::TryCall { method })
     }
 
+    /// Synchronous calls to each method in order — the generation hook
+    /// program generators (e.g. `aid_lab`) use to splice batches of
+    /// decoration methods (mirrors, propagator chains) into a body.
+    pub fn call_each(&mut self, methods: &[MethodId]) -> &mut Self {
+        for &m in methods {
+            self.call(m);
+        }
+        self
+    }
+
     /// Return a value.
     pub fn ret(&mut self, value: Expr) -> &mut Self {
         self.op(Op::Return { value: Some(value) })

@@ -224,6 +224,20 @@ impl StreamDecoder {
                     self.stats.skipped_lines += 1;
                     return;
                 }
+                // Check trace context before the reference, mirroring the
+                // strict batch decoder: both must classify an orphaned
+                // event with an undeclared id as structural damage, not as
+                // a dangling reference.
+                if self.current.is_none() {
+                    self.quarantine_line(
+                        DecodeError::new(
+                            self.lineno,
+                            DecodeErrorKind::UnexpectedRecord("event outside trace"),
+                        ),
+                        line,
+                    );
+                    return;
+                }
                 if e.method.index() >= self.methods.len() {
                     let id = e.method.raw();
                     self.poison(
@@ -232,20 +246,33 @@ impl StreamDecoder {
                     );
                     return;
                 }
-                match self.current.as_mut() {
-                    Some(t) => t.events.push(e),
-                    None => self.quarantine_line(
-                        DecodeError::new(
-                            self.lineno,
-                            DecodeErrorKind::UnexpectedRecord("event outside trace"),
-                        ),
-                        line,
-                    ),
-                }
+                self.current.as_mut().expect("checked above").events.push(e);
             }
             Record::Access(a) => {
                 if self.skipping {
                     self.stats.skipped_lines += 1;
+                    return;
+                }
+                // Same classification order as the batch decoder: trace
+                // context, then event context, then the reference.
+                let Some(t) = self.current.as_mut() else {
+                    self.quarantine_line(
+                        DecodeError::new(
+                            self.lineno,
+                            DecodeErrorKind::UnexpectedRecord("access outside trace"),
+                        ),
+                        line,
+                    );
+                    return;
+                };
+                if t.events.is_empty() {
+                    self.quarantine_line(
+                        DecodeError::new(
+                            self.lineno,
+                            DecodeErrorKind::UnexpectedRecord("access before any event"),
+                        ),
+                        line,
+                    );
                     return;
                 }
                 if a.object.index() >= self.objects.len() {
@@ -256,21 +283,12 @@ impl StreamDecoder {
                     );
                     return;
                 }
-                let event = self.current.as_mut().and_then(|t| t.events.last_mut());
-                match event {
-                    Some(e) => e.accesses.push(a),
-                    None => {
-                        let what = if self.current.is_some() {
-                            "access before any event"
-                        } else {
-                            "access outside trace"
-                        };
-                        self.quarantine_line(
-                            DecodeError::new(self.lineno, DecodeErrorKind::UnexpectedRecord(what)),
-                            line,
-                        );
-                    }
-                }
+                let event = self
+                    .current
+                    .as_mut()
+                    .and_then(|t| t.events.last_mut())
+                    .expect("checked above");
+                event.accesses.push(a);
             }
             Record::TraceEnd { duration } => {
                 if self.skipping {

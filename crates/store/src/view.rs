@@ -179,6 +179,14 @@ impl StoreView {
         if self.failures.is_empty() {
             // No failure signature yet: extraction is undefined (matching
             // the batch pipeline, which requires at least one failed run).
+            // The per-trace window rows must still stay aligned with
+            // `seen`, or the first extend after this refresh mispairs
+            // traces with prefixes: the catalog is necessarily empty here,
+            // so each row is the empty prefix. (Found by the aid_lab
+            // conformance harness: a success that leaves pass-1 statistics
+            // untouched — e.g. an event-less trace — otherwise slips a
+            // rowless gap past the `stats_dirty` rebuild trigger.)
+            self.windows.extend(new_traces.iter().map(|_| Vec::new()));
             self.analysis = None;
             return;
         }

@@ -55,6 +55,72 @@ fn assert_analysis_eq(incremental: &AidAnalysis, batch: &AidAnalysis, ctx: &str)
     assert_eq!(incremental.dag, batch.dag, "{ctx}: AC-DAG");
 }
 
+/// Regression (found by the `aid_lab` conformance harness): a refresh that
+/// sees only successes before the first failure must still keep per-trace
+/// window rows aligned. An *event-less* success is the trigger — it leaves
+/// every pass-1 statistic untouched, so the first failure takes the cheap
+/// extend path rather than a rebuild, and the missing row mispaired every
+/// later trace with the wrong window prefix.
+#[test]
+fn stat_neutral_success_prefix_stays_aligned() {
+    use aid_trace::{FailureSignature, MethodEvent, Outcome, ThreadId, Trace};
+
+    let mut set = TraceSet::new();
+    let m = set.method("Commit");
+    set.push(Trace {
+        seed: 0,
+        events: vec![], // crashed before instrumentation saw a call
+        outcome: Outcome::Success,
+        duration: 3,
+    });
+    let mut failing = Trace {
+        seed: 1,
+        events: vec![MethodEvent {
+            method: m,
+            instance: 0,
+            thread: ThreadId::from_raw(0),
+            start: 0,
+            end: 9,
+            accesses: vec![],
+            returned: None,
+            exception: Some("Boom".into()),
+            caught: false,
+        }],
+        outcome: Outcome::Failure(FailureSignature {
+            kind: "Boom".into(),
+            method: m,
+        }),
+        duration: 10,
+    };
+    failing.normalize();
+    set.push(failing);
+
+    let config = aid_predicates::ExtractionConfig::default();
+    let mut store = TraceStore::new(StoreConfig {
+        shards: 2,
+        extraction: config.clone(),
+    });
+    for k in 0..set.traces.len() {
+        store.append_run(&set, set.traces[k].clone());
+        let analysis = store.refresh();
+        if k == 0 {
+            assert!(analysis.is_none(), "no failure yet");
+            continue;
+        }
+        let prefix = TraceSet {
+            methods: set.methods.clone(),
+            objects: set.objects.clone(),
+            traces: set.traces[..=k].to_vec(),
+        };
+        let batch = analyze(&prefix, &config);
+        assert_analysis_eq(
+            analysis.expect("failure folded"),
+            &batch,
+            &format!("prefix {}", k + 1),
+        );
+    }
+}
+
 #[test]
 fn every_prefix_of_every_case_corpus_matches_batch() {
     for case in all_cases() {

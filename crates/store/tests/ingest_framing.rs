@@ -1,0 +1,196 @@
+//! Byte-framing fuzz for `StreamDecoder` resynchronization: the decoder's
+//! quarantine-and-continue behavior must be a function of the *bytes*, not
+//! of how they arrive. Every chunking of the same corrupted stream —
+//! including 1-byte chunks that split every record mid-line and mid-field —
+//! must yield identical surviving traces, identical quarantine entries, and
+//! identical counters.
+
+use aid_store::StreamDecoder;
+use aid_trace::{
+    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, Outcome, ThreadId, Trace,
+    TraceSet,
+};
+
+fn sample_set(traces: usize) -> TraceSet {
+    let mut set = TraceSet::new();
+    let m0 = set.method("Fetch");
+    let m1 = set.method("Commit");
+    let o = set.object("cache");
+    for seed in 0..traces as u64 {
+        let failed = seed % 3 == 1;
+        let mut t = Trace {
+            seed,
+            events: vec![
+                MethodEvent {
+                    method: m0,
+                    instance: 0,
+                    thread: ThreadId::from_raw(0),
+                    start: 0,
+                    end: 10 + seed,
+                    accesses: vec![AccessEvent {
+                        object: o,
+                        kind: AccessKind::Read,
+                        at: 5,
+                        locked: seed % 2 == 0,
+                    }],
+                    returned: Some(seed as i64 - 3),
+                    exception: None,
+                    caught: false,
+                },
+                MethodEvent {
+                    method: m1,
+                    instance: 0,
+                    thread: ThreadId::from_raw(1),
+                    start: 20,
+                    end: 31 + seed,
+                    accesses: vec![],
+                    returned: None,
+                    exception: failed.then(|| "Boom".to_string()),
+                    caught: false,
+                },
+            ],
+            outcome: if failed {
+                Outcome::Failure(FailureSignature {
+                    kind: "Boom".into(),
+                    method: m1,
+                })
+            } else {
+                Outcome::Success
+            },
+            duration: 40 + seed,
+        };
+        t.normalize();
+        set.push(t);
+    }
+    set
+}
+
+/// Decodes `bytes` under the given chunking and returns
+/// (traces, quarantine `(line, rendered error)` pairs, stats).
+fn decode_chunked(
+    bytes: &[u8],
+    chunk: usize,
+) -> (Vec<Trace>, Vec<(usize, String)>, aid_store::IngestStats) {
+    let mut dec = StreamDecoder::new();
+    for piece in bytes.chunks(chunk) {
+        dec.push_bytes(piece);
+    }
+    dec.finish();
+    let traces = dec.drain();
+    let quarantine = dec
+        .quarantine()
+        .iter()
+        .map(|q| (q.line, q.error.to_string()))
+        .collect();
+    (traces, quarantine, dec.stats())
+}
+
+/// Corrupts selected lines of an encoded stream: mangles a numeric field
+/// mid-record (`event` line), injects garbage, and drops an `endtrace`.
+fn corrupt(text: &str) -> String {
+    let mut event_seen = 0usize;
+    let mut endtrace_seen = 0usize;
+    let mut trace_seen = 0usize;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with("trace") {
+            trace_seen += 1;
+            if trace_seen == 3 {
+                // An isolated bad line *between* traces: quarantined alone,
+                // costing no neighbor.
+                out.push("garbage not a record".to_string());
+            }
+        }
+        if line.starts_with("event") {
+            event_seen += 1;
+            if event_seen == 4 {
+                // Mid-field corruption: a number becomes a partial token,
+                // poisoning the open trace.
+                out.push(line.replacen(' ', " 12x4 ", 1));
+                continue;
+            }
+        }
+        if line.starts_with("endtrace") {
+            endtrace_seen += 1;
+            if endtrace_seen == 5 {
+                // A trace left open: the next `trace` header must resync.
+                continue;
+            }
+        }
+        out.push(line.to_string());
+    }
+    out.join("\n") + "\n"
+}
+
+#[test]
+fn every_chunking_of_a_clean_stream_agrees() {
+    let set = sample_set(8);
+    let text = codec::encode(&set);
+    let reference = decode_chunked(text.as_bytes(), usize::MAX);
+    assert_eq!(reference.0, set.traces);
+    assert!(reference.1.is_empty());
+    for chunk in [1usize, 2, 3, 5, 16, 61, 255, 4096] {
+        let got = decode_chunked(text.as_bytes(), chunk);
+        assert_eq!(got.0, reference.0, "traces @ chunk {chunk}");
+        assert_eq!(got.1, reference.1, "quarantine @ chunk {chunk}");
+        assert_eq!(got.2, reference.2, "stats @ chunk {chunk}");
+    }
+}
+
+#[test]
+fn every_chunking_of_a_corrupted_stream_agrees() {
+    let set = sample_set(10);
+    let text = corrupt(&codec::encode(&set));
+    let reference = decode_chunked(text.as_bytes(), usize::MAX);
+
+    // The corruption costs exactly the poisoned traces: the mid-field
+    // mangle kills one trace, the dropped endtrace kills another (its
+    // events are absorbed into the quarantine at the next header).
+    assert_eq!(reference.0.len(), set.traces.len() - 2);
+    assert_eq!(
+        reference.1.len(),
+        3,
+        "mangle + garbage + open trace each quarantine once: {:?}",
+        reference.1
+    );
+    assert!(reference.2.skipped_lines > 0, "resync must skip lines");
+    assert_eq!(reference.2.traces as usize, reference.0.len());
+    assert_eq!(reference.2.quarantined as usize, reference.1.len());
+
+    // Framing independence: byte-at-a-time through page-sized chunks, and
+    // a sweep of coprime sizes so every record is eventually split at every
+    // offset — mid-line, mid-field, mid-number.
+    for chunk in [1usize, 2, 3, 5, 7, 11, 13, 17, 31, 64, 127, 1021, 8192] {
+        let got = decode_chunked(text.as_bytes(), chunk);
+        assert_eq!(got.0, reference.0, "traces @ chunk {chunk}");
+        assert_eq!(got.1, reference.1, "quarantine @ chunk {chunk}");
+        assert_eq!(got.2, reference.2, "stats @ chunk {chunk}");
+    }
+
+    // The surviving traces are the untouched originals, byte for byte.
+    let survivors: Vec<&Trace> = set
+        .traces
+        .iter()
+        .filter(|t| reference.0.contains(t))
+        .collect();
+    assert_eq!(survivors.len(), reference.0.len());
+}
+
+#[test]
+fn split_utf8_and_trailing_partial_lines_are_framing_safe() {
+    let set = sample_set(3);
+    let mut bytes = codec::encode(&set).into_bytes();
+    // A multi-byte UTF-8 comment that every 1-byte chunking must split.
+    bytes.extend_from_slice("# trailing comment: ✓🚀\n".as_bytes());
+    // And a final record with no terminating newline.
+    bytes.extend_from_slice(b"garbage-tail");
+    let reference = decode_chunked(&bytes, usize::MAX);
+    assert_eq!(reference.0, set.traces);
+    assert_eq!(reference.1.len(), 1, "only the tail quarantines");
+    for chunk in [1usize, 2, 3, 4, 5] {
+        let got = decode_chunked(&bytes, chunk);
+        assert_eq!(got.0, reference.0, "traces @ chunk {chunk}");
+        assert_eq!(got.1, reference.1, "quarantine @ chunk {chunk}");
+        assert_eq!(got.2, reference.2, "stats @ chunk {chunk}");
+    }
+}

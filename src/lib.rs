@@ -55,6 +55,7 @@ pub use aid_cases as cases;
 pub use aid_causal as causal;
 pub use aid_core as core;
 pub use aid_engine as engine;
+pub use aid_lab as lab;
 pub use aid_predicates as predicates;
 pub use aid_sd as sd;
 pub use aid_sim as sim;
@@ -76,6 +77,10 @@ pub mod prelude {
     pub use aid_engine::{
         DiscoveryJob, Engine, EngineConfig, EngineHandle, EngineStats, InterventionCache,
         JobSource, Session, SessionResult, WorkerPool,
+    };
+    pub use aid_lab::{
+        check_scenario, corpus_violations, BugClass, Conformance, LabParams, Scenario,
+        ScenarioReport,
     };
     pub use aid_predicates::{
         evaluate, extract, Extraction, ExtractionConfig, InterventionAction, MethodInstance,

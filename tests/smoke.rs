@@ -71,3 +71,15 @@ fn facade_doctest_pipeline_runs_end_to_end() {
         "a discovered root cause must render a non-empty explanation"
     );
 }
+
+#[test]
+fn facade_exposes_the_scenario_lab() {
+    // One generated scenario through the full conformance harness, via the
+    // prelude path (the CI lab job covers scale; this pins the wiring).
+    let conf = Conformance::default();
+    let (scenario, corpus) = aid::lab::generate_validated(&conf.params, 5);
+    assert_eq!(scenario.spec.bug_class, BugClass::DataRace);
+    let report = aid::lab::check_scenario_on(&scenario, &corpus, &conf);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert!(report.root_found);
+}
