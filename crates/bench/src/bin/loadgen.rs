@@ -1,0 +1,295 @@
+//! loadgen — drive a live `aid_serve` server with N concurrent clients
+//! replaying lab-generated debugging sessions over loopback TCP.
+//!
+//! ```sh
+//! cargo run -p aid_bench --bin loadgen --release -- \
+//!     [--clients=4] [--scenarios=12] [--workers=4] [--seed=1] \
+//!     [--chunk=4096] [--allow-rejections=0]
+//! ```
+//!
+//! Every client replays the *same* scenario list (upload corpus → submit
+//! discovery → stream to completion), so the run measures the service's
+//! cross-client economics: the first client to reach a scenario executes
+//! its interventions, the rest are answered from the shared intervention
+//! cache. The run fails (nonzero exit) on any client/protocol error, any
+//! cross-client result mismatch, any server-side protocol error, or — by
+//! default — any admission rejection: a correctly provisioned run sheds
+//! nothing, so a rejection in CI means the sizing contract broke. Pass
+//! `--allow-rejections=1` when deliberately overloading.
+//!
+//! Emits a machine-readable `AID-SERVE {json}` summary line (throughput,
+//! p50/p99 session latency, rejection rate, cache hit-rate).
+
+use aid_bench::{arg_value, render_table};
+use aid_engine::EngineConfig;
+use aid_lab::{prepare_replay, LabParams, ReplayItem};
+use aid_serve::{
+    Admission, AidClient, AnalysisSpec, OverloadScope, ProgramSpec, ServeConfig, Server, SubmitSpec,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DISCOVERY_SEED: u64 = 11;
+const FIRST_SEED: u64 = 1_000_000;
+
+/// One completed session, as observed by a client.
+struct Sample {
+    scenario: usize,
+    latency: Duration,
+    causal: Vec<u32>,
+    rounds: usize,
+}
+
+fn arg_or(name: &str, default: usize) -> usize {
+    arg_value(name)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_client(
+    addr: std::net::SocketAddr,
+    id: usize,
+    items: &[ReplayItem],
+    chunk: usize,
+) -> Result<(Vec<Sample>, u64), String> {
+    let fail = |stage: &str, e: &dyn std::fmt::Display| format!("client {id} {stage}: {e}");
+    let mut client = AidClient::connect_tcp(addr).map_err(|e| fail("connect", &e))?;
+    client
+        .hello(&format!("loadgen-{id}"))
+        .map_err(|e| fail("hello", &e))?;
+    let mut samples = Vec::with_capacity(items.len());
+    let mut rejections = 0u64;
+    for (index, item) in items.iter().enumerate() {
+        let started = Instant::now();
+        let report = client
+            .upload(
+                item.encoded.as_bytes(),
+                chunk,
+                AnalysisSpec::Lab(item.scenario.spec),
+            )
+            .map_err(|e| fail("upload", &e))?;
+        if !report.analyzed || report.quarantined != 0 {
+            return Err(format!(
+                "client {id} upload of {}: quarantined={} analyzed={}",
+                item.scenario.name, report.quarantined, report.analyzed
+            ));
+        }
+        let spec = SubmitSpec {
+            name: format!("{}/c{id}", item.scenario.name),
+            program: ProgramSpec::Lab(item.scenario.spec),
+            strategy: aid_core::Strategy::Aid,
+            discovery_seed: DISCOVERY_SEED,
+            runs_per_round: item.scenario.runs_per_round as u32,
+            first_seed: FIRST_SEED,
+            prune_quorum: 1,
+        };
+        // Back off briefly on a rejection; a drain rejection is final.
+        let session = loop {
+            match client.submit(&spec).map_err(|e| fail("submit", &e))? {
+                Admission::Accepted(session) => break session,
+                Admission::Rejected(overload) => {
+                    rejections += 1;
+                    if overload.scope == OverloadScope::Draining {
+                        return Err(format!("client {id}: server draining mid-run"));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
+        let (result, _progress) = client.wait(session).map_err(|e| fail("wait", &e))?;
+        samples.push(Sample {
+            scenario: index,
+            latency: started.elapsed(),
+            causal: result.causal.iter().map(|p| p.raw()).collect(),
+            rounds: result.rounds,
+        });
+    }
+    client.goodbye().map_err(|e| fail("goodbye", &e))?;
+    Ok((samples, rejections))
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+fn main() {
+    let clients = arg_or("clients", 4);
+    let scenarios = arg_or("scenarios", 12);
+    let workers = arg_or("workers", 4);
+    let seed = arg_or("seed", 1) as u64;
+    let chunk = arg_or("chunk", 4096);
+    let allow_rejections = arg_or("allow-rejections", 0) != 0;
+
+    println!("Preparing {scenarios} lab scenarios (seed {seed})…");
+    let params = LabParams::default();
+    let items = Arc::new(prepare_replay(&params, seed..seed + scenarios as u64));
+    let upload_bytes: usize = items.iter().map(|i| i.encoded.len()).sum();
+
+    let config = ServeConfig {
+        engine: EngineConfig {
+            workers,
+            max_pending: (2 * clients).max(8),
+            ..EngineConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let (server, addr) = Server::start_tcp("127.0.0.1:0", config).expect("bind loopback");
+    println!(
+        "Server on {addr} ({workers} workers); {clients} clients × {scenarios} sessions \
+         ({:.1} KiB of uploads per client)…\n",
+        upload_bytes as f64 / 1024.0
+    );
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|id| {
+            let items = Arc::clone(&items);
+            std::thread::spawn(move || run_client(addr, id, &items, chunk))
+        })
+        .collect();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut rejections = 0u64;
+    let mut client_errors: Vec<String> = Vec::new();
+    for thread in threads {
+        match thread.join().expect("client thread panicked") {
+            Ok((s, r)) => {
+                samples.extend(s);
+                rejections += r;
+            }
+            Err(e) => client_errors.push(e),
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = server.shutdown();
+
+    // Cross-client determinism: every replica of a scenario must report
+    // the identical causal path and round count.
+    let mut mismatches = 0usize;
+    let mut rows = vec![vec![
+        "scenario".to_string(),
+        "replicas".to_string(),
+        "rounds".to_string(),
+        "causal path".to_string(),
+        "p50 ms".to_string(),
+    ]];
+    for (index, item) in items.iter().enumerate() {
+        let replicas: Vec<&Sample> = samples.iter().filter(|s| s.scenario == index).collect();
+        let Some(first) = replicas.first() else {
+            continue;
+        };
+        mismatches += replicas
+            .iter()
+            .filter(|s| s.causal != first.causal || s.rounds != first.rounds)
+            .count();
+        let mut lat: Vec<f64> = replicas
+            .iter()
+            .map(|s| s.latency.as_secs_f64() * 1e3)
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        rows.push(vec![
+            item.scenario.name.clone(),
+            replicas.len().to_string(),
+            first.rounds.to_string(),
+            first
+                .causal
+                .iter()
+                .map(|p| format!("P{p}"))
+                .collect::<Vec<_>>()
+                .join("→"),
+            format!("{:.1}", percentile_ms(&lat, 0.5)),
+        ]);
+    }
+    print!("{}", render_table(&rows));
+
+    let mut latencies: Vec<f64> = samples
+        .iter()
+        .map(|s| s.latency.as_secs_f64() * 1e3)
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let sessions = samples.len();
+    let submissions = sessions as u64 + rejections;
+    let p50 = percentile_ms(&latencies, 0.5);
+    let p99 = percentile_ms(&latencies, 0.99);
+
+    println!(
+        "\n{sessions} sessions in {elapsed:?} ({:.1} sessions/s) | \
+         latency p50 {p50:.1} ms, p99 {p99:.1} ms",
+        sessions as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "server: {} executions | cache {} hits / {} misses ({:.0}% hit rate) | \
+         {} rejections | {} protocol errors",
+        stats.executions,
+        stats.cache_hits,
+        stats.cache_misses,
+        100.0 * stats.cache_hit_rate(),
+        stats.rejections(),
+        stats.protocol_errors
+    );
+    for e in &client_errors {
+        eprintln!("CLIENT ERROR: {e}");
+    }
+
+    println!(
+        "AID-SERVE {{\"clients\":{clients},\"scenarios\":{scenarios},\"workers\":{workers},\
+         \"seed\":{seed},\"sessions\":{sessions},\"elapsed_s\":{:.6},\"sessions_per_s\":{:.3},\
+         \"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\"rejections\":{},\"rejection_rate\":{:.4},\
+         \"result_mismatches\":{mismatches},\"client_errors\":{},\"protocol_errors\":{},\
+         \"executions\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},\
+         \"traces_ingested\":{},\"records_quarantined\":{},\"upload_chunks\":{},\
+         \"bytes_in\":{},\"bytes_out\":{},\"sessions_completed\":{},\"peak_pending\":{}}}",
+        elapsed.as_secs_f64(),
+        sessions as f64 / elapsed.as_secs_f64(),
+        stats.rejections(),
+        if submissions == 0 {
+            0.0
+        } else {
+            stats.rejections() as f64 / submissions as f64
+        },
+        client_errors.len(),
+        stats.protocol_errors,
+        stats.executions,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate(),
+        stats.traces_ingested,
+        stats.records_quarantined,
+        stats.upload_chunks,
+        stats.bytes_in,
+        stats.bytes_out,
+        stats.sessions_completed,
+        stats.peak_pending,
+    );
+
+    let expected = clients * scenarios;
+    let mut failed = false;
+    if !client_errors.is_empty() || sessions != expected {
+        eprintln!("FAIL: {}/{expected} sessions completed", sessions);
+        failed = true;
+    }
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} cross-client result mismatches");
+        failed = true;
+    }
+    if stats.protocol_errors > 0 {
+        eprintln!(
+            "FAIL: {} server-side protocol errors",
+            stats.protocol_errors
+        );
+        failed = true;
+    }
+    if stats.rejections() > 0 && !allow_rejections {
+        eprintln!(
+            "FAIL: {} rejections in a run sized to shed nothing",
+            stats.rejections()
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

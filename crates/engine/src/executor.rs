@@ -29,6 +29,8 @@ pub struct EngineCounters {
     pub executions: AtomicU64,
     /// Sessions completed.
     pub sessions: AtomicU64,
+    /// Non-blocking submissions refused (saturation or shutdown).
+    pub rejected: AtomicU64,
     /// Highest number of simultaneously pending sessions observed.
     pub peak_pending: AtomicU64,
 }

@@ -64,8 +64,8 @@ pub use cache::{CacheKey, CacheStats, InterventionCache, Lease, Leased, PendingS
 pub use executor::{truth_fingerprint, CachedOracleExecutor, EngineCounters, PooledSimExecutor};
 pub use pool::WorkerPool;
 pub use session::{
-    DiscoveryJob, Engine, EngineConfig, EngineHandle, EngineStats, JobSource, Session,
-    SessionResult,
+    DiscoveryJob, Engine, EngineConfig, EngineHandle, EngineStats, JobSource, Saturated, Session,
+    SessionPoll, SessionResult,
 };
 
 /// The engine shares these across OS threads; pin the auto-traits at

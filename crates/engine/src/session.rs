@@ -22,7 +22,7 @@ use aid_causal::AcDag;
 use aid_core::{discover_with_options, DiscoverOptions, DiscoveryResult, GroundTruth, Strategy};
 use aid_predicates::{PredicateCatalog, PredicateId};
 use aid_sim::Simulator;
-use crossbeam::channel::{self, Receiver};
+use crossbeam::channel::{self, Receiver, TryRecvError};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -158,6 +158,12 @@ pub struct Session {
     rx: Receiver<SessionResult>,
 }
 
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").field("name", &self.name).finish()
+    }
+}
+
 impl Session {
     /// The job's name.
     pub fn name(&self) -> &str {
@@ -170,7 +176,73 @@ impl Session {
             .recv()
             .expect("engine dropped a session without a result")
     }
+
+    /// Non-blocking completion check, for callers that multiplex many
+    /// sessions from one thread (e.g. a network server polling tickets
+    /// between requests). Returns [`SessionPoll::Ready`] exactly once; a
+    /// later call observes the disconnected channel and reports
+    /// [`SessionPoll::Lost`], which is also what a session whose job
+    /// panicked mid-discovery resolves to.
+    pub fn try_wait(&self) -> SessionPoll {
+        match self.rx.try_recv() {
+            Ok(result) => SessionPoll::Ready(result),
+            Err(TryRecvError::Empty) => SessionPoll::Pending,
+            Err(TryRecvError::Disconnected) => SessionPoll::Lost,
+        }
+    }
 }
+
+/// The outcome of a non-blocking [`Session::try_wait`].
+#[derive(Clone, Debug)]
+pub enum SessionPoll {
+    /// The session finished; here is its result (delivered once).
+    Ready(SessionResult),
+    /// Still queued or running.
+    Pending,
+    /// No result will ever arrive: the job panicked, or the result was
+    /// already taken by an earlier `try_wait`.
+    Lost,
+}
+
+/// Returned by [`EngineHandle::try_submit`] when a job was not accepted.
+/// Carries the job back so the caller can retry, queue it elsewhere, or
+/// shed it with a typed rejection instead of losing it.
+pub struct Saturated {
+    /// The rejected job, returned intact (boxed so the error stays small
+    /// on the happy path's `Result`).
+    pub job: Box<DiscoveryJob>,
+    /// True when the engine is draining after [`Engine::shutdown`] (the
+    /// rejection is permanent); false when `max_pending` sessions were
+    /// in flight (a retry may succeed).
+    pub shutting_down: bool,
+    /// Sessions queued-or-running at the moment of rejection.
+    pub pending: usize,
+}
+
+impl std::fmt::Debug for Saturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Saturated")
+            .field("job", &self.job.name)
+            .field("shutting_down", &self.shutting_down)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for Saturated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.shutting_down {
+            write!(
+                f,
+                "engine is shutting down; job '{}' refused",
+                self.job.name
+            )
+        } else {
+            write!(f, "engine saturated; job '{}' refused", self.job.name)
+        }
+    }
+}
+
+impl std::error::Error for Saturated {}
 
 /// Aggregate engine telemetry.
 #[derive(Clone, Debug)]
@@ -189,6 +261,9 @@ pub struct EngineStats {
     pub wall_batches: u64,
     /// Sessions completed.
     pub sessions_completed: u64,
+    /// Non-blocking submissions refused ([`EngineHandle::try_submit`]
+    /// returning [`Saturated`]), whether for saturation or shutdown.
+    pub sessions_rejected: u64,
     /// Tasks executed per worker thread (utilization).
     pub tasks_per_worker: Vec<u64>,
     /// Tasks executed inline by joining threads (help-first steals).
@@ -209,11 +284,19 @@ impl EngineStats {
     }
 }
 
+/// Submission state guarded by one lock: the in-flight count and the
+/// drain flag must change together, or a submit racing a shutdown could
+/// slip a job past the drain.
+struct EngineQueue {
+    pending: usize,
+    shutting_down: bool,
+}
+
 struct EngineShared {
     pool: Arc<WorkerPool>,
     cache: Arc<InterventionCache>,
     counters: Arc<EngineCounters>,
-    pending: Mutex<usize>,
+    queue: Mutex<EngineQueue>,
     capacity: Condvar,
     max_pending: usize,
 }
@@ -234,7 +317,10 @@ impl Engine {
                     config.cache_capacity,
                 )),
                 counters: Arc::new(EngineCounters::default()),
-                pending: Mutex::new(0),
+                queue: Mutex::new(EngineQueue {
+                    pending: 0,
+                    shutting_down: false,
+                }),
                 capacity: Condvar::new(),
                 max_pending: config.max_pending.max(1),
             }),
@@ -249,7 +335,8 @@ impl Engine {
         })
     }
 
-    /// A cloneable handle for submitting jobs (e.g. from other threads).
+    /// A cloneable handle for submitting jobs (e.g. from server
+    /// connection-handler threads).
     pub fn handle(&self) -> EngineHandle {
         EngineHandle {
             shared: Arc::clone(&self.shared),
@@ -259,6 +346,27 @@ impl Engine {
     /// Queues a named discovery job (see [`EngineHandle::submit`]).
     pub fn submit(&self, job: DiscoveryJob) -> Session {
         self.handle().submit(job)
+    }
+
+    /// Non-blocking submission (see [`EngineHandle::try_submit`]).
+    pub fn try_submit(&self, job: DiscoveryJob) -> Result<Session, Saturated> {
+        self.handle().try_submit(job)
+    }
+
+    /// Graceful drain: refuses every subsequent submission (both
+    /// [`EngineHandle::try_submit`], with `shutting_down = true`, and
+    /// blocking [`EngineHandle::submit`], which panics) and blocks until
+    /// every in-flight session has completed. Idempotent; callers holding
+    /// [`Session`] tickets still receive their results.
+    pub fn shutdown(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.shutting_down = true;
+        // Wake submitters blocked on backpressure so they observe the
+        // drain instead of sleeping forever.
+        self.shared.capacity.notify_all();
+        while q.pending > 0 {
+            q = self.shared.capacity.wait(q).unwrap();
+        }
     }
 
     /// Submits every job and waits for all of them, preserving input order.
@@ -284,9 +392,9 @@ impl Drop for Engine {
         // Drain before tearing down: every queued session still runs to
         // completion (tickets held by callers keep receiving results), so
         // dropping the engine never silently abandons work.
-        let mut pending = self.shared.pending.lock().unwrap();
-        while *pending > 0 {
-            pending = self.shared.capacity.wait(pending).unwrap();
+        let mut q = self.shared.queue.lock().unwrap();
+        while q.pending > 0 {
+            q = self.shared.capacity.wait(q).unwrap();
         }
     }
 }
@@ -301,16 +409,63 @@ impl EngineHandle {
     /// Queues a named discovery job, blocking while `max_pending` sessions
     /// are already in flight (backpressure), and returns the session
     /// ticket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has been [shut down](Engine::shutdown) —
+    /// admission-controlled callers (servers, accept loops) should use
+    /// [`EngineHandle::try_submit`], which reports the drain as a typed
+    /// rejection instead.
     pub fn submit(&self, job: DiscoveryJob) -> Session {
-        let shared = &self.shared;
-        {
-            let mut pending = shared.pending.lock().unwrap();
-            while *pending >= shared.max_pending {
-                pending = shared.capacity.wait(pending).unwrap();
+        let shutting_down = {
+            let mut q = self.shared.queue.lock().unwrap();
+            while q.pending >= self.shared.max_pending && !q.shutting_down {
+                q = self.shared.capacity.wait(q).unwrap();
             }
-            *pending += 1;
-            shared.counters.record_peak(*pending as u64);
+            if !q.shutting_down {
+                q.pending += 1;
+                self.shared.counters.record_peak(q.pending as u64);
+            }
+            q.shutting_down
+            // The guard drops here: panicking while holding it would
+            // poison the queue mutex for every worker's PendingGuard and
+            // for shutdown() itself, turning one caller's bug into an
+            // engine-wide abort.
+        };
+        assert!(
+            !shutting_down,
+            "EngineHandle::submit on a shut-down engine (use try_submit)"
+        );
+        self.spawn_session(job)
+    }
+
+    /// Non-blocking submission: returns the session ticket immediately, or
+    /// [`Saturated`] (carrying the job back) when `max_pending` sessions
+    /// are already queued-or-running or the engine is draining. This is
+    /// the admission-control primitive — an accept thread can shed load
+    /// with a typed rejection instead of blocking behind backpressure.
+    pub fn try_submit(&self, job: DiscoveryJob) -> Result<Session, Saturated> {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.shutting_down || q.pending >= self.shared.max_pending {
+                let (shutting_down, pending) = (q.shutting_down, q.pending);
+                drop(q);
+                self.shared.counters.rejected.fetch_add(1, Relaxed);
+                return Err(Saturated {
+                    job: Box::new(job),
+                    shutting_down,
+                    pending,
+                });
+            }
+            q.pending += 1;
+            self.shared.counters.record_peak(q.pending as u64);
         }
+        Ok(self.spawn_session(job))
+    }
+
+    /// Spawns an already-admitted job (its `pending` slot is reserved).
+    fn spawn_session(&self, job: DiscoveryJob) -> Session {
+        let shared = &self.shared;
         let (tx, rx) = channel::unbounded();
         let name = job.name.clone();
         let task_shared = Arc::clone(shared);
@@ -321,9 +476,9 @@ impl EngineHandle {
             struct PendingGuard(Arc<EngineShared>);
             impl Drop for PendingGuard {
                 fn drop(&mut self) {
-                    let mut pending = self.0.pending.lock().unwrap();
-                    *pending -= 1;
-                    drop(pending);
+                    let mut q = self.0.queue.lock().unwrap();
+                    q.pending -= 1;
+                    drop(q);
                     // notify_all, not notify_one: backpressured submitters
                     // and a draining Engine::drop wait on the same condvar,
                     // and waking only one of them can strand the other.
@@ -368,6 +523,7 @@ impl EngineHandle {
             cache_entries: cache.entries,
             wall_batches: shared.pool.batches(),
             sessions_completed: shared.counters.sessions.load(Relaxed),
+            sessions_rejected: shared.counters.rejected.load(Relaxed),
             tasks_per_worker: shared.pool.tasks_per_worker(),
             inline_tasks: shared.pool.inline_tasks(),
             peak_pending: shared.counters.peak_pending.load(Relaxed),
@@ -565,6 +721,65 @@ mod tests {
         assert_eq!(result.name, "kept");
         let causal: Vec<u32> = result.result.causal.iter().map(|p| p.raw()).collect();
         assert_eq!(causal, vec![0, 1, 10]);
+    }
+
+    /// `try_submit` must never block: with the single worker gated and the
+    /// pending bound filled it rejects with `shutting_down = false`; after
+    /// `shutdown` it rejects with `shutting_down = true`. Both rejections
+    /// hand the job back and count in `sessions_rejected`.
+    #[test]
+    fn try_submit_rejects_on_saturation_and_shutdown() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache_shards: 2,
+            max_pending: 2,
+            ..EngineConfig::default()
+        });
+        // Gate the only worker so admitted sessions cannot start draining.
+        let (gate_tx, gate_rx) = channel::unbounded::<()>();
+        engine.pool().spawn(move || {
+            let _ = gate_rx.recv();
+        });
+        let a = engine.try_submit(oracle_job("a", 0)).expect("slot 1 free");
+        let b = engine.try_submit(oracle_job("b", 1)).expect("slot 2 free");
+        let refused = engine
+            .try_submit(oracle_job("c", 2))
+            .expect_err("pending bound is 2");
+        assert!(!refused.shutting_down);
+        assert_eq!(refused.job.name, "c", "the job comes back intact");
+
+        gate_tx.send(()).unwrap();
+        a.wait();
+        b.wait();
+        engine.shutdown();
+        let drained = engine
+            .try_submit(*refused.job)
+            .expect_err("draining engine refuses new work");
+        assert!(drained.shutting_down);
+
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_completed, 2);
+        assert_eq!(stats.sessions_rejected, 2);
+        // Shutdown is idempotent and Drop after shutdown must not hang.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn try_wait_is_nonblocking_and_delivers_once() {
+        let engine = Engine::with_workers(1);
+        let session = engine.submit(oracle_job("polled", 4));
+        // Spin until the result lands; every intermediate probe must be
+        // Pending, never a panic or a block.
+        let result = loop {
+            match session.try_wait() {
+                SessionPoll::Ready(r) => break r,
+                SessionPoll::Pending => std::thread::yield_now(),
+                SessionPoll::Lost => panic!("session lost without a result"),
+            }
+        };
+        assert_eq!(result.name, "polled");
+        // The result was consumed; the channel now reports Lost.
+        assert!(matches!(session.try_wait(), SessionPoll::Lost));
     }
 
     #[test]

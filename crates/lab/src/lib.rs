@@ -41,6 +41,7 @@ pub mod corpus;
 pub mod gen;
 pub mod harness;
 pub mod shrink;
+pub mod workload;
 
 pub use corpus::{default_corpus_dir, load_dir, load_entry, save_entry, CorpusEntry};
 pub use gen::{
@@ -51,3 +52,4 @@ pub use harness::{
     Conformance, ScenarioReport, Violation,
 };
 pub use shrink::{shrink_corpus, shrink_spec};
+pub use workload::{prepare_replay, ReplayItem};

@@ -1,0 +1,62 @@
+//! Scenario replay as a *client workload*: pre-collected corpora plus the
+//! generating spec, ready to be shipped to an `aid_serve` server.
+//!
+//! The serving story needs workloads where many clients replay the same
+//! debugging session — that is what exercises cross-client
+//! intervention-cache sharing. A [`ReplayItem`] packages everything a
+//! client needs: the validated scenario (whose [`crate::ScenarioSpec`] travels on
+//! the wire so the server can rebuild the program bit-identically), the
+//! balanced observation corpus, and its codec encoding ready for chunked
+//! upload. Collection is the dominant cost, so items are prepared once and
+//! shared across client threads.
+
+use crate::gen::{generate_validated, LabParams, Scenario};
+use aid_trace::{codec, TraceSet};
+
+/// One replayable unit of client work: a scenario and its upload bytes.
+#[derive(Clone, Debug)]
+pub struct ReplayItem {
+    /// The validated scenario (spec, program, ground truth).
+    pub scenario: Scenario,
+    /// The balanced observation corpus that proved the draw viable.
+    pub corpus: TraceSet,
+    /// The corpus in wire form (`aid_trace::codec`), ready to chunk.
+    pub encoded: String,
+}
+
+/// Prepares replay items for every seed, reusing the validation corpus so
+/// nothing is collected twice. Deterministic per `(params, seed)`.
+pub fn prepare_replay(params: &LabParams, seeds: impl IntoIterator<Item = u64>) -> Vec<ReplayItem> {
+    seeds
+        .into_iter()
+        .map(|seed| {
+            let (scenario, corpus) = generate_validated(params, seed);
+            let encoded = codec::encode(&corpus);
+            ReplayItem {
+                scenario,
+                corpus,
+                encoded,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_items_are_deterministic_and_round_trip() {
+        let params = LabParams::default();
+        let a = prepare_replay(&params, 0..2);
+        let b = prepare_replay(&params, 0..2);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.scenario.spec, y.scenario.spec);
+            assert_eq!(x.encoded, y.encoded, "same seed, same upload bytes");
+            // The encoding really is the corpus.
+            let back = codec::decode(&x.encoded).expect("well-formed");
+            assert_eq!(back.traces, x.corpus.traces);
+        }
+    }
+}

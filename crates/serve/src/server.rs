@@ -1,0 +1,735 @@
+//! The session server: an acceptor thread, one blocking handler thread per
+//! connection, one shared [`Engine`], and a per-connection
+//! [`TraceStore`]/analysis.
+//!
+//! **Admission control.** Two bounds shed load with a typed
+//! [`Response::Overloaded`] instead of queueing unboundedly:
+//!
+//! 1. *per client* — a connection may hold at most
+//!    `max_sessions_per_client` undelivered sessions; a result frees its
+//!    slot when the client polls it (or cancels).
+//! 2. *server-wide* — the engine's `max_pending` bound, enforced through
+//!    the non-blocking [`EngineHandle::try_submit`] so a burst of
+//!    submissions never blocks connection handler threads.
+//!
+//! **Drain.** [`ServerHandle::shutdown`] stops the acceptor, closes
+//! connections as they go idle (every accepted connection carries a
+//! short read timeout, so a silent client cannot wedge the drain), then
+//! [`Engine::shutdown`]s — in-flight sessions complete engine-side; new
+//! submissions are refused with `Overloaded { scope: Draining }`.
+
+use crate::protocol::{
+    options_from_wire, AnalysisSpec, ErrorCode, OverloadScope, ProgramSpec, Request, Response,
+    ServerStats, SessionState,
+};
+use crate::transport::Listener;
+use crate::wire::{self, FrameError, PROTOCOL_VERSION};
+use aid_cases::all_cases;
+use aid_core::Strategy;
+use aid_engine::{DiscoveryJob, Engine, EngineConfig, EngineHandle, Session, SessionPoll};
+use aid_sim::Simulator;
+use aid_store::{StoreConfig, TraceStore};
+use aid_synth::SynthParams;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server sizing and policy knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Engine sizing (worker pool, cache, `max_pending` backpressure
+    /// bound — the server-wide admission limit).
+    pub engine: EngineConfig,
+    /// Per-connection trace-store sizing and extraction configuration.
+    pub store: StoreConfig,
+    /// Undelivered sessions one connection may hold before submissions
+    /// are refused with `Overloaded { scope: Client }`.
+    pub max_sessions_per_client: usize,
+    /// Simultaneously open connections before further accepts are
+    /// answered with `Error { code: TooManyConnections }` and closed —
+    /// each connection costs a handler thread and a trace store, so the
+    /// cap must sit in front of them.
+    pub max_connections: usize,
+    /// Cumulative upload bytes one connection may ingest per upload
+    /// (`BeginUpload` resets the budget) before chunks are refused with
+    /// `Error { code: UploadTooLarge }`.
+    pub max_upload_bytes: u64,
+    /// Largest accepted frame payload.
+    pub max_frame_len: usize,
+    /// Cadence of `Progress` frames while serving a `Stream` request.
+    pub stream_poll: Duration,
+    /// Server self-identification, echoed in `HelloOk`.
+    pub server_name: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            engine: EngineConfig::default(),
+            store: StoreConfig::default(),
+            max_sessions_per_client: 4,
+            max_connections: 256,
+            // Generous next to real corpora (the six case studies encode
+            // to ~100 KiB each) while bounding a hostile uploader.
+            max_upload_bytes: 64 << 20,
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            stream_poll: Duration::from_millis(1),
+            server_name: "aid-serve".to_string(),
+        }
+    }
+}
+
+/// Lock-free server-side counters (the non-engine half of
+/// [`ServerStats`]).
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    connections_refused: AtomicU64,
+    active_connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    upload_chunks: AtomicU64,
+    traces_ingested: AtomicU64,
+    records_quarantined: AtomicU64,
+    sessions_accepted: AtomicU64,
+    rejected_client: AtomicU64,
+    rejected_engine: AtomicU64,
+    sessions_cancelled: AtomicU64,
+    sessions_delivered: AtomicU64,
+    sessions_lost: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+struct ServerShared {
+    config: ServeConfig,
+    engine: Engine,
+    counters: Counters,
+    shutdown: AtomicBool,
+    next_session: AtomicU32,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        let e = self.engine.stats();
+        ServerStats {
+            connections: c.connections.load(Relaxed),
+            connections_refused: c.connections_refused.load(Relaxed),
+            active_connections: c.active_connections.load(Relaxed),
+            frames_in: c.frames_in.load(Relaxed),
+            frames_out: c.frames_out.load(Relaxed),
+            bytes_in: c.bytes_in.load(Relaxed),
+            bytes_out: c.bytes_out.load(Relaxed),
+            upload_chunks: c.upload_chunks.load(Relaxed),
+            traces_ingested: c.traces_ingested.load(Relaxed),
+            records_quarantined: c.records_quarantined.load(Relaxed),
+            sessions_accepted: c.sessions_accepted.load(Relaxed),
+            rejected_client: c.rejected_client.load(Relaxed),
+            rejected_engine: c.rejected_engine.load(Relaxed),
+            sessions_cancelled: c.sessions_cancelled.load(Relaxed),
+            sessions_delivered: c.sessions_delivered.load(Relaxed),
+            sessions_lost: c.sessions_lost.load(Relaxed),
+            protocol_errors: c.protocol_errors.load(Relaxed),
+            executions: e.executions,
+            cache_hits: e.cache_hits,
+            cache_misses: e.cache_misses,
+            cache_entries: e.cache_entries as u64,
+            sessions_completed: e.sessions_completed,
+            peak_pending: e.peak_pending,
+        }
+    }
+}
+
+/// Builder entry points for a running server.
+pub struct Server;
+
+impl Server {
+    /// Starts a server over any [`Listener`]. The returned handle owns the
+    /// acceptor thread; dropping it (or calling
+    /// [`ServerHandle::shutdown`]) drains the server.
+    pub fn start<L: Listener>(listener: L, config: ServeConfig) -> ServerHandle {
+        let engine = Engine::new(config.engine);
+        let shared = Arc::new(ServerShared {
+            config,
+            engine,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU32::new(1),
+            conns: Mutex::new(Vec::new()),
+        });
+        let label = listener.label();
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name(format!("aid-serve-accept {label}"))
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn acceptor thread");
+        ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+        }
+    }
+
+    /// Convenience: a server on loopback/LAN TCP. Returns the handle and
+    /// the bound address (the real port when `addr` used port 0).
+    pub fn start_tcp(
+        addr: impl std::net::ToSocketAddrs,
+        config: ServeConfig,
+    ) -> std::io::Result<(ServerHandle, std::net::SocketAddr)> {
+        let transport = crate::transport::TcpTransport::bind(addr)?;
+        let local = transport.local_addr();
+        Ok((Server::start(transport, config), local))
+    }
+
+    /// Convenience: an in-process server for deterministic tests. Returns
+    /// the handle and a cloneable connector clients dial through.
+    pub fn start_in_proc(config: ServeConfig) -> (ServerHandle, crate::transport::InProcConnector) {
+        let (listener, connector) = crate::transport::in_proc();
+        (Server::start(listener, config), connector)
+    }
+}
+
+/// A running server. Dropping the handle drains the server (equivalent to
+/// [`ServerHandle::shutdown`] with the final stats discarded).
+pub struct ServerHandle {
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// A live telemetry snapshot (no client round-trip).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Graceful drain: stops accepting, closes each connection at its
+    /// next idle read-timeout tick (a mid-request connection finishes
+    /// the request first; a mid-frame stall is the one residual way to
+    /// delay the drain), then drains the engine. In-flight sessions
+    /// complete; new submissions are refused as
+    /// `Overloaded { scope: Draining }`. Returns the final telemetry
+    /// snapshot.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.drain();
+        self.shared.stats()
+    }
+
+    fn drain(&mut self) {
+        self.shared.shutdown.store(true, Relaxed);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
+        for conn in conns {
+            let _ = conn.join();
+        }
+        self.shared.engine.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.drain();
+        }
+    }
+}
+
+fn accept_loop<L: Listener>(listener: L, shared: Arc<ServerShared>) {
+    while !shared.shutdown.load(Relaxed) {
+        match listener.accept_timeout(Duration::from_millis(2)) {
+            Ok(Some(mut conn)) => {
+                // The connection cap guards the resources a connection
+                // costs *before* any admission check can run (a handler
+                // thread, a trace store): refuse with a typed error and
+                // hang up rather than spawn.
+                let active = shared.counters.active_connections.load(Relaxed);
+                if active >= shared.config.max_connections as u64 {
+                    shared.counters.connections_refused.fetch_add(1, Relaxed);
+                    let _ = send(
+                        shared.as_ref(),
+                        &mut conn,
+                        &Response::Error {
+                            code: ErrorCode::TooManyConnections,
+                            message: format!(
+                                "server is at its connection cap ({})",
+                                shared.config.max_connections
+                            ),
+                        },
+                    );
+                    continue;
+                }
+                shared.counters.connections.fetch_add(1, Relaxed);
+                shared.counters.active_connections.fetch_add(1, Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("aid-serve-conn".to_string())
+                    .spawn(move || {
+                        serve_connection(&conn_shared, conn);
+                        conn_shared
+                            .counters
+                            .active_connections
+                            .fetch_sub(1, Relaxed);
+                    })
+                    .expect("spawn connection thread");
+                // Reap finished handler threads as we go: a long-lived
+                // server must not retain one JoinHandle per connection
+                // it has ever served.
+                let mut conns = shared.conns.lock().unwrap();
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Ok(None) => {}
+            // The listener died (e.g. every in-proc connector dropped):
+            // nothing further can arrive.
+            Err(_) => break,
+        }
+    }
+}
+
+/// Per-connection state: the client's trace store and its undelivered
+/// session tickets.
+struct ClientCtx {
+    store: TraceStore,
+    sessions: HashMap<u32, Session>,
+    engine: EngineHandle,
+    /// Store ingest totals already folded into the server-wide counters —
+    /// the decoder's counters are cumulative across streams, so folding
+    /// must be by delta or a second `FinishUpload` double-counts.
+    folded: (u64, u64),
+    /// Bytes ingested against the current upload's quota.
+    upload_bytes: u64,
+}
+
+/// What the connection loop should do after a request.
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn serve_connection<C: Read + Write>(shared: &Arc<ServerShared>, mut conn: C) {
+    let mut ctx = ClientCtx {
+        store: TraceStore::with_pool(shared.config.store.clone(), shared.engine_pool()),
+        sessions: HashMap::new(),
+        engine: shared.engine.handle(),
+        folded: (0, 0),
+        upload_bytes: 0,
+    };
+    loop {
+        let (kind, payload) = match wire::read_frame(&mut conn, shared.config.max_frame_len) {
+            Ok(Some(frame)) => frame,
+            // Clean hang-up between frames.
+            Ok(None) => break,
+            // The accepted connection's read timeout ticked while idle:
+            // poll the drain flag so shutdown never hangs on a client
+            // that stays connected but silent.
+            Err(FrameError::IdleTimeout) => {
+                if shared.shutdown.load(Relaxed) {
+                    break;
+                }
+                continue;
+            }
+            Err(FrameError::Wire(e)) => {
+                shared.counters.protocol_errors.fetch_add(1, Relaxed);
+                let _ = send(
+                    shared,
+                    &mut conn,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+            // Transport failure (reset, abort): nothing to answer.
+            Err(FrameError::Io(_)) => break,
+        };
+        shared.counters.frames_in.fetch_add(1, Relaxed);
+        shared
+            .counters
+            .bytes_in
+            .fetch_add((wire::HEADER_LEN + payload.len()) as u64, Relaxed);
+        let request = match Request::decode_payload(kind, &payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.counters.protocol_errors.fetch_add(1, Relaxed);
+                let _ = send(
+                    shared,
+                    &mut conn,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        match handle_request(shared, &mut ctx, &mut conn, request) {
+            // During a drain, close at the request boundary too: a
+            // client that is never idle for a full read-timeout tick
+            // must not be able to hold the drain open indefinitely.
+            Ok(Flow::Continue) => {
+                if shared.shutdown.load(Relaxed) {
+                    break;
+                }
+            }
+            Ok(Flow::Close) => break,
+            // The response could not be written; the peer is gone.
+            Err(_) => break,
+        }
+    }
+    // `ctx` drops here: undelivered tickets are discarded and the engine
+    // runs their sessions to completion internally.
+}
+
+impl ServerShared {
+    fn engine_pool(&self) -> Arc<aid_engine::WorkerPool> {
+        self.engine.pool()
+    }
+}
+
+fn send<C: Write>(shared: &ServerShared, conn: &mut C, response: &Response) -> std::io::Result<()> {
+    let frame = response.encode();
+    wire::write_frame(conn, &frame)?;
+    shared.counters.frames_out.fetch_add(1, Relaxed);
+    shared
+        .counters
+        .bytes_out
+        .fetch_add(frame.len() as u64, Relaxed);
+    Ok(())
+}
+
+fn handle_request<C: Write>(
+    shared: &Arc<ServerShared>,
+    ctx: &mut ClientCtx,
+    conn: &mut C,
+    request: Request,
+) -> std::io::Result<Flow> {
+    match request {
+        Request::Hello { client: _ } => {
+            send(
+                shared,
+                conn,
+                &Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    server: shared.config.server_name.clone(),
+                },
+            )?;
+        }
+        Request::BeginUpload { analysis } => {
+            // A fresh store: each upload is its own corpus and analysis,
+            // extracted under the declared configuration — an analysis is
+            // only comparable to an in-process one run under the same
+            // purity markings and safety knobs.
+            let extraction = match resolve_extraction(shared, &analysis) {
+                Ok(extraction) => extraction,
+                Err((code, message)) => {
+                    send(shared, conn, &Response::Error { code, message })?;
+                    return Ok(Flow::Continue);
+                }
+            };
+            let mut store_config = shared.config.store.clone();
+            store_config.extraction = extraction;
+            ctx.store = TraceStore::with_pool(store_config, shared.engine_pool());
+            ctx.folded = (0, 0);
+            ctx.upload_bytes = 0;
+            send(shared, conn, &upload_ack(ctx, false))?;
+        }
+        Request::UploadChunk { bytes } => {
+            // Per-upload byte quota: nothing else bounds how much a
+            // client can make the server retain, and sessions-level
+            // admission control runs far too late to help.
+            if ctx.upload_bytes + bytes.len() as u64 > shared.config.max_upload_bytes {
+                send(
+                    shared,
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::UploadTooLarge,
+                        message: format!(
+                            "upload exceeds the {} byte quota; BeginUpload resets it",
+                            shared.config.max_upload_bytes
+                        ),
+                    },
+                )?;
+                return Ok(Flow::Continue);
+            }
+            ctx.upload_bytes += bytes.len() as u64;
+            ctx.store.ingest_bytes(&bytes);
+            shared.counters.upload_chunks.fetch_add(1, Relaxed);
+            send(shared, conn, &upload_ack(ctx, false))?;
+        }
+        Request::FinishUpload => {
+            ctx.store.finish_ingest();
+            let analyzed = ctx.store.refresh().is_some();
+            // Fold this upload's totals into the server-wide picture at
+            // the boundary where they stop changing — by delta, because
+            // the decoder's counters are cumulative and a client may run
+            // several streams through one store.
+            let stats = ctx.store.stats();
+            let (traces, quarantined) = (stats.ingest.traces, stats.ingest.quarantined);
+            shared
+                .counters
+                .traces_ingested
+                .fetch_add(traces - ctx.folded.0, Relaxed);
+            shared
+                .counters
+                .records_quarantined
+                .fetch_add(quarantined - ctx.folded.1, Relaxed);
+            ctx.folded = (traces, quarantined);
+            send(shared, conn, &upload_ack(ctx, analyzed))?;
+        }
+        Request::SubmitDiscovery {
+            name,
+            program,
+            strategy,
+            discovery_seed,
+            runs_per_round,
+            first_seed,
+            prune_quorum,
+        } => {
+            let response = admit(
+                shared,
+                ctx,
+                name,
+                program,
+                strategy,
+                discovery_seed,
+                runs_per_round,
+                first_seed,
+                prune_quorum,
+            );
+            send(shared, conn, &response)?;
+        }
+        Request::Poll { session } => {
+            let state = poll_session(shared, ctx, session);
+            send(shared, conn, &Response::Status { session, state })?;
+        }
+        Request::Stream { session } => {
+            // Emit Progress only when the engine-wide counters moved —
+            // an unconditional frame per tick would spam ~1000 identical
+            // frames/s per streaming client on a long session.
+            let mut last = (u64::MAX, u64::MAX, u64::MAX);
+            loop {
+                let state = poll_session(shared, ctx, session);
+                match state {
+                    SessionState::Pending => {
+                        let e = shared.engine.stats();
+                        let now = (e.executions, e.cache_hits, e.sessions_completed);
+                        if now != last {
+                            last = now;
+                            send(
+                                shared,
+                                conn,
+                                &Response::Progress {
+                                    session,
+                                    executions: e.executions,
+                                    cache_hits: e.cache_hits,
+                                    sessions_completed: e.sessions_completed,
+                                },
+                            )?;
+                        }
+                        std::thread::sleep(shared.config.stream_poll);
+                    }
+                    terminal => {
+                        send(
+                            shared,
+                            conn,
+                            &Response::Status {
+                                session,
+                                state: terminal,
+                            },
+                        )?;
+                        break;
+                    }
+                }
+            }
+        }
+        Request::Stats => {
+            send(shared, conn, &Response::StatsOk(shared.stats()))?;
+        }
+        Request::Cancel { session } => {
+            let existed = ctx.sessions.remove(&session).is_some();
+            if existed {
+                shared.counters.sessions_cancelled.fetch_add(1, Relaxed);
+            }
+            send(shared, conn, &Response::Cancelled { session, existed })?;
+        }
+        Request::Goodbye => {
+            send(shared, conn, &Response::Bye)?;
+            return Ok(Flow::Close);
+        }
+    }
+    Ok(Flow::Continue)
+}
+
+fn upload_ack(ctx: &ClientCtx, analyzed: bool) -> Response {
+    let stats = ctx.store.stats();
+    Response::UploadAck {
+        traces: stats.ingest.traces,
+        quarantined: stats.ingest.quarantined,
+        analyzed,
+    }
+}
+
+/// Polls one session ticket, freeing its admission slot on any terminal
+/// state. A result is delivered exactly once; later polls see `Unknown`.
+fn poll_session(shared: &ServerShared, ctx: &mut ClientCtx, session: u32) -> SessionState {
+    let Some(ticket) = ctx.sessions.get(&session) else {
+        return SessionState::Unknown;
+    };
+    match ticket.try_wait() {
+        SessionPoll::Pending => SessionState::Pending,
+        SessionPoll::Ready(result) => {
+            ctx.sessions.remove(&session);
+            shared.counters.sessions_delivered.fetch_add(1, Relaxed);
+            SessionState::Done(result.result)
+        }
+        SessionPoll::Lost => {
+            ctx.sessions.remove(&session);
+            shared.counters.sessions_lost.fetch_add(1, Relaxed);
+            SessionState::Lost
+        }
+    }
+}
+
+/// Looks up one case study by name with the service's typed error.
+fn find_case(name: &str) -> Result<aid_cases::CaseStudy, (ErrorCode, String)> {
+    all_cases().into_iter().find(|c| c.name == name).ok_or((
+        ErrorCode::UnknownCase,
+        format!("no case study named '{name}'"),
+    ))
+}
+
+/// Resolves an upload's declared extraction configuration.
+fn resolve_extraction(
+    shared: &ServerShared,
+    analysis: &AnalysisSpec,
+) -> Result<aid_predicates::ExtractionConfig, (ErrorCode, String)> {
+    match analysis {
+        AnalysisSpec::Default => Ok(shared.config.store.extraction.clone()),
+        AnalysisSpec::Case { name } => Ok(find_case(name)?.config),
+        AnalysisSpec::Lab(spec) => Ok(aid_lab::build(spec).config),
+    }
+}
+
+/// Admission control + job construction for one submission.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    shared: &ServerShared,
+    ctx: &mut ClientCtx,
+    name: String,
+    program: ProgramSpec,
+    strategy: Strategy,
+    discovery_seed: u64,
+    runs_per_round: u32,
+    first_seed: u64,
+    prune_quorum: u32,
+) -> Response {
+    let limit = shared.config.max_sessions_per_client;
+    if shared.shutdown.load(Relaxed) {
+        shared.counters.rejected_engine.fetch_add(1, Relaxed);
+        return Response::Overloaded {
+            scope: OverloadScope::Draining,
+            in_flight: ctx.sessions.len() as u32,
+            limit: limit as u32,
+        };
+    }
+    if ctx.sessions.len() >= limit {
+        shared.counters.rejected_client.fetch_add(1, Relaxed);
+        return Response::Overloaded {
+            scope: OverloadScope::Client,
+            in_flight: ctx.sessions.len() as u32,
+            limit: limit as u32,
+        };
+    }
+    let job = match build_job(
+        ctx,
+        name,
+        program,
+        strategy,
+        discovery_seed,
+        runs_per_round,
+        first_seed,
+        prune_quorum,
+    ) {
+        Ok(job) => job,
+        Err((code, message)) => return Response::Error { code, message },
+    };
+    match ctx.engine.try_submit(job) {
+        Ok(ticket) => {
+            let id = shared.next_session.fetch_add(1, Relaxed);
+            ctx.sessions.insert(id, ticket);
+            shared.counters.sessions_accepted.fetch_add(1, Relaxed);
+            Response::Submitted { session: id }
+        }
+        Err(saturated) => {
+            shared.counters.rejected_engine.fetch_add(1, Relaxed);
+            Response::Overloaded {
+                scope: if saturated.shutting_down {
+                    OverloadScope::Draining
+                } else {
+                    OverloadScope::Engine
+                },
+                in_flight: saturated.pending as u32,
+                limit: shared.config.engine.max_pending as u32,
+            }
+        }
+    }
+}
+
+/// Rebuilds the intervention substrate named by a [`ProgramSpec`] and
+/// binds it to the connection's uploaded analysis.
+#[allow(clippy::too_many_arguments)]
+fn build_job(
+    ctx: &mut ClientCtx,
+    name: String,
+    program: ProgramSpec,
+    strategy: Strategy,
+    discovery_seed: u64,
+    runs_per_round: u32,
+    first_seed: u64,
+    prune_quorum: u32,
+) -> Result<DiscoveryJob, (ErrorCode, String)> {
+    let options = options_from_wire(prune_quorum);
+    let simulator = match &program {
+        ProgramSpec::Synth { app_seed } => {
+            // The exact oracle knows its ground truth; no upload involved.
+            let app = aid_synth::generate(&SynthParams::default(), *app_seed);
+            let mut job = DiscoveryJob::oracle(
+                name,
+                Arc::new(app.dag.clone()),
+                app.truth.clone(),
+                strategy,
+                discovery_seed,
+            );
+            job.options = options;
+            return Ok(job);
+        }
+        ProgramSpec::Case { name: case } => Simulator::new(find_case(case)?.program),
+        ProgramSpec::Lab(spec) => Simulator::new(aid_lab::build(spec).program),
+    };
+    // Catch an upload that was never `FinishUpload`ed: refresh is
+    // incremental, so this is cheap when the analysis is already current.
+    ctx.store.refresh();
+    let Some(snapshot) = ctx.store.snapshot() else {
+        return Err((
+            ErrorCode::NoAnalysis,
+            "no uploaded analysis: upload a corpus with at least one failing trace first".into(),
+        ));
+    };
+    let mut job = snapshot.discovery_job(
+        name,
+        Arc::new(simulator),
+        runs_per_round as usize,
+        first_seed,
+        strategy,
+        discovery_seed,
+    );
+    job.options = options;
+    Ok(job)
+}

@@ -1,0 +1,349 @@
+//! Connection transports: an in-process duplex pipe for deterministic
+//! tests and a loopback/LAN TCP listener for real clients.
+//!
+//! Both sides of every transport are plain blocking [`io::Read`] +
+//! [`io::Write`] byte streams, so the frame layer ([`crate::wire`]) and
+//! everything above it is transport-agnostic. The server accepts through
+//! the [`Listener`] trait, whose `accept_timeout` lets the acceptor thread
+//! poll its shutdown flag without busy-spinning or blocking forever.
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Read timeout installed on every *accepted* connection, so server
+/// handler threads wake periodically to poll the drain flag instead of
+/// blocking in a read forever when a client goes idle or silent.
+/// (Client-side connections set no timeout: a client legitimately blocks
+/// for as long as a streamed session takes.)
+pub const ACCEPTED_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// A source of inbound connections the server can accept from.
+pub trait Listener: Send + 'static {
+    /// The byte-stream type a successful accept yields.
+    type Conn: io::Read + io::Write + Send + 'static;
+
+    /// Waits up to `timeout` for the next connection. `Ok(None)` means the
+    /// timeout elapsed (poll your shutdown flag and call again); `Err`
+    /// means the listener itself is dead and the accept loop should end.
+    fn accept_timeout(&self, timeout: Duration) -> io::Result<Option<Self::Conn>>;
+
+    /// Human-readable endpoint label, for logs and stats.
+    fn label(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+// In-process duplex transport.
+
+/// One direction of a duplex pipe: a byte queue with a closed flag.
+#[derive(Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.readable.notify_all();
+    }
+}
+
+/// One endpoint of an in-process duplex byte stream, created in pairs by
+/// [`duplex`]. Reads block until the peer writes or hangs up (or until
+/// the configured read timeout, mirroring `TcpStream::set_read_timeout`);
+/// dropping an endpoint closes both directions (the peer sees EOF on
+/// read and `BrokenPipe` on write), exactly like a socket.
+pub struct DuplexStream {
+    read: Arc<Pipe>,
+    write: Arc<Pipe>,
+    read_timeout: Option<Duration>,
+}
+
+/// A connected pair of in-process byte streams.
+pub fn duplex() -> (DuplexStream, DuplexStream) {
+    let a = Arc::new(Pipe::default());
+    let b = Arc::new(Pipe::default());
+    (
+        DuplexStream {
+            read: Arc::clone(&a),
+            write: Arc::clone(&b),
+            read_timeout: None,
+        },
+        DuplexStream {
+            read: b,
+            write: a,
+            read_timeout: None,
+        },
+    )
+}
+
+impl DuplexStream {
+    /// Bounds how long a read blocks waiting for the peer; `None` (the
+    /// default) blocks indefinitely. A timed-out read fails with
+    /// `ErrorKind::TimedOut` and consumes nothing.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+}
+
+impl io::Read for DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.read.state.lock().unwrap();
+        while st.buf.is_empty() {
+            if st.closed {
+                return Ok(0); // EOF: peer hung up and the queue is drained.
+            }
+            match self.read_timeout {
+                None => st = self.read.readable.wait(st).unwrap(),
+                Some(timeout) => {
+                    let (guard, result) = self.read.readable.wait_timeout(st, timeout).unwrap();
+                    st = guard;
+                    if result.timed_out() && st.buf.is_empty() && !st.closed {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "duplex read timed out",
+                        ));
+                    }
+                }
+            }
+        }
+        let n = buf.len().min(st.buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = st.buf.pop_front().expect("n bounded by queue length");
+        }
+        Ok(n)
+    }
+}
+
+impl io::Write for DuplexStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut st = self.write.state.lock().unwrap();
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "duplex peer hung up",
+            ));
+        }
+        st.buf.extend(buf);
+        drop(st);
+        self.write.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        // Close both directions: the peer's reads see EOF once drained,
+        // and its writes fail fast instead of filling a dead queue.
+        self.read.close();
+        self.write.close();
+    }
+}
+
+/// The accepting end of the in-process transport.
+pub struct InProcListener {
+    rx: Receiver<DuplexStream>,
+}
+
+/// The connecting end of the in-process transport; cloneable, so many
+/// client threads can dial the same listener.
+#[derive(Clone)]
+pub struct InProcConnector {
+    tx: Sender<DuplexStream>,
+}
+
+/// An in-process listener/connector pair.
+pub fn in_proc() -> (InProcListener, InProcConnector) {
+    let (tx, rx) = channel::unbounded();
+    (InProcListener { rx }, InProcConnector { tx })
+}
+
+impl InProcConnector {
+    /// Dials the listener, returning the client end of a fresh duplex
+    /// stream. Fails with `ConnectionRefused` once the listener is gone.
+    pub fn connect(&self) -> io::Result<DuplexStream> {
+        let (client, server) = duplex();
+        self.tx.send(server).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "in-process listener is gone",
+            )
+        })?;
+        Ok(client)
+    }
+}
+
+impl Listener for InProcListener {
+    type Conn = DuplexStream;
+
+    fn accept_timeout(&self, timeout: Duration) -> io::Result<Option<DuplexStream>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(mut conn) => {
+                conn.set_read_timeout(Some(ACCEPTED_READ_TIMEOUT));
+                Ok(Some(conn))
+            }
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "every in-process connector was dropped",
+            )),
+        }
+    }
+
+    fn label(&self) -> String {
+        "in-proc".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+
+/// A TCP listener adapter (thread-per-connection, blocking sockets,
+/// `TCP_NODELAY` — the protocol is request/response with small frames).
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpTransport {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and prepares the
+    /// listener for timed accepts.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind(addr)?;
+        // Nonblocking at the listener only: accepted streams are switched
+        // back to blocking before use.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpTransport { listener, addr })
+    }
+
+    /// The bound address (the actual port, when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Listener for TcpTransport {
+    type Conn = TcpStream;
+
+    fn accept_timeout(&self, timeout: Duration) -> io::Result<Option<TcpStream>> {
+        // Poll the nonblocking listener in small sleeps up to `timeout` —
+        // std has no native timed accept, and a sub-millisecond poll keeps
+        // accept latency negligible next to a discovery session.
+        let slice = Duration::from_micros(500);
+        let mut waited = Duration::ZERO;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(ACCEPTED_READ_TIMEOUT))?;
+                    return Ok(Some(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if waited >= timeout {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(slice);
+                    waited += slice;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("tcp://{}", self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn duplex_carries_bytes_both_ways_and_eofs_on_drop() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+
+        drop(b);
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "EOF after peer drop");
+        assert!(a.write_all(b"x").is_err(), "write to dead peer fails");
+    }
+
+    #[test]
+    fn duplex_read_blocks_until_write() {
+        let (mut a, mut b) = duplex();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        a.write_all(b"abc").unwrap();
+        assert_eq!(&reader.join().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn in_proc_listener_times_out_then_accepts() {
+        let (listener, connector) = in_proc();
+        assert!(listener
+            .accept_timeout(Duration::from_millis(1))
+            .unwrap()
+            .is_none());
+        let mut client = connector.connect().unwrap();
+        let mut server = listener
+            .accept_timeout(Duration::from_millis(100))
+            .unwrap()
+            .expect("pending connection");
+        client.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn tcp_transport_accepts_loopback() {
+        let transport = TcpTransport::bind("127.0.0.1:0").unwrap();
+        let addr = transport.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"hello").unwrap();
+        });
+        let mut conn = transport
+            .accept_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("client connected");
+        let mut buf = [0u8; 5];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        client.join().unwrap();
+    }
+}

@@ -106,22 +106,31 @@ impl StreamDecoder {
         }
     }
 
-    /// Flushes end-of-stream state: a trailing unterminated line is parsed,
-    /// and a still-open trace is quarantined as unterminated. The decoder
-    /// remains usable (a new stream can follow).
+    /// Flushes end-of-stream state: a trailing partial line (bytes after the
+    /// last newline) is **quarantined** as [`DecodeErrorKind::TruncatedLine`]
+    /// — never parsed, because a truncated record can prefix-parse as a
+    /// different valid one (`endtrace 40` cut to `endtrace 4`) and silently
+    /// corrupt the trace it closes — and a still-open trace is quarantined
+    /// as unterminated. The decoder remains usable (a new stream can
+    /// follow).
     pub fn finish(&mut self) {
         if !self.carry.is_empty() {
-            let line = std::mem::take(&mut self.carry);
-            self.consume_line(&line);
+            let raw = std::mem::take(&mut self.carry);
+            self.lineno += 1;
+            self.stats.lines += 1;
+            self.poison(
+                DecodeError::new(self.lineno, DecodeErrorKind::TruncatedLine),
+                &String::from_utf8_lossy(&raw),
+            );
         }
         if self.current.is_some() {
             self.poison(
                 DecodeError::new(self.lineno.max(1), DecodeErrorKind::UnterminatedTrace),
                 "<end of stream>",
             );
-            // Nothing to skip: the stream is over.
-            self.skipping = false;
         }
+        // Nothing to skip: the stream is over.
+        self.skipping = false;
     }
 
     /// Takes every fully decoded trace accumulated so far, in stream order.
@@ -491,6 +500,35 @@ mod tests {
         dec.push_str("trace 9 ok - -\nevent 0 0 0 5 - - 0\nendtrace 6\n");
         dec.finish();
         assert_eq!(dec.drain().len(), 1);
+    }
+
+    /// A final chunk cut mid-line must not be ingested as if the partial
+    /// line were complete: `endtrace 40` truncated to `endtrace 4` parses
+    /// fine but closes the trace with a wrong duration. `finish()` has to
+    /// quarantine the tail (and the trace it would have closed) instead.
+    #[test]
+    fn truncated_final_chunk_quarantines_partial_line() {
+        let set = sample_set();
+        let text = codec::encode(&set);
+        // Cut inside the last line: drop the final newline plus one digit
+        // of the closing `endtrace <duration>` record.
+        let cut = text.trim_end().len() - 1;
+        let mut dec = StreamDecoder::new();
+        dec.push_str(&text[..cut]);
+        dec.finish();
+        let traces = dec.drain();
+        assert_eq!(traces.len(), 3, "only fully-terminated traces survive");
+        assert_eq!(traces[..], set.traces[..3]);
+        let q = dec.quarantine();
+        assert_eq!(q.len(), 1, "partial line + open trace is one entry");
+        assert_eq!(q[0].error.kind, codec::DecodeErrorKind::TruncatedLine);
+        assert!(q[0].raw.starts_with("endtrace"), "raw tail is reported");
+        assert_eq!(q[0].dropped_events, 2, "the open trace died with it");
+        // The decoder stays usable for a follow-up stream.
+        dec.push_str("trace 9 ok - -\nevent 0 0 0 5 - - 0\nendtrace 6\n");
+        dec.finish();
+        assert_eq!(dec.drain().len(), 1);
+        assert_eq!(dec.stats().quarantined, 1);
     }
 
     #[test]

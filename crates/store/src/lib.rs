@@ -220,8 +220,9 @@ impl TraceStore {
         Ok(self.decoder.stats().bytes)
     }
 
-    /// Flushes end-of-stream decoder state (quarantining an unterminated
-    /// trailing trace). The store accepts further streams afterwards.
+    /// Flushes end-of-stream decoder state (quarantining a trailing
+    /// partial line and any unterminated trace rather than ingesting
+    /// them). The store accepts further streams afterwards.
     pub fn finish_ingest(&mut self) {
         self.decoder.finish();
         self.flush_decoded();

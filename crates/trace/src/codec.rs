@@ -66,6 +66,11 @@ pub enum DecodeErrorKind {
     },
     /// The input ended inside a trace (no `endtrace`).
     UnterminatedTrace,
+    /// The input ended mid-line (byte-stream decoding only). A partial
+    /// line can prefix-parse as a *different* valid record — `endtrace 40`
+    /// truncated to `endtrace 4` is well-formed but wrong — so stream
+    /// decoders must quarantine the tail rather than ingest it.
+    TruncatedLine,
     /// The line is not valid UTF-8 (byte-stream decoding only).
     InvalidUtf8,
 }
@@ -87,6 +92,7 @@ impl DecodeErrorKind {
                 format!("declaration id {found} out of order (expected {expected})")
             }
             DecodeErrorKind::UnterminatedTrace => "unterminated trace".into(),
+            DecodeErrorKind::TruncatedLine => "input ended mid-line".into(),
             DecodeErrorKind::InvalidUtf8 => "line is not valid UTF-8".into(),
         }
     }

@@ -1,7 +1,7 @@
 //! Offline stub of `bytes` (see `shims/README.md`).
 //!
-//! Provides the `BufMut` trait subset the trace codec writes through. Backed
-//! by `Vec<u8>`; growable buffers only.
+//! Provides the `BufMut` trait subset the trace codec and the `aid_serve`
+//! wire protocol write through. Backed by `Vec<u8>`; growable buffers only.
 
 /// A growable byte sink, mirroring the used subset of `bytes::BufMut`.
 pub trait BufMut {
@@ -11,6 +11,16 @@ pub trait BufMut {
     /// Appends a single byte.
     fn put_u8(&mut self, b: u8) {
         self.put_slice(&[b]);
+    }
+
+    /// Appends a `u32` in little-endian byte order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian byte order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
     }
 }
 
@@ -38,5 +48,14 @@ mod tests {
         // Exercise the forwarding impl for `&mut B` explicitly.
         <&mut Vec<u8> as BufMut>::put_slice(&mut (&mut v), b"d");
         assert_eq!(v, b"abcd");
+    }
+
+    #[test]
+    fn little_endian_writers() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u32_le(0x0403_0201);
+        v.put_u64_le(0x0c0b_0a09_0807_0605);
+        assert_eq!(&v[..4], &[1, 2, 3, 4]);
+        assert_eq!(v[4..12], [5, 6, 7, 8, 9, 10, 11, 12]);
     }
 }

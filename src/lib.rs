@@ -58,6 +58,7 @@ pub use aid_engine as engine;
 pub use aid_lab as lab;
 pub use aid_predicates as predicates;
 pub use aid_sd as sd;
+pub use aid_serve as serve;
 pub use aid_sim as sim;
 pub use aid_store as store;
 pub use aid_synth as synth;
@@ -79,14 +80,18 @@ pub mod prelude {
         JobSource, Session, SessionResult, WorkerPool,
     };
     pub use aid_lab::{
-        check_scenario, corpus_violations, BugClass, Conformance, LabParams, Scenario,
-        ScenarioReport,
+        check_scenario, corpus_violations, prepare_replay, BugClass, Conformance, LabParams,
+        ReplayItem, Scenario, ScenarioReport,
     };
     pub use aid_predicates::{
         evaluate, extract, Extraction, ExtractionConfig, InterventionAction, MethodInstance,
         Predicate, PredicateCatalog, PredicateId, PredicateKind,
     };
     pub use aid_sd::{PredicateScore, SdReport};
+    pub use aid_serve::{
+        Admission, AidClient, AnalysisSpec, ProgramSpec, ServeConfig, Server, ServerHandle,
+        ServerStats, SessionState, SubmitSpec,
+    };
     pub use aid_sim::program::{Cmp, Expr, Reg};
     pub use aid_sim::{
         InstanceFilter, Intervention, InterventionPlan, Program, ProgramBuilder, SimConfig,
