@@ -1,31 +1,110 @@
 //! Criterion microbenchmark: virtual-machine throughput — single runs of
-//! the Npgsql case program, with and without interventions.
+//! the Npgsql case program, with and without interventions, on both
+//! execution backends — plus a self-timed tree-walk vs bytecode comparison
+//! over the full case-study suite that records `sim_*` keys into
+//! `BENCH_sim.json` at the repo root (compared by
+//! `cargo run -p aid_bench --bin benchdiff`).
 
+use aid_bench::snapshot;
 use aid_cases::npgsql;
-use aid_sim::{InterventionPlan, Simulator};
+use aid_sim::{Backend, InterventionPlan, Simulator};
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
 
 fn bench_runs(c: &mut Criterion) {
     let case = npgsql::case();
-    let sim = Simulator::new(case.program.clone());
-    let mut seed = 0u64;
-    c.bench_function("sim_run_npgsql", |b| {
-        b.iter(|| {
-            seed += 1;
-            sim.run(seed, &InterventionPlan::empty())
-        });
-    });
     let plan = InterventionPlan::single(aid_sim::Intervention::SerializeMethods {
         a: aid_trace::MethodId::from_raw(0),
         b: aid_trace::MethodId::from_raw(1),
     });
-    c.bench_function("sim_run_npgsql_serialized", |b| {
-        b.iter(|| {
-            seed += 1;
-            sim.run(seed, &plan)
+    for backend in [Backend::TreeWalk, Backend::Bytecode] {
+        let sim = Simulator::new(case.program.clone()).with_backend(backend);
+        let mut seed = 0u64;
+        c.bench_function(&format!("sim_run_npgsql_{backend}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                sim.run(seed, &InterventionPlan::empty())
+            });
         });
-    });
+        c.bench_function(&format!("sim_run_npgsql_serialized_{backend}"), |b| {
+            b.iter(|| {
+                seed += 1;
+                sim.run(seed, &plan)
+            });
+        });
+    }
 }
 
-criterion_group!(benches, bench_runs);
+/// Sustained throughput over the whole case-study suite, in case runs per
+/// second (one "iteration" runs every case program once).
+fn suite_runs_per_s(sims: &[Simulator], budget: Duration) -> f64 {
+    let plan = InterventionPlan::empty();
+    let mut runs = 0u64;
+    let mut seed = 1_000u64;
+    let start = Instant::now();
+    while start.elapsed() < budget {
+        for _ in 0..10 {
+            seed += 1;
+            for sim in sims {
+                sim.run(seed, &plan);
+            }
+        }
+        runs += 10 * sims.len() as u64;
+    }
+    runs as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Times tree-walk vs bytecode head-to-head over all six case studies and
+/// merges the result into `BENCH_sim.json`.
+///
+/// Measurement: interleaved best-of-5 — short alternating rounds per
+/// backend, keeping each backend's best round. On a noisy machine the
+/// absolute rates still drift between invocations, but taking each side's
+/// best from interleaved rounds keeps the *ratio* stable to a few percent,
+/// which is what the CI diff guards.
+fn snapshot_backends(_c: &mut Criterion) {
+    let budget = Duration::from_millis(
+        std::env::var("AID_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300),
+    );
+    let plan = InterventionPlan::empty();
+    let build = |backend: Backend| -> Vec<Simulator> {
+        aid_cases::all_cases()
+            .into_iter()
+            .map(|c| Simulator::new(c.program).with_backend(backend))
+            .collect()
+    };
+    let tree_sims = build(Backend::TreeWalk);
+    let byte_sims = build(Backend::Bytecode);
+    // Warm up: first runs build each backend (compile + arenas).
+    for seed in 0..20 {
+        for sim in tree_sims.iter().chain(&byte_sims) {
+            sim.run(seed, &plan);
+        }
+    }
+    let (mut tree, mut byte) = (0f64, 0f64);
+    for _ in 0..5 {
+        tree = tree.max(suite_runs_per_s(&tree_sims, budget));
+        byte = byte.max(suite_runs_per_s(&byte_sims, budget));
+    }
+    let speedup = byte / tree;
+    let path = snapshot::merge_write(
+        "BENCH_sim.json",
+        &[
+            ("sim_treewalk_runs_per_s".to_string(), tree),
+            ("sim_bytecode_runs_per_s".to_string(), byte),
+            ("sim_bytecode_speedup".to_string(), speedup),
+        ],
+    );
+    println!(
+        "snapshot: tree-walk {tree:.0} runs/s, bytecode {byte:.0} runs/s \
+         ({speedup:.2}x) over {} case programs -> {}",
+        tree_sims.len(),
+        path.display()
+    );
+}
+
+criterion_group!(benches, bench_runs, snapshot_backends);
 criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Snapshot regression diff: compares two flat benchmark snapshots
+//! (`BENCH_sim.json` / `BENCH_serve.json`) and fails on regressions beyond
+//! a tolerance.
+//!
+//! ```sh
+//! cargo run -p aid_bench --bin benchdiff -- BASELINE CURRENT \
+//!     [--tolerance=0.30] [--all]
+//! ```
+//!
+//! Direction is inferred from the key suffix: `_per_s`, `_speedup`, and
+//! `_hit_rate` are higher-is-better; `_ms` is lower-is-better; anything
+//! else is informational. By default only the *ratio* keys (`_speedup`,
+//! `_hit_rate`) gate the exit code — they are stable across machines and
+//! load, whereas absolute rates on a shared runner can legitimately swing
+//! by the full tolerance. `--all` gates every directional key, for diffing
+//! two runs taken on the same quiet machine.
+
+use aid_bench::{arg_value, render_table, snapshot};
+
+#[derive(PartialEq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+    Info,
+}
+
+fn direction(key: &str) -> Direction {
+    if key.ends_with("_per_s") || key.ends_with("_speedup") || key.ends_with("_hit_rate") {
+        Direction::HigherIsBetter
+    } else if key.ends_with("_ms") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Info
+    }
+}
+
+fn is_ratio_key(key: &str) -> bool {
+    key.ends_with("_speedup") || key.ends_with("_hit_rate")
+}
+
+fn main() {
+    let positional: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let [baseline_path, current_path] = positional.as_slice() else {
+        eprintln!("usage: benchdiff BASELINE CURRENT [--tolerance=0.30] [--all]");
+        std::process::exit(2);
+    };
+    let tolerance: f64 = arg_value("tolerance")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.30);
+    let gate_all = std::env::args().any(|a| a == "--all");
+
+    let read = |path: &str| -> Vec<(String, f64)> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => snapshot::parse(&text),
+            Err(e) => {
+                eprintln!("benchdiff: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+
+    let mut rows = vec![vec![
+        "key".to_string(),
+        "baseline".to_string(),
+        "current".to_string(),
+        "delta".to_string(),
+        "verdict".to_string(),
+    ]];
+    let mut regressions = 0usize;
+    for (key, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(k, _)| k == key) else {
+            rows.push(vec![
+                key.clone(),
+                format!("{base:.3}"),
+                "(missing)".to_string(),
+                "-".to_string(),
+                "MISSING".to_string(),
+            ]);
+            regressions += 1;
+            continue;
+        };
+        let delta = if *base != 0.0 { cur / base - 1.0 } else { 0.0 };
+        let dir = direction(key);
+        let regressed = match dir {
+            Direction::HigherIsBetter => delta < -tolerance,
+            Direction::LowerIsBetter => delta > tolerance,
+            Direction::Info => false,
+        };
+        let gated = gate_all || is_ratio_key(key);
+        let verdict = if dir == Direction::Info {
+            "info"
+        } else if regressed && gated {
+            regressions += 1;
+            "REGRESSED"
+        } else if regressed {
+            "regressed (ungated)"
+        } else {
+            "ok"
+        };
+        rows.push(vec![
+            key.clone(),
+            format!("{base:.3}"),
+            format!("{cur:.3}"),
+            format!("{:+.1}%", 100.0 * delta),
+            verdict.to_string(),
+        ]);
+    }
+    for (key, cur) in &current {
+        if !baseline.iter().any(|(k, _)| k == key) {
+            rows.push(vec![
+                key.clone(),
+                "(new)".to_string(),
+                format!("{cur:.3}"),
+                "-".to_string(),
+                "info".to_string(),
+            ]);
+        }
+    }
+    print!("{}", render_table(&rows));
+    println!(
+        "\n{} baseline keys, tolerance {:.0}%, gating {} -> {} regression(s)",
+        baseline.len(),
+        100.0 * tolerance,
+        if gate_all { "all keys" } else { "ratio keys" },
+        regressions
+    );
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,8 @@
 //!
 //! ```sh
 //! cargo run -p aid_bench --bin lab --release -- \
-//!     [--scenarios=200] [--seed=1] [--workers=4] [--stride=1]
+//!     [--scenarios=200] [--seed=1] [--workers=4] [--stride=1] \
+//!     [--backend=both|tree|bytecode]
 //! ```
 //!
 //! Every scenario runs the whole pipeline — codec round-trips, streaming
@@ -15,7 +16,9 @@
 //! line is the machine-readable summary.
 
 use aid_bench::{arg_value, render_table};
-use aid_lab::{check_scenario_on, generate_validated, BugClass, Conformance, LabParams};
+use aid_lab::{
+    check_scenario_on, generate_validated, BackendMode, BugClass, Conformance, LabParams,
+};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -30,12 +33,16 @@ fn main() {
     let stride: usize = arg_value("stride")
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
+    let backend = arg_value("backend")
+        .map(|s| BackendMode::parse(&s).unwrap_or_else(|| panic!("unknown backend '{s}'")))
+        .unwrap_or(BackendMode::Both);
 
     let conf = Conformance {
         params: LabParams::default(),
         workers,
         prefix_stride: stride,
         discovery_seed: 11,
+        backend,
     };
 
     println!(
@@ -141,6 +148,16 @@ fn main() {
         kind_match,
         mechanism,
         violations
+    );
+
+    // Record sweep throughput next to the simulator/engine keys so CI can
+    // diff it (the sweep is the end-to-end pipeline benchmark).
+    aid_bench::snapshot::merge_write(
+        "BENCH_sim.json",
+        &[(
+            "lab_scenarios_per_s".to_string(),
+            total as f64 / elapsed.as_secs_f64(),
+        )],
     );
 
     if violations > 0 {

@@ -265,6 +265,21 @@ fn main() {
         stats.peak_pending,
     );
 
+    // Record the serving-path metrics in their own snapshot so the serve
+    // numbers diff independently of the simulator/engine keys.
+    aid_bench::snapshot::merge_write(
+        "BENCH_serve.json",
+        &[
+            (
+                "serve_sessions_per_s".to_string(),
+                sessions as f64 / elapsed.as_secs_f64(),
+            ),
+            ("serve_p50_ms".to_string(), p50),
+            ("serve_p99_ms".to_string(), p99),
+            ("serve_cache_hit_rate".to_string(), stats.cache_hit_rate()),
+        ],
+    );
+
     let expected = clients * scenarios;
     let mut failed = false;
     if !client_errors.is_empty() || sessions != expected {

@@ -17,7 +17,7 @@ use crate::cache::{CacheKey, InterventionCache, Lease, Leased, PendingSlot};
 use crate::pool::WorkerPool;
 use aid_core::{BatchExecutor, ExecutionRecord, Executor, GroundTruth, OracleExecutor};
 use aid_predicates::{evaluate, PredicateCatalog, PredicateId};
-use aid_sim::{plan_for, InterventionPlan, Simulator};
+use aid_sim::{plan_for, InterventionPlan, Simulator, VmError};
 use aid_util::Fnv1a;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
@@ -29,6 +29,9 @@ pub struct EngineCounters {
     pub executions: AtomicU64,
     /// Sessions completed.
     pub sessions: AtomicU64,
+    /// Sessions that ended in a typed error (a VM trap or a panic) instead
+    /// of a result.
+    pub failed: AtomicU64,
     /// Non-blocking submissions refused (saturation or shutdown).
     pub rejected: AtomicU64,
     /// Highest number of simultaneously pending sessions observed.
@@ -114,13 +117,13 @@ impl PooledSimExecutor {
 }
 
 impl PooledSimExecutor {
-    fn execute_one(&self, seed: u64, plan: &InterventionPlan) -> ExecutionRecord {
-        let trace = self.sim.run(seed, plan);
+    fn execute_one(&self, seed: u64, plan: &InterventionPlan) -> Result<ExecutionRecord, VmError> {
+        let trace = self.sim.try_run(seed, plan)?;
         let obs = evaluate(&self.catalog, &trace);
-        ExecutionRecord {
+        Ok(ExecutionRecord {
             failed: obs.holds(self.failure),
             observed: obs.observed,
-        }
+        })
     }
 }
 
@@ -164,8 +167,15 @@ impl BatchExecutor for PooledSimExecutor {
         // Phase 2 — execute everything we own on the pool and publish it.
         // Owners never wait before filling all their leases, so coalescing
         // cannot deadlock (no wait cycle can include an unfilled owner).
+        // A probe that traps the VM (e.g. a return-value intervention on an
+        // impure method) comes back as a *value* `Err`, not a panic: the
+        // other probes' leases are still filled, and only then does this
+        // session abort with the typed error. Trapped probes' leases drop
+        // unfilled, so coalesced waiters fall back to executing inline and
+        // observe the trap themselves.
+        let mut trapped: Option<VmError> = None;
         if !owned.is_empty() {
-            let jobs: Vec<Box<dyn FnOnce() -> ExecutionRecord + Send>> = owned
+            let jobs: Vec<Box<dyn FnOnce() -> Result<ExecutionRecord, VmError> + Send>> = owned
                 .iter()
                 .map(|&(_, _, _, seed, ref plan)| {
                     let sim = Arc::clone(&self.sim);
@@ -173,32 +183,51 @@ impl BatchExecutor for PooledSimExecutor {
                     let plan = Arc::clone(plan);
                     let failure = self.failure;
                     Box::new(move || {
-                        let trace = sim.run(seed, &plan);
+                        let trace = sim.try_run(seed, &plan)?;
                         let obs = evaluate(&catalog, &trace);
-                        ExecutionRecord {
+                        Ok(ExecutionRecord {
                             failed: obs.holds(failure),
                             observed: obs.observed,
-                        }
-                    }) as Box<dyn FnOnce() -> ExecutionRecord + Send>
+                        })
+                    })
+                        as Box<dyn FnOnce() -> Result<ExecutionRecord, VmError> + Send>
                 })
                 .collect();
             let records = self.pool.run_batch(jobs);
-            self.counters
-                .executions
-                .fetch_add(records.len() as u64, Relaxed);
             for ((gi, ri, lease, _, _), rec) in owned.into_iter().zip(records) {
-                lease.fill(rec.clone());
-                results[gi][ri] = Some(rec);
+                match rec {
+                    Ok(rec) => {
+                        self.counters.executions.fetch_add(1, Relaxed);
+                        lease.fill(rec.clone());
+                        results[gi][ri] = Some(rec);
+                    }
+                    Err(e) => {
+                        drop(lease);
+                        trapped.get_or_insert(e);
+                    }
+                }
             }
         }
         // Phase 3 — collect coalesced records. An abandoned slot (the
-        // owner's job panicked) degrades to executing inline; correctness
-        // never depends on another session's health.
+        // owner's job panicked or trapped) degrades to executing inline;
+        // correctness never depends on another session's health.
         for (gi, ri, pending, seed, plan) in waiting {
-            let rec = pending
+            match pending
                 .wait()
-                .unwrap_or_else(|| self.execute_one(seed, &plan));
-            results[gi][ri] = Some(rec);
+                .map(Ok)
+                .unwrap_or_else(|| self.execute_one(seed, &plan))
+            {
+                Ok(rec) => results[gi][ri] = Some(rec),
+                Err(e) => {
+                    trapped.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = trapped {
+            // Unwind with the typed error as payload; the engine's session
+            // wrapper downcasts it back into a `SessionError::Trap`, so the
+            // trap quarantines this session without poisoning the pool.
+            std::panic::panic_any(e);
         }
         self.rounds_issued += groups.len() as u64;
         results

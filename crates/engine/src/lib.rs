@@ -65,7 +65,7 @@ pub use executor::{truth_fingerprint, CachedOracleExecutor, EngineCounters, Pool
 pub use pool::WorkerPool;
 pub use session::{
     DiscoveryJob, Engine, EngineConfig, EngineHandle, EngineStats, JobSource, Saturated, Session,
-    SessionPoll, SessionResult,
+    SessionError, SessionErrorKind, SessionPoll, SessionResult,
 };
 
 /// The engine shares these across OS threads; pin the auto-traits at

@@ -21,7 +21,7 @@ use crate::pool::WorkerPool;
 use aid_causal::AcDag;
 use aid_core::{discover_with_options, DiscoverOptions, DiscoveryResult, GroundTruth, Strategy};
 use aid_predicates::{PredicateCatalog, PredicateId};
-use aid_sim::Simulator;
+use aid_sim::{Simulator, VmError};
 use crossbeam::channel::{self, Receiver, TryRecvError};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Condvar, Mutex};
@@ -152,10 +152,44 @@ pub struct SessionResult {
     pub result: DiscoveryResult,
 }
 
+/// Why a session produced no [`SessionResult`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionError {
+    /// The job's name.
+    pub name: String,
+    /// What killed it.
+    pub kind: SessionErrorKind,
+}
+
+/// The failure class of a [`SessionError`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionErrorKind {
+    /// An execution backend reported a typed per-run error (e.g. a
+    /// return-value intervention on an impure method trapped the bytecode
+    /// VM). The partial run was discarded; the engine and its pool stay
+    /// healthy.
+    Trap(VmError),
+    /// The job panicked mid-discovery (e.g. a malformed DAG whose
+    /// predicate has no intervention). The payload's message, when it was
+    /// a string.
+    Panic(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            SessionErrorKind::Trap(e) => write!(f, "session '{}' trapped: {e}", self.name),
+            SessionErrorKind::Panic(msg) => write!(f, "session '{}' panicked: {msg}", self.name),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Ticket for a queued session.
 pub struct Session {
     name: String,
-    rx: Receiver<SessionResult>,
+    rx: Receiver<Result<SessionResult, SessionError>>,
 }
 
 impl std::fmt::Debug for Session {
@@ -171,7 +205,24 @@ impl Session {
     }
 
     /// Blocks until the session finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session ended in a [`SessionError`] (a VM trap or a
+    /// job panic). Callers that need to survive failing jobs should use
+    /// [`Session::join`], which reports them as a typed `Err` instead.
     pub fn wait(self) -> SessionResult {
+        match self.join() {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Blocks until the session finishes; a failing job comes back as a
+    /// typed [`SessionError`] rather than a panic, so one poisoned session
+    /// (e.g. an invalid intervention trapping the VM) never takes down a
+    /// caller multiplexing many of them.
+    pub fn join(self) -> Result<SessionResult, SessionError> {
         self.rx
             .recv()
             .expect("engine dropped a session without a result")
@@ -179,13 +230,14 @@ impl Session {
 
     /// Non-blocking completion check, for callers that multiplex many
     /// sessions from one thread (e.g. a network server polling tickets
-    /// between requests). Returns [`SessionPoll::Ready`] exactly once; a
-    /// later call observes the disconnected channel and reports
-    /// [`SessionPoll::Lost`], which is also what a session whose job
-    /// panicked mid-discovery resolves to.
+    /// between requests). Returns [`SessionPoll::Ready`] (or
+    /// [`SessionPoll::Failed`] for a session that died with a typed error)
+    /// exactly once; a later call observes the disconnected channel and
+    /// reports [`SessionPoll::Lost`].
     pub fn try_wait(&self) -> SessionPoll {
         match self.rx.try_recv() {
-            Ok(result) => SessionPoll::Ready(result),
+            Ok(Ok(result)) => SessionPoll::Ready(result),
+            Ok(Err(e)) => SessionPoll::Failed(e),
             Err(TryRecvError::Empty) => SessionPoll::Pending,
             Err(TryRecvError::Disconnected) => SessionPoll::Lost,
         }
@@ -199,8 +251,11 @@ pub enum SessionPoll {
     Ready(SessionResult),
     /// Still queued or running.
     Pending,
-    /// No result will ever arrive: the job panicked, or the result was
-    /// already taken by an earlier `try_wait`.
+    /// The session ended in a typed error — a VM trap or a job panic —
+    /// delivered once, like a result.
+    Failed(SessionError),
+    /// No result will ever arrive: the outcome was already taken by an
+    /// earlier `try_wait`.
     Lost,
 }
 
@@ -261,6 +316,9 @@ pub struct EngineStats {
     pub wall_batches: u64,
     /// Sessions completed.
     pub sessions_completed: u64,
+    /// Sessions that ended in a typed [`SessionError`] (VM trap or job
+    /// panic) instead of a result.
+    pub sessions_failed: u64,
     /// Non-blocking submissions refused ([`EngineHandle::try_submit`]
     /// returning [`Saturated`]), whether for saturation or shutdown.
     pub sessions_rejected: u64,
@@ -486,13 +544,35 @@ impl EngineHandle {
                 }
             }
             let _guard = PendingGuard(Arc::clone(&task_shared));
-            let result = execute(job, &task_shared);
+            // Quarantine job failures: a VM trap unwinds out of the
+            // executor carrying a typed `VmError` payload, and any other
+            // panic is a job bug — both become a per-session
+            // `SessionError` on this session's channel instead of killing
+            // the ticket (and, transitively, whatever server thread polls
+            // it).
+            let name_for_err = job.name.clone();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute(job, &task_shared)
+            }))
+            .map_err(|payload| {
+                let kind = match payload.downcast::<VmError>() {
+                    Ok(trap) => SessionErrorKind::Trap(*trap),
+                    Err(payload) => SessionErrorKind::Panic(panic_message(&*payload)),
+                };
+                SessionError {
+                    name: name_for_err,
+                    kind,
+                }
+            });
             // Count completion *before* publishing the result, so a caller
             // that reads stats right after wait() observes the session.
-            task_shared.counters.sessions.fetch_add(1, Relaxed);
+            match &outcome {
+                Ok(_) => task_shared.counters.sessions.fetch_add(1, Relaxed),
+                Err(_) => task_shared.counters.failed.fetch_add(1, Relaxed),
+            };
             // The submitter may have dropped the ticket; that is not an
             // engine error.
-            let _ = tx.send(result);
+            let _ = tx.send(outcome);
         });
         Session { name, rx }
     }
@@ -523,11 +603,23 @@ impl EngineHandle {
             cache_entries: cache.entries,
             wall_batches: shared.pool.batches(),
             sessions_completed: shared.counters.sessions.load(Relaxed),
+            sessions_failed: shared.counters.failed.load(Relaxed),
             sessions_rejected: shared.counters.rejected.load(Relaxed),
             tasks_per_worker: shared.pool.tasks_per_worker(),
             inline_tasks: shared.pool.inline_tasks(),
             peak_pending: shared.counters.peak_pending.load(Relaxed),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -695,8 +787,13 @@ mod tests {
             Strategy::Aid,
             0,
         ));
-        // The doomed session dies without a result…
-        assert!(std::panic::catch_unwind(move || doomed.wait()).is_err());
+        // The doomed session dies with a *typed* error, not a dead channel…
+        let err = doomed.join().expect_err("job must fail");
+        assert_eq!(err.name, "doomed");
+        assert!(
+            matches!(err.kind, SessionErrorKind::Panic(ref msg) if msg.contains("intervention")),
+            "unexpected error: {err}"
+        );
         // …but the engine keeps serving, and dropping it doesn't hang.
         let ok = engine.submit(oracle_job("survivor", 1)).wait();
         assert_eq!(ok.name, "survivor");
@@ -704,6 +801,155 @@ mod tests {
         assert_eq!(
             stats.sessions_completed, 1,
             "the panicked job is not counted"
+        );
+        assert_eq!(stats.sessions_failed, 1);
+    }
+
+    /// A program whose candidate intervention is *invalid* (premature
+    /// return on an impure method) traps the bytecode VM. The trap must
+    /// surface as a per-session [`SessionErrorKind::Trap`] with the VM's
+    /// typed error — not a panic, not a wedged pool — and the engine must
+    /// stay fully serviceable afterwards.
+    #[test]
+    fn vm_trap_quarantines_the_session_with_a_typed_error() {
+        use aid_predicates::{InterventionAction, MethodInstance, Predicate, PredicateKind};
+        use aid_sim::{Backend, Expr, ProgramBuilder, VmError};
+
+        let mut b = ProgramBuilder::new("trapper");
+        let x = b.object("x", 0);
+        // Impure on purpose: a premature-return intervention on it is the
+        // paper's "repair" misapplied, which the VM reports as a trap.
+        let main = b.method("Main", |m| {
+            m.write(x, Expr::Const(1)).compute(2);
+        });
+        b.thread("main", main, true);
+        let program = b.build();
+        let main_id = aid_trace::MethodId::from_raw(0);
+
+        let mut catalog = PredicateCatalog::new();
+        let candidate = catalog.insert(Predicate {
+            kind: PredicateKind::RunsTooSlow {
+                site: MethodInstance::new(main_id, 0),
+                threshold: 1,
+            },
+            safe: true,
+            action: Some(InterventionAction::PrematureReturn {
+                site: MethodInstance::new(main_id, 0),
+                value: 0,
+            }),
+        });
+        let failure = catalog.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: aid_trace::FailureSignature {
+                    kind: "F".into(),
+                    method: main_id,
+                },
+            },
+            safe: true,
+            action: None,
+        });
+        let dag = Arc::new(AcDag::from_edges(
+            &[candidate],
+            failure,
+            &[(candidate, failure)],
+        ));
+
+        let engine = Engine::with_workers(2);
+        let doomed = engine.submit(DiscoveryJob::sim(
+            "trapped",
+            dag,
+            Arc::new(Simulator::new(program).with_backend(Backend::Bytecode)),
+            Arc::new(catalog),
+            failure,
+            2,
+            0,
+            Strategy::Aid,
+            0,
+        ));
+        let err = doomed.join().expect_err("the trap must fail the session");
+        assert_eq!(err.name, "trapped");
+        match &err.kind {
+            SessionErrorKind::Trap(VmError::PrematureReturnImpure { method }) => {
+                assert_eq!(method, "Main");
+            }
+            other => panic!("expected a PrematureReturnImpure trap, got {other:?}"),
+        }
+        // Quarantined, not poisoned: a healthy job still completes.
+        let ok = engine.submit(oracle_job("after-trap", 9)).wait();
+        assert_eq!(ok.name, "after-trap");
+        let stats = engine.stats();
+        assert_eq!(stats.sessions_failed, 1);
+        assert_eq!(stats.sessions_completed, 1);
+    }
+
+    /// Cache keys are backend-independent: a session run on the tree-walk
+    /// backend fully warms the cache for an identical session run on the
+    /// bytecode backend (and their results are equal).
+    #[test]
+    fn sessions_share_the_cache_across_backends() {
+        use aid_predicates::{InterventionAction, MethodInstance, Predicate, PredicateKind};
+        use aid_sim::{Backend, Expr, ProgramBuilder};
+
+        let mut b = ProgramBuilder::new("xbackend");
+        let x = b.object("x", 0);
+        let main = b.method("Main", |m| {
+            m.write(x, Expr::Const(1)).compute(3).flaky_delay(0.5, 2);
+        });
+        b.thread("main", main, true);
+        let program = b.build();
+        let main_id = aid_trace::MethodId::from_raw(0);
+
+        let mut catalog = PredicateCatalog::new();
+        let candidate = catalog.insert(Predicate {
+            kind: PredicateKind::RunsTooSlow {
+                site: MethodInstance::new(main_id, 0),
+                threshold: 3,
+            },
+            safe: true,
+            action: Some(InterventionAction::SuppressFlaky {
+                site: MethodInstance::new(main_id, 0),
+            }),
+        });
+        let failure = catalog.insert(Predicate {
+            kind: PredicateKind::Failure {
+                signature: aid_trace::FailureSignature {
+                    kind: "F".into(),
+                    method: main_id,
+                },
+            },
+            safe: true,
+            action: None,
+        });
+        let catalog = Arc::new(catalog);
+        let dag = Arc::new(AcDag::from_edges(
+            &[candidate],
+            failure,
+            &[(candidate, failure)],
+        ));
+
+        let engine = Engine::with_workers(2);
+        let job = |name: &str, backend: Backend| {
+            DiscoveryJob::sim(
+                name,
+                Arc::clone(&dag),
+                Arc::new(Simulator::new(program.clone()).with_backend(backend)),
+                Arc::clone(&catalog),
+                failure,
+                3,
+                0,
+                Strategy::Aid,
+                0,
+            )
+        };
+        let tree = engine.submit(job("tree", Backend::TreeWalk)).wait();
+        let warm = engine.stats();
+        assert!(warm.executions > 0);
+        let byte = engine.submit(job("byte", Backend::Bytecode)).wait();
+        let after = engine.stats();
+        assert_eq!(tree.result, byte.result, "backends agree end-to-end");
+        assert_eq!(
+            after.executions, warm.executions,
+            "the bytecode session must be answered entirely from the tree-walk session's cache"
         );
     }
 
@@ -774,6 +1020,7 @@ mod tests {
             match session.try_wait() {
                 SessionPoll::Ready(r) => break r,
                 SessionPoll::Pending => std::thread::yield_now(),
+                SessionPoll::Failed(e) => panic!("session failed: {e}"),
                 SessionPoll::Lost => panic!("session lost without a result"),
             }
         };

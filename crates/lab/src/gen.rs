@@ -174,6 +174,13 @@ impl Scenario {
         Simulator::new(self.program.clone())
     }
 
+    /// A fresh simulator pinned to a specific execution backend (the
+    /// harness's backend-equivalence invariant runs the same scenario on
+    /// both).
+    pub fn simulator_with(&self, backend: aid_sim::Backend) -> Simulator {
+        Simulator::new(self.program.clone()).with_backend(backend)
+    }
+
     /// Collects the scenario's balanced observation corpus; `None` when the
     /// failure was not intermittent enough within the seed budget.
     pub fn collect(&self, params: &LabParams) -> Option<TraceSet> {

@@ -23,7 +23,13 @@
 //! 6. **memoization** — the repeated session executes nothing new;
 //! 7. **lineage** — no confirmed-causal predicate touches a ground-truth
 //!    noise method (interventional pruning must reject causally unrelated
-//!    predicates).
+//!    predicates);
+//! 8. **backend equivalence** (with [`BackendMode::Both`], the default) —
+//!    the tree-walk and bytecode execution backends report the same
+//!    simulator fingerprint, produce byte-identical traces on sampled
+//!    seeds under both the empty plan and an analysis-derived intervention
+//!    plan, and serial discovery over either backend returns the same
+//!    `DiscoveryResult`.
 //!
 //! Root-cause *accuracy* (root found, expected kind, mechanism hit) is
 //! reported as metrics rather than hard invariants: discovery quality is
@@ -34,13 +40,47 @@ use crate::gen::{BugClass, LabParams, Scenario};
 use aid_core::{analyze, discover, AidAnalysis, DiscoveryResult, Strategy};
 use aid_engine::{DiscoveryJob, Engine, EngineConfig};
 use aid_predicates::{ExtractionConfig, PredicateCatalog, PredicateId, PredicateKind};
-use aid_sim::{SimExecutor, Simulator};
+use aid_sim::{plan_for, Backend, InterventionPlan, SimExecutor, Simulator};
 use aid_store::{StoreConfig, StreamDecoder, TraceStore};
 use aid_trace::{codec, MethodId, TraceSet};
 use std::sync::Arc;
 
 /// First seed for intervention runs (disjoint from observation seeds).
 const INTERVENTION_SEED: u64 = 1_000_000;
+
+/// Which execution backend(s) the harness drives the pipeline on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendMode {
+    /// Everything on the tree-walk interpreter.
+    TreeWalk,
+    /// Everything on the bytecode VM.
+    Bytecode,
+    /// Run the pipeline on the session default and additionally check
+    /// invariant 8 (tree-walk ≡ bytecode) on every scenario.
+    Both,
+}
+
+impl BackendMode {
+    /// The backend the main pipeline (corpus, discovery, engines) uses.
+    pub fn primary(self) -> Backend {
+        match self {
+            BackendMode::TreeWalk => Backend::TreeWalk,
+            BackendMode::Bytecode => Backend::Bytecode,
+            BackendMode::Both => Backend::default(),
+        }
+    }
+
+    /// Parses a mode name (`tree`, `bytecode`, `both`).
+    pub fn parse(s: &str) -> Option<BackendMode> {
+        if s == "both" {
+            return Some(BackendMode::Both);
+        }
+        Backend::parse(s).map(|b| match b {
+            Backend::TreeWalk => BackendMode::TreeWalk,
+            Backend::Bytecode => BackendMode::Bytecode,
+        })
+    }
+}
 
 /// Harness configuration.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +94,9 @@ pub struct Conformance {
     pub prefix_stride: usize,
     /// Tie-breaking seed passed to the discovery algorithms.
     pub discovery_seed: u64,
+    /// Execution backend(s); [`BackendMode::Both`] also enables the
+    /// backend-equivalence invariant (8).
+    pub backend: BackendMode,
 }
 
 impl Default for Conformance {
@@ -63,6 +106,7 @@ impl Default for Conformance {
             workers: 4,
             prefix_stride: 1,
             discovery_seed: 11,
+            backend: BackendMode::Both,
         }
     }
 }
@@ -398,9 +442,10 @@ pub fn check_scenario_on(
     let analysis = analyze(set, &scenario.config);
     report.predicates = analysis.extraction.catalog.len();
     report.candidates = analysis.candidates.len();
-    let sim = Arc::new(scenario.simulator());
+    let primary = conf.backend.primary();
+    let sim = Arc::new(scenario.simulator_with(primary));
     let mut serial_exec = SimExecutor::new(
-        scenario.simulator(),
+        scenario.simulator_with(primary),
         analysis.extraction.catalog.clone(),
         analysis.extraction.failure,
         scenario.runs_per_round,
@@ -413,6 +458,79 @@ pub fn check_scenario_on(
         conf.discovery_seed,
     );
     report.aid_rounds = serial.rounds;
+
+    // (8) backend equivalence: fingerprints, traces, and discovery must be
+    // independent of the execution backend.
+    if conf.backend == BackendMode::Both {
+        let tree = scenario.simulator_with(Backend::TreeWalk);
+        let byte = scenario.simulator_with(Backend::Bytecode);
+        if tree.fingerprint() != byte.fingerprint() {
+            report.violations.push(Violation {
+                scenario: scenario.name.clone(),
+                invariant: "backend-equivalence",
+                detail: format!(
+                    "fingerprints diverge: tree {:#x} vs bytecode {:#x}",
+                    tree.fingerprint(),
+                    byte.fingerprint()
+                ),
+            });
+        }
+        // Byte-identical traces under the empty plan and under a real
+        // intervention plan lowered from the scenario's own analysis.
+        let mut plans = vec![("empty plan", InterventionPlan::empty())];
+        if let Some(&candidate) = analysis.candidates.first() {
+            plans.push((
+                "candidate plan",
+                plan_for(&analysis.extraction.catalog, &[candidate]),
+            ));
+        }
+        for (label, plan) in &plans {
+            for seed in (0..4).chain(INTERVENTION_SEED..INTERVENTION_SEED + 4) {
+                let a = tree.run(seed, plan);
+                let b = byte.run(seed, plan);
+                if a != b {
+                    report.violations.push(Violation {
+                        scenario: scenario.name.clone(),
+                        invariant: "backend-equivalence",
+                        detail: format!("{label}, seed {seed}: traces diverge"),
+                    });
+                    break;
+                }
+            }
+        }
+        // Same serial discovery result on the backend the main run did
+        // *not* use.
+        let other = match primary {
+            Backend::TreeWalk => Backend::Bytecode,
+            Backend::Bytecode => Backend::TreeWalk,
+        };
+        let mut other_exec = SimExecutor::new(
+            scenario.simulator_with(other),
+            analysis.extraction.catalog.clone(),
+            analysis.extraction.failure,
+            scenario.runs_per_round,
+            INTERVENTION_SEED,
+        );
+        let cross = discover(
+            &analysis.dag,
+            &mut other_exec,
+            Strategy::Aid,
+            conf.discovery_seed,
+        );
+        if cross != serial {
+            report.violations.push(Violation {
+                scenario: scenario.name.clone(),
+                invariant: "backend-equivalence",
+                detail: format!(
+                    "discovery on {} differs from {}: causal {:?} vs {:?}",
+                    other.name(),
+                    primary.name(),
+                    cross.causal,
+                    serial.causal
+                ),
+            });
+        }
+    }
 
     // (5) + (6): engine parity across worker counts, and against the cache.
     let parity = |result: &DiscoveryResult, label: &str, report: &mut ScenarioReport| {

@@ -49,7 +49,7 @@ pub use gen::{
 };
 pub use harness::{
     check_scenario, check_scenario_on, compare_analysis, corpus_violations, predicate_methods,
-    Conformance, ScenarioReport, Violation,
+    BackendMode, Conformance, ScenarioReport, Violation,
 };
 pub use shrink::{shrink_corpus, shrink_spec};
 pub use workload::{prepare_replay, ReplayItem};

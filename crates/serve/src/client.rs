@@ -213,7 +213,18 @@ impl<C: Read + Write> AidClient<C> {
     }
 
     fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.send(request)?;
+        if let Err(send_err) = self.send(request) {
+            // A refusing server (connection cap, drain) writes one typed
+            // Error frame and hangs up; depending on timing our write can
+            // fail before that refusal is read. Prefer the refusal already
+            // sitting in the receive buffer over the write race.
+            if matches!(&send_err, ClientError::Io(e) if e.kind() == io::ErrorKind::BrokenPipe) {
+                if let Err(server_err @ ClientError::Server { .. }) = self.recv() {
+                    return Err(server_err);
+                }
+            }
+            return Err(send_err);
+        }
         self.recv()
     }
 

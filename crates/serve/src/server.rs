@@ -63,6 +63,10 @@ pub struct ServeConfig {
     pub stream_poll: Duration,
     /// Server self-identification, echoed in `HelloOk`.
     pub server_name: String,
+    /// Execution backend for simulators rebuilt from [`ProgramSpec`]s
+    /// (bytecode by default; traces and results are backend-independent,
+    /// so this only affects throughput).
+    pub backend: aid_sim::Backend,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +82,7 @@ impl Default for ServeConfig {
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
             stream_poll: Duration::from_millis(1),
             server_name: "aid-serve".to_string(),
+            backend: aid_sim::Backend::default(),
         }
     }
 }
@@ -589,7 +594,11 @@ fn poll_session(shared: &ServerShared, ctx: &mut ClientCtx, session: u32) -> Ses
             shared.counters.sessions_delivered.fetch_add(1, Relaxed);
             SessionState::Done(result.result)
         }
-        SessionPoll::Lost => {
+        // A typed session failure (e.g. a VM trap from an invalid
+        // intervention) is reported on the existing wire vocabulary as
+        // `Lost`: the client learns the session produced no result, and
+        // the server (engine included) keeps serving.
+        SessionPoll::Failed(_) | SessionPoll::Lost => {
             ctx.sessions.remove(&session);
             shared.counters.sessions_lost.fetch_add(1, Relaxed);
             SessionState::Lost
@@ -649,6 +658,7 @@ fn admit(
     }
     let job = match build_job(
         ctx,
+        shared.config.backend,
         name,
         program,
         strategy,
@@ -687,6 +697,7 @@ fn admit(
 #[allow(clippy::too_many_arguments)]
 fn build_job(
     ctx: &mut ClientCtx,
+    backend: aid_sim::Backend,
     name: String,
     program: ProgramSpec,
     strategy: Strategy,
@@ -710,8 +721,12 @@ fn build_job(
             job.options = options;
             return Ok(job);
         }
-        ProgramSpec::Case { name: case } => Simulator::new(find_case(case)?.program),
-        ProgramSpec::Lab(spec) => Simulator::new(aid_lab::build(spec).program),
+        ProgramSpec::Case { name: case } => {
+            Simulator::new(find_case(case)?.program).with_backend(backend)
+        }
+        ProgramSpec::Lab(spec) => {
+            Simulator::new(aid_lab::build(spec).program).with_backend(backend)
+        }
     };
     // Catch an upload that was never `FinishUpload`ed: refresh is
     // incremental, so this is cheap when the analysis is already current.

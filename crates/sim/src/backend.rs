@@ -1,0 +1,259 @@
+//! The unified execution API: one [`ExecBackend`] trait, two program
+//! backends (tree-walk and bytecode), and the [`Backend`] selector.
+//!
+//! Everything that executes a program — [`Simulator`](crate::Simulator),
+//! `aid_core::Executor` impls, engine workers, server session rebuilds, the
+//! live OS-thread harness — goes through this trait, so backends are
+//! interchangeable at any layer. The contract:
+//!
+//! * A run is a pure function of `(program, plan, config, seed)`. Backends
+//!   must produce **identical** `Trace`s for identical inputs; fingerprints
+//!   and cache keys are backend-independent, so intervention-cache entries
+//!   are shared across backends.
+//! * [`ExecBackend::try_run`] reports invalid runs (e.g. a return-value
+//!   intervention on an impure method) as a typed [`VmError`] where the
+//!   backend can detect them without unwinding. The bytecode VM detects all
+//!   of them; the tree-walk interpreter asserts instead (its `Err` path is
+//!   never taken), which callers needing isolation must handle with
+//!   `catch_unwind` — the engine's worker pool does.
+//!
+//! Selection: [`Backend::default()`] is [`Backend::Bytecode`] when the
+//! `bytecode-default` cargo feature is on (it is by default) and
+//! [`Backend::TreeWalk`] otherwise; the `AID_BACKEND` environment variable
+//! (`tree` / `bytecode`) overrides both at run time.
+
+use crate::compile::{compile, CompiledProgram};
+use crate::machine::{Machine, SimConfig};
+use crate::plan::InterventionPlan;
+use crate::program::Program;
+use crate::vm::{Vm, VmError};
+use aid_trace::Trace;
+use parking_lot::Mutex;
+
+/// An execution engine for compiled-in programs. Implementations are
+/// shareable across threads; one instance serves any number of concurrent
+/// runs.
+pub trait ExecBackend: Send + Sync {
+    /// Short stable name (`"tree"`, `"bytecode"`, ...), for logs and bench
+    /// snapshots.
+    fn name(&self) -> &'static str;
+
+    /// Executes one run. `Err` quarantines the single run (partial state
+    /// discarded; the backend stays healthy).
+    fn try_run(
+        &self,
+        seed: u64,
+        plan: &InterventionPlan,
+        config: &SimConfig,
+    ) -> Result<Trace, VmError>;
+
+    /// Executes one run, panicking on a trap. For callers that know their
+    /// plans are valid (e.g. plans lowered from a catalog of observed
+    /// predicates).
+    fn run(&self, seed: u64, plan: &InterventionPlan, config: &SimConfig) -> Trace {
+        match self.try_run(seed, plan, config) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Which execution engine a [`Simulator`](crate::Simulator) uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The original tree-walk interpreter (the crate-private `machine`
+    /// module).
+    TreeWalk,
+    /// The bytecode compiler + register VM ([`mod@crate::compile`] +
+    /// [`crate::vm`]).
+    Bytecode,
+}
+
+impl Backend {
+    /// Short stable name, matching [`ExecBackend::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::TreeWalk => "tree",
+            Backend::Bytecode => "bytecode",
+        }
+    }
+
+    /// Parses a backend name (as accepted by `AID_BACKEND`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "tree" | "treewalk" | "tree-walk" | "machine" => Some(Backend::TreeWalk),
+            "bytecode" | "vm" | "compiled" => Some(Backend::Bytecode),
+            _ => None,
+        }
+    }
+
+    /// The `AID_BACKEND` environment override, if set and valid.
+    pub fn from_env() -> Option<Backend> {
+        std::env::var("AID_BACKEND")
+            .ok()
+            .and_then(|v| Backend::parse(&v))
+    }
+}
+
+impl Default for Backend {
+    /// `AID_BACKEND` if set, else bytecode when the `bytecode-default`
+    /// feature is on, else tree-walk.
+    fn default() -> Self {
+        if let Some(b) = Backend::from_env() {
+            return b;
+        }
+        if cfg!(feature = "bytecode-default") {
+            Backend::Bytecode
+        } else {
+            Backend::TreeWalk
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The tree-walk interpreter behind the [`ExecBackend`] API.
+///
+/// Reference semantics; `try_run` never returns `Err` — invalid
+/// interventions abort via assertion, as the machine always did.
+pub struct TreeWalkBackend {
+    program: Program,
+}
+
+impl TreeWalkBackend {
+    /// Wraps a program.
+    pub fn new(program: Program) -> Self {
+        TreeWalkBackend { program }
+    }
+}
+
+impl ExecBackend for TreeWalkBackend {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn try_run(
+        &self,
+        seed: u64,
+        plan: &InterventionPlan,
+        config: &SimConfig,
+    ) -> Result<Trace, VmError> {
+        Ok(Machine::new(&self.program, plan, config.clone(), seed).run())
+    }
+}
+
+/// The bytecode VM behind the [`ExecBackend`] API.
+///
+/// Compiles once at construction; per-run `Vm` instances (with their reused
+/// arenas) are pooled so concurrent callers don't contend on a single
+/// machine and sequential callers don't re-allocate one.
+pub struct BytecodeBackend {
+    compiled: CompiledProgram,
+    pool: Mutex<Vec<Vm>>,
+}
+
+impl BytecodeBackend {
+    /// Compiles `program`.
+    pub fn new(program: &Program) -> Self {
+        BytecodeBackend {
+            compiled: compile(program),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The compiled image (instruction stream, tables).
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+}
+
+impl ExecBackend for BytecodeBackend {
+    fn name(&self) -> &'static str {
+        "bytecode"
+    }
+
+    fn try_run(
+        &self,
+        seed: u64,
+        plan: &InterventionPlan,
+        config: &SimConfig,
+    ) -> Result<Trace, VmError> {
+        let mut vm = self.pool.lock().pop().unwrap_or_default();
+        let result = vm.run(&self.compiled, plan, config, seed);
+        self.pool.lock().push(vm);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Expr;
+    use crate::ProgramBuilder;
+
+    fn toy() -> Program {
+        let mut b = ProgramBuilder::new("toy");
+        let x = b.object("x", 0);
+        let m = b.method("M", |mb| {
+            mb.write(x, Expr::Const(1)).compute(3);
+        });
+        b.thread("main", m, true);
+        b.build()
+    }
+
+    #[test]
+    fn backend_names_and_parse_round_trip() {
+        for b in [Backend::TreeWalk, Backend::Bytecode] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(Backend::parse("vm"), Some(Backend::Bytecode));
+        assert_eq!(Backend::parse("nope"), None);
+    }
+
+    #[test]
+    fn both_backends_run_and_agree_via_the_trait() {
+        let p = toy();
+        let tree = TreeWalkBackend::new(p.clone());
+        let byte = BytecodeBackend::new(&p);
+        let plan = InterventionPlan::empty();
+        let cfg = SimConfig::default();
+        for seed in 0..10 {
+            let a = tree.try_run(seed, &plan, &cfg).unwrap();
+            let b = byte.try_run(seed, &plan, &cfg).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(tree.run(seed, &plan, &cfg), a);
+        }
+        assert_eq!(tree.name(), "tree");
+        assert_eq!(byte.name(), "bytecode");
+    }
+
+    #[test]
+    fn bytecode_backend_is_shareable_across_threads() {
+        let p = toy();
+        let byte = std::sync::Arc::new(BytecodeBackend::new(&p));
+        let plan = InterventionPlan::empty();
+        let cfg = SimConfig::default();
+        let expected = byte.try_run(5, &plan, &cfg).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = byte.clone();
+                let plan = plan.clone();
+                let cfg = cfg.clone();
+                let want = expected.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        assert_eq!(b.try_run(5, &plan, &cfg).unwrap(), want);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Lowering a [`Program`] to flat bytecode for the register VM in
+//! [`crate::vm`].
+//!
+//! The tree-walk machine (the crate-private `machine` module) re-clones
+//! each `Op` (Strings, boxed `Expr` trees) on every executed micro-step and
+//! re-scans the intervention plan linearly at every hook site. Compilation
+//! removes both costs while preserving semantics *exactly*:
+//!
+//! * Every method body becomes a contiguous slice of fixed-size, `Copy`
+//!   [`Instr`]s inside one shared code segment — one instruction per source
+//!   `Op`, so the program counter and the per-op clock semantics of the
+//!   tree-walk machine carry over unchanged.
+//! * Expressions are flattened into one postfix [`EOp`] pool; an
+//!   [`ExprRef`] is a `(start, len)` window into it, evaluated with a
+//!   reusable scratch stack (no recursion, no `Box` chasing).
+//! * Exception-kind strings are interned into a table; instructions carry
+//!   `u32` kind ids. [`DEADLOCK_KIND`] and
+//!   [`TIMEOUT_KIND`] occupy the first two slots so
+//!   abnormal ends need no lookups.
+//! * Per-method metadata (purity, return register, code window) is
+//!   precomputed, so intervention hooks index a table instead of scanning
+//!   the plan.
+//!
+//! Compilation is a pure function of the `Program`; it never inspects the
+//! intervention plan, so one compiled image serves every plan and seed
+//! (plans are lowered separately, per run, by the VM).
+
+use crate::machine::{DEADLOCK_KIND, TIMEOUT_KIND};
+use crate::program::{Cmp, Cond, Expr, Op, Program};
+
+/// Interned exception-kind id (index into [`CompiledProgram::kinds`]).
+pub type KindId = u32;
+
+/// Kind id of [`DEADLOCK_KIND`].
+pub const KIND_DEADLOCK: KindId = 0;
+/// Kind id of [`TIMEOUT_KIND`].
+pub const KIND_TIMEOUT: KindId = 1;
+
+/// A `(start, len)` window into the postfix expression pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExprRef {
+    /// First [`EOp`] of the expression.
+    pub start: u32,
+    /// Number of [`EOp`]s (postfix: the last one produces the value).
+    pub len: u32,
+}
+
+/// One postfix expression operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EOp {
+    /// Push a constant.
+    Const(i64),
+    /// Push a per-thread register value.
+    Reg(u8),
+    /// Push a shared-object value (a peek, not a recorded access).
+    Obj(u32),
+    /// Push the current virtual clock as `i64`.
+    Now,
+    /// Pop two, push their wrapping sum.
+    Add,
+    /// Pop two, push their wrapping difference.
+    Sub,
+}
+
+/// A compiled condition `lhs cmp rhs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CondRef {
+    /// Left operand.
+    pub lhs: ExprRef,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right operand.
+    pub rhs: ExprRef,
+    /// Whether either operand reads the virtual clock (`Expr::Now`). A
+    /// condition without `Now` over frozen registers and objects cannot
+    /// change while only time advances, which lets the scheduler coalesce
+    /// pure burn ticks past blocked waiters.
+    pub uses_now: bool,
+}
+
+/// One VM instruction. Mirrors [`Op`] one-to-one — same variant set, same
+/// blocking/advancing behaviour — but fixed-size and `Copy`, with strings
+/// interned and expressions flattened.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Instr {
+    /// Read a shared object into a register (recorded access).
+    Read {
+        /// Shared-object index.
+        object: u32,
+        /// Destination register.
+        reg: u8,
+    },
+    /// Write an expression's value to a shared object (recorded access).
+    Write {
+        /// Shared-object index.
+        object: u32,
+        /// Value expression.
+        value: ExprRef,
+    },
+    /// Atomic read-and-throw-if (check-then-crash site).
+    ThrowIfObj {
+        /// Object to read (recorded access).
+        object: u32,
+        /// Comparison applied to the freshly read value.
+        cmp: Cmp,
+        /// Right-hand side of the comparison.
+        rhs: ExprRef,
+        /// Exception kind thrown when the comparison holds.
+        kind: KindId,
+    },
+    /// Burn a fixed number of ticks.
+    Compute {
+        /// Ticks to burn.
+        cost: u64,
+    },
+    /// Burn a uniformly random number of ticks in `[min, max]`.
+    JitterCompute {
+        /// Lower bound.
+        min: u64,
+        /// Upper bound.
+        max: u64,
+    },
+    /// With probability `prob`, burn `ticks`.
+    FlakyDelay {
+        /// Trigger probability.
+        prob: f64,
+        /// Ticks burned when triggered.
+        ticks: u64,
+    },
+    /// Set a register to an expression's value.
+    LocalSet {
+        /// Destination register.
+        reg: u8,
+        /// Value expression.
+        value: ExprRef,
+    },
+    /// Conditional assignment.
+    SetIf {
+        /// Destination register.
+        reg: u8,
+        /// Condition.
+        cond: CondRef,
+        /// Value when the condition holds.
+        then_value: ExprRef,
+        /// Value otherwise.
+        else_value: ExprRef,
+    },
+    /// Burn `cost` ticks only when the condition holds.
+    ComputeIf {
+        /// Condition.
+        cond: CondRef,
+        /// Ticks to burn.
+        cost: u64,
+    },
+    /// Draw a uniform random value in `[lo, hi]` into a register.
+    RandRange {
+        /// Destination register.
+        reg: u8,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// Call another method synchronously.
+    Call {
+        /// Callee method index.
+        method: u32,
+    },
+    /// Call another method, catching anything it throws at this boundary.
+    TryCall {
+        /// Callee method index.
+        method: u32,
+    },
+    /// Return from the current method, optionally with a value.
+    Return {
+        /// Returned value expression, if any.
+        value: Option<ExprRef>,
+    },
+    /// Throw unconditionally.
+    Throw {
+        /// Exception kind.
+        kind: KindId,
+    },
+    /// Throw if the condition holds.
+    ThrowIf {
+        /// Condition.
+        cond: CondRef,
+        /// Exception kind.
+        kind: KindId,
+    },
+    /// Start a program thread.
+    Spawn {
+        /// Thread index.
+        thread: u32,
+    },
+    /// Block until a program thread has finished.
+    Join {
+        /// Thread index.
+        thread: u32,
+    },
+    /// Acquire a program lock.
+    Acquire {
+        /// Lock (object) index.
+        lock: u32,
+    },
+    /// Release a program lock.
+    Release {
+        /// Lock (object) index.
+        lock: u32,
+    },
+    /// Block for a fixed number of ticks.
+    Sleep {
+        /// Ticks to sleep.
+        ticks: u64,
+    },
+    /// Block until the condition over shared state holds.
+    WaitUntil {
+        /// Condition (peeks are not recorded as accesses).
+        cond: CondRef,
+    },
+}
+
+/// Per-method compiled metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledMethod {
+    /// First instruction in [`CompiledProgram::code`].
+    pub code_start: u32,
+    /// Number of instructions (the method's `pc` ranges over `0..code_len`).
+    pub code_len: u32,
+    /// Whether the method is marked pure (safe for return-value
+    /// interventions).
+    pub pure: bool,
+    /// The register a trailing `Return { value: Some(Reg(r)) }` leaves its
+    /// result in, precomputed for forced-return interventions.
+    pub ret_reg: Option<u8>,
+    /// Number of access-recording instructions (`Read`/`Write`/`ThrowIfObj`)
+    /// in the body. Methods have no loops, so this is an exact upper bound
+    /// on the accesses one activation records — the VM sizes each frame's
+    /// access list with a single allocation.
+    pub n_accesses: u32,
+}
+
+/// Per-thread compiled metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledThread {
+    /// Entry method index.
+    pub entry: u32,
+    /// Whether the thread starts at time zero.
+    pub auto_start: bool,
+}
+
+/// A [`Program`] lowered to flat bytecode. Pure function of the program —
+/// compile once, run under any plan/seed/config.
+#[derive(Clone, Debug)]
+pub struct CompiledProgram {
+    /// Per-method code windows and metadata.
+    pub methods: Vec<CompiledMethod>,
+    /// Per-thread entry points.
+    pub threads: Vec<CompiledThread>,
+    /// The shared code segment (all method bodies, contiguous).
+    pub code: Vec<Instr>,
+    /// The postfix expression pool.
+    pub eops: Vec<EOp>,
+    /// Interned exception-kind strings ([`KIND_DEADLOCK`] and
+    /// [`KIND_TIMEOUT`] first).
+    pub kinds: Vec<String>,
+    /// Initial values of the shared objects.
+    pub objects_init: Vec<i64>,
+    /// Method names (for diagnostics in typed VM errors).
+    pub method_names: Vec<String>,
+    /// Object names (for diagnostics in typed VM errors).
+    pub object_names: Vec<String>,
+    /// Deepest scratch stack any expression evaluation needs.
+    pub max_eval_depth: usize,
+}
+
+impl CompiledProgram {
+    /// Total instruction count.
+    pub fn instruction_count(&self) -> usize {
+        self.code.len()
+    }
+}
+
+struct Compiler {
+    code: Vec<Instr>,
+    eops: Vec<EOp>,
+    kinds: Vec<String>,
+    max_eval_depth: usize,
+}
+
+impl Compiler {
+    fn intern_kind(&mut self, kind: &str) -> KindId {
+        if let Some(i) = self.kinds.iter().position(|k| k == kind) {
+            return i as KindId;
+        }
+        self.kinds.push(kind.to_string());
+        (self.kinds.len() - 1) as KindId
+    }
+
+    /// Emits `e` in postfix order; returns the peak stack depth it needs.
+    fn flatten(&mut self, e: &Expr) -> usize {
+        match e {
+            Expr::Const(v) => {
+                self.eops.push(EOp::Const(*v));
+                1
+            }
+            Expr::Reg(r) => {
+                self.eops.push(EOp::Reg(r.0));
+                1
+            }
+            Expr::Obj(o) => {
+                self.eops.push(EOp::Obj(o.index() as u32));
+                1
+            }
+            Expr::Now => {
+                self.eops.push(EOp::Now);
+                1
+            }
+            Expr::Add(a, b) => {
+                let da = self.flatten(a);
+                let db = self.flatten(b);
+                self.eops.push(EOp::Add);
+                da.max(db + 1)
+            }
+            Expr::Sub(a, b) => {
+                let da = self.flatten(a);
+                let db = self.flatten(b);
+                self.eops.push(EOp::Sub);
+                da.max(db + 1)
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> ExprRef {
+        let start = self.eops.len() as u32;
+        let depth = self.flatten(e);
+        self.max_eval_depth = self.max_eval_depth.max(depth);
+        ExprRef {
+            start,
+            len: self.eops.len() as u32 - start,
+        }
+    }
+
+    fn cond(&mut self, c: &Cond) -> CondRef {
+        let lhs = self.expr(&c.lhs);
+        let rhs = self.expr(&c.rhs);
+        let uses_now = [lhs, rhs].iter().any(|r| {
+            self.eops[r.start as usize..(r.start + r.len) as usize]
+                .iter()
+                .any(|op| matches!(op, EOp::Now))
+        });
+        CondRef {
+            lhs,
+            cmp: c.cmp,
+            rhs,
+            uses_now,
+        }
+    }
+
+    fn instr(&mut self, op: &Op) -> Instr {
+        match op {
+            Op::Read { object, reg } => Instr::Read {
+                object: object.index() as u32,
+                reg: reg.0,
+            },
+            Op::Write { object, value } => Instr::Write {
+                object: object.index() as u32,
+                value: self.expr(value),
+            },
+            Op::ThrowIfObj {
+                object,
+                cmp,
+                rhs,
+                kind,
+            } => Instr::ThrowIfObj {
+                object: object.index() as u32,
+                cmp: *cmp,
+                rhs: self.expr(rhs),
+                kind: self.intern_kind(kind),
+            },
+            Op::Compute { cost } => Instr::Compute { cost: *cost },
+            Op::JitterCompute { min, max } => Instr::JitterCompute {
+                min: *min,
+                max: *max,
+            },
+            Op::FlakyDelay { prob, ticks } => Instr::FlakyDelay {
+                prob: *prob,
+                ticks: *ticks,
+            },
+            Op::LocalSet { reg, value } => Instr::LocalSet {
+                reg: reg.0,
+                value: self.expr(value),
+            },
+            Op::SetIf {
+                reg,
+                cond,
+                then_value,
+                else_value,
+            } => Instr::SetIf {
+                reg: reg.0,
+                cond: self.cond(cond),
+                then_value: self.expr(then_value),
+                else_value: self.expr(else_value),
+            },
+            Op::ComputeIf { cond, cost } => Instr::ComputeIf {
+                cond: self.cond(cond),
+                cost: *cost,
+            },
+            Op::RandRange { reg, lo, hi } => Instr::RandRange {
+                reg: reg.0,
+                lo: *lo,
+                hi: *hi,
+            },
+            Op::Call { method } => Instr::Call {
+                method: method.index() as u32,
+            },
+            Op::TryCall { method } => Instr::TryCall {
+                method: method.index() as u32,
+            },
+            Op::Return { value } => Instr::Return {
+                value: value.as_ref().map(|e| self.expr(e)),
+            },
+            Op::Throw { kind } => Instr::Throw {
+                kind: self.intern_kind(kind),
+            },
+            Op::ThrowIf { cond, kind } => Instr::ThrowIf {
+                cond: self.cond(cond),
+                kind: self.intern_kind(kind),
+            },
+            Op::Spawn { thread } => Instr::Spawn {
+                thread: *thread as u32,
+            },
+            Op::Join { thread } => Instr::Join {
+                thread: *thread as u32,
+            },
+            Op::Acquire { lock } => Instr::Acquire {
+                lock: lock.index() as u32,
+            },
+            Op::Release { lock } => Instr::Release {
+                lock: lock.index() as u32,
+            },
+            Op::Sleep { ticks } => Instr::Sleep { ticks: *ticks },
+            Op::WaitUntil { cond } => Instr::WaitUntil {
+                cond: self.cond(cond),
+            },
+        }
+    }
+}
+
+/// The register a method leaves its result in, inferred from a trailing
+/// `Return { value: Some(Reg(r)) }` — same inference as the tree-walk
+/// machine's, precomputed here.
+fn ret_reg(body: &[Op]) -> Option<u8> {
+    body.iter().rev().find_map(|op| match op {
+        Op::Return {
+            value: Some(Expr::Reg(r)),
+        } => Some(r.0),
+        _ => None,
+    })
+}
+
+/// Compiles a program. Panics on structural invariant violations (the same
+/// ones [`Program::validate`] rejects); call `validate` first for untrusted
+/// input.
+pub fn compile(program: &Program) -> CompiledProgram {
+    let mut c = Compiler {
+        code: Vec::new(),
+        eops: Vec::new(),
+        kinds: vec![DEADLOCK_KIND.to_string(), TIMEOUT_KIND.to_string()],
+        max_eval_depth: 1,
+    };
+    let mut methods = Vec::with_capacity(program.methods.len());
+    for m in &program.methods {
+        let code_start = c.code.len() as u32;
+        for op in &m.body {
+            let instr = c.instr(op);
+            c.code.push(instr);
+        }
+        let n_accesses = c.code[code_start as usize..]
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::Read { .. } | Instr::Write { .. } | Instr::ThrowIfObj { .. }
+                )
+            })
+            .count() as u32;
+        methods.push(CompiledMethod {
+            code_start,
+            code_len: c.code.len() as u32 - code_start,
+            pure: m.pure,
+            ret_reg: ret_reg(&m.body),
+            n_accesses,
+        });
+    }
+    let threads = program
+        .threads
+        .iter()
+        .map(|t| CompiledThread {
+            entry: t.entry.index() as u32,
+            auto_start: t.auto_start,
+        })
+        .collect();
+    CompiledProgram {
+        methods,
+        threads,
+        code: c.code,
+        eops: c.eops,
+        kinds: c.kinds,
+        objects_init: program.objects.iter().map(|o| o.initial).collect(),
+        method_names: program.methods.iter().map(|m| m.name.clone()).collect(),
+        object_names: program.objects.iter().map(|o| o.name.clone()).collect(),
+        max_eval_depth: c.max_eval_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{MethodDef, ObjectDef, Reg, ThreadSpec};
+    use aid_trace::{MethodId, ObjectId};
+
+    fn tiny() -> Program {
+        Program {
+            name: "tiny".into(),
+            methods: vec![MethodDef {
+                name: "M".into(),
+                pure: true,
+                body: vec![
+                    Op::LocalSet {
+                        reg: Reg(0),
+                        value: Expr::add(
+                            Expr::Const(1),
+                            Expr::sub(Expr::Obj(ObjectId::from_raw(0)), Expr::Now),
+                        ),
+                    },
+                    Op::Throw {
+                        kind: "Boom".into(),
+                    },
+                    Op::Return {
+                        value: Some(Expr::Reg(Reg(0))),
+                    },
+                ],
+            }],
+            objects: vec![ObjectDef {
+                name: "x".into(),
+                initial: 7,
+            }],
+            threads: vec![ThreadSpec {
+                name: "t".into(),
+                entry: MethodId::from_raw(0),
+                auto_start: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn one_instruction_per_op_and_interned_kinds() {
+        let p = tiny();
+        let cp = compile(&p);
+        assert_eq!(cp.instruction_count(), 3, "one Instr per Op");
+        assert_eq!(cp.methods[0].code_len, 3);
+        assert_eq!(cp.methods[0].ret_reg, Some(0));
+        assert!(cp.methods[0].pure);
+        // Deadlock/timeout are pre-interned; "Boom" follows.
+        assert_eq!(cp.kinds[KIND_DEADLOCK as usize], DEADLOCK_KIND);
+        assert_eq!(cp.kinds[KIND_TIMEOUT as usize], TIMEOUT_KIND);
+        assert_eq!(cp.kinds[2], "Boom");
+        assert!(matches!(cp.code[1], Instr::Throw { kind: 2 }));
+    }
+
+    #[test]
+    fn expressions_flatten_postfix_with_depth() {
+        let p = tiny();
+        let cp = compile(&p);
+        // 1 + (x - now): postfix = Const Obj Now Sub Add.
+        let r = match cp.code[0] {
+            Instr::LocalSet { value, .. } => value,
+            _ => panic!("expected LocalSet"),
+        };
+        let window: Vec<EOp> = cp.eops[r.start as usize..(r.start + r.len) as usize].to_vec();
+        assert_eq!(
+            window,
+            vec![EOp::Const(1), EOp::Obj(0), EOp::Now, EOp::Sub, EOp::Add]
+        );
+        assert!(cp.max_eval_depth >= 3);
+    }
+
+    #[test]
+    fn kind_interning_deduplicates() {
+        let mut p = tiny();
+        p.methods[0].body.push(Op::Throw {
+            kind: "Boom".into(),
+        });
+        let cp = compile(&p);
+        assert_eq!(cp.kinds.len(), 3, "duplicate kinds share one entry");
+    }
+}

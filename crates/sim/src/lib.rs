@@ -12,24 +12,41 @@
 //! exceptions) and the same repair surface its fault injector provides
 //! (Figure 2's interventions).
 //!
+//! Two interchangeable execution backends sit behind the one
+//! [`backend::ExecBackend`] trait: the reference tree-walk interpreter
+//! (the crate-private `machine` module) and a bytecode compiler + register
+//! VM ([`mod@compile`] + [`vm`]) that produces bit-identical traces several
+//! times faster. The bytecode backend is the default; see
+//! [`backend::Backend`].
+//!
 //! Entry points:
 //! * [`builder::ProgramBuilder`] — construct a program.
-//! * [`runner::Simulator`] — run it many times into an `aid_trace::TraceSet`.
+//! * [`runner::Simulator`] — run it many times into an `aid_trace::TraceSet`,
+//!   on either backend ([`runner::Simulator::with_backend`]).
 //! * [`plan::InterventionPlan`] — inject faults into a run.
 //! * [`live`] — a demonstration harness that drives *real* OS threads with
-//!   the same intervention vocabulary.
+//!   the same intervention vocabulary, behind the same trait.
 
+pub mod backend;
 pub mod builder;
+pub mod compile;
 pub mod exec;
 pub mod live;
-pub mod machine;
+// The tree-walk interpreter is no longer a public entry point: all
+// execution flows through `backend::ExecBackend`. `SimConfig` and the
+// failure-kind constants remain re-exported below.
+pub(crate) mod machine;
 pub mod plan;
 pub mod program;
 pub mod runner;
+pub mod vm;
 
+pub use backend::{Backend, BytecodeBackend, ExecBackend, TreeWalkBackend};
 pub use builder::ProgramBuilder;
+pub use compile::{compile, CompiledProgram};
 pub use exec::{lower_action, plan_for, SimExecutor};
-pub use machine::{Machine, SimConfig, DEADLOCK_KIND, TIMEOUT_KIND};
+pub use machine::{SimConfig, DEADLOCK_KIND, TIMEOUT_KIND};
 pub use plan::{InstanceFilter, Intervention, InterventionPlan};
 pub use program::{Cmp, Cond, Expr, MethodDef, ObjectDef, Op, Program, Reg, ThreadSpec};
 pub use runner::Simulator;
+pub use vm::{Vm, VmError};

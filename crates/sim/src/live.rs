@@ -1,10 +1,13 @@
 //! A demonstration harness that applies AID's intervention vocabulary to
 //! **real OS threads**.
 //!
-//! The virtual machine in [`crate::machine`] is the workhorse of this
-//! reproduction, but the paper's mechanism is runtime interception of a live
-//! process. This module shows the same shape on actual `std::thread`s:
-//! methods are registered closures, every invocation is wrapped by an
+//! The simulated backends behind [`crate::backend::ExecBackend`] are the
+//! workhorse of this reproduction, but the paper's mechanism is runtime
+//! interception of a live process. This module shows the same shape on
+//! actual `std::thread`s — and [`LiveBackend`] plugs it into the same
+//! `ExecBackend` trait the simulated backends implement, so the discovery
+//! pipeline above is oblivious to which substrate executes the program.
+//! Methods are registered closures, every invocation is wrapped by an
 //! instrumentation shim that records a `MethodEvent`, and an
 //! [`InterventionPlan`] is honoured by the shim (start/end delays via
 //! `thread::sleep`, method serialization via `parking_lot::Mutex`, injected
@@ -16,7 +19,10 @@
 //! perfectly-clocked alternative. Because real scheduling is not seedable,
 //! tests against this harness assert structure, not exact interleavings.
 
+use crate::backend::ExecBackend;
+use crate::machine::SimConfig;
 use crate::plan::{Intervention, InterventionPlan};
+use crate::vm::VmError;
 use aid_trace::{
     AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, Outcome, ThreadId, Trace,
     TraceSet,
@@ -82,13 +88,20 @@ struct LiveMethodDef {
     body: Arc<LiveBody>,
 }
 
+/// The installed plan plus its derived serialize locks, swapped atomically
+/// so [`LiveHarness::set_plan`] needs only `&self` (required for plugging
+/// the harness in behind the shared-reference [`ExecBackend`] API).
+struct PlanState {
+    plan: InterventionPlan,
+    serialize_locks: Vec<(MethodId, MethodId, Arc<Mutex<()>>)>,
+}
+
 /// A registry of instrumented live methods plus shared state.
 pub struct LiveHarness {
     methods: Vec<LiveMethodDef>,
     shared: Mutex<Vec<i64>>,
     object_names: Vec<String>,
-    plan: Mutex<InterventionPlan>,
-    serialize_locks: Vec<(MethodId, MethodId, Arc<Mutex<()>>)>,
+    plan: Mutex<PlanState>,
 }
 
 impl LiveHarness {
@@ -98,8 +111,10 @@ impl LiveHarness {
             methods: Vec::new(),
             shared: Mutex::new(vec![0; object_names.len()]),
             object_names: object_names.iter().map(|s| s.to_string()).collect(),
-            plan: Mutex::new(InterventionPlan::empty()),
-            serialize_locks: Vec::new(),
+            plan: Mutex::new(PlanState {
+                plan: InterventionPlan::empty(),
+                serialize_locks: Vec::new(),
+            }),
         }
     }
 
@@ -118,12 +133,15 @@ impl LiveHarness {
     }
 
     /// Installs the intervention plan for subsequent runs.
-    pub fn set_plan(&mut self, plan: InterventionPlan) {
-        self.serialize_locks = plan
+    pub fn set_plan(&self, plan: InterventionPlan) {
+        let serialize_locks = plan
             .serialize_pairs()
             .map(|(_, a, b)| (a, b, Arc::new(Mutex::new(()))))
             .collect();
-        *self.plan.lock() = plan;
+        *self.plan.lock() = PlanState {
+            plan,
+            serialize_locks,
+        };
     }
 
     fn invoke(
@@ -133,10 +151,12 @@ impl LiveHarness {
         events: &Sender<MethodEvent>,
         epoch: Instant,
     ) -> Result<Option<i64>, String> {
-        let plan = self.plan.lock().clone();
+        let (plan, serialize_locks) = {
+            let st = self.plan.lock();
+            (st.plan.clone(), st.serialize_locks.clone())
+        };
         // Serialization: take every injected lock mentioning this method.
-        let guards: Vec<_> = self
-            .serialize_locks
+        let guards: Vec<_> = serialize_locks
             .iter()
             .filter(|(a, b, _)| *a == method || *b == method)
             .map(|(_, _, m)| m.lock())
@@ -269,6 +289,47 @@ impl LiveHarness {
     }
 }
 
+/// A [`LiveHarness`] with fixed entry methods behind the [`ExecBackend`]
+/// trait — the third execution substrate next to tree-walk and bytecode.
+///
+/// `try_run` installs the plan on the harness and launches one real thread
+/// per entry. The seed is recorded but does not control OS scheduling, and
+/// the step budget does not apply to wall-clock threads, so unlike the
+/// simulated backends this one is **not** deterministic per seed; callers
+/// assert structure, not exact traces.
+pub struct LiveBackend {
+    harness: Arc<LiveHarness>,
+    entries: Vec<MethodId>,
+}
+
+impl LiveBackend {
+    /// Wraps a harness and the entry methods each run launches.
+    pub fn new(harness: Arc<LiveHarness>, entries: Vec<MethodId>) -> Self {
+        LiveBackend { harness, entries }
+    }
+
+    /// The wrapped harness.
+    pub fn harness(&self) -> &Arc<LiveHarness> {
+        &self.harness
+    }
+}
+
+impl ExecBackend for LiveBackend {
+    fn name(&self) -> &'static str {
+        "live"
+    }
+
+    fn try_run(
+        &self,
+        seed: u64,
+        plan: &InterventionPlan,
+        _config: &SimConfig,
+    ) -> Result<Trace, VmError> {
+        self.harness.set_plan(plan.clone());
+        Ok(self.harness.run(&self.entries, seed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,7 +370,7 @@ mod tests {
 
     #[test]
     fn serialize_intervention_holds_on_real_threads() {
-        let (mut h, reader, writer) = build();
+        let (h, reader, writer) = build();
         h.set_plan(InterventionPlan::single(Intervention::SerializeMethods {
             a: reader,
             b: writer,
@@ -340,5 +401,46 @@ mod tests {
         }));
         let t = h.run(&[get], 0);
         assert_eq!(t.events[0].returned, Some(42));
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+    use crate::backend::Backend;
+
+    #[test]
+    fn live_backend_runs_through_the_exec_trait() {
+        let mut h = LiveHarness::new(&["len", "next"]);
+        let reader = h.method("Reader", |ctx| {
+            let len = ctx.read(0) + 10;
+            ctx.pause(50);
+            let next = ctx.read(1);
+            if next > len {
+                return Err("IndexOutOfRange".into());
+            }
+            Ok(Some(next))
+        });
+        let writer = h.method("Writer", |ctx| {
+            ctx.write(1, 11);
+            Ok(None)
+        });
+        let backend = LiveBackend::new(Arc::new(h), vec![reader, writer]);
+        assert_eq!(backend.name(), "live");
+        assert_ne!(backend.name(), Backend::Bytecode.name());
+        let plan = InterventionPlan::single(Intervention::SerializeMethods {
+            a: reader,
+            b: writer,
+        });
+        let t = backend
+            .try_run(0, &plan, &SimConfig::default())
+            .expect("live runs do not trap");
+        assert_eq!(t.events.len(), 2, "one event per entry method");
+        let r = t.events.iter().find(|e| e.method == reader).unwrap();
+        let w = t.events.iter().find(|e| e.method == writer).unwrap();
+        assert!(
+            r.end <= w.start || w.end <= r.start,
+            "plan installed via the trait serializes the methods"
+        );
     }
 }

@@ -1,33 +1,97 @@
 //! Running programs many times and collecting labeled trace sets.
 
-use crate::machine::{Machine, SimConfig};
+use crate::backend::{Backend, BytecodeBackend, ExecBackend, TreeWalkBackend};
+use crate::machine::SimConfig;
 use crate::plan::InterventionPlan;
 use crate::program::Program;
+use crate::vm::VmError;
 use aid_trace::{Trace, TraceSet};
+use std::sync::{Arc, OnceLock};
 
-/// Convenience wrapper: a program plus a configuration.
-#[derive(Clone, Debug)]
+/// A program plus a configuration plus an execution backend — the standard
+/// handle everything downstream (executors, the engine, the server) runs
+/// programs through.
+///
+/// The backend defaults to [`Backend::default()`] (bytecode unless the
+/// `bytecode-default` feature is off or `AID_BACKEND` overrides it) and can
+/// be chosen per simulator with [`Simulator::with_backend`]. Backends are
+/// trace-equivalent, and [`Simulator::fingerprint`] is deliberately
+/// backend-independent, so cached results are shared across backends.
+///
+/// The compiled backend instance is built lazily on first run and cached.
+/// `program` stays a public field for construction-site ergonomics, but
+/// mutating it **after** the first run would desync the cache — rebuild a
+/// fresh `Simulator` instead. (`config` is read per run and safe to tune at
+/// any point.)
 pub struct Simulator {
     /// The program under test.
     pub program: Program,
-    /// Machine configuration.
+    /// Machine configuration (read per run).
     pub config: SimConfig,
+    backend: Backend,
+    engine: OnceLock<Arc<dyn ExecBackend>>,
+}
+
+impl Clone for Simulator {
+    fn clone(&self) -> Self {
+        // The lazily built engine is intentionally not cloned; the clone
+        // rebuilds (and re-caches) its own on first use.
+        Simulator {
+            program: self.program.clone(),
+            config: self.config.clone(),
+            backend: self.backend,
+            engine: OnceLock::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("program", &self.program)
+            .field("config", &self.config)
+            .field("backend", &self.backend)
+            .finish()
+    }
 }
 
 impl Simulator {
-    /// Creates a simulator with default configuration.
+    /// Creates a simulator with default configuration and backend.
     pub fn new(program: Program) -> Self {
         Simulator {
             program,
             config: SimConfig::default(),
+            backend: Backend::default(),
+            engine: OnceLock::new(),
         }
+    }
+
+    /// Selects the execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self.engine = OnceLock::new();
+        self
+    }
+
+    /// The selected backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The execution engine, built on first use.
+    pub fn exec_backend(&self) -> &Arc<dyn ExecBackend> {
+        self.engine.get_or_init(|| match self.backend {
+            Backend::TreeWalk => Arc::new(TreeWalkBackend::new(self.program.clone())),
+            Backend::Bytecode => Arc::new(BytecodeBackend::new(&self.program)),
+        })
     }
 
     /// A stable fingerprint of (program structure, machine configuration):
     /// runs are a pure function of `(fingerprint, seed, plan)`, so this is
     /// the program half of the engine's memoization key. Cheap enough to
     /// call per round, but callers that execute many rounds should compute
-    /// it once up front.
+    /// it once up front. Deliberately backend-independent — both backends
+    /// produce identical traces, so cache entries are shared.
     pub fn fingerprint(&self) -> u64 {
         // Rotate so (program, max_steps) pairs don't collide trivially.
         self.program
@@ -37,9 +101,17 @@ impl Simulator {
             ^ self.config.max_steps
     }
 
-    /// Runs once with `seed` under `plan`.
+    /// Runs once with `seed` under `plan`. Panics on an invalid intervention
+    /// (see [`Simulator::try_run`] for the quarantining variant).
     pub fn run(&self, seed: u64, plan: &InterventionPlan) -> Trace {
-        Machine::new(&self.program, plan, self.config.clone(), seed).run()
+        self.exec_backend().run(seed, plan, &self.config)
+    }
+
+    /// Runs once with `seed` under `plan`, reporting invalid runs as a typed
+    /// [`VmError`] where the backend supports trapping (the bytecode VM
+    /// does; the tree-walk interpreter asserts instead).
+    pub fn try_run(&self, seed: u64, plan: &InterventionPlan) -> Result<Trace, VmError> {
+        self.exec_backend().try_run(seed, plan, &self.config)
     }
 
     /// Runs seeds `0..runs` with no intervention, returning a labeled set.
@@ -440,6 +512,44 @@ mod tests {
             "only instance 1 is delayed: {durs:?}"
         );
         assert!(durs[2] < durs[1]);
+    }
+
+    #[test]
+    fn backends_agree_and_try_run_traps_typed() {
+        use crate::backend::Backend;
+        let tree = Simulator::new(racy_program()).with_backend(Backend::TreeWalk);
+        let byte = Simulator::new(racy_program()).with_backend(Backend::Bytecode);
+        assert_eq!(tree.backend(), Backend::TreeWalk);
+        assert_eq!(byte.backend(), Backend::Bytecode);
+        assert_eq!(
+            tree.fingerprint(),
+            byte.fingerprint(),
+            "fingerprints are backend-independent so cache entries are shared"
+        );
+        for seed in 0..30 {
+            assert_eq!(
+                tree.run(seed, &InterventionPlan::empty()),
+                byte.run(seed, &InterventionPlan::empty()),
+                "seed {seed}"
+            );
+        }
+        // Premature return on the impure Writer: the bytecode backend traps
+        // with a typed error instead of panicking.
+        let bad = InterventionPlan::single(Intervention::PrematureReturn {
+            method: aid_trace::MethodId::from_raw(1),
+            instance: InstanceFilter::All,
+            value: 0,
+        });
+        let err = byte.try_run(0, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::vm::VmError::PrematureReturnImpure { ref method } if method == "Writer"
+        ));
+        // The simulator remains healthy after a trap.
+        assert_eq!(
+            byte.run(11, &InterventionPlan::empty()),
+            tree.run(11, &InterventionPlan::empty())
+        );
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Differential fuzzing: the bytecode VM against the tree-walk interpreter.
+//!
+//! Generates a few hundred random programs (random bodies, random thread
+//! topologies, lock critical sections, flaky sites, waits, throws), runs
+//! each under the empty plan plus random intervention plans on both
+//! backends, and asserts the resulting `Trace`s are **equal** — the
+//! bit-identical contract the `ExecBackend` API promises.
+//!
+//! The generator stays inside the machine's documented preconditions (it
+//! never releases an unowned lock, never spawns a thread twice, and only
+//! targets the dedicated pure getter with return-value interventions), so
+//! every run must succeed on both backends; any divergence is a bug in the
+//! compiler or VM, not in the input.
+
+use aid_sim::backend::{BytecodeBackend, ExecBackend, TreeWalkBackend};
+use aid_sim::{
+    Cmp, Expr, InstanceFilter, Intervention, InterventionPlan, Program, ProgramBuilder, Reg,
+    SimConfig,
+};
+use aid_trace::MethodId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random pure expression over registers, data objects, and constants.
+fn gen_expr(rng: &mut StdRng, data: &[aid_trace::ObjectId], depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.random_bool(0.6);
+    if leaf {
+        match rng.random_range(0..4u32) {
+            0 => Expr::Const(rng.random_range(-3..8i64)),
+            1 => Expr::Reg(Reg(rng.random_range(0..4u8))),
+            2 => Expr::Obj(data[rng.random_range(0..data.len())]),
+            _ => Expr::Now,
+        }
+    } else if rng.random_bool(0.5) {
+        Expr::add(
+            gen_expr(rng, data, depth - 1),
+            gen_expr(rng, data, depth - 1),
+        )
+    } else {
+        Expr::sub(
+            gen_expr(rng, data, depth - 1),
+            gen_expr(rng, data, depth - 1),
+        )
+    }
+}
+
+fn gen_cmp(rng: &mut StdRng) -> Cmp {
+    [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge][rng.random_range(0..6)]
+}
+
+/// One random program: a pure getter, a layered call DAG (method `i` calls
+/// only methods `< i`, so no recursion), worker threads, and a main thread
+/// that spawns and joins the non-auto-start workers.
+fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodId) {
+    let mut b = ProgramBuilder::new(&format!("fuzz{tag}"));
+
+    let n_data = rng.random_range(2..=4usize);
+    let data: Vec<_> = (0..n_data)
+        .map(|i| b.object(&format!("d{i}"), rng.random_range(0..4i64)))
+        .collect();
+    let n_locks = rng.random_range(1..=2usize);
+    let locks: Vec<_> = (0..n_locks)
+        .map(|i| b.object(&format!("lk{i}"), 0))
+        .collect();
+
+    // The only method return-value interventions may target.
+    let ret = rng.random_range(0..10i64);
+    let getter = b.pure_method("Get", |m| {
+        m.set(Reg(0), Expr::Const(ret)).ret(Expr::Reg(Reg(0)));
+    });
+    let mut methods = vec![getter];
+
+    let n_methods = rng.random_range(2..=5usize);
+    for mi in 0..n_methods {
+        let callable = methods.clone();
+        // Draw the body's random choices *outside* the closure so the
+        // generator stream is independent of builder internals.
+        let n_ops = rng.random_range(3..=8usize);
+        let mut plan: Vec<(u32, u64, u64)> = Vec::new();
+        for _ in 0..n_ops {
+            plan.push((
+                rng.random_range(0..13u32),
+                rng.random_range(0..64u64),
+                rng.random_range(0..64u64),
+            ));
+        }
+        let exprs: Vec<Expr> = (0..n_ops).map(|_| gen_expr(rng, &data, 2)).collect();
+        let cmps: Vec<Cmp> = (0..n_ops).map(|_| gen_cmp(rng)).collect();
+        let m = b.method(&format!("M{mi}"), |mb| {
+            for (i, &(kind, a, c)) in plan.iter().enumerate() {
+                let dobj = data[a as usize % data.len()];
+                let reg = Reg((a % 4) as u8);
+                match kind {
+                    0 => {
+                        mb.read(dobj, reg);
+                    }
+                    1 => {
+                        mb.write(dobj, exprs[i].clone());
+                    }
+                    2 => {
+                        mb.compute(1 + c % 5);
+                    }
+                    3 => {
+                        // min == max half the time exercises the
+                        // no-draw-when-degenerate rule.
+                        let min = c % 4;
+                        let max = min + a % 2 * (1 + c % 3);
+                        mb.jitter(min, max);
+                    }
+                    4 => {
+                        let prob = [0.0, 0.3, 0.7, 1.0][(c % 4) as usize];
+                        mb.flaky_delay(prob, 1 + a % 4);
+                    }
+                    5 => {
+                        mb.set(reg, exprs[i].clone());
+                    }
+                    6 => {
+                        let lo = (a % 5) as i64 - 2;
+                        mb.rand_range(reg, lo, lo + 1 + (c % 6) as i64);
+                    }
+                    7 => {
+                        let callee = callable[c as usize % callable.len()];
+                        if a % 2 == 0 {
+                            mb.call(callee);
+                        } else {
+                            mb.try_call(callee);
+                        }
+                    }
+                    8 => {
+                        // Balanced critical section: the machine asserts on
+                        // unowned release, so acquire/release always pair.
+                        let lk = locks[a as usize % locks.len()];
+                        mb.acquire(lk)
+                            .write(dobj, exprs[i].clone())
+                            .compute(1 + c % 3)
+                            .release(lk);
+                    }
+                    9 => {
+                        mb.sleep(1 + c % 3);
+                    }
+                    10 => {
+                        if a % 2 == 0 {
+                            // Usually satisfiable; the liveness valve rescues
+                            // the rest, identically on both backends.
+                            mb.wait_until(Expr::Obj(dobj), Cmp::Ge, Expr::Const((c % 3) as i64));
+                        } else {
+                            // Time-dependent wait: flips while other threads
+                            // burn — the exact waiter the VM's scan-free spin
+                            // must not skip past.
+                            mb.wait_until(Expr::Now, Cmp::Ge, Expr::Const((c % 40) as i64));
+                        }
+                    }
+                    11 => {
+                        mb.throw_if_obj(dobj, cmps[i], Expr::Const((c % 6) as i64), "Efuzz");
+                    }
+                    _ => {
+                        mb.set_if(
+                            reg,
+                            exprs[i].clone(),
+                            cmps[i],
+                            Expr::Const((c % 4) as i64),
+                            Expr::Const(a as i64 % 7),
+                            Expr::Reg(reg),
+                        );
+                    }
+                }
+            }
+        });
+        methods.push(m);
+    }
+
+    // Worker threads; main spawns the non-auto-start ones (exactly once —
+    // the machine asserts on double spawn). Spawned workers run to
+    // completion on their own; the scheduler handles orphan completion
+    // identically on both backends, so no joins are needed.
+    let n_workers = rng.random_range(2..=3usize);
+    let mut worker_specs = Vec::new();
+    for wi in 0..n_workers {
+        let entry = methods[rng.random_range(0..methods.len())];
+        let auto = rng.random_bool(0.5);
+        worker_specs.push((format!("w{wi}"), entry, auto));
+    }
+    let main_calls: Vec<MethodId> = (0..rng.random_range(1..=2usize))
+        .map(|_| methods[rng.random_range(0..methods.len())])
+        .collect();
+    let main = b.method("Main", |mb| {
+        for (name, _, auto) in &worker_specs {
+            if !auto {
+                mb.spawn_named(name);
+            }
+        }
+        for m in &main_calls {
+            mb.call(*m);
+        }
+    });
+    b.thread("main", main, true);
+    for (name, entry, auto) in &worker_specs {
+        b.thread(name, *entry, *auto);
+    }
+    methods.push(main);
+    (b.build(), methods, getter)
+}
+
+/// A random plan over `methods`; return-value interventions only target the
+/// pure `getter`.
+fn gen_plan(rng: &mut StdRng, methods: &[MethodId], getter: MethodId) -> InterventionPlan {
+    let mut plan = InterventionPlan::empty();
+    let any = |rng: &mut StdRng| methods[rng.random_range(0..methods.len())];
+    let filt = |rng: &mut StdRng| {
+        if rng.random_bool(0.5) {
+            InstanceFilter::All
+        } else {
+            InstanceFilter::Only(rng.random_range(0..2u32))
+        }
+    };
+    for _ in 0..rng.random_range(1..=3usize) {
+        let iv = match rng.random_range(0..9u32) {
+            0 => Intervention::SerializeMethods {
+                a: any(rng),
+                b: any(rng),
+            },
+            1 => Intervention::DelayStart {
+                method: any(rng),
+                instance: filt(rng),
+                ticks: rng.random_range(1..=5u64),
+            },
+            2 => Intervention::DelayEnd {
+                method: any(rng),
+                instance: filt(rng),
+                ticks: rng.random_range(1..=5u64),
+            },
+            3 => Intervention::PrematureReturn {
+                method: getter,
+                instance: filt(rng),
+                value: rng.random_range(0..10i64),
+            },
+            4 => Intervention::ForceReturn {
+                method: getter,
+                instance: filt(rng),
+                value: rng.random_range(0..10i64),
+            },
+            5 => Intervention::CatchException {
+                method: any(rng),
+                instance: filt(rng),
+            },
+            6 => Intervention::ForceOrder {
+                first: any(rng),
+                then: any(rng),
+                instance: filt(rng),
+            },
+            7 => Intervention::SuppressFlaky {
+                method: any(rng),
+                instance: filt(rng),
+            },
+            _ => Intervention::ForceRand {
+                method: any(rng),
+                instance: filt(rng),
+                value: rng.random_range(0..10i64),
+            },
+        };
+        plan.push(iv);
+    }
+    plan
+}
+
+#[test]
+fn bytecode_matches_tree_walk_on_random_programs() {
+    let mut rng = StdRng::seed_from_u64(0xF022_D1FF);
+    let cfg = SimConfig { max_steps: 4_000 };
+    let cases: usize = std::env::var("AID_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+    for case in 0..cases {
+        let (program, methods, getter) = gen_program(&mut rng, case);
+        let tree = TreeWalkBackend::new(program.clone());
+        let byte = BytecodeBackend::new(&program);
+        for plan_i in 0..3 {
+            let plan = if plan_i == 0 {
+                InterventionPlan::empty()
+            } else {
+                gen_plan(&mut rng, &methods, getter)
+            };
+            for s in 0..3u64 {
+                let seed = (case as u64) << 8 | (plan_i as u64) << 4 | s;
+                let a = tree
+                    .try_run(seed, &plan, &cfg)
+                    .expect("tree-walk runs stay inside machine preconditions");
+                let b = byte.try_run(seed, &plan, &cfg).unwrap_or_else(|e| {
+                    panic!("case {case} plan {plan_i} seed {seed}: VM trapped: {e}")
+                });
+                assert_eq!(
+                    a, b,
+                    "case {case} plan {plan_i} seed {seed}: traces diverged\nplan: {plan:?}\nprogram: {}",
+                    program.name
+                );
+            }
+        }
+    }
+}

@@ -23,16 +23,28 @@ impl Trace {
     /// Sorts events into the canonical order and assigns per-method instance
     /// indices. Instrumentation backends call this once after collection.
     pub fn normalize(&mut self) {
+        // The key is a total order (no two events share start, end, method,
+        // AND thread — a thread executes one instruction per tick), so the
+        // unstable sort is deterministic and avoids the stable sort's
+        // per-call merge-buffer allocation.
         self.events
-            .sort_by_key(|e| (e.start, e.end, e.method, e.thread));
-        let mut counters: Vec<u32> = Vec::new();
+            .sort_unstable_by_key(|e| (e.start, e.end, e.method, e.thread));
+        // Instance renumbering: stack counters for the common method count,
+        // heap spill only beyond that.
+        let mut small = [0u32; 64];
+        let mut spill: Vec<u32> = Vec::new();
         for e in &mut self.events {
             let idx = e.method.index();
-            if idx >= counters.len() {
-                counters.resize(idx + 1, 0);
-            }
-            e.instance = counters[idx];
-            counters[idx] += 1;
+            let c = if idx < 64 {
+                &mut small[idx]
+            } else {
+                if idx - 64 >= spill.len() {
+                    spill.resize(idx - 64 + 1, 0);
+                }
+                &mut spill[idx - 64]
+            };
+            e.instance = *c;
+            *c += 1;
         }
     }
 

@@ -94,8 +94,8 @@ pub mod prelude {
     };
     pub use aid_sim::program::{Cmp, Expr, Reg};
     pub use aid_sim::{
-        InstanceFilter, Intervention, InterventionPlan, Program, ProgramBuilder, SimConfig,
-        SimExecutor, Simulator,
+        Backend, BytecodeBackend, ExecBackend, InstanceFilter, Intervention, InterventionPlan,
+        Program, ProgramBuilder, SimConfig, SimExecutor, Simulator, TreeWalkBackend, VmError,
     };
     pub use aid_store::{StoreConfig, StoreSnapshot, StoreView, StreamDecoder, TraceStore};
     pub use aid_trace::{
@@ -111,5 +111,6 @@ mod tests {
         use crate::prelude::*;
         let _ = Strategy::Aid.name();
         let _ = ExtractionConfig::default();
+        let _ = format!("{}", Backend::Bytecode);
     }
 }
