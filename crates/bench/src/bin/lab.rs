@@ -4,7 +4,7 @@
 //! ```sh
 //! cargo run -p aid_bench --bin lab --release -- \
 //!     [--scenarios=200] [--seed=1] [--workers=4] [--stride=1] \
-//!     [--backend=both|tree|bytecode]
+//!     [--backend=both|tree|bytecode] [--streaming=on|off]
 //! ```
 //!
 //! Every scenario runs the whole pipeline — codec round-trips, streaming
@@ -36,6 +36,7 @@ fn main() {
     let backend = arg_value("backend")
         .map(|s| BackendMode::parse(&s).unwrap_or_else(|| panic!("unknown backend '{s}'")))
         .unwrap_or(BackendMode::Both);
+    let streaming = arg_value("streaming").map_or(true, |s| s != "off");
 
     let conf = Conformance {
         params: LabParams::default(),
@@ -43,6 +44,7 @@ fn main() {
         prefix_stride: stride,
         discovery_seed: 11,
         backend,
+        streaming,
     };
 
     println!(

@@ -4,7 +4,7 @@
 //! ```sh
 //! cargo run -p aid_bench --bin loadgen --release -- \
 //!     [--clients=4] [--scenarios=12] [--workers=4] [--seed=1] \
-//!     [--chunk=4096] [--allow-rejections=0]
+//!     [--chunk=4096] [--allow-rejections=0] [--stream=0] [--tails=3]
 //! ```
 //!
 //! Every client replays the *same* scenario list (upload corpus → submit
@@ -17,6 +17,15 @@
 //! nothing, so a rejection in CI means the sizing contract broke. Pass
 //! `--allow-rejections=1` when deliberately overloading.
 //!
+//! With `--stream=1`, a second phase replays every scenario as a *standing
+//! query*: each client subscribes a watch, streams the corpus as `--tails`
+//! byte tails, and must converge to the identical `DiscoveryResult` the
+//! one-shot phase produced; it then streams a stat-neutral tail (a replay
+//! of a successful run) that must be answered from the watcher's cache
+//! with no re-discovery. The phase's engine traffic is reported separately
+//! (`AID-SERVE-STREAM {json}`) so the standing-query economics — near-total
+//! cache service — are pinned by the benchmark snapshot.
+//!
 //! Emits a machine-readable `AID-SERVE {json}` summary line (throughput,
 //! p50/p99 session latency, rejection rate, cache hit-rate).
 
@@ -24,8 +33,11 @@ use aid_bench::{arg_value, render_table};
 use aid_engine::EngineConfig;
 use aid_lab::{prepare_replay, LabParams, ReplayItem};
 use aid_serve::{
-    Admission, AidClient, AnalysisSpec, OverloadScope, ProgramSpec, ServeConfig, Server, SubmitSpec,
+    Admission, AidClient, AnalysisSpec, OverloadScope, ProgramSpec, ServeConfig, Server,
+    SubmitSpec, WatchSpec,
 };
+use aid_trace::{codec, Outcome, TraceSet};
+use aid_watch::WatchEvent;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -108,6 +120,125 @@ fn run_client(
     Ok((samples, rejections))
 }
 
+/// A tail that moves no predicate statistic: a replay of a successful run
+/// already in the corpus (site stability, duration envelopes, unique
+/// returns, and every candidate's counts are preserved).
+fn neutral_tail(corpus: &TraceSet) -> String {
+    let replay = corpus
+        .traces
+        .iter()
+        .find(|t| matches!(t.outcome, Outcome::Success))
+        .cloned()
+        .expect("validated corpora contain successful runs");
+    codec::encode(&TraceSet {
+        methods: corpus.methods.clone(),
+        objects: corpus.objects.clone(),
+        traces: vec![replay],
+    })
+}
+
+/// The convergence a tick reported, whatever event carried it.
+fn converged_of(events: &[WatchEvent]) -> Option<&aid_core::DiscoveryResult> {
+    events.iter().rev().find_map(|e| match e {
+        WatchEvent::Converged { result, .. } => Some(result),
+        WatchEvent::RootChanged { result, .. } => Some(result),
+        _ => None,
+    })
+}
+
+/// Phase-2 client: replay every scenario as a standing query. Returns the
+/// converged samples and the number of stat-neutral tails answered from
+/// the watcher's cache (must end up `items.len()`).
+fn run_stream_client(
+    addr: std::net::SocketAddr,
+    id: usize,
+    items: &[ReplayItem],
+    tails: usize,
+) -> Result<(Vec<Sample>, u64), String> {
+    let fail = |stage: &str, e: &dyn std::fmt::Display| format!("stream client {id} {stage}: {e}");
+    let mut client = AidClient::connect_tcp(addr).map_err(|e| fail("connect", &e))?;
+    client
+        .hello(&format!("loadgen-stream-{id}"))
+        .map_err(|e| fail("hello", &e))?;
+    let mut samples = Vec::with_capacity(items.len());
+    let mut cached = 0u64;
+    for (index, item) in items.iter().enumerate() {
+        let started = Instant::now();
+        let mut spec = WatchSpec::new(
+            format!("{}/w{id}", item.scenario.name),
+            AnalysisSpec::Lab(item.scenario.spec),
+            ProgramSpec::Lab(item.scenario.spec),
+        );
+        spec.discovery_seed = DISCOVERY_SEED;
+        spec.first_seed = FIRST_SEED;
+        spec.runs_per_round = item.scenario.runs_per_round as u32;
+        let watch = loop {
+            match client.subscribe(&spec).map_err(|e| fail("subscribe", &e))? {
+                Admission::Accepted(watch) => break watch,
+                Admission::Rejected(overload) => {
+                    if overload.scope == OverloadScope::Draining {
+                        return Err(format!("stream client {id}: server draining mid-run"));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
+        // The corpus as `tails` byte tails; cuts land anywhere in a line
+        // and the chunking is identical across clients, so every client's
+        // mid-stream re-probes hit the same intervention-cache keys.
+        let bytes = item.encoded.as_bytes();
+        let step = bytes.len().div_ceil(tails.max(1));
+        let mut report = None;
+        for (i, piece) in bytes.chunks(step).enumerate() {
+            let fin = (i + 1) * step >= bytes.len();
+            report = Some(
+                client
+                    .stream_tail(watch, piece, fin)
+                    .map_err(|e| fail("stream_tail", &e))?,
+            );
+        }
+        let report = report.expect("corpora are non-empty");
+        let Some(result) = converged_of(&report.events) else {
+            return Err(format!(
+                "stream client {id}: {} never converged over the full corpus",
+                item.scenario.name
+            ));
+        };
+        samples.push(Sample {
+            scenario: index,
+            latency: started.elapsed(),
+            causal: result.causal.iter().map(|p| p.raw()).collect(),
+            rounds: result.rounds,
+        });
+
+        // Post-convergence economy: the stat-neutral tail must republish
+        // the cached convergence without re-discovery.
+        let neutral = neutral_tail(&item.corpus);
+        let report = client
+            .stream_tail(watch, neutral.as_bytes(), true)
+            .map_err(|e| fail("neutral tail", &e))?;
+        match report.events.as_slice() {
+            [WatchEvent::Converged {
+                resubmitted: false, ..
+            }] => cached += 1,
+            other => {
+                return Err(format!(
+                    "stream client {id}: stat-neutral tail on {} was not cache-served: {other:?}",
+                    item.scenario.name
+                ))
+            }
+        }
+        if !client
+            .unsubscribe(watch)
+            .map_err(|e| fail("unsubscribe", &e))?
+        {
+            return Err(format!("stream client {id}: watch {watch} vanished"));
+        }
+    }
+    client.goodbye().map_err(|e| fail("goodbye", &e))?;
+    Ok((samples, cached))
+}
+
 fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -122,6 +253,8 @@ fn main() {
     let seed = arg_or("seed", 1) as u64;
     let chunk = arg_or("chunk", 4096);
     let allow_rejections = arg_or("allow-rejections", 0) != 0;
+    let stream = arg_or("stream", 0) != 0;
+    let tails = arg_or("tails", 3);
 
     println!("Preparing {scenarios} lab scenarios (seed {seed})…");
     let params = LabParams::default();
@@ -164,6 +297,35 @@ fn main() {
         }
     }
     let elapsed = started.elapsed();
+
+    // Phase 2 (--stream=1): the same fleet replays every scenario as a
+    // standing query against the cache the one-shot phase just filled.
+    let one_shot_stats = server.stats();
+    let mut stream_samples: Vec<Sample> = Vec::new();
+    let mut stream_cached = 0u64;
+    let mut stream_errors: Vec<String> = Vec::new();
+    let mut stream_elapsed = Duration::ZERO;
+    if stream {
+        println!("\nStreaming phase: {clients} clients × {scenarios} standing queries…");
+        let stream_started = Instant::now();
+        let threads: Vec<_> = (0..clients)
+            .map(|id| {
+                let items = Arc::clone(&items);
+                std::thread::spawn(move || run_stream_client(addr, id, &items, tails))
+            })
+            .collect();
+        for thread in threads {
+            match thread.join().expect("stream client thread panicked") {
+                Ok((s, c)) => {
+                    stream_samples.extend(s);
+                    stream_cached += c;
+                }
+                Err(e) => stream_errors.push(e),
+            }
+        }
+        stream_elapsed = stream_started.elapsed();
+    }
+
     let stats = server.shutdown();
 
     // Cross-client determinism: every replica of a scenario must report
@@ -282,6 +444,78 @@ fn main() {
 
     let expected = clients * scenarios;
     let mut failed = false;
+    if stream {
+        // Streamed convergences must match the one-shot results exactly.
+        let mut stream_mismatches = 0usize;
+        for index in 0..items.len() {
+            let Some(reference) = samples.iter().find(|s| s.scenario == index) else {
+                continue;
+            };
+            stream_mismatches += stream_samples
+                .iter()
+                .filter(|s| s.scenario == index)
+                .filter(|s| s.causal != reference.causal || s.rounds != reference.rounds)
+                .count();
+        }
+        let d_hits = stats.cache_hits - one_shot_stats.cache_hits;
+        let d_misses = stats.cache_misses - one_shot_stats.cache_misses;
+        let stream_hit_rate = if d_hits + d_misses == 0 {
+            1.0
+        } else {
+            d_hits as f64 / (d_hits + d_misses) as f64
+        };
+        let watches = stream_samples.len();
+        println!(
+            "\nstreaming: {watches} watches in {stream_elapsed:?} ({:.1} watches/s) | \
+             {} executions, cache hit rate {:.0}% | {stream_cached} stat-neutral tails \
+             cache-served | reprobed {} / skipped {} candidates",
+            watches as f64 / stream_elapsed.as_secs_f64().max(1e-9),
+            stats.executions - one_shot_stats.executions,
+            100.0 * stream_hit_rate,
+            stats.view_reprobed,
+            stats.view_skipped,
+        );
+        for e in &stream_errors {
+            eprintln!("STREAM CLIENT ERROR: {e}");
+        }
+        println!(
+            "AID-SERVE-STREAM {{\"clients\":{clients},\"scenarios\":{scenarios},\
+             \"watches\":{watches},\"elapsed_s\":{:.6},\"watches_per_s\":{:.3},\
+             \"executions\":{},\"cache_hits\":{d_hits},\"cache_misses\":{d_misses},\
+             \"cache_hit_rate\":{stream_hit_rate:.4},\"neutral_cached\":{stream_cached},\
+             \"result_mismatches\":{stream_mismatches},\"client_errors\":{},\
+             \"watch_events\":{},\"view_reprobed\":{},\"view_skipped\":{}}}",
+            stream_elapsed.as_secs_f64(),
+            watches as f64 / stream_elapsed.as_secs_f64().max(1e-9),
+            stats.executions - one_shot_stats.executions,
+            stream_errors.len(),
+            stats.watch_events,
+            stats.view_reprobed,
+            stats.view_skipped,
+        );
+        aid_bench::snapshot::merge_write(
+            "BENCH_serve.json",
+            &[
+                (
+                    "serve_stream_watches_per_s".to_string(),
+                    watches as f64 / stream_elapsed.as_secs_f64().max(1e-9),
+                ),
+                ("serve_stream_cache_hit_rate".to_string(), stream_hit_rate),
+            ],
+        );
+        if !stream_errors.is_empty() || watches != expected {
+            eprintln!("FAIL: {watches}/{expected} standing queries converged");
+            failed = true;
+        }
+        if stream_mismatches > 0 {
+            eprintln!("FAIL: {stream_mismatches} streamed-vs-one-shot result mismatches");
+            failed = true;
+        }
+        if stream_cached != expected as u64 {
+            eprintln!("FAIL: {stream_cached}/{expected} stat-neutral tails were cache-served");
+            failed = true;
+        }
+    }
     if !client_errors.is_empty() || sessions != expected {
         eprintln!("FAIL: {}/{expected} sessions completed", sessions);
         failed = true;

@@ -29,7 +29,12 @@
 //!    simulator fingerprint, produce byte-identical traces on sampled
 //!    seeds under both the empty plan and an analysis-derived intervention
 //!    plan, and serial discovery over either backend returns the same
-//!    `DiscoveryResult`.
+//!    `DiscoveryResult`;
+//! 9. **streaming equivalence** — an `aid_watch::Watcher` fed the corpus
+//!    as chunked byte tails converges to the same `DiscoveryResult` as
+//!    one-shot discovery over the full corpus, and stat-neutral appends
+//!    after convergence execute zero new interventions (the standing
+//!    query's delta rule plus the engine's intervention cache).
 //!
 //! Root-cause *accuracy* (root found, expected kind, mechanism hit) is
 //! reported as metrics rather than hard invariants: discovery quality is
@@ -42,7 +47,8 @@ use aid_engine::{DiscoveryJob, Engine, EngineConfig};
 use aid_predicates::{ExtractionConfig, PredicateCatalog, PredicateId, PredicateKind};
 use aid_sim::{plan_for, Backend, InterventionPlan, SimExecutor, Simulator};
 use aid_store::{StoreConfig, StreamDecoder, TraceStore};
-use aid_trace::{codec, MethodId, TraceSet};
+use aid_trace::{codec, MethodId, Outcome, Trace, TraceSet};
+use aid_watch::{WatchConfig, Watcher};
 use std::sync::Arc;
 
 /// First seed for intervention runs (disjoint from observation seeds).
@@ -97,6 +103,11 @@ pub struct Conformance {
     /// Execution backend(s); [`BackendMode::Both`] also enables the
     /// backend-equivalence invariant (8).
     pub backend: BackendMode,
+    /// Also check invariant 9 (streamed-tail discovery ≡ one-shot): a
+    /// standing `aid_watch::Watcher` fed the corpus as byte tails must
+    /// converge to the serial reference result, and stat-neutral appends
+    /// after convergence must execute zero new interventions.
+    pub streaming: bool,
 }
 
 impl Default for Conformance {
@@ -107,6 +118,7 @@ impl Default for Conformance {
             prefix_stride: 1,
             discovery_seed: 11,
             backend: BackendMode::Both,
+            streaming: true,
         }
     }
 }
@@ -298,6 +310,7 @@ pub fn corpus_violations(
     let mut store = TraceStore::new(StoreConfig {
         shards: 3,
         extraction: config.clone(),
+        ..StoreConfig::default()
     });
     store.append_set(set);
     let re = codec::encode(&store.to_trace_set());
@@ -317,6 +330,7 @@ pub fn corpus_violations(
     let mut store = TraceStore::new(StoreConfig {
         shards: 3,
         extraction: config.clone(),
+        ..StoreConfig::default()
     });
     let mut failures_seen = 0usize;
     for k in 0..set.traces.len() {
@@ -593,6 +607,119 @@ pub fn check_scenario_on(
                 after.executions - before.executions
             ),
         });
+    }
+    // (9) streaming equivalence: a standing query fed the corpus as byte
+    // tails converges to the serial reference result, and post-convergence
+    // stat-neutral appends cost zero interventions. The watcher shares the
+    // N-worker engine, so its final (full-corpus) re-probe is answered by
+    // the interventions the one-shot sessions already cached.
+    if conf.streaming {
+        let mut watcher = Watcher::new(
+            WatchConfig {
+                store: StoreConfig {
+                    shards: 3,
+                    extraction: scenario.config.clone(),
+                    ..StoreConfig::default()
+                },
+                strategy: Strategy::Aid,
+                discovery_seed: conf.discovery_seed,
+                runs_per_round: scenario.runs_per_round,
+                first_seed: INTERVENTION_SEED,
+                prune_quorum: 1,
+                max_probe_runs: None,
+                name: format!("{}-watch", scenario.name),
+            },
+            Arc::clone(&sim),
+            multi.handle(),
+        );
+        let violate = |invariant: &'static str, detail: String, report: &mut ScenarioReport| {
+            report.violations.push(Violation {
+                scenario: scenario.name.clone(),
+                invariant,
+                detail,
+            });
+        };
+        let text = codec::encode(set);
+        let bytes = text.as_bytes();
+        let mid = bytes.len() / 2;
+        watcher.push_bytes(&bytes[..mid]);
+        let mut stream_ok = true;
+        if let Err(e) = watcher.tick() {
+            violate(
+                "streaming-equivalence",
+                format!("mid-stream tick: {e}"),
+                &mut report,
+            );
+            stream_ok = false;
+        }
+        watcher.push_bytes(&bytes[mid..]);
+        watcher.finish_tail();
+        if stream_ok {
+            match watcher.tick() {
+                Ok(_) => match watcher.converged() {
+                    Some(result) if result == &serial => {
+                        // Post-convergence economy: replaying a successful
+                        // run already in the corpus moves nothing — site
+                        // stability, duration envelopes, unique returns,
+                        // and every candidate's counts are all preserved —
+                        // so the watcher must republish without touching
+                        // the engine. (An *empty* success would not do: it
+                        // breaks every site's present-in-all-successes
+                        // stability and with it the timing/order predicate
+                        // families.)
+                        let replay: Vec<Trace> = set
+                            .traces
+                            .iter()
+                            .find(|t| matches!(t.outcome, Outcome::Success))
+                            .cloned()
+                            .into_iter()
+                            .collect();
+                        let neutral = TraceSet {
+                            methods: set.methods.clone(),
+                            objects: set.objects.clone(),
+                            traces: replay,
+                        };
+                        let before = multi.stats().executions;
+                        watcher.append_set(&neutral);
+                        match watcher.tick() {
+                            Ok(_) => {
+                                let delta = multi.stats().executions - before;
+                                if delta != 0 {
+                                    violate(
+                                        "streaming-economy",
+                                        format!("stat-neutral append executed {delta} new runs"),
+                                        &mut report,
+                                    );
+                                }
+                            }
+                            Err(e) => violate(
+                                "streaming-economy",
+                                format!("post-convergence tick: {e}"),
+                                &mut report,
+                            ),
+                        }
+                    }
+                    Some(result) => violate(
+                        "streaming-equivalence",
+                        format!(
+                            "streamed convergence differs from serial: causal {:?} vs {:?}",
+                            result.causal, serial.causal
+                        ),
+                        &mut report,
+                    ),
+                    None => violate(
+                        "streaming-equivalence",
+                        "watcher never converged over the full corpus".into(),
+                        &mut report,
+                    ),
+                },
+                Err(e) => violate(
+                    "streaming-equivalence",
+                    format!("final tick: {e}"),
+                    &mut report,
+                ),
+            }
+        }
     }
     drop(multi);
 

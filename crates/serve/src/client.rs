@@ -14,6 +14,7 @@ use crate::protocol::{
 use crate::transport::{DuplexStream, InProcConnector};
 use crate::wire::{self, FrameError, WireError};
 use aid_core::{DiscoveryResult, Strategy};
+use aid_watch::WatchEvent;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -159,6 +160,62 @@ impl SubmitSpec {
             prune_quorum: 1,
         }
     }
+}
+
+/// A standing query's parameters.
+#[derive(Clone, Debug)]
+pub struct WatchSpec {
+    /// Watcher name (server-side label).
+    pub name: String,
+    /// The extraction-configuration recipe for the streamed corpus.
+    pub analysis: AnalysisSpec,
+    /// The intervention substrate recipe (`Synth` is refused).
+    pub program: ProgramSpec,
+    /// Discovery strategy for every (re)submission.
+    pub strategy: Strategy,
+    /// Tie-breaking seed, fixed across re-runs.
+    pub discovery_seed: u64,
+    /// Intervention runs per round.
+    pub runs_per_round: u32,
+    /// First intervention seed.
+    pub first_seed: u64,
+    /// Definition-2 prune quorum.
+    pub prune_quorum: u32,
+    /// Retain at most this many traces (`None` = unbounded).
+    pub retention_traces: Option<u64>,
+    /// Retain traces at most this many appends old (`None` = unbounded).
+    pub retention_age: Option<u64>,
+    /// Lifetime probe budget in intervention runs (`None` = unbounded).
+    pub max_probe_runs: Option<u64>,
+}
+
+impl WatchSpec {
+    /// A spec with the workspace-conventional defaults and unbounded
+    /// retention/budget.
+    pub fn new(name: impl Into<String>, analysis: AnalysisSpec, program: ProgramSpec) -> WatchSpec {
+        WatchSpec {
+            name: name.into(),
+            analysis,
+            program,
+            strategy: Strategy::Aid,
+            discovery_seed: 11,
+            runs_per_round: 10,
+            first_seed: 1_000_000,
+            prune_quorum: 1,
+            retention_traces: None,
+            retention_age: None,
+            max_probe_runs: None,
+        }
+    }
+}
+
+/// One `StreamTail` round-trip's outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailReport {
+    /// Complete traces the watcher has ingested so far.
+    pub traces: u64,
+    /// The events the server-side tick over this tail produced.
+    pub events: Vec<WatchEvent>,
 }
 
 /// A blocking protocol client over any byte stream.
@@ -350,6 +407,64 @@ impl<C: Read + Write> AidClient<C> {
         }
     }
 
+    /// Opens a standing query. Overload rejection (the per-client watch
+    /// bound, or a draining server) is a typed [`Admission::Rejected`].
+    pub fn subscribe(&mut self, spec: &WatchSpec) -> Result<Admission, ClientError> {
+        let request = Request::Subscribe {
+            name: spec.name.clone(),
+            analysis: spec.analysis.clone(),
+            program: spec.program.clone(),
+            strategy: spec.strategy,
+            discovery_seed: spec.discovery_seed,
+            runs_per_round: spec.runs_per_round,
+            first_seed: spec.first_seed,
+            prune_quorum: spec.prune_quorum,
+            retention_traces: spec.retention_traces.unwrap_or(0),
+            retention_age: spec.retention_age.unwrap_or(u64::MAX),
+            max_probe_runs: spec.max_probe_runs.unwrap_or(u64::MAX),
+        };
+        match self.call(&request)? {
+            Response::Subscribed { watch } => Ok(Admission::Accepted(watch)),
+            Response::Overloaded {
+                scope,
+                in_flight,
+                limit,
+            } => Ok(Admission::Rejected(Overload {
+                scope,
+                in_flight,
+                limit,
+            })),
+            other => Err(unexpected("Subscribed or Overloaded", other)),
+        }
+    }
+
+    /// Appends one tail chunk to a standing query and returns what the
+    /// server-side tick observed. `fin` flushes end-of-stream decoder
+    /// state before the tick (further tails may still follow).
+    pub fn stream_tail(
+        &mut self,
+        watch: u32,
+        bytes: &[u8],
+        fin: bool,
+    ) -> Result<TailReport, ClientError> {
+        match self.call(&Request::StreamTail {
+            watch,
+            bytes: bytes.to_vec(),
+            fin,
+        })? {
+            Response::WatchEvents { traces, events, .. } => Ok(TailReport { traces, events }),
+            other => Err(unexpected("WatchEvents", other)),
+        }
+    }
+
+    /// Closes a standing query; returns whether the server knew the id.
+    pub fn unsubscribe(&mut self, watch: u32) -> Result<bool, ClientError> {
+        match self.call(&Request::Unsubscribe { watch })? {
+            Response::Unsubscribed { existed, .. } => Ok(existed),
+            other => Err(unexpected("Unsubscribed", other)),
+        }
+    }
+
     /// Ends the conversation cleanly and consumes the client.
     pub fn goodbye(mut self) -> Result<(), ClientError> {
         match self.call(&Request::Goodbye)? {
@@ -373,6 +488,9 @@ fn unexpected(expected: &'static str, got: Response) -> ClientError {
         Response::Cancelled { .. } => "Cancelled".to_string(),
         Response::Error { .. } => "Error".to_string(),
         Response::Bye => "Bye".to_string(),
+        Response::Subscribed { .. } => "Subscribed".to_string(),
+        Response::WatchEvents { .. } => "WatchEvents".to_string(),
+        Response::Unsubscribed { .. } => "Unsubscribed".to_string(),
     };
     ClientError::Unexpected { expected, got }
 }

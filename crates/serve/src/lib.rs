@@ -60,13 +60,16 @@ pub mod server;
 pub mod transport;
 pub mod wire;
 
-pub use client::{Admission, AidClient, ClientError, Overload, SubmitSpec, UploadReport};
+pub use client::{
+    Admission, AidClient, ClientError, Overload, SubmitSpec, TailReport, UploadReport, WatchSpec,
+};
 pub use protocol::{
     AnalysisSpec, ErrorCode, OverloadScope, ProgramSpec, Request, Response, ServerStats,
     SessionState,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use transport::{
-    duplex, in_proc, DuplexStream, InProcConnector, InProcListener, Listener, TcpTransport,
+    duplex, in_proc, Deadline, DuplexStream, InProcConnector, InProcListener, Listener,
+    TcpTransport,
 };
 pub use wire::{FrameError, WireError, PROTOCOL_VERSION};

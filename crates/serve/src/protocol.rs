@@ -14,6 +14,8 @@ use crate::wire::{self, put_bytes, put_string, Reader, WireError};
 use aid_core::{DiscoverOptions, DiscoveryResult, Phase, RoundLog, Strategy};
 use aid_lab::{BugClass, ScenarioSpec};
 use aid_predicates::PredicateId;
+use aid_trace::{FailureSignature, MethodId};
+use aid_watch::WatchEvent;
 use bytes::BufMut;
 use serde::{Deserialize, Serialize};
 
@@ -260,6 +262,99 @@ fn get_result(r: &mut Reader<'_>) -> Result<DiscoveryResult, WireError> {
     })
 }
 
+fn put_watch_event(buf: &mut Vec<u8>, event: &WatchEvent) {
+    match event {
+        WatchEvent::Converged {
+            result,
+            reprobed,
+            skipped,
+            resubmitted,
+        } => {
+            buf.put_u8(0);
+            put_result(buf, result);
+            buf.put_u32_le(*reprobed);
+            buf.put_u32_le(*skipped);
+            buf.put_u8(*resubmitted as u8);
+        }
+        WatchEvent::RootChanged { root, result } => {
+            buf.put_u8(1);
+            match root {
+                Some(id) => {
+                    buf.put_u8(1);
+                    buf.put_u32_le(id.raw());
+                }
+                None => buf.put_u8(0),
+            }
+            put_result(buf, result);
+        }
+        WatchEvent::NewFailureClass { signature, classes } => {
+            buf.put_u8(2);
+            put_string(buf, &signature.kind);
+            buf.put_u32_le(signature.method.raw());
+            buf.put_u32_le(*classes);
+        }
+        WatchEvent::BudgetExhausted { probe_runs, budget } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*probe_runs);
+            buf.put_u64_le(*budget);
+        }
+    }
+}
+
+fn get_watch_event(r: &mut Reader<'_>) -> Result<WatchEvent, WireError> {
+    match r.u8()? {
+        0 => Ok(WatchEvent::Converged {
+            result: get_result(r)?,
+            reprobed: r.u32()?,
+            skipped: r.u32()?,
+            resubmitted: r.bool("resubmitted flag")?,
+        }),
+        1 => Ok(WatchEvent::RootChanged {
+            root: if r.bool("root presence flag")? {
+                Some(PredicateId::from_raw(r.u32()?))
+            } else {
+                None
+            },
+            result: get_result(r)?,
+        }),
+        2 => Ok(WatchEvent::NewFailureClass {
+            signature: FailureSignature {
+                kind: r.string()?,
+                method: MethodId::from_raw(r.u32()?),
+            },
+            classes: r.u32()?,
+        }),
+        3 => Ok(WatchEvent::BudgetExhausted {
+            probe_runs: r.u64()?,
+            budget: r.u64()?,
+        }),
+        tag => Err(WireError::UnknownTag {
+            what: "watch event",
+            tag,
+        }),
+    }
+}
+
+fn put_watch_events(buf: &mut Vec<u8>, events: &[WatchEvent]) {
+    buf.put_u32_le(events.len() as u32);
+    for event in events {
+        put_watch_event(buf, event);
+    }
+}
+
+fn get_watch_events(r: &mut Reader<'_>) -> Result<Vec<WatchEvent>, WireError> {
+    let n = r.u32()? as usize;
+    // Every event encodes to at least one tag byte; bound the allocation
+    // by what the payload can actually hold.
+    if r.remaining() < n {
+        return Err(WireError::Truncated {
+            needed: n,
+            available: r.remaining(),
+        });
+    }
+    (0..n).map(|_| get_watch_event(r)).collect()
+}
+
 /// A client-to-server frame.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -322,6 +417,56 @@ pub enum Request {
     },
     /// Ends the conversation cleanly.
     Goodbye,
+    /// Opens a standing query: a server-side watcher with its own windowed
+    /// trace store, re-running discovery incrementally as tails arrive.
+    /// Bounded by `max_watches_per_client` (refused with
+    /// `Overloaded { scope: Client }` at the cap).
+    Subscribe {
+        /// Watcher name (server-side label for engine telemetry).
+        name: String,
+        /// The extraction-configuration recipe for the streamed corpus.
+        analysis: AnalysisSpec,
+        /// The intervention substrate (rebuilt server-side; `Synth` is
+        /// refused — the oracle consumes no trace stream).
+        program: ProgramSpec,
+        /// Discovery strategy for every (re)submission.
+        strategy: Strategy,
+        /// Tie-breaking seed, fixed across re-runs.
+        discovery_seed: u64,
+        /// Intervention runs per round.
+        runs_per_round: u32,
+        /// First intervention seed.
+        first_seed: u64,
+        /// Definition-2 prune quorum.
+        prune_quorum: u32,
+        /// Retention bound by trace count (`0` = unbounded).
+        retention_traces: u64,
+        /// Retention bound by batch age in appends (`u64::MAX` =
+        /// unbounded; `0` retains only the most recent append).
+        retention_age: u64,
+        /// Lifetime probe budget in intervention runs (`u64::MAX` =
+        /// unbounded).
+        max_probe_runs: u64,
+    },
+    /// One chunk of a watched trace tail (same streaming decoder semantics
+    /// as `UploadChunk`; counted against the same per-client upload
+    /// quota). The server appends, ticks the watcher, and answers with
+    /// the tick's `WatchEvents`.
+    StreamTail {
+        /// The watch id from `Subscribed`.
+        watch: u32,
+        /// Raw log bytes (chunks may split lines anywhere).
+        bytes: Vec<u8>,
+        /// Flushes end-of-stream decoder state before ticking
+        /// (quarantining a dangling partial line). Further tails may
+        /// still follow.
+        fin: bool,
+    },
+    /// Closes a standing query, freeing its admission slot.
+    Unsubscribe {
+        /// The watch id from `Subscribed`.
+        watch: u32,
+    },
 }
 
 const REQ_HELLO: u8 = 1;
@@ -334,6 +479,9 @@ const REQ_STREAM: u8 = 7;
 const REQ_STATS: u8 = 8;
 const REQ_CANCEL: u8 = 9;
 const REQ_GOODBYE: u8 = 10;
+const REQ_SUBSCRIBE: u8 = 11;
+const REQ_STREAM_TAIL: u8 = 12;
+const REQ_UNSUBSCRIBE: u8 = 13;
 
 impl Request {
     /// Encodes the request as one complete frame.
@@ -385,6 +533,42 @@ impl Request {
                 REQ_CANCEL
             }
             Request::Goodbye => REQ_GOODBYE,
+            Request::Subscribe {
+                name,
+                analysis,
+                program,
+                strategy,
+                discovery_seed,
+                runs_per_round,
+                first_seed,
+                prune_quorum,
+                retention_traces,
+                retention_age,
+                max_probe_runs,
+            } => {
+                put_string(&mut p, name);
+                put_analysis_spec(&mut p, analysis);
+                put_program_spec(&mut p, program);
+                put_strategy(&mut p, *strategy);
+                p.put_u64_le(*discovery_seed);
+                p.put_u32_le(*runs_per_round);
+                p.put_u64_le(*first_seed);
+                p.put_u32_le(*prune_quorum);
+                p.put_u64_le(*retention_traces);
+                p.put_u64_le(*retention_age);
+                p.put_u64_le(*max_probe_runs);
+                REQ_SUBSCRIBE
+            }
+            Request::StreamTail { watch, bytes, fin } => {
+                p.put_u32_le(*watch);
+                put_bytes(&mut p, bytes);
+                p.put_u8(*fin as u8);
+                REQ_STREAM_TAIL
+            }
+            Request::Unsubscribe { watch } => {
+                p.put_u32_le(*watch);
+                REQ_UNSUBSCRIBE
+            }
         };
         wire::frame(kind, &p)
     }
@@ -415,6 +599,25 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_CANCEL => Request::Cancel { session: r.u32()? },
             REQ_GOODBYE => Request::Goodbye,
+            REQ_SUBSCRIBE => Request::Subscribe {
+                name: r.string()?,
+                analysis: get_analysis_spec(&mut r)?,
+                program: get_program_spec(&mut r)?,
+                strategy: get_strategy(&mut r)?,
+                discovery_seed: r.u64()?,
+                runs_per_round: r.u32()?,
+                first_seed: r.u64()?,
+                prune_quorum: r.u32()?,
+                retention_traces: r.u64()?,
+                retention_age: r.u64()?,
+                max_probe_runs: r.u64()?,
+            },
+            REQ_STREAM_TAIL => Request::StreamTail {
+                watch: r.u32()?,
+                bytes: r.bytes()?,
+                fin: r.bool("tail fin flag")?,
+            },
+            REQ_UNSUBSCRIBE => Request::Unsubscribe { watch: r.u32()? },
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "request kind",
@@ -491,6 +694,12 @@ pub enum ErrorCode {
     /// The server is at its connection cap; sent once on accept, then
     /// the connection is closed.
     TooManyConnections,
+    /// `StreamTail`/`Unsubscribe` named a watch id this connection does
+    /// not hold (never subscribed, or already unsubscribed).
+    UnknownWatch,
+    /// `Subscribe` named a program that consumes no trace stream (the
+    /// synthetic oracle): there is nothing for a standing query to watch.
+    Unwatchable,
 }
 
 fn put_error_code(buf: &mut Vec<u8>, code: ErrorCode) {
@@ -501,6 +710,8 @@ fn put_error_code(buf: &mut Vec<u8>, code: ErrorCode) {
         ErrorCode::Internal => 3,
         ErrorCode::UploadTooLarge => 4,
         ErrorCode::TooManyConnections => 5,
+        ErrorCode::UnknownWatch => 6,
+        ErrorCode::Unwatchable => 7,
     });
 }
 
@@ -512,6 +723,8 @@ fn get_error_code(r: &mut Reader<'_>) -> Result<ErrorCode, WireError> {
         3 => Ok(ErrorCode::Internal),
         4 => Ok(ErrorCode::UploadTooLarge),
         5 => Ok(ErrorCode::TooManyConnections),
+        6 => Ok(ErrorCode::UnknownWatch),
+        7 => Ok(ErrorCode::Unwatchable),
         tag => Err(WireError::UnknownTag {
             what: "error code",
             tag,
@@ -570,6 +783,23 @@ pub struct ServerStats {
     pub sessions_completed: u64,
     /// Engine: highest simultaneously-pending session count observed.
     pub peak_pending: u64,
+    // --- appended by the streaming protocol revision (new fields go at
+    // the end: the stats payload is a flat u64 list in declaration order).
+    /// Stores: traces evicted by windowed retention, across connections.
+    pub store_evicted: u64,
+    /// Stores: shard compaction passes that evicted at least one trace.
+    pub store_compactions: u64,
+    /// Standing queries: candidate predicates re-probed after a delta.
+    pub view_reprobed: u64,
+    /// Standing queries: candidate predicates skipped as unchanged.
+    pub view_skipped: u64,
+    /// Standing queries opened.
+    pub watches_subscribed: u64,
+    /// Watch events emitted to clients.
+    pub watch_events: u64,
+    /// Idle read-timeout ticks across connection handlers (the exponential
+    /// backoff keeps this near-constant per idle second, not per 100 ms).
+    pub idle_ticks: u64,
 }
 
 impl ServerStats {
@@ -614,6 +844,13 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
         s.cache_entries,
         s.sessions_completed,
         s.peak_pending,
+        s.store_evicted,
+        s.store_compactions,
+        s.view_reprobed,
+        s.view_skipped,
+        s.watches_subscribed,
+        s.watch_events,
+        s.idle_ticks,
     ] {
         buf.put_u64_le(v);
     }
@@ -644,6 +881,13 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
         cache_entries: r.u64()?,
         sessions_completed: r.u64()?,
         peak_pending: r.u64()?,
+        store_evicted: r.u64()?,
+        store_compactions: r.u64()?,
+        view_reprobed: r.u64()?,
+        view_skipped: r.u64()?,
+        watches_subscribed: r.u64()?,
+        watch_events: r.u64()?,
+        idle_ticks: r.u64()?,
     })
 }
 
@@ -721,6 +965,29 @@ pub enum Response {
     },
     /// Answer to `Goodbye`; the server closes the connection after it.
     Bye,
+    /// The standing query was opened; stream tails to this id.
+    Subscribed {
+        /// The watch's id on this connection.
+        watch: u32,
+    },
+    /// Answer to `StreamTail`: what the watcher's tick over the appended
+    /// tail observed.
+    WatchEvents {
+        /// The ticked watch id.
+        watch: u32,
+        /// Complete traces the watcher has ingested so far.
+        traces: u64,
+        /// The tick's events (empty when nothing new arrived or no
+        /// failure is retained).
+        events: Vec<WatchEvent>,
+    },
+    /// Answer to `Unsubscribe`.
+    Unsubscribed {
+        /// The closed watch id.
+        watch: u32,
+        /// Whether the id named a live watch.
+        existed: bool,
+    },
 }
 
 const RESP_HELLO_OK: u8 = 1;
@@ -733,6 +1000,9 @@ const RESP_STATS_OK: u8 = 7;
 const RESP_CANCELLED: u8 = 8;
 const RESP_ERROR: u8 = 9;
 const RESP_BYE: u8 = 10;
+const RESP_SUBSCRIBED: u8 = 11;
+const RESP_WATCH_EVENTS: u8 = 12;
+const RESP_UNSUBSCRIBED: u8 = 13;
 
 impl Response {
     /// Encodes the response as one complete frame.
@@ -812,6 +1082,25 @@ impl Response {
                 RESP_ERROR
             }
             Response::Bye => RESP_BYE,
+            Response::Subscribed { watch } => {
+                p.put_u32_le(*watch);
+                RESP_SUBSCRIBED
+            }
+            Response::WatchEvents {
+                watch,
+                traces,
+                events,
+            } => {
+                p.put_u32_le(*watch);
+                p.put_u64_le(*traces);
+                put_watch_events(&mut p, events);
+                RESP_WATCH_EVENTS
+            }
+            Response::Unsubscribed { watch, existed } => {
+                p.put_u32_le(*watch);
+                p.put_u8(*existed as u8);
+                RESP_UNSUBSCRIBED
+            }
         };
         wire::frame(kind, &p)
     }
@@ -876,6 +1165,16 @@ impl Response {
                 message: r.string()?,
             },
             RESP_BYE => Response::Bye,
+            RESP_SUBSCRIBED => Response::Subscribed { watch: r.u32()? },
+            RESP_WATCH_EVENTS => Response::WatchEvents {
+                watch: r.u32()?,
+                traces: r.u64()?,
+                events: get_watch_events(&mut r)?,
+            },
+            RESP_UNSUBSCRIBED => Response::Unsubscribed {
+                watch: r.u32()?,
+                existed: r.bool("unsubscribe existed flag")?,
+            },
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "response kind",
@@ -946,6 +1245,70 @@ mod tests {
                     pruned: vec![],
                 }],
             }),
+        };
+        let bytes = resp.encode();
+        let (back, _) = Response::decode(&bytes, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn subscribe_and_watch_events_round_trip() {
+        let req = Request::Subscribe {
+            name: "ci-tail".into(),
+            analysis: AnalysisSpec::Case {
+                name: "npgsql".into(),
+            },
+            program: ProgramSpec::Case {
+                name: "npgsql".into(),
+            },
+            strategy: Strategy::Aid,
+            discovery_seed: 11,
+            runs_per_round: 10,
+            first_seed: 1_000_000,
+            prune_quorum: 1,
+            retention_traces: 500,
+            retention_age: u64::MAX,
+            max_probe_runs: u64::MAX,
+        };
+        let bytes = req.encode();
+        let (back, consumed) = Request::decode(&bytes, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(consumed, bytes.len());
+
+        let p = |i: u32| PredicateId::from_raw(i);
+        let result = DiscoveryResult {
+            causal: vec![p(2)],
+            spurious: vec![p(0)],
+            failure: p(3),
+            rounds: 2,
+            log: vec![],
+        };
+        let resp = Response::WatchEvents {
+            watch: 7,
+            traces: 41,
+            events: vec![
+                WatchEvent::NewFailureClass {
+                    signature: FailureSignature {
+                        kind: "NullReferenceException".into(),
+                        method: MethodId::from_raw(5),
+                    },
+                    classes: 2,
+                },
+                WatchEvent::Converged {
+                    result: result.clone(),
+                    reprobed: 3,
+                    skipped: 9,
+                    resubmitted: true,
+                },
+                WatchEvent::RootChanged {
+                    root: Some(p(2)),
+                    result,
+                },
+                WatchEvent::BudgetExhausted {
+                    probe_runs: 120,
+                    budget: 100,
+                },
+            ],
         };
         let bytes = resp.encode();
         let (back, _) = Response::decode(&bytes, wire::DEFAULT_MAX_FRAME_LEN).unwrap();

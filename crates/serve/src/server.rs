@@ -22,14 +22,15 @@ use crate::protocol::{
     options_from_wire, AnalysisSpec, ErrorCode, OverloadScope, ProgramSpec, Request, Response,
     ServerStats, SessionState,
 };
-use crate::transport::Listener;
+use crate::transport::{Deadline, Listener, ACCEPTED_READ_TIMEOUT, MAX_IDLE_READ_TIMEOUT};
 use crate::wire::{self, FrameError, PROTOCOL_VERSION};
 use aid_cases::all_cases;
 use aid_core::Strategy;
 use aid_engine::{DiscoveryJob, Engine, EngineConfig, EngineHandle, Session, SessionPoll};
 use aid_sim::Simulator;
-use aid_store::{StoreConfig, TraceStore};
+use aid_store::{RetentionPolicy, StoreConfig, TraceStore};
 use aid_synth::SynthParams;
+use aid_watch::{WatchConfig, Watcher};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
@@ -48,6 +49,11 @@ pub struct ServeConfig {
     /// Undelivered sessions one connection may hold before submissions
     /// are refused with `Overloaded { scope: Client }`.
     pub max_sessions_per_client: usize,
+    /// Standing queries one connection may hold open before `Subscribe`
+    /// is refused with `Overloaded { scope: Client }` — each watch costs
+    /// a windowed trace store and re-runs discovery on its ticks, so the
+    /// bound sits well below the session bound.
+    pub max_watches_per_client: usize,
     /// Simultaneously open connections before further accepts are
     /// answered with `Error { code: TooManyConnections }` and closed —
     /// each connection costs a handler thread and a trace store, so the
@@ -75,6 +81,7 @@ impl Default for ServeConfig {
             engine: EngineConfig::default(),
             store: StoreConfig::default(),
             max_sessions_per_client: 4,
+            max_watches_per_client: 2,
             max_connections: 256,
             // Generous next to real corpora (the six case studies encode
             // to ~100 KiB each) while bounding a hostile uploader.
@@ -108,6 +115,13 @@ struct Counters {
     sessions_delivered: AtomicU64,
     sessions_lost: AtomicU64,
     protocol_errors: AtomicU64,
+    store_evicted: AtomicU64,
+    store_compactions: AtomicU64,
+    view_reprobed: AtomicU64,
+    view_skipped: AtomicU64,
+    watches_subscribed: AtomicU64,
+    watch_events: AtomicU64,
+    idle_ticks: AtomicU64,
 }
 
 struct ServerShared {
@@ -147,6 +161,13 @@ impl ServerShared {
             cache_entries: e.cache_entries as u64,
             sessions_completed: e.sessions_completed,
             peak_pending: e.peak_pending,
+            store_evicted: c.store_evicted.load(Relaxed),
+            store_compactions: c.store_compactions.load(Relaxed),
+            view_reprobed: c.view_reprobed.load(Relaxed),
+            view_skipped: c.view_skipped.load(Relaxed),
+            watches_subscribed: c.watches_subscribed.load(Relaxed),
+            watch_events: c.watch_events.load(Relaxed),
+            idle_ticks: c.idle_ticks.load(Relaxed),
         }
     }
 }
@@ -297,17 +318,71 @@ fn accept_loop<L: Listener>(listener: L, shared: Arc<ServerShared>) {
     }
 }
 
-/// Per-connection state: the client's trace store and its undelivered
-/// session tickets.
+/// A store's counters already folded into the server-wide picture — the
+/// store's own counters are cumulative, so folding must be by delta or a
+/// second fold double-counts.
+#[derive(Clone, Copy, Default)]
+struct StoreFold {
+    traces: u64,
+    quarantined: u64,
+    evicted: u64,
+    compactions: u64,
+    reprobed: u64,
+    skipped: u64,
+}
+
+impl StoreFold {
+    /// Folds the delta between `stats` and this record into the
+    /// server-wide counters, then advances the record.
+    fn fold(&mut self, counters: &Counters, stats: &aid_store::StoreStats) {
+        let now = StoreFold {
+            traces: stats.ingest.traces,
+            quarantined: stats.ingest.quarantined,
+            evicted: stats.columns.evicted as u64,
+            compactions: stats.columns.compactions as u64,
+            reprobed: stats.view.predicates_reprobed,
+            skipped: stats.view.predicates_skipped,
+        };
+        counters
+            .traces_ingested
+            .fetch_add(now.traces - self.traces, Relaxed);
+        counters
+            .records_quarantined
+            .fetch_add(now.quarantined - self.quarantined, Relaxed);
+        counters
+            .store_evicted
+            .fetch_add(now.evicted - self.evicted, Relaxed);
+        counters
+            .store_compactions
+            .fetch_add(now.compactions - self.compactions, Relaxed);
+        counters
+            .view_reprobed
+            .fetch_add(now.reprobed - self.reprobed, Relaxed);
+        counters
+            .view_skipped
+            .fetch_add(now.skipped - self.skipped, Relaxed);
+        *self = now;
+    }
+}
+
+/// One standing query and its fold cursor.
+struct WatchEntry {
+    watcher: Watcher,
+    folded: StoreFold,
+}
+
+/// Per-connection state: the client's trace store, its undelivered
+/// session tickets, and its standing queries.
 struct ClientCtx {
     store: TraceStore,
     sessions: HashMap<u32, Session>,
+    watches: HashMap<u32, WatchEntry>,
+    next_watch: u32,
     engine: EngineHandle,
-    /// Store ingest totals already folded into the server-wide counters —
-    /// the decoder's counters are cumulative across streams, so folding
-    /// must be by delta or a second `FinishUpload` double-counts.
-    folded: (u64, u64),
-    /// Bytes ingested against the current upload's quota.
+    /// Fold cursor for the upload store's counters.
+    folded: StoreFold,
+    /// Bytes ingested against the current upload's quota (tail appends
+    /// count against the same budget).
     upload_bytes: u64,
 }
 
@@ -317,25 +392,47 @@ enum Flow {
     Close,
 }
 
-fn serve_connection<C: Read + Write>(shared: &Arc<ServerShared>, mut conn: C) {
+fn serve_connection<C: Read + Write + Deadline>(shared: &Arc<ServerShared>, mut conn: C) {
     let mut ctx = ClientCtx {
         store: TraceStore::with_pool(shared.config.store.clone(), shared.engine_pool()),
         sessions: HashMap::new(),
+        watches: HashMap::new(),
+        next_watch: 1,
         engine: shared.engine.handle(),
-        folded: (0, 0),
+        folded: StoreFold::default(),
         upload_bytes: 0,
     };
+    let mut idle = ACCEPTED_READ_TIMEOUT;
     loop {
         let (kind, payload) = match wire::read_frame(&mut conn, shared.config.max_frame_len) {
-            Ok(Some(frame)) => frame,
+            Ok(Some(frame)) => {
+                // Traffic: snap the idle backoff down to the floor so the
+                // next drain check after this burst is prompt again.
+                if idle != ACCEPTED_READ_TIMEOUT {
+                    idle = ACCEPTED_READ_TIMEOUT;
+                    if conn.set_read_deadline(Some(idle)).is_err() {
+                        break;
+                    }
+                }
+                frame
+            }
             // Clean hang-up between frames.
             Ok(None) => break,
             // The accepted connection's read timeout ticked while idle:
             // poll the drain flag so shutdown never hangs on a client
-            // that stays connected but silent.
+            // that stays connected but silent, then back the timeout off
+            // exponentially — an idle connection must not burn a wakeup
+            // every 100 ms forever.
             Err(FrameError::IdleTimeout) => {
+                shared.counters.idle_ticks.fetch_add(1, Relaxed);
                 if shared.shutdown.load(Relaxed) {
                     break;
+                }
+                if idle < MAX_IDLE_READ_TIMEOUT {
+                    idle = (idle * 2).min(MAX_IDLE_READ_TIMEOUT);
+                    if conn.set_read_deadline(Some(idle)).is_err() {
+                        break;
+                    }
                 }
                 continue;
             }
@@ -388,8 +485,15 @@ fn serve_connection<C: Read + Write>(shared: &Arc<ServerShared>, mut conn: C) {
             Err(_) => break,
         }
     }
-    // `ctx` drops here: undelivered tickets are discarded and the engine
-    // runs their sessions to completion internally.
+    // Fold what the connection's stores observed before `ctx` drops
+    // (undelivered tickets are discarded and the engine runs their
+    // sessions to completion internally).
+    ctx.folded.fold(&shared.counters, &ctx.store.stats());
+    for entry in ctx.watches.values_mut() {
+        entry
+            .folded
+            .fold(&shared.counters, &entry.watcher.store_stats());
+    }
 }
 
 impl ServerShared {
@@ -440,8 +544,11 @@ fn handle_request<C: Write>(
             };
             let mut store_config = shared.config.store.clone();
             store_config.extraction = extraction;
+            // Fold what the replaced store had ingested, then reset the
+            // cursor: the fresh store's counters restart at zero.
+            ctx.folded.fold(&shared.counters, &ctx.store.stats());
             ctx.store = TraceStore::with_pool(store_config, shared.engine_pool());
-            ctx.folded = (0, 0);
+            ctx.folded = StoreFold::default();
             ctx.upload_bytes = 0;
             send(shared, conn, &upload_ack(ctx, false))?;
         }
@@ -475,17 +582,7 @@ fn handle_request<C: Write>(
             // the boundary where they stop changing — by delta, because
             // the decoder's counters are cumulative and a client may run
             // several streams through one store.
-            let stats = ctx.store.stats();
-            let (traces, quarantined) = (stats.ingest.traces, stats.ingest.quarantined);
-            shared
-                .counters
-                .traces_ingested
-                .fetch_add(traces - ctx.folded.0, Relaxed);
-            shared
-                .counters
-                .records_quarantined
-                .fetch_add(quarantined - ctx.folded.1, Relaxed);
-            ctx.folded = (traces, quarantined);
+            ctx.folded.fold(&shared.counters, &ctx.store.stats());
             send(shared, conn, &upload_ack(ctx, analyzed))?;
         }
         Request::SubmitDiscovery {
@@ -568,8 +665,187 @@ fn handle_request<C: Write>(
             send(shared, conn, &Response::Bye)?;
             return Ok(Flow::Close);
         }
+        Request::Subscribe {
+            name,
+            analysis,
+            program,
+            strategy,
+            discovery_seed,
+            runs_per_round,
+            first_seed,
+            prune_quorum,
+            retention_traces,
+            retention_age,
+            max_probe_runs,
+        } => {
+            let response = admit_watch(
+                shared,
+                ctx,
+                name,
+                &analysis,
+                &program,
+                strategy,
+                discovery_seed,
+                runs_per_round,
+                first_seed,
+                prune_quorum,
+                retention_traces,
+                retention_age,
+                max_probe_runs,
+            );
+            send(shared, conn, &response)?;
+        }
+        Request::StreamTail { watch, bytes, fin } => {
+            if ctx.upload_bytes + bytes.len() as u64 > shared.config.max_upload_bytes {
+                send(
+                    shared,
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::UploadTooLarge,
+                        message: format!(
+                            "tail exceeds the {} byte quota; BeginUpload resets it",
+                            shared.config.max_upload_bytes
+                        ),
+                    },
+                )?;
+                return Ok(Flow::Continue);
+            }
+            let Some(entry) = ctx.watches.get_mut(&watch) else {
+                send(
+                    shared,
+                    conn,
+                    &Response::Error {
+                        code: ErrorCode::UnknownWatch,
+                        message: format!("no standing query with id {watch} on this connection"),
+                    },
+                )?;
+                return Ok(Flow::Continue);
+            };
+            ctx.upload_bytes += bytes.len() as u64;
+            shared.counters.upload_chunks.fetch_add(1, Relaxed);
+            entry.watcher.push_bytes(&bytes);
+            if fin {
+                entry.watcher.finish_tail();
+            }
+            let response = match entry.watcher.tick() {
+                Ok(events) => {
+                    shared
+                        .counters
+                        .watch_events
+                        .fetch_add(events.len() as u64, Relaxed);
+                    entry
+                        .folded
+                        .fold(&shared.counters, &entry.watcher.store_stats());
+                    Response::WatchEvents {
+                        watch,
+                        traces: entry.watcher.store_stats().ingest.traces,
+                        events,
+                    }
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                },
+            };
+            send(shared, conn, &response)?;
+        }
+        Request::Unsubscribe { watch } => {
+            let existed = match ctx.watches.remove(&watch) {
+                Some(mut entry) => {
+                    entry
+                        .folded
+                        .fold(&shared.counters, &entry.watcher.store_stats());
+                    true
+                }
+                None => false,
+            };
+            send(shared, conn, &Response::Unsubscribed { watch, existed })?;
+        }
     }
     Ok(Flow::Continue)
+}
+
+/// Admission control + watcher construction for one standing query.
+#[allow(clippy::too_many_arguments)]
+fn admit_watch(
+    shared: &ServerShared,
+    ctx: &mut ClientCtx,
+    name: String,
+    analysis: &AnalysisSpec,
+    program: &ProgramSpec,
+    strategy: Strategy,
+    discovery_seed: u64,
+    runs_per_round: u32,
+    first_seed: u64,
+    prune_quorum: u32,
+    retention_traces: u64,
+    retention_age: u64,
+    max_probe_runs: u64,
+) -> Response {
+    let limit = shared.config.max_watches_per_client;
+    if shared.shutdown.load(Relaxed) {
+        shared.counters.rejected_engine.fetch_add(1, Relaxed);
+        return Response::Overloaded {
+            scope: OverloadScope::Draining,
+            in_flight: ctx.watches.len() as u32,
+            limit: limit as u32,
+        };
+    }
+    if ctx.watches.len() >= limit {
+        shared.counters.rejected_client.fetch_add(1, Relaxed);
+        return Response::Overloaded {
+            scope: OverloadScope::Client,
+            in_flight: ctx.watches.len() as u32,
+            limit: limit as u32,
+        };
+    }
+    let simulator = match program {
+        ProgramSpec::Synth { .. } => {
+            return Response::Error {
+                code: ErrorCode::Unwatchable,
+                message: "the synthetic oracle consumes no trace stream; nothing to watch".into(),
+            }
+        }
+        ProgramSpec::Case { name: case } => match find_case(case) {
+            Ok(case) => Simulator::new(case.program).with_backend(shared.config.backend),
+            Err((code, message)) => return Response::Error { code, message },
+        },
+        ProgramSpec::Lab(spec) => {
+            Simulator::new(aid_lab::build(spec).program).with_backend(shared.config.backend)
+        }
+    };
+    let extraction = match resolve_extraction(shared, analysis) {
+        Ok(extraction) => extraction,
+        Err((code, message)) => return Response::Error { code, message },
+    };
+    let mut store = shared.config.store.clone();
+    store.extraction = extraction;
+    store.retention = RetentionPolicy {
+        max_traces: (retention_traces > 0).then_some(retention_traces as usize),
+        max_age: (retention_age != u64::MAX).then_some(retention_age),
+    };
+    let config = WatchConfig {
+        store,
+        strategy,
+        discovery_seed,
+        runs_per_round: runs_per_round.max(1) as usize,
+        first_seed,
+        prune_quorum: prune_quorum.max(1) as usize,
+        max_probe_runs: (max_probe_runs != u64::MAX).then_some(max_probe_runs),
+        name,
+    };
+    let watcher = Watcher::new(config, Arc::new(simulator), shared.engine.handle());
+    let id = ctx.next_watch;
+    ctx.next_watch += 1;
+    ctx.watches.insert(
+        id,
+        WatchEntry {
+            watcher,
+            folded: StoreFold::default(),
+        },
+    );
+    shared.counters.watches_subscribed.fetch_add(1, Relaxed);
+    Response::Subscribed { watch: id }
 }
 
 fn upload_ack(ctx: &ClientCtx, analyzed: bool) -> Response {

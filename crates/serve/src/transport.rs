@@ -18,13 +18,41 @@ use std::time::Duration;
 /// handler threads wake periodically to poll the drain flag instead of
 /// blocking in a read forever when a client goes idle or silent.
 /// (Client-side connections set no timeout: a client legitimately blocks
-/// for as long as a streamed session takes.)
+/// for as long as a streamed session takes.) This is the *floor*: an idle
+/// connection's timeout backs off exponentially up to
+/// [`MAX_IDLE_READ_TIMEOUT`] and snaps back on traffic, so a thousand
+/// idle connections cost ~1 wakeup/s each instead of 10.
 pub const ACCEPTED_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Ceiling of the idle read-timeout backoff. Also the worst-case extra
+/// latency before an idle handler notices the drain flag — shutdown stays
+/// prompt at one second.
+pub const MAX_IDLE_READ_TIMEOUT: Duration = Duration::from_millis(1000);
+
+/// Per-connection read-deadline control, required of every accepted
+/// connection so the server can back its idle poll off exponentially.
+pub trait Deadline {
+    /// Bounds how long a read blocks; `None` blocks indefinitely.
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Deadline for DuplexStream {
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout);
+        Ok(())
+    }
+}
+
+impl Deadline for std::net::TcpStream {
+    fn set_read_deadline(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
 
 /// A source of inbound connections the server can accept from.
 pub trait Listener: Send + 'static {
     /// The byte-stream type a successful accept yields.
-    type Conn: io::Read + io::Write + Send + 'static;
+    type Conn: io::Read + io::Write + Deadline + Send + 'static;
 
     /// Waits up to `timeout` for the next connection. `Ok(None)` means the
     /// timeout elapsed (poll your shutdown flag and call again); `Err`

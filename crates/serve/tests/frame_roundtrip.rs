@@ -10,6 +10,8 @@ use aid_lab::{BugClass, ScenarioSpec};
 use aid_predicates::PredicateId;
 use aid_serve::wire::{self, WireError};
 use aid_serve::{AnalysisSpec, ProgramSpec, Request, Response, ServerStats, SessionState};
+use aid_trace::{FailureSignature, MethodId};
+use aid_watch::WatchEvent;
 use proptest::prelude::*;
 
 const MAX: usize = wire::DEFAULT_MAX_FRAME_LEN;
@@ -20,7 +22,7 @@ type RawRequest = (u8, (u64, u64, u32), Vec<u8>, Vec<u8>);
 
 fn raw_request() -> impl Strategy<Value = RawRequest> {
     (
-        0u8..=9,
+        0u8..=12,
         (0u64..1 << 48, 0u64..1 << 48, 0u32..1 << 20),
         proptest::collection::vec(0u8..26, 0..12),
         proptest::collection::vec(0u8..=255, 0..64),
@@ -91,6 +93,40 @@ fn build_request((selector, (a, b, c), alpha, bytes): RawRequest) -> Request {
         6 => Request::Stream { session: c },
         7 => Request::Stats,
         8 => Request::Cancel { session: c },
+        9 => Request::Subscribe {
+            name: name.clone(),
+            analysis: match a % 2 {
+                0 => AnalysisSpec::Default,
+                _ => AnalysisSpec::Lab(ScenarioSpec {
+                    seed: b,
+                    attempt: c % 24,
+                    bug_class: BugClass::ALL[(a % 5) as usize],
+                    mirrors: (c % 10) as usize,
+                    chain: (c % 4) as usize,
+                    monitors: (c % 3) as usize,
+                    noise_threads: (c % 4) as usize,
+                }),
+            },
+            program: ProgramSpec::Case { name: name.clone() },
+            strategy: if b % 2 == 0 {
+                DiscoveryStrategy::Aid
+            } else {
+                DiscoveryStrategy::Tagt
+            },
+            discovery_seed: a,
+            runs_per_round: c,
+            first_seed: b,
+            prune_quorum: c % 7,
+            retention_traces: a ^ b,
+            retention_age: b.wrapping_mul(3),
+            max_probe_runs: a.wrapping_add(b),
+        },
+        10 => Request::StreamTail {
+            watch: c,
+            bytes,
+            fin: a % 2 == 0,
+        },
+        11 => Request::Unsubscribe { watch: c },
         _ => Request::Goodbye,
     }
 }
@@ -101,7 +137,7 @@ type RawResponse = (u8, (u64, u64, u32), Vec<u8>, Vec<u32>, Vec<u32>);
 
 fn raw_response() -> impl Strategy<Value = RawResponse> {
     (
-        0u8..=9,
+        0u8..=12,
         (0u64..1 << 48, 0u64..1 << 48, 0u32..1 << 20),
         proptest::collection::vec(0u8..26, 0..12),
         proptest::collection::vec(0u32..1 << 16, 0..8),
@@ -193,21 +229,74 @@ fn build_response((selector, (a, b, c), alpha, ids, ids2): RawResponse) -> Respo
             cache_entries: b % 1000,
             sessions_completed: a % 500,
             peak_pending: b % 64,
+            store_evicted: a % 333,
+            store_compactions: b % 19,
+            view_reprobed: a % 777,
+            view_skipped: b % 777,
+            watches_subscribed: a % 29,
+            watch_events: b % 555,
+            idle_ticks: a % 10_000,
         }),
         7 => Response::Cancelled {
             session: c,
             existed: a % 2 == 0,
         },
         8 => Response::Error {
-            code: match a % 6 {
+            code: match a % 8 {
                 0 => aid_serve::ErrorCode::Malformed,
                 1 => aid_serve::ErrorCode::UnknownCase,
                 2 => aid_serve::ErrorCode::NoAnalysis,
                 3 => aid_serve::ErrorCode::Internal,
                 4 => aid_serve::ErrorCode::UploadTooLarge,
-                _ => aid_serve::ErrorCode::TooManyConnections,
+                5 => aid_serve::ErrorCode::TooManyConnections,
+                6 => aid_serve::ErrorCode::UnknownWatch,
+                _ => aid_serve::ErrorCode::Unwatchable,
             },
             message: name,
+        },
+        9 => Response::Subscribed { watch: c },
+        10 => Response::WatchEvents {
+            watch: c,
+            traces: a,
+            events: ids
+                .iter()
+                .map(|&i| {
+                    let result = DiscoveryResult {
+                        causal: predicates(&ids2),
+                        spurious: predicates(&ids[..ids.len().min(3)]),
+                        failure: PredicateId::from_raw(i),
+                        rounds: (i % 50) as usize,
+                        log: vec![],
+                    };
+                    match i % 4 {
+                        0 => WatchEvent::Converged {
+                            result,
+                            reprobed: i ^ 1,
+                            skipped: i ^ 2,
+                            resubmitted: i % 8 < 4,
+                        },
+                        1 => WatchEvent::RootChanged {
+                            root: (i % 3 == 0).then(|| PredicateId::from_raw(i / 2)),
+                            result,
+                        },
+                        2 => WatchEvent::NewFailureClass {
+                            signature: FailureSignature {
+                                kind: name_from(&alpha),
+                                method: MethodId::from_raw(i),
+                            },
+                            classes: i % 12,
+                        },
+                        _ => WatchEvent::BudgetExhausted {
+                            probe_runs: a ^ u64::from(i),
+                            budget: b ^ u64::from(i),
+                        },
+                    }
+                })
+                .collect(),
+        },
+        11 => Response::Unsubscribed {
+            watch: c,
+            existed: a % 2 == 0,
         },
         _ => Response::Bye,
     }

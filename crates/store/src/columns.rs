@@ -16,6 +16,17 @@
 //! exactly, and `ColumnStore::to_trace_set` reproduces a `TraceSet` whose
 //! `aid_trace::codec::encode` output is byte-identical to one built by
 //! pushing the same traces into a `TraceSet` directly.
+//!
+//! For unbounded streams the store additionally supports **windowed
+//! retention**: [`ColumnStore::evict_front`] compacts every shard in place,
+//! dropping the oldest traces while global ids stay stable (ids are never
+//! reused; the retained window is `retained()`). A [`RetentionPolicy`]
+//! expresses the window by trace count and/or age in append batches, and
+//! [`ColumnStore::apply_retention`] enforces it after each append. The
+//! lossless re-encode property holds *per retained window*: `to_trace_set`
+//! reproduces exactly the suffix of traces still retained (interning
+//! arenas are append-only and survive eviction, so remap tables from
+//! earlier batches stay valid).
 
 use aid_engine::WorkerPool;
 use aid_trace::{
@@ -44,6 +55,9 @@ struct Shard {
     // Per-trace columns.
     seed: Vec<u64>,
     duration: Vec<Time>,
+    /// Logical append tick (the store clock at append time), for age-based
+    /// retention.
+    tick: Vec<u64>,
     /// Interned failure kind + 1; `0` marks a successful run.
     fail_kind: Vec<u32>,
     fail_method: Vec<u32>,
@@ -69,11 +83,12 @@ struct Shard {
 
 impl Shard {
     /// Appends a one-trace block, fixing up extent offsets.
-    fn push_block(&mut self, b: Block) {
+    fn push_block(&mut self, b: Block, tick: u64) {
         let ev_base = self.ev_method.len() as u32;
         let ac_base = self.ac_object.len() as u32;
         self.seed.push(b.seed);
         self.duration.push(b.duration);
+        self.tick.push(tick);
         self.fail_kind.push(b.fail_kind);
         self.fail_method.push(b.fail_method);
         self.event_start.push(ev_base);
@@ -92,6 +107,81 @@ impl Shard {
         self.ac_object.extend(b.ac_object);
         self.ac_at.extend(b.ac_at);
         self.ac_flags.extend(b.ac_flags);
+    }
+
+    /// Compacts the shard in place, dropping its oldest `rows` traces and
+    /// every event/access row they own, and rebasing the surviving extent
+    /// offsets so `push_block`'s `len()`-relative bases stay consistent.
+    fn trim_front(&mut self, rows: usize) {
+        if rows == 0 {
+            return;
+        }
+        // `event_start[r]` equals the total event rows of traces `0..r`
+        // (blocks append contiguously), so the event/access drop extents
+        // fall straight out of the extent columns.
+        let ev_drop = if rows == self.seed.len() {
+            self.ev_method.len()
+        } else {
+            self.event_start[rows] as usize
+        };
+        let ac_drop = if ev_drop == self.ev_method.len() {
+            self.ac_object.len()
+        } else {
+            self.acc_start[ev_drop] as usize
+        };
+        self.seed.drain(..rows);
+        self.duration.drain(..rows);
+        self.tick.drain(..rows);
+        self.fail_kind.drain(..rows);
+        self.fail_method.drain(..rows);
+        self.event_start.drain(..rows);
+        self.event_len.drain(..rows);
+        for start in &mut self.event_start {
+            *start -= ev_drop as u32;
+        }
+        self.ev_method.drain(..ev_drop);
+        self.ev_instance.drain(..ev_drop);
+        self.ev_thread.drain(..ev_drop);
+        self.ev_start.drain(..ev_drop);
+        self.ev_end.drain(..ev_drop);
+        self.ev_ret.drain(..ev_drop);
+        self.ev_exc.drain(..ev_drop);
+        self.ev_flags.drain(..ev_drop);
+        self.acc_start.drain(..ev_drop);
+        self.acc_len.drain(..ev_drop);
+        for start in &mut self.acc_start {
+            *start -= ac_drop as u32;
+        }
+        self.ac_object.drain(..ac_drop);
+        self.ac_at.drain(..ac_drop);
+        self.ac_flags.drain(..ac_drop);
+    }
+}
+
+/// A windowed-retention policy: how much of the stream's tail the store
+/// keeps. `None` bounds mean unbounded (the default keeps everything).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep at most this many traces (oldest evicted first).
+    pub max_traces: Option<usize>,
+    /// Keep only traces at most this many append batches old: a trace
+    /// appended by the latest batch has age 0. `Some(0)` retains only the
+    /// most recent batch.
+    pub max_age: Option<u64>,
+}
+
+impl RetentionPolicy {
+    /// A count-bounded window.
+    pub fn keep_last(max_traces: usize) -> RetentionPolicy {
+        RetentionPolicy {
+            max_traces: Some(max_traces),
+            max_age: None,
+        }
+    }
+
+    /// True when the policy never evicts.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_traces.is_none() && self.max_age.is_none()
     }
 }
 
@@ -173,14 +263,18 @@ fn build_block(mut trace: Trace, kind_ids: &BTreeMap<String, u32>) -> Block {
 /// Column-store sizing and memory telemetry.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ColumnStats {
-    /// Traces stored.
+    /// Traces retained.
     pub traces: usize,
-    /// Event rows stored.
+    /// Event rows retained.
     pub events: usize,
-    /// Access rows stored.
+    /// Access rows retained.
     pub accesses: usize,
     /// Shards.
     pub shards: usize,
+    /// Traces evicted by retention over the store's lifetime.
+    pub evicted: usize,
+    /// Compaction passes that actually dropped rows.
+    pub compactions: usize,
 }
 
 /// The sharded columnar trace store.
@@ -190,7 +284,15 @@ pub struct ColumnStore {
     objects: IdArena<String, ObjectTag>,
     kinds: IdArena<String, KindTag>,
     shards: Vec<Shard>,
-    len: usize,
+    /// First retained global id (== traces evicted so far).
+    base: usize,
+    /// One past the newest global id (== traces ever appended). Shard
+    /// placement and row arithmetic key off this, so ids never shift.
+    total: usize,
+    /// Logical clock, advanced once per append batch.
+    clock: u64,
+    /// Compaction passes that dropped at least one trace.
+    compactions: usize,
 }
 
 impl ColumnStore {
@@ -201,18 +303,107 @@ impl ColumnStore {
             objects: IdArena::new(),
             kinds: IdArena::new(),
             shards: vec![Shard::default(); shards.max(1)],
-            len: 0,
+            base: 0,
+            total: 0,
+            clock: 0,
+            compactions: 0,
         }
     }
 
-    /// Number of traces stored.
+    /// Number of traces retained.
     pub fn len(&self) -> usize {
-        self.len
+        self.total - self.base
     }
 
-    /// True when no trace has been stored.
+    /// True when no trace is retained.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.total == self.base
+    }
+
+    /// The retained window of global ids: eviction drops the front, so
+    /// valid ids are `base()..high()` and never shift or get reused.
+    pub fn retained(&self) -> std::ops::Range<usize> {
+        self.base..self.total
+    }
+
+    /// First retained global id (equals the traces evicted so far).
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// One past the newest global id (traces ever appended).
+    pub fn high(&self) -> usize {
+        self.total
+    }
+
+    /// The logical clock: append batches seen so far. A trace's age is the
+    /// number of batches appended after its own.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The append tick of trace `gid` (for age-based retention).
+    pub fn tick(&self, gid: usize) -> u64 {
+        let (s, row) = self.locate(gid);
+        self.shards[s].tick[row]
+    }
+
+    /// Shard index and (compaction-adjusted) row of a retained `gid`.
+    fn locate(&self, gid: usize) -> (usize, usize) {
+        assert!(
+            gid >= self.base && gid < self.total,
+            "trace {gid} out of retained window {}..{}",
+            self.base,
+            self.total
+        );
+        let shards = self.shards.len();
+        let s = gid % shards;
+        // Rows evicted from shard `s`: ids in `0..base` congruent to `s`.
+        let dropped = self.base / shards + usize::from(s < self.base % shards);
+        (s, gid / shards - dropped)
+    }
+
+    /// Evicts the `count` oldest retained traces (clamped to the retained
+    /// window), compacting every shard in place. Returns the number
+    /// evicted.
+    pub fn evict_front(&mut self, count: usize) -> usize {
+        let count = count.min(self.len());
+        if count == 0 {
+            return 0;
+        }
+        let shards = self.shards.len();
+        let (old, new) = (self.base, self.base + count);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let before = old / shards + usize::from(s < old % shards);
+            let after = new / shards + usize::from(s < new % shards);
+            shard.trim_front(after - before);
+        }
+        self.base = new;
+        self.compactions += 1;
+        count
+    }
+
+    /// Applies a retention policy: evicts the oldest traces until both the
+    /// count bound and the age bound hold. Returns the number evicted.
+    pub fn apply_retention(&mut self, policy: RetentionPolicy) -> usize {
+        if policy.is_unbounded() {
+            return 0;
+        }
+        let mut drop = 0usize;
+        if let Some(max) = policy.max_traces {
+            drop = self.len().saturating_sub(max);
+        }
+        if let Some(max_age) = policy.max_age {
+            let newest = self.clock.saturating_sub(1);
+            while self.base + drop < self.total {
+                let age = newest.saturating_sub(self.tick(self.base + drop));
+                if age <= max_age {
+                    break;
+                }
+                drop += 1;
+            }
+        }
+        self.evict_front(drop)
     }
 
     /// Interned method names.
@@ -228,10 +419,12 @@ impl ColumnStore {
     /// Row-count telemetry.
     pub fn stats(&self) -> ColumnStats {
         ColumnStats {
-            traces: self.len,
+            traces: self.len(),
             events: self.shards.iter().map(|s| s.ev_method.len()).sum(),
             accesses: self.shards.iter().map(|s| s.ac_object.len()).sum(),
             shards: self.shards.len(),
+            evicted: self.base,
+            compactions: self.compactions,
         }
     }
 
@@ -308,22 +501,23 @@ impl ColumnStore {
                 .map(|t| build_block(t, &kind_ids))
                 .collect(),
         };
-        let first = self.len;
+        let stamp = self.clock;
+        self.clock += 1;
+        let first = self.total;
         for block in blocks {
-            let shard = self.len % self.shards.len();
-            self.shards[shard].push_block(block);
-            self.len += 1;
+            let shard = self.total % self.shards.len();
+            self.shards[shard].push_block(block, stamp);
+            self.total += 1;
         }
-        first..self.len
+        first..self.total
     }
 
     /// Re-materializes the trace with global id `gid`.
     ///
-    /// Panics if `gid >= len`.
+    /// Panics if `gid` is outside the retained window.
     pub fn trace(&self, gid: usize) -> Trace {
-        assert!(gid < self.len, "trace {gid} out of range 0..{}", self.len);
-        let s = &self.shards[gid % self.shards.len()];
-        let row = gid / self.shards.len();
+        let (shard, row) = self.locate(gid);
+        let s = &self.shards[shard];
         let outcome = match s.fail_kind[row] {
             0 => Outcome::Success,
             k => Outcome::Failure(FailureSignature {
@@ -365,7 +559,7 @@ impl ColumnStore {
             })
             .collect();
         Trace {
-            seed: s.seed[gid / self.shards.len()],
+            seed: s.seed[row],
             events,
             outcome,
             duration: s.duration[row],
@@ -375,14 +569,14 @@ impl ColumnStore {
     /// Whether the trace with global id `gid` failed, without materializing
     /// events.
     pub fn failed(&self, gid: usize) -> bool {
-        let s = &self.shards[gid % self.shards.len()];
-        s.fail_kind[gid / self.shards.len()] != 0
+        let (s, row) = self.locate(gid);
+        self.shards[s].fail_kind[row] != 0
     }
 
     /// The failure signature of trace `gid`, if it failed.
     pub fn signature(&self, gid: usize) -> Option<FailureSignature> {
-        let s = &self.shards[gid % self.shards.len()];
-        let row = gid / self.shards.len();
+        let (shard, row) = self.locate(gid);
+        let s = &self.shards[shard];
         match s.fail_kind[row] {
             0 => None,
             k => Some(FailureSignature {
@@ -394,18 +588,20 @@ impl ColumnStore {
 
     /// The `(seed, duration)` of trace `gid` without materializing events.
     pub fn header(&self, gid: usize) -> (u64, Time) {
-        let s = &self.shards[gid % self.shards.len()];
-        let row = gid / self.shards.len();
-        (s.seed[row], s.duration[row])
+        let (s, row) = self.locate(gid);
+        (self.shards[s].seed[row], self.shards[s].duration[row])
     }
 
-    /// Re-materializes the full labeled set (arenas + traces in global
-    /// order) — the bridge back into every batch API.
+    /// Re-materializes the retained window as a labeled set (arenas +
+    /// retained traces in global order) — the bridge back into every batch
+    /// API. The interning arenas are append-only, so after eviction they
+    /// may carry names only evicted traces used; the traces themselves are
+    /// exactly the retained suffix.
     pub fn to_trace_set(&self) -> TraceSet {
         TraceSet {
             methods: self.methods.clone(),
             objects: self.objects.clone(),
-            traces: (0..self.len).map(|g| self.trace(g)).collect(),
+            traces: self.retained().map(|g| self.trace(g)).collect(),
         }
     }
 }
@@ -566,5 +762,104 @@ mod tests {
         assert_eq!(stats.events, 14);
         assert_eq!(stats.accesses, 14);
         assert_eq!(stats.shards, 3);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(stats.compactions, 0);
+    }
+
+    /// The retained window after any front eviction re-encodes exactly as
+    /// the same suffix pushed into a fresh `TraceSet` over the full arenas.
+    fn assert_window_identical(store: &ColumnStore, set: &TraceSet, evicted: usize) {
+        let expected = TraceSet {
+            methods: set.methods.clone(),
+            objects: set.objects.clone(),
+            traces: set.traces[evicted..].to_vec(),
+        };
+        assert_eq!(
+            codec::encode(&store.to_trace_set()),
+            codec::encode(&expected),
+            "window after evicting {evicted}"
+        );
+    }
+
+    #[test]
+    fn eviction_preserves_retained_window() {
+        let set = sample_set();
+        for shards in [1usize, 2, 3, 8] {
+            let mut store = ColumnStore::new(shards);
+            let (m, o) = store.remap_tables(&set.methods, &set.objects);
+            store.append_batch(set.traces.clone(), &m, &o, None);
+            let mut evicted = 0;
+            for step in [1usize, 2, 1] {
+                evicted += store.evict_front(step);
+                assert_eq!(store.base(), evicted, "{shards} shards");
+                assert_eq!(store.len(), set.traces.len() - evicted);
+                assert_window_identical(&store, &set, evicted);
+                for g in store.retained() {
+                    let t = store.trace(g);
+                    assert_eq!(store.header(g), (t.seed, t.duration));
+                    assert_eq!(store.failed(g), t.failed());
+                }
+            }
+            let stats = store.stats();
+            assert_eq!(stats.evicted, 4);
+            assert_eq!(stats.compactions, 3);
+            // Appends after eviction keep global ids monotone and the
+            // window property intact.
+            let range = store.append_batch(set.traces.clone(), &m, &o, None);
+            assert_eq!(range, 7..14);
+            assert_eq!(store.len(), 3 + 7);
+            let mut full = set.clone();
+            full.traces.extend(set.traces.iter().cloned());
+            assert_window_identical(&store, &full, 4);
+        }
+    }
+
+    #[test]
+    fn evict_everything_then_refill() {
+        let set = sample_set();
+        let mut store = ColumnStore::new(3);
+        let (m, o) = store.remap_tables(&set.methods, &set.objects);
+        store.append_batch(set.traces.clone(), &m, &o, None);
+        assert_eq!(store.evict_front(usize::MAX), 7);
+        assert!(store.is_empty());
+        assert_eq!(store.retained(), 7..7);
+        let range = store.append_batch(set.traces.clone(), &m, &o, None);
+        assert_eq!(range, 7..14);
+        assert_window_identical(&store, &set, 0);
+    }
+
+    #[test]
+    fn retention_policy_bounds_count_and_age() {
+        let set = sample_set();
+        let mut store = ColumnStore::new(2);
+        let (m, o) = store.remap_tables(&set.methods, &set.objects);
+        // Three batches → ticks 0, 1, 2.
+        for _ in 0..3 {
+            store.append_batch(set.traces.clone(), &m, &o, None);
+        }
+        assert_eq!(store.clock(), 3);
+        assert_eq!(store.apply_retention(RetentionPolicy::default()), 0);
+        // Count bound: keep the last 10.
+        let evicted = store.apply_retention(RetentionPolicy::keep_last(10));
+        assert_eq!(evicted, 11);
+        assert_eq!(store.len(), 10);
+        // Age bound: batch 0 (age 2) is already gone; age ≤ 0 keeps only
+        // the newest batch's traces.
+        let evicted = store.apply_retention(RetentionPolicy {
+            max_traces: None,
+            max_age: Some(0),
+        });
+        assert_eq!(evicted, 3);
+        assert_eq!(store.len(), 7);
+        assert!(store.retained().all(|g| store.tick(g) == 2));
+        assert_window_identical(
+            &store,
+            &TraceSet {
+                methods: set.methods.clone(),
+                objects: set.objects.clone(),
+                traces: set.traces.clone(),
+            },
+            0,
+        );
     }
 }

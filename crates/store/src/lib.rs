@@ -80,7 +80,7 @@ pub mod columns;
 pub mod ingest;
 pub mod view;
 
-pub use columns::{ColumnStats, ColumnStore, KindTag};
+pub use columns::{ColumnStats, ColumnStore, KindTag, RetentionPolicy};
 pub use ingest::{IngestStats, Quarantined, StreamDecoder};
 pub use view::{StoreView, ViewStats};
 
@@ -99,6 +99,9 @@ pub struct StoreConfig {
     pub shards: usize,
     /// Extraction configuration the incremental view analyzes under.
     pub extraction: ExtractionConfig,
+    /// Windowed-retention policy, enforced after every append. The default
+    /// keeps everything (the classic batch-accumulation behavior).
+    pub retention: RetentionPolicy,
 }
 
 impl Default for StoreConfig {
@@ -106,6 +109,7 @@ impl Default for StoreConfig {
         StoreConfig {
             shards: 8,
             extraction: ExtractionConfig::default(),
+            retention: RetentionPolicy::default(),
         }
     }
 }
@@ -238,6 +242,7 @@ impl TraceStore {
             .remap_tables(self.decoder.methods(), self.decoder.objects());
         self.columns
             .append_batch(traces, &m, &o, self.pool.as_deref());
+        self.columns.apply_retention(self.config.retention);
     }
 
     /// Appends every trace of an in-memory set (names resolved through the
@@ -246,6 +251,7 @@ impl TraceStore {
         let (m, o) = self.columns.remap_tables(&set.methods, &set.objects);
         self.columns
             .append_batch(set.traces.clone(), &m, &o, self.pool.as_deref());
+        self.columns.apply_retention(self.config.retention);
     }
 
     /// Appends one live trace — e.g. straight from
@@ -255,21 +261,41 @@ impl TraceStore {
         let (m, o) = self.columns.remap_tables(&names.methods, &names.objects);
         self.columns
             .append_batch(vec![trace], &m, &o, self.pool.as_deref());
+        self.columns.apply_retention(self.config.retention);
     }
 
-    /// Traces stored.
+    /// Evicts the `count` oldest retained traces immediately, regardless of
+    /// the configured policy. Returns the number evicted.
+    pub fn evict_front(&mut self, count: usize) -> usize {
+        self.columns.evict_front(count)
+    }
+
+    /// Applies a one-off retention policy (the configured one runs after
+    /// every append regardless). Returns the number evicted.
+    pub fn apply_retention(&mut self, policy: RetentionPolicy) -> usize {
+        self.columns.apply_retention(policy)
+    }
+
+    /// Traces retained.
     pub fn len(&self) -> usize {
         self.columns.len()
     }
 
-    /// True when nothing is stored.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.columns.is_empty()
     }
 
-    /// `(successes, failures)` stored.
+    /// The retained window of global ids (ids are stable across eviction).
+    pub fn retained(&self) -> std::ops::Range<usize> {
+        self.columns.retained()
+    }
+
+    /// `(successes, failures)` retained.
     pub fn counts(&self) -> (usize, usize) {
-        let failed = (0..self.columns.len())
+        let failed = self
+            .columns
+            .retained()
             .filter(|&g| self.columns.failed(g))
             .count();
         (self.columns.len() - failed, failed)
@@ -318,6 +344,12 @@ impl TraceStore {
         self.view.analysis()
     }
 
+    /// Records one standing-query delta decision (re-probed vs skipped
+    /// predicates) into the view telemetry.
+    pub fn record_probe_delta(&mut self, reprobed: u64, skipped: u64) {
+        self.view.record_probe_delta(reprobed, skipped);
+    }
+
     /// Aggregate telemetry.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -335,7 +367,7 @@ impl TraceStore {
             failure: a.extraction.failure,
             signature: a.extraction.signature.clone(),
             dag: Arc::new(a.dag.clone()),
-            traces: self.view.seen(),
+            traces: self.view.seen() - self.view.base(),
         })
     }
 }

@@ -30,6 +30,15 @@
 //! * **The AC-DAG** folds new failed runs into a live
 //!   [`aid_causal::AcDagBuilder`] whenever the candidate set, failure id,
 //!   and signature are unchanged, and replays otherwise.
+//!
+//! Under **windowed retention** the contract generalizes: when the store
+//! has evicted traces since the last refresh (`store.base()` moved), the
+//! view drops its incremental state and refolds the whole retained window,
+//! so the published analysis is structurally identical to batch `analyze`
+//! over *the retained traces* in arrival order. Refolds are deliberate:
+//! pass-1 folds (envelope growth, stable-site intersection, unique-return
+//! collapse) are not invertible, so forgetting a trace means replaying the
+//! survivors — the `resets` counter makes that cost visible.
 
 use crate::columns::ColumnStore;
 use aid_causal::{AcDagBuilder, TypeAwarePolicy};
@@ -62,6 +71,16 @@ pub struct ViewStats {
     /// AC-DAG builder replays (candidate set, failure id, or signature
     /// changed).
     pub dag_rebuilds: u64,
+    /// Full refolds of the retained window after the store evicted traces.
+    pub resets: u64,
+    /// Standing-query delta accounting: predicates whose SD score or
+    /// AC-DAG neighborhood moved since the last convergence, forcing a
+    /// re-probe (recorded by watchers via
+    /// [`StoreView::record_probe_delta`]).
+    pub predicates_reprobed: u64,
+    /// Standing-query delta accounting: predicates left untouched by a
+    /// refresh (their cached intervention outcomes stayed valid).
+    pub predicates_skipped: u64,
 }
 
 fn site(e: &MethodEvent) -> (u32, u32) {
@@ -71,7 +90,13 @@ fn site(e: &MethodEvent) -> (u32, u32) {
 /// The incrementally maintained observation-phase analysis.
 pub struct StoreView {
     config: ExtractionConfig,
-    /// Traces folded so far (prefix of the store).
+    /// The store base this view's state was folded against. When the store
+    /// evicts (its base advances past this), the incremental state is no
+    /// longer a fold over the retained window and must be rebuilt.
+    base: usize,
+    /// Global-id high-water mark: traces `base..seen` are folded in. All
+    /// per-trace state (`windows`, `occurrence`, `failed_bits`) is indexed
+    /// by `gid - base`.
     seen: usize,
     // --- pass-1 state (successes) ---
     stats: SuccessStats,
@@ -86,12 +111,14 @@ pub struct StoreView {
     scanned: usize,
     sig_counts: BTreeMap<FailureSignature, usize>,
     /// The catalog *without* the failure indicator.
-    base: PredicateCatalog,
-    /// Per trace: observation windows for every `base` predicate.
+    catalog: PredicateCatalog,
+    /// Per retained trace (indexed `gid - base`): observation windows for
+    /// every catalog predicate.
     windows: Vec<Vec<Option<(Time, Time)>>>,
-    /// Per base predicate: which traces it holds in.
+    /// Per catalog predicate: which retained traces (`gid - base`) it
+    /// holds in.
     occurrence: Vec<DenseBitSet>,
-    /// Which traces failed (any signature).
+    /// Which retained traces (`gid - base`) failed (any signature).
     failed_bits: DenseBitSet,
     // --- AC-DAG state ---
     builder: Option<DagCache>,
@@ -115,6 +142,7 @@ impl StoreView {
     pub fn new(config: ExtractionConfig) -> StoreView {
         StoreView {
             config,
+            base: 0,
             seen: 0,
             stats: SuccessStats::default(),
             orders: BTreeSet::new(),
@@ -123,7 +151,7 @@ impl StoreView {
             failures: Vec::new(),
             scanned: 0,
             sig_counts: BTreeMap::new(),
-            base: PredicateCatalog::new(),
+            catalog: PredicateCatalog::new(),
             windows: Vec::new(),
             occurrence: Vec::new(),
             failed_bits: DenseBitSet::new(0),
@@ -138,9 +166,14 @@ impl StoreView {
         self.analysis.as_ref()
     }
 
-    /// Traces folded so far.
+    /// Global-id high-water mark: traces `base()..seen()` are folded in.
     pub fn seen(&self) -> usize {
         self.seen
+    }
+
+    /// First retained global id this view's fold starts at.
+    pub fn base(&self) -> usize {
+        self.base
     }
 
     /// Incremental-path telemetry.
@@ -148,18 +181,45 @@ impl StoreView {
         self.view_stats
     }
 
-    /// Folds every trace the store holds beyond this view's prefix and
-    /// republishes the analysis. `pool` (when given) fans the per-trace
-    /// evaluation work out across the engine's workers; the result is
-    /// identical either way.
+    /// Records one standing-query delta decision (how many predicates a
+    /// watcher re-probed vs skipped after a refresh). Pure telemetry,
+    /// folded into [`ViewStats`].
+    pub fn record_probe_delta(&mut self, reprobed: u64, skipped: u64) {
+        self.view_stats.predicates_reprobed += reprobed;
+        self.view_stats.predicates_skipped += skipped;
+    }
+
+    /// Drops all incremental state and restarts the fold at the store's
+    /// current base. Telemetry survives; everything else is rebuilt by the
+    /// caller refolding `base..high`.
+    fn reset_to(&mut self, base: usize) {
+        let config = self.config.clone();
+        let mut stats = self.view_stats;
+        stats.resets += 1;
+        *self = StoreView::new(config);
+        self.base = base;
+        self.seen = base;
+        self.view_stats = stats;
+    }
+
+    /// Folds every store change beyond this view's high-water mark —
+    /// appended traces, and evictions, which trigger a refold of the whole
+    /// retained window — and republishes the analysis. `pool` (when given)
+    /// fans the per-trace evaluation work out across the engine's workers;
+    /// the result is identical either way.
     pub fn refresh(&mut self, store: &ColumnStore, pool: Option<&WorkerPool>) {
-        let n = store.len();
+        if store.base() != self.base {
+            // The store evicted traces this fold still incorporates (pass-1
+            // folds are not invertible), so replay the retained window.
+            self.reset_to(store.base());
+        }
+        let n = store.high();
         if n == self.seen {
             return;
         }
         self.view_stats.refreshes += 1;
         let first_new = self.seen;
-        self.failed_bits.resize(n);
+        self.failed_bits.resize(n - self.base);
         // Fold pass-1 state and label the newcomers.
         let mut new_traces: Vec<Trace> = Vec::with_capacity(n - first_new);
         for gid in first_new..n {
@@ -169,7 +229,7 @@ impl StoreView {
                     *self.sig_counts.entry(sig.clone()).or_insert(0) += 1;
                 }
                 self.failures.push(gid);
-                self.failed_bits.insert(gid);
+                self.failed_bits.insert(gid - self.base);
             } else {
                 self.stats_dirty |= self.observe_success(&t);
             }
@@ -281,7 +341,7 @@ impl StoreView {
         // value-collision predicate (its sides must return *distinct*
         // values in every success).
         if self.config.collisions && !changed {
-            for (_, p) in self.base.iter() {
+            for (_, p) in self.catalog.iter() {
                 if let PredicateKind::ValueCollision { a, b } = &p.kind {
                     let ka = (a.method.raw(), a.instance);
                     let kb = (b.method.raw(), b.instance);
@@ -310,10 +370,10 @@ impl StoreView {
         pool: Option<&WorkerPool>,
     ) {
         self.view_stats.extensions += 1;
-        let old_len = self.base.len();
+        let old_len = self.catalog.len();
         while self.scanned < self.failures.len() {
             // Mirrors the batch cap semantics: checked before each failure.
-            if self.base.len() >= self.config.max_predicates {
+            if self.catalog.len() >= self.config.max_predicates {
                 break;
             }
             let t = store.trace(self.failures[self.scanned]);
@@ -323,19 +383,20 @@ impl StoreView {
                 &self.stats,
                 &self.orders,
                 &self.success_returns,
-                &mut self.base,
+                &mut self.catalog,
             );
             self.scanned += 1;
         }
-        let catalog = Arc::new(self.base.clone());
+        let catalog = Arc::new(self.catalog.clone());
         // Old traces: extend by the new suffix (skip entirely when the
         // catalog didn't grow). New traces: evaluate the whole catalog.
         if catalog.len() > old_len {
-            let old: Vec<Trace> = (0..first_new).map(|g| store.trace(g)).collect();
+            let old: Vec<Trace> = (self.base..first_new).map(|g| store.trace(g)).collect();
             let old_windows = std::mem::take(&mut self.windows);
             debug_assert_eq!(old_windows.len(), old.len());
             self.windows = evaluate_all(&catalog, old, old_windows, pool);
-            self.view_stats.windows_evaluated += (first_new * (catalog.len() - old_len)) as u64;
+            self.view_stats.windows_evaluated +=
+                ((first_new - self.base) * (catalog.len() - old_len)) as u64;
         }
         let fresh = evaluate_all(
             &catalog,
@@ -352,10 +413,10 @@ impl StoreView {
     /// (and every trace's windows) must be recomputed against them.
     fn rebuild_catalog(&mut self, store: &ColumnStore, pool: Option<&WorkerPool>) {
         self.view_stats.rebuilds += 1;
-        self.base = PredicateCatalog::new();
+        self.catalog = PredicateCatalog::new();
         self.scanned = 0;
         while self.scanned < self.failures.len() {
-            if self.base.len() >= self.config.max_predicates {
+            if self.catalog.len() >= self.config.max_predicates {
                 break;
             }
             let t = store.trace(self.failures[self.scanned]);
@@ -365,17 +426,17 @@ impl StoreView {
                 &self.stats,
                 &self.orders,
                 &self.success_returns,
-                &mut self.base,
+                &mut self.catalog,
             );
             self.scanned += 1;
         }
-        let catalog = Arc::new(self.base.clone());
-        let all: Vec<Trace> = (0..self.seen).map(|g| store.trace(g)).collect();
+        let catalog = Arc::new(self.catalog.clone());
+        let all: Vec<Trace> = (self.base..self.seen).map(|g| store.trace(g)).collect();
         let empty: Vec<Vec<Option<(Time, Time)>>> = all.iter().map(|_| Vec::new()).collect();
         self.windows = evaluate_all(&catalog, all, empty, pool);
-        self.view_stats.windows_evaluated += (self.seen * catalog.len()) as u64;
+        self.view_stats.windows_evaluated += ((self.seen - self.base) * catalog.len()) as u64;
         self.occurrence.clear();
-        self.sync_occurrence(0, 0);
+        self.sync_occurrence(0, self.base);
     }
 
     /// Brings the per-predicate occurrence bitmaps in line with `windows`:
@@ -383,28 +444,28 @@ impl StoreView {
     /// windows, earlier ones only grow their universe and absorb the
     /// windows of traces `>= first_new`.
     fn sync_occurrence(&mut self, from: usize, first_new: usize) {
-        let n = self.seen;
+        let n = self.seen - self.base;
         debug_assert!(self.occurrence.len() == from);
         for occ in &mut self.occurrence {
             occ.resize(n);
         }
-        while self.occurrence.len() < self.base.len() {
+        while self.occurrence.len() < self.catalog.len() {
             self.occurrence.push(DenseBitSet::new(n));
         }
-        if self.base.len() > from {
-            for (gid, w) in self.windows.iter().enumerate() {
+        if self.catalog.len() > from {
+            for (rel, w) in self.windows.iter().enumerate() {
                 for (p, window) in w.iter().enumerate().skip(from) {
                     if window.is_some() {
-                        self.occurrence[p].insert(gid);
+                        self.occurrence[p].insert(rel);
                     }
                 }
             }
         }
         // Newly appended traces' bits for the old predicate prefix.
-        for gid in first_new..n {
-            for (p, window) in self.windows[gid].iter().enumerate().take(from) {
+        for rel in (first_new - self.base)..n {
+            for (p, window) in self.windows[rel].iter().enumerate().take(from) {
                 if window.is_some() {
-                    self.occurrence[p].insert(gid);
+                    self.occurrence[p].insert(rel);
                 }
             }
         }
@@ -420,7 +481,7 @@ impl StoreView {
             .max_by_key(|(_, c)| **c)
             .map(|(sig, _)| sig.clone())
             .expect("publish requires failures");
-        let mut catalog = self.base.clone();
+        let mut catalog = self.catalog.clone();
         let failure = catalog.insert(Predicate {
             kind: PredicateKind::Failure {
                 signature: signature.clone(),
@@ -429,10 +490,11 @@ impl StoreView {
             action: None,
         });
 
-        // Full observations: stored base windows plus the failure window.
-        let observations: Vec<RunObservation> = (0..self.seen)
+        // Full observations over the retained window: stored catalog
+        // windows plus the failure window.
+        let observations: Vec<RunObservation> = (self.base..self.seen)
             .map(|gid| {
-                let mut w = self.windows[gid].clone();
+                let mut w = self.windows[gid - self.base].clone();
                 let f_window = match store.signature(gid) {
                     Some(sig) if sig == signature => {
                         let (_, duration) = store.header(gid);
@@ -447,7 +509,7 @@ impl StoreView {
 
         // SD scores from the occurrence bitmaps.
         let failed_runs = self.failures.len();
-        let total_runs = self.seen;
+        let total_runs = self.seen - self.base;
         let mut scores: Vec<PredicateScore> = self
             .occurrence
             .iter()
@@ -489,7 +551,7 @@ impl StoreView {
             let gid = self.failures[cache.folded];
             cache
                 .builder
-                .add_run(&catalog, &observations[gid], &TypeAwarePolicy);
+                .add_run(&catalog, &observations[gid - self.base], &TypeAwarePolicy);
             cache.folded += 1;
             if reusable {
                 self.view_stats.dag_runs_folded += 1;

@@ -99,6 +99,7 @@ fn stat_neutral_success_prefix_stays_aligned() {
     let mut store = TraceStore::new(StoreConfig {
         shards: 2,
         extraction: config.clone(),
+        ..StoreConfig::default()
     });
     for k in 0..set.traces.len() {
         store.append_run(&set, set.traces[k].clone());
@@ -128,6 +129,7 @@ fn every_prefix_of_every_case_corpus_matches_batch() {
         let mut store = TraceStore::new(StoreConfig {
             shards: 3,
             extraction: case.config.clone(),
+            ..StoreConfig::default()
         });
         let mut failures_seen = 0usize;
         for k in 0..set.traces.len() {

@@ -65,6 +65,7 @@ pub use aid_synth as synth;
 pub use aid_theory as theory;
 pub use aid_trace as trace;
 pub use aid_util as util;
+pub use aid_watch as watch;
 
 /// The most common imports for using AID end to end.
 pub mod prelude {
@@ -90,18 +91,21 @@ pub mod prelude {
     pub use aid_sd::{PredicateScore, SdReport};
     pub use aid_serve::{
         Admission, AidClient, AnalysisSpec, ProgramSpec, ServeConfig, Server, ServerHandle,
-        ServerStats, SessionState, SubmitSpec,
+        ServerStats, SessionState, SubmitSpec, TailReport, WatchSpec,
     };
     pub use aid_sim::program::{Cmp, Expr, Reg};
     pub use aid_sim::{
         Backend, BytecodeBackend, ExecBackend, InstanceFilter, Intervention, InterventionPlan,
         Program, ProgramBuilder, SimConfig, SimExecutor, Simulator, TreeWalkBackend, VmError,
     };
-    pub use aid_store::{StoreConfig, StoreSnapshot, StoreView, StreamDecoder, TraceStore};
+    pub use aid_store::{
+        RetentionPolicy, StoreConfig, StoreSnapshot, StoreView, StreamDecoder, TraceStore,
+    };
     pub use aid_trace::{
         AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome, ThreadId, Trace,
         TraceSet,
     };
+    pub use aid_watch::{WatchConfig, WatchError, WatchEvent, WatchStats, Watcher};
 }
 
 #[cfg(test)]
