@@ -106,5 +106,43 @@ fn snapshot_backends(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_runs, snapshot_backends);
+/// Scheduler health on the event-dense healthtelemetry case: the fraction
+/// of post-frame-pop wakeups the bytecode VM handled by incremental
+/// ready-set repair instead of a full rescan. The seed batch is fixed, so
+/// the ratio is deterministic, and the `_hit_rate` suffix puts it under
+/// `benchdiff`'s gated ratio keys — a scheduler change that silently falls
+/// back to full rescans fails the gate.
+fn snapshot_sched_telemetry(_c: &mut Criterion) {
+    use aid_sim::{compile, SimConfig, Vm};
+    let case = aid_cases::healthtelemetry::case();
+    let prog = compile(&case.program);
+    let cfg = SimConfig::default();
+    let plan = InterventionPlan::empty();
+    let mut vm = Vm::new();
+    let (mut scans, mut repairs) = (0u64, 0u64);
+    for seed in 1..=200u64 {
+        vm.run(&prog, &plan, &cfg, seed)
+            .expect("healthtelemetry case runs clean");
+        let (s, r) = vm.sched_telemetry();
+        scans += s;
+        repairs += r;
+    }
+    let ratio = repairs as f64 / (scans + repairs).max(1) as f64;
+    let path = snapshot::merge_write(
+        "BENCH_sim.json",
+        &[("sim_sched_repair_hit_rate".to_string(), ratio)],
+    );
+    println!(
+        "snapshot: healthtelemetry scheduler {repairs} repairs / {scans} rescans \
+         ({ratio:.3} repaired) -> {}",
+        path.display()
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_runs,
+    snapshot_backends,
+    snapshot_sched_telemetry
+);
 criterion_main!(benches);

@@ -133,6 +133,7 @@ fn neutral_tail(corpus: &TraceSet) -> String {
     codec::encode(&TraceSet {
         methods: corpus.methods.clone(),
         objects: corpus.objects.clone(),
+        channels: corpus.channels.clone(),
         traces: vec![replay],
     })
 }

@@ -48,6 +48,9 @@ pub enum RootKind {
     OrderViolation,
     /// A random-value collision.
     ValueCollision,
+    /// A wrong return value (e.g. a failed probabilistic check whose
+    /// outcome gates a message send).
+    WrongReturn,
 }
 
 impl RootKind {
@@ -65,6 +68,7 @@ impl RootKind {
                     RootKind::ValueCollision,
                     PredicateKind::ValueCollision { .. }
                 )
+                | (RootKind::WrongReturn, PredicateKind::WrongReturn { .. })
         )
     }
 }

@@ -28,7 +28,9 @@ pub use branch::branch_prune;
 pub use discovery::{discover, discover_with_options, DiscoverOptions, DiscoveryResult, Strategy};
 pub use executor::{BatchExecutor, BudgetExhausted, CountingExecutor, ExecutionRecord, Executor};
 pub use giwp::{giwp, DiscoveryState, Phase, RoundLog};
-pub use oracle::{figure4_ground_truth, FlakyOracle, GroundTruth, OracleExecutor};
+pub use oracle::{
+    classify_symptom, figure4_ground_truth, FlakyOracle, GroundTruth, OracleExecutor, SymptomClass,
+};
 pub use pipeline::{
     analyze, analyze_with_policy, failure_signatures, render_explanation, AidAnalysis,
 };

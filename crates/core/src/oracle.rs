@@ -22,6 +22,74 @@ use aid_util::DenseBitSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// What kind of symptom a failure signature's `kind` string denotes.
+///
+/// The simulator emits structured kinds for everything it detects itself:
+/// `Deadlock` and `Timeout` from the scheduler, and `always:<name>` /
+/// `eventually:<name>` from the invariant oracle. Anything else is an
+/// application exception type (`IndexOutOfRange`, `ObjectDisposed`, …).
+/// Classifying here keeps every consumer (lab validation, explanations,
+/// experiment records) in agreement about which plane a failure lives on.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymptomClass {
+    /// A safety invariant (`always <name>`) observed false.
+    InvariantAlways(String),
+    /// A liveness invariant (`eventually <name>`) never satisfied.
+    InvariantEventually(String),
+    /// The scheduler proved no runnable thread can ever make progress.
+    Deadlock,
+    /// The run exceeded its step budget without finishing.
+    Timeout,
+    /// An uncaught application exception of the named type.
+    Exception(String),
+}
+
+impl SymptomClass {
+    /// True for symptoms the *oracle* (not application code) raised:
+    /// invariant violations and scheduler-detected deadlock/timeout.
+    pub fn is_oracle_detected(&self) -> bool {
+        !matches!(self, SymptomClass::Exception(_))
+    }
+
+    /// True for invariant-oracle symptoms specifically.
+    pub fn is_invariant(&self) -> bool {
+        matches!(
+            self,
+            SymptomClass::InvariantAlways(_) | SymptomClass::InvariantEventually(_)
+        )
+    }
+}
+
+impl std::fmt::Display for SymptomClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymptomClass::InvariantAlways(n) => write!(f, "safety invariant `{n}` violated"),
+            SymptomClass::InvariantEventually(n) => {
+                write!(f, "liveness invariant `{n}` never satisfied")
+            }
+            SymptomClass::Deadlock => write!(f, "deadlock"),
+            SymptomClass::Timeout => write!(f, "timeout"),
+            SymptomClass::Exception(k) => write!(f, "uncaught `{k}`"),
+        }
+    }
+}
+
+/// Classifies a failure signature's `kind` string (see
+/// [`aid_trace::FailureSignature`]).
+pub fn classify_symptom(kind: &str) -> SymptomClass {
+    if let Some(name) = kind.strip_prefix("always:") {
+        SymptomClass::InvariantAlways(name.to_string())
+    } else if let Some(name) = kind.strip_prefix("eventually:") {
+        SymptomClass::InvariantEventually(name.to_string())
+    } else if kind == "Deadlock" {
+        SymptomClass::Deadlock
+    } else if kind == "Timeout" {
+        SymptomClass::Timeout
+    } else {
+        SymptomClass::Exception(kind.to_string())
+    }
+}
+
 /// The true causal structure behind a synthetic failing application.
 #[derive(Clone, Debug)]
 pub struct GroundTruth {
@@ -264,6 +332,33 @@ mod tests {
             path: vec![0, 1],
         };
         gt.validate();
+    }
+
+    #[test]
+    fn symptom_classification_covers_every_plane() {
+        assert_eq!(
+            classify_symptom("always:balance_cap"),
+            SymptomClass::InvariantAlways("balance_cap".into())
+        );
+        assert_eq!(
+            classify_symptom("eventually:delivered"),
+            SymptomClass::InvariantEventually("delivered".into())
+        );
+        assert_eq!(classify_symptom("Deadlock"), SymptomClass::Deadlock);
+        assert_eq!(classify_symptom("Timeout"), SymptomClass::Timeout);
+        assert_eq!(
+            classify_symptom("IndexOutOfRange"),
+            SymptomClass::Exception("IndexOutOfRange".into())
+        );
+        assert!(classify_symptom("always:x").is_oracle_detected());
+        assert!(classify_symptom("eventually:x").is_invariant());
+        assert!(classify_symptom("Deadlock").is_oracle_detected());
+        assert!(!classify_symptom("Deadlock").is_invariant());
+        assert!(!classify_symptom("Crash").is_oracle_detected());
+        assert_eq!(
+            classify_symptom("always:cap").to_string(),
+            "safety invariant `cap` violated"
+        );
     }
 
     #[test]

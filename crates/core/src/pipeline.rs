@@ -88,6 +88,15 @@ pub fn render_explanation(
 ) -> String {
     use std::fmt::Write;
     let mut s = String::new();
+    if let Some((sig, _)) = failure_signatures(set).first() {
+        writeln!(
+            s,
+            "Symptom: {} in {}",
+            crate::oracle::classify_symptom(&sig.kind),
+            set.method_name(sig.method)
+        )
+        .unwrap();
+    }
     match result.root_cause() {
         Some(root) => {
             writeln!(
@@ -141,6 +150,7 @@ mod tests {
             let mut t = Trace {
                 seed,
                 events: vec![mk(a, 0, 0, 10, None), mk(b, 1, 20, 30, None)],
+                msgs: vec![],
                 outcome: Outcome::Success,
                 duration: 40,
             };
@@ -154,6 +164,7 @@ mod tests {
                     mk(a, 0, 0, 80, None), // slow
                     mk(b, 1, 90, 100, Some("Timeout")),
                 ],
+                msgs: vec![],
                 outcome: Outcome::Failure(FailureSignature {
                     kind: "Timeout".into(),
                     method: b,
@@ -207,6 +218,7 @@ mod tests {
         set.push(Trace {
             seed: 999,
             events: vec![],
+            msgs: vec![],
             outcome: Outcome::Failure(FailureSignature {
                 kind: "Rare".into(),
                 method: m,

@@ -153,6 +153,7 @@ mod tests {
         let m = set.method("Commit");
         let mut t = Trace {
             seed: 9,
+            msgs: vec![],
             events: vec![MethodEvent {
                 method: m,
                 instance: 0,

@@ -1,9 +1,11 @@
 //! Randomized scenario generation over parameterized bug-class templates.
 //!
 //! Each scenario is a complete concurrent program built with
-//! [`aid_sim::ProgramBuilder`] from one of five bug-class templates — data
-//! race, atomicity violation, order violation, use-after-free, and
-//! timing/expiry — with randomized thread counts, schedules, symptom
+//! [`aid_sim::ProgramBuilder`] from one of nine bug-class templates — five
+//! shared-memory (data race, atomicity violation, order violation,
+//! use-after-free, timing/expiry) and four message-passing (lost delivery,
+//! duplicate delivery, reordered delivery, channel deadlock) — with
+//! randomized thread counts, schedules, symptom
 //! decorations (mirrors, propagator chains, monitor threads), and **noise
 //! tasks** that are causally unrelated to the failure. Unlike `aid_synth`'s
 //! Figure-8 family (which generates AC-DAG-shaped abstract applications),
@@ -17,7 +19,7 @@
 //! expected root-cause kind grade accuracy.
 //!
 //! Generation is deterministic per `(params, seed)` — the bug class is
-//! `seed % 5` so any contiguous seed range covers all five classes — and
+//! `seed % 9` so any contiguous seed range covers all nine classes — and
 //! self-validating: a drawn parameterization whose failure is not
 //! intermittent (never fails, or always fails, within the seed budget) is
 //! discarded and redrawn with the next attempt salt.
@@ -32,7 +34,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
-/// The five concurrency-bug templates the generator composes.
+/// The nine concurrency-bug templates the generator composes: five
+/// shared-memory classes and four message-passing classes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BugClass {
     /// Unsynchronized cross-thread read/write of a shared index.
@@ -45,16 +48,32 @@ pub enum BugClass {
     UseAfterFree,
     /// A transient fault stretching a pipeline past a cache TTL.
     Timing,
+    /// A guarded send skipped on a failed link probe; the subscriber times
+    /// out and a liveness invariant (`eventually`) goes unsatisfied.
+    LostDelivery,
+    /// A lost ack triggers a retry that re-delivers a deposit; the applied
+    /// balance breaks a safety invariant (`always`).
+    DuplicateDelivery,
+    /// A prepare/commit pair whose sends race, so the channel delivers
+    /// commit before prepare and cross-process atomicity breaks.
+    ReorderedDelivery,
+    /// A token-ring kickstart skipped on a failed link probe; both ring
+    /// stages block on circular channel receives forever.
+    ChannelDeadlock,
 }
 
 impl BugClass {
-    /// All templates, in `seed % 5` order.
-    pub const ALL: [BugClass; 5] = [
+    /// All templates, in `seed % 9` order.
+    pub const ALL: [BugClass; 9] = [
         BugClass::DataRace,
         BugClass::AtomicityViolation,
         BugClass::OrderViolation,
         BugClass::UseAfterFree,
         BugClass::Timing,
+        BugClass::LostDelivery,
+        BugClass::DuplicateDelivery,
+        BugClass::ReorderedDelivery,
+        BugClass::ChannelDeadlock,
     ];
 
     /// Stable display name.
@@ -65,6 +84,10 @@ impl BugClass {
             BugClass::OrderViolation => "order-violation",
             BugClass::UseAfterFree => "use-after-free",
             BugClass::Timing => "timing",
+            BugClass::LostDelivery => "lost-delivery",
+            BugClass::DuplicateDelivery => "duplicate-delivery",
+            BugClass::ReorderedDelivery => "reordered-delivery",
+            BugClass::ChannelDeadlock => "channel-deadlock",
         }
     }
 
@@ -73,15 +96,39 @@ impl BugClass {
         BugClass::ALL.into_iter().find(|c| c.name() == name)
     }
 
+    /// True for the message-passing templates (they declare channels and,
+    /// for two of them, invariant oracles).
+    pub fn uses_channels(&self) -> bool {
+        matches!(
+            self,
+            BugClass::LostDelivery
+                | BugClass::DuplicateDelivery
+                | BugClass::ReorderedDelivery
+                | BugClass::ChannelDeadlock
+        )
+    }
+
     /// The predicate kind the root cause should come back as.
     pub fn expected_root(&self) -> RootKind {
         match self {
             BugClass::DataRace | BugClass::AtomicityViolation => RootKind::DataRace,
             BugClass::OrderViolation => RootKind::OrderViolation,
+            // The racing prepare/commit sends surface on the channel
+            // pseudo-object as a data-race predicate, which sits upstream
+            // of the reorder's order-violation predicate in the AC-DAG —
+            // discovery confirms the race as root and the lost precedence
+            // as the next causal link.
+            BugClass::ReorderedDelivery => RootKind::DataRace,
             // The use-after-free's *root* is the transient slowness that
             // loses the race (the kafka case's reading); the UAF predicate
             // itself is the next link of the chain.
             BugClass::UseAfterFree | BugClass::Timing => RootKind::RunsTooSlow,
+            // These three root in a probabilistic link/ack probe whose
+            // wrong outcome gates a send — a wrong-return on the pure
+            // probe, repaired by forcing the healthy value.
+            BugClass::LostDelivery | BugClass::DuplicateDelivery | BugClass::ChannelDeadlock => {
+                RootKind::WrongReturn
+            }
         }
     }
 }
@@ -217,10 +264,10 @@ pub fn generate_validated(params: &LabParams, seed: u64) -> (Scenario, TraceSet)
     panic!("lab generator: no intermittent draw for seed {seed} in 24 attempts");
 }
 
-/// One unvalidated draw: `seed % 5` fixes the bug class, the rng fills in
+/// One unvalidated draw: `seed % 9` fixes the bug class, the rng fills in
 /// the spec counts, and [`build`] instantiates the template.
 pub fn generate_raw(params: &LabParams, seed: u64, attempt: u32) -> Scenario {
-    let bug_class = BugClass::ALL[(seed % 5) as usize];
+    let bug_class = BugClass::ALL[(seed % 9) as usize];
     let mut rng = spec_rng(seed, attempt);
     let spec = ScenarioSpec {
         seed,
@@ -254,6 +301,10 @@ pub fn build(spec: &ScenarioSpec) -> Scenario {
         BugClass::OrderViolation => order_violation(&mut t),
         BugClass::UseAfterFree => use_after_free(&mut t),
         BugClass::Timing => timing(&mut t),
+        BugClass::LostDelivery => lost_delivery(&mut t),
+        BugClass::DuplicateDelivery => duplicate_delivery(&mut t),
+        BugClass::ReorderedDelivery => reordered_delivery(&mut t),
+        BugClass::ChannelDeadlock => channel_deadlock(&mut t),
     }
     t.finish()
 }
@@ -305,7 +356,12 @@ impl<'a> TemplateCtx<'a> {
         for i in 0..self.spec.noise_threads {
             let width = self.rng.random_range(6..=30u64);
             let cost = self.rng.random_range(2..=6u64);
-            let value = self.rng.random_range(0..=9i64);
+            // Disjoint from every mechanism value range (probe flips return
+            // 0/1): a noise constant that can equal a mechanism method's
+            // return would make a cross-method value-collision predicate
+            // fully discriminative, and its force-distinct repair would
+            // confirm a noise-touching predicate — a false lineage hit.
+            let value = self.rng.random_range(100..=109i64);
             let scratch = self.b.object(&format!("noiseState{i}"), 0);
             let task = self.b.pure_method(&format!("NoiseTask{i}"), |m| {
                 m.compute(cost).ret(Expr::Const(value));
@@ -757,6 +813,245 @@ fn timing(t: &mut TemplateCtx) {
     });
 }
 
+/// **lost-delivery**: a publisher probes its link and only sends an update
+/// when the probe reports healthy; a failed probe silently drops the
+/// update, the subscriber's receive times out, and the `eventually`
+/// liveness invariant goes unsatisfied. The root is the wrong probe
+/// outcome (a pure method returning 0 where every successful run returns
+/// 1), repaired by forcing the healthy value — which also re-arms the
+/// send guard.
+fn lost_delivery(t: &mut TemplateCtx) {
+    let lat_hi = t.rng.random_range(3..=8u64);
+    let pub_jitter = t.rng.random_range(2..=12u64);
+    let timeout = 120 + t.rng.random_range(0..=60u64);
+    let payload = t.rng.random_range(40..=90i64);
+
+    let updates = t.b.channel("updates", None, 1, lat_hi);
+    let applied = t.b.object("appliedValue", 0);
+    t.b.invariant_eventually(
+        "update-applied",
+        Expr::Obj(applied),
+        Cmp::Eq,
+        Expr::Const(payload),
+    );
+
+    let probe = t.b.pure_method("ProbeLink", |m| {
+        m.rand_range(RAW, 0, 1).ret(Expr::Reg(RAW));
+    });
+    let publish = t.b.method("PublishUpdate", move |m| {
+        m.jitter(1, pub_jitter).send_if(
+            updates,
+            Expr::Const(payload),
+            Expr::Reg(RAW),
+            Cmp::Eq,
+            Expr::Const(1),
+        );
+    });
+    let publisher = t.b.method("PublisherLoop", |m| {
+        m.call(probe).call(publish);
+    });
+    let apply = t.b.method("ApplyUpdate", move |m| {
+        m.recv_timeout(updates, Reg(0), timeout)
+            .write(applied, Expr::Reg(Reg(0)));
+    });
+    let (chain, _last, mirrors) = chain_and_mirrors(t, "Feed");
+    let subscriber = t.b.method("SubscriberLoop", move |m| {
+        m.call(apply).set_if(
+            VERDICT,
+            Expr::Reg(Reg(0)),
+            Cmp::Lt,
+            Expr::Const(0),
+            Expr::Const(1),
+            Expr::Const(0),
+        );
+        m.call_each(&chain).call_each(&mirrors);
+    });
+    t.thread("publisher", publisher);
+    t.thread("subscriber", subscriber);
+    t.add_noise_threads();
+    t.mechanism.extend([probe, publish, apply]);
+    t.main(|_| {});
+}
+
+/// **duplicate-delivery**: a teller submits a deposit, then probes for the
+/// ack; a lost ack triggers a retry that re-delivers the same deposit, and
+/// the ledger's applied balance breaks the `always` safety invariant. The
+/// root is the wrong ack-probe outcome, same repair shape as
+/// lost-delivery.
+fn duplicate_delivery(t: &mut TemplateCtx) {
+    let lat_hi = t.rng.random_range(2..=6u64);
+    let amount = t.rng.random_range(30..=80i64);
+    let dup_window = 80 + t.rng.random_range(0..=40u64);
+
+    let deposits = t.b.channel("deposits", None, 1, lat_hi);
+    let balance = t.b.object("balance", 0);
+    t.b.invariant_always(
+        "no-overdeposit",
+        Expr::Obj(balance),
+        Cmp::Le,
+        Expr::Const(amount),
+    );
+
+    let ack = t.b.pure_method("AckReceived", |m| {
+        m.rand_range(Reg(3), 0, 1).ret(Expr::Reg(Reg(3)));
+    });
+    let submit = t.b.method("SubmitDeposit", move |m| {
+        m.jitter(1, 6).send(deposits, Expr::Const(amount));
+    });
+    let retry = t.b.method("RetryDeposit", move |m| {
+        m.send_if(
+            deposits,
+            Expr::Const(amount),
+            Expr::Reg(Reg(3)),
+            Cmp::Eq,
+            Expr::Const(0),
+        );
+    });
+    let teller = t.b.method("TellerLoop", |m| {
+        m.call(submit).call(ack).call(retry);
+    });
+    let apply = t.b.method("ApplyDeposits", move |m| {
+        m.recv(deposits, Reg(0))
+            .recv_timeout(deposits, RAW, dup_window);
+    });
+    let (chain, _last, mirrors) = chain_and_mirrors(t, "Ledger");
+    let ledger = t.b.method("LedgerLoop", move |m| {
+        m.call(apply)
+            .set_if(
+                VERDICT,
+                Expr::Reg(RAW),
+                Cmp::Ge,
+                Expr::Const(0),
+                Expr::Const(1),
+                Expr::Const(0),
+            )
+            .set_if(
+                Reg(3),
+                Expr::Reg(RAW),
+                Cmp::Lt,
+                Expr::Const(0),
+                Expr::Reg(Reg(0)),
+                Expr::add(Expr::Reg(Reg(0)), Expr::Reg(RAW)),
+            );
+        m.call_each(&chain).call_each(&mirrors);
+        // The invariant trips here on duplicated runs (after the symptom
+        // decorations have fired).
+        m.write(balance, Expr::Reg(Reg(3)));
+    });
+    t.thread("teller", teller);
+    t.thread("ledger", ledger);
+    t.add_noise_threads();
+    t.mechanism.extend([ack, submit, retry, apply]);
+    t.main(|_| {});
+}
+
+/// **reordered-delivery**: a prepare/commit pair crosses one fixed-latency
+/// channel, but the two sends race in wall-clock time — when the commit
+/// relay wins, the channel delivers commit before prepare and the
+/// consumer's cross-process atomicity breaks. The racing sends surface as
+/// a data-race predicate on the channel pseudo-object — discovery confirms
+/// that as root, with the lost send precedence (an order-violation
+/// predicate) as the next causal link.
+fn reordered_delivery(t: &mut TemplateCtx) {
+    let lat = t.rng.random_range(2..=5u64);
+    let prep_lo = t.rng.random_range(6..=12u64);
+    let prep_hi = prep_lo + t.rng.random_range(35..=50u64);
+    let com_lo = t.rng.random_range(4..=8u64);
+    let com_hi = com_lo + t.rng.random_range(35..=50u64);
+
+    // Fixed latency: delivery order is exactly send order, so the race is
+    // between the senders, not the fault plane.
+    let tx = t.b.channel("txQ", None, lat, lat);
+
+    let prepare = t.b.method("SendPrepare", move |m| {
+        m.jitter(prep_lo, prep_hi).send(tx, Expr::Const(1));
+    });
+    let preparer = t.b.method("PreparerLoop", |m| {
+        m.call(prepare);
+    });
+    let commit = t.b.method("RelayCommit", move |m| {
+        m.send(tx, Expr::Const(2));
+    });
+    let committer = t.b.method("CommitterLoop", move |m| {
+        m.jitter(com_lo, com_hi).call(commit);
+    });
+    let apply = t.b.method("ApplyTx", move |m| {
+        m.recv(tx, Reg(0)).recv(tx, RAW);
+    });
+    let (chain, last, mirrors) = chain_and_mirrors(t, "Journal");
+    let ledger = t.b.method("LedgerLoop", move |m| {
+        m.call(apply).set_if(
+            VERDICT,
+            Expr::Reg(Reg(0)),
+            Cmp::Eq,
+            Expr::Const(2),
+            Expr::Const(1),
+            Expr::Const(0),
+        );
+        m.call_each(&chain).call_each(&mirrors).throw_if(
+            Expr::Reg(last),
+            Cmp::Eq,
+            Expr::Const(1),
+            "AtomicityBroken",
+        );
+    });
+    t.thread("preparer", preparer);
+    t.thread("committer", committer);
+    t.thread("ledger", ledger);
+    t.add_noise_threads();
+    t.mechanism.extend([prepare, commit, apply]);
+    t.main(|_| {});
+}
+
+/// **channel-deadlock**: two ring stages forward a token through circular
+/// channels; the kickstart is guarded on a link probe, so a failed probe
+/// leaves both stages blocked on receives that can never be satisfied —
+/// the scheduler proves the circular wait and fails the run with
+/// `Deadlock`. The root is the wrong probe outcome.
+fn channel_deadlock(t: &mut TemplateCtx) {
+    let start_jitter = t.rng.random_range(2..=10u64);
+
+    let ring_a = t.b.channel("ringA", None, 1, 1);
+    let ring_b = t.b.channel("ringB", None, 1, 1);
+
+    let probe = t.b.pure_method("ProbeRing", |m| {
+        m.rand_range(Reg(3), 0, 1).ret(Expr::Reg(Reg(3)));
+    });
+    let inject = t.b.method("InjectToken", move |m| {
+        m.send_if(
+            ring_a,
+            Expr::Const(7),
+            Expr::Reg(Reg(3)),
+            Cmp::Eq,
+            Expr::Const(1),
+        );
+    });
+    let (chain, _last, mirrors) = chain_and_mirrors(t, "Ring");
+    let starter = t.b.method("StarterLoop", move |m| {
+        m.jitter(1, start_jitter).call(probe).call(inject).set_if(
+            VERDICT,
+            Expr::Reg(Reg(3)),
+            Cmp::Eq,
+            Expr::Const(0),
+            Expr::Const(1),
+            Expr::Const(0),
+        );
+        m.call_each(&chain).call_each(&mirrors);
+    });
+    let stage_a = t.b.method("ForwardStageA", move |m| {
+        m.recv(ring_a, Reg(0)).send(ring_b, Expr::Reg(Reg(0)));
+    });
+    let stage_b = t.b.method("ForwardStageB", move |m| {
+        m.recv(ring_b, Reg(0)).send(ring_a, Expr::Reg(Reg(0)));
+    });
+    t.thread("starter", starter);
+    t.thread("stageA", stage_a);
+    t.thread("stageB", stage_b);
+    t.add_noise_threads();
+    t.mechanism.extend([probe, inject, stage_a, stage_b]);
+    t.main(|_| {});
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -764,7 +1059,7 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let params = LabParams::default();
-        for seed in 0..5 {
+        for seed in 0..9 {
             let a = generate_raw(&params, seed, 0);
             let b = generate_raw(&params, seed, 0);
             assert_eq!(a.program.fingerprint(), b.program.fingerprint());
@@ -777,10 +1072,29 @@ mod tests {
     #[test]
     fn contiguous_seeds_cover_every_bug_class() {
         let params = LabParams::default();
-        let classes: BTreeSet<BugClass> = (0..5)
+        let classes: BTreeSet<BugClass> = (0..9)
             .map(|s| generate_raw(&params, s, 0).spec.bug_class)
             .collect();
-        assert_eq!(classes.len(), 5, "seed % 5 must cover all templates");
+        assert_eq!(classes.len(), 9, "seed % 9 must cover all templates");
+    }
+
+    #[test]
+    fn channel_classes_declare_channels_and_shared_classes_do_not() {
+        let params = LabParams::default();
+        for seed in 0..9 {
+            let s = generate_raw(&params, seed, 0);
+            assert_eq!(
+                !s.program.channels.is_empty(),
+                s.spec.bug_class.uses_channels(),
+                "{}",
+                s.name
+            );
+        }
+        // The invariant-oracle classes declare exactly one invariant each.
+        for seed in [5u64, 6] {
+            let s = generate_raw(&params, seed, 0);
+            assert_eq!(s.program.invariants.len(), 1, "{}", s.name);
+        }
     }
 
     #[test]
@@ -814,7 +1128,7 @@ mod tests {
     #[test]
     fn generated_scenarios_are_intermittent() {
         let params = LabParams::default();
-        for seed in 0..10 {
+        for seed in 0..9 {
             let s = generate(&params, seed);
             let set = s.collect(&params).expect("generate() validated viability");
             let (ok, fail) = set.counts();

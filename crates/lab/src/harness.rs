@@ -365,6 +365,7 @@ pub fn corpus_violations(
         let prefix = TraceSet {
             methods: set.methods.clone(),
             objects: set.objects.clone(),
+            channels: set.channels.clone(),
             traces: set.traces[..=k].to_vec(),
         };
         let batch = analyze(&prefix, config);
@@ -677,6 +678,7 @@ pub fn check_scenario_on(
                         let neutral = TraceSet {
                             methods: set.methods.clone(),
                             objects: set.objects.clone(),
+                            channels: set.channels.clone(),
                             traces: replay,
                         };
                         let before = multi.stats().executions;

@@ -5,10 +5,12 @@
 //! behavior to a *fixed* test matrix. This crate makes the matrix
 //! open-ended:
 //!
-//! * [`gen`] draws arbitrary buggy concurrent programs from five
-//!   parameterized bug-class templates (data race, atomicity violation,
-//!   order violation, use-after-free, timing/expiry), each with randomized
-//!   thread counts, schedules, symptom decorations, and causally unrelated
+//! * [`gen`] draws arbitrary buggy concurrent programs from nine
+//!   parameterized bug-class templates — five shared-memory (data race,
+//!   atomicity violation, order violation, use-after-free, timing/expiry)
+//!   and four message-passing (lost delivery, duplicate delivery,
+//!   reordered delivery, channel deadlock) — each with randomized thread
+//!   counts, schedules, symptom decorations, and causally unrelated
 //!   noise — and with machine-checkable ground truth attached;
 //! * [`harness`] runs the full pipeline (codec → store → predicates → SD →
 //!   AC-DAG → engine discovery) on every generated scenario and checks
@@ -27,7 +29,7 @@
 //! ```
 //! use aid_lab::{generate_raw, BugClass, LabParams};
 //!
-//! // Deterministic per seed; `seed % 5` walks the five bug classes.
+//! // Deterministic per seed; `seed % 9` walks the nine bug classes.
 //! let params = LabParams::default();
 //! let scenario = generate_raw(&params, 2, 0);
 //! assert_eq!(scenario.spec.bug_class, BugClass::OrderViolation);

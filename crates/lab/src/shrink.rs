@@ -154,6 +154,7 @@ mod tests {
             let mut t = Trace {
                 seed,
                 events,
+                msgs: vec![],
                 outcome: if seed % 2 == 0 {
                     Outcome::Success
                 } else {

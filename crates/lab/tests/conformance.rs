@@ -35,7 +35,7 @@ fn fixed_seed_sweep_is_conformant() {
     assert_eq!(
         classes.len(),
         BugClass::ALL.len(),
-        "ten contiguous seeds must cover all five bug classes"
+        "ten contiguous seeds must cover all nine bug classes"
     );
     // Deterministic per seed, so these are exact floors, not flaky ones.
     assert!(root_found >= 9, "root found in {root_found}/{N}");

@@ -51,7 +51,7 @@ fn regenerate_committed_corpus() {
     use aid_lab::{generate_validated, shrink_corpus, CorpusEntry, LabParams};
 
     let params = LabParams::default();
-    for seed in 1..=5u64 {
+    for seed in 1..=9u64 {
         let (scenario, set) = generate_validated(&params, seed);
         let config = scenario.config.clone();
         let shrunk = shrink_corpus(&set, &mut |s| {

@@ -214,6 +214,7 @@ mod tests {
         Trace {
             seed: 0,
             events,
+            msgs: vec![],
             outcome,
             duration: 1000,
         }

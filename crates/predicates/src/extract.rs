@@ -521,6 +521,7 @@ mod tests {
             let mut t = Trace {
                 seed,
                 events: vec![mk(0, 10, m0, Some(1)), mk(20, 30, m1, Some(2))],
+                msgs: vec![],
                 outcome: Outcome::Success,
                 duration: 40,
             };
@@ -532,6 +533,7 @@ mod tests {
         let mut t = Trace {
             seed: 9,
             events: vec![mk(0, 10, m0, Some(1)), bad_b],
+            msgs: vec![],
             outcome: Outcome::Failure(FailureSignature {
                 kind: "Crash".into(),
                 method: m1,
@@ -622,6 +624,7 @@ mod tests {
             set.push(Trace {
                 seed,
                 events: vec![],
+                msgs: vec![],
                 outcome: Outcome::Failure(FailureSignature {
                     kind: "Other".into(),
                     method: m0,

@@ -53,6 +53,7 @@ fn stat_neutral_tail(set: &TraceSet) -> String {
     codec::encode(&TraceSet {
         methods: set.methods.clone(),
         objects: set.objects.clone(),
+        channels: set.channels.clone(),
         traces: replay,
     })
 }

@@ -18,8 +18,11 @@
 //! assert_eq!(program.methods.len(), 2);
 //! ```
 
-use crate::program::{Cmp, Cond, Expr, MethodDef, ObjectDef, Op, Program, Reg, ThreadSpec};
-use aid_trace::{MethodId, ObjectId};
+use crate::program::{
+    ChannelDef, Cmp, Cond, Expr, InvariantDef, InvariantMode, MethodDef, ObjectDef, Op, Program,
+    Reg, ThreadSpec,
+};
+use aid_trace::{ChannelId, MethodId, ObjectId};
 use std::collections::BTreeMap;
 
 /// Builds a [`Program`] incrementally.
@@ -27,6 +30,8 @@ pub struct ProgramBuilder {
     name: String,
     methods: Vec<MethodDef>,
     objects: Vec<ObjectDef>,
+    channels: Vec<ChannelDef>,
+    invariants: Vec<InvariantDef>,
     threads: Vec<ThreadSpec>,
     thread_names: BTreeMap<String, usize>,
     pending_spawns: Vec<(MethodId, usize, String)>,
@@ -39,6 +44,8 @@ impl ProgramBuilder {
             name: name.to_string(),
             methods: Vec::new(),
             objects: Vec::new(),
+            channels: Vec::new(),
+            invariants: Vec::new(),
             threads: Vec::new(),
             thread_names: BTreeMap::new(),
             pending_spawns: Vec::new(),
@@ -53,6 +60,47 @@ impl ProgramBuilder {
             initial,
         });
         id
+    }
+
+    /// Declares a message channel. `capacity: None` is unbounded; a latency
+    /// range with `max > min` makes each send draw its delivery latency from
+    /// the scheduler RNG.
+    pub fn channel(
+        &mut self,
+        name: &str,
+        capacity: Option<u32>,
+        latency_min: u64,
+        latency_max: u64,
+    ) -> ChannelId {
+        let id = ChannelId::from_raw(self.channels.len() as u32);
+        self.channels.push(ChannelDef {
+            name: name.to_string(),
+            capacity,
+            latency_min,
+            latency_max,
+        });
+        id
+    }
+
+    /// Declares an `always` invariant: `lhs cmp rhs` must hold at every
+    /// observation point or the run fails with kind `always:<name>`.
+    pub fn invariant_always(&mut self, name: &str, lhs: Expr, cmp: Cmp, rhs: Expr) {
+        self.invariants.push(InvariantDef {
+            name: name.to_string(),
+            mode: InvariantMode::Always,
+            cond: Cond::new(lhs, cmp, rhs),
+        });
+    }
+
+    /// Declares an `eventually` invariant: `lhs cmp rhs` must hold at some
+    /// observation point before the run finishes, or the run fails with kind
+    /// `eventually:<name>`.
+    pub fn invariant_eventually(&mut self, name: &str, lhs: Expr, cmp: Cmp, rhs: Expr) {
+        self.invariants.push(InvariantDef {
+            name: name.to_string(),
+            mode: InvariantMode::Eventually,
+            cond: Cond::new(lhs, cmp, rhs),
+        });
     }
 
     /// Defines an impure method (may mutate shared state).
@@ -113,6 +161,8 @@ impl ProgramBuilder {
             name: self.name,
             methods: self.methods,
             objects: self.objects,
+            channels: self.channels,
+            invariants: self.invariants,
             threads: self.threads,
         };
         p.validate();
@@ -280,6 +330,51 @@ impl BodyBuilder {
     pub fn wait_until(&mut self, lhs: Expr, cmp: Cmp, rhs: Expr) -> &mut Self {
         self.op(Op::WaitUntil {
             cond: Cond::new(lhs, cmp, rhs),
+        })
+    }
+
+    /// Send `value` into `channel` unconditionally.
+    pub fn send(&mut self, channel: ChannelId, value: Expr) -> &mut Self {
+        self.op(Op::Send {
+            channel,
+            value,
+            guard: None,
+        })
+    }
+
+    /// Send `value` into `channel` only when `lhs cmp rhs` holds at send
+    /// time; otherwise continue without sending.
+    pub fn send_if(
+        &mut self,
+        channel: ChannelId,
+        value: Expr,
+        lhs: Expr,
+        cmp: Cmp,
+        rhs: Expr,
+    ) -> &mut Self {
+        self.op(Op::Send {
+            channel,
+            value,
+            guard: Some(Cond::new(lhs, cmp, rhs)),
+        })
+    }
+
+    /// Receive from `channel` into `reg`, blocking forever.
+    pub fn recv(&mut self, channel: ChannelId, reg: Reg) -> &mut Self {
+        self.op(Op::Recv {
+            channel,
+            reg,
+            timeout: 0,
+        })
+    }
+
+    /// Receive from `channel` into `reg`, giving up after `timeout` ticks
+    /// (the register then holds the `-1` timeout sentinel).
+    pub fn recv_timeout(&mut self, channel: ChannelId, reg: Reg, timeout: u64) -> &mut Self {
+        self.op(Op::Recv {
+            channel,
+            reg,
+            timeout,
         })
     }
 }

@@ -56,6 +56,8 @@ pub enum EOp {
     Obj(u32),
     /// Push the current virtual clock as `i64`.
     Now,
+    /// Push a channel's occupancy (transit + mailbox) as `i64`.
+    ChanLen(u32),
     /// Pop two, push their wrapping sum.
     Add,
     /// Pop two, push their wrapping difference.
@@ -218,6 +220,27 @@ pub enum Instr {
         /// Condition (peeks are not recorded as accesses).
         cond: CondRef,
     },
+    /// Send a value into a channel (recorded as a write access on the
+    /// channel's pseudo-object). Blocks while a bounded channel is full.
+    Send {
+        /// Channel index.
+        channel: u32,
+        /// Value expression.
+        value: ExprRef,
+        /// Guard condition: when present and false, the send is skipped.
+        guard: Option<CondRef>,
+    },
+    /// Receive from a channel into a register (recorded as a read access on
+    /// the channel's pseudo-object). Blocks on an empty mailbox; a non-zero
+    /// timeout yields the `-1` sentinel instead once it expires.
+    Recv {
+        /// Channel index.
+        channel: u32,
+        /// Destination register.
+        reg: u8,
+        /// Ticks to wait before giving up (`0` = wait forever).
+        timeout: u64,
+    },
 }
 
 /// Per-method compiled metadata.
@@ -249,6 +272,30 @@ pub struct CompiledThread {
     pub auto_start: bool,
 }
 
+/// Per-channel compiled metadata.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledChannel {
+    /// `None` = unbounded; `Some(n)` blocks sends at occupancy `n`.
+    pub capacity: Option<u32>,
+    /// Minimum delivery latency (ticks).
+    pub latency_min: u64,
+    /// Maximum delivery latency; a draw happens only when `max > min`.
+    pub latency_max: u64,
+}
+
+/// A compiled invariant: the condition plus its pre-interned failure kind
+/// (`always:<name>` / `eventually:<name>`), so violation paths need no
+/// string formatting at run time.
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledInvariant {
+    /// True for `always` invariants, false for `eventually`.
+    pub always: bool,
+    /// The register-free condition.
+    pub cond: CondRef,
+    /// Interned failure kind used when the invariant is violated.
+    pub kind: KindId,
+}
+
 /// A [`Program`] lowered to flat bytecode. Pure function of the program —
 /// compile once, run under any plan/seed/config.
 #[derive(Clone, Debug)]
@@ -270,6 +317,12 @@ pub struct CompiledProgram {
     pub method_names: Vec<String>,
     /// Object names (for diagnostics in typed VM errors).
     pub object_names: Vec<String>,
+    /// Per-channel capacity/latency metadata.
+    pub channels: Vec<CompiledChannel>,
+    /// Channel names (for diagnostics and pseudo-object interning).
+    pub channel_names: Vec<String>,
+    /// Compiled invariants, in declaration order.
+    pub invariants: Vec<CompiledInvariant>,
     /// Deepest scratch stack any expression evaluation needs.
     pub max_eval_depth: usize,
 }
@@ -314,6 +367,10 @@ impl Compiler {
             }
             Expr::Now => {
                 self.eops.push(EOp::Now);
+                1
+            }
+            Expr::ChanLen(c) => {
+                self.eops.push(EOp::ChanLen(c.index() as u32));
                 1
             }
             Expr::Add(a, b) => {
@@ -443,6 +500,24 @@ impl Compiler {
             Op::WaitUntil { cond } => Instr::WaitUntil {
                 cond: self.cond(cond),
             },
+            Op::Send {
+                channel,
+                value,
+                guard,
+            } => Instr::Send {
+                channel: channel.index() as u32,
+                value: self.expr(value),
+                guard: guard.as_ref().map(|g| self.cond(g)),
+            },
+            Op::Recv {
+                channel,
+                reg,
+                timeout,
+            } => Instr::Recv {
+                channel: channel.index() as u32,
+                reg: reg.0,
+                timeout: *timeout,
+            },
         }
     }
 }
@@ -481,7 +556,11 @@ pub fn compile(program: &Program) -> CompiledProgram {
             .filter(|i| {
                 matches!(
                     i,
-                    Instr::Read { .. } | Instr::Write { .. } | Instr::ThrowIfObj { .. }
+                    Instr::Read { .. }
+                        | Instr::Write { .. }
+                        | Instr::ThrowIfObj { .. }
+                        | Instr::Send { .. }
+                        | Instr::Recv { .. }
                 )
             })
             .count() as u32;
@@ -501,6 +580,29 @@ pub fn compile(program: &Program) -> CompiledProgram {
             auto_start: t.auto_start,
         })
         .collect();
+    let channels = program
+        .channels
+        .iter()
+        .map(|ch| CompiledChannel {
+            capacity: ch.capacity,
+            latency_min: ch.latency_min,
+            latency_max: ch.latency_max,
+        })
+        .collect();
+    let invariants = program
+        .invariants
+        .iter()
+        .map(|inv| {
+            let always = matches!(inv.mode, crate::program::InvariantMode::Always);
+            let prefix = if always { "always" } else { "eventually" };
+            let kind = c.intern_kind(&format!("{prefix}:{}", inv.name));
+            CompiledInvariant {
+                always,
+                cond: c.cond(&inv.cond),
+                kind,
+            }
+        })
+        .collect();
     CompiledProgram {
         methods,
         threads,
@@ -510,6 +612,9 @@ pub fn compile(program: &Program) -> CompiledProgram {
         objects_init: program.objects.iter().map(|o| o.initial).collect(),
         method_names: program.methods.iter().map(|m| m.name.clone()).collect(),
         object_names: program.objects.iter().map(|o| o.name.clone()).collect(),
+        channels,
+        channel_names: program.channels.iter().map(|ch| ch.name.clone()).collect(),
+        invariants,
         max_eval_depth: c.max_eval_depth,
     }
 }
@@ -546,6 +651,8 @@ mod tests {
                 name: "x".into(),
                 initial: 7,
             }],
+            channels: vec![],
+            invariants: vec![],
             threads: vec![ThreadSpec {
                 name: "t".into(),
                 entry: MethodId::from_raw(0),

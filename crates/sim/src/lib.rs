@@ -47,6 +47,9 @@ pub use compile::{compile, CompiledProgram};
 pub use exec::{lower_action, plan_for, SimExecutor};
 pub use machine::{SimConfig, DEADLOCK_KIND, TIMEOUT_KIND};
 pub use plan::{InstanceFilter, Intervention, InterventionPlan};
-pub use program::{Cmp, Cond, Expr, MethodDef, ObjectDef, Op, Program, Reg, ThreadSpec};
+pub use program::{
+    ChannelDef, Cmp, Cond, Expr, InvariantDef, InvariantMode, MethodDef, ObjectDef, Op, Program,
+    Reg, ThreadSpec,
+};
 pub use runner::Simulator;
 pub use vm::{Vm, VmError};

@@ -263,6 +263,7 @@ impl LiveHarness {
         let mut trace = Trace {
             seed,
             events: rx.iter().collect(),
+            msgs: vec![],
             outcome: match failure {
                 Some(sig) => Outcome::Failure(sig),
                 None => Outcome::Success,

@@ -24,13 +24,14 @@
 //!   effort and must never wedge the run.
 
 use crate::plan::{Intervention, InterventionPlan};
-use crate::program::{Cond, Expr, MethodDef, Op, Program, NUM_REGS};
+use crate::program::{Cond, Expr, InvariantMode, MethodDef, Op, Program, NUM_REGS};
 use aid_trace::{
-    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome, ThreadId,
-    Time, Trace,
+    AccessEvent, AccessKind, ChannelId, FailureSignature, MethodEvent, MethodId, MsgEvent, MsgKind,
+    ObjectId, Outcome, ThreadId, Time, Trace,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// Tuning knobs for a run.
 #[derive(Clone, Debug)]
@@ -60,7 +61,39 @@ enum ThreadState {
     Sleeping(Time),
     BlockedWait,
     BlockedOrder(MethodId),
+    /// Blocked on a full bounded channel; wakes when a receive frees a slot.
+    BlockedSend(ChannelId),
+    /// Blocked on an empty mailbox; wakes on delivery or at the deadline
+    /// (`Time::MAX` = wait forever). Unlike `BlockedWait`/`BlockedOrder`,
+    /// channel waits are *not* freed by the liveness valve — a circular
+    /// channel wait is a real deadlock and must fail as one.
+    BlockedRecv {
+        chan: ChannelId,
+        deadline: Time,
+    },
     Done,
+}
+
+/// A message either in transit or sitting in a mailbox.
+struct Msg {
+    seq: u32,
+    value: i64,
+    /// Sender's clock at send time.
+    sent: Time,
+    /// When the pump moves it from transit into the mailbox.
+    deliver_at: Time,
+    /// Sending thread (delivery events are attributed to it).
+    sender: ThreadId,
+    dup: bool,
+}
+
+/// Per-channel runtime state.
+struct ChanRt {
+    /// Sent but not yet delivered, unordered (the pump scans for due ones).
+    transit: Vec<Msg>,
+    /// Delivered and receiver-visible, in delivery order.
+    mailbox: VecDeque<Msg>,
+    next_seq: u32,
 }
 
 struct Frame {
@@ -88,6 +121,10 @@ struct Frame {
     end_delay: u64,
     /// True once the body finished and only the end-delay remains.
     in_epilogue: bool,
+    /// Deadline of an in-progress timed `Recv` at this frame's current pc.
+    /// Lets the re-executed op distinguish first execution (None) from a
+    /// woken retry (Some, not yet due) from a timeout (Some, due).
+    recv_deadline: Option<Time>,
 }
 
 struct ThreadRt {
@@ -114,6 +151,11 @@ pub struct Machine<'p> {
     started_instances: Vec<u32>,
     completed_instances: Vec<u32>,
     events: Vec<MethodEvent>,
+    channels: Vec<ChanRt>,
+    msgs: Vec<MsgEvent>,
+    /// Per-invariant "has held at some observation point" flag (only
+    /// meaningful for `Eventually` invariants).
+    eventually_ok: Vec<bool>,
     failure: Option<FailureSignature>,
     rng_sched: StdRng,
     rng_prog: StdRng,
@@ -158,6 +200,17 @@ impl<'p> Machine<'p> {
             started_instances: vec![0; program.methods.len()],
             completed_instances: vec![0; program.methods.len()],
             events: Vec::new(),
+            channels: program
+                .channels
+                .iter()
+                .map(|_| ChanRt {
+                    transit: Vec::new(),
+                    mailbox: VecDeque::new(),
+                    next_seq: 0,
+                })
+                .collect(),
+            msgs: Vec::new(),
+            eventually_ok: vec![false; program.invariants.len()],
             failure: None,
             rng_sched: StdRng::seed_from_u64(seed),
             rng_prog: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
@@ -166,6 +219,11 @@ impl<'p> Machine<'p> {
 
     /// Runs to completion and returns the trace.
     pub fn run(mut self) -> Trace {
+        // Initial observation point: an `always` invariant false over the
+        // initial state fails immediately; an `eventually` one may already
+        // hold.
+        let init_origin = self.program.threads[0].entry;
+        self.check_invariants(init_origin);
         let mut steps: u64 = 0;
         loop {
             if self.failure.is_some() {
@@ -192,9 +250,50 @@ impl<'p> Machine<'p> {
         self.finish()
     }
 
+    /// Delivers every in-transit message that has come due, moving it into
+    /// its channel's mailbox in `(deliver_at, channel, seq, dup)` order.
+    /// Runs before every scheduling decision, so receivers observe a
+    /// delivery at the first pick after its delivery tick. Delivery does not
+    /// change channel occupancy (transit + mailbox), so no invariant
+    /// observation point is needed here.
+    fn pump(&mut self) {
+        if self.channels.is_empty() {
+            return;
+        }
+        loop {
+            let mut best: Option<(Time, usize, u32, bool, usize)> = None;
+            for ci in 0..self.channels.len() {
+                for (i, m) in self.channels[ci].transit.iter().enumerate() {
+                    if m.deliver_at <= self.clock {
+                        let key = (m.deliver_at, ci, m.seq, m.dup);
+                        if best.map_or(true, |(t, c, s, d, _)| key < (t, c, s, d)) {
+                            best = Some((m.deliver_at, ci, m.seq, m.dup, i));
+                        }
+                    }
+                }
+            }
+            let Some((_, ci, _, _, idx)) = best else {
+                break;
+            };
+            let msg = self.channels[ci].transit.remove(idx);
+            self.msgs.push(MsgEvent {
+                channel: ChannelId::from_raw(ci as u32),
+                kind: MsgKind::Deliver,
+                seq: msg.seq,
+                value: msg.value,
+                sent: msg.sent,
+                at: msg.deliver_at,
+                thread: msg.sender,
+                dup: msg.dup,
+            });
+            self.channels[ci].mailbox.push_back(msg);
+        }
+    }
+
     /// Returns a runnable thread chosen at random, unblocking what can be
     /// unblocked first. `None` if nothing can run.
     fn pick_thread(&mut self) -> Option<usize> {
+        self.pump();
         let mut ready: Vec<usize> = Vec::new();
         let mut min_wake: Option<Time> = None;
         for tid in 0..self.threads.len() {
@@ -243,10 +342,36 @@ impl<'p> Machine<'p> {
                         ready.push(tid);
                     }
                 }
+                ThreadState::BlockedSend(chan) => {
+                    let def_cap = self.program.channels[chan.index()].capacity;
+                    let ch = &self.channels[chan.index()];
+                    let occupancy = ch.transit.len() + ch.mailbox.len();
+                    if def_cap.map_or(true, |c| occupancy < c as usize) {
+                        self.threads[tid].state = ThreadState::Ready;
+                        ready.push(tid);
+                    }
+                }
+                ThreadState::BlockedRecv { chan, deadline } => {
+                    if !self.channels[chan.index()].mailbox.is_empty() || self.clock >= deadline {
+                        self.threads[tid].state = ThreadState::Ready;
+                        ready.push(tid);
+                    } else if deadline != Time::MAX {
+                        min_wake = Some(min_wake.map_or(deadline, |m: Time| m.min(deadline)));
+                    }
+                }
                 ThreadState::NotStarted | ThreadState::Done => {}
             }
         }
         if ready.is_empty() {
+            // In-transit deliveries are wake events too: a receiver blocked
+            // on an empty mailbox becomes runnable once the pump delivers.
+            // (All transit messages are strictly in the future here — the
+            // pump above already delivered everything due.)
+            for ch in &self.channels {
+                for m in &ch.transit {
+                    min_wake = Some(min_wake.map_or(m.deliver_at, |w: Time| w.min(m.deliver_at)));
+                }
+            }
             if let Some(wake) = min_wake {
                 // Everyone is asleep: jump time forward and retry.
                 self.clock = wake;
@@ -390,6 +515,8 @@ impl<'p> Machine<'p> {
                 let v = self.eval_expr(&value, tid);
                 self.shared[object.index()] = v;
                 self.record_access(tid, object, AccessKind::Write);
+                let origin = self.threads[tid].frames.last().unwrap().method;
+                self.check_invariants(origin);
                 self.advance(tid);
             }
             Op::ThrowIfObj {
@@ -545,6 +672,191 @@ impl<'p> Machine<'p> {
                     self.threads[tid].state = ThreadState::BlockedWait;
                 }
             }
+            Op::Send {
+                channel,
+                value,
+                guard,
+            } => {
+                // Guard first: a false guard skips the send entirely — no
+                // event, no latency draw, no capacity check.
+                if let Some(g) = guard {
+                    if !self.eval_cond(&g, tid) {
+                        self.advance(tid);
+                        return;
+                    }
+                }
+                let ci = channel.index();
+                let def = &self.program.channels[ci];
+                if let Some(cap) = def.capacity {
+                    let occupancy =
+                        self.channels[ci].transit.len() + self.channels[ci].mailbox.len();
+                    if occupancy >= cap as usize {
+                        // Full: block; the op re-executes (guard included)
+                        // when a receive frees a slot.
+                        self.threads[tid].state = ThreadState::BlockedSend(channel);
+                        return;
+                    }
+                }
+                let v = self.eval_expr(&value, tid);
+                let (lat_min, lat_max) = (def.latency_min, def.latency_max);
+                let latency = if lat_max > lat_min {
+                    self.rng_sched.random_range(lat_min..=lat_max)
+                } else {
+                    lat_min
+                };
+                let seq = self.channels[ci].next_seq;
+                self.channels[ci].next_seq += 1;
+                let mut deliver_at = self.clock + latency;
+                // Fault plane, resolved at send time: delays sum, drop wins
+                // over duplicate.
+                let mut dropped = false;
+                let mut duplicate = false;
+                let mut reorder_prev = false;
+                for iv in &self.plan.interventions {
+                    match iv {
+                        Intervention::DelayDelivery {
+                            channel: c,
+                            seq: f,
+                            ticks,
+                        } if *c == channel && f.matches(seq) => deliver_at += *ticks,
+                        Intervention::DropDelivery { channel: c, seq: f }
+                            if *c == channel && f.matches(seq) =>
+                        {
+                            dropped = true;
+                        }
+                        Intervention::DuplicateDelivery { channel: c, seq: f }
+                            if *c == channel && f.matches(seq) =>
+                        {
+                            duplicate = true;
+                        }
+                        Intervention::ReorderDelivery { channel: c, seq: f }
+                            if *c == channel && seq > 0 && f.matches(seq - 1) =>
+                        {
+                            reorder_prev = true;
+                        }
+                        _ => {}
+                    }
+                }
+                let sender = ThreadId::from_raw(tid as u32);
+                let sender_method = self.threads[tid].frames.last().unwrap().method;
+                self.msgs.push(MsgEvent {
+                    channel,
+                    kind: MsgKind::Send,
+                    seq,
+                    value: v,
+                    sent: self.clock,
+                    at: self.clock,
+                    thread: sender,
+                    dup: false,
+                });
+                if dropped {
+                    self.msgs.push(MsgEvent {
+                        channel,
+                        kind: MsgKind::Drop,
+                        seq,
+                        value: v,
+                        sent: self.clock,
+                        at: self.clock,
+                        thread: sender,
+                        dup: false,
+                    });
+                } else {
+                    self.channels[ci].transit.push(Msg {
+                        seq,
+                        value: v,
+                        sent: self.clock,
+                        deliver_at,
+                        sender,
+                        dup: false,
+                    });
+                    if duplicate {
+                        self.channels[ci].transit.push(Msg {
+                            seq,
+                            value: v,
+                            sent: self.clock,
+                            deliver_at: deliver_at + 1,
+                            sender,
+                            dup: true,
+                        });
+                    }
+                    if reorder_prev {
+                        // Minimal pairwise reorder: push the predecessor's
+                        // delivery one past this message's (if it is still in
+                        // transit to be reordered at all).
+                        let push_past = deliver_at + 1;
+                        if let Some(prev) = self.channels[ci]
+                            .transit
+                            .iter_mut()
+                            .find(|m| m.seq == seq - 1 && !m.dup)
+                        {
+                            prev.deliver_at = prev.deliver_at.max(push_past);
+                        }
+                    }
+                }
+                let obj = self.chan_object(channel);
+                self.record_access(tid, obj, AccessKind::Write);
+                self.check_invariants(sender_method);
+                self.advance(tid);
+            }
+            Op::Recv {
+                channel,
+                reg,
+                timeout,
+            } => {
+                let ci = channel.index();
+                if let Some(msg) = self.channels[ci].mailbox.pop_front() {
+                    self.threads[tid].regs[reg.0 as usize] = msg.value;
+                    self.msgs.push(MsgEvent {
+                        channel,
+                        kind: MsgKind::Recv,
+                        seq: msg.seq,
+                        value: msg.value,
+                        sent: msg.sent,
+                        at: self.clock,
+                        thread: ThreadId::from_raw(tid as u32),
+                        dup: msg.dup,
+                    });
+                    let obj = self.chan_object(channel);
+                    self.record_access(tid, obj, AccessKind::Read);
+                    let f = self.threads[tid].frames.last_mut().unwrap();
+                    f.recv_deadline = None;
+                    let origin = f.method;
+                    self.check_invariants(origin);
+                    self.advance(tid);
+                } else {
+                    let dl = self.threads[tid].frames.last().unwrap().recv_deadline;
+                    match dl {
+                        None => {
+                            // First execution: arm the deadline and block.
+                            let deadline = if timeout == 0 {
+                                Time::MAX
+                            } else {
+                                self.clock + timeout
+                            };
+                            self.threads[tid].frames.last_mut().unwrap().recv_deadline =
+                                Some(deadline);
+                            self.threads[tid].state = ThreadState::BlockedRecv {
+                                chan: channel,
+                                deadline,
+                            };
+                        }
+                        Some(d) if self.clock >= d => {
+                            // Timed out: -1 sentinel, no event, no access.
+                            self.threads[tid].frames.last_mut().unwrap().recv_deadline = None;
+                            self.threads[tid].regs[reg.0 as usize] = -1;
+                            self.advance(tid);
+                        }
+                        Some(d) => {
+                            // Woken spuriously (another receiver drained the
+                            // delivery first): re-block until the deadline.
+                            self.threads[tid].state = ThreadState::BlockedRecv {
+                                chan: channel,
+                                deadline: d,
+                            };
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -660,6 +972,7 @@ impl<'p> Machine<'p> {
             program_locks: vec![],
             end_delay: delay_end,
             in_epilogue: false,
+            recv_deadline: None,
         });
 
         if let Some(first) = order_block {
@@ -789,6 +1102,10 @@ impl<'p> Machine<'p> {
             Expr::Reg(r) => self.threads[tid].regs[r.0 as usize],
             Expr::Obj(o) => self.shared[o.index()],
             Expr::Now => self.clock as i64,
+            Expr::ChanLen(c) => {
+                let ch = &self.channels[c.index()];
+                (ch.transit.len() + ch.mailbox.len()) as i64
+            }
             Expr::Add(a, b) => self.eval_expr(a, tid).wrapping_add(self.eval_expr(b, tid)),
             Expr::Sub(a, b) => self.eval_expr(a, tid).wrapping_sub(self.eval_expr(b, tid)),
         }
@@ -800,14 +1117,59 @@ impl<'p> Machine<'p> {
         c.cmp.eval(l, r)
     }
 
+    /// The per-channel pseudo-object channel accesses are recorded on, so
+    /// predicate extraction sees sends/receives as plain shared-state
+    /// accesses. Channel ids live past the real objects in the trace's
+    /// object space (interned as `chan:<name>` by the runner).
+    fn chan_object(&self, chan: ChannelId) -> ObjectId {
+        ObjectId::from_raw((self.program.objects.len() + chan.index()) as u32)
+    }
+
+    /// Observation point: evaluates every declared invariant against the
+    /// current shared/channel state. A violated `always` invariant fails the
+    /// run immediately with kind `always:<name>`, attributed to `origin` —
+    /// the method whose effect was just applied. An `eventually` invariant
+    /// that holds here is latched as satisfied.
+    fn check_invariants(&mut self, origin: MethodId) {
+        if self.program.invariants.is_empty() || self.failure.is_some() {
+            return;
+        }
+        for (i, inv) in self.program.invariants.iter().enumerate() {
+            // Invariant conditions are register-free (enforced by
+            // `Program::validate`), so the evaluating thread is irrelevant.
+            let holds = self.eval_cond(&inv.cond, 0);
+            match inv.mode {
+                InvariantMode::Always => {
+                    if !holds {
+                        self.fail_all_from(&format!("always:{}", inv.name), Some(origin));
+                        return;
+                    }
+                }
+                InvariantMode::Eventually => {
+                    if holds {
+                        self.eventually_ok[i] = true;
+                    }
+                }
+            }
+        }
+    }
+
     /// Declares a global abnormal end (deadlock/timeout), closing all open
     /// frames with the failure kind.
     fn fail_all(&mut self, kind: &str) {
-        let origin = self
-            .threads
-            .iter()
-            .find_map(|t| t.frames.last().map(|f| f.method))
-            .unwrap_or_else(|| MethodId::from_raw(0));
+        self.fail_all_from(kind, None);
+    }
+
+    /// As [`Self::fail_all`] but with an explicit responsible method.
+    /// `None` falls back to the first thread with an open frame (the
+    /// deadlock/timeout attribution rule).
+    fn fail_all_from(&mut self, kind: &str, origin: Option<MethodId>) {
+        let origin = origin.unwrap_or_else(|| {
+            self.threads
+                .iter()
+                .find_map(|t| t.frames.last().map(|f| f.method))
+                .unwrap_or_else(|| MethodId::from_raw(0))
+        });
         for tid in 0..self.threads.len() {
             while !self.threads[tid].frames.is_empty() {
                 self.pop_frame(tid, Some(kind.to_string()));
@@ -837,6 +1199,21 @@ impl<'p> Machine<'p> {
                 });
             }
         }
+        // An `eventually` invariant that never held is a failure detected at
+        // run end (first in declaration order wins), attributed to the main
+        // thread's entry method — unless the run already failed for a more
+        // specific reason.
+        if self.failure.is_none() {
+            for (i, inv) in self.program.invariants.iter().enumerate() {
+                if matches!(inv.mode, InvariantMode::Eventually) && !self.eventually_ok[i] {
+                    self.failure = Some(FailureSignature {
+                        kind: format!("eventually:{}", inv.name),
+                        method: self.program.threads[0].entry,
+                    });
+                    break;
+                }
+            }
+        }
         let outcome = match self.failure {
             Some(sig) => Outcome::Failure(sig),
             None => Outcome::Success,
@@ -844,6 +1221,7 @@ impl<'p> Machine<'p> {
         let mut trace = Trace {
             seed: self.seed,
             events: self.events,
+            msgs: self.msgs,
             outcome,
             duration: self.clock,
         };

@@ -15,7 +15,7 @@
 //! | order violation (B before A)   | [`Intervention::ForceOrder`]             |
 //! | random value collision         | [`Intervention::ForceRand`]              |
 
-use aid_trace::MethodId;
+use aid_trace::{ChannelId, MethodId};
 use serde::{Deserialize, Serialize};
 
 /// Restricts an intervention to one dynamic instance of a method, or to all.
@@ -123,6 +123,45 @@ pub enum Intervention {
         instance: InstanceFilter,
         /// Forced value.
         value: i64,
+    },
+    /// Fault plane: postpone delivery of matching messages by `ticks`.
+    /// Resolved at send time; multiple matching delays sum. The `seq` filter
+    /// selects messages by their per-channel send sequence number, the same
+    /// way `instance` filters select dynamic method executions.
+    DelayDelivery {
+        /// Target channel.
+        channel: ChannelId,
+        /// Which messages (by send sequence number).
+        seq: InstanceFilter,
+        /// Extra delivery latency.
+        ticks: u64,
+    },
+    /// Fault plane: discard matching messages at send time. The send is
+    /// recorded (plus a `Drop` message event), but the message never enters
+    /// transit — the receiver-visible lost-delivery fault.
+    DropDelivery {
+        /// Target channel.
+        channel: ChannelId,
+        /// Which messages.
+        seq: InstanceFilter,
+    },
+    /// Fault plane: enqueue a second copy of matching messages (marked
+    /// `dup`), delivered one tick after the original.
+    DuplicateDelivery {
+        /// Target channel.
+        channel: ChannelId,
+        /// Which messages.
+        seq: InstanceFilter,
+    },
+    /// Fault plane: deliver a matching message *after* its successor. When
+    /// the next message on the channel is sent, a still-in-transit matching
+    /// message has its delivery pushed one tick past the successor's — the
+    /// minimal pairwise reordering.
+    ReorderDelivery {
+        /// Target channel.
+        channel: ChannelId,
+        /// Which messages.
+        seq: InstanceFilter,
     },
 }
 

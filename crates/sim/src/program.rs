@@ -18,7 +18,7 @@
 //!   accesses; [`Expr::Obj`] peeks inside [`Op::WaitUntil`] conditions are
 //!   monitor-style waits and are *not* recorded as data accesses.
 
-use aid_trace::{MethodId, ObjectId};
+use aid_trace::{ChannelId, MethodId, ObjectId};
 use aid_util::fnv1a;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +41,10 @@ pub enum Expr {
     Obj(ObjectId),
     /// The current virtual time as `i64`.
     Now,
+    /// The number of messages currently occupying a channel (in transit plus
+    /// waiting in the mailbox). Like [`Expr::Obj`], a peek — not recorded as
+    /// a data access. Legal in invariant conditions, where registers are not.
+    ChanLen(ChannelId),
     /// Sum of two expressions.
     Add(Box<Expr>, Box<Expr>),
     /// Difference of two expressions.
@@ -175,6 +179,37 @@ pub enum Op {
     /// Block until the condition over shared state holds (monitor wait; the
     /// peeks are not recorded as accesses).
     WaitUntil { cond: Cond },
+    /// Send a value into a channel. The guard (if any) is evaluated first:
+    /// when false, nothing is sent and execution continues (no latency draw,
+    /// no block). When the channel is bounded and full, the sender blocks
+    /// until capacity frees, then re-evaluates the guard at actual send time.
+    /// A successful send assigns the channel's next sequence number, draws
+    /// the delivery latency (scheduler RNG when the channel jitters), and is
+    /// recorded both as a `Send` message event and as a write access on the
+    /// channel's pseudo-object.
+    Send {
+        /// Target channel.
+        channel: ChannelId,
+        /// Payload expression (evaluated at send time).
+        value: Expr,
+        /// Optional guard; `None` sends unconditionally.
+        guard: Option<Cond>,
+    },
+    /// Receive the oldest delivered message from a channel into a register.
+    /// Blocks while the mailbox is empty; with `timeout > 0` the wait gives
+    /// up after that many ticks and stores `-1` instead (the timeout
+    /// sentinel). `timeout == 0` waits forever — a receiver that is never
+    /// sent to deadlocks the run. A successful receive is recorded both as a
+    /// `Recv` message event and as a read access on the channel's
+    /// pseudo-object; a timed-out receive records nothing.
+    Recv {
+        /// Source channel.
+        channel: ChannelId,
+        /// Destination register.
+        reg: Reg,
+        /// Ticks to wait before giving up (0 = wait forever).
+        timeout: u64,
+    },
 }
 
 /// A method definition.
@@ -199,6 +234,57 @@ pub struct ObjectDef {
     pub initial: i64,
 }
 
+/// A message channel definition.
+///
+/// Channels model asynchronous point-to-point or fan-in messaging: a send
+/// places the message *in transit* for a latency drawn from
+/// `[latency_min, latency_max]` (scheduler RNG when the bounds differ), after
+/// which the machine *delivers* it into the receiver-visible mailbox in
+/// `(deliver_at, seq)` order. Receivers only ever see delivered messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChannelDef {
+    /// Name (must be whitespace-free; it flows into trace logs).
+    pub name: String,
+    /// Maximum occupancy (in transit + mailbox); `None` = unbounded. A send
+    /// to a full bounded channel blocks until a receive frees a slot.
+    pub capacity: Option<u32>,
+    /// Minimum delivery latency in ticks.
+    pub latency_min: u64,
+    /// Maximum delivery latency in ticks (`>= latency_min`). When strictly
+    /// greater, each send draws uniformly from the range — the message-level
+    /// source of timing nondeterminism.
+    pub latency_max: u64,
+}
+
+/// Whether an invariant must hold at every checkpoint or eventually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InvariantMode {
+    /// The condition must hold at every observation point; the first
+    /// violation fails the run with kind `always:<name>`.
+    Always,
+    /// The condition must hold at *some* observation point before the run
+    /// finishes; a run that completes without ever satisfying it fails with
+    /// kind `eventually:<name>`.
+    Eventually,
+}
+
+/// A declared invariant over shared and channel state.
+///
+/// Invariant conditions are evaluated globally (after every shared-state or
+/// channel effect), so they may reference shared objects ([`Expr::Obj`]),
+/// channel occupancy ([`Expr::ChanLen`]), and the clock — but never
+/// per-thread registers ([`Expr::Reg`]); `validate` rejects those.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InvariantDef {
+    /// Name (whitespace-free; it flows into failure kinds as
+    /// `always:<name>` / `eventually:<name>`).
+    pub name: String,
+    /// Safety or liveness flavour.
+    pub mode: InvariantMode,
+    /// The condition.
+    pub cond: Cond,
+}
+
 /// A thread definition.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ThreadSpec {
@@ -220,6 +306,10 @@ pub struct Program {
     pub methods: Vec<MethodDef>,
     /// Shared objects; `ObjectId` is the index.
     pub objects: Vec<ObjectDef>,
+    /// Message channels; `ChannelId` is the index.
+    pub channels: Vec<ChannelDef>,
+    /// Declared invariants, checked by the machine as it runs.
+    pub invariants: Vec<InvariantDef>,
     /// Threads.
     pub threads: Vec<ThreadSpec>,
 }
@@ -256,6 +346,30 @@ impl Program {
             .collect()
     }
 
+    /// Checks every [`Expr::ChanLen`] in an expression against the channel
+    /// table, and rejects [`Expr::Reg`] when `allow_reg` is false (invariant
+    /// conditions are evaluated without a thread context).
+    fn check_expr(&self, e: &Expr, allow_reg: bool) {
+        match e {
+            Expr::ChanLen(c) => {
+                assert!(c.index() < self.channels.len(), "bad channel index");
+            }
+            Expr::Reg(_) => {
+                assert!(allow_reg, "invariant condition references a register");
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                self.check_expr(a, allow_reg);
+                self.check_expr(b, allow_reg);
+            }
+            Expr::Const(_) | Expr::Obj(_) | Expr::Now => {}
+        }
+    }
+
+    fn check_cond(&self, c: &Cond, allow_reg: bool) {
+        self.check_expr(&c.lhs, allow_reg);
+        self.check_expr(&c.rhs, allow_reg);
+    }
+
     /// Validates structural invariants (indices in range, spawn/join targets
     /// exist, names whitespace-free). Panics with a description on violation;
     /// builders call this before returning a program.
@@ -283,6 +397,41 @@ impl Program {
                     Op::Acquire { lock } | Op::Release { lock } => {
                         assert!(lock.index() < self.objects.len(), "bad lock index");
                     }
+                    Op::Send {
+                        channel,
+                        value,
+                        guard,
+                    } => {
+                        assert!(channel.index() < self.channels.len(), "bad channel index");
+                        self.check_expr(value, true);
+                        if let Some(g) = guard {
+                            self.check_cond(g, true);
+                        }
+                    }
+                    Op::Recv { channel, .. } => {
+                        assert!(channel.index() < self.channels.len(), "bad channel index");
+                    }
+                    _ => {}
+                }
+                match op {
+                    Op::Write { value, .. } | Op::LocalSet { value, .. } => {
+                        self.check_expr(value, true);
+                    }
+                    Op::ThrowIfObj { rhs, .. } => self.check_expr(rhs, true),
+                    Op::SetIf {
+                        cond,
+                        then_value,
+                        else_value,
+                        ..
+                    } => {
+                        self.check_cond(cond, true);
+                        self.check_expr(then_value, true);
+                        self.check_expr(else_value, true);
+                    }
+                    Op::ComputeIf { cond, .. }
+                    | Op::ThrowIf { cond, .. }
+                    | Op::WaitUntil { cond } => self.check_cond(cond, true),
+                    Op::Return { value: Some(v) } => self.check_expr(v, true),
                     _ => {}
                 }
             }
@@ -293,6 +442,31 @@ impl Program {
                 "object name {:?} contains whitespace",
                 o.name
             );
+        }
+        for c in &self.channels {
+            assert!(
+                !c.name.chars().any(char::is_whitespace),
+                "channel name {:?} contains whitespace",
+                c.name
+            );
+            assert!(
+                c.latency_min <= c.latency_max,
+                "channel {:?} latency range is inverted",
+                c.name
+            );
+            assert!(
+                c.capacity != Some(0),
+                "channel {:?} has zero capacity",
+                c.name
+            );
+        }
+        for inv in &self.invariants {
+            assert!(
+                !inv.name.is_empty() && !inv.name.chars().any(char::is_whitespace),
+                "invariant name {:?} is empty or contains whitespace",
+                inv.name
+            );
+            self.check_cond(&inv.cond, false);
         }
         for t in &self.threads {
             assert!(t.entry.index() < self.methods.len(), "bad thread entry");
@@ -328,6 +502,8 @@ mod tests {
                 }],
             }],
             objects: vec![],
+            channels: vec![],
+            invariants: vec![],
             threads: vec![ThreadSpec {
                 name: "t".into(),
                 entry: MethodId::from_raw(0),
@@ -347,6 +523,8 @@ mod tests {
                 body: vec![Op::Compute { cost: delay as u64 }],
             }],
             objects: vec![],
+            channels: vec![],
+            invariants: vec![],
             threads: vec![ThreadSpec {
                 name: "t".into(),
                 entry: MethodId::from_raw(0),
@@ -361,6 +539,94 @@ mod tests {
         );
     }
 
+    fn channel_program(invariants: Vec<InvariantDef>, body: Vec<Op>) -> Program {
+        Program {
+            name: "chan".into(),
+            methods: vec![MethodDef {
+                name: "m".into(),
+                pure: false,
+                body,
+            }],
+            objects: vec![],
+            channels: vec![ChannelDef {
+                name: "c".into(),
+                capacity: Some(2),
+                latency_min: 1,
+                latency_max: 4,
+            }],
+            invariants,
+            threads: vec![ThreadSpec {
+                name: "t".into(),
+                entry: MethodId::from_raw(0),
+                auto_start: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_channel_ops_and_invariants() {
+        channel_program(
+            vec![InvariantDef {
+                name: "bounded".into(),
+                mode: InvariantMode::Always,
+                cond: Cond::new(
+                    Expr::ChanLen(ChannelId::from_raw(0)),
+                    Cmp::Le,
+                    Expr::Const(2),
+                ),
+            }],
+            vec![
+                Op::Send {
+                    channel: ChannelId::from_raw(0),
+                    value: Expr::Const(1),
+                    guard: None,
+                },
+                Op::Recv {
+                    channel: ChannelId::from_raw(0),
+                    reg: Reg(0),
+                    timeout: 10,
+                },
+            ],
+        )
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad channel index")]
+    fn validate_rejects_dangling_channel() {
+        channel_program(
+            vec![],
+            vec![Op::Send {
+                channel: ChannelId::from_raw(3),
+                value: Expr::Const(1),
+                guard: None,
+            }],
+        )
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "references a register")]
+    fn validate_rejects_register_in_invariant() {
+        channel_program(
+            vec![InvariantDef {
+                name: "bad".into(),
+                mode: InvariantMode::Eventually,
+                cond: Cond::new(Expr::Reg(Reg(0)), Cmp::Eq, Expr::Const(1)),
+            }],
+            vec![],
+        )
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn validate_rejects_zero_capacity() {
+        let mut p = channel_program(vec![], vec![]);
+        p.channels[0].capacity = Some(0);
+        p.validate();
+    }
+
     #[test]
     #[should_panic(expected = "no threads")]
     fn validate_rejects_empty_program() {
@@ -368,6 +634,8 @@ mod tests {
             name: "empty".into(),
             methods: vec![],
             objects: vec![],
+            channels: vec![],
+            invariants: vec![],
             threads: vec![],
         }
         .validate();

@@ -158,7 +158,10 @@ impl Simulator {
     }
 
     /// An empty trace set pre-seeded with this program's method/object names
-    /// (so ids in traces match program ids).
+    /// (so ids in traces match program ids). Channels are interned twice:
+    /// once into the channel arena (for message events) and once as
+    /// `chan:<name>` pseudo-objects placed *after* the real objects, matching
+    /// the `ObjectId` space both backends use for send/recv accesses.
     pub fn trace_set_skeleton(&self) -> TraceSet {
         let mut set = TraceSet::new();
         for m in &self.program.methods {
@@ -166,6 +169,10 @@ impl Simulator {
         }
         for o in &self.program.objects {
             set.object(&o.name);
+        }
+        for c in &self.program.channels {
+            set.channel(&c.name);
+            set.object(&format!("chan:{}", c.name));
         }
         set
     }

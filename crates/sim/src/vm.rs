@@ -52,11 +52,12 @@ use crate::machine::SimConfig;
 use crate::plan::{InstanceFilter, Intervention, InterventionPlan};
 use crate::program::NUM_REGS;
 use aid_trace::{
-    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome, ThreadId,
-    Time, Trace,
+    AccessEvent, AccessKind, ChannelId, FailureSignature, MethodEvent, MethodId, MsgEvent, MsgKind,
+    ObjectId, Outcome, ThreadId, Time, Trace,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// A typed trap: the single run is invalid and was discarded. The [`Vm`]
 /// itself remains healthy and reusable.
@@ -124,7 +125,38 @@ enum TState {
     Sleeping(Time),
     BlockedWait(CondRef),
     BlockedOrder(u32),
+    /// Blocked on a full bounded channel; wakes when a receive frees a slot.
+    BlockedSend(u32),
+    /// Blocked on an empty mailbox; wakes on delivery or at the deadline
+    /// (`Time::MAX` = wait forever). Not freed by the liveness valve — a
+    /// circular channel wait fails as a deadlock, matching the machine.
+    BlockedRecv {
+        chan: u32,
+        deadline: Time,
+    },
     Done,
+}
+
+/// A message either in transit or sitting in a mailbox (the VM's `Copy`
+/// mirror of the machine's `Msg`).
+#[derive(Clone, Copy, Debug)]
+struct VmMsg {
+    seq: u32,
+    value: i64,
+    sent: Time,
+    deliver_at: Time,
+    sender: u32,
+    dup: bool,
+}
+
+/// Per-channel runtime state, recycled between runs.
+#[derive(Debug, Default)]
+struct VmChan {
+    /// Sent but not yet delivered, unordered (the pump scans for due ones).
+    transit: Vec<VmMsg>,
+    /// Delivered and receiver-visible, in delivery order.
+    mailbox: VecDeque<VmMsg>,
+    next_seq: u32,
 }
 
 /// One activation record. Vector fields are recycled through the frame
@@ -147,6 +179,9 @@ struct VmFrame {
     program_locks: Vec<u32>,
     end_delay: u64,
     in_epilogue: bool,
+    /// Deadline of an in-progress timed `Recv` at this frame's current pc
+    /// (same state machine as the tree-walk's `Frame::recv_deadline`).
+    recv_deadline: Option<Time>,
 }
 
 impl VmFrame {
@@ -174,6 +209,7 @@ impl VmFrame {
         self.program_locks.clear();
         self.end_delay = end_delay;
         self.in_epilogue = false;
+        self.recv_deadline = None;
     }
 
     fn pending_done(&self) -> bool {
@@ -221,10 +257,31 @@ impl MethodHooks {
     }
 }
 
+/// Per-channel fault-plane hooks, in plan order (delays sum over matches;
+/// drop/duplicate/reorder are any-match — order-insensitive, so pre-indexing
+/// preserves the machine's plan-scan semantics exactly).
+#[derive(Debug, Default)]
+struct ChannelHooks {
+    delay: Vec<(InstanceFilter, u64)>,
+    drop: Vec<InstanceFilter>,
+    dup: Vec<InstanceFilter>,
+    reorder: Vec<InstanceFilter>,
+}
+
+impl ChannelHooks {
+    fn clear(&mut self) {
+        self.delay.clear();
+        self.drop.clear();
+        self.dup.clear();
+        self.reorder.clear();
+    }
+}
+
 /// The plan, pre-indexed by method. Rebuilt in place per run.
 #[derive(Debug, Default)]
 struct PlanTable {
     methods: Vec<MethodHooks>,
+    channels: Vec<ChannelHooks>,
     /// Number of serialize-lock slots the plan defines.
     n_injected: usize,
     /// Fast path: the plan is empty, so every hook lookup is a miss.
@@ -232,12 +289,18 @@ struct PlanTable {
 }
 
 impl PlanTable {
-    fn rebuild(&mut self, plan: &InterventionPlan, n_methods: usize) {
+    fn rebuild(&mut self, plan: &InterventionPlan, n_methods: usize, n_channels: usize) {
         self.no_hooks = plan.interventions.is_empty();
         if self.methods.len() < n_methods {
             self.methods.resize_with(n_methods, MethodHooks::default);
         }
         for h in &mut self.methods[..n_methods] {
+            h.clear();
+        }
+        if self.channels.len() < n_channels {
+            self.channels.resize_with(n_channels, ChannelHooks::default);
+        }
+        for h in &mut self.channels[..n_channels] {
             h.clear();
         }
         let mut slot = 0usize;
@@ -298,6 +361,30 @@ impl PlanTable {
                 } => self.methods[method.index()]
                     .force_rand
                     .push((*instance, *value)),
+                // A fault on a channel the program doesn't define can never
+                // match a send; the machine silently ignores it, so do we.
+                Intervention::DelayDelivery {
+                    channel,
+                    seq,
+                    ticks,
+                } if channel.index() < n_channels => {
+                    self.channels[channel.index()].delay.push((*seq, *ticks))
+                }
+                Intervention::DropDelivery { channel, seq } if channel.index() < n_channels => {
+                    self.channels[channel.index()].drop.push(*seq)
+                }
+                Intervention::DuplicateDelivery { channel, seq }
+                    if channel.index() < n_channels =>
+                {
+                    self.channels[channel.index()].dup.push(*seq)
+                }
+                Intervention::ReorderDelivery { channel, seq } if channel.index() < n_channels => {
+                    self.channels[channel.index()].reorder.push(*seq)
+                }
+                Intervention::DelayDelivery { .. }
+                | Intervention::DropDelivery { .. }
+                | Intervention::DuplicateDelivery { .. }
+                | Intervention::ReorderDelivery { .. } => {}
             }
         }
         self.n_injected = slot;
@@ -322,6 +409,14 @@ pub struct Vm {
     started_instances: Vec<u32>,
     completed_instances: Vec<u32>,
     events: Vec<MethodEvent>,
+    /// Per-channel runtime state.
+    channels: Vec<VmChan>,
+    /// Message events of the current run (sends, deliveries, receives,
+    /// drops), in emission order; `Trace::normalize` sorts them.
+    msgs: Vec<MsgEvent>,
+    /// Per-invariant "has held at some observation point" flag (only
+    /// meaningful for `eventually` invariants).
+    eventually_ok: Vec<bool>,
     /// `(kind id, origin method index)` of a run-wide failure.
     failure: Option<(KindId, u32)>,
     hooks: PlanTable,
@@ -336,6 +431,21 @@ pub struct Vm {
     /// Event count of the previous run — pre-sizes `events` so steady-state
     /// runs of the same program do one allocation instead of doubling up.
     events_hint: usize,
+    /// While true, `pop_frame` (and the premature-return shortcut) log what
+    /// they release/complete into the `repair_*` accumulators so the spin
+    /// loop can repair its cached ready set incrementally instead of paying
+    /// a full rescan.
+    track_repair: bool,
+    /// Program locks released since the accumulators were last cleared.
+    repair_locks: Vec<u32>,
+    /// Injected serialize-lock slots freed since last cleared.
+    repair_slots: Vec<usize>,
+    /// Methods whose completion count grew since last cleared.
+    repair_methods: Vec<u32>,
+    /// Telemetry: full scheduler rescans this run.
+    n_scans: u64,
+    /// Telemetry: incremental ready-set repairs that avoided a rescan.
+    n_repairs: u64,
     rng_sched: StdRng,
     rng_prog: StdRng,
 }
@@ -359,6 +469,9 @@ impl Vm {
             started_instances: Vec::new(),
             completed_instances: Vec::new(),
             events: Vec::new(),
+            channels: Vec::new(),
+            msgs: Vec::new(),
+            eventually_ok: Vec::new(),
             failure: None,
             hooks: PlanTable::default(),
             scratch: Vec::new(),
@@ -366,9 +479,23 @@ impl Vm {
             frame_arena: Vec::new(),
             free_frames: Vec::new(),
             events_hint: 0,
+            track_repair: false,
+            repair_locks: Vec::new(),
+            repair_slots: Vec::new(),
+            repair_methods: Vec::new(),
+            n_scans: 0,
+            n_repairs: 0,
             rng_sched: StdRng::seed_from_u64(0),
             rng_prog: StdRng::seed_from_u64(0),
         }
+    }
+
+    /// Telemetry of the last run: `(full scheduler rescans, incremental
+    /// ready-set repairs)`. A repair is a rescan the spin loop avoided after
+    /// an event-dense tick (frame pop / premature return) by patching the
+    /// cached ready set in place.
+    pub fn sched_telemetry(&self) -> (u64, u64) {
+        (self.n_scans, self.n_repairs)
     }
 
     /// Executes one run. On a trap the partial run is discarded and the VM
@@ -381,12 +508,24 @@ impl Vm {
         seed: u64,
     ) -> Result<Trace, VmError> {
         self.reset(prog, plan, seed);
+        // Initial observation point: an `always` invariant false over the
+        // initial state fails immediately; an `eventually` one may already
+        // hold. (Same site as the machine's pre-loop check.)
+        if !prog.invariants.is_empty() {
+            let init_origin = prog.threads[0].entry;
+            if let Err(e) = self.check_invariants(prog, init_origin) {
+                self.events.clear();
+                self.msgs.clear();
+                return Err(e);
+            }
+        }
         match self.drive(prog, config) {
             Ok(()) => Ok(self.finish(prog, seed)),
             Err(e) => {
                 // Quarantine: drop the partial trace; arenas are re-reset by
                 // the next run.
                 self.events.clear();
+                self.msgs.clear();
                 Err(e)
             }
         }
@@ -399,7 +538,8 @@ impl Vm {
         self.shared.extend_from_slice(&prog.objects_init);
         self.lock_owner.clear();
         self.lock_owner.resize(prog.objects_init.len(), None);
-        self.hooks.rebuild(plan, prog.methods.len());
+        self.hooks
+            .rebuild(plan, prog.methods.len(), prog.channels.len());
         self.injected.clear();
         self.injected.resize(self.hooks.n_injected, (None, 0));
         for t in &mut self.threads {
@@ -430,6 +570,21 @@ impl Vm {
         self.started_instances.resize(prog.methods.len(), 0);
         self.completed_instances.clear();
         self.completed_instances.resize(prog.methods.len(), 0);
+        self.channels.truncate(prog.channels.len());
+        while self.channels.len() < prog.channels.len() {
+            self.channels.push(VmChan::default());
+        }
+        for ch in &mut self.channels {
+            ch.transit.clear();
+            ch.mailbox.clear();
+            ch.next_seq = 0;
+        }
+        self.msgs.clear();
+        self.eventually_ok.clear();
+        self.eventually_ok.resize(prog.invariants.len(), false);
+        self.track_repair = false;
+        self.n_scans = 0;
+        self.n_repairs = 0;
         self.events.clear();
         self.events.reserve(self.events_hint);
         if self.scratch.capacity() < prog.max_eval_depth {
@@ -470,8 +625,11 @@ impl Vm {
             };
             // Sleepers bound how far the clock may advance before a rescan;
             // time-dependent wait conditions forbid spinning outright.
+            // Channel programs forbid it too: the machine pumps deliveries
+            // at every scheduling decision, so every tick must come back
+            // through `pick_thread` for the clock/draw sequences to match.
             let mut wake_limit = Time::MAX;
-            let mut can_spin = true;
+            let mut can_spin = prog.channels.is_empty();
             for s in &self.states {
                 match *s {
                     TState::Sleeping(until) => wake_limit = wake_limit.min(until),
@@ -526,15 +684,29 @@ impl Vm {
                     // (`pop_frame` and the premature-return shortcut release
                     // locks and bump completion counters; both record a
                     // `MethodEvent`, so the event count is an exact tripwire).
+                    // An event-dense tick with the thread still Ready is
+                    // repaired incrementally: the accumulators name exactly
+                    // which locks/slots/completions changed, so the cached
+                    // ready set is patched in place instead of rescanned.
                     let events_before = self.events.len();
-                    self.step(prog, tid)?;
+                    self.track_repair = true;
+                    self.repair_locks.clear();
+                    self.repair_slots.clear();
+                    self.repair_methods.clear();
+                    let stepped = self.step(prog, tid);
+                    self.track_repair = false;
+                    stepped?;
                     steps += 1;
                     if steps >= config.max_steps {
                         self.fail_all(prog, KIND_TIMEOUT)?;
                         return Ok(());
                     }
-                    if self.states[tid] != TState::Ready || self.events.len() != events_before {
+                    if self.states[tid] != TState::Ready {
                         continue 'scan;
+                    }
+                    if self.events.len() != events_before {
+                        self.repair_ready_set();
+                        self.n_repairs += 1;
                     }
                 } else {
                     self.step(prog, tid)?;
@@ -647,16 +819,100 @@ impl Vm {
             // forces the rescan).
             return true;
         }
+        // `Send`/`Recv` are excluded for safety, though unreachable here:
+        // channel programs run with `can_spin = false`.
         !matches!(
             prog.code[(m.code_start + f.pc) as usize],
-            Instr::Write { .. } | Instr::Spawn { .. } | Instr::Release { .. }
+            Instr::Write { .. }
+                | Instr::Spawn { .. }
+                | Instr::Release { .. }
+                | Instr::Send { .. }
+                | Instr::Recv { .. }
         )
+    }
+
+    /// Delivers every in-transit message that has come due, in
+    /// `(deliver_at, channel, seq, dup)` order — the VM's copy of the
+    /// machine's pump, run at every scheduling decision.
+    fn pump(&mut self) {
+        if self.channels.is_empty() {
+            return;
+        }
+        loop {
+            let mut best: Option<(Time, usize, u32, bool, usize)> = None;
+            for ci in 0..self.channels.len() {
+                for (i, m) in self.channels[ci].transit.iter().enumerate() {
+                    if m.deliver_at <= self.clock {
+                        let key = (m.deliver_at, ci, m.seq, m.dup);
+                        if best.map_or(true, |(t, c, s, d, _)| key < (t, c, s, d)) {
+                            best = Some((m.deliver_at, ci, m.seq, m.dup, i));
+                        }
+                    }
+                }
+            }
+            let Some((_, ci, _, _, idx)) = best else {
+                break;
+            };
+            let msg = self.channels[ci].transit.remove(idx);
+            self.msgs.push(MsgEvent {
+                channel: ChannelId::from_raw(ci as u32),
+                kind: MsgKind::Deliver,
+                seq: msg.seq,
+                value: msg.value,
+                sent: msg.sent,
+                at: msg.deliver_at,
+                thread: ThreadId::from_raw(msg.sender),
+                dup: msg.dup,
+            });
+            self.channels[ci].mailbox.push_back(msg);
+        }
+    }
+
+    /// Patches the cached ready set after an event-dense spin tick (frame
+    /// pop / premature return) using the `repair_*` accumulators, waking
+    /// exactly the threads a full rescan would wake. Insertion keeps
+    /// `ready_buf` tid-ascending, so the next scheduler draw indexes the
+    /// same candidate list the machine's scan would build.
+    fn repair_ready_set(&mut self) {
+        if self.repair_locks.is_empty()
+            && self.repair_slots.is_empty()
+            && self.repair_methods.is_empty()
+        {
+            return;
+        }
+        for tid in 0..self.states.len() {
+            let wake = match self.states[tid] {
+                TState::BlockedLock(lock) => {
+                    self.repair_locks.contains(&lock) && self.lock_owner[lock as usize].is_none()
+                }
+                TState::BlockedInjectedLock(slot) => {
+                    self.repair_slots.contains(&slot) && {
+                        let (owner, _) = self.injected[slot];
+                        owner.is_none() || owner == Some(tid)
+                    }
+                }
+                TState::BlockedOrder(first) => {
+                    self.repair_methods.contains(&first)
+                        && self.completed_instances[first as usize] > 0
+                }
+                _ => false,
+            };
+            if wake {
+                self.states[tid] = TState::Ready;
+                let pos = self.ready_buf.partition_point(|&t| t < tid);
+                if self.ready_buf.get(pos) != Some(&tid) {
+                    self.ready_buf.insert(pos, tid);
+                }
+            }
+        }
     }
 
     /// Scheduling decision; the machine's recursion on an all-sleeping
     /// quiescent state becomes a loop.
     fn pick_thread(&mut self, prog: &CompiledProgram) -> Option<usize> {
         loop {
+            self.pump();
+            self.n_scans += 1;
             self.ready_buf.clear();
             let mut min_wake: Option<Time> = None;
             for tid in 0..self.states.len() {
@@ -701,10 +957,37 @@ impl Vm {
                             self.ready_buf.push(tid);
                         }
                     }
+                    TState::BlockedSend(chan) => {
+                        let def_cap = prog.channels[chan as usize].capacity;
+                        let ch = &self.channels[chan as usize];
+                        let occupancy = ch.transit.len() + ch.mailbox.len();
+                        if def_cap.map_or(true, |c| occupancy < c as usize) {
+                            self.states[tid] = TState::Ready;
+                            self.ready_buf.push(tid);
+                        }
+                    }
+                    TState::BlockedRecv { chan, deadline } => {
+                        if !self.channels[chan as usize].mailbox.is_empty()
+                            || self.clock >= deadline
+                        {
+                            self.states[tid] = TState::Ready;
+                            self.ready_buf.push(tid);
+                        } else if deadline != Time::MAX {
+                            min_wake = Some(min_wake.map_or(deadline, |m: Time| m.min(deadline)));
+                        }
+                    }
                     TState::NotStarted | TState::Done => {}
                 }
             }
             if self.ready_buf.is_empty() {
+                // In-transit deliveries are wake events too (all strictly in
+                // the future here — the pump already delivered what was due).
+                for ch in &self.channels {
+                    for m in &ch.transit {
+                        min_wake =
+                            Some(min_wake.map_or(m.deliver_at, |w: Time| w.min(m.deliver_at)));
+                    }
+                }
                 if let Some(wake) = min_wake {
                     // Everyone is asleep: jump time forward and retry.
                     self.clock = wake;
@@ -835,6 +1118,8 @@ impl Vm {
                 let v = self.eval(prog, tid, value);
                 self.shared[object as usize] = v;
                 self.record_access(tid, object, AccessKind::Write);
+                let origin = self.top(tid).method;
+                self.check_invariants(prog, origin)?;
                 self.advance(tid);
             }
             Instr::ThrowIfObj {
@@ -999,6 +1284,176 @@ impl Vm {
                     self.states[tid] = TState::BlockedWait(cond);
                 }
             }
+            Instr::Send {
+                channel,
+                value,
+                guard,
+            } => {
+                // Guard first: a false guard skips the send entirely — no
+                // event, no latency draw, no capacity check.
+                if let Some(g) = guard {
+                    if !self.eval_cond(prog, tid, g) {
+                        self.advance(tid);
+                        return Ok(());
+                    }
+                }
+                let ci = channel as usize;
+                let def = prog.channels[ci];
+                if let Some(cap) = def.capacity {
+                    let occupancy =
+                        self.channels[ci].transit.len() + self.channels[ci].mailbox.len();
+                    if occupancy >= cap as usize {
+                        // Full: block; the instruction re-executes (guard
+                        // included) when a receive frees a slot.
+                        self.states[tid] = TState::BlockedSend(channel);
+                        return Ok(());
+                    }
+                }
+                let v = self.eval(prog, tid, value);
+                let latency = if def.latency_max > def.latency_min {
+                    self.rng_sched
+                        .random_range(def.latency_min..=def.latency_max)
+                } else {
+                    def.latency_min
+                };
+                let seq = self.channels[ci].next_seq;
+                self.channels[ci].next_seq += 1;
+                let mut deliver_at = self.clock + latency;
+                // Fault plane, resolved at send time: delays sum, drop wins
+                // over duplicate.
+                let mut dropped = false;
+                let mut duplicate = false;
+                let mut reorder_prev = false;
+                if !self.hooks.no_hooks {
+                    let ch_hooks = &self.hooks.channels[ci];
+                    deliver_at += ch_hooks
+                        .delay
+                        .iter()
+                        .filter(|(f, _)| f.matches(seq))
+                        .map(|&(_, t)| t)
+                        .sum::<u64>();
+                    dropped = ch_hooks.drop.iter().any(|f| f.matches(seq));
+                    duplicate = ch_hooks.dup.iter().any(|f| f.matches(seq));
+                    reorder_prev = seq > 0 && ch_hooks.reorder.iter().any(|f| f.matches(seq - 1));
+                }
+                let sender_method = self.top(tid).method;
+                self.msgs.push(MsgEvent {
+                    channel: ChannelId::from_raw(channel),
+                    kind: MsgKind::Send,
+                    seq,
+                    value: v,
+                    sent: self.clock,
+                    at: self.clock,
+                    thread: ThreadId::from_raw(tid as u32),
+                    dup: false,
+                });
+                if dropped {
+                    self.msgs.push(MsgEvent {
+                        channel: ChannelId::from_raw(channel),
+                        kind: MsgKind::Drop,
+                        seq,
+                        value: v,
+                        sent: self.clock,
+                        at: self.clock,
+                        thread: ThreadId::from_raw(tid as u32),
+                        dup: false,
+                    });
+                } else {
+                    self.channels[ci].transit.push(VmMsg {
+                        seq,
+                        value: v,
+                        sent: self.clock,
+                        deliver_at,
+                        sender: tid as u32,
+                        dup: false,
+                    });
+                    if duplicate {
+                        self.channels[ci].transit.push(VmMsg {
+                            seq,
+                            value: v,
+                            sent: self.clock,
+                            deliver_at: deliver_at + 1,
+                            sender: tid as u32,
+                            dup: true,
+                        });
+                    }
+                    if reorder_prev {
+                        // Minimal pairwise reorder: push the predecessor's
+                        // delivery one past this message's (if it is still
+                        // in transit to be reordered at all).
+                        let push_past = deliver_at + 1;
+                        if let Some(prev) = self.channels[ci]
+                            .transit
+                            .iter_mut()
+                            .find(|m| m.seq == seq - 1 && !m.dup)
+                        {
+                            prev.deliver_at = prev.deliver_at.max(push_past);
+                        }
+                    }
+                }
+                let obj = (prog.objects_init.len() + ci) as u32;
+                self.record_access(tid, obj, AccessKind::Write);
+                self.check_invariants(prog, sender_method)?;
+                self.advance(tid);
+            }
+            Instr::Recv {
+                channel,
+                reg,
+                timeout,
+            } => {
+                let ci = channel as usize;
+                if let Some(msg) = self.channels[ci].mailbox.pop_front() {
+                    self.threads[tid].regs[reg as usize] = msg.value;
+                    self.msgs.push(MsgEvent {
+                        channel: ChannelId::from_raw(channel),
+                        kind: MsgKind::Recv,
+                        seq: msg.seq,
+                        value: msg.value,
+                        sent: msg.sent,
+                        at: self.clock,
+                        thread: ThreadId::from_raw(tid as u32),
+                        dup: msg.dup,
+                    });
+                    let obj = (prog.objects_init.len() + ci) as u32;
+                    self.record_access(tid, obj, AccessKind::Read);
+                    let f = self.top_mut(tid);
+                    f.recv_deadline = None;
+                    let origin = f.method;
+                    self.check_invariants(prog, origin)?;
+                    self.advance(tid);
+                } else {
+                    let dl = self.top(tid).recv_deadline;
+                    match dl {
+                        None => {
+                            // First execution: arm the deadline and block.
+                            let deadline = if timeout == 0 {
+                                Time::MAX
+                            } else {
+                                self.clock + timeout
+                            };
+                            self.top_mut(tid).recv_deadline = Some(deadline);
+                            self.states[tid] = TState::BlockedRecv {
+                                chan: channel,
+                                deadline,
+                            };
+                        }
+                        Some(d) if self.clock >= d => {
+                            // Timed out: -1 sentinel, no event, no access.
+                            self.top_mut(tid).recv_deadline = None;
+                            self.threads[tid].regs[reg as usize] = -1;
+                            self.advance(tid);
+                        }
+                        Some(d) => {
+                            // Woken spuriously (another receiver drained the
+                            // delivery first): re-block until the deadline.
+                            self.states[tid] = TState::BlockedRecv {
+                                chan: channel,
+                                deadline: d,
+                            };
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -1086,6 +1541,9 @@ impl Vm {
                 caught: false,
             });
             self.completed_instances[method as usize] += 1;
+            if self.track_repair {
+                self.repair_methods.push(method);
+            }
             return Ok(());
         }
 
@@ -1166,6 +1624,9 @@ impl Vm {
         for lock in frame.program_locks.drain(..) {
             if self.lock_owner[lock as usize] == Some(tid) {
                 self.lock_owner[lock as usize] = None;
+                if self.track_repair {
+                    self.repair_locks.push(lock);
+                }
             }
         }
         for slot in frame.injected_locks.drain(..) {
@@ -1174,6 +1635,9 @@ impl Vm {
                 *depth -= 1;
                 if *depth == 0 {
                     *owner = None;
+                    if self.track_repair {
+                        self.repair_slots.push(slot);
+                    }
                 }
             }
         }
@@ -1213,6 +1677,9 @@ impl Vm {
             caught,
         });
         self.completed_instances[frame.method as usize] += 1;
+        if self.track_repair {
+            self.repair_methods.push(frame.method);
+        }
         if self.threads[tid].frames.is_empty() && exception.is_none() {
             self.states[tid] = TState::Done;
         }
@@ -1268,6 +1735,10 @@ impl Vm {
                 EOp::Reg(i) => self.threads[tid].regs[i as usize],
                 EOp::Obj(o) => self.shared[o as usize],
                 EOp::Now => self.clock as i64,
+                EOp::ChanLen(c) => {
+                    let ch = &self.channels[c as usize];
+                    (ch.transit.len() + ch.mailbox.len()) as i64
+                }
                 EOp::Add | EOp::Sub => unreachable!("operator with empty stack"),
             };
         }
@@ -1278,6 +1749,11 @@ impl Vm {
                 EOp::Reg(i) => self.scratch.push(self.threads[tid].regs[i as usize]),
                 EOp::Obj(o) => self.scratch.push(self.shared[o as usize]),
                 EOp::Now => self.scratch.push(self.clock as i64),
+                EOp::ChanLen(c) => {
+                    let ch = &self.channels[c as usize];
+                    self.scratch
+                        .push((ch.transit.len() + ch.mailbox.len()) as i64);
+                }
                 EOp::Add => {
                     let b = self.scratch.pop().expect("postfix underflow");
                     let a = self.scratch.pop().expect("postfix underflow");
@@ -1299,18 +1775,55 @@ impl Vm {
         c.cmp.eval(l, r)
     }
 
+    /// Observation point: evaluates every compiled invariant against the
+    /// current shared/channel state. A violated `always` invariant fails the
+    /// run immediately with its pre-interned kind, attributed to `origin`;
+    /// an `eventually` invariant that holds here is latched as satisfied.
+    fn check_invariants(&mut self, prog: &CompiledProgram, origin: u32) -> Result<(), VmError> {
+        if prog.invariants.is_empty() || self.failure.is_some() {
+            return Ok(());
+        }
+        for (i, inv) in prog.invariants.iter().enumerate() {
+            // Invariant conditions are register-free, so the evaluating
+            // thread is irrelevant.
+            let holds = self.eval_cond(prog, 0, inv.cond);
+            if inv.always {
+                if !holds {
+                    self.fail_all_from(prog, inv.kind, Some(origin))?;
+                    return Ok(());
+                }
+            } else if holds {
+                self.eventually_ok[i] = true;
+            }
+        }
+        Ok(())
+    }
+
     /// Declares a global abnormal end (deadlock/timeout), closing all open
     /// frames with the failure kind.
     fn fail_all(&mut self, prog: &CompiledProgram, kind: KindId) -> Result<(), VmError> {
-        let origin = self
-            .threads
-            .iter()
-            .find_map(|t| {
-                t.frames
-                    .last()
-                    .map(|&fi| self.frame_arena[fi as usize].method)
-            })
-            .unwrap_or(0);
+        self.fail_all_from(prog, kind, None)
+    }
+
+    /// As [`Self::fail_all`] but with an explicit responsible method.
+    /// `None` falls back to the first thread with an open frame (the
+    /// deadlock/timeout attribution rule).
+    fn fail_all_from(
+        &mut self,
+        prog: &CompiledProgram,
+        kind: KindId,
+        origin: Option<u32>,
+    ) -> Result<(), VmError> {
+        let origin = origin.unwrap_or_else(|| {
+            self.threads
+                .iter()
+                .find_map(|t| {
+                    t.frames
+                        .last()
+                        .map(|&fi| self.frame_arena[fi as usize].method)
+                })
+                .unwrap_or(0)
+        });
         for tid in 0..self.threads.len() {
             while !self.threads[tid].frames.is_empty() {
                 self.pop_frame(prog, tid, Some(kind))?;
@@ -1343,6 +1856,18 @@ impl Vm {
                 self.free_frames.push(fi);
             }
         }
+        // An `eventually` invariant that never held is a failure detected at
+        // run end (first in declaration order wins), attributed to the main
+        // thread's entry method — unless the run already failed for a more
+        // specific reason. Same rule as the machine's `finish`.
+        if self.failure.is_none() {
+            for (i, inv) in prog.invariants.iter().enumerate() {
+                if !inv.always && !self.eventually_ok[i] {
+                    self.failure = Some((inv.kind, prog.threads[0].entry));
+                    break;
+                }
+            }
+        }
         let outcome = match self.failure.take() {
             Some((kind, method)) => Outcome::Failure(FailureSignature {
                 kind: prog.kinds[kind as usize].clone(),
@@ -1354,6 +1879,7 @@ impl Vm {
         let mut trace = Trace {
             seed,
             events: std::mem::take(&mut self.events),
+            msgs: std::mem::take(&mut self.msgs),
             outcome,
             duration: self.clock,
         };
@@ -1490,5 +2016,221 @@ mod tests {
             .run(&cp, &InterventionPlan::empty(), &SimConfig::default(), 0)
             .unwrap_err();
         assert!(matches!(err, VmError::ReleaseUnowned { ref lock } if lock == "l"));
+    }
+
+    /// Producer/consumer over a bounded jittered channel, with a timeout'd
+    /// tail receive and both invariant modes declared. Exercises blocking
+    /// sends (capacity 1), blocking receives, deadline wakes, and the
+    /// invariant observation points in one program.
+    fn chan_program() -> crate::program::Program {
+        let mut b = ProgramBuilder::new("vm-chan");
+        let got = b.object("got", 0);
+        let ch = b.channel("ch", Some(1), 1, 6);
+        b.invariant_always("bounded", Expr::ChanLen(ch), Cmp::Le, Expr::Const(4));
+        b.invariant_eventually("delivered", Expr::Obj(got), Cmp::Eq, Expr::Const(9));
+        let producer = b.method("Producer", |m| {
+            m.jitter(0, 10)
+                .send(ch, Expr::Const(7))
+                .send(ch, Expr::Const(8))
+                .send(ch, Expr::Const(9));
+        });
+        let consumer = b.method("Consumer", |m| {
+            m.recv(ch, Reg(0))
+                .jitter(0, 8)
+                .recv(ch, Reg(1))
+                .recv_timeout(ch, Reg(2), 30)
+                .write(got, Expr::Reg(Reg(2)));
+        });
+        let main = b.method("Main", |m| {
+            m.spawn_named("p").spawn_named("c").join(1).join(2);
+        });
+        b.thread("main", main, true);
+        b.thread("p", producer, false);
+        b.thread("c", consumer, false);
+        b.build()
+    }
+
+    #[test]
+    fn vm_matches_tree_walk_on_channel_program() {
+        let p = chan_program();
+        let cp = compile(&p);
+        let plan = InterventionPlan::empty();
+        let cfg = SimConfig::default();
+        let mut vm = Vm::new();
+        let mut saw_msgs = false;
+        for seed in 0..60 {
+            let tree = Machine::new(&p, &plan, cfg.clone(), seed).run();
+            let byte = vm.run(&cp, &plan, &cfg, seed).expect("no trap");
+            assert_eq!(tree, byte, "seed {seed}");
+            saw_msgs |= !byte.msgs.is_empty();
+        }
+        assert!(saw_msgs, "channel program must record message events");
+    }
+
+    #[test]
+    fn vm_matches_tree_walk_under_channel_faults() {
+        let p = chan_program();
+        let cp = compile(&p);
+        let cfg = SimConfig::default();
+        let ch = aid_trace::ChannelId::from_raw(0);
+        let delay = InterventionPlan::single(Intervention::DelayDelivery {
+            channel: ch,
+            seq: InstanceFilter::Only(1),
+            ticks: 25,
+        });
+        let drop = InterventionPlan::single(Intervention::DropDelivery {
+            channel: ch,
+            seq: InstanceFilter::Only(2),
+        });
+        let dup = InterventionPlan::single(Intervention::DuplicateDelivery {
+            channel: ch,
+            seq: InstanceFilter::Only(0),
+        });
+        let reorder = InterventionPlan::single(Intervention::ReorderDelivery {
+            channel: ch,
+            seq: InstanceFilter::Only(0),
+        });
+        let mut mixed = InterventionPlan::empty();
+        mixed.push(Intervention::DelayDelivery {
+            channel: ch,
+            seq: InstanceFilter::All,
+            ticks: 3,
+        });
+        mixed.push(Intervention::DuplicateDelivery {
+            channel: ch,
+            seq: InstanceFilter::Only(1),
+        });
+        let mut vm = Vm::new();
+        for plan in [&delay, &drop, &dup, &reorder, &mixed] {
+            for seed in 0..40 {
+                let tree = Machine::new(&p, plan, cfg.clone(), seed).run();
+                let byte = vm.run(&cp, plan, &cfg, seed).expect("no trap");
+                assert_eq!(tree, byte, "seed {seed}, plan {plan:?}");
+            }
+        }
+        // Dropping the last message starves the timeout'd receive, so the
+        // `eventually` oracle must flag at least some runs.
+        let mut flagged = 0;
+        for seed in 0..40 {
+            let t = vm.run(&cp, &drop, &cfg, seed).unwrap();
+            if matches!(&t.outcome, aid_trace::Outcome::Failure(s) if s.kind == "eventually:delivered")
+            {
+                flagged += 1;
+            }
+        }
+        assert!(flagged > 0, "drop fault must trip the eventually oracle");
+    }
+
+    #[test]
+    fn circular_channel_wait_deadlocks_identically() {
+        // A waits on chB before sending on chA; B waits on chA before
+        // sending on chB — a classic circular channel wait. The liveness
+        // valve must NOT free blocked receives, so both backends report a
+        // deadlock with identical traces.
+        let mut b = ProgramBuilder::new("vm-chan-deadlock");
+        let cha = b.channel("chA", None, 1, 1);
+        let chb = b.channel("chB", None, 1, 1);
+        let ma = b.method("A", |m| {
+            m.recv(chb, Reg(0)).send(cha, Expr::Const(1));
+        });
+        let mb = b.method("B", |m| {
+            m.recv(cha, Reg(0)).send(chb, Expr::Const(2));
+        });
+        let main = b.method("Main", |m| {
+            m.spawn_named("a").spawn_named("b").join(1).join(2);
+        });
+        b.thread("main", main, true);
+        b.thread("a", ma, false);
+        b.thread("b", mb, false);
+        let p = b.build();
+        let cp = compile(&p);
+        let cfg = SimConfig::default();
+        let plan = InterventionPlan::empty();
+        let mut vm = Vm::new();
+        for seed in 0..20 {
+            let tree = Machine::new(&p, &plan, cfg.clone(), seed).run();
+            let byte = vm.run(&cp, &plan, &cfg, seed).expect("no trap");
+            assert_eq!(tree, byte, "seed {seed}");
+            assert!(
+                matches!(&byte.outcome, aid_trace::Outcome::Failure(s) if s.kind == crate::machine::DEADLOCK_KIND),
+                "circular channel wait must deadlock, got {:?}",
+                byte.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn always_invariant_violation_matches_and_names_origin() {
+        // Writer pushes `acct` to 12, violating `always acct <= 10`; the
+        // failure must carry kind `always:cap` attributed to the writer, and
+        // both backends must agree bit for bit.
+        let mut b = ProgramBuilder::new("vm-inv");
+        let acct = b.object("acct", 0);
+        b.invariant_always("cap", Expr::Obj(acct), Cmp::Le, Expr::Const(10));
+        let w = b.method("Writer", |m| {
+            m.jitter(0, 5).write(acct, Expr::Const(12));
+        });
+        b.thread("main", w, true);
+        let p = b.build();
+        let cp = compile(&p);
+        let cfg = SimConfig::default();
+        let plan = InterventionPlan::empty();
+        let mut vm = Vm::new();
+        for seed in 0..10 {
+            let tree = Machine::new(&p, &plan, cfg.clone(), seed).run();
+            let byte = vm.run(&cp, &plan, &cfg, seed).expect("no trap");
+            assert_eq!(tree, byte, "seed {seed}");
+            match &byte.outcome {
+                aid_trace::Outcome::Failure(s) => {
+                    assert_eq!(s.kind, "always:cap");
+                    assert_eq!(s.method.raw(), 0, "attributed to Writer");
+                }
+                o => panic!("expected always violation, got {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ready_set_repair_fires_and_preserves_traces() {
+        // Lock-shaped contention with nested calls: frame pops during the
+        // event-dense spin release locks that other threads block on, so the
+        // incremental repair path must fire (n_repairs > 0) while staying
+        // bit-identical to the tree walk.
+        let mut b = ProgramBuilder::new("vm-repair");
+        let l = b.object("l", 0);
+        // No explicit release: the lock is freed by `pop_frame`'s scoped
+        // cleanup, which happens *inside* the spin (the method ends with a
+        // scan-preserving instruction), exercising the repair wake path.
+        let leaf = b.method("Leaf", |m| {
+            m.acquire(l).compute(1);
+        });
+        let worker = b.method("Worker", |m| {
+            m.call(leaf).call(leaf).call(leaf);
+        });
+        let main = b.method("Main", |m| {
+            m.spawn_named("w1").spawn_named("w2").join(1).join(2);
+        });
+        b.thread("main", main, true);
+        b.thread("w1", worker, false);
+        b.thread("w2", worker, false);
+        let p = b.build();
+        let cp = compile(&p);
+        let cfg = SimConfig::default();
+        let plan = InterventionPlan::empty();
+        let mut vm = Vm::new();
+        let (mut scans, mut repairs) = (0u64, 0u64);
+        for seed in 0..40 {
+            let tree = Machine::new(&p, &plan, cfg.clone(), seed).run();
+            let byte = vm.run(&cp, &plan, &cfg, seed).expect("no trap");
+            assert_eq!(tree, byte, "seed {seed}");
+            let (s, r) = vm.sched_telemetry();
+            scans += s;
+            repairs += r;
+        }
+        assert!(scans > 0, "scheduler must scan");
+        assert!(
+            repairs > 0,
+            "incremental ready-set repair must fire on frame pops ({scans} scans)"
+        );
     }
 }

@@ -17,7 +17,7 @@ use aid_sim::{
     Cmp, Expr, InstanceFilter, Intervention, InterventionPlan, Program, ProgramBuilder, Reg,
     SimConfig,
 };
-use aid_trace::MethodId;
+use aid_trace::{ChannelId, MethodId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,7 +51,7 @@ fn gen_cmp(rng: &mut StdRng) -> Cmp {
 /// One random program: a pure getter, a layered call DAG (method `i` calls
 /// only methods `< i`, so no recursion), worker threads, and a main thread
 /// that spawns and joins the non-auto-start workers.
-fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodId) {
+fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodId, Vec<ChannelId>) {
     let mut b = ProgramBuilder::new(&format!("fuzz{tag}"));
 
     let n_data = rng.random_range(2..=4usize);
@@ -61,6 +61,22 @@ fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodI
     let n_locks = rng.random_range(1..=2usize);
     let locks: Vec<_> = (0..n_locks)
         .map(|i| b.object(&format!("lk{i}"), 0))
+        .collect();
+    // Channels: mixed capacities and latency ranges, including the
+    // degenerate min == max (no scheduler draw) and bounded capacity
+    // (send can block, possibly forever — Deadlock is a valid outcome
+    // and must be bit-identical too).
+    let n_chans = rng.random_range(1..=2usize);
+    let chans: Vec<ChannelId> = (0..n_chans)
+        .map(|i| {
+            let capacity = match rng.random_range(0..3u32) {
+                0 => None,
+                _ => Some(rng.random_range(1..=2u32)),
+            };
+            let min = rng.random_range(1..=3u64);
+            let max = min + rng.random_range(0..=3u64);
+            b.channel(&format!("ch{i}"), capacity, min, max)
+        })
         .collect();
 
     // The only method return-value interventions may target.
@@ -79,7 +95,7 @@ fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodI
         let mut plan: Vec<(u32, u64, u64)> = Vec::new();
         for _ in 0..n_ops {
             plan.push((
-                rng.random_range(0..13u32),
+                rng.random_range(0..16u32),
                 rng.random_range(0..64u64),
                 rng.random_range(0..64u64),
             ));
@@ -153,7 +169,7 @@ fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodI
                     11 => {
                         mb.throw_if_obj(dobj, cmps[i], Expr::Const((c % 6) as i64), "Efuzz");
                     }
-                    _ => {
+                    12 => {
                         mb.set_if(
                             reg,
                             exprs[i].clone(),
@@ -162,6 +178,34 @@ fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodI
                             Expr::Const(a as i64 % 7),
                             Expr::Reg(reg),
                         );
+                    }
+                    13 => {
+                        let ch = chans[a as usize % chans.len()];
+                        if c % 3 == 0 {
+                            mb.send_if(
+                                ch,
+                                exprs[i].clone(),
+                                Expr::Reg(reg),
+                                cmps[i],
+                                Expr::Const((c % 4) as i64),
+                            );
+                        } else {
+                            mb.send(ch, exprs[i].clone());
+                        }
+                    }
+                    14 => {
+                        let ch = chans[a as usize % chans.len()];
+                        if a % 4 == 0 {
+                            // Blocking receive: may never be satisfied —
+                            // Deadlock is a legal, bit-identical outcome.
+                            mb.recv(ch, reg);
+                        } else {
+                            mb.recv_timeout(ch, reg, 1 + c % 24);
+                        }
+                    }
+                    _ => {
+                        let ch = chans[a as usize % chans.len()];
+                        mb.set(reg, Expr::ChanLen(ch));
                     }
                 }
             }
@@ -198,12 +242,17 @@ fn gen_program(rng: &mut StdRng, tag: usize) -> (Program, Vec<MethodId>, MethodI
         b.thread(name, *entry, *auto);
     }
     methods.push(main);
-    (b.build(), methods, getter)
+    (b.build(), methods, getter, chans)
 }
 
 /// A random plan over `methods`; return-value interventions only target the
-/// pure `getter`.
-fn gen_plan(rng: &mut StdRng, methods: &[MethodId], getter: MethodId) -> InterventionPlan {
+/// pure `getter`. Channel fault-plane interventions target `chans`.
+fn gen_plan(
+    rng: &mut StdRng,
+    methods: &[MethodId],
+    getter: MethodId,
+    chans: &[ChannelId],
+) -> InterventionPlan {
     let mut plan = InterventionPlan::empty();
     let any = |rng: &mut StdRng| methods[rng.random_range(0..methods.len())];
     let filt = |rng: &mut StdRng| {
@@ -213,8 +262,9 @@ fn gen_plan(rng: &mut StdRng, methods: &[MethodId], getter: MethodId) -> Interve
             InstanceFilter::Only(rng.random_range(0..2u32))
         }
     };
+    let chan = |rng: &mut StdRng| chans[rng.random_range(0..chans.len())];
     for _ in 0..rng.random_range(1..=3usize) {
-        let iv = match rng.random_range(0..9u32) {
+        let iv = match rng.random_range(0..13u32) {
             0 => Intervention::SerializeMethods {
                 a: any(rng),
                 b: any(rng),
@@ -252,10 +302,27 @@ fn gen_plan(rng: &mut StdRng, methods: &[MethodId], getter: MethodId) -> Interve
                 method: any(rng),
                 instance: filt(rng),
             },
-            _ => Intervention::ForceRand {
+            8 => Intervention::ForceRand {
                 method: any(rng),
                 instance: filt(rng),
                 value: rng.random_range(0..10i64),
+            },
+            9 => Intervention::DelayDelivery {
+                channel: chan(rng),
+                seq: filt(rng),
+                ticks: rng.random_range(1..=6u64),
+            },
+            10 => Intervention::DropDelivery {
+                channel: chan(rng),
+                seq: filt(rng),
+            },
+            11 => Intervention::DuplicateDelivery {
+                channel: chan(rng),
+                seq: filt(rng),
+            },
+            _ => Intervention::ReorderDelivery {
+                channel: chan(rng),
+                seq: filt(rng),
             },
         };
         plan.push(iv);
@@ -272,14 +339,14 @@ fn bytecode_matches_tree_walk_on_random_programs() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(150);
     for case in 0..cases {
-        let (program, methods, getter) = gen_program(&mut rng, case);
+        let (program, methods, getter, chans) = gen_program(&mut rng, case);
         let tree = TreeWalkBackend::new(program.clone());
         let byte = BytecodeBackend::new(&program);
         for plan_i in 0..3 {
             let plan = if plan_i == 0 {
                 InterventionPlan::empty()
             } else {
-                gen_plan(&mut rng, &methods, getter)
+                gen_plan(&mut rng, &methods, getter, &chans)
             };
             for s in 0..3u64 {
                 let seed = (case as u64) << 8 | (plan_i as u64) << 4 | s;

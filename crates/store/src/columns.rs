@@ -30,8 +30,8 @@
 
 use aid_engine::WorkerPool;
 use aid_trace::{
-    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, MethodTag, ObjectId,
-    ObjectTag, Outcome, ThreadId, Time, Trace, TraceSet,
+    AccessEvent, AccessKind, ChannelId, ChannelTag, FailureSignature, MethodEvent, MethodId,
+    MethodTag, MsgEvent, MsgKind, ObjectId, ObjectTag, Outcome, ThreadId, Time, Trace, TraceSet,
 };
 use aid_util::IdArena;
 use std::collections::BTreeMap;
@@ -47,6 +47,30 @@ const EV_CAUGHT: u8 = 2;
 /// Access flag bits.
 const AC_WRITE: u8 = 1;
 const AC_LOCKED: u8 = 2;
+/// Message kind/flag packing: the low two bits carry the lifecycle kind,
+/// bit 2 the duplicate flag.
+const MG_KIND_MASK: u8 = 0b11;
+const MG_DUP: u8 = 4;
+
+fn pack_msg_kind(kind: MsgKind, dup: bool) -> u8 {
+    let k = match kind {
+        MsgKind::Send => 0,
+        MsgKind::Deliver => 1,
+        MsgKind::Recv => 2,
+        MsgKind::Drop => 3,
+    };
+    k | if dup { MG_DUP } else { 0 }
+}
+
+fn unpack_msg_kind(bits: u8) -> (MsgKind, bool) {
+    let kind = match bits & MG_KIND_MASK {
+        0 => MsgKind::Send,
+        1 => MsgKind::Deliver,
+        2 => MsgKind::Recv,
+        _ => MsgKind::Drop,
+    };
+    (kind, bits & MG_DUP != 0)
+}
 
 /// One shard's columns. A shard holds every trace whose global id is
 /// congruent to its index modulo the shard count, in arrival order.
@@ -79,6 +103,17 @@ struct Shard {
     ac_object: Vec<u32>,
     ac_at: Vec<Time>,
     ac_flags: Vec<u8>,
+    // Per-trace message extents (empty extents for channel-free traces).
+    msg_start: Vec<u32>,
+    msg_len: Vec<u32>,
+    // Per-message columns.
+    mg_channel: Vec<u32>,
+    mg_kind: Vec<u8>,
+    mg_seq: Vec<u32>,
+    mg_value: Vec<i64>,
+    mg_sent: Vec<Time>,
+    mg_at: Vec<Time>,
+    mg_thread: Vec<u32>,
 }
 
 impl Shard {
@@ -86,6 +121,7 @@ impl Shard {
     fn push_block(&mut self, b: Block, tick: u64) {
         let ev_base = self.ev_method.len() as u32;
         let ac_base = self.ac_object.len() as u32;
+        let mg_base = self.mg_channel.len() as u32;
         self.seed.push(b.seed);
         self.duration.push(b.duration);
         self.tick.push(tick);
@@ -107,6 +143,15 @@ impl Shard {
         self.ac_object.extend(b.ac_object);
         self.ac_at.extend(b.ac_at);
         self.ac_flags.extend(b.ac_flags);
+        self.msg_start.push(mg_base);
+        self.msg_len.push(b.mg_channel.len() as u32);
+        self.mg_channel.extend(b.mg_channel);
+        self.mg_kind.extend(b.mg_kind);
+        self.mg_seq.extend(b.mg_seq);
+        self.mg_value.extend(b.mg_value);
+        self.mg_sent.extend(b.mg_sent);
+        self.mg_at.extend(b.mg_at);
+        self.mg_thread.extend(b.mg_thread);
     }
 
     /// Compacts the shard in place, dropping its oldest `rows` traces and
@@ -155,6 +200,25 @@ impl Shard {
         self.ac_object.drain(..ac_drop);
         self.ac_at.drain(..ac_drop);
         self.ac_flags.drain(..ac_drop);
+        // Message rows owned by the dropped traces, straight from the
+        // per-trace extent columns (same contiguity argument as events).
+        let mg_drop = if rows == self.msg_start.len() {
+            self.mg_channel.len()
+        } else {
+            self.msg_start[rows] as usize
+        };
+        self.msg_start.drain(..rows);
+        self.msg_len.drain(..rows);
+        for start in &mut self.msg_start {
+            *start -= mg_drop as u32;
+        }
+        self.mg_channel.drain(..mg_drop);
+        self.mg_kind.drain(..mg_drop);
+        self.mg_seq.drain(..mg_drop);
+        self.mg_value.drain(..mg_drop);
+        self.mg_sent.drain(..mg_drop);
+        self.mg_at.drain(..mg_drop);
+        self.mg_thread.drain(..mg_drop);
     }
 }
 
@@ -206,6 +270,13 @@ struct Block {
     ac_object: Vec<u32>,
     ac_at: Vec<Time>,
     ac_flags: Vec<u8>,
+    mg_channel: Vec<u32>,
+    mg_kind: Vec<u8>,
+    mg_seq: Vec<u32>,
+    mg_value: Vec<i64>,
+    mg_sent: Vec<Time>,
+    mg_at: Vec<Time>,
+    mg_thread: Vec<u32>,
 }
 
 /// Builds the block for one trace. `trace` must already be remapped into
@@ -257,6 +328,15 @@ fn build_block(mut trace: Trace, kind_ids: &BTreeMap<String, u32>) -> Block {
             b.ac_flags.push(aflags);
         }
     }
+    for m in &trace.msgs {
+        b.mg_channel.push(m.channel.raw());
+        b.mg_kind.push(pack_msg_kind(m.kind, m.dup));
+        b.mg_seq.push(m.seq);
+        b.mg_value.push(m.value);
+        b.mg_sent.push(m.sent);
+        b.mg_at.push(m.at);
+        b.mg_thread.push(m.thread.raw());
+    }
     b
 }
 
@@ -269,6 +349,8 @@ pub struct ColumnStats {
     pub events: usize,
     /// Access rows retained.
     pub accesses: usize,
+    /// Message rows retained.
+    pub msgs: usize,
     /// Shards.
     pub shards: usize,
     /// Traces evicted by retention over the store's lifetime.
@@ -282,6 +364,7 @@ pub struct ColumnStats {
 pub struct ColumnStore {
     methods: IdArena<String, MethodTag>,
     objects: IdArena<String, ObjectTag>,
+    channels: IdArena<String, ChannelTag>,
     kinds: IdArena<String, KindTag>,
     shards: Vec<Shard>,
     /// First retained global id (== traces evicted so far).
@@ -301,6 +384,7 @@ impl ColumnStore {
         ColumnStore {
             methods: IdArena::new(),
             objects: IdArena::new(),
+            channels: IdArena::new(),
             kinds: IdArena::new(),
             shards: vec![Shard::default(); shards.max(1)],
             base: 0,
@@ -416,12 +500,18 @@ impl ColumnStore {
         &self.objects
     }
 
+    /// Interned channel names.
+    pub fn channels(&self) -> &IdArena<String, ChannelTag> {
+        &self.channels
+    }
+
     /// Row-count telemetry.
     pub fn stats(&self) -> ColumnStats {
         ColumnStats {
             traces: self.len(),
             events: self.shards.iter().map(|s| s.ev_method.len()).sum(),
             accesses: self.shards.iter().map(|s| s.ac_object.len()).sum(),
+            msgs: self.shards.iter().map(|s| s.mg_channel.len()).sum(),
             shards: self.shards.len(),
             evicted: self.base,
             compactions: self.compactions,
@@ -435,7 +525,8 @@ impl ColumnStore {
         &mut self,
         methods: &IdArena<String, MethodTag>,
         objects: &IdArena<String, ObjectTag>,
-    ) -> (Vec<u32>, Vec<u32>) {
+        channels: &IdArena<String, ChannelTag>,
+    ) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
         let m = methods
             .iter()
             .map(|(_, name)| self.methods.intern(name.clone()).raw())
@@ -444,7 +535,11 @@ impl ColumnStore {
             .iter()
             .map(|(_, name)| self.objects.intern(name.clone()).raw())
             .collect();
-        (m, o)
+        let c = channels
+            .iter()
+            .map(|(_, name)| self.channels.intern(name.clone()).raw())
+            .collect();
+        (m, o, c)
     }
 
     /// Appends a batch of traces whose ids are relative to the given remap
@@ -456,6 +551,7 @@ impl ColumnStore {
         traces: Vec<Trace>,
         method_map: &[u32],
         object_map: &[u32],
+        channel_map: &[u32],
         pool: Option<&WorkerPool>,
     ) -> std::ops::Range<usize> {
         // Serial phase: remap ids into store arenas and intern every
@@ -474,6 +570,9 @@ impl ColumnStore {
                 for a in &mut e.accesses {
                     a.object = ObjectId::from_raw(object_map[a.object.index()]);
                 }
+            }
+            for m in &mut t.msgs {
+                m.channel = ChannelId::from_raw(channel_map[m.channel.index()]);
             }
             remapped.push(t);
         }
@@ -558,9 +657,27 @@ impl ColumnStore {
                 }
             })
             .collect();
+        let mg0 = s.msg_start[row] as usize;
+        let mg1 = mg0 + s.msg_len[row] as usize;
+        let msgs = (mg0..mg1)
+            .map(|m| {
+                let (kind, dup) = unpack_msg_kind(s.mg_kind[m]);
+                MsgEvent {
+                    channel: ChannelId::from_raw(s.mg_channel[m]),
+                    kind,
+                    seq: s.mg_seq[m],
+                    value: s.mg_value[m],
+                    sent: s.mg_sent[m],
+                    at: s.mg_at[m],
+                    thread: ThreadId::from_raw(s.mg_thread[m]),
+                    dup,
+                }
+            })
+            .collect();
         Trace {
             seed: s.seed[row],
             events,
+            msgs,
             outcome,
             duration: s.duration[row],
         }
@@ -601,6 +718,7 @@ impl ColumnStore {
         TraceSet {
             methods: self.methods.clone(),
             objects: self.objects.clone(),
+            channels: self.channels.clone(),
             traces: self.retained().map(|g| self.trace(g)).collect(),
         }
     }
@@ -654,6 +772,7 @@ mod tests {
                         caught: seed == 6,
                     },
                 ],
+                msgs: vec![],
                 outcome: if failed {
                     Outcome::Failure(FailureSignature {
                         kind: "Overflow".into(),
@@ -675,8 +794,8 @@ mod tests {
         let set = sample_set();
         for shards in [1usize, 2, 3, 8] {
             let mut store = ColumnStore::new(shards);
-            let (m, o) = store.remap_tables(&set.methods, &set.objects);
-            let range = store.append_batch(set.traces.clone(), &m, &o, None);
+            let (m, o, c) = store.remap_tables(&set.methods, &set.objects, &set.channels);
+            let range = store.append_batch(set.traces.clone(), &m, &o, &c, None);
             assert_eq!(range, 0..set.traces.len());
             assert_eq!(store.len(), set.traces.len());
             let back = store.to_trace_set();
@@ -689,11 +808,11 @@ mod tests {
         let set = sample_set();
         let pool = WorkerPool::new(3);
         let mut serial = ColumnStore::new(4);
-        let (m, o) = serial.remap_tables(&set.methods, &set.objects);
-        serial.append_batch(set.traces.clone(), &m, &o, None);
+        let (m, o, c) = serial.remap_tables(&set.methods, &set.objects, &set.channels);
+        serial.append_batch(set.traces.clone(), &m, &o, &c, None);
         let mut pooled = ColumnStore::new(4);
-        let (m, o) = pooled.remap_tables(&set.methods, &set.objects);
-        pooled.append_batch(set.traces.clone(), &m, &o, Some(&pool));
+        let (m, o, c) = pooled.remap_tables(&set.methods, &set.objects, &set.channels);
+        pooled.append_batch(set.traces.clone(), &m, &o, &c, Some(&pool));
         assert_eq!(
             codec::encode(&serial.to_trace_set()),
             codec::encode(&pooled.to_trace_set())
@@ -721,6 +840,7 @@ mod tests {
                 exception: None,
                 caught: false,
             }],
+            msgs: vec![],
             outcome: Outcome::Success,
             duration: 2,
         };
@@ -728,10 +848,10 @@ mod tests {
         other.push(t);
 
         let mut store = ColumnStore::new(2);
-        let (m, o) = store.remap_tables(&set.methods, &set.objects);
-        store.append_batch(set.traces.clone(), &m, &o, None);
-        let (m2, o2) = store.remap_tables(&other.methods, &other.objects);
-        store.append_batch(other.traces.clone(), &m2, &o2, None);
+        let (m, o, c) = store.remap_tables(&set.methods, &set.objects, &set.channels);
+        store.append_batch(set.traces.clone(), &m, &o, &c, None);
+        let (m2, o2, c2) = store.remap_tables(&other.methods, &other.objects, &other.channels);
+        store.append_batch(other.traces.clone(), &m2, &o2, &c2, None);
         // "Writer" from the second source resolves to the store's id 1.
         let last = store.trace(store.len() - 1);
         assert_eq!(last.events[0].method.raw(), 1);
@@ -750,8 +870,8 @@ mod tests {
     fn headers_match_materialized_traces() {
         let set = sample_set();
         let mut store = ColumnStore::new(3);
-        let (m, o) = store.remap_tables(&set.methods, &set.objects);
-        store.append_batch(set.traces.clone(), &m, &o, None);
+        let (m, o, c) = store.remap_tables(&set.methods, &set.objects, &set.channels);
+        store.append_batch(set.traces.clone(), &m, &o, &c, None);
         for g in 0..store.len() {
             let t = store.trace(g);
             assert_eq!(store.header(g), (t.seed, t.duration));
@@ -772,6 +892,7 @@ mod tests {
         let expected = TraceSet {
             methods: set.methods.clone(),
             objects: set.objects.clone(),
+            channels: set.channels.clone(),
             traces: set.traces[evicted..].to_vec(),
         };
         assert_eq!(
@@ -786,8 +907,8 @@ mod tests {
         let set = sample_set();
         for shards in [1usize, 2, 3, 8] {
             let mut store = ColumnStore::new(shards);
-            let (m, o) = store.remap_tables(&set.methods, &set.objects);
-            store.append_batch(set.traces.clone(), &m, &o, None);
+            let (m, o, c) = store.remap_tables(&set.methods, &set.objects, &set.channels);
+            store.append_batch(set.traces.clone(), &m, &o, &c, None);
             let mut evicted = 0;
             for step in [1usize, 2, 1] {
                 evicted += store.evict_front(step);
@@ -805,7 +926,7 @@ mod tests {
             assert_eq!(stats.compactions, 3);
             // Appends after eviction keep global ids monotone and the
             // window property intact.
-            let range = store.append_batch(set.traces.clone(), &m, &o, None);
+            let range = store.append_batch(set.traces.clone(), &m, &o, &c, None);
             assert_eq!(range, 7..14);
             assert_eq!(store.len(), 3 + 7);
             let mut full = set.clone();
@@ -818,12 +939,12 @@ mod tests {
     fn evict_everything_then_refill() {
         let set = sample_set();
         let mut store = ColumnStore::new(3);
-        let (m, o) = store.remap_tables(&set.methods, &set.objects);
-        store.append_batch(set.traces.clone(), &m, &o, None);
+        let (m, o, c) = store.remap_tables(&set.methods, &set.objects, &set.channels);
+        store.append_batch(set.traces.clone(), &m, &o, &c, None);
         assert_eq!(store.evict_front(usize::MAX), 7);
         assert!(store.is_empty());
         assert_eq!(store.retained(), 7..7);
-        let range = store.append_batch(set.traces.clone(), &m, &o, None);
+        let range = store.append_batch(set.traces.clone(), &m, &o, &c, None);
         assert_eq!(range, 7..14);
         assert_window_identical(&store, &set, 0);
     }
@@ -832,10 +953,10 @@ mod tests {
     fn retention_policy_bounds_count_and_age() {
         let set = sample_set();
         let mut store = ColumnStore::new(2);
-        let (m, o) = store.remap_tables(&set.methods, &set.objects);
+        let (m, o, c) = store.remap_tables(&set.methods, &set.objects, &set.channels);
         // Three batches → ticks 0, 1, 2.
         for _ in 0..3 {
-            store.append_batch(set.traces.clone(), &m, &o, None);
+            store.append_batch(set.traces.clone(), &m, &o, &c, None);
         }
         assert_eq!(store.clock(), 3);
         assert_eq!(store.apply_retention(RetentionPolicy::default()), 0);
@@ -857,6 +978,7 @@ mod tests {
             &TraceSet {
                 methods: set.methods.clone(),
                 objects: set.objects.clone(),
+                channels: set.channels.clone(),
                 traces: set.traces.clone(),
             },
             0,

@@ -14,7 +14,7 @@
 //! drain traces between pushes.
 
 use aid_trace::codec::{self, parse_line, DecodeError, DecodeErrorKind, Record};
-use aid_trace::{MethodTag, ObjectTag, Outcome, Trace};
+use aid_trace::{ChannelTag, MethodTag, ObjectTag, Outcome, Trace};
 use aid_util::IdArena;
 
 /// A record (line or whole trace) set aside instead of ingested.
@@ -55,6 +55,7 @@ const QUARANTINE_EXCERPT: usize = 120;
 pub struct StreamDecoder {
     methods: IdArena<String, MethodTag>,
     objects: IdArena<String, ObjectTag>,
+    channels: IdArena<String, ChannelTag>,
     /// Partial line carried between byte chunks.
     carry: Vec<u8>,
     lineno: usize,
@@ -148,6 +149,11 @@ impl StreamDecoder {
         &self.objects
     }
 
+    /// Interned channel names, in declaration order.
+    pub fn channels(&self) -> &IdArena<String, ChannelTag> {
+        &self.channels
+    }
+
     /// Records set aside instead of ingested.
     pub fn quarantine(&self) -> &[Quarantined] {
         &self.quarantine
@@ -194,6 +200,11 @@ impl StreamDecoder {
                     self.quarantine_line(e, line);
                 }
             }
+            Record::Channel { id, name } => {
+                if let Err(e) = codec::declare(&mut self.channels, id, name, self.lineno) {
+                    self.quarantine_line(e, line);
+                }
+            }
             Record::TraceStart { seed, outcome } => {
                 // A new header resynchronizes a skipping decoder.
                 self.skipping = false;
@@ -224,6 +235,7 @@ impl StreamDecoder {
                 self.current = Some(Trace {
                     seed,
                     events: vec![],
+                    msgs: vec![],
                     outcome,
                     duration: 0,
                 });
@@ -298,6 +310,33 @@ impl StreamDecoder {
                     .and_then(|t| t.events.last_mut())
                     .expect("checked above");
                 event.accesses.push(a);
+            }
+            Record::Msg(m) => {
+                if self.skipping {
+                    self.stats.skipped_lines += 1;
+                    return;
+                }
+                // Same classification order as the batch decoder: trace
+                // context first, then the channel reference.
+                if self.current.is_none() {
+                    self.quarantine_line(
+                        DecodeError::new(
+                            self.lineno,
+                            DecodeErrorKind::UnexpectedRecord("msg outside trace"),
+                        ),
+                        line,
+                    );
+                    return;
+                }
+                if m.channel.index() >= self.channels.len() {
+                    let id = m.channel.raw();
+                    self.poison(
+                        DecodeError::new(self.lineno, DecodeErrorKind::UnknownChannel(id)),
+                        line,
+                    );
+                    return;
+                }
+                self.current.as_mut().expect("checked above").msgs.push(m);
             }
             Record::TraceEnd { duration } => {
                 if self.skipping {
@@ -402,6 +441,7 @@ mod tests {
                         caught: false,
                     },
                 ],
+                msgs: vec![],
                 outcome: if failed {
                     Outcome::Failure(FailureSignature {
                         kind: "Boom".into(),

@@ -237,20 +237,24 @@ impl TraceStore {
         if traces.is_empty() {
             return;
         }
-        let (m, o) = self
-            .columns
-            .remap_tables(self.decoder.methods(), self.decoder.objects());
+        let (m, o, c) = self.columns.remap_tables(
+            self.decoder.methods(),
+            self.decoder.objects(),
+            self.decoder.channels(),
+        );
         self.columns
-            .append_batch(traces, &m, &o, self.pool.as_deref());
+            .append_batch(traces, &m, &o, &c, self.pool.as_deref());
         self.columns.apply_retention(self.config.retention);
     }
 
     /// Appends every trace of an in-memory set (names resolved through the
     /// set's own arenas).
     pub fn append_set(&mut self, set: &TraceSet) {
-        let (m, o) = self.columns.remap_tables(&set.methods, &set.objects);
+        let (m, o, c) = self
+            .columns
+            .remap_tables(&set.methods, &set.objects, &set.channels);
         self.columns
-            .append_batch(set.traces.clone(), &m, &o, self.pool.as_deref());
+            .append_batch(set.traces.clone(), &m, &o, &c, self.pool.as_deref());
         self.columns.apply_retention(self.config.retention);
     }
 
@@ -258,9 +262,11 @@ impl TraceStore {
     /// [`Simulator::run`] — with `names` supplying the id→name tables the
     /// trace's ids are relative to (use `Simulator::trace_set_skeleton`).
     pub fn append_run(&mut self, names: &TraceSet, trace: Trace) {
-        let (m, o) = self.columns.remap_tables(&names.methods, &names.objects);
+        let (m, o, c) = self
+            .columns
+            .remap_tables(&names.methods, &names.objects, &names.channels);
         self.columns
-            .append_batch(vec![trace], &m, &o, self.pool.as_deref());
+            .append_batch(vec![trace], &m, &o, &c, self.pool.as_deref());
         self.columns.apply_retention(self.config.retention);
     }
 

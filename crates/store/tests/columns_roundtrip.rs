@@ -92,6 +92,7 @@ fn build_set(method_count: usize, object_count: usize, raw: Vec<RawTrace>) -> Tr
         let mut trace = Trace {
             seed,
             events,
+            msgs: vec![],
             outcome: if failed {
                 Outcome::Failure(FailureSignature {
                     kind: KINDS[kind_slot].to_string(),
@@ -122,8 +123,8 @@ proptest! {
         let set = build_set(method_count, object_count, raw);
         let text = codec::encode(&set);
         let mut columns = ColumnStore::new(shards);
-        let (m, o) = columns.remap_tables(&set.methods, &set.objects);
-        columns.append_batch(set.traces.clone(), &m, &o, None);
+        let (m, o, c) = columns.remap_tables(&set.methods, &set.objects, &set.channels);
+        columns.append_batch(set.traces.clone(), &m, &o, &c, None);
         prop_assert_eq!(columns.len(), set.traces.len());
         let back = columns.to_trace_set();
         prop_assert_eq!(&back.traces, &set.traces);
@@ -153,6 +154,7 @@ proptest! {
             let mut part = TraceSet {
                 methods: set.methods.clone(),
                 objects: set.objects.clone(),
+                channels: set.channels.clone(),
                 traces: chunk.to_vec(),
             };
             // Appending through the run-at-a-time API too: half the chunk

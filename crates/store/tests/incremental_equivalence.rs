@@ -70,6 +70,7 @@ fn stat_neutral_success_prefix_stays_aligned() {
     set.push(Trace {
         seed: 0,
         events: vec![], // crashed before instrumentation saw a call
+        msgs: vec![],
         outcome: Outcome::Success,
         duration: 3,
     });
@@ -86,6 +87,7 @@ fn stat_neutral_success_prefix_stays_aligned() {
             exception: Some("Boom".into()),
             caught: false,
         }],
+        msgs: vec![],
         outcome: Outcome::Failure(FailureSignature {
             kind: "Boom".into(),
             method: m,
@@ -111,6 +113,7 @@ fn stat_neutral_success_prefix_stays_aligned() {
         let prefix = TraceSet {
             methods: set.methods.clone(),
             objects: set.objects.clone(),
+            channels: set.channels.clone(),
             traces: set.traces[..=k].to_vec(),
         };
         let batch = analyze(&prefix, &config);
@@ -149,6 +152,7 @@ fn every_prefix_of_every_case_corpus_matches_batch() {
             let prefix = TraceSet {
                 methods: set.methods.clone(),
                 objects: set.objects.clone(),
+                channels: set.channels.clone(),
                 traces: set.traces[..=k].to_vec(),
             };
             let batch = analyze(&prefix, &case.config);

@@ -7,8 +7,8 @@
 
 use aid_store::StreamDecoder;
 use aid_trace::{
-    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, Outcome, ThreadId, Trace,
-    TraceSet,
+    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, MsgEvent, MsgKind, Outcome,
+    ThreadId, Trace, TraceSet,
 };
 
 fn sample_set(traces: usize) -> TraceSet {
@@ -49,6 +49,7 @@ fn sample_set(traces: usize) -> TraceSet {
                     caught: false,
                 },
             ],
+            msgs: vec![],
             outcome: if failed {
                 Outcome::Failure(FailureSignature {
                     kind: "Boom".into(),
@@ -174,6 +175,174 @@ fn every_chunking_of_a_corrupted_stream_agrees() {
         .filter(|t| reference.0.contains(t))
         .collect();
     assert_eq!(survivors.len(), reference.0.len());
+}
+
+/// A message-passing corpus: every trace carries send/deliver/recv records
+/// on two declared channels, alongside ordinary events.
+fn channel_set(traces: usize) -> TraceSet {
+    let mut set = TraceSet::new();
+    let m0 = set.method("Producer");
+    let o = set.object("chan:req");
+    let req = set.channel("req");
+    let ack = set.channel("ack");
+    for seed in 0..traces as u64 {
+        let mut t = Trace {
+            seed,
+            events: vec![MethodEvent {
+                method: m0,
+                instance: 0,
+                thread: ThreadId::from_raw(0),
+                start: 0,
+                end: 10 + seed,
+                accesses: vec![AccessEvent {
+                    object: o,
+                    kind: AccessKind::Write,
+                    at: 2,
+                    locked: false,
+                }],
+                returned: None,
+                exception: None,
+                caught: false,
+            }],
+            msgs: vec![
+                MsgEvent {
+                    channel: req,
+                    kind: MsgKind::Send,
+                    seq: 0,
+                    value: seed as i64,
+                    sent: 2,
+                    at: 2,
+                    thread: ThreadId::from_raw(0),
+                    dup: false,
+                },
+                MsgEvent {
+                    channel: req,
+                    kind: MsgKind::Deliver,
+                    seq: 0,
+                    value: seed as i64,
+                    sent: 2,
+                    at: 4 + seed,
+                    thread: ThreadId::from_raw(0),
+                    dup: false,
+                },
+                MsgEvent {
+                    channel: ack,
+                    kind: MsgKind::Recv,
+                    seq: 0,
+                    value: 1,
+                    sent: 5,
+                    at: 7 + seed,
+                    thread: ThreadId::from_raw(1),
+                    dup: seed % 2 == 1,
+                },
+            ],
+            outcome: Outcome::Success,
+            duration: 40 + seed,
+        };
+        t.normalize();
+        set.push(t);
+    }
+    set
+}
+
+/// Corrupts msg records three ways: an invalid lifecycle kind letter, a
+/// reference to an undeclared channel, and a mid-number mangle — each
+/// poisoning exactly the trace it sits in.
+fn corrupt_msgs(text: &str) -> String {
+    let mut msg_seen = 0usize;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.starts_with("msg") {
+            msg_seen += 1;
+            match msg_seen {
+                2 => {
+                    // Invalid kind letter (trace #1 poisoned).
+                    out.push(line.replacen(" D ", " Q ", 1));
+                    continue;
+                }
+                4 => {
+                    // Undeclared channel id (trace #2 poisoned).
+                    out.push(format!("msg 9{}", line.strip_prefix("msg 0").unwrap()));
+                    continue;
+                }
+                8 => {
+                    // Mid-number mangle in the seq field (trace #3 poisoned).
+                    out.push(line.replacen(" 0 ", " 0x0 ", 1));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(line.to_string());
+    }
+    out.join("\n") + "\n"
+}
+
+/// Malformed channel records must quarantine with exact counts under every
+/// chunk framing — never panic, never misattribute damage to a neighboring
+/// trace.
+#[test]
+fn every_chunking_of_corrupted_channel_records_agrees() {
+    let set = channel_set(6);
+    let text = corrupt_msgs(&codec::encode(&set));
+    let reference = decode_chunked(text.as_bytes(), usize::MAX);
+
+    // Exactly the three poisoned traces die; the other three survive
+    // byte-identical, message payloads included.
+    assert_eq!(reference.0.len(), set.traces.len() - 3, "{:?}", reference.1);
+    assert_eq!(
+        reference.1.len(),
+        3,
+        "each corrupted msg line quarantines exactly once: {:?}",
+        reference.1
+    );
+    assert!(
+        reference.1[0].1.contains("msg kind"),
+        "first entry is the invalid kind: {:?}",
+        reference.1
+    );
+    assert!(
+        reference.1[1].1.contains("channel"),
+        "second entry is the unknown channel: {:?}",
+        reference.1
+    );
+    assert_eq!(reference.2.traces as usize, reference.0.len());
+    assert_eq!(reference.2.quarantined as usize, reference.1.len());
+    assert!(reference.2.skipped_lines > 0, "resync must skip lines");
+    let survivors: Vec<&Trace> = set
+        .traces
+        .iter()
+        .filter(|t| reference.0.contains(t))
+        .collect();
+    assert_eq!(survivors.len(), reference.0.len());
+    assert!(
+        survivors.iter().all(|t| !t.msgs.is_empty()),
+        "surviving traces keep their message events"
+    );
+
+    // Framing independence across coprime chunk sizes: every msg record is
+    // eventually split mid-line, mid-field, and mid-number.
+    for chunk in [1usize, 2, 3, 5, 7, 11, 13, 17, 31, 64, 127, 1021, 8192] {
+        let got = decode_chunked(text.as_bytes(), chunk);
+        assert_eq!(got.0, reference.0, "traces @ chunk {chunk}");
+        assert_eq!(got.1, reference.1, "quarantine @ chunk {chunk}");
+        assert_eq!(got.2, reference.2, "stats @ chunk {chunk}");
+    }
+}
+
+#[test]
+fn clean_channel_stream_roundtrips_under_all_framings() {
+    let set = channel_set(5);
+    let text = codec::encode(&set);
+    let reference = decode_chunked(text.as_bytes(), usize::MAX);
+    assert_eq!(reference.0, set.traces);
+    assert!(reference.1.is_empty());
+    for chunk in [1usize, 3, 7, 64, 4096] {
+        let got = decode_chunked(text.as_bytes(), chunk);
+        assert_eq!(got.0, reference.0, "traces @ chunk {chunk}");
+        assert_eq!(got.1, reference.1, "quarantine @ chunk {chunk}");
+        assert_eq!(got.2, reference.2, "stats @ chunk {chunk}");
+    }
 }
 
 #[test]

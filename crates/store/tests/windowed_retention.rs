@@ -35,6 +35,7 @@ fn trace(seed: u64, methods: &[MethodId], events: usize, failed: bool) -> Trace 
                 caught: false,
             })
             .collect(),
+        msgs: vec![],
         outcome: if failed {
             Outcome::Failure(FailureSignature {
                 kind: "Boom".into(),
@@ -100,6 +101,7 @@ proptest! {
                 let batch = TraceSet {
                     methods: names.methods.clone(),
                     objects: names.objects.clone(),
+                    channels: names.channels.clone(),
                     traces: appends
                         .iter()
                         .map(|&(events, failed)| {
@@ -127,6 +129,7 @@ proptest! {
             let expected = TraceSet {
                 methods: names.methods.clone(),
                 objects: names.objects.clone(),
+                channels: names.channels.clone(),
                 traces: arrived[evicted..].to_vec(),
             };
             prop_assert_eq!(
@@ -218,6 +221,7 @@ fn every_prefix_matches_batch_over_retained_window() {
             let retained = TraceSet {
                 methods: set.methods.clone(),
                 objects: set.objects.clone(),
+                channels: set.channels.clone(),
                 traces: window.to_vec(),
             };
             let batch = analyze(&retained, &case.config);

@@ -8,19 +8,26 @@
 //! #AID-TRACE v1
 //! method 0 TryGetValue
 //! object 0 _nextSlot
+//! channel 0 requests
 //! trace <seed> ok|fail <kind> <method-id>
 //! event <method> <thread> <start> <end> <ret|-> <exc|-> <caught:0|1>
 //! access <object> R|W <time> <locked:0|1>
+//! msg <channel> S|D|R|X <seq> <value> <sent> <at> <thread> <dup:0|1>
 //! endtrace <duration>
 //! ```
 //!
-//! `access` lines attach to the most recent `event` line. Instance indices
-//! are not stored; they are recomputed by [`Trace::normalize`] on decode.
-//! Names must not contain whitespace (enforced on encode).
+//! `access` lines attach to the most recent `event` line; `msg` lines attach
+//! to the enclosing trace (S = send, D = deliver, R = recv, X = dropped by
+//! the fault plane). Channel declarations and `msg` lines are emitted only
+//! when a set actually uses channels, so shared-memory-only logs are
+//! byte-identical to the pre-channel format. Instance indices are not
+//! stored; they are recomputed by [`Trace::normalize`] on decode. Names must
+//! not contain whitespace (enforced on encode).
 
 use crate::clock::Time;
 use crate::event::{
-    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome, ThreadId,
+    AccessEvent, AccessKind, ChannelId, FailureSignature, MethodEvent, MethodId, MsgEvent, MsgKind,
+    ObjectId, Outcome, ThreadId,
 };
 use crate::trace::{Trace, TraceSet};
 use bytes::BufMut;
@@ -41,6 +48,8 @@ pub enum DecodeErrorKind {
     InvalidStatus,
     /// An `access` record's kind was neither `R` nor `W`.
     InvalidAccessKind,
+    /// A `msg` record's kind was not one of `S`, `D`, `R`, `X`.
+    InvalidMsgKind,
     /// A boolean field (`caught`, `locked`) was neither `0` nor `1`.
     InvalidFlag(&'static str),
     /// A record carried tokens after its last defined field.
@@ -55,6 +64,8 @@ pub enum DecodeErrorKind {
     UnknownMethod(u32),
     /// An access referenced an undeclared object id.
     UnknownObject(u32),
+    /// A msg record referenced an undeclared channel id.
+    UnknownChannel(u32),
     /// A `method`/`object` declaration's id disagrees with the id the
     /// decoder assigns (declarations must arrive in dense id order, and
     /// re-declarations must be consistent).
@@ -82,12 +93,14 @@ impl DecodeErrorKind {
             DecodeErrorKind::InvalidNumber(f) => format!("bad {f}"),
             DecodeErrorKind::InvalidStatus => "status must be ok or fail".into(),
             DecodeErrorKind::InvalidAccessKind => "access kind must be R or W".into(),
+            DecodeErrorKind::InvalidMsgKind => "msg kind must be S, D, R, or X".into(),
             DecodeErrorKind::InvalidFlag(f) => format!("{f} must be 0 or 1"),
             DecodeErrorKind::TrailingTokens => "trailing tokens after record".into(),
             DecodeErrorKind::UnknownRecord => "unknown record".into(),
             DecodeErrorKind::UnexpectedRecord(what) => (*what).into(),
             DecodeErrorKind::UnknownMethod(id) => format!("undeclared method id {id}"),
             DecodeErrorKind::UnknownObject(id) => format!("undeclared object id {id}"),
+            DecodeErrorKind::UnknownChannel(id) => format!("undeclared channel id {id}"),
             DecodeErrorKind::MisnumberedDeclaration { expected, found } => {
                 format!("declaration id {found} out of order (expected {expected})")
             }
@@ -160,6 +173,15 @@ pub enum Record {
     Event(MethodEvent),
     /// An `access …` record, attaching to the most recent event.
     Access(AccessEvent),
+    /// A `channel <id> <name>` declaration.
+    Channel {
+        /// Declared dense id.
+        id: u32,
+        /// Interned name.
+        name: String,
+    },
+    /// A `msg …` record, attaching to the enclosing trace.
+    Msg(MsgEvent),
     /// An `endtrace <duration>` record closing a run.
     TraceEnd {
         /// Virtual end time of the run.
@@ -272,6 +294,36 @@ pub fn parse_line(raw_line: &str, lineno: usize) -> Result<Option<Record>, Decod
                 locked,
             })
         }
+        "channel" => Record::Channel {
+            id: num!("channel id"),
+            name: next("name")?.to_string(),
+        },
+        "msg" => {
+            let channel = ChannelId::from_raw(num!("channel"));
+            let kind = match next("kind")? {
+                "S" => MsgKind::Send,
+                "D" => MsgKind::Deliver,
+                "R" => MsgKind::Recv,
+                "X" => MsgKind::Drop,
+                _ => return Err(err(DecodeErrorKind::InvalidMsgKind)),
+            };
+            let seq = num!("seq");
+            let value = num!("value");
+            let sent = num!("sent");
+            let at = num!("time");
+            let thread = ThreadId::from_raw(num!("thread"));
+            let dup = flag!("dup");
+            Record::Msg(MsgEvent {
+                channel,
+                kind,
+                seq,
+                value,
+                sent,
+                at,
+                thread,
+                dup,
+            })
+        }
         "endtrace" => Record::TraceEnd {
             duration: num!("duration"),
         },
@@ -300,6 +352,13 @@ pub fn encode(set: &TraceSet) -> String {
             "object name {name:?} contains whitespace"
         );
         writeln!(out, "object {} {}", id.raw(), name).unwrap();
+    }
+    for (id, name) in set.channels.iter() {
+        assert!(
+            !name.chars().any(char::is_whitespace),
+            "channel name {name:?} contains whitespace"
+        );
+        writeln!(out, "channel {} {}", id.raw(), name).unwrap();
     }
     for t in &set.traces {
         match &t.outcome {
@@ -343,6 +402,27 @@ pub fn encode(set: &TraceSet) -> String {
                 )
                 .unwrap();
             }
+        }
+        for m in &t.msgs {
+            let k = match m.kind {
+                MsgKind::Send => 'S',
+                MsgKind::Deliver => 'D',
+                MsgKind::Recv => 'R',
+                MsgKind::Drop => 'X',
+            };
+            writeln!(
+                out,
+                "msg {} {} {} {} {} {} {} {}",
+                m.channel.raw(),
+                k,
+                m.seq,
+                m.value,
+                m.sent,
+                m.at,
+                m.thread.raw(),
+                u8::from(m.dup)
+            )
+            .unwrap();
         }
         writeln!(out, "endtrace {}", t.duration).unwrap();
     }
@@ -399,6 +479,7 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
             None => {}
             Some(Record::Method { id, name }) => declare(&mut set.methods, id, name, lineno)?,
             Some(Record::Object { id, name }) => declare(&mut set.objects, id, name, lineno)?,
+            Some(Record::Channel { id, name }) => declare(&mut set.channels, id, name, lineno)?,
             Some(Record::TraceStart { seed, outcome }) => {
                 if current.is_some() {
                     return Err(err(DecodeErrorKind::UnexpectedRecord(
@@ -413,6 +494,7 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
                 current = Some(Trace {
                     seed,
                     events: vec![],
+                    msgs: vec![],
                     outcome,
                     duration: 0,
                 });
@@ -437,6 +519,15 @@ pub fn decode(input: &str) -> Result<TraceSet, DecodeError> {
                     return Err(err(DecodeErrorKind::UnknownObject(a.object.raw())));
                 }
                 e.accesses.push(a);
+            }
+            Some(Record::Msg(m)) => {
+                let t = current
+                    .as_mut()
+                    .ok_or_else(|| err(DecodeErrorKind::UnexpectedRecord("msg outside trace")))?;
+                if m.channel.index() >= set.channels.len() {
+                    return Err(err(DecodeErrorKind::UnknownChannel(m.channel.raw())));
+                }
+                t.msgs.push(m);
             }
             Some(Record::TraceEnd { duration }) => {
                 let mut t = current.take().ok_or_else(|| {
@@ -502,11 +593,59 @@ mod tests {
                     caught: false,
                 },
             ],
+            msgs: vec![],
             outcome: Outcome::Failure(FailureSignature {
                 kind: "IndexOutOfRange".into(),
                 method: m1,
             }),
             duration: 210,
+        };
+        t.normalize();
+        set.push(t);
+        set
+    }
+
+    fn sample_with_channels() -> TraceSet {
+        let mut set = TraceSet::new();
+        let m = set.method("Producer");
+        let ch = set.channel("requests");
+        let mut t = Trace {
+            seed: 7,
+            events: vec![MethodEvent {
+                method: m,
+                instance: 0,
+                thread: ThreadId::from_raw(0),
+                start: 0,
+                end: 10,
+                accesses: vec![],
+                returned: None,
+                exception: None,
+                caught: false,
+            }],
+            msgs: vec![
+                MsgEvent {
+                    channel: ch,
+                    kind: MsgKind::Send,
+                    seq: 0,
+                    value: 42,
+                    sent: 3,
+                    at: 3,
+                    thread: ThreadId::from_raw(0),
+                    dup: false,
+                },
+                MsgEvent {
+                    channel: ch,
+                    kind: MsgKind::Deliver,
+                    seq: 0,
+                    value: 42,
+                    sent: 3,
+                    at: 5,
+                    thread: ThreadId::from_raw(0),
+                    dup: true,
+                },
+            ],
+            outcome: Outcome::Success,
+            duration: 12,
         };
         t.normalize();
         set.push(t);
@@ -522,6 +661,50 @@ mod tests {
         assert_eq!(back.objects.len(), set.objects.len());
         assert_eq!(back.traces.len(), 1);
         assert_eq!(back.traces[0], set.traces[0]);
+    }
+
+    #[test]
+    fn channel_roundtrip_preserves_msgs() {
+        let set = sample_with_channels();
+        let text = encode(&set);
+        assert!(text.contains("channel 0 requests"), "{text}");
+        assert!(text.contains("msg 0 S 0 42 3 3 0 0"), "{text}");
+        assert!(text.contains("msg 0 D 0 42 3 5 0 1"), "{text}");
+        let back = decode(&text).expect("decode");
+        assert_eq!(back.channels.len(), 1);
+        assert_eq!(back.traces[0], set.traces[0]);
+    }
+
+    #[test]
+    fn channel_free_sets_encode_without_channel_records() {
+        let text = encode(&sample());
+        assert!(!text.contains("channel"), "{text}");
+        assert!(!text.contains("\nmsg"), "{text}");
+    }
+
+    #[test]
+    fn msg_decode_errors_are_typed() {
+        let e = decode("msg 0 S 0 1 0 0 0 0").unwrap_err();
+        assert_eq!(
+            e.kind,
+            DecodeErrorKind::UnexpectedRecord("msg outside trace")
+        );
+        let e = decode("trace 1 ok - -\nmsg 0 S 0 1 0 0 0 0\nendtrace 1\n").unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::UnknownChannel(0));
+        let e =
+            decode("channel 0 c\ntrace 1 ok - -\nmsg 0 Q 0 1 0 0 0 0\nendtrace 1\n").unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::InvalidMsgKind);
+        let e =
+            decode("channel 0 c\ntrace 1 ok - -\nmsg 0 S 0 1 0 0 0 2\nendtrace 1\n").unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::InvalidFlag("dup"));
+        let e = decode("channel 2 c").unwrap_err();
+        assert_eq!(
+            e.kind,
+            DecodeErrorKind::MisnumberedDeclaration {
+                expected: 0,
+                found: 2
+            }
+        );
     }
 
     #[test]

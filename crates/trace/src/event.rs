@@ -13,6 +13,9 @@ pub struct ObjectTag;
 /// Tag type for thread ids.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ThreadTag;
+/// Tag type for channel ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelTag;
 
 /// Identifies a (static) method of the program under test.
 pub type MethodId = Id<MethodTag>;
@@ -20,6 +23,8 @@ pub type MethodId = Id<MethodTag>;
 pub type ObjectId = Id<ObjectTag>;
 /// Identifies a thread of the program under test.
 pub type ThreadId = Id<ThreadTag>;
+/// Identifies a message channel of the program under test.
+pub type ChannelId = Id<ChannelTag>;
 
 /// Whether an access read or wrote the object. A data race requires at least
 /// one [`AccessKind::Write`].
@@ -92,6 +97,54 @@ impl MethodEvent {
     pub fn overlaps_concurrently(&self, other: &MethodEvent) -> bool {
         self.thread != other.thread && self.start <= other.end && other.start <= self.end
     }
+}
+
+/// What happened to a message at one point of its lifecycle.
+///
+/// A message that is sent, transits the channel, and is consumed produces a
+/// `Send` → `Deliver` → `Recv` sequence sharing one `(channel, seq)` key; a
+/// dropped message produces `Send` → `Drop` and never reaches a mailbox.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// The sender enqueued the message into the channel.
+    Send,
+    /// The channel moved the message from transit into the receiver-visible
+    /// mailbox (delivery happens at the message's scheduled delivery tick).
+    Deliver,
+    /// A receiver consumed the message from the mailbox.
+    Recv,
+    /// The fault plane discarded the message at send time; it never transits.
+    Drop,
+}
+
+/// One step in a message's lifecycle over a channel.
+///
+/// Message events live beside the method-event plane: channel operations also
+/// record plain [`AccessEvent`]s on per-channel pseudo-objects so the
+/// predicate extractors see them, while `MsgEvent`s carry the
+/// message-identity detail (sequence number, payload, sender clock) the
+/// shared-memory plane cannot express.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgEvent {
+    /// The channel the message travelled on.
+    pub channel: ChannelId,
+    /// Lifecycle step.
+    pub kind: MsgKind,
+    /// Per-channel sequence number assigned at send time (send order).
+    pub seq: u32,
+    /// Message payload.
+    pub value: i64,
+    /// Sender's clock at send time (the "sender clock" of the delivery
+    /// contract; delivery and receipt never precede it).
+    pub sent: Time,
+    /// When this lifecycle step happened.
+    pub at: Time,
+    /// For `Send`/`Drop`: the sending thread. For `Deliver`: the sending
+    /// thread (delivery is attributed to the sender, it happens outside any
+    /// frame). For `Recv`: the receiving thread.
+    pub thread: ThreadId,
+    /// True on the fault-plane duplicate copy of a message.
+    pub dup: bool,
 }
 
 /// How a run ended.

@@ -18,7 +18,7 @@ pub mod trace;
 
 pub use clock::{LamportClock, Time};
 pub use event::{
-    AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, MethodTag, ObjectId,
-    ObjectTag, Outcome, ThreadId, ThreadTag,
+    AccessEvent, AccessKind, ChannelId, ChannelTag, FailureSignature, MethodEvent, MethodId,
+    MethodTag, MsgEvent, MsgKind, ObjectId, ObjectTag, Outcome, ThreadId, ThreadTag,
 };
 pub use trace::{Trace, TraceSet};

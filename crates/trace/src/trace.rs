@@ -1,7 +1,9 @@
 //! Whole-run traces and labeled collections of runs.
 
 use crate::clock::Time;
-use crate::event::{MethodEvent, MethodId, MethodTag, ObjectId, ObjectTag, Outcome};
+use crate::event::{
+    ChannelId, ChannelTag, MethodEvent, MethodId, MethodTag, MsgEvent, ObjectId, ObjectTag, Outcome,
+};
 use aid_util::IdArena;
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +15,10 @@ pub struct Trace {
     /// Method events, in start-time order (ties broken by end time, then by
     /// method id — a deterministic total order).
     pub events: Vec<MethodEvent>,
+    /// Message lifecycle events, in time order (ties broken by channel, then
+    /// sequence number, then lifecycle kind, then the duplicate flag). Empty
+    /// for programs with no channels.
+    pub msgs: Vec<MsgEvent>,
     /// How the run ended.
     pub outcome: Outcome,
     /// Virtual time at which the run ended.
@@ -46,6 +52,8 @@ impl Trace {
             e.instance = *c;
             *c += 1;
         }
+        self.msgs
+            .sort_unstable_by_key(|m| (m.at, m.channel, m.seq, m.kind, m.dup));
     }
 
     /// Events of a given method, in instance order.
@@ -71,6 +79,9 @@ pub struct TraceSet {
     pub methods: IdArena<String, MethodTag>,
     /// Interned object names.
     pub objects: IdArena<String, ObjectTag>,
+    /// Interned channel names. Empty for shared-memory-only programs, so
+    /// sets that predate message passing encode byte-identically.
+    pub channels: IdArena<String, ChannelTag>,
     /// The collected runs.
     pub traces: Vec<Trace>,
 }
@@ -96,9 +107,19 @@ impl TraceSet {
         self.methods.resolve(id)
     }
 
+    /// Interns a channel name.
+    pub fn channel(&mut self, name: &str) -> ChannelId {
+        self.channels.intern(name.to_owned())
+    }
+
     /// Resolves an object id to its name.
     pub fn object_name(&self, id: ObjectId) -> &str {
         self.objects.resolve(id)
+    }
+
+    /// Resolves a channel id to its name.
+    pub fn channel_name(&self, id: ChannelId) -> &str {
+        self.channels.resolve(id)
     }
 
     /// Adds a run.
@@ -132,6 +153,7 @@ impl TraceSet {
         TraceSet {
             methods: self.methods.clone(),
             objects: self.objects.clone(),
+            channels: self.channels.clone(),
             traces: self
                 .traces
                 .iter()
@@ -169,6 +191,7 @@ mod tests {
         let mut t = Trace {
             seed: 0,
             events: vec![mk_event(1, 30, 40), mk_event(0, 0, 5), mk_event(1, 10, 20)],
+            msgs: vec![],
             outcome: Outcome::Success,
             duration: 40,
         };
@@ -202,6 +225,7 @@ mod tests {
             set.push(Trace {
                 seed: 0,
                 events: vec![],
+                msgs: vec![],
                 outcome,
                 duration: 0,
             });
@@ -209,6 +233,39 @@ mod tests {
         assert_eq!(set.counts(), (1, 3));
         let grouped = set.filter_failures_by_signature(&sig);
         assert_eq!(grouped.counts(), (1, 2));
+    }
+
+    #[test]
+    fn normalize_orders_msgs() {
+        use crate::event::{ChannelId, MsgEvent, MsgKind};
+        let msg = |at: Time, seq: u32, kind: MsgKind, dup: bool| MsgEvent {
+            channel: ChannelId::from_raw(0),
+            kind,
+            seq,
+            value: 7,
+            sent: 0,
+            at,
+            thread: ThreadId::from_raw(0),
+            dup,
+        };
+        let mut t = Trace {
+            seed: 0,
+            events: vec![],
+            msgs: vec![
+                msg(5, 1, MsgKind::Deliver, true),
+                msg(5, 1, MsgKind::Deliver, false),
+                msg(2, 0, MsgKind::Send, false),
+                msg(5, 0, MsgKind::Recv, false),
+            ],
+            outcome: Outcome::Success,
+            duration: 10,
+        };
+        t.normalize();
+        let order: Vec<(Time, u32, bool)> = t.msgs.iter().map(|m| (m.at, m.seq, m.dup)).collect();
+        assert_eq!(
+            order,
+            vec![(2, 0, false), (5, 0, false), (5, 1, false), (5, 1, true)]
+        );
     }
 
     #[test]

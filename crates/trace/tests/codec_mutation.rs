@@ -5,18 +5,30 @@
 //! anchored to a real line of the input.
 
 use aid_trace::{
-    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, Outcome, ThreadId,
-    Trace, TraceSet,
+    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, MsgEvent, MsgKind,
+    Outcome, ThreadId, Trace, TraceSet,
 };
 use proptest::prelude::*;
 
 /// A small but feature-complete corpus: two methods, one object, one
-/// successful and one failed trace, with accesses, returns, and exceptions.
+/// channel, one successful and one failed trace, with accesses, returns,
+/// exceptions, and a full send/deliver/recv message lifecycle.
 fn corpus() -> String {
     let mut set = TraceSet::new();
     let m0 = set.method("TryGetValue");
     let m1 = set.method("GetOrAdd");
     let o = set.object("_nextSlot");
+    let ch = set.channel("requests");
+    let msg = |kind, at| MsgEvent {
+        channel: ch,
+        kind,
+        seq: 0,
+        value: 42,
+        sent: 2,
+        at,
+        thread: ThreadId::from_raw(0),
+        dup: false,
+    };
     let ev = |m: MethodId, th: u32, start, end, ret: Option<i64>, exc: Option<&str>| MethodEvent {
         method: m,
         instance: 0,
@@ -43,6 +55,11 @@ fn corpus() -> String {
             ev(m0, 0, 0, 10, Some(-1), None),
             ev(m1, 1, 5, 20, None, None),
         ],
+        msgs: vec![
+            msg(MsgKind::Send, 2),
+            msg(MsgKind::Deliver, 6),
+            msg(MsgKind::Recv, 8),
+        ],
         outcome: Outcome::Success,
         duration: 25,
     };
@@ -54,6 +71,7 @@ fn corpus() -> String {
             ev(m0, 0, 0, 10, Some(3), None),
             ev(m1, 1, 4, 30, None, Some("IndexOutOfRange")),
         ],
+        msgs: vec![msg(MsgKind::Send, 3), msg(MsgKind::Drop, 3)],
         outcome: Outcome::Failure(FailureSignature {
             kind: "IndexOutOfRange".into(),
             method: m1,
@@ -112,6 +130,7 @@ proptest! {
                         | K::InvalidFlag(_)
                         | K::InvalidStatus
                         | K::InvalidAccessKind
+                        | K::InvalidMsgKind
                         | K::UnknownRecord
                 ),
                 "truncation at {cut} produced unexpected kind {:?}",

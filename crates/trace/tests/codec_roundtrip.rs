@@ -5,8 +5,8 @@
 //! `ForceReturn`).
 
 use aid_trace::{
-    codec, AccessEvent, AccessKind, FailureSignature, MethodEvent, MethodId, ObjectId, Outcome,
-    ThreadId, Trace, TraceSet,
+    codec, AccessEvent, AccessKind, ChannelId, FailureSignature, MethodEvent, MethodId, MsgEvent,
+    MsgKind, ObjectId, Outcome, ThreadId, Trace, TraceSet,
 };
 use proptest::prelude::*;
 
@@ -38,9 +38,20 @@ fn event_strategy() -> impl Strategy<Value = RawEvent> {
     )
 }
 
-/// Raw sampled trace: (seed, failed, failure kind slot, events). An empty
-/// event list models a run that crashed before instrumentation saw a call.
-type RawTrace = (u64, bool, usize, Vec<RawEvent>);
+/// Raw sampled message: ((channel slot, kind, seq), (value, sent, at, dup)).
+type RawMsg = ((usize, usize, u32), (i64, u64, u64, bool));
+
+fn msg_strategy() -> impl Strategy<Value = RawMsg> {
+    (
+        (0usize..4, 0usize..4, 0u32..16),
+        (-100i64..1_000, 0u64..500, 0u64..1_000, any::<bool>()),
+    )
+}
+
+/// Raw sampled trace: (seed, failed, failure kind slot, events, msgs). An
+/// empty event list models a run that crashed before instrumentation saw a
+/// call.
+type RawTrace = (u64, bool, usize, Vec<RawEvent>, Vec<RawMsg>);
 
 fn trace_strategy() -> impl Strategy<Value = Vec<RawTrace>> {
     proptest::collection::vec(
@@ -49,6 +60,7 @@ fn trace_strategy() -> impl Strategy<Value = Vec<RawTrace>> {
             any::<bool>(),
             0usize..KINDS.len(),
             proptest::collection::vec(event_strategy(), 0..6),
+            proptest::collection::vec(msg_strategy(), 0..6),
         ),
         0..5,
     )
@@ -56,7 +68,12 @@ fn trace_strategy() -> impl Strategy<Value = Vec<RawTrace>> {
 
 /// Builds a well-formed `TraceSet` from sampled raw data: ids are taken
 /// modulo the interned counts so every reference resolves.
-fn build_set(method_count: usize, object_count: usize, raw: Vec<RawTrace>) -> TraceSet {
+fn build_set(
+    method_count: usize,
+    object_count: usize,
+    channel_count: usize,
+    raw: Vec<RawTrace>,
+) -> TraceSet {
     let mut set = TraceSet::new();
     let methods: Vec<MethodId> = (0..method_count)
         .map(|i| set.method(&format!("m{i}")))
@@ -64,7 +81,10 @@ fn build_set(method_count: usize, object_count: usize, raw: Vec<RawTrace>) -> Tr
     let objects: Vec<ObjectId> = (0..object_count)
         .map(|i| set.object(&format!("obj{i}")))
         .collect();
-    for (seed, failed, kind_slot, raw_events) in raw {
+    let channels: Vec<ChannelId> = (0..channel_count)
+        .map(|i| set.channel(&format!("chan{i}")))
+        .collect();
+    for (seed, failed, kind_slot, raw_events, raw_msgs) in raw {
         let mut events = Vec::new();
         for ((m, thread, start, dur), (has_ret, ret), (exc_slot, caught), accesses) in raw_events {
             let method = methods[m % methods.len()];
@@ -93,10 +113,34 @@ fn build_set(method_count: usize, object_count: usize, raw: Vec<RawTrace>) -> Tr
                 caught,
             });
         }
+        let msgs: Vec<MsgEvent> = raw_msgs
+            .into_iter()
+            .filter(|_| !channels.is_empty())
+            .enumerate()
+            // `at + i*1009` keeps timestamps distinct across sampled msgs
+            // (at < 1000), so the normalize() sort key is a total order the
+            // way it is for real machine output.
+            .map(|(i, ((ch, kind, seq), (value, sent, at, dup)))| MsgEvent {
+                channel: channels[ch % channels.len()],
+                kind: [
+                    MsgKind::Send,
+                    MsgKind::Deliver,
+                    MsgKind::Recv,
+                    MsgKind::Drop,
+                ][kind],
+                seq,
+                value,
+                sent,
+                at: at + i as u64 * 1009,
+                thread: ThreadId::from_raw(seq % 4),
+                dup,
+            })
+            .collect();
         let max_end = events.iter().map(|e| e.end).max().unwrap_or(0);
         let mut trace = Trace {
             seed,
             events,
+            msgs,
             outcome: if failed {
                 Outcome::Failure(FailureSignature {
                     kind: KINDS[kind_slot].to_string(),
@@ -121,14 +165,16 @@ proptest! {
     fn prop_encode_decode_is_identity(
         method_count in 1usize..=4,
         object_count in 0usize..=3,
+        channel_count in 0usize..=2,
         raw in trace_strategy(),
     ) {
-        let set = build_set(method_count, object_count, raw);
+        let set = build_set(method_count, object_count, channel_count, raw);
         let text = codec::encode(&set);
         let back = codec::decode(&text)
             .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
         prop_assert_eq!(back.methods.len(), set.methods.len());
         prop_assert_eq!(back.objects.len(), set.objects.len());
+        prop_assert_eq!(back.channels.len(), set.channels.len());
         prop_assert_eq!(back.traces.len(), set.traces.len());
         for (a, b) in set.traces.iter().zip(&back.traces) {
             prop_assert_eq!(a, b);
@@ -142,9 +188,10 @@ proptest! {
     fn prop_reencode_is_canonical(
         method_count in 1usize..=3,
         object_count in 0usize..=2,
+        channel_count in 0usize..=2,
         raw in trace_strategy(),
     ) {
-        let set = build_set(method_count, object_count, raw);
+        let set = build_set(method_count, object_count, channel_count, raw);
         let text = codec::encode(&set);
         let back = codec::decode(&text)
             .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;

@@ -492,6 +492,7 @@ mod tests {
         let neutral = TraceSet {
             methods: set.methods.clone(),
             objects: set.objects.clone(),
+            channels: set.channels.clone(),
             traces: vec![replay],
         };
         for _ in 0..3 {

@@ -78,7 +78,7 @@ fn facade_exposes_the_scenario_lab() {
     // prelude path (the CI lab job covers scale; this pins the wiring).
     let conf = Conformance::default();
     let (scenario, corpus) = aid::lab::generate_validated(&conf.params, 5);
-    assert_eq!(scenario.spec.bug_class, BugClass::DataRace);
+    assert_eq!(scenario.spec.bug_class, BugClass::LostDelivery);
     let report = aid::lab::check_scenario_on(&scenario, &corpus, &conf);
     assert!(report.violations.is_empty(), "{:?}", report.violations);
     assert!(report.root_found);
