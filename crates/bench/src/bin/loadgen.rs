@@ -4,7 +4,8 @@
 //! ```sh
 //! cargo run -p aid_bench --bin loadgen --release -- \
 //!     [--clients=4] [--scenarios=12] [--workers=4] [--seed=1] \
-//!     [--chunk=4096] [--allow-rejections=0] [--stream=0] [--tails=3]
+//!     [--chunk=4096] [--allow-rejections=0] [--stream=0] [--tails=3] \
+//!     [--tier=<name>]
 //! ```
 //!
 //! Every client replays the *same* scenario list (upload corpus → submit
@@ -28,6 +29,14 @@
 //!
 //! Emits a machine-readable `AID-SERVE {json}` summary line (throughput,
 //! p50/p99 session latency, rejection rate, cache hit-rate).
+//!
+//! `--tier=<name>` records the reactor-scale metrics of the run under
+//! `serve_<name>_*` snapshot keys — connections held at peak, total
+//! frames/s through the reactor, and the cross-client cache hit rate
+//! (a `*_hit_rate` key, so it sits under the benchdiff ratio gate). Use
+//! it for the high-client tiers (`--clients=512 --tier=reactor_512`,
+//! `--clients=2048 --tier=reactor_2048`) whose point is that thousands
+//! of mostly-idle connections are cheap for the event-driven core.
 
 use aid_bench::{arg_value, render_table};
 use aid_engine::EngineConfig;
@@ -256,6 +265,7 @@ fn main() {
     let allow_rejections = arg_or("allow-rejections", 0) != 0;
     let stream = arg_or("stream", 0) != 0;
     let tails = arg_or("tails", 3);
+    let tier = arg_value("tier");
 
     println!("Preparing {scenarios} lab scenarios (seed {seed})…");
     let params = LabParams::default();
@@ -268,6 +278,9 @@ fn main() {
             max_pending: (2 * clients).max(8),
             ..EngineConfig::default()
         },
+        // High-client tiers hold every connection open at once; the cap
+        // scales with the fleet so the run sheds nothing by design.
+        max_connections: (2 * clients).max(256),
         ..ServeConfig::default()
     };
     let (server, addr) = Server::start_tcp("127.0.0.1:0", config).expect("bind loopback");
@@ -280,6 +293,12 @@ fn main() {
     let started = Instant::now();
     let threads: Vec<_> = (0..clients)
         .map(|id| {
+            // Stagger large fleets a little so thousands of simultaneous
+            // SYNs don't overflow the listen backlog before the reactor
+            // gets a chance to drain it.
+            if clients > 64 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
             let items = Arc::clone(&items);
             std::thread::spawn(move || run_client(addr, id, &items, chunk))
         })
@@ -442,6 +461,34 @@ fn main() {
             ("serve_cache_hit_rate".to_string(), stats.cache_hit_rate()),
         ],
     );
+
+    // Reactor-scale tier: how many connections the event core held at
+    // once, the frame throughput it multiplexed, and the cross-client
+    // hit rate at that scale (ratio key — benchdiff gates it).
+    if let Some(tier) = &tier {
+        let frames_per_s =
+            (stats.frames_in + stats.frames_out) as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "AID-SERVE-REACTOR {{\"tier\":\"{tier}\",\"connections_held\":{},\
+             \"handler_dispatches\":{},\"frames_per_s\":{frames_per_s:.1},\
+             \"engine_shards\":{},\"cache_hit_rate\":{:.4}}}",
+            stats.peak_connections,
+            stats.handler_dispatches,
+            stats.engine_shards,
+            stats.cache_hit_rate(),
+        );
+        aid_bench::snapshot::merge_write(
+            "BENCH_serve.json",
+            &[
+                (
+                    format!("serve_{tier}_connections_held"),
+                    stats.peak_connections as f64,
+                ),
+                (format!("serve_{tier}_frames_per_s"), frames_per_s),
+                (format!("serve_{tier}_hit_rate"), stats.cache_hit_rate()),
+            ],
+        );
+    }
 
     let expected = clients * scenarios;
     let mut failed = false;

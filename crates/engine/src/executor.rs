@@ -64,6 +64,24 @@ pub struct PooledSimExecutor {
     counters: Arc<EngineCounters>,
 }
 
+/// The (program, catalog, failure) fingerprint that keys simulator-backed
+/// cache entries. It must cover everything a record depends on: the
+/// program/config (run behavior), the catalog (raw predicate ids name
+/// catalog entries, and `observed` is evaluated against it), and the
+/// failure indicator. Two sessions over the same program with catalogs
+/// from different observation phases must never share entries.
+///
+/// `aid_engine::job_fingerprint` routes jobs across engine shards with the
+/// same hash, so a recipe's shard and its cache partition coincide by
+/// construction.
+pub fn sim_fingerprint(sim: &Simulator, catalog: &PredicateCatalog, failure: PredicateId) -> u64 {
+    Fnv1a::new()
+        .write_u64(sim.fingerprint())
+        .write(format!("{catalog:?}").as_bytes())
+        .write_u64(failure.raw() as u64)
+        .finish()
+}
+
 impl PooledSimExecutor {
     /// Builds the executor; `first_seed` should be disjoint from the seeds
     /// used for observation runs (same rule as `SimExecutor::new`).
@@ -79,17 +97,7 @@ impl PooledSimExecutor {
         counters: Arc<EngineCounters>,
     ) -> Self {
         assert!(runs_per_round >= 1);
-        // The cache fingerprint must cover everything a record depends on:
-        // the program/config (run behavior), the catalog (raw predicate ids
-        // name catalog entries, and `observed` is evaluated against it), and
-        // the failure indicator. Two sessions over the same program with
-        // catalogs from different observation phases must never share
-        // entries.
-        let fingerprint = Fnv1a::new()
-            .write_u64(sim.fingerprint())
-            .write(format!("{catalog:?}").as_bytes())
-            .write_u64(failure.raw() as u64)
-            .finish();
+        let fingerprint = sim_fingerprint(&sim, &catalog, failure);
         PooledSimExecutor {
             sim,
             catalog,

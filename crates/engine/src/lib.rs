@@ -61,11 +61,14 @@ pub mod session;
 pub mod workload;
 
 pub use cache::{CacheKey, CacheStats, InterventionCache, Lease, Leased, PendingSlot};
-pub use executor::{truth_fingerprint, CachedOracleExecutor, EngineCounters, PooledSimExecutor};
+pub use executor::{
+    sim_fingerprint, truth_fingerprint, CachedOracleExecutor, EngineCounters, PooledSimExecutor,
+};
 pub use pool::WorkerPool;
 pub use session::{
-    DiscoveryJob, Engine, EngineConfig, EngineHandle, EngineStats, JobSource, Saturated, Session,
-    SessionError, SessionErrorKind, SessionPoll, SessionResult,
+    job_fingerprint, jump_hash, DiscoveryJob, Engine, EngineConfig, EngineHandle, EngineStats,
+    JobSource, Saturated, Session, SessionError, SessionErrorKind, SessionPoll, SessionResult,
+    ShardedEngine,
 };
 
 /// The engine shares these across OS threads; pin the auto-traits at

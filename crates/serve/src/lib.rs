@@ -56,6 +56,7 @@
 
 pub mod client;
 pub mod protocol;
+mod reactor;
 pub mod server;
 pub mod transport;
 pub mod wire;
@@ -69,7 +70,7 @@ pub use protocol::{
 };
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use transport::{
-    duplex, in_proc, Deadline, DuplexStream, InProcConnector, InProcListener, Listener,
-    TcpTransport,
+    duplex, in_proc, Deadline, DuplexStream, EventConn, InProcConnector, InProcListener, Listener,
+    Readiness, ReadySignal, TcpTransport,
 };
-pub use wire::{FrameError, WireError, PROTOCOL_VERSION};
+pub use wire::{FrameAccum, FrameError, WireError, PROTOCOL_VERSION};

@@ -700,6 +700,12 @@ pub enum ErrorCode {
     /// `Subscribe` named a program that consumes no trace stream (the
     /// synthetic oracle): there is nothing for a standing query to watch.
     Unwatchable,
+    /// The server began draining mid-exchange; sent as the *terminal*
+    /// frame of a `Stream` (the in-flight session keeps running engine-side
+    /// and its slot stays claimable until the connection closes, but no
+    /// further frames follow). Distinct from `Response::Overloaded` with
+    /// `Draining` scope, which refuses a *new* submission.
+    Draining,
 }
 
 fn put_error_code(buf: &mut Vec<u8>, code: ErrorCode) {
@@ -712,6 +718,7 @@ fn put_error_code(buf: &mut Vec<u8>, code: ErrorCode) {
         ErrorCode::TooManyConnections => 5,
         ErrorCode::UnknownWatch => 6,
         ErrorCode::Unwatchable => 7,
+        ErrorCode::Draining => 8,
     });
 }
 
@@ -725,6 +732,7 @@ fn get_error_code(r: &mut Reader<'_>) -> Result<ErrorCode, WireError> {
         5 => Ok(ErrorCode::TooManyConnections),
         6 => Ok(ErrorCode::UnknownWatch),
         7 => Ok(ErrorCode::Unwatchable),
+        8 => Ok(ErrorCode::Draining),
         tag => Err(WireError::UnknownTag {
             what: "error code",
             tag,
@@ -799,7 +807,18 @@ pub struct ServerStats {
     pub watch_events: u64,
     /// Idle read-timeout ticks across connection handlers (the exponential
     /// backoff keeps this near-constant per idle second, not per 100 ms).
+    /// Under the reactor this stays zero: idle connections are registered
+    /// fds/wakers, not timed reads.
     pub idle_ticks: u64,
+    // --- appended by the reactor revision.
+    /// Engine shards the server routes across (1 = unsharded).
+    pub engine_shards: u64,
+    /// Highest simultaneously-open connection count observed.
+    pub peak_connections: u64,
+    /// Requests shipped from the reactor to the handler pool — the
+    /// reactor's "wakeups that cost CPU" measure; an idle connection
+    /// contributes zero between frames.
+    pub handler_dispatches: u64,
 }
 
 impl ServerStats {
@@ -851,6 +870,9 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
         s.watches_subscribed,
         s.watch_events,
         s.idle_ticks,
+        s.engine_shards,
+        s.peak_connections,
+        s.handler_dispatches,
     ] {
         buf.put_u64_le(v);
     }
@@ -888,6 +910,9 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
         watches_subscribed: r.u64()?,
         watch_events: r.u64()?,
         idle_ticks: r.u64()?,
+        engine_shards: r.u64()?,
+        peak_connections: r.u64()?,
+        handler_dispatches: r.u64()?,
     })
 }
 

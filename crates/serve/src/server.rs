@@ -1,40 +1,53 @@
-//! The session server: an acceptor thread, one blocking handler thread per
-//! connection, one shared [`Engine`], and a per-connection
-//! [`TraceStore`]/analysis.
+//! The session server: one readiness-driven reactor thread multiplexing
+//! every connection, a handler pool for request work, a sharded engine,
+//! and a per-connection [`TraceStore`]/analysis.
 //!
-//! **Admission control.** Two bounds shed load with a typed
-//! [`Response::Overloaded`] instead of queueing unboundedly:
+//! **Reactor.** Connections are nonblocking per-connection state machines
+//! driven by the reactor module: an idle connection costs a registered
+//! fd (TCP) or waker (in-proc duplex), not a parked thread burning a
+//! wakeup every 100 ms–1 s. Decoded requests are shipped — together with
+//! the connection's `ClientCtx` — to a small handler pool, because a
+//! request may legitimately block (a watch tick runs discovery probes to
+//! completion); the reactor itself never does.
 //!
-//! 1. *per client* — a connection may hold at most
-//!    `max_sessions_per_client` undelivered sessions; a result frees its
-//!    slot when the client polls it (or cancels).
-//! 2. *server-wide* — the engine's `max_pending` bound, enforced through
-//!    the non-blocking [`EngineHandle::try_submit`] so a burst of
-//!    submissions never blocks connection handler threads.
+//! **Sharding.** The engine is a [`ShardedEngine`]: N intervention-cache
+//! partitions over one worker pool, routed by the program+catalog+failure
+//! fingerprint, so identical recipes from any client (one-shot *and*
+//! watcher re-probes) land on the same shard and cache entry.
 //!
-//! **Drain.** [`ServerHandle::shutdown`] stops the acceptor, closes
-//! connections as they go idle (every accepted connection carries a
-//! short read timeout, so a silent client cannot wedge the drain), then
-//! [`Engine::shutdown`]s — in-flight sessions complete engine-side; new
-//! submissions are refused with `Overloaded { scope: Draining }`.
+//! **Admission control.** Three bounds shed load with typed replies
+//! instead of queueing unboundedly:
+//!
+//! 1. *per connection* — at most `max_sessions_per_client` undelivered
+//!    sessions; a result frees its slot when the client polls it.
+//! 2. *server-wide* — each shard's `max_pending` bound, enforced through
+//!    the non-blocking `try_submit` so submission bursts never block
+//!    handler threads.
+//! 3. *connections* — a CAS reservation on `active_connections` (no
+//!    load-then-increment window), refused with `TooManyConnections`.
+//!
+//! **Drain.** [`ServerHandle::shutdown`] stops accepting, closes idle and
+//! streaming connections at the next reactor tick (streams get a terminal
+//! `Error { code: Draining }`), waits out in-flight requests, then drains
+//! the engine — in-flight sessions complete engine-side; new submissions
+//! are refused with `Overloaded { scope: Draining }`.
 
 use crate::protocol::{
     options_from_wire, AnalysisSpec, ErrorCode, OverloadScope, ProgramSpec, Request, Response,
     ServerStats, SessionState,
 };
-use crate::transport::{Deadline, Listener, ACCEPTED_READ_TIMEOUT, MAX_IDLE_READ_TIMEOUT};
-use crate::wire::{self, FrameError, PROTOCOL_VERSION};
+use crate::transport::{EventConn, Listener, ReadySignal};
+use crate::wire::{self, PROTOCOL_VERSION};
 use aid_cases::all_cases;
 use aid_core::Strategy;
-use aid_engine::{DiscoveryJob, Engine, EngineConfig, EngineHandle, Session, SessionPoll};
+use aid_engine::{DiscoveryJob, EngineConfig, EngineHandle, Session, SessionPoll, ShardedEngine};
 use aid_sim::Simulator;
 use aid_store::{RetentionPolicy, StoreConfig, TraceStore};
 use aid_synth::SynthParams;
 use aid_watch::{WatchConfig, Watcher};
 use std::collections::HashMap;
-use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -67,6 +80,17 @@ pub struct ServeConfig {
     pub max_frame_len: usize,
     /// Cadence of `Progress` frames while serving a `Stream` request.
     pub stream_poll: Duration,
+    /// Engine shards: independent intervention-cache partitions over one
+    /// shared worker pool, consistent-hashed by job fingerprint. Each
+    /// shard gets the full `engine.max_pending` budget (a popular recipe
+    /// routes every client to one shard; dividing the budget would shed
+    /// exactly that workload). `0` is treated as 1.
+    pub engine_shards: usize,
+    /// Handler pool size; `0` picks `max(4, engine.workers)`. Handlers
+    /// run request work the reactor must not block on (uploads, watch
+    /// ticks); they are I/O-parked most of the time, so the pool sits
+    /// above the CPU worker pool, not beside it.
+    pub handler_threads: usize,
     /// Server self-identification, echoed in `HelloOk`.
     pub server_name: String,
     /// Execution backend for simulators rebuilt from [`ProgramSpec`]s
@@ -88,6 +112,8 @@ impl Default for ServeConfig {
             max_upload_bytes: 64 << 20,
             max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
             stream_poll: Duration::from_millis(1),
+            engine_shards: 4,
+            handler_threads: 0,
             server_name: "aid-serve".to_string(),
             backend: aid_sim::Backend::default(),
         }
@@ -97,14 +123,14 @@ impl Default for ServeConfig {
 /// Lock-free server-side counters (the non-engine half of
 /// [`ServerStats`]).
 #[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    connections_refused: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) connections_refused: AtomicU64,
     active_connections: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) frames_out: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
     upload_chunks: AtomicU64,
     traces_ingested: AtomicU64,
     records_quarantined: AtomicU64,
@@ -114,7 +140,7 @@ struct Counters {
     sessions_cancelled: AtomicU64,
     sessions_delivered: AtomicU64,
     sessions_lost: AtomicU64,
-    protocol_errors: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
     store_evicted: AtomicU64,
     store_compactions: AtomicU64,
     view_reprobed: AtomicU64,
@@ -122,19 +148,60 @@ struct Counters {
     watches_subscribed: AtomicU64,
     watch_events: AtomicU64,
     idle_ticks: AtomicU64,
+    peak_connections: AtomicU64,
+    pub(crate) handler_dispatches: AtomicU64,
 }
 
-struct ServerShared {
-    config: ServeConfig,
-    engine: Engine,
-    counters: Counters,
-    shutdown: AtomicBool,
+impl Counters {
+    /// Atomically claims a connection slot below `max`, or refuses.
+    ///
+    /// This must be a single CAS, not a load-then-increment: the load's
+    /// answer is stale by the time the increment lands, so two racing
+    /// accepts at `max - 1` would both pass the check and over-admit.
+    /// The single-acceptor loop hid that window; the reactor (and any
+    /// future multi-shard accept path) must not rely on it.
+    pub(crate) fn try_reserve_connection(&self, max: u64) -> bool {
+        let reserved = self
+            .active_connections
+            .fetch_update(Relaxed, Relaxed, |active| {
+                (active < max).then_some(active + 1)
+            })
+            .is_ok();
+        if reserved {
+            self.peak_connections
+                .fetch_max(self.active_connections.load(Relaxed), Relaxed);
+        }
+        reserved
+    }
+
+    /// Returns a reservation taken by
+    /// [`Counters::try_reserve_connection`].
+    pub(crate) fn release_connection(&self) {
+        self.active_connections.fetch_sub(1, Relaxed);
+    }
+}
+
+pub(crate) struct ServerShared {
+    pub(crate) config: ServeConfig,
+    pub(crate) engine: ShardedEngine,
+    pub(crate) counters: Counters,
+    pub(crate) shutdown: AtomicBool,
     next_session: AtomicU32,
-    conns: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ServerShared {
-    fn stats(&self) -> ServerStats {
+    /// Handler pool sizing: the configured count, or a floor that keeps a
+    /// few request lanes open even on a single-core host (handlers park
+    /// on engine results more than they burn CPU).
+    pub(crate) fn handler_threads(&self) -> usize {
+        if self.config.handler_threads > 0 {
+            self.config.handler_threads
+        } else {
+            self.config.engine.workers.max(4)
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ServerStats {
         let c = &self.counters;
         let e = self.engine.stats();
         ServerStats {
@@ -168,6 +235,9 @@ impl ServerShared {
             watches_subscribed: c.watches_subscribed.load(Relaxed),
             watch_events: c.watch_events.load(Relaxed),
             idle_ticks: c.idle_ticks.load(Relaxed),
+            engine_shards: self.engine.shard_count() as u64,
+            peak_connections: c.peak_connections.load(Relaxed),
+            handler_dispatches: c.handler_dispatches.load(Relaxed),
         }
     }
 }
@@ -176,28 +246,33 @@ impl ServerShared {
 pub struct Server;
 
 impl Server {
-    /// Starts a server over any [`Listener`]. The returned handle owns the
-    /// acceptor thread; dropping it (or calling
-    /// [`ServerHandle::shutdown`]) drains the server.
-    pub fn start<L: Listener>(listener: L, config: ServeConfig) -> ServerHandle {
-        let engine = Engine::new(config.engine);
+    /// Starts a server over any [`Listener`] whose connections the reactor
+    /// can drive. The returned handle owns the reactor thread; dropping it
+    /// (or calling [`ServerHandle::shutdown`]) drains the server.
+    pub fn start<L: Listener>(listener: L, config: ServeConfig) -> ServerHandle
+    where
+        L::Conn: EventConn,
+    {
+        let engine = ShardedEngine::new(config.engine, config.engine_shards);
         let shared = Arc::new(ServerShared {
             config,
             engine,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU32::new(1),
-            conns: Mutex::new(Vec::new()),
         });
+        let signal = ReadySignal::new();
         let label = listener.label();
-        let accept_shared = Arc::clone(&shared);
-        let acceptor = std::thread::Builder::new()
-            .name(format!("aid-serve-accept {label}"))
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn acceptor thread");
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_signal = Arc::clone(&signal);
+        let reactor = std::thread::Builder::new()
+            .name(format!("aid-serve-reactor {label}"))
+            .spawn(move || crate::reactor::reactor_loop(listener, reactor_shared, reactor_signal))
+            .expect("spawn reactor thread");
         ServerHandle {
             shared,
-            acceptor: Some(acceptor),
+            signal,
+            reactor: Some(reactor),
         }
     }
 
@@ -224,7 +299,8 @@ impl Server {
 /// [`ServerHandle::shutdown`] with the final stats discarded).
 pub struct ServerHandle {
     shared: Arc<ServerShared>,
-    acceptor: Option<JoinHandle<()>>,
+    signal: Arc<ReadySignal>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -233,10 +309,10 @@ impl ServerHandle {
         self.shared.stats()
     }
 
-    /// Graceful drain: stops accepting, closes each connection at its
-    /// next idle read-timeout tick (a mid-request connection finishes
-    /// the request first; a mid-frame stall is the one residual way to
-    /// delay the drain), then drains the engine. In-flight sessions
+    /// Graceful drain: stops accepting, closes idle and streaming
+    /// connections at the next reactor tick (streams get a terminal
+    /// `Error { code: Draining }`; a mid-request connection finishes the
+    /// request first), then drains the engine. In-flight sessions
     /// complete; new submissions are refused as
     /// `Overloaded { scope: Draining }`. Returns the final telemetry
     /// snapshot.
@@ -247,12 +323,11 @@ impl ServerHandle {
 
     fn drain(&mut self) {
         self.shared.shutdown.store(true, Relaxed);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        let conns = std::mem::take(&mut *self.shared.conns.lock().unwrap());
-        for conn in conns {
-            let _ = conn.join();
+        // The reactor may be parked on the signal with nothing inbound;
+        // the flag alone would wait out the park cap.
+        self.signal.notify(crate::reactor::WAKE_TOKEN);
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
         self.shared.engine.shutdown();
     }
@@ -260,60 +335,8 @@ impl ServerHandle {
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        if self.acceptor.is_some() {
+        if self.reactor.is_some() {
             self.drain();
-        }
-    }
-}
-
-fn accept_loop<L: Listener>(listener: L, shared: Arc<ServerShared>) {
-    while !shared.shutdown.load(Relaxed) {
-        match listener.accept_timeout(Duration::from_millis(2)) {
-            Ok(Some(mut conn)) => {
-                // The connection cap guards the resources a connection
-                // costs *before* any admission check can run (a handler
-                // thread, a trace store): refuse with a typed error and
-                // hang up rather than spawn.
-                let active = shared.counters.active_connections.load(Relaxed);
-                if active >= shared.config.max_connections as u64 {
-                    shared.counters.connections_refused.fetch_add(1, Relaxed);
-                    let _ = send(
-                        shared.as_ref(),
-                        &mut conn,
-                        &Response::Error {
-                            code: ErrorCode::TooManyConnections,
-                            message: format!(
-                                "server is at its connection cap ({})",
-                                shared.config.max_connections
-                            ),
-                        },
-                    );
-                    continue;
-                }
-                shared.counters.connections.fetch_add(1, Relaxed);
-                shared.counters.active_connections.fetch_add(1, Relaxed);
-                let conn_shared = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
-                    .name("aid-serve-conn".to_string())
-                    .spawn(move || {
-                        serve_connection(&conn_shared, conn);
-                        conn_shared
-                            .counters
-                            .active_connections
-                            .fetch_sub(1, Relaxed);
-                    })
-                    .expect("spawn connection thread");
-                // Reap finished handler threads as we go: a long-lived
-                // server must not retain one JoinHandle per connection
-                // it has ever served.
-                let mut conns = shared.conns.lock().unwrap();
-                conns.retain(|h| !h.is_finished());
-                conns.push(handle);
-            }
-            Ok(None) => {}
-            // The listener died (e.g. every in-proc connector dropped):
-            // nothing further can arrive.
-            Err(_) => break,
         }
     }
 }
@@ -372,8 +395,10 @@ struct WatchEntry {
 }
 
 /// Per-connection state: the client's trace store, its undelivered
-/// session tickets, and its standing queries.
-struct ClientCtx {
+/// session tickets, and its standing queries. The reactor owns it while
+/// the connection is reading or streaming and ships it (by move) to a
+/// handler thread for the duration of each request.
+pub(crate) struct ClientCtx {
     store: TraceStore,
     sessions: HashMap<u32, Session>,
     watches: HashMap<u32, WatchEntry>,
@@ -381,119 +406,53 @@ struct ClientCtx {
     engine: EngineHandle,
     /// Fold cursor for the upload store's counters.
     folded: StoreFold,
-    /// Bytes ingested against the current upload's quota (tail appends
-    /// count against the same budget).
+    /// Bytes ingested against the current upload's quota. Only bulk
+    /// upload chunks count; tail appends carry a per-frame bound instead
+    /// (their retention window, not a cumulative quota, bounds what the
+    /// server keeps).
     upload_bytes: u64,
 }
 
-/// What the connection loop should do after a request.
-enum Flow {
-    Continue,
-    Close,
-}
-
-fn serve_connection<C: Read + Write + Deadline>(shared: &Arc<ServerShared>, mut conn: C) {
-    let mut ctx = ClientCtx {
-        store: TraceStore::with_pool(shared.config.store.clone(), shared.engine_pool()),
-        sessions: HashMap::new(),
-        watches: HashMap::new(),
-        next_watch: 1,
-        engine: shared.engine.handle(),
-        folded: StoreFold::default(),
-        upload_bytes: 0,
-    };
-    let mut idle = ACCEPTED_READ_TIMEOUT;
-    loop {
-        let (kind, payload) = match wire::read_frame(&mut conn, shared.config.max_frame_len) {
-            Ok(Some(frame)) => {
-                // Traffic: snap the idle backoff down to the floor so the
-                // next drain check after this burst is prompt again.
-                if idle != ACCEPTED_READ_TIMEOUT {
-                    idle = ACCEPTED_READ_TIMEOUT;
-                    if conn.set_read_deadline(Some(idle)).is_err() {
-                        break;
-                    }
-                }
-                frame
-            }
-            // Clean hang-up between frames.
-            Ok(None) => break,
-            // The accepted connection's read timeout ticked while idle:
-            // poll the drain flag so shutdown never hangs on a client
-            // that stays connected but silent, then back the timeout off
-            // exponentially — an idle connection must not burn a wakeup
-            // every 100 ms forever.
-            Err(FrameError::IdleTimeout) => {
-                shared.counters.idle_ticks.fetch_add(1, Relaxed);
-                if shared.shutdown.load(Relaxed) {
-                    break;
-                }
-                if idle < MAX_IDLE_READ_TIMEOUT {
-                    idle = (idle * 2).min(MAX_IDLE_READ_TIMEOUT);
-                    if conn.set_read_deadline(Some(idle)).is_err() {
-                        break;
-                    }
-                }
-                continue;
-            }
-            Err(FrameError::Wire(e)) => {
-                shared.counters.protocol_errors.fetch_add(1, Relaxed);
-                let _ = send(
-                    shared,
-                    &mut conn,
-                    &Response::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    },
-                );
-                break;
-            }
-            // Transport failure (reset, abort): nothing to answer.
-            Err(FrameError::Io(_)) => break,
-        };
-        shared.counters.frames_in.fetch_add(1, Relaxed);
-        shared
-            .counters
-            .bytes_in
-            .fetch_add((wire::HEADER_LEN + payload.len()) as u64, Relaxed);
-        let request = match Request::decode_payload(kind, &payload) {
-            Ok(r) => r,
-            Err(e) => {
-                shared.counters.protocol_errors.fetch_add(1, Relaxed);
-                let _ = send(
-                    shared,
-                    &mut conn,
-                    &Response::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    },
-                );
-                break;
-            }
-        };
-        match handle_request(shared, &mut ctx, &mut conn, request) {
-            // During a drain, close at the request boundary too: a
-            // client that is never idle for a full read-timeout tick
-            // must not be able to hold the drain open indefinitely.
-            Ok(Flow::Continue) => {
-                if shared.shutdown.load(Relaxed) {
-                    break;
-                }
-            }
-            Ok(Flow::Close) => break,
-            // The response could not be written; the peer is gone.
-            Err(_) => break,
+impl ClientCtx {
+    pub(crate) fn new(shared: &ServerShared) -> ClientCtx {
+        ClientCtx {
+            store: TraceStore::with_pool(shared.config.store.clone(), shared.engine_pool()),
+            sessions: HashMap::new(),
+            watches: HashMap::new(),
+            next_watch: 1,
+            engine: shared.engine.handle(),
+            folded: StoreFold::default(),
+            upload_bytes: 0,
         }
     }
-    // Fold what the connection's stores observed before `ctx` drops
-    // (undelivered tickets are discarded and the engine runs their
-    // sessions to completion internally).
-    ctx.folded.fold(&shared.counters, &ctx.store.stats());
-    for entry in ctx.watches.values_mut() {
-        entry
-            .folded
-            .fold(&shared.counters, &entry.watcher.store_stats());
+
+    /// Folds what the connection's stores observed into the server-wide
+    /// counters; called exactly once, when the connection retires
+    /// (undelivered tickets are discarded and the engine runs their
+    /// sessions to completion internally).
+    pub(crate) fn fold_final(&mut self, shared: &ServerShared) {
+        self.folded.fold(&shared.counters, &self.store.stats());
+        for entry in self.watches.values_mut() {
+            entry
+                .folded
+                .fold(&shared.counters, &entry.watcher.store_stats());
+        }
     }
+}
+
+/// What the reactor should do with the connection after a request.
+pub(crate) enum After {
+    /// Back to reading (dispatch the next pipelined request, if any).
+    Continue,
+    /// Flush the queued responses, then close.
+    Close,
+    /// Enter the streaming state: the reactor polls the session on the
+    /// `stream_poll` cadence and emits deduplicated `Progress` frames
+    /// until a terminal `Status` (or a drain) ends the stream.
+    Stream {
+        /// The session ticket being streamed.
+        session: u32,
+    },
 }
 
 impl ServerShared {
@@ -502,78 +461,63 @@ impl ServerShared {
     }
 }
 
-fn send<C: Write>(shared: &ServerShared, conn: &mut C, response: &Response) -> std::io::Result<()> {
-    let frame = response.encode();
-    wire::write_frame(conn, &frame)?;
-    shared.counters.frames_out.fetch_add(1, Relaxed);
-    shared
-        .counters
-        .bytes_out
-        .fetch_add(frame.len() as u64, Relaxed);
-    Ok(())
-}
-
-fn handle_request<C: Write>(
+/// Serves one decoded request against the connection's context. Pure with
+/// respect to the transport: responses are returned for the reactor to
+/// write, never written here — a handler thread may block on engine work,
+/// but it never touches a socket.
+pub(crate) fn handle_request(
     shared: &Arc<ServerShared>,
     ctx: &mut ClientCtx,
-    conn: &mut C,
     request: Request,
-) -> std::io::Result<Flow> {
+) -> (Vec<Response>, After) {
+    let mut out = Vec::with_capacity(1);
+    let mut send = |response: Response| out.push(response);
     match request {
         Request::Hello { client: _ } => {
-            send(
-                shared,
-                conn,
-                &Response::HelloOk {
-                    version: PROTOCOL_VERSION,
-                    server: shared.config.server_name.clone(),
-                },
-            )?;
+            send(Response::HelloOk {
+                version: PROTOCOL_VERSION,
+                server: shared.config.server_name.clone(),
+            });
         }
         Request::BeginUpload { analysis } => {
             // A fresh store: each upload is its own corpus and analysis,
             // extracted under the declared configuration — an analysis is
             // only comparable to an in-process one run under the same
             // purity markings and safety knobs.
-            let extraction = match resolve_extraction(shared, &analysis) {
-                Ok(extraction) => extraction,
-                Err((code, message)) => {
-                    send(shared, conn, &Response::Error { code, message })?;
-                    return Ok(Flow::Continue);
+            match resolve_extraction(shared, &analysis) {
+                Ok(extraction) => {
+                    let mut store_config = shared.config.store.clone();
+                    store_config.extraction = extraction;
+                    // Fold what the replaced store had ingested, then
+                    // reset the cursor: the fresh store's counters
+                    // restart at zero.
+                    ctx.folded.fold(&shared.counters, &ctx.store.stats());
+                    ctx.store = TraceStore::with_pool(store_config, shared.engine_pool());
+                    ctx.folded = StoreFold::default();
+                    ctx.upload_bytes = 0;
+                    send(upload_ack(ctx, false));
                 }
-            };
-            let mut store_config = shared.config.store.clone();
-            store_config.extraction = extraction;
-            // Fold what the replaced store had ingested, then reset the
-            // cursor: the fresh store's counters restart at zero.
-            ctx.folded.fold(&shared.counters, &ctx.store.stats());
-            ctx.store = TraceStore::with_pool(store_config, shared.engine_pool());
-            ctx.folded = StoreFold::default();
-            ctx.upload_bytes = 0;
-            send(shared, conn, &upload_ack(ctx, false))?;
+                Err((code, message)) => send(Response::Error { code, message }),
+            }
         }
         Request::UploadChunk { bytes } => {
             // Per-upload byte quota: nothing else bounds how much a
             // client can make the server retain, and sessions-level
             // admission control runs far too late to help.
             if ctx.upload_bytes + bytes.len() as u64 > shared.config.max_upload_bytes {
-                send(
-                    shared,
-                    conn,
-                    &Response::Error {
-                        code: ErrorCode::UploadTooLarge,
-                        message: format!(
-                            "upload exceeds the {} byte quota; BeginUpload resets it",
-                            shared.config.max_upload_bytes
-                        ),
-                    },
-                )?;
-                return Ok(Flow::Continue);
+                send(Response::Error {
+                    code: ErrorCode::UploadTooLarge,
+                    message: format!(
+                        "upload exceeds the {} byte quota; BeginUpload resets it",
+                        shared.config.max_upload_bytes
+                    ),
+                });
+            } else {
+                ctx.upload_bytes += bytes.len() as u64;
+                ctx.store.ingest_bytes(&bytes);
+                shared.counters.upload_chunks.fetch_add(1, Relaxed);
+                send(upload_ack(ctx, false));
             }
-            ctx.upload_bytes += bytes.len() as u64;
-            ctx.store.ingest_bytes(&bytes);
-            shared.counters.upload_chunks.fetch_add(1, Relaxed);
-            send(shared, conn, &upload_ack(ctx, false))?;
         }
         Request::FinishUpload => {
             ctx.store.finish_ingest();
@@ -583,7 +527,7 @@ fn handle_request<C: Write>(
             // the decoder's counters are cumulative and a client may run
             // several streams through one store.
             ctx.folded.fold(&shared.counters, &ctx.store.stats());
-            send(shared, conn, &upload_ack(ctx, analyzed))?;
+            send(upload_ack(ctx, analyzed));
         }
         Request::SubmitDiscovery {
             name,
@@ -594,7 +538,7 @@ fn handle_request<C: Write>(
             first_seed,
             prune_quorum,
         } => {
-            let response = admit(
+            send(admit(
                 shared,
                 ctx,
                 name,
@@ -604,66 +548,33 @@ fn handle_request<C: Write>(
                 runs_per_round,
                 first_seed,
                 prune_quorum,
-            );
-            send(shared, conn, &response)?;
+            ));
         }
         Request::Poll { session } => {
             let state = poll_session(shared, ctx, session);
-            send(shared, conn, &Response::Status { session, state })?;
+            send(Response::Status { session, state });
         }
         Request::Stream { session } => {
-            // Emit Progress only when the engine-wide counters moved —
-            // an unconditional frame per tick would spam ~1000 identical
-            // frames/s per streaming client on a long session.
-            let mut last = (u64::MAX, u64::MAX, u64::MAX);
-            loop {
-                let state = poll_session(shared, ctx, session);
-                match state {
-                    SessionState::Pending => {
-                        let e = shared.engine.stats();
-                        let now = (e.executions, e.cache_hits, e.sessions_completed);
-                        if now != last {
-                            last = now;
-                            send(
-                                shared,
-                                conn,
-                                &Response::Progress {
-                                    session,
-                                    executions: e.executions,
-                                    cache_hits: e.cache_hits,
-                                    sessions_completed: e.sessions_completed,
-                                },
-                            )?;
-                        }
-                        std::thread::sleep(shared.config.stream_poll);
-                    }
-                    terminal => {
-                        send(
-                            shared,
-                            conn,
-                            &Response::Status {
-                                session,
-                                state: terminal,
-                            },
-                        )?;
-                        break;
-                    }
-                }
-            }
+            // No blocking loop here: the reactor turns the stream into a
+            // timer-armed continuation, polling the ticket each
+            // `stream_poll` tick (and checking the drain flag, so a
+            // streaming client can no longer hold shutdown open until
+            // its session terminates).
+            return (out, After::Stream { session });
         }
         Request::Stats => {
-            send(shared, conn, &Response::StatsOk(shared.stats()))?;
+            send(Response::StatsOk(shared.stats()));
         }
         Request::Cancel { session } => {
             let existed = ctx.sessions.remove(&session).is_some();
             if existed {
                 shared.counters.sessions_cancelled.fetch_add(1, Relaxed);
             }
-            send(shared, conn, &Response::Cancelled { session, existed })?;
+            send(Response::Cancelled { session, existed });
         }
         Request::Goodbye => {
-            send(shared, conn, &Response::Bye)?;
-            return Ok(Flow::Close);
+            send(Response::Bye);
+            return (out, After::Close);
         }
         Request::Subscribe {
             name,
@@ -678,7 +589,7 @@ fn handle_request<C: Write>(
             retention_age,
             max_probe_runs,
         } => {
-            let response = admit_watch(
+            send(admit_watch(
                 shared,
                 ctx,
                 name,
@@ -692,36 +603,34 @@ fn handle_request<C: Write>(
                 retention_traces,
                 retention_age,
                 max_probe_runs,
-            );
-            send(shared, conn, &response)?;
+            ));
         }
         Request::StreamTail { watch, bytes, fin } => {
-            if ctx.upload_bytes + bytes.len() as u64 > shared.config.max_upload_bytes {
-                send(
-                    shared,
-                    conn,
-                    &Response::Error {
-                        code: ErrorCode::UploadTooLarge,
-                        message: format!(
-                            "tail exceeds the {} byte quota; BeginUpload resets it",
-                            shared.config.max_upload_bytes
-                        ),
-                    },
-                )?;
-                return Ok(Flow::Continue);
+            // Tails carry a *per-frame* bound, not the upload's cumulative
+            // quota: a long-lived watcher streams small appends forever,
+            // and counting them against a budget only `BeginUpload` resets
+            // would eventually refuse a perfectly healthy client. What the
+            // server *retains* is bounded by the watch's retention window,
+            // so the hostile-uploader bound survives — one frame can still
+            // not exceed the quota (nor `max_frame_len`, which the wire
+            // layer enforces first).
+            if bytes.len() as u64 > shared.config.max_upload_bytes {
+                send(Response::Error {
+                    code: ErrorCode::UploadTooLarge,
+                    message: format!(
+                        "tail frame exceeds the {} byte per-frame bound",
+                        shared.config.max_upload_bytes
+                    ),
+                });
+                return (out, After::Continue);
             }
             let Some(entry) = ctx.watches.get_mut(&watch) else {
-                send(
-                    shared,
-                    conn,
-                    &Response::Error {
-                        code: ErrorCode::UnknownWatch,
-                        message: format!("no standing query with id {watch} on this connection"),
-                    },
-                )?;
-                return Ok(Flow::Continue);
+                send(Response::Error {
+                    code: ErrorCode::UnknownWatch,
+                    message: format!("no standing query with id {watch} on this connection"),
+                });
+                return (out, After::Continue);
             };
-            ctx.upload_bytes += bytes.len() as u64;
             shared.counters.upload_chunks.fetch_add(1, Relaxed);
             entry.watcher.push_bytes(&bytes);
             if fin {
@@ -747,7 +656,7 @@ fn handle_request<C: Write>(
                     message: e.to_string(),
                 },
             };
-            send(shared, conn, &response)?;
+            send(response);
         }
         Request::Unsubscribe { watch } => {
             let existed = match ctx.watches.remove(&watch) {
@@ -759,10 +668,10 @@ fn handle_request<C: Write>(
                 }
                 None => false,
             };
-            send(shared, conn, &Response::Unsubscribed { watch, existed })?;
+            send(Response::Unsubscribed { watch, existed });
         }
     }
-    Ok(Flow::Continue)
+    (out, After::Continue)
 }
 
 /// Admission control + watcher construction for one standing query.
@@ -859,7 +768,11 @@ fn upload_ack(ctx: &ClientCtx, analyzed: bool) -> Response {
 
 /// Polls one session ticket, freeing its admission slot on any terminal
 /// state. A result is delivered exactly once; later polls see `Unknown`.
-fn poll_session(shared: &ServerShared, ctx: &mut ClientCtx, session: u32) -> SessionState {
+pub(crate) fn poll_session(
+    shared: &ServerShared,
+    ctx: &mut ClientCtx,
+    session: u32,
+) -> SessionState {
     let Some(ticket) = ctx.sessions.get(&session) else {
         return SessionState::Unknown;
     };
@@ -1023,4 +936,74 @@ fn build_job(
     );
     job.options = options;
     Ok(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::Relaxed;
+
+    /// The connection-cap reservation is a single CAS, not the racy
+    /// load-then-increment it replaced: hammered from many threads at the
+    /// cap, the active count never overshoots, every admit is matched by
+    /// a release, and the books balance exactly.
+    #[test]
+    fn connection_reservation_never_overshoots_under_contention() {
+        const CAP: u64 = 4;
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 2_000;
+
+        let counters = Arc::new(Counters::default());
+        let admitted = Arc::new(AtomicU64::new(0));
+        let refused = Arc::new(AtomicU64::new(0));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let counters = Arc::clone(&counters);
+                let admitted = Arc::clone(&admitted);
+                let refused = Arc::clone(&refused);
+                std::thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        if counters.try_reserve_connection(CAP) {
+                            // The invariant the old load-then-increment
+                            // violated: a reserved slot is never one of
+                            // more than CAP.
+                            let active = counters.active_connections.load(Relaxed);
+                            assert!(active <= CAP, "overshoot: {active} > {CAP}");
+                            admitted.fetch_add(1, Relaxed);
+                            std::thread::yield_now();
+                            counters.release_connection();
+                        } else {
+                            refused.fetch_add(1, Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("hammer thread panicked");
+        }
+
+        assert_eq!(
+            admitted.load(Relaxed) + refused.load(Relaxed),
+            (THREADS * ROUNDS) as u64
+        );
+        assert_eq!(
+            counters.active_connections.load(Relaxed),
+            0,
+            "every admit released"
+        );
+        let peak = counters.peak_connections.load(Relaxed);
+        assert!((1..=CAP).contains(&peak), "peak {peak} within (0, {CAP}]");
+        // Contended enough to mean something: with 8 threads on a cap of
+        // 4, at least one reservation must have been refused.
+        assert!(refused.load(Relaxed) > 0, "the cap was never contended");
+    }
+
+    /// A cap of zero admits nothing — the CAS closure never finds room.
+    #[test]
+    fn zero_cap_refuses_everything() {
+        let counters = Counters::default();
+        assert!(!counters.try_reserve_connection(0));
+        assert_eq!(counters.peak_connections.load(Relaxed), 0);
+    }
 }

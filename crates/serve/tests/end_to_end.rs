@@ -125,3 +125,86 @@ fn clients_replaying_the_same_scenario_share_the_cache() {
     );
     server.shutdown();
 }
+
+/// The determinism contract extended to the synthetic lab: for one
+/// scenario of each of the nine bug classes (`seed % 9` stratification,
+/// seeds 1..=9), a reactor-mediated discovery — corpus uploaded in
+/// chunks, job submitted as a wire `ProgramSpec::Lab`, result streamed
+/// back — equals the same job run against an in-process engine, full
+/// `DiscoveryResult` equality.
+#[test]
+fn served_discovery_equals_in_process_on_all_nine_lab_classes() {
+    use aid_lab::{prepare_replay, LabParams};
+
+    let items = prepare_replay(&LabParams::default(), 1..=9);
+    let classes: std::collections::BTreeSet<_> = items
+        .iter()
+        .map(|i| i.scenario.spec.bug_class as usize)
+        .collect();
+    assert_eq!(classes.len(), 9, "seeds 1..=9 cover all nine bug classes");
+
+    let (server, connector) = Server::start_in_proc(ServeConfig::default());
+    for item in &items {
+        // Direct: same corpus, same analysis config, same job knobs.
+        let built = aid_lab::build(&item.scenario.spec);
+        let analysis = aid_core::analyze(&item.corpus, &built.config);
+        let engine = Engine::with_workers(2);
+        let direct = engine
+            .submit(DiscoveryJob::sim(
+                format!("{}/direct", item.scenario.name),
+                Arc::new(analysis.dag.clone()),
+                Arc::new(Simulator::new(built.program)),
+                Arc::new(analysis.extraction.catalog.clone()),
+                analysis.extraction.failure,
+                item.scenario.runs_per_round,
+                FIRST_SEED,
+                Strategy::Aid,
+                DISCOVERY_SEED,
+            ))
+            .wait()
+            .result;
+
+        // Served: the wire path through the reactor.
+        let mut client = AidClient::connect_in_proc(&connector).expect("connect");
+        client.hello(&item.scenario.name).expect("hello");
+        let report = client
+            .upload(
+                item.encoded.as_bytes(),
+                97,
+                AnalysisSpec::Lab(item.scenario.spec),
+            )
+            .expect("upload");
+        assert_eq!(
+            report.quarantined, 0,
+            "{}: clean corpus",
+            item.scenario.name
+        );
+        assert!(
+            report.analyzed,
+            "{}: corpus has failures",
+            item.scenario.name
+        );
+        let mut spec = SubmitSpec::new(
+            format!("{}/served", item.scenario.name),
+            ProgramSpec::Lab(item.scenario.spec),
+        );
+        spec.runs_per_round = item.scenario.runs_per_round as u32;
+        spec.first_seed = FIRST_SEED;
+        spec.discovery_seed = DISCOVERY_SEED;
+        let Admission::Accepted(session) = client.submit(&spec).expect("submit") else {
+            panic!("{}: fresh connection refused", item.scenario.name);
+        };
+        let (served, _progress) = client.wait(session).expect("wait");
+        client.goodbye().expect("goodbye");
+
+        assert_eq!(
+            served, direct,
+            "{}: reactor-mediated discovery must equal in-process discovery",
+            item.scenario.name
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.sessions_delivered, 9);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.rejections(), 0);
+}

@@ -236,13 +236,16 @@ fn build_response((selector, (a, b, c), alpha, ids, ids2): RawResponse) -> Respo
             watches_subscribed: a % 29,
             watch_events: b % 555,
             idle_ticks: a % 10_000,
+            engine_shards: b % 16,
+            peak_connections: a % 512,
+            handler_dispatches: b % 4_096,
         }),
         7 => Response::Cancelled {
             session: c,
             existed: a % 2 == 0,
         },
         8 => Response::Error {
-            code: match a % 8 {
+            code: match a % 9 {
                 0 => aid_serve::ErrorCode::Malformed,
                 1 => aid_serve::ErrorCode::UnknownCase,
                 2 => aid_serve::ErrorCode::NoAnalysis,
@@ -250,7 +253,8 @@ fn build_response((selector, (a, b, c), alpha, ids, ids2): RawResponse) -> Respo
                 4 => aid_serve::ErrorCode::UploadTooLarge,
                 5 => aid_serve::ErrorCode::TooManyConnections,
                 6 => aid_serve::ErrorCode::UnknownWatch,
-                _ => aid_serve::ErrorCode::Unwatchable,
+                7 => aid_serve::ErrorCode::Unwatchable,
+                _ => aid_serve::ErrorCode::Draining,
             },
             message: name,
         },

@@ -245,3 +245,59 @@ fn tcp_round_trip() {
     assert_eq!(final_stats.active_connections, 0);
     assert_eq!(final_stats.protocol_errors, 0);
 }
+
+/// Draining while a client is mid-`Stream` terminates the stream with a
+/// typed `Draining` error instead of holding shutdown open until the
+/// session completes — the regression the old polling loop had, where the
+/// pending loop never consulted the shutdown flag.
+#[test]
+fn drain_interrupts_streaming_clients_promptly() {
+    // One engine worker and a deep queue: the streamed session sits far
+    // back in line, so the stream is reliably still pending at drain time.
+    let config = ServeConfig {
+        engine: aid_engine::EngineConfig {
+            workers: 1,
+            max_pending: 256,
+            ..aid_engine::EngineConfig::default()
+        },
+        max_sessions_per_client: 64,
+        ..ServeConfig::default()
+    };
+    let (server, connector) = Server::start_in_proc(config);
+    let mut client = AidClient::connect_in_proc(&connector).unwrap();
+    client.hello("drained-mid-stream").unwrap();
+
+    let mut last = 0;
+    for seed in 0..64 {
+        let Admission::Accepted(session) = client
+            .submit(&synth_spec(&format!("queued-{seed}"), seed))
+            .unwrap()
+        else {
+            panic!("deep queue admits all 64");
+        };
+        last = session;
+    }
+
+    // Stream the last queued session from another thread; it blocks in
+    // Progress frames while 63 sessions run ahead of it.
+    let streamer = std::thread::spawn(move || client.wait(last));
+
+    // Let the Stream request register as a server-side continuation.
+    std::thread::sleep(Duration::from_millis(30));
+    let started = std::time::Instant::now();
+    server.shutdown();
+    let drain_elapsed = started.elapsed();
+
+    match streamer.join().expect("streamer panicked") {
+        Err(aid_serve::ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Draining, "typed terminal error: {message}");
+        }
+        other => panic!("expected a terminal Draining error, got {other:?}"),
+    }
+    // Bounded: the drain never waited for the 63 queued sessions through
+    // the stream; only the engine's own (fast) queue drain remains.
+    assert!(
+        drain_elapsed < Duration::from_secs(30),
+        "shutdown took {drain_elapsed:?}"
+    );
+}

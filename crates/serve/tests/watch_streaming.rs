@@ -233,29 +233,108 @@ fn watch_admission_and_typed_refusals() {
     assert_eq!(stats.watches_subscribed, 2);
 }
 
-/// An idle connection backs its read timeout off instead of burning a
-/// wakeup every floor interval forever, and snaps back to being
-/// responsive the moment traffic resumes.
+/// An idle connection under the reactor costs a registered waker and
+/// nothing else: no handler wakeups fire between frames (the old polling
+/// loop's `idle_ticks` stays at zero), yet the connection answers the
+/// moment traffic resumes.
 #[test]
 fn idle_connections_back_off_and_stay_responsive() {
     let (server, connector) = Server::start_in_proc(ServeConfig::default());
     let mut client = AidClient::connect_in_proc(&connector).expect("connect");
     client.hello("idler").expect("hello");
 
-    // Sit silent long enough for several idle ticks at the 100 ms floor.
+    // Sit silent long enough that the old loop would have burned several
+    // read-timeout wakeups.
     std::thread::sleep(std::time::Duration::from_millis(450));
     let stats = client.stats().expect("the connection still answers");
-    assert!(
-        stats.idle_ticks >= 1,
-        "silence produced no idle ticks: {stats:?}"
+    assert_eq!(
+        stats.idle_ticks, 0,
+        "the reactor never spins a per-connection timeout: {stats:?}"
     );
-    // With a fixed 100 ms timeout 450 ms of silence costs 4 wakeups; the
-    // exponential backoff (100 → 200 → 400 …) admits at most 3.
-    assert!(
-        stats.idle_ticks <= 3,
-        "backoff did not slow the idle ticking: {stats:?}"
+    // Exactly one dispatch per request so far (Hello, Stats): silence
+    // dispatched nothing.
+    assert_eq!(
+        stats.handler_dispatches, 2,
+        "idle silence cost handler wakeups: {stats:?}"
     );
+
+    // Still responsive after the silence, and each request costs exactly
+    // one further dispatch.
+    let again = client.stats().expect("stats after idling");
+    assert_eq!(again.handler_dispatches, 3);
 
     client.goodbye().expect("goodbye");
     server.shutdown();
+}
+
+/// Tail appends are bounded *per frame*, not charged against the
+/// cumulative upload quota that only `BeginUpload` resets — the
+/// regression where a long-lived watcher eventually hit `UploadTooLarge`
+/// no matter how small its tails were. A watcher streaming far more than
+/// `max_upload_bytes` in total stays admitted; only an individual
+/// oversized frame is refused, and the refusal doesn't kill the watch.
+#[test]
+fn tail_stream_total_is_unbounded_only_frames_are_capped() {
+    let case = all_cases().remove(0);
+    let set = collect_logs_sized(&case, 10, 10);
+    let encoded = codec::encode(&set);
+
+    // A quota far below the corpus: the old cumulative accounting would
+    // refuse the stream partway through.
+    let quota = 2048u64;
+    assert!(
+        encoded.len() as u64 > 4 * quota,
+        "corpus must dwarf the quota for the regression to bite"
+    );
+    let config = ServeConfig {
+        max_upload_bytes: quota,
+        ..ServeConfig::default()
+    };
+    let (server, connector) = Server::start_in_proc(config);
+    let mut client = AidClient::connect_in_proc(&connector).expect("connect");
+    client.hello("long-lived-watcher").expect("hello");
+    let Admission::Accepted(watch) = client
+        .subscribe(&case_watch_spec(&case, "unbounded-total"))
+        .expect("subscribe")
+    else {
+        panic!("fresh connection refused a watch");
+    };
+
+    // The whole corpus in sub-quota tails; every one must be admitted
+    // even after the cumulative total passes the quota many times over.
+    let chunks: Vec<&[u8]> = encoded.as_bytes().chunks(512).collect();
+    let mut report = None;
+    for (i, chunk) in chunks.iter().enumerate() {
+        let fin = i + 1 == chunks.len();
+        report =
+            Some(client.stream_tail(watch, chunk, fin).unwrap_or_else(|e| {
+                panic!("tail {i} refused after {} total bytes: {e:?}", i * 512)
+            }));
+    }
+    let report = report.expect("corpus is non-empty");
+    assert_eq!(report.traces, set.traces.len() as u64);
+    converged_result(&report.events).expect("full corpus converges");
+
+    // A single frame over the bound is a typed refusal…
+    let oversized = vec![b'x'; quota as usize + 1];
+    match client.stream_tail(watch, &oversized, false) {
+        Err(aid_serve::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::UploadTooLarge)
+        }
+        other => panic!("expected UploadTooLarge, got {other:?}"),
+    }
+
+    // …that leaves the watch (and the connection) alive.
+    let idle_tail = stat_neutral_tail(&set);
+    client
+        .stream_tail(watch, idle_tail.as_bytes(), true)
+        .expect("watch survives the refused frame");
+
+    assert!(client.unsubscribe(watch).expect("unsubscribe"));
+    client.goodbye().expect("goodbye");
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.protocol_errors, 0,
+        "the refusal is typed, not a protocol error"
+    );
 }
