@@ -4,39 +4,23 @@
 //!
 //! ```sh
 //! cargo run -p aid_bench --bin benchdiff -- BASELINE CURRENT \
-//!     [--tolerance=0.30] [--all]
+//!     [--tolerance=0.30] [--tolerance-us=500] [--all]
 //! ```
 //!
-//! Direction is inferred from the key suffix: `_per_s`, `_speedup`, and
-//! `_hit_rate` are higher-is-better; `_ms` is lower-is-better; anything
-//! else is informational. By default only the *ratio* keys (`_speedup`,
-//! `_hit_rate`) gate the exit code — they are stable across machines and
-//! load, whereas absolute rates on a shared runner can legitimately swing
-//! by the full tolerance. `--all` gates every directional key, for diffing
-//! two runs taken on the same quiet machine.
+//! Direction, tolerances, and gating live in [`aid_bench::gate`] (unit
+//! tested there): `_per_s`, `_speedup`, `_hit_rate` are higher-is-better
+//! and `_ms` lower-is-better under the relative `--tolerance`; `_us`
+//! latency-quantile keys are lower-is-better under the **absolute**
+//! `--tolerance-us` microsecond budget (relative deltas on near-zero
+//! latencies are pure noise); anything else is informational. By default
+//! the stable keys gate the exit code — ratios (`_speedup`, `_hit_rate`)
+//! and the absolute-budget `_us` keys — whereas absolute rates on a
+//! shared runner can legitimately swing by the full tolerance. `--all`
+//! gates every directional key, for diffing two runs taken on the same
+//! quiet machine.
 
+use aid_bench::gate::{judge, GateConfig, Verdict};
 use aid_bench::{arg_value, render_table, snapshot};
-
-#[derive(PartialEq)]
-enum Direction {
-    HigherIsBetter,
-    LowerIsBetter,
-    Info,
-}
-
-fn direction(key: &str) -> Direction {
-    if key.ends_with("_per_s") || key.ends_with("_speedup") || key.ends_with("_hit_rate") {
-        Direction::HigherIsBetter
-    } else if key.ends_with("_ms") {
-        Direction::LowerIsBetter
-    } else {
-        Direction::Info
-    }
-}
-
-fn is_ratio_key(key: &str) -> bool {
-    key.ends_with("_speedup") || key.ends_with("_hit_rate")
-}
 
 fn main() {
     let positional: Vec<String> = std::env::args()
@@ -44,13 +28,21 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .collect();
     let [baseline_path, current_path] = positional.as_slice() else {
-        eprintln!("usage: benchdiff BASELINE CURRENT [--tolerance=0.30] [--all]");
+        eprintln!(
+            "usage: benchdiff BASELINE CURRENT [--tolerance=0.30] [--tolerance-us=500] [--all]"
+        );
         std::process::exit(2);
     };
-    let tolerance: f64 = arg_value("tolerance")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.30);
-    let gate_all = std::env::args().any(|a| a == "--all");
+    let defaults = GateConfig::default();
+    let config = GateConfig {
+        relative_tolerance: arg_value("tolerance")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.relative_tolerance),
+        absolute_tolerance_us: arg_value("tolerance-us")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.absolute_tolerance_us),
+        gate_all: std::env::args().any(|a| a == "--all"),
+    };
 
     let read = |path: &str| -> Vec<(String, f64)> {
         match std::fs::read_to_string(path) {
@@ -84,23 +76,15 @@ fn main() {
             regressions += 1;
             continue;
         };
-        let delta = if *base != 0.0 { cur / base - 1.0 } else { 0.0 };
-        let dir = direction(key);
-        let regressed = match dir {
-            Direction::HigherIsBetter => delta < -tolerance,
-            Direction::LowerIsBetter => delta > tolerance,
-            Direction::Info => false,
-        };
-        let gated = gate_all || is_ratio_key(key);
-        let verdict = if dir == Direction::Info {
-            "info"
-        } else if regressed && gated {
+        let (verdict, delta) = judge(key, *base, *cur, &config);
+        if verdict.fails() {
             regressions += 1;
-            "REGRESSED"
-        } else if regressed {
-            "regressed (ungated)"
-        } else {
-            "ok"
+        }
+        let verdict = match verdict {
+            Verdict::Info => "info",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::RegressedUngated => "regressed (ungated)",
+            Verdict::Ok => "ok",
         };
         rows.push(vec![
             key.clone(),
@@ -123,10 +107,15 @@ fn main() {
     }
     print!("{}", render_table(&rows));
     println!(
-        "\n{} baseline keys, tolerance {:.0}%, gating {} -> {} regression(s)",
+        "\n{} baseline keys, tolerance {:.0}% / {:.0} µs abs, gating {} -> {} regression(s)",
         baseline.len(),
-        100.0 * tolerance,
-        if gate_all { "all keys" } else { "ratio keys" },
+        100.0 * config.relative_tolerance,
+        config.absolute_tolerance_us,
+        if config.gate_all {
+            "all keys"
+        } else {
+            "ratio + _us keys"
+        },
         regressions
     );
     if regressions > 0 {

@@ -5,7 +5,7 @@
 //! cargo run -p aid_bench --bin loadgen --release -- \
 //!     [--clients=4] [--scenarios=12] [--workers=4] [--seed=1] \
 //!     [--chunk=4096] [--allow-rejections=0] [--stream=0] [--tails=3] \
-//!     [--tier=<name>]
+//!     [--tier=<name>] [--metrics-dump=0] [--assert-metrics=0]
 //! ```
 //!
 //! Every client replays the *same* scenario list (upload corpus → submit
@@ -29,6 +29,15 @@
 //!
 //! Emits a machine-readable `AID-SERVE {json}` summary line (throughput,
 //! p50/p99 session latency, rejection rate, cache hit-rate).
+//!
+//! Every run also pulls one `Metrics` wire frame at the end — the server's
+//! whole `aid_obs` registry in a single consistent snapshot — and records
+//! the service-side frame latency distribution (`serve_p50_frame_us`,
+//! `serve_p99_frame_us`, from the `serve.frame_us` histogram) in the
+//! snapshot. `--metrics-dump=1` prints the snapshot in Prometheus text
+//! exposition format; `--assert-metrics=1` fails the run unless the
+//! snapshot carries per-shard engine cache histograms and a nonzero
+//! reactor dwell-time distribution (the CI `obs` job's contract).
 //!
 //! `--tier=<name>` records the reactor-scale metrics of the run under
 //! `serve_<name>_*` snapshot keys — connections held at peak, total
@@ -266,6 +275,8 @@ fn main() {
     let stream = arg_or("stream", 0) != 0;
     let tails = arg_or("tails", 3);
     let tier = arg_value("tier");
+    let metrics_dump = arg_or("metrics-dump", 0) != 0;
+    let assert_metrics = arg_or("assert-metrics", 0) != 0;
 
     println!("Preparing {scenarios} lab scenarios (seed {seed})…");
     let params = LabParams::default();
@@ -345,6 +356,16 @@ fn main() {
         }
         stream_elapsed = stream_started.elapsed();
     }
+
+    // One Metrics frame over the live wire: the registry's consistent
+    // snapshot, carrying every tier's counters and latency histograms.
+    let obs = {
+        let mut mc = AidClient::connect_tcp(addr).expect("metrics connect");
+        mc.hello("loadgen-metrics").expect("metrics hello");
+        let snap = mc.metrics().expect("metrics frame");
+        let _ = mc.goodbye();
+        snap
+    };
 
     let stats = server.shutdown();
 
@@ -447,6 +468,19 @@ fn main() {
         stats.peak_pending,
     );
 
+    // Service-side frame latency, from the telemetry plane rather than
+    // client-observed wall clock: dispatch-to-responses-queued per frame.
+    let frame_hist = obs.histogram("serve.frame_us");
+    let (frame_p50_us, frame_p99_us) = frame_hist
+        .map(|h| (h.quantile(0.50) as f64, h.quantile(0.99) as f64))
+        .unwrap_or((0.0, 0.0));
+    println!(
+        "telemetry: {} metrics | frame handling p50 {frame_p50_us} µs, p99 {frame_p99_us} µs \
+         (server-side, {} frames)",
+        obs.entries.len(),
+        frame_hist.map_or(0, |h| h.count),
+    );
+
     // Record the serving-path metrics in their own snapshot so the serve
     // numbers diff independently of the simulator/engine keys.
     aid_bench::snapshot::merge_write(
@@ -458,9 +492,16 @@ fn main() {
             ),
             ("serve_p50_ms".to_string(), p50),
             ("serve_p99_ms".to_string(), p99),
+            ("serve_p50_frame_us".to_string(), frame_p50_us),
+            ("serve_p99_frame_us".to_string(), frame_p99_us),
             ("serve_cache_hit_rate".to_string(), stats.cache_hit_rate()),
         ],
     );
+
+    if metrics_dump {
+        println!("\n--- metrics ({} entries) ---", obs.entries.len());
+        print!("{}", obs.render_prometheus());
+    }
 
     // Reactor-scale tier: how many connections the event core held at
     // once, the frame throughput it multiplexed, and the cross-client
@@ -492,6 +533,50 @@ fn main() {
 
     let expected = clients * scenarios;
     let mut failed = false;
+    if assert_metrics {
+        // The telemetry contract the CI `obs` job pins: the wire snapshot
+        // must carry per-shard engine cache counters + lease-wait
+        // histograms and a live reactor dwell-time distribution.
+        let shards = stats.engine_shards.max(1);
+        for shard in 0..shards {
+            for key in [
+                format!("engine.shard{shard}.cache.hits"),
+                format!("engine.shard{shard}.cache.misses"),
+            ] {
+                if obs.counter(&key).is_none() {
+                    eprintln!("FAIL: metrics snapshot is missing counter {key}");
+                    failed = true;
+                }
+            }
+            let key = format!("engine.shard{shard}.cache.lease_wait_us");
+            if obs.histogram(&key).is_none() {
+                eprintln!("FAIL: metrics snapshot is missing histogram {key}");
+                failed = true;
+            }
+        }
+        match obs.histogram("serve.reactor.dwell_us") {
+            Some(h) if h.count > 0 => {}
+            Some(_) => {
+                eprintln!("FAIL: serve.reactor.dwell_us recorded nothing");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: metrics snapshot is missing serve.reactor.dwell_us");
+                failed = true;
+            }
+        }
+        match frame_hist {
+            Some(h) if h.count > 0 => {}
+            _ => {
+                eprintln!("FAIL: serve.frame_us is missing or empty");
+                failed = true;
+            }
+        }
+        if obs.counter("serve.frames_in").unwrap_or(0) == 0 {
+            eprintln!("FAIL: serve.frames_in is missing or zero");
+            failed = true;
+        }
+    }
     if stream {
         // Streamed convergences must match the one-shot results exactly.
         let mut stream_mismatches = 0usize;

@@ -1,0 +1,205 @@
+//! The benchdiff regression gate: pure key-classification and verdict
+//! math, kept out of the binary so it is unit-testable.
+//!
+//! Direction is inferred from the key suffix:
+//!
+//! * `_per_s`, `_speedup`, `_hit_rate` — higher is better (relative gate).
+//! * `_ms` — lower is better (relative gate).
+//! * `_us` — lower is better, gated by an **absolute** microsecond
+//!   tolerance. These are latency-histogram quantiles (`serve_p99_frame_us`
+//!   and friends): near-zero baselines make relative deltas meaningless —
+//!   3 µs → 7 µs is a +133% "regression" that is pure scheduler noise —
+//!   while an absolute budget ("p99 may grow by at most N µs") is stable.
+//! * anything else — informational.
+//!
+//! Gating: ratio keys (`_speedup`, `_hit_rate`) and `_us` keys gate the
+//! exit code by default — both are stable across machines (ratios by
+//! construction, `_us` keys by the absolute budget). Absolute rates gate
+//! only under `--all`.
+
+/// Which way a key is allowed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger numbers are better; regression is a relative drop.
+    HigherIsBetter,
+    /// Smaller numbers are better; regression is a relative rise.
+    LowerIsBetter,
+    /// Smaller numbers are better; regression is an **absolute** rise
+    /// beyond the microsecond budget (`_us` latency keys).
+    LowerIsBetterAbs,
+    /// Not gated in any mode.
+    Info,
+}
+
+/// Tolerances and gating mode for one diff run.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Relative tolerance for ratio-gated directions (0.30 = ±30%).
+    pub relative_tolerance: f64,
+    /// Absolute budget for `_us` keys: `current` may exceed `baseline`
+    /// by at most this many microseconds.
+    pub absolute_tolerance_us: f64,
+    /// Gate every directional key, not just the stable ones.
+    pub gate_all: bool,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            relative_tolerance: 0.30,
+            absolute_tolerance_us: 500.0,
+            gate_all: false,
+        }
+    }
+}
+
+/// One key's verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or improved).
+    Ok,
+    /// Beyond tolerance on a key that gates the exit code.
+    Regressed,
+    /// Beyond tolerance, but the key doesn't gate in this mode.
+    RegressedUngated,
+    /// Direction-less key; never gates.
+    Info,
+}
+
+impl Verdict {
+    /// Whether this verdict fails the run.
+    pub fn fails(self) -> bool {
+        self == Verdict::Regressed
+    }
+}
+
+/// Infers a key's direction from its suffix.
+pub fn direction(key: &str) -> Direction {
+    if key.ends_with("_per_s") || key.ends_with("_speedup") || key.ends_with("_hit_rate") {
+        Direction::HigherIsBetter
+    } else if key.ends_with("_ms") {
+        Direction::LowerIsBetter
+    } else if key.ends_with("_us") {
+        Direction::LowerIsBetterAbs
+    } else {
+        Direction::Info
+    }
+}
+
+/// Whether `key` gates the exit code under `config`. Ratio keys and
+/// absolute-budget `_us` keys always gate; everything directional gates
+/// under `gate_all`.
+pub fn gates(key: &str, config: &GateConfig) -> bool {
+    config.gate_all
+        || key.ends_with("_speedup")
+        || key.ends_with("_hit_rate")
+        || key.ends_with("_us")
+}
+
+/// Judges one `(baseline, current)` pair. The returned `f64` is the
+/// relative delta (`current / baseline - 1`), for display; the verdict is
+/// computed in the key's own gate space (relative or absolute).
+pub fn judge(key: &str, baseline: f64, current: f64, config: &GateConfig) -> (Verdict, f64) {
+    let delta = if baseline != 0.0 {
+        current / baseline - 1.0
+    } else {
+        0.0
+    };
+    let regressed = match direction(key) {
+        Direction::HigherIsBetter => delta < -config.relative_tolerance,
+        Direction::LowerIsBetter => delta > config.relative_tolerance,
+        Direction::LowerIsBetterAbs => current - baseline > config.absolute_tolerance_us,
+        Direction::Info => return (Verdict::Info, delta),
+    };
+    let verdict = match (regressed, gates(key, config)) {
+        (true, true) => Verdict::Regressed,
+        (true, false) => Verdict::RegressedUngated,
+        (false, _) => Verdict::Ok,
+    };
+    (verdict, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> GateConfig {
+        GateConfig {
+            relative_tolerance: 0.30,
+            absolute_tolerance_us: 100.0,
+            gate_all: false,
+        }
+    }
+
+    #[test]
+    fn suffixes_map_to_directions() {
+        assert_eq!(direction("x_per_s"), Direction::HigherIsBetter);
+        assert_eq!(direction("x_speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction("x_hit_rate"), Direction::HigherIsBetter);
+        assert_eq!(direction("x_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction("serve_p99_frame_us"), Direction::LowerIsBetterAbs);
+        assert_eq!(direction("x_bytes"), Direction::Info);
+    }
+
+    #[test]
+    fn us_keys_use_the_absolute_budget_not_the_ratio() {
+        // +133% relative but only +4 µs absolute: scheduler noise, ok.
+        assert_eq!(judge("p99_us", 3.0, 7.0, &cfg()).0, Verdict::Ok);
+        // +101 µs absolute blows the 100 µs budget even though the
+        // relative delta (+10%) is well inside the ratio tolerance.
+        assert_eq!(
+            judge("p99_us", 1000.0, 1101.0, &cfg()).0,
+            Verdict::Regressed
+        );
+        // Exactly at the budget is allowed; improvement always is.
+        assert_eq!(judge("p99_us", 1000.0, 1100.0, &cfg()).0, Verdict::Ok);
+        assert_eq!(judge("p99_us", 1000.0, 200.0, &cfg()).0, Verdict::Ok);
+    }
+
+    #[test]
+    fn us_keys_gate_by_default_like_ratio_keys() {
+        assert!(gates("serve_p99_frame_us", &cfg()));
+        assert!(gates("x_hit_rate", &cfg()));
+        assert!(gates("x_speedup", &cfg()));
+        assert!(!gates("x_per_s", &cfg()));
+        assert!(!gates("x_ms", &cfg()));
+        let all = GateConfig {
+            gate_all: true,
+            ..cfg()
+        };
+        assert!(gates("x_ms", &all));
+    }
+
+    #[test]
+    fn relative_directions_still_judge_relative() {
+        assert_eq!(
+            judge("x_hit_rate", 0.90, 0.50, &cfg()).0,
+            Verdict::Regressed
+        );
+        assert_eq!(judge("x_hit_rate", 0.90, 0.80, &cfg()).0, Verdict::Ok);
+        // Ungated in default mode, gated under --all.
+        assert_eq!(
+            judge("x_ms", 100.0, 200.0, &cfg()).0,
+            Verdict::RegressedUngated
+        );
+        let all = GateConfig {
+            gate_all: true,
+            ..cfg()
+        };
+        assert_eq!(judge("x_ms", 100.0, 200.0, &all).0, Verdict::Regressed);
+        assert_eq!(
+            judge("x_per_s", 100.0, 60.0, &cfg()).0,
+            Verdict::RegressedUngated
+        );
+    }
+
+    #[test]
+    fn info_keys_never_fail_and_zero_baselines_dont_divide() {
+        let (v, d) = judge("x_bytes", 10.0, 99.0, &cfg());
+        assert_eq!(v, Verdict::Info);
+        assert!(!v.fails());
+        let (_, d0) = judge("x_per_s", 0.0, 50.0, &cfg());
+        assert_eq!(d0, 0.0);
+        assert!((d - 8.9).abs() < 1e-9);
+    }
+}

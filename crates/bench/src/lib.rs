@@ -1,6 +1,7 @@
 //! Shared helpers for the benchmark binaries that regenerate the paper's
 //! tables and figures (see `src/bin/` and EXPERIMENTS.md).
 
+pub mod gate;
 pub mod snapshot;
 
 /// Renders an aligned plain-text table: `rows[0]` is the header.

@@ -19,10 +19,10 @@
 //! would freeze the noise of the first draw.
 
 use aid_core::ExecutionRecord;
+use aid_obs::{Counter, Histogram, MetricsRegistry};
 use aid_predicates::PredicateId;
 use aid_util::Fnv1a;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Memoization key: one *run* of one intervention sequence.
@@ -195,10 +195,13 @@ pub struct InterventionCache {
     shards: Vec<Mutex<HashMap<CacheKey, Slot>>>,
     /// Per-shard record bound (`None` = unbounded).
     shard_capacity: Option<usize>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    coalesced: Counter,
+    evictions: Counter,
+    /// Time coalesced waiters spend blocked on another session's in-flight
+    /// execution; recorded by the executor around [`PendingSlot::wait`].
+    lease_wait_us: Histogram,
 }
 
 impl InterventionCache {
@@ -206,7 +209,7 @@ impl InterventionCache {
     /// to a power of two, minimum 1). Long-lived engines should prefer
     /// [`InterventionCache::with_capacity`].
     pub fn new(shards: usize) -> Self {
-        Self::build(shards, None)
+        Self::build(shards, None, None)
     }
 
     /// Creates a cache bounded to roughly `max_entries` records. Eviction
@@ -217,18 +220,42 @@ impl InterventionCache {
     /// but O(1) amortized and sufficient to keep a service-shaped engine's
     /// memory flat — correctness never depends on residency, only speed.
     pub fn with_capacity(shards: usize, max_entries: usize) -> Self {
-        Self::build(shards, Some(max_entries.max(1)))
+        Self::build(shards, Some(max_entries.max(1)), None)
     }
 
-    fn build(shards: usize, max_entries: Option<usize>) -> Self {
+    /// A bounded cache whose telemetry registers in `metrics` under
+    /// `{prefix}.cache.*` (e.g. `engine.shard0.cache.hits`, …,
+    /// `engine.shard0.cache.lease_wait_us`).
+    pub fn with_metrics(
+        shards: usize,
+        max_entries: usize,
+        metrics: &MetricsRegistry,
+        prefix: &str,
+    ) -> Self {
+        Self::build(shards, Some(max_entries.max(1)), Some((metrics, prefix)))
+    }
+
+    fn build(
+        shards: usize,
+        max_entries: Option<usize>,
+        metrics: Option<(&MetricsRegistry, &str)>,
+    ) -> Self {
         let shards = shards.max(1).next_power_of_two();
+        let counter = |metric: &str| match metrics {
+            Some((m, prefix)) => m.counter(&format!("{prefix}.cache.{metric}")),
+            None => Counter::detached(),
+        };
         InterventionCache {
             shard_capacity: max_entries.map(|m| m.div_ceil(shards)),
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: counter("hits"),
+            misses: counter("misses"),
+            coalesced: counter("coalesced"),
+            evictions: counter("evictions"),
+            lease_wait_us: match metrics {
+                Some((m, prefix)) => m.histogram(&format!("{prefix}.cache.lease_wait_us")),
+                None => Histogram::detached(false),
+            },
         }
     }
 
@@ -244,8 +271,8 @@ impl InterventionCache {
             _ => None,
         };
         match found {
-            Some(_) => self.hits.fetch_add(1, Relaxed),
-            None => self.misses.fetch_add(1, Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         found
     }
@@ -259,13 +286,13 @@ impl InterventionCache {
             Some(Slot::Ready(rec)) => {
                 let rec = rec.clone();
                 drop(shard);
-                self.hits.fetch_add(1, Relaxed);
+                self.hits.inc();
                 Leased::Ready(rec)
             }
             Some(Slot::Pending(slot)) => {
                 let slot = Arc::clone(slot);
                 drop(shard);
-                self.coalesced.fetch_add(1, Relaxed);
+                self.coalesced.inc();
                 Leased::Waiter(slot)
             }
             None => {
@@ -280,7 +307,7 @@ impl InterventionCache {
                 });
                 shard.insert(key.clone(), Slot::Pending(Arc::clone(&slot)));
                 drop(shard);
-                self.misses.fetch_add(1, Relaxed);
+                self.misses.inc();
                 Leased::Owner(Lease {
                     cache: Arc::clone(self),
                     key,
@@ -311,7 +338,7 @@ impl InterventionCache {
                 // A shard full of in-flight placeholders removes nothing;
                 // that is not an eviction, so don't report one.
                 if shard.len() < before {
-                    self.evictions.fetch_add(1, Relaxed);
+                    self.evictions.inc();
                 }
             }
         }
@@ -332,13 +359,20 @@ impl InterventionCache {
         self.shards.len()
     }
 
+    /// The histogram timing coalesced waiters (recorded by the executor
+    /// around [`PendingSlot::wait`]; inert unless the cache was built
+    /// through [`InterventionCache::with_metrics`] on an enabled registry).
+    pub fn lease_wait_us(&self) -> &Histogram {
+        &self.lease_wait_us
+    }
+
     /// Snapshot of hit/miss/eviction/entry counts.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Relaxed),
-            misses: self.misses.load(Relaxed),
-            coalesced: self.coalesced.load(Relaxed),
-            evictions: self.evictions.load(Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
+            evictions: self.evictions.get(),
             entries: self.len(),
         }
     }

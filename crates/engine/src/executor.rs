@@ -16,31 +16,63 @@
 use crate::cache::{CacheKey, InterventionCache, Lease, Leased, PendingSlot};
 use crate::pool::WorkerPool;
 use aid_core::{BatchExecutor, ExecutionRecord, Executor, GroundTruth, OracleExecutor};
+use aid_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use aid_predicates::{evaluate, PredicateCatalog, PredicateId};
 use aid_sim::{plan_for, InterventionPlan, Simulator, VmError};
 use aid_util::Fnv1a;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Engine-wide execution counters (shared by every session's executor).
-#[derive(Debug, Default)]
+/// Backed by `aid_obs` handles so an engine built with a registry exposes
+/// them as `{prefix}.*` metrics; a default-constructed set is detached.
+#[derive(Debug)]
 pub struct EngineCounters {
     /// Real executions performed (cache misses that ran).
-    pub executions: AtomicU64,
+    pub executions: Counter,
     /// Sessions completed.
-    pub sessions: AtomicU64,
+    pub sessions: Counter,
     /// Sessions that ended in a typed error (a VM trap or a panic) instead
     /// of a result.
-    pub failed: AtomicU64,
+    pub failed: Counter,
     /// Non-blocking submissions refused (saturation or shutdown).
-    pub rejected: AtomicU64,
+    pub rejected: Counter,
     /// Highest number of simultaneously pending sessions observed.
-    pub peak_pending: AtomicU64,
+    pub peak_pending: Gauge,
+    /// Wall time of each real execution (a simulator run or an oracle
+    /// round); cache hits never record here.
+    pub run_us: Histogram,
+}
+
+impl Default for EngineCounters {
+    fn default() -> Self {
+        EngineCounters {
+            executions: Counter::detached(),
+            sessions: Counter::detached(),
+            failed: Counter::detached(),
+            rejected: Counter::detached(),
+            peak_pending: Gauge::detached(),
+            run_us: Histogram::detached(false),
+        }
+    }
 }
 
 impl EngineCounters {
+    /// Counters registered in `metrics` under `{prefix}.*` (the engine
+    /// uses `engine.shard{i}` prefixes, one set per tier).
+    pub fn with_metrics(metrics: &MetricsRegistry, prefix: &str) -> Self {
+        EngineCounters {
+            executions: metrics.counter(&format!("{prefix}.executions")),
+            sessions: metrics.counter(&format!("{prefix}.sessions_completed")),
+            failed: metrics.counter(&format!("{prefix}.sessions_failed")),
+            rejected: metrics.counter(&format!("{prefix}.sessions_rejected")),
+            peak_pending: metrics.gauge(&format!("{prefix}.peak_pending")),
+            run_us: metrics.histogram(&format!("{prefix}.exec.run_us")),
+        }
+    }
+
     pub(crate) fn record_peak(&self, pending: u64) {
-        self.peak_pending.fetch_max(pending, Relaxed);
+        self.peak_pending.record_max(pending);
     }
 }
 
@@ -126,7 +158,9 @@ impl PooledSimExecutor {
 
 impl PooledSimExecutor {
     fn execute_one(&self, seed: u64, plan: &InterventionPlan) -> Result<ExecutionRecord, VmError> {
+        let started = Instant::now();
         let trace = self.sim.try_run(seed, plan)?;
+        self.counters.run_us.record_duration(started.elapsed());
         let obs = evaluate(&self.catalog, &trace);
         Ok(ExecutionRecord {
             failed: obs.holds(self.failure),
@@ -190,8 +224,11 @@ impl BatchExecutor for PooledSimExecutor {
                     let catalog = Arc::clone(&self.catalog);
                     let plan = Arc::clone(plan);
                     let failure = self.failure;
+                    let run_us = self.counters.run_us.clone();
                     Box::new(move || {
+                        let started = Instant::now();
                         let trace = sim.try_run(seed, &plan)?;
+                        run_us.record_duration(started.elapsed());
                         let obs = evaluate(&catalog, &trace);
                         Ok(ExecutionRecord {
                             failed: obs.holds(failure),
@@ -205,7 +242,7 @@ impl BatchExecutor for PooledSimExecutor {
             for ((gi, ri, lease, _, _), rec) in owned.into_iter().zip(records) {
                 match rec {
                     Ok(rec) => {
-                        self.counters.executions.fetch_add(1, Relaxed);
+                        self.counters.executions.inc();
                         lease.fill(rec.clone());
                         results[gi][ri] = Some(rec);
                     }
@@ -220,8 +257,10 @@ impl BatchExecutor for PooledSimExecutor {
         // owner's job panicked or trapped) degrades to executing inline;
         // correctness never depends on another session's health.
         for (gi, ri, pending, seed, plan) in waiting {
-            match pending
-                .wait()
+            let waited = Instant::now();
+            let published = pending.wait();
+            self.cache.lease_wait_us().record_duration(waited.elapsed());
+            match published
                 .map(Ok)
                 .unwrap_or_else(|| self.execute_one(seed, &plan))
             {
@@ -302,8 +341,10 @@ impl Executor for CachedOracleExecutor {
         if let Some(rec) = self.cache.get(&key) {
             return vec![rec];
         }
+        let started = Instant::now();
         let records = self.oracle.intervene(predicates);
-        self.counters.executions.fetch_add(1, Relaxed);
+        self.counters.run_us.record_duration(started.elapsed());
+        self.counters.executions.inc();
         self.cache.insert(key, records[0].clone());
         records
     }
@@ -387,7 +428,7 @@ mod tests {
         let first = exec.intervene(&p0);
         let again = exec.intervene(&p0);
         assert_eq!(first, again);
-        assert_eq!(counters.executions.load(Relaxed), 1, "second round cached");
+        assert_eq!(counters.executions.get(), 1, "second round cached");
         assert_eq!(cache.stats().hits, 1);
     }
 }

@@ -12,8 +12,8 @@
 //! joined **by submission index** — the output order never depends on which
 //! worker finished first.
 
+use aid_obs::{Counter, MetricsRegistry};
 use crossbeam::channel::{self, Receiver, RecvError, Sender, TryRecvError};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -47,11 +47,11 @@ struct PoolShared {
     /// The shared injector queue; workers and helping joiners pull from it.
     tasks: Receiver<Task>,
     /// Tasks executed per worker thread (utilization telemetry).
-    per_worker: Vec<AtomicU64>,
+    per_worker: Vec<Counter>,
     /// Tasks executed inline by joining threads while they helped.
-    inline: AtomicU64,
+    inline: Counter,
     /// Wall-batches submitted through [`WorkerPool::run_batch`].
-    batches: AtomicU64,
+    batches: Counter,
 }
 
 /// A fixed-size worker pool with deterministic batch joins.
@@ -62,15 +62,33 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` OS threads (clamped to at least one).
+    /// Spawns `workers` OS threads (clamped to at least one) with
+    /// detached (unregistered) utilization counters.
     pub fn new(workers: usize) -> Self {
+        Self::build(workers, None)
+    }
+
+    /// Spawns `workers` OS threads whose utilization counters register in
+    /// `metrics` under `engine.pool.*` (one `worker{w}.tasks` counter per
+    /// thread, plus `inline_tasks` and `batches`).
+    pub fn with_metrics(workers: usize, metrics: &MetricsRegistry) -> Self {
+        Self::build(workers, Some(metrics))
+    }
+
+    fn build(workers: usize, metrics: Option<&MetricsRegistry>) -> Self {
         let workers = workers.max(1);
+        let counter = |name: String| match metrics {
+            Some(m) => m.counter(&name),
+            None => Counter::detached(),
+        };
         let (tx, rx) = channel::unbounded::<Task>();
         let shared = Arc::new(PoolShared {
             tasks: rx,
-            per_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
-            inline: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
+            per_worker: (0..workers)
+                .map(|w| counter(format!("engine.pool.worker{w}.tasks")))
+                .collect(),
+            inline: counter("engine.pool.inline_tasks".into()),
+            batches: counter("engine.pool.batches".into()),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -79,7 +97,7 @@ impl WorkerPool {
                     .name(format!("aid-engine-worker-{w}"))
                     .spawn(move || {
                         while let Ok(task) = shared.tasks.recv() {
-                            shared.per_worker[w].fetch_add(1, Relaxed);
+                            shared.per_worker[w].inc();
                             task.run();
                         }
                     })
@@ -122,7 +140,7 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
-        self.shared.batches.fetch_add(1, Relaxed);
+        self.shared.batches.inc();
         let (rtx, rrx) = channel::unbounded::<(usize, R)>();
         let tx = self.sender();
         for (i, job) in jobs.into_iter().enumerate() {
@@ -166,7 +184,7 @@ impl WorkerPool {
             while inspect > 0 {
                 match self.shared.tasks.try_recv() {
                     Ok(probe @ Task::Probe(_)) => {
-                        self.shared.inline.fetch_add(1, Relaxed);
+                        self.shared.inline.inc();
                         probe.run();
                         helped = true;
                         break;
@@ -202,21 +220,17 @@ impl WorkerPool {
 
     /// Tasks executed by each worker thread so far.
     pub fn tasks_per_worker(&self) -> Vec<u64> {
-        self.shared
-            .per_worker
-            .iter()
-            .map(|c| c.load(Relaxed))
-            .collect()
+        self.shared.per_worker.iter().map(Counter::get).collect()
     }
 
     /// Tasks executed inline by joining threads (help-first steals).
     pub fn inline_tasks(&self) -> u64 {
-        self.shared.inline.load(Relaxed)
+        self.shared.inline.get()
     }
 
     /// Wall-batches fanned through [`WorkerPool::run_batch`] so far.
     pub fn batches(&self) -> u64 {
-        self.shared.batches.load(Relaxed)
+        self.shared.batches.get()
     }
 
     fn sender(&self) -> &Sender<Task> {

@@ -22,10 +22,10 @@ use crate::executor::{
 use crate::pool::WorkerPool;
 use aid_causal::AcDag;
 use aid_core::{discover_with_options, DiscoverOptions, DiscoveryResult, GroundTruth, Strategy};
+use aid_obs::MetricsRegistry;
 use aid_predicates::{PredicateCatalog, PredicateId};
 use aid_sim::{Simulator, VmError};
 use crossbeam::channel::{self, Receiver, TryRecvError};
-use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Engine sizing knobs.
@@ -400,15 +400,26 @@ struct EngineShared {
 
 impl EngineShared {
     /// One engine tier: its own cache partition, counters, and admission
-    /// queue over the given (possibly shared) worker pool.
-    fn build(config: &EngineConfig, pool: Arc<WorkerPool>) -> Arc<EngineShared> {
+    /// queue over the given (possibly shared) worker pool. Telemetry
+    /// registers in `metrics` under `engine.shard{shard}.*`, so a
+    /// snapshot of the registry carries per-tier cache and session
+    /// metrics side by side.
+    fn build(
+        config: &EngineConfig,
+        pool: Arc<WorkerPool>,
+        metrics: &MetricsRegistry,
+        shard: usize,
+    ) -> Arc<EngineShared> {
+        let prefix = format!("engine.shard{shard}");
         Arc::new(EngineShared {
             pool,
-            cache: Arc::new(InterventionCache::with_capacity(
+            cache: Arc::new(InterventionCache::with_metrics(
                 config.cache_shards,
                 config.cache_capacity,
+                metrics,
+                &prefix,
             )),
-            counters: Arc::new(EngineCounters::default()),
+            counters: Arc::new(EngineCounters::with_metrics(metrics, &prefix)),
             queue: Mutex::new(EngineQueue {
                 pending: 0,
                 shutting_down: false,
@@ -422,13 +433,25 @@ impl EngineShared {
 /// The multi-session discovery engine.
 pub struct Engine {
     shared: Arc<EngineShared>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Engine {
-    /// Builds an engine from the given configuration.
+    /// Builds an engine from the given configuration, with its own
+    /// `AID_OBS`-gated metrics registry.
     pub fn new(config: EngineConfig) -> Self {
+        Engine::with_metrics(config, Arc::new(MetricsRegistry::from_env()))
+    }
+
+    /// Builds an engine whose telemetry registers in `metrics` (the
+    /// single tier takes the `engine.shard0` prefix; the pool registers
+    /// `engine.pool.*`). Servers pass their registry here so one snapshot
+    /// covers every tier.
+    pub fn with_metrics(config: EngineConfig, metrics: Arc<MetricsRegistry>) -> Self {
+        let pool = Arc::new(WorkerPool::with_metrics(config.workers, &metrics));
         Engine {
-            shared: EngineShared::build(&config, Arc::new(WorkerPool::new(config.workers))),
+            shared: EngineShared::build(&config, pool, &metrics, 0),
+            metrics,
         }
     }
 
@@ -438,6 +461,11 @@ impl Engine {
             workers,
             ..EngineConfig::default()
         })
+    }
+
+    /// The registry this engine's telemetry lives in.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// A cloneable handle for submitting jobs (e.g. from server
@@ -621,7 +649,7 @@ fn try_submit_on(shared: &Arc<EngineShared>, job: DiscoveryJob) -> Result<Sessio
         if q.shutting_down || q.pending >= shared.max_pending {
             let (shutting_down, pending) = (q.shutting_down, q.pending);
             drop(q);
-            shared.counters.rejected.fetch_add(1, Relaxed);
+            shared.counters.rejected.inc();
             return Err(Saturated {
                 job: Box::new(job),
                 shutting_down,
@@ -678,8 +706,8 @@ fn spawn_session_on(shared: &Arc<EngineShared>, job: DiscoveryJob) -> Session {
         // Count completion *before* publishing the result, so a caller
         // that reads stats right after wait() observes the session.
         match &outcome {
-            Ok(_) => task_shared.counters.sessions.fetch_add(1, Relaxed),
-            Err(_) => task_shared.counters.failed.fetch_add(1, Relaxed),
+            Ok(_) => task_shared.counters.sessions.inc(),
+            Err(_) => task_shared.counters.failed.inc(),
         };
         // The submitter may have dropped the ticket; that is not an
         // engine error.
@@ -713,20 +741,18 @@ fn fold_stats(shards: &[Arc<EngineShared>]) -> EngineStats {
     };
     for shard in shards {
         let cache = shard.cache.stats();
-        stats.executions += shard.counters.executions.load(Relaxed);
+        stats.executions += shard.counters.executions.get();
         stats.cache_hits += cache.hits;
         stats.cache_misses += cache.misses;
         stats.cache_evictions += cache.evictions;
         stats.cache_entries += cache.entries;
-        stats.sessions_completed += shard.counters.sessions.load(Relaxed);
-        stats.sessions_failed += shard.counters.failed.load(Relaxed);
-        stats.sessions_rejected += shard.counters.rejected.load(Relaxed);
+        stats.sessions_completed += shard.counters.sessions.get();
+        stats.sessions_failed += shard.counters.failed.get();
+        stats.sessions_rejected += shard.counters.rejected.get();
         // Peaks on different shards can coincide, so the sum is an upper
         // bound; the max is a sound lower bound. Report the max — the
         // stat answers "how deep did one admission queue get".
-        stats.peak_pending = stats
-            .peak_pending
-            .max(shard.counters.peak_pending.load(Relaxed));
+        stats.peak_pending = stats.peak_pending.max(shard.counters.peak_pending.get());
     }
     stats
 }
@@ -748,19 +774,37 @@ fn fold_stats(shards: &[Arc<EngineShared>]) -> EngineStats {
 /// tier, and a shard only ever sees its own fingerprint slice.
 pub struct ShardedEngine {
     shards: Vec<Arc<EngineShared>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ShardedEngine {
     /// Builds `shards` engine tiers sharing one pool of `config.workers`
-    /// threads.
+    /// threads, with their own `AID_OBS`-gated metrics registry.
     pub fn new(config: EngineConfig, shards: usize) -> Self {
+        ShardedEngine::with_metrics(config, shards, Arc::new(MetricsRegistry::from_env()))
+    }
+
+    /// Builds `shards` tiers whose telemetry registers in `metrics`: tier
+    /// `i` takes the `engine.shard{i}` prefix and the shared pool
+    /// registers `engine.pool.*`.
+    pub fn with_metrics(
+        config: EngineConfig,
+        shards: usize,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         let shards = shards.max(1);
-        let pool = Arc::new(WorkerPool::new(config.workers));
+        let pool = Arc::new(WorkerPool::with_metrics(config.workers, &metrics));
         ShardedEngine {
             shards: (0..shards)
-                .map(|_| EngineShared::build(&config, Arc::clone(&pool)))
+                .map(|i| EngineShared::build(&config, Arc::clone(&pool), &metrics, i))
                 .collect(),
+            metrics,
         }
+    }
+
+    /// The registry this engine's telemetry lives in.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Number of shards.

@@ -1,0 +1,298 @@
+//! Lightweight span tracing: RAII guards over a bounded per-thread ring
+//! journal.
+//!
+//! A [`span!`](crate::span!) guard records `(name, start, duration)` on
+//! drop into the calling thread's journal — a fixed-capacity ring buffer
+//! registered once per thread, so the hot path is one `Instant::now()`
+//! at entry and one uncontended mutex push at exit, with no allocation
+//! after the journal's first use. [`drain_timeline`] collects and clears
+//! every thread's journal into one time-ordered [`Timeline`]; spans a
+//! ring overwrote (beyond [`JOURNAL_CAPACITY`] undrained per thread) are
+//! counted, not silently lost.
+//!
+//! Span names are `&'static str` by design: interning is the compiler's
+//! job, and the journal stays `Copy`-plain.
+//!
+//! The whole plane honors the same `AID_OBS` gate as histograms: when
+//! off, `span!` returns an inert guard and records nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans retained per thread between drains; older spans are overwritten
+/// (and counted as dropped) once a ring wraps.
+pub const JOURNAL_CAPACITY: usize = 4096;
+
+/// One completed span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The static span name (`tier.stage`, e.g. `"engine.execute"`).
+    pub name: &'static str,
+    /// Start time in nanoseconds since the journal epoch (first use of
+    /// the span plane in this process).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// An opaque id distinguishing recording threads.
+    pub thread: u64,
+}
+
+struct Ring {
+    slots: Vec<SpanRecord>,
+    /// Next write position; wraps at capacity.
+    head: usize,
+    /// True once the ring has wrapped at least once since the last drain.
+    wrapped: bool,
+}
+
+struct ThreadJournal {
+    ring: Mutex<Ring>,
+    id: u64,
+}
+
+struct Plane {
+    journals: Mutex<Vec<Arc<ThreadJournal>>>,
+    epoch: Instant,
+    next_thread: AtomicU64,
+    dropped: AtomicU64,
+}
+
+fn plane() -> &'static Plane {
+    static PLANE: OnceLock<Plane> = OnceLock::new();
+    PLANE.get_or_init(|| Plane {
+        journals: Mutex::new(Vec::new()),
+        epoch: Instant::now(),
+        next_thread: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    static JOURNAL: Arc<ThreadJournal> = {
+        let plane = plane();
+        let journal = Arc::new(ThreadJournal {
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(JOURNAL_CAPACITY),
+                head: 0,
+                wrapped: false,
+            }),
+            id: plane.next_thread.fetch_add(1, Ordering::Relaxed),
+        });
+        plane.journals.lock().expect("span journal list").push(Arc::clone(&journal));
+        journal
+    };
+}
+
+/// Whether `span!` records (the `AID_OBS` gate, read once per process).
+pub fn spans_enabled() -> bool {
+    crate::registry::env_enabled()
+}
+
+/// An RAII span: records its name and wall time into the thread journal
+/// when dropped. Construct through the [`span!`](crate::span!) macro.
+#[must_use = "a span measures the scope it lives in"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts a span (inert when the plane is disabled).
+    pub fn enter(name: &'static str) -> SpanGuard {
+        SpanGuard {
+            name,
+            start: spans_enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let plane = plane();
+        let start_ns = start.saturating_duration_since(plane.epoch).as_nanos() as u64;
+        JOURNAL.with(|journal| {
+            let record = SpanRecord {
+                name: self.name,
+                start_ns,
+                dur_ns,
+                thread: journal.id,
+            };
+            let mut ring = journal.ring.lock().expect("span ring");
+            if ring.slots.len() < JOURNAL_CAPACITY {
+                ring.slots.push(record);
+            } else {
+                let head = ring.head;
+                ring.slots[head] = record;
+                ring.wrapped = true;
+                plane.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.head = (ring.head + 1) % JOURNAL_CAPACITY;
+        });
+    }
+}
+
+/// Starts a [`SpanGuard`] measuring the enclosing scope:
+/// `let _span = span!("engine.probe");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+/// Every thread's journal, drained and cleared, merged into start-time
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    /// All drained spans, ascending by `start_ns`.
+    pub spans: Vec<SpanRecord>,
+    /// Spans overwritten (ring wrap) since the previous drain, across
+    /// all threads.
+    pub dropped: u64,
+}
+
+impl Timeline {
+    /// The drained spans carrying `name`, in start order.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> + 'a {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Total recorded duration of the spans carrying `name`.
+    pub fn total_ns(&self, name: &str) -> u64 {
+        self.named(name).map(|s| s.dur_ns).sum()
+    }
+
+    /// A one-line-per-span rendering (start µs, duration µs, thread,
+    /// name), for logs and debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{:>12} +{:<10} t{:<3} {}\n",
+                s.start_ns / 1_000,
+                s.dur_ns / 1_000,
+                s.thread,
+                s.name
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("({} spans dropped by ring wrap)\n", self.dropped));
+        }
+        out
+    }
+}
+
+/// Drains and clears every thread's span journal into one [`Timeline`].
+/// Process-global: intended for one consumer at a time (a test, a
+/// post-run dump); concurrent drains split the spans between them.
+pub fn drain_timeline() -> Timeline {
+    let plane = plane();
+    let mut spans = Vec::new();
+    let journals = plane.journals.lock().expect("span journal list");
+    for journal in journals.iter() {
+        let mut ring = journal.ring.lock().expect("span ring");
+        if ring.wrapped {
+            // Oldest-first: the slice after head is older than the slice
+            // before it once the ring has wrapped.
+            let head = ring.head;
+            spans.extend_from_slice(&ring.slots[head..]);
+            spans.extend_from_slice(&ring.slots[..head]);
+        } else {
+            spans.extend_from_slice(&ring.slots);
+        }
+        ring.slots.clear();
+        ring.head = 0;
+        ring.wrapped = false;
+    }
+    drop(journals);
+    spans.sort_by_key(|s| s.start_ns);
+    Timeline {
+        spans,
+        dropped: plane.dropped.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The span plane is process-global; these tests serialize on one
+    // mutex so drains don't steal each other's spans.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn spans_record_and_drain_in_time_order() {
+        let _serial = serial();
+        drain_timeline();
+        {
+            let _outer = crate::span!("test.outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let _inner = crate::span!("test.inner");
+        }
+        let timeline = drain_timeline();
+        if !spans_enabled() {
+            assert!(timeline.spans.is_empty());
+            return;
+        }
+        assert_eq!(timeline.named("test.outer").count(), 1);
+        assert_eq!(timeline.named("test.inner").count(), 1);
+        // Inner closed first but outer *started* first.
+        let outer = timeline.named("test.outer").next().unwrap();
+        let inner = timeline.named("test.inner").next().unwrap();
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.dur_ns >= inner.dur_ns);
+        assert!(timeline.total_ns("test.outer") >= 1_000_000);
+        assert!(timeline.render().contains("test.outer"));
+    }
+
+    #[test]
+    fn journal_is_bounded_and_counts_drops() {
+        let _serial = serial();
+        drain_timeline();
+        if !spans_enabled() {
+            return;
+        }
+        for _ in 0..(JOURNAL_CAPACITY + 100) {
+            let _span = crate::span!("test.flood");
+        }
+        let timeline = drain_timeline();
+        let flood = timeline.named("test.flood").count();
+        assert!(flood <= JOURNAL_CAPACITY, "ring exceeded capacity: {flood}");
+        assert!(timeline.dropped >= 100, "dropped={}", timeline.dropped);
+        // A drained journal starts empty again.
+        assert_eq!(drain_timeline().named("test.flood").count(), 0);
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_with_thread_ids() {
+        let _serial = serial();
+        drain_timeline();
+        if !spans_enabled() {
+            return;
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _span = crate::span!("test.worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let timeline = drain_timeline();
+        assert_eq!(timeline.named("test.worker").count(), 4);
+        let mut threads: Vec<u64> = timeline.named("test.worker").map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 4, "each worker thread gets its own id");
+    }
+}

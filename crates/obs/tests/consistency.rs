@@ -1,0 +1,95 @@
+//! Snapshot-consistency hammer: writers flood one histogram while a
+//! reader snapshots — every snapshot must be internally consistent
+//! (bucket sum == recorded count; counts monotone across snapshots).
+
+use aid_obs::{MetricValue, MetricsRegistry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn hammered_histogram_snapshots_are_never_torn() {
+    const WRITERS: usize = 8;
+    const PER_WRITER: u64 = 50_000;
+
+    let registry = Arc::new(MetricsRegistry::enabled());
+    let histogram = registry.histogram("hammer.lat_us");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let h = histogram.clone();
+            std::thread::spawn(move || {
+                // Values spread across many buckets so torn bucket reads
+                // would actually show up as sum/count mismatches.
+                for i in 0..PER_WRITER {
+                    h.record((i ^ (w as u64) << 7) % 1_000_000);
+                }
+            })
+        })
+        .collect();
+
+    let reader = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut snapshots = 0u64;
+            let mut last_count = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = registry.snapshot();
+                let h = snap.histogram("hammer.lat_us").expect("registered");
+                let bucket_sum: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+                assert_eq!(
+                    bucket_sum, h.count,
+                    "torn snapshot: buckets sum to {bucket_sum}, count says {}",
+                    h.count
+                );
+                assert!(
+                    h.count >= last_count,
+                    "count went backwards: {last_count} -> {}",
+                    h.count
+                );
+                last_count = h.count;
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    for w in writers {
+        w.join().expect("writer");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots = reader.join().expect("reader");
+    assert!(snapshots > 0, "reader never snapshotted");
+
+    // Quiescent: the final snapshot accounts for every record exactly.
+    let total = (WRITERS as u64) * PER_WRITER;
+    let snap = registry.snapshot();
+    let h = snap.histogram("hammer.lat_us").unwrap();
+    assert_eq!(h.count, total);
+    assert_eq!(h.buckets.iter().map(|&(_, n)| n).sum::<u64>(), total);
+    assert!(h.max < 1_000_000);
+    assert!(h.quantile(0.99) <= h.max.next_power_of_two());
+}
+
+#[test]
+fn snapshot_freezes_counters_and_histograms_together() {
+    let registry = MetricsRegistry::enabled();
+    let c = registry.counter("pair.ops");
+    let h = registry.histogram("pair.lat_us");
+    for i in 0..1000 {
+        c.inc();
+        h.record(i);
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("pair.ops"), Some(1000));
+    assert_eq!(snap.histogram("pair.lat_us").unwrap().count, 1000);
+    // The snapshot is a frozen copy: later traffic doesn't move it.
+    c.add(50);
+    h.record(1);
+    assert_eq!(snap.counter("pair.ops"), Some(1000));
+    match snap.get("pair.lat_us") {
+        Some(MetricValue::Histogram(frozen)) => assert_eq!(frozen.count, 1000),
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}

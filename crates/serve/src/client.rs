@@ -399,6 +399,16 @@ impl<C: Read + Write> AidClient<C> {
         }
     }
 
+    /// Fetches the unified telemetry snapshot: every registered counter,
+    /// gauge and latency histogram across the server's tiers, taken
+    /// consistently under the registry lock.
+    pub fn metrics(&mut self) -> Result<aid_obs::MetricsSnapshot, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsReply(snapshot) => Ok(snapshot),
+            other => Err(unexpected("MetricsReply", other)),
+        }
+    }
+
     /// Cancels a session; returns whether the server knew the id.
     pub fn cancel(&mut self, session: u32) -> Result<bool, ClientError> {
         match self.call(&Request::Cancel { session })? {
@@ -491,6 +501,7 @@ fn unexpected(expected: &'static str, got: Response) -> ClientError {
         Response::Subscribed { .. } => "Subscribed".to_string(),
         Response::WatchEvents { .. } => "WatchEvents".to_string(),
         Response::Unsubscribed { .. } => "Unsubscribed".to_string(),
+        Response::MetricsReply(_) => "MetricsReply".to_string(),
     };
     ClientError::Unexpected { expected, got }
 }

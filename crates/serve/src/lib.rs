@@ -61,6 +61,7 @@ pub mod server;
 pub mod transport;
 pub mod wire;
 
+pub use aid_obs::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 pub use client::{
     Admission, AidClient, ClientError, Overload, SubmitSpec, TailReport, UploadReport, WatchSpec,
 };

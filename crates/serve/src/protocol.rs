@@ -13,6 +13,7 @@
 use crate::wire::{self, put_bytes, put_string, Reader, WireError};
 use aid_core::{DiscoverOptions, DiscoveryResult, Phase, RoundLog, Strategy};
 use aid_lab::{BugClass, ScenarioSpec};
+use aid_obs::{HistogramSnapshot, MetricEntry, MetricValue, MetricsSnapshot};
 use aid_predicates::PredicateId;
 use aid_trace::{FailureSignature, MethodId};
 use aid_watch::WatchEvent;
@@ -467,6 +468,12 @@ pub enum Request {
         /// The watch id from `Subscribed`.
         watch: u32,
     },
+    /// Requests the unified telemetry snapshot: every registered counter,
+    /// gauge and latency histogram across the reactor, handler pool,
+    /// engine shards, stores and watchers, taken consistently under the
+    /// registry lock. `Stats` remains the fixed-layout summary; this is
+    /// the full plane.
+    Metrics,
 }
 
 const REQ_HELLO: u8 = 1;
@@ -482,6 +489,7 @@ const REQ_GOODBYE: u8 = 10;
 const REQ_SUBSCRIBE: u8 = 11;
 const REQ_STREAM_TAIL: u8 = 12;
 const REQ_UNSUBSCRIBE: u8 = 13;
+const REQ_METRICS: u8 = 14;
 
 impl Request {
     /// Encodes the request as one complete frame.
@@ -569,6 +577,7 @@ impl Request {
                 p.put_u32_le(*watch);
                 REQ_UNSUBSCRIBE
             }
+            Request::Metrics => REQ_METRICS,
         };
         wire::frame(kind, &p)
     }
@@ -618,6 +627,7 @@ impl Request {
                 fin: r.bool("tail fin flag")?,
             },
             REQ_UNSUBSCRIBE => Request::Unsubscribe { watch: r.u32()? },
+            REQ_METRICS => Request::Metrics,
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "request kind",
@@ -805,12 +815,10 @@ pub struct ServerStats {
     pub watches_subscribed: u64,
     /// Watch events emitted to clients.
     pub watch_events: u64,
-    /// Idle read-timeout ticks across connection handlers (the exponential
-    /// backoff keeps this near-constant per idle second, not per 100 ms).
-    /// Under the reactor this stays zero: idle connections are registered
-    /// fds/wakers, not timed reads.
-    pub idle_ticks: u64,
-    // --- appended by the reactor revision.
+    // --- appended by the reactor revision. (The thread-per-connection
+    // era's `idle_ticks` field, permanently zero under the reactor, was
+    // removed from the struct; its wire slot is retained as a reserved
+    // zero so the flat u64 layout below keeps every later field's index.)
     /// Engine shards the server routes across (1 = unsharded).
     pub engine_shards: u64,
     /// Highest simultaneously-open connection count observed.
@@ -869,7 +877,8 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
         s.view_skipped,
         s.watches_subscribed,
         s.watch_events,
-        s.idle_ticks,
+        // Reserved: the retired `idle_ticks` slot (always zero).
+        0,
         s.engine_shards,
         s.peak_connections,
         s.handler_dispatches,
@@ -879,7 +888,7 @@ fn put_stats(buf: &mut Vec<u8>, s: &ServerStats) {
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
-    Ok(ServerStats {
+    let mut stats = ServerStats {
         connections: r.u64()?,
         connections_refused: r.u64()?,
         active_connections: r.u64()?,
@@ -909,11 +918,111 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServerStats, WireError> {
         view_skipped: r.u64()?,
         watches_subscribed: r.u64()?,
         watch_events: r.u64()?,
-        idle_ticks: r.u64()?,
-        engine_shards: r.u64()?,
-        peak_connections: r.u64()?,
-        handler_dispatches: r.u64()?,
+        engine_shards: 0,
+        peak_connections: 0,
+        handler_dispatches: 0,
+    };
+    // Tail tolerance: the stats payload grows by appending u64 slots, and
+    // a failed `take` never advances the reader, so a shorter frame from
+    // an older server decodes with the missing tail as zero and still
+    // passes `expect_empty`. The first tail slot is the retired
+    // `idle_ticks` field, kept as a reserved zero on encode.
+    let _reserved_idle_ticks = r.u64().unwrap_or(0);
+    stats.engine_shards = r.u64().unwrap_or(0);
+    stats.peak_connections = r.u64().unwrap_or(0);
+    stats.handler_dispatches = r.u64().unwrap_or(0);
+    Ok(stats)
+}
+
+fn put_metric_value(buf: &mut Vec<u8>, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(v) => {
+            buf.put_u8(0);
+            buf.put_u64_le(*v);
+        }
+        MetricValue::Gauge(v) => {
+            buf.put_u8(1);
+            buf.put_u64_le(*v);
+        }
+        MetricValue::Histogram(h) => {
+            buf.put_u8(2);
+            buf.put_u64_le(h.count);
+            buf.put_u64_le(h.sum);
+            buf.put_u64_le(h.max);
+            buf.put_u32_le(h.buckets.len() as u32);
+            for (index, count) in &h.buckets {
+                buf.put_u8(*index);
+                buf.put_u64_le(*count);
+            }
+        }
+    }
+}
+
+/// Bytes of one occupied histogram bucket on the wire: index + count.
+const BUCKET_BYTES: usize = 9;
+/// Smallest possible metric entry: empty name (4-byte length prefix),
+/// kind tag, u64 value.
+const MIN_METRIC_BYTES: usize = 13;
+
+fn get_metric_value(r: &mut Reader<'_>) -> Result<MetricValue, WireError> {
+    Ok(match r.u8()? {
+        0 => MetricValue::Counter(r.u64()?),
+        1 => MetricValue::Gauge(r.u64()?),
+        2 => {
+            let count = r.u64()?;
+            let sum = r.u64()?;
+            let max = r.u64()?;
+            let n = r.u32()? as usize;
+            if r.remaining() / BUCKET_BYTES < n {
+                return Err(WireError::Truncated {
+                    needed: n * BUCKET_BYTES,
+                    available: r.remaining(),
+                });
+            }
+            let mut buckets = Vec::with_capacity(n);
+            for _ in 0..n {
+                buckets.push((r.u8()?, r.u64()?));
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                count,
+                sum,
+                max,
+                buckets,
+            })
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "metric value",
+                tag,
+            })
+        }
     })
+}
+
+fn put_metrics(buf: &mut Vec<u8>, snapshot: &MetricsSnapshot) {
+    buf.put_u32_le(snapshot.entries.len() as u32);
+    for entry in &snapshot.entries {
+        put_string(buf, &entry.name);
+        put_metric_value(buf, &entry.value);
+    }
+}
+
+fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let n = r.u32()? as usize;
+    if r.remaining() / MIN_METRIC_BYTES < n {
+        return Err(WireError::Truncated {
+            needed: n * MIN_METRIC_BYTES,
+            available: r.remaining(),
+        });
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(MetricEntry {
+            name: r.string()?,
+            value: get_metric_value(r)?,
+        });
+    }
+    Ok(MetricsSnapshot { entries })
 }
 
 /// A server-to-client frame.
@@ -1013,6 +1122,8 @@ pub enum Response {
         /// Whether the id named a live watch.
         existed: bool,
     },
+    /// Answer to `Metrics`: the full telemetry snapshot.
+    MetricsReply(MetricsSnapshot),
 }
 
 const RESP_HELLO_OK: u8 = 1;
@@ -1028,6 +1139,7 @@ const RESP_BYE: u8 = 10;
 const RESP_SUBSCRIBED: u8 = 11;
 const RESP_WATCH_EVENTS: u8 = 12;
 const RESP_UNSUBSCRIBED: u8 = 13;
+const RESP_METRICS: u8 = 14;
 
 impl Response {
     /// Encodes the response as one complete frame.
@@ -1126,6 +1238,10 @@ impl Response {
                 p.put_u8(*existed as u8);
                 RESP_UNSUBSCRIBED
             }
+            Response::MetricsReply(snapshot) => {
+                put_metrics(&mut p, snapshot);
+                RESP_METRICS
+            }
         };
         wire::frame(kind, &p)
     }
@@ -1200,6 +1316,7 @@ impl Response {
                 watch: r.u32()?,
                 existed: r.bool("unsubscribe existed flag")?,
             },
+            RESP_METRICS => Response::MetricsReply(get_metrics(&mut r)?),
             tag => {
                 return Err(WireError::UnknownTag {
                     what: "response kind",
@@ -1338,6 +1455,83 @@ mod tests {
         let bytes = resp.encode();
         let (back, _) = Response::decode(&bytes, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
         assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn metrics_reply_round_trips_every_value_kind() {
+        let resp = Response::MetricsReply(MetricsSnapshot {
+            entries: vec![
+                MetricEntry {
+                    name: "engine.shard0.cache.hits".into(),
+                    value: MetricValue::Counter(42),
+                },
+                MetricEntry {
+                    name: "serve.active_connections".into(),
+                    value: MetricValue::Gauge(3),
+                },
+                MetricEntry {
+                    name: "serve.reactor.dwell_us".into(),
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        count: 10,
+                        sum: 1234,
+                        max: 900,
+                        buckets: vec![(0, 1), (7, 6), (10, 3)],
+                    }),
+                },
+            ],
+        });
+        let bytes = resp.encode();
+        let (back, consumed) = Response::decode(&bytes, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn metrics_reply_bounds_allocation_by_payload_size() {
+        // A claimed entry count far beyond what the payload holds must be
+        // refused before any allocation, not trusted.
+        let mut p = Vec::new();
+        p.put_u32_le(u32::MAX);
+        let frame = wire::frame(RESP_METRICS, &p);
+        let (kind, payload, _) = wire::split_frame(&frame, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(matches!(
+            Response::decode_payload(kind, payload),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    /// A stats frame from the thread-per-connection era — 30 u64 slots
+    /// ending at the (then-live) `idle_ticks` counter — still decodes:
+    /// the reserved slot is discarded and the reactor-era tail fields
+    /// come back zero.
+    #[test]
+    fn pre_reactor_stats_frames_still_decode() {
+        let stats = ServerStats {
+            connections: 7,
+            frames_in: 21,
+            watch_events: 5,
+            engine_shards: 4,
+            peak_connections: 3,
+            handler_dispatches: 19,
+            ..ServerStats::default()
+        };
+        let mut bytes = Response::StatsOk(stats.clone()).encode();
+        // Truncate to the 30-slot layout (the 30th slot is the reserved
+        // zero that was `idle_ticks`) and fix up the length field.
+        bytes.truncate(wire::HEADER_LEN + 30 * 8);
+        let len = (bytes.len() - wire::HEADER_LEN) as u32;
+        bytes[6..10].copy_from_slice(&len.to_le_bytes());
+        let (back, _) = Response::decode(&bytes, wire::DEFAULT_MAX_FRAME_LEN).unwrap();
+        let Response::StatsOk(back) = back else {
+            panic!("expected StatsOk, got {back:?}");
+        };
+        assert_eq!(back.connections, 7);
+        assert_eq!(back.frames_in, 21);
+        assert_eq!(back.watch_events, 5);
+        // The reactor-era tail was not on the wire: it decodes as zero.
+        assert_eq!(back.engine_shards, 0);
+        assert_eq!(back.peak_connections, 0);
+        assert_eq!(back.handler_dispatches, 0);
     }
 
     #[test]

@@ -88,6 +88,8 @@ struct HandlerJob {
     token: usize,
     request: Request,
     ctx: ClientCtx,
+    /// Dispatch instant, for the queue-wait and whole-frame histograms.
+    queued: Instant,
 }
 
 /// A finished request: the context comes back with the responses.
@@ -96,6 +98,10 @@ struct HandlerDone {
     ctx: ClientCtx,
     responses: Vec<Response>,
     after: After,
+    /// The job's dispatch instant, carried through so the reactor can
+    /// close the `serve.frame_us` measurement when it queues the
+    /// responses for write.
+    dispatched: Instant,
 }
 
 /// Where a connection's state machine currently is.
@@ -161,15 +167,26 @@ where
                         token,
                         request,
                         mut ctx,
+                        queued,
                     }) = job_rx.recv()
                     {
+                        shared
+                            .timings
+                            .handler_queue_wait
+                            .record_duration(queued.elapsed());
+                        let handling = Instant::now();
                         let (responses, after) = handle_request(&shared, &mut ctx, request);
+                        shared
+                            .timings
+                            .handler_handle
+                            .record_duration(handling.elapsed());
                         if done_tx
                             .send(HandlerDone {
                                 token,
                                 ctx,
                                 responses,
                                 after,
+                                dispatched: queued,
                             })
                             .is_err()
                         {
@@ -189,6 +206,8 @@ where
     let mut next_token = FIRST_CONN_TOKEN;
     let mut listener_alive = true;
     let mut scratch = vec![0u8; 16 * 1024];
+    // Start of the current wakeup, for the reactor dwell histogram.
+    let mut woke = Instant::now();
 
     loop {
         let shutting_down = shared.shutdown.load(Relaxed);
@@ -202,6 +221,11 @@ where
             for response in &done.responses {
                 queue_response(&shared, conn, response);
             }
+            // Frame turnaround closes here: dispatch to responses queued.
+            shared
+                .timings
+                .frame
+                .record_duration(done.dispatched.elapsed());
             conn.phase = match done.after {
                 After::Continue => Phase::Reading,
                 After::Close => {
@@ -256,12 +280,13 @@ where
             if let Some(request) = conn.pending.pop_front() {
                 let ctx = conn.ctx.take().expect("reading phase holds the ctx");
                 conn.phase = Phase::Handling;
-                shared.counters.handler_dispatches.fetch_add(1, Relaxed);
+                shared.counters.handler_dispatches.inc();
                 job_tx
                     .send(HandlerJob {
                         token: *token,
                         request,
                         ctx,
+                        queued: Instant::now(),
                     })
                     .expect("handler pool outlives the reactor");
             }
@@ -295,9 +320,13 @@ where
             break;
         }
 
-        // Park until something is ready (or the next stream tick).
+        // Park until something is ready (or the next stream tick). The
+        // dwell histogram covers wake-to-park: everything this wakeup
+        // spent draining, dispatching, flushing and retiring.
+        shared.timings.reactor_dwell.record_duration(woke.elapsed());
         let timeout = park_timeout(&listener_source, &conns, now);
         let ready = wait_for_events(&signal, &listener_source, &mut conns, timeout);
+        woke = Instant::now();
 
         // Accept — readiness-driven where the listener supports it,
         // speculative for `Poll` fallback listeners.
@@ -423,7 +452,7 @@ where
                     .counters
                     .try_reserve_connection(shared.config.max_connections as u64)
                 {
-                    shared.counters.connections_refused.fetch_add(1, Relaxed);
+                    shared.counters.connections_refused.inc();
                     let refusal = Response::Error {
                         code: ErrorCode::TooManyConnections,
                         message: format!(
@@ -434,15 +463,12 @@ where
                     .encode();
                     // Still in blocking mode — write the refusal directly.
                     if wire::write_frame(&mut io, &refusal).is_ok() {
-                        shared.counters.frames_out.fetch_add(1, Relaxed);
-                        shared
-                            .counters
-                            .bytes_out
-                            .fetch_add(refusal.len() as u64, Relaxed);
+                        shared.counters.frames_out.inc();
+                        shared.counters.bytes_out.add(refusal.len() as u64);
                     }
                     continue;
                 }
-                shared.counters.connections.fetch_add(1, Relaxed);
+                shared.counters.connections.inc();
                 let token = *next_token;
                 *next_token += 1;
                 let source = match io
@@ -505,11 +531,11 @@ fn read_conn<C: EventConn>(shared: &Arc<ServerShared>, conn: &mut Conn<C>, scrat
     loop {
         match conn.accum.next_frame() {
             Ok(Some((kind, payload))) => {
-                shared.counters.frames_in.fetch_add(1, Relaxed);
+                shared.counters.frames_in.inc();
                 shared
                     .counters
                     .bytes_in
-                    .fetch_add((wire::HEADER_LEN + payload.len()) as u64, Relaxed);
+                    .add((wire::HEADER_LEN + payload.len()) as u64);
                 match Request::decode_payload(kind, &payload) {
                     Ok(request) => conn.pending.push_back(request),
                     Err(e) => return protocol_error(shared, conn, e),
@@ -522,7 +548,7 @@ fn read_conn<C: EventConn>(shared: &Arc<ServerShared>, conn: &mut Conn<C>, scrat
 }
 
 fn protocol_error<C: EventConn>(shared: &Arc<ServerShared>, conn: &mut Conn<C>, e: WireError) {
-    shared.counters.protocol_errors.fetch_add(1, Relaxed);
+    shared.counters.protocol_errors.inc();
     queue_response(
         shared,
         conn,
@@ -596,11 +622,8 @@ fn queue_response<C: EventConn>(
     response: &Response,
 ) {
     let frame = response.encode();
-    shared.counters.frames_out.fetch_add(1, Relaxed);
-    shared
-        .counters
-        .bytes_out
-        .fetch_add(frame.len() as u64, Relaxed);
+    shared.counters.frames_out.inc();
+    shared.counters.bytes_out.add(frame.len() as u64);
     conn.outbuf.extend_from_slice(&frame);
 }
 

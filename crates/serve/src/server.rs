@@ -41,15 +41,16 @@ use crate::wire::{self, PROTOCOL_VERSION};
 use aid_cases::all_cases;
 use aid_core::Strategy;
 use aid_engine::{DiscoveryJob, EngineConfig, EngineHandle, Session, SessionPoll, ShardedEngine};
+use aid_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use aid_sim::Simulator;
 use aid_store::{RetentionPolicy, StoreConfig, TraceStore};
 use aid_synth::SynthParams;
 use aid_watch::{WatchConfig, Watcher};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server sizing and policy knobs.
 #[derive(Clone, Debug)]
@@ -121,38 +122,102 @@ impl Default for ServeConfig {
 }
 
 /// Lock-free server-side counters (the non-engine half of
-/// [`ServerStats`]).
-#[derive(Default)]
+/// [`ServerStats`]), held as [`aid_obs`] registry handles: the wire
+/// `Stats` reply and the `Metrics` exposition read the same cells, so
+/// the two can never disagree.
 pub(crate) struct Counters {
-    pub(crate) connections: AtomicU64,
-    pub(crate) connections_refused: AtomicU64,
-    active_connections: AtomicU64,
-    pub(crate) frames_in: AtomicU64,
-    pub(crate) frames_out: AtomicU64,
-    pub(crate) bytes_in: AtomicU64,
-    pub(crate) bytes_out: AtomicU64,
-    upload_chunks: AtomicU64,
-    traces_ingested: AtomicU64,
-    records_quarantined: AtomicU64,
-    sessions_accepted: AtomicU64,
-    rejected_client: AtomicU64,
-    rejected_engine: AtomicU64,
-    sessions_cancelled: AtomicU64,
-    sessions_delivered: AtomicU64,
-    sessions_lost: AtomicU64,
-    pub(crate) protocol_errors: AtomicU64,
-    store_evicted: AtomicU64,
-    store_compactions: AtomicU64,
-    view_reprobed: AtomicU64,
-    view_skipped: AtomicU64,
-    watches_subscribed: AtomicU64,
-    watch_events: AtomicU64,
-    idle_ticks: AtomicU64,
-    peak_connections: AtomicU64,
-    pub(crate) handler_dispatches: AtomicU64,
+    pub(crate) connections: Counter,
+    pub(crate) connections_refused: Counter,
+    active_connections: Gauge,
+    pub(crate) frames_in: Counter,
+    pub(crate) frames_out: Counter,
+    pub(crate) bytes_in: Counter,
+    pub(crate) bytes_out: Counter,
+    upload_chunks: Counter,
+    traces_ingested: Counter,
+    records_quarantined: Counter,
+    sessions_accepted: Counter,
+    rejected_client: Counter,
+    rejected_engine: Counter,
+    sessions_cancelled: Counter,
+    sessions_delivered: Counter,
+    sessions_lost: Counter,
+    pub(crate) protocol_errors: Counter,
+    store_evicted: Counter,
+    store_compactions: Counter,
+    view_reprobed: Counter,
+    view_skipped: Counter,
+    watches_subscribed: Counter,
+    watch_events: Counter,
+    peak_connections: Gauge,
+    pub(crate) handler_dispatches: Counter,
+}
+
+impl Default for Counters {
+    /// Detached (unregistered) cells, for tests that exercise the
+    /// reservation logic without a server.
+    fn default() -> Self {
+        Counters {
+            connections: Counter::detached(),
+            connections_refused: Counter::detached(),
+            active_connections: Gauge::detached(),
+            frames_in: Counter::detached(),
+            frames_out: Counter::detached(),
+            bytes_in: Counter::detached(),
+            bytes_out: Counter::detached(),
+            upload_chunks: Counter::detached(),
+            traces_ingested: Counter::detached(),
+            records_quarantined: Counter::detached(),
+            sessions_accepted: Counter::detached(),
+            rejected_client: Counter::detached(),
+            rejected_engine: Counter::detached(),
+            sessions_cancelled: Counter::detached(),
+            sessions_delivered: Counter::detached(),
+            sessions_lost: Counter::detached(),
+            protocol_errors: Counter::detached(),
+            store_evicted: Counter::detached(),
+            store_compactions: Counter::detached(),
+            view_reprobed: Counter::detached(),
+            view_skipped: Counter::detached(),
+            watches_subscribed: Counter::detached(),
+            watch_events: Counter::detached(),
+            peak_connections: Gauge::detached(),
+            handler_dispatches: Counter::detached(),
+        }
+    }
 }
 
 impl Counters {
+    /// Registers every server counter in `metrics` under `serve.*`.
+    fn new(metrics: &MetricsRegistry) -> Counters {
+        Counters {
+            connections: metrics.counter("serve.connections"),
+            connections_refused: metrics.counter("serve.connections_refused"),
+            active_connections: metrics.gauge("serve.active_connections"),
+            frames_in: metrics.counter("serve.frames_in"),
+            frames_out: metrics.counter("serve.frames_out"),
+            bytes_in: metrics.counter("serve.bytes_in"),
+            bytes_out: metrics.counter("serve.bytes_out"),
+            upload_chunks: metrics.counter("serve.upload_chunks"),
+            traces_ingested: metrics.counter("serve.traces_ingested"),
+            records_quarantined: metrics.counter("serve.records_quarantined"),
+            sessions_accepted: metrics.counter("serve.sessions_accepted"),
+            rejected_client: metrics.counter("serve.rejected_client"),
+            rejected_engine: metrics.counter("serve.rejected_engine"),
+            sessions_cancelled: metrics.counter("serve.sessions_cancelled"),
+            sessions_delivered: metrics.counter("serve.sessions_delivered"),
+            sessions_lost: metrics.counter("serve.sessions_lost"),
+            protocol_errors: metrics.counter("serve.protocol_errors"),
+            store_evicted: metrics.counter("serve.store.evicted"),
+            store_compactions: metrics.counter("serve.store.compactions"),
+            view_reprobed: metrics.counter("serve.view.reprobed"),
+            view_skipped: metrics.counter("serve.view.skipped"),
+            watches_subscribed: metrics.counter("serve.watches_subscribed"),
+            watch_events: metrics.counter("serve.watch_events"),
+            peak_connections: metrics.gauge("serve.peak_connections"),
+            handler_dispatches: metrics.counter("serve.handler_dispatches"),
+        }
+    }
     /// Atomically claims a connection slot below `max`, or refuses.
     ///
     /// This must be a single CAS, not a load-then-increment: the load's
@@ -163,13 +228,11 @@ impl Counters {
     pub(crate) fn try_reserve_connection(&self, max: u64) -> bool {
         let reserved = self
             .active_connections
-            .fetch_update(Relaxed, Relaxed, |active| {
-                (active < max).then_some(active + 1)
-            })
+            .fetch_update(|active| (active < max).then_some(active + 1))
             .is_ok();
         if reserved {
             self.peak_connections
-                .fetch_max(self.active_connections.load(Relaxed), Relaxed);
+                .record_max(self.active_connections.get());
         }
         reserved
     }
@@ -177,7 +240,37 @@ impl Counters {
     /// Returns a reservation taken by
     /// [`Counters::try_reserve_connection`].
     pub(crate) fn release_connection(&self) {
-        self.active_connections.fetch_sub(1, Relaxed);
+        self.active_connections.sub(1);
+    }
+}
+
+/// The server's latency histograms, one handle per timed path. Registered
+/// alongside [`Counters`] so a single snapshot carries both.
+pub(crate) struct Timings {
+    /// Reactor wake-to-park dwell: how long one reactor wakeup spends
+    /// draining completions, dispatching, flushing and retiring before it
+    /// parks again — the head-of-line budget every connection shares.
+    pub(crate) reactor_dwell: Histogram,
+    /// Handler-pool queue wait: dispatch to dequeue.
+    pub(crate) handler_queue_wait: Histogram,
+    /// Pure request-handling time inside a handler thread.
+    pub(crate) handler_handle: Histogram,
+    /// Full frame turnaround: reactor dispatch to responses queued for
+    /// write (queue wait + handling + completion-drain latency).
+    pub(crate) frame: Histogram,
+    /// One standing-query `tick()` (discovery probes run to completion).
+    pub(crate) watch_tick: Histogram,
+}
+
+impl Timings {
+    fn new(metrics: &MetricsRegistry) -> Timings {
+        Timings {
+            reactor_dwell: metrics.histogram("serve.reactor.dwell_us"),
+            handler_queue_wait: metrics.histogram("serve.handler.queue_wait_us"),
+            handler_handle: metrics.histogram("serve.handler.handle_us"),
+            frame: metrics.histogram("serve.frame_us"),
+            watch_tick: metrics.histogram("serve.watch.tick_us"),
+        }
     }
 }
 
@@ -185,6 +278,10 @@ pub(crate) struct ServerShared {
     pub(crate) config: ServeConfig,
     pub(crate) engine: ShardedEngine,
     pub(crate) counters: Counters,
+    pub(crate) timings: Timings,
+    /// The unified registry: engine shards, pool, store and serve tiers
+    /// all register here, so one snapshot is the whole server.
+    pub(crate) metrics: Arc<MetricsRegistry>,
     pub(crate) shutdown: AtomicBool,
     next_session: AtomicU32,
 }
@@ -205,39 +302,38 @@ impl ServerShared {
         let c = &self.counters;
         let e = self.engine.stats();
         ServerStats {
-            connections: c.connections.load(Relaxed),
-            connections_refused: c.connections_refused.load(Relaxed),
-            active_connections: c.active_connections.load(Relaxed),
-            frames_in: c.frames_in.load(Relaxed),
-            frames_out: c.frames_out.load(Relaxed),
-            bytes_in: c.bytes_in.load(Relaxed),
-            bytes_out: c.bytes_out.load(Relaxed),
-            upload_chunks: c.upload_chunks.load(Relaxed),
-            traces_ingested: c.traces_ingested.load(Relaxed),
-            records_quarantined: c.records_quarantined.load(Relaxed),
-            sessions_accepted: c.sessions_accepted.load(Relaxed),
-            rejected_client: c.rejected_client.load(Relaxed),
-            rejected_engine: c.rejected_engine.load(Relaxed),
-            sessions_cancelled: c.sessions_cancelled.load(Relaxed),
-            sessions_delivered: c.sessions_delivered.load(Relaxed),
-            sessions_lost: c.sessions_lost.load(Relaxed),
-            protocol_errors: c.protocol_errors.load(Relaxed),
+            connections: c.connections.get(),
+            connections_refused: c.connections_refused.get(),
+            active_connections: c.active_connections.get(),
+            frames_in: c.frames_in.get(),
+            frames_out: c.frames_out.get(),
+            bytes_in: c.bytes_in.get(),
+            bytes_out: c.bytes_out.get(),
+            upload_chunks: c.upload_chunks.get(),
+            traces_ingested: c.traces_ingested.get(),
+            records_quarantined: c.records_quarantined.get(),
+            sessions_accepted: c.sessions_accepted.get(),
+            rejected_client: c.rejected_client.get(),
+            rejected_engine: c.rejected_engine.get(),
+            sessions_cancelled: c.sessions_cancelled.get(),
+            sessions_delivered: c.sessions_delivered.get(),
+            sessions_lost: c.sessions_lost.get(),
+            protocol_errors: c.protocol_errors.get(),
             executions: e.executions,
             cache_hits: e.cache_hits,
             cache_misses: e.cache_misses,
             cache_entries: e.cache_entries as u64,
             sessions_completed: e.sessions_completed,
             peak_pending: e.peak_pending,
-            store_evicted: c.store_evicted.load(Relaxed),
-            store_compactions: c.store_compactions.load(Relaxed),
-            view_reprobed: c.view_reprobed.load(Relaxed),
-            view_skipped: c.view_skipped.load(Relaxed),
-            watches_subscribed: c.watches_subscribed.load(Relaxed),
-            watch_events: c.watch_events.load(Relaxed),
-            idle_ticks: c.idle_ticks.load(Relaxed),
+            store_evicted: c.store_evicted.get(),
+            store_compactions: c.store_compactions.get(),
+            view_reprobed: c.view_reprobed.get(),
+            view_skipped: c.view_skipped.get(),
+            watches_subscribed: c.watches_subscribed.get(),
+            watch_events: c.watch_events.get(),
             engine_shards: self.engine.shard_count() as u64,
-            peak_connections: c.peak_connections.load(Relaxed),
-            handler_dispatches: c.handler_dispatches.load(Relaxed),
+            peak_connections: c.peak_connections.get(),
+            handler_dispatches: c.handler_dispatches.get(),
         }
     }
 }
@@ -253,11 +349,15 @@ impl Server {
     where
         L::Conn: EventConn,
     {
-        let engine = ShardedEngine::new(config.engine, config.engine_shards);
+        let metrics = Arc::new(MetricsRegistry::from_env());
+        let engine =
+            ShardedEngine::with_metrics(config.engine, config.engine_shards, Arc::clone(&metrics));
         let shared = Arc::new(ServerShared {
             config,
             engine,
-            counters: Counters::default(),
+            counters: Counters::new(&metrics),
+            timings: Timings::new(&metrics),
+            metrics,
             shutdown: AtomicBool::new(false),
             next_session: AtomicU32::new(1),
         });
@@ -366,24 +466,16 @@ impl StoreFold {
             reprobed: stats.view.predicates_reprobed,
             skipped: stats.view.predicates_skipped,
         };
-        counters
-            .traces_ingested
-            .fetch_add(now.traces - self.traces, Relaxed);
+        counters.traces_ingested.add(now.traces - self.traces);
         counters
             .records_quarantined
-            .fetch_add(now.quarantined - self.quarantined, Relaxed);
-        counters
-            .store_evicted
-            .fetch_add(now.evicted - self.evicted, Relaxed);
+            .add(now.quarantined - self.quarantined);
+        counters.store_evicted.add(now.evicted - self.evicted);
         counters
             .store_compactions
-            .fetch_add(now.compactions - self.compactions, Relaxed);
-        counters
-            .view_reprobed
-            .fetch_add(now.reprobed - self.reprobed, Relaxed);
-        counters
-            .view_skipped
-            .fetch_add(now.skipped - self.skipped, Relaxed);
+            .add(now.compactions - self.compactions);
+        counters.view_reprobed.add(now.reprobed - self.reprobed);
+        counters.view_skipped.add(now.skipped - self.skipped);
         *self = now;
     }
 }
@@ -416,7 +508,11 @@ pub(crate) struct ClientCtx {
 impl ClientCtx {
     pub(crate) fn new(shared: &ServerShared) -> ClientCtx {
         ClientCtx {
-            store: TraceStore::with_pool(shared.config.store.clone(), shared.engine_pool()),
+            store: TraceStore::with_metrics(
+                shared.config.store.clone(),
+                Some(shared.engine_pool()),
+                &shared.metrics,
+            ),
             sessions: HashMap::new(),
             watches: HashMap::new(),
             next_watch: 1,
@@ -492,7 +588,11 @@ pub(crate) fn handle_request(
                     // reset the cursor: the fresh store's counters
                     // restart at zero.
                     ctx.folded.fold(&shared.counters, &ctx.store.stats());
-                    ctx.store = TraceStore::with_pool(store_config, shared.engine_pool());
+                    ctx.store = TraceStore::with_metrics(
+                        store_config,
+                        Some(shared.engine_pool()),
+                        &shared.metrics,
+                    );
                     ctx.folded = StoreFold::default();
                     ctx.upload_bytes = 0;
                     send(upload_ack(ctx, false));
@@ -515,7 +615,7 @@ pub(crate) fn handle_request(
             } else {
                 ctx.upload_bytes += bytes.len() as u64;
                 ctx.store.ingest_bytes(&bytes);
-                shared.counters.upload_chunks.fetch_add(1, Relaxed);
+                shared.counters.upload_chunks.inc();
                 send(upload_ack(ctx, false));
             }
         }
@@ -565,10 +665,13 @@ pub(crate) fn handle_request(
         Request::Stats => {
             send(Response::StatsOk(shared.stats()));
         }
+        Request::Metrics => {
+            send(Response::MetricsReply(shared.metrics.snapshot()));
+        }
         Request::Cancel { session } => {
             let existed = ctx.sessions.remove(&session).is_some();
             if existed {
-                shared.counters.sessions_cancelled.fetch_add(1, Relaxed);
+                shared.counters.sessions_cancelled.inc();
             }
             send(Response::Cancelled { session, existed });
         }
@@ -631,17 +734,20 @@ pub(crate) fn handle_request(
                 });
                 return (out, After::Continue);
             };
-            shared.counters.upload_chunks.fetch_add(1, Relaxed);
+            shared.counters.upload_chunks.inc();
             entry.watcher.push_bytes(&bytes);
             if fin {
                 entry.watcher.finish_tail();
             }
-            let response = match entry.watcher.tick() {
+            let tick_started = Instant::now();
+            let ticked = entry.watcher.tick();
+            shared
+                .timings
+                .watch_tick
+                .record_duration(tick_started.elapsed());
+            let response = match ticked {
                 Ok(events) => {
-                    shared
-                        .counters
-                        .watch_events
-                        .fetch_add(events.len() as u64, Relaxed);
+                    shared.counters.watch_events.add(events.len() as u64);
                     entry
                         .folded
                         .fold(&shared.counters, &entry.watcher.store_stats());
@@ -693,7 +799,7 @@ fn admit_watch(
 ) -> Response {
     let limit = shared.config.max_watches_per_client;
     if shared.shutdown.load(Relaxed) {
-        shared.counters.rejected_engine.fetch_add(1, Relaxed);
+        shared.counters.rejected_engine.inc();
         return Response::Overloaded {
             scope: OverloadScope::Draining,
             in_flight: ctx.watches.len() as u32,
@@ -701,7 +807,7 @@ fn admit_watch(
         };
     }
     if ctx.watches.len() >= limit {
-        shared.counters.rejected_client.fetch_add(1, Relaxed);
+        shared.counters.rejected_client.inc();
         return Response::Overloaded {
             scope: OverloadScope::Client,
             in_flight: ctx.watches.len() as u32,
@@ -716,12 +822,14 @@ fn admit_watch(
             }
         }
         ProgramSpec::Case { name: case } => match find_case(case) {
-            Ok(case) => Simulator::new(case.program).with_backend(shared.config.backend),
+            Ok(case) => Simulator::new(case.program)
+                .with_backend(shared.config.backend)
+                .with_metrics(&shared.metrics),
             Err((code, message)) => return Response::Error { code, message },
         },
-        ProgramSpec::Lab(spec) => {
-            Simulator::new(aid_lab::build(spec).program).with_backend(shared.config.backend)
-        }
+        ProgramSpec::Lab(spec) => Simulator::new(aid_lab::build(spec).program)
+            .with_backend(shared.config.backend)
+            .with_metrics(&shared.metrics),
     };
     let extraction = match resolve_extraction(shared, analysis) {
         Ok(extraction) => extraction,
@@ -753,7 +861,7 @@ fn admit_watch(
             folded: StoreFold::default(),
         },
     );
-    shared.counters.watches_subscribed.fetch_add(1, Relaxed);
+    shared.counters.watches_subscribed.inc();
     Response::Subscribed { watch: id }
 }
 
@@ -780,7 +888,7 @@ pub(crate) fn poll_session(
         SessionPoll::Pending => SessionState::Pending,
         SessionPoll::Ready(result) => {
             ctx.sessions.remove(&session);
-            shared.counters.sessions_delivered.fetch_add(1, Relaxed);
+            shared.counters.sessions_delivered.inc();
             SessionState::Done(result.result)
         }
         // A typed session failure (e.g. a VM trap from an invalid
@@ -789,7 +897,7 @@ pub(crate) fn poll_session(
         // the server (engine included) keeps serving.
         SessionPoll::Failed(_) | SessionPoll::Lost => {
             ctx.sessions.remove(&session);
-            shared.counters.sessions_lost.fetch_add(1, Relaxed);
+            shared.counters.sessions_lost.inc();
             SessionState::Lost
         }
     }
@@ -830,7 +938,7 @@ fn admit(
 ) -> Response {
     let limit = shared.config.max_sessions_per_client;
     if shared.shutdown.load(Relaxed) {
-        shared.counters.rejected_engine.fetch_add(1, Relaxed);
+        shared.counters.rejected_engine.inc();
         return Response::Overloaded {
             scope: OverloadScope::Draining,
             in_flight: ctx.sessions.len() as u32,
@@ -838,7 +946,7 @@ fn admit(
         };
     }
     if ctx.sessions.len() >= limit {
-        shared.counters.rejected_client.fetch_add(1, Relaxed);
+        shared.counters.rejected_client.inc();
         return Response::Overloaded {
             scope: OverloadScope::Client,
             in_flight: ctx.sessions.len() as u32,
@@ -847,7 +955,7 @@ fn admit(
     }
     let job = match build_job(
         ctx,
-        shared.config.backend,
+        shared,
         name,
         program,
         strategy,
@@ -863,11 +971,11 @@ fn admit(
         Ok(ticket) => {
             let id = shared.next_session.fetch_add(1, Relaxed);
             ctx.sessions.insert(id, ticket);
-            shared.counters.sessions_accepted.fetch_add(1, Relaxed);
+            shared.counters.sessions_accepted.inc();
             Response::Submitted { session: id }
         }
         Err(saturated) => {
-            shared.counters.rejected_engine.fetch_add(1, Relaxed);
+            shared.counters.rejected_engine.inc();
             Response::Overloaded {
                 scope: if saturated.shutting_down {
                     OverloadScope::Draining
@@ -886,7 +994,7 @@ fn admit(
 #[allow(clippy::too_many_arguments)]
 fn build_job(
     ctx: &mut ClientCtx,
-    backend: aid_sim::Backend,
+    shared: &ServerShared,
     name: String,
     program: ProgramSpec,
     strategy: Strategy,
@@ -895,6 +1003,7 @@ fn build_job(
     first_seed: u64,
     prune_quorum: u32,
 ) -> Result<DiscoveryJob, (ErrorCode, String)> {
+    let backend = shared.config.backend;
     let options = options_from_wire(prune_quorum);
     let simulator = match &program {
         ProgramSpec::Synth { app_seed } => {
@@ -910,12 +1019,12 @@ fn build_job(
             job.options = options;
             return Ok(job);
         }
-        ProgramSpec::Case { name: case } => {
-            Simulator::new(find_case(case)?.program).with_backend(backend)
-        }
-        ProgramSpec::Lab(spec) => {
-            Simulator::new(aid_lab::build(spec).program).with_backend(backend)
-        }
+        ProgramSpec::Case { name: case } => Simulator::new(find_case(case)?.program)
+            .with_backend(backend)
+            .with_metrics(&shared.metrics),
+        ProgramSpec::Lab(spec) => Simulator::new(aid_lab::build(spec).program)
+            .with_backend(backend)
+            .with_metrics(&shared.metrics),
     };
     // Catch an upload that was never `FinishUpload`ed: refresh is
     // incremental, so this is cheap when the analysis is already current.
@@ -941,7 +1050,7 @@ fn build_job(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering::Relaxed;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
     /// The connection-cap reservation is a single CAS, not the racy
     /// load-then-increment it replaced: hammered from many threads at the
@@ -967,7 +1076,7 @@ mod tests {
                             // The invariant the old load-then-increment
                             // violated: a reserved slot is never one of
                             // more than CAP.
-                            let active = counters.active_connections.load(Relaxed);
+                            let active = counters.active_connections.get();
                             assert!(active <= CAP, "overshoot: {active} > {CAP}");
                             admitted.fetch_add(1, Relaxed);
                             std::thread::yield_now();
@@ -987,12 +1096,8 @@ mod tests {
             admitted.load(Relaxed) + refused.load(Relaxed),
             (THREADS * ROUNDS) as u64
         );
-        assert_eq!(
-            counters.active_connections.load(Relaxed),
-            0,
-            "every admit released"
-        );
-        let peak = counters.peak_connections.load(Relaxed);
+        assert_eq!(counters.active_connections.get(), 0, "every admit released");
+        let peak = counters.peak_connections.get();
         assert!((1..=CAP).contains(&peak), "peak {peak} within (0, {CAP}]");
         // Contended enough to mean something: with 8 threads on a cap of
         // 4, at least one reservation must have been refused.
@@ -1004,6 +1109,6 @@ mod tests {
     fn zero_cap_refuses_everything() {
         let counters = Counters::default();
         assert!(!counters.try_reserve_connection(0));
-        assert_eq!(counters.peak_connections.load(Relaxed), 0);
+        assert_eq!(counters.peak_connections.get(), 0);
     }
 }

@@ -235,7 +235,6 @@ fn build_response((selector, (a, b, c), alpha, ids, ids2): RawResponse) -> Respo
             view_skipped: b % 777,
             watches_subscribed: a % 29,
             watch_events: b % 555,
-            idle_ticks: a % 10_000,
             engine_shards: b % 16,
             peak_connections: a % 512,
             handler_dispatches: b % 4_096,

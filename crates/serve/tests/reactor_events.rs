@@ -73,8 +73,7 @@ fn frames_split_at_every_byte_boundary_decode_identically() {
 /// A thousand idle connections are a thousand registered wakers — not a
 /// thousand threads ticking read timeouts. Between frames the handler
 /// pool is never woken: `handler_dispatches` counts exactly one dispatch
-/// per request ever received, and the old loop's `idle_ticks` stays zero
-/// through the silence.
+/// per request ever received through the silence.
 #[test]
 fn thousand_idle_connections_cost_zero_wakeups() {
     let config = ServeConfig {
@@ -100,8 +99,6 @@ fn thousand_idle_connections_cost_zero_wakeups() {
         stats.handler_dispatches, 1001,
         "1000 hellos + this stats call — the silence dispatched nothing: {stats:?}"
     );
-    assert_eq!(stats.idle_ticks, 0, "no per-connection timeout ever fires");
-
     // The whole fleet is still live, not just the one we polled.
     for client in fleet.iter_mut().rev().take(5) {
         client.stats().expect("deep-idle connection answers");

@@ -27,6 +27,7 @@ use crate::machine::{Machine, SimConfig};
 use crate::plan::InterventionPlan;
 use crate::program::Program;
 use crate::vm::{Vm, VmError};
+use aid_obs::Counter;
 use aid_trace::Trace;
 use parking_lot::Mutex;
 
@@ -154,6 +155,10 @@ impl ExecBackend for TreeWalkBackend {
 pub struct BytecodeBackend {
     compiled: CompiledProgram,
     pool: Mutex<Vec<Vm>>,
+    /// Scheduler ticks across all completed runs — feeds `sim.vm.steps`
+    /// when the owning [`Simulator`](crate::Simulator) has a metrics
+    /// registry attached; a detached no-op cell otherwise.
+    steps: Counter,
 }
 
 impl BytecodeBackend {
@@ -162,7 +167,15 @@ impl BytecodeBackend {
         BytecodeBackend {
             compiled: compile(program),
             pool: Mutex::new(Vec::new()),
+            steps: Counter::detached(),
         }
+    }
+
+    /// Routes the cumulative per-run step counts into `cell` (normally a
+    /// registry-backed `sim.vm.steps` counter).
+    pub fn with_steps_counter(mut self, cell: Counter) -> Self {
+        self.steps = cell;
+        self
     }
 
     /// The compiled image (instruction stream, tables).
@@ -184,6 +197,11 @@ impl ExecBackend for BytecodeBackend {
     ) -> Result<Trace, VmError> {
         let mut vm = self.pool.lock().pop().unwrap_or_default();
         let result = vm.run(&self.compiled, plan, config, seed);
+        if result.is_ok() {
+            // Trapped runs are quarantined wholesale; only completed runs
+            // report a meaningful tick count.
+            self.steps.add(vm.last_steps());
+        }
         self.pool.lock().push(vm);
         result
     }

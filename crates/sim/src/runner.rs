@@ -5,6 +5,7 @@ use crate::machine::SimConfig;
 use crate::plan::InterventionPlan;
 use crate::program::Program;
 use crate::vm::VmError;
+use aid_obs::{Counter, MetricsRegistry};
 use aid_trace::{Trace, TraceSet};
 use std::sync::{Arc, OnceLock};
 
@@ -29,6 +30,11 @@ pub struct Simulator {
     /// Machine configuration (read per run).
     pub config: SimConfig,
     backend: Backend,
+    /// Cumulative VM scheduler ticks (`sim.vm.steps`) — a registry cell
+    /// when attached via [`Simulator::with_metrics`], a detached no-op
+    /// otherwise. Only the bytecode VM reports ticks; the tree-walk
+    /// interpreter predates the counter plane and is left dark.
+    vm_steps: Counter,
     engine: OnceLock<Arc<dyn ExecBackend>>,
 }
 
@@ -40,6 +46,7 @@ impl Clone for Simulator {
             program: self.program.clone(),
             config: self.config.clone(),
             backend: self.backend,
+            vm_steps: self.vm_steps.clone(),
             engine: OnceLock::new(),
         }
     }
@@ -62,6 +69,7 @@ impl Simulator {
             program,
             config: SimConfig::default(),
             backend: Backend::default(),
+            vm_steps: Counter::detached(),
             engine: OnceLock::new(),
         }
     }
@@ -69,6 +77,15 @@ impl Simulator {
     /// Selects the execution backend.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self.engine = OnceLock::new();
+        self
+    }
+
+    /// Attaches a metrics registry: VM scheduler ticks accumulate into the
+    /// registry's `sim.vm.steps` counter. Resets the lazily built engine so
+    /// a backend constructed before the call doesn't keep a detached cell.
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.vm_steps = metrics.counter("sim.vm.steps");
         self.engine = OnceLock::new();
         self
     }
@@ -82,7 +99,9 @@ impl Simulator {
     pub fn exec_backend(&self) -> &Arc<dyn ExecBackend> {
         self.engine.get_or_init(|| match self.backend {
             Backend::TreeWalk => Arc::new(TreeWalkBackend::new(self.program.clone())),
-            Backend::Bytecode => Arc::new(BytecodeBackend::new(&self.program)),
+            Backend::Bytecode => Arc::new(
+                BytecodeBackend::new(&self.program).with_steps_counter(self.vm_steps.clone()),
+            ),
         })
     }
 

@@ -446,6 +446,8 @@ pub struct Vm {
     n_scans: u64,
     /// Telemetry: incremental ready-set repairs that avoided a rescan.
     n_repairs: u64,
+    /// Telemetry: scheduler ticks consumed by the last completed run.
+    last_steps: u64,
     rng_sched: StdRng,
     rng_prog: StdRng,
 }
@@ -485,6 +487,7 @@ impl Vm {
             repair_methods: Vec::new(),
             n_scans: 0,
             n_repairs: 0,
+            last_steps: 0,
             rng_sched: StdRng::seed_from_u64(0),
             rng_prog: StdRng::seed_from_u64(0),
         }
@@ -496,6 +499,12 @@ impl Vm {
     /// cached ready set in place.
     pub fn sched_telemetry(&self) -> (u64, u64) {
         (self.n_scans, self.n_repairs)
+    }
+
+    /// Scheduler ticks consumed by the last completed (non-trapping) run —
+    /// the `sim.vm.steps` telemetry source.
+    pub fn last_steps(&self) -> u64 {
+        self.last_steps
     }
 
     /// Executes one run. On a trap the partial run is discarded and the VM
@@ -520,7 +529,10 @@ impl Vm {
             }
         }
         match self.drive(prog, config) {
-            Ok(()) => Ok(self.finish(prog, seed)),
+            Ok(steps) => {
+                self.last_steps = steps;
+                Ok(self.finish(prog, seed))
+            }
             Err(e) => {
                 // Quarantine: drop the partial trace; arenas are re-reset by
                 // the next run.
@@ -607,21 +619,21 @@ impl Vm {
     /// (`uses_now`, flagged at compile time). Every skipped scan still
     /// consumes its scheduler draw, so the RNG stream — and therefore the
     /// trace — stays bit-identical to the tree walk.
-    fn drive(&mut self, prog: &CompiledProgram, config: &SimConfig) -> Result<(), VmError> {
+    fn drive(&mut self, prog: &CompiledProgram, config: &SimConfig) -> Result<u64, VmError> {
         let mut steps: u64 = 0;
         'scan: loop {
             if self.failure.is_some() {
-                return Ok(());
+                return Ok(steps);
             }
             if self.states.iter().all(|s| *s == TState::Done) {
-                return Ok(());
+                return Ok(steps);
             }
             let Some(mut tid) = self.pick_thread(prog) else {
                 if self.release_liveness_valve() {
                     continue;
                 }
                 self.fail_all(prog, KIND_DEADLOCK)?;
-                return Ok(());
+                return Ok(steps);
             };
             // Sleepers bound how far the clock may advance before a rescan;
             // time-dependent wait conditions forbid spinning outright.
@@ -654,7 +666,7 @@ impl Vm {
                                 self.rng_sched.random_range(0..1usize);
                             }
                             self.fail_all(prog, KIND_TIMEOUT)?;
-                            return Ok(());
+                            return Ok(steps);
                         }
                         if self.clock >= wake_limit {
                             for _ in 1..k {
@@ -674,7 +686,7 @@ impl Vm {
                     steps += 1;
                     if steps >= config.max_steps {
                         self.fail_all(prog, KIND_TIMEOUT)?;
-                        return Ok(());
+                        return Ok(steps);
                     }
                 } else if can_spin && self.scan_preserving(prog, tid) {
                     // A real instruction, but one that cannot silently wake
@@ -699,7 +711,7 @@ impl Vm {
                     steps += 1;
                     if steps >= config.max_steps {
                         self.fail_all(prog, KIND_TIMEOUT)?;
-                        return Ok(());
+                        return Ok(steps);
                     }
                     if self.states[tid] != TState::Ready {
                         continue 'scan;
@@ -713,7 +725,7 @@ impl Vm {
                     steps += 1;
                     if steps >= config.max_steps {
                         self.fail_all(prog, KIND_TIMEOUT)?;
-                        return Ok(());
+                        return Ok(steps);
                     }
                     continue 'scan;
                 }

@@ -29,6 +29,7 @@
 //! earlier batches stay valid).
 
 use aid_engine::WorkerPool;
+use aid_obs::Counter;
 use aid_trace::{
     AccessEvent, AccessKind, ChannelId, ChannelTag, FailureSignature, MethodEvent, MethodId,
     MethodTag, MsgEvent, MsgKind, ObjectId, ObjectTag, Outcome, ThreadId, Time, Trace, TraceSet,
@@ -360,7 +361,7 @@ pub struct ColumnStats {
 }
 
 /// The sharded columnar trace store.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ColumnStore {
     methods: IdArena<String, MethodTag>,
     objects: IdArena<String, ObjectTag>,
@@ -374,8 +375,31 @@ pub struct ColumnStore {
     total: usize,
     /// Logical clock, advanced once per append batch.
     clock: u64,
-    /// Compaction passes that dropped at least one trace.
-    compactions: usize,
+    /// Compaction passes that dropped at least one trace — an [`aid_obs`]
+    /// cell, so [`ColumnStats`] reads the same counter plane as the rest
+    /// of the stack. Per-store (detached): the server folds per-store
+    /// deltas into its registry-backed counters.
+    compactions: Counter,
+}
+
+impl Clone for ColumnStore {
+    /// Clones the store with value semantics: the clone gets its own
+    /// compaction cell at the current count, not a share of this one.
+    fn clone(&self) -> ColumnStore {
+        let compactions = Counter::detached();
+        compactions.add(self.compactions.get());
+        ColumnStore {
+            methods: self.methods.clone(),
+            objects: self.objects.clone(),
+            channels: self.channels.clone(),
+            kinds: self.kinds.clone(),
+            shards: self.shards.clone(),
+            base: self.base,
+            total: self.total,
+            clock: self.clock,
+            compactions,
+        }
+    }
 }
 
 impl ColumnStore {
@@ -390,7 +414,7 @@ impl ColumnStore {
             base: 0,
             total: 0,
             clock: 0,
-            compactions: 0,
+            compactions: Counter::detached(),
         }
     }
 
@@ -463,7 +487,7 @@ impl ColumnStore {
             shard.trim_front(after - before);
         }
         self.base = new;
-        self.compactions += 1;
+        self.compactions.inc();
         count
     }
 
@@ -514,7 +538,7 @@ impl ColumnStore {
             msgs: self.shards.iter().map(|s| s.mg_channel.len()).sum(),
             shards: self.shards.len(),
             evicted: self.base,
-            compactions: self.compactions,
+            compactions: self.compactions.get() as usize,
         }
     }
 

@@ -87,6 +87,7 @@ pub use view::{StoreView, ViewStats};
 use aid_causal::AcDag;
 use aid_core::{AidAnalysis, Strategy};
 use aid_engine::{DiscoveryJob, WorkerPool};
+use aid_obs::{Histogram, MetricsRegistry};
 use aid_predicates::{ExtractionConfig, PredicateCatalog, PredicateId};
 use aid_sim::Simulator;
 use aid_trace::{FailureSignature, Trace, TraceSet};
@@ -178,6 +179,9 @@ pub struct TraceStore {
     columns: ColumnStore,
     view: StoreView,
     pool: Option<Arc<WorkerPool>>,
+    /// Wall time of each [`TraceStore::refresh`] (`store.refresh_us` when
+    /// registered; a disabled no-op cell otherwise).
+    refresh_timer: Histogram,
 }
 
 impl TraceStore {
@@ -192,6 +196,7 @@ impl TraceStore {
             columns,
             view,
             pool: None,
+            refresh_timer: Histogram::detached(false),
         }
     }
 
@@ -201,6 +206,21 @@ impl TraceStore {
     pub fn with_pool(config: StoreConfig, pool: Arc<WorkerPool>) -> TraceStore {
         let mut s = TraceStore::new(config);
         s.pool = Some(pool);
+        s
+    }
+
+    /// An empty store whose refresh latency registers in `metrics` as the
+    /// `store.refresh_us` histogram (shared by every store on the same
+    /// registry — refresh cost is a per-server distribution, while
+    /// per-store counts stay in [`StoreStats`]).
+    pub fn with_metrics(
+        config: StoreConfig,
+        pool: Option<Arc<WorkerPool>>,
+        metrics: &MetricsRegistry,
+    ) -> TraceStore {
+        let mut s = TraceStore::new(config);
+        s.pool = pool;
+        s.refresh_timer = metrics.histogram("store.refresh_us");
         s
     }
 
@@ -341,7 +361,9 @@ impl TraceStore {
     /// Brings the incremental analysis up to date with every stored trace
     /// and returns it (`None` until at least one failure is stored).
     pub fn refresh(&mut self) -> Option<&AidAnalysis> {
+        let started = std::time::Instant::now();
         self.view.refresh(&self.columns, self.pool.as_deref());
+        self.refresh_timer.record_duration(started.elapsed());
         self.view.analysis()
     }
 

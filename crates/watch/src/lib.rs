@@ -34,6 +34,7 @@
 
 use aid_core::{DiscoverOptions, DiscoveryResult, Strategy};
 use aid_engine::{EngineHandle, SessionError};
+use aid_obs::Counter;
 use aid_predicates::PredicateKind;
 use aid_sim::Simulator;
 use aid_store::{StoreConfig, StoreStats, TraceStore};
@@ -124,7 +125,8 @@ pub enum WatchEvent {
     },
 }
 
-/// Watcher lifetime counters.
+/// Watcher lifetime counters — a plain-value snapshot assembled from the
+/// watcher's internal [`aid_obs`] cells by [`Watcher::stats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WatchStats {
     /// Ticks processed.
@@ -138,6 +140,19 @@ pub struct WatchStats {
     pub probe_runs: u64,
     /// Events emitted.
     pub events: u64,
+}
+
+/// The live counter cells behind [`WatchStats`]. Per-watcher and detached:
+/// many watchers can coexist, so the cells are not registry-registered
+/// (names would collide) — servers expose the watch tier through their own
+/// registry counters and the `serve.watch.tick_us` histogram instead.
+#[derive(Debug, Default)]
+struct WatchCells {
+    ticks: Counter,
+    discoveries: Counter,
+    discoveries_skipped: Counter,
+    probe_runs: Counter,
+    events: Counter,
 }
 
 /// A standing-query failure.
@@ -197,7 +212,7 @@ pub struct Watcher {
     generation: u64,
     seen_signatures: BTreeSet<FailureSignature>,
     last: Option<Convergence>,
-    stats: WatchStats,
+    stats: WatchCells,
 }
 
 impl Watcher {
@@ -212,7 +227,7 @@ impl Watcher {
             generation: 0,
             seen_signatures: BTreeSet::new(),
             last: None,
-            stats: WatchStats::default(),
+            stats: WatchCells::default(),
         }
     }
 
@@ -248,9 +263,15 @@ impl Watcher {
         self.store.stats()
     }
 
-    /// Watcher lifetime counters.
+    /// Watcher lifetime counters, snapshotted from the live cells.
     pub fn stats(&self) -> WatchStats {
-        self.stats
+        WatchStats {
+            ticks: self.stats.ticks.get(),
+            discoveries: self.stats.discoveries.get(),
+            discoveries_skipped: self.stats.discoveries_skipped.get(),
+            probe_runs: self.stats.probe_runs.get(),
+            events: self.stats.events.get(),
+        }
     }
 
     /// The last converged result, if any tick has converged.
@@ -264,7 +285,7 @@ impl Watcher {
     /// tick produced (empty when nothing new arrived or no failure is
     /// retained).
     pub fn tick(&mut self) -> Result<Vec<WatchEvent>, WatchError> {
-        self.stats.ticks += 1;
+        self.stats.ticks.inc();
         let mut events = Vec::new();
         let Some(analysis) = self.store.refresh() else {
             return Ok(events);
@@ -317,14 +338,14 @@ impl Watcher {
             let prev = self.last.as_ref().expect("unchanged implies last");
             let skipped = fingerprint.len() as u32;
             self.store.record_probe_delta(0, skipped as u64);
-            self.stats.discoveries_skipped += 1;
+            self.stats.discoveries_skipped.inc();
             events.push(WatchEvent::Converged {
                 result: prev.result.clone(),
                 reprobed: 0,
                 skipped,
                 resubmitted: false,
             });
-            self.stats.events += events.len() as u64;
+            self.stats.events.add(events.len() as u64);
             return Ok(events);
         }
         let (reprobed, skipped) = match &self.last {
@@ -342,12 +363,12 @@ impl Watcher {
         };
 
         if let Some(budget) = self.config.max_probe_runs {
-            if self.stats.probe_runs >= budget {
+            if self.stats.probe_runs.get() >= budget {
                 events.push(WatchEvent::BudgetExhausted {
-                    probe_runs: self.stats.probe_runs,
+                    probe_runs: self.stats.probe_runs.get(),
                     budget,
                 });
-                self.stats.events += events.len() as u64;
+                self.stats.events.add(events.len() as u64);
                 return Ok(events);
             }
         }
@@ -373,8 +394,10 @@ impl Watcher {
             .result;
         self.store
             .record_probe_delta(reprobed as u64, skipped as u64);
-        self.stats.discoveries += 1;
-        self.stats.probe_runs += (result.rounds * self.config.runs_per_round) as u64;
+        self.stats.discoveries.inc();
+        self.stats
+            .probe_runs
+            .add((result.rounds * self.config.runs_per_round) as u64);
 
         let root = result
             .root_cause()
@@ -403,7 +426,7 @@ impl Watcher {
             root,
             result,
         });
-        self.stats.events += events.len() as u64;
+        self.stats.events.add(events.len() as u64);
         Ok(events)
     }
 }

@@ -56,6 +56,7 @@ pub use aid_causal as causal;
 pub use aid_core as core;
 pub use aid_engine as engine;
 pub use aid_lab as lab;
+pub use aid_obs as obs;
 pub use aid_predicates as predicates;
 pub use aid_sd as sd;
 pub use aid_serve as serve;
@@ -83,6 +84,10 @@ pub mod prelude {
     pub use aid_lab::{
         check_scenario, corpus_violations, prepare_replay, BugClass, Conformance, LabParams,
         ReplayItem, Scenario, ScenarioReport,
+    };
+    pub use aid_obs::{
+        Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
+        MetricsSnapshot,
     };
     pub use aid_predicates::{
         evaluate, extract, Extraction, ExtractionConfig, InterventionAction, MethodInstance,
